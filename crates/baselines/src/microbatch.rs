@@ -1,0 +1,341 @@
+//! A Spark-Streaming-like micro-batch comparator.
+//!
+//! Spark Streaming discretises the stream into micro-batches and requires the
+//! window size and slide to be multiples of the batch interval — the batch
+//! size is therefore *coupled* to the window definition (paper §2.3). Each
+//! batch additionally pays a fixed scheduling overhead before its operators
+//! run. Both properties are reproduced here:
+//!
+//! * the engine's batch covers exactly `batches_per_slide` slides (default 1),
+//!   so a small window slide forces tiny batches,
+//! * every batch is charged [`MicroBatchConfig::scheduling_overhead`],
+//! * windows are recomputed from their constituent batches with no
+//!   incremental computation,
+//! * batches are processed by a pool of worker threads with a barrier per
+//!   batch generation (lockstep), as in the BSP execution model.
+//!
+//! This is the engine behind Fig. 1 (throughput vs. window slide) and the
+//! Spark side of Fig. 9.
+
+use saber_query::aggregate::{AggState, AggregateFunction};
+use saber_query::{OperatorDef, Query};
+use saber_types::{Result, RowBuffer, SaberError};
+use std::collections::BTreeMap;
+use std::time::{Duration, Instant};
+
+/// Configuration of the micro-batch engine.
+#[derive(Debug, Clone)]
+pub struct MicroBatchConfig {
+    /// Fixed per-batch scheduling overhead (task serialisation, driver
+    /// round-trips). Spark-class systems sit in the low milliseconds.
+    pub scheduling_overhead: Duration,
+    /// Number of parallel partitions each batch is split into.
+    pub partitions: usize,
+    /// How many window slides one micro-batch covers (Spark requires the
+    /// slide to be a multiple of the batch interval; 1 = batch == slide).
+    pub slides_per_batch: u64,
+}
+
+impl Default for MicroBatchConfig {
+    fn default() -> Self {
+        Self {
+            scheduling_overhead: Duration::from_millis(2),
+            partitions: 8,
+            slides_per_batch: 1,
+        }
+    }
+}
+
+/// Result of a micro-batch run.
+#[derive(Debug, Clone)]
+pub struct MicroBatchReport {
+    /// Tuples processed.
+    pub tuples: u64,
+    /// Window results produced.
+    pub results: u64,
+    /// Number of micro-batches formed.
+    pub batches: u64,
+    /// Wall-clock processing time including per-batch overheads.
+    pub elapsed: Duration,
+}
+
+impl MicroBatchReport {
+    /// Throughput in tuples per second.
+    pub fn tuples_per_second(&self) -> f64 {
+        self.tuples as f64 / self.elapsed.as_secs_f64().max(1e-9)
+    }
+}
+
+/// The micro-batch engine for a single-input windowed aggregation/selection
+/// query with count-based windows.
+pub struct MicroBatchEngine {
+    query: Query,
+    config: MicroBatchConfig,
+}
+
+impl MicroBatchEngine {
+    /// Creates the engine.
+    pub fn new(query: Query, config: MicroBatchConfig) -> Result<Self> {
+        if query.num_inputs() != 1 {
+            return Err(SaberError::Query(
+                "the micro-batch comparator supports single-input queries only".into(),
+            ));
+        }
+        if !query.window(0).is_count_based() {
+            return Err(SaberError::Query(
+                "the micro-batch comparator uses count-based windows".into(),
+            ));
+        }
+        Ok(Self { query, config })
+    }
+
+    /// The batch size in tuples: the window slide times `slides_per_batch`
+    /// (the coupling of batch to window that SABER removes).
+    pub fn batch_rows(&self) -> u64 {
+        self.query.window(0).slide() * self.config.slides_per_batch.max(1)
+    }
+
+    /// Processes `input`, returning the throughput report.
+    pub fn run(&self, input: &RowBuffer) -> MicroBatchReport {
+        let window = *self.query.window(0);
+        let batch_rows = self.batch_rows() as usize;
+        let batches_per_window = (window.size() as usize).div_ceil(batch_rows.max(1));
+        let started = Instant::now();
+
+        let mut results = 0u64;
+        let mut batch_count = 0u64;
+        // Per-batch partial aggregates retained for window recomposition.
+        let mut batch_partials: Vec<BTreeMap<Vec<i64>, Vec<AggState>>> = Vec::new();
+
+        let mut offset = 0usize;
+        while offset < input.len() {
+            let end = (offset + batch_rows).min(input.len());
+            batch_count += 1;
+            // Fixed per-batch scheduling overhead (driver + task launch).
+            busy_wait(self.config.scheduling_overhead);
+            // Partition-parallel batch processing with a barrier per batch.
+            let partial = self.process_batch(input, offset, end);
+            batch_partials.push(partial);
+            // A window result is produced once enough batches have arrived;
+            // it is recomputed from all batches of the window (no incremental
+            // computation across windows).
+            if batch_partials.len() >= batches_per_window
+                && (end - offset == batch_rows || end == input.len())
+            {
+                let from = batch_partials.len() - batches_per_window;
+                let mut merged: BTreeMap<Vec<i64>, Vec<AggState>> = BTreeMap::new();
+                for partial in &batch_partials[from..] {
+                    for (k, states) in partial {
+                        let entry = merged
+                            .entry(k.clone())
+                            .or_insert_with(|| vec![AggState::new(); states.len()]);
+                        for (m, s) in entry.iter_mut().zip(states.iter()) {
+                            m.merge(s);
+                        }
+                    }
+                }
+                results += merged.len().max(1) as u64;
+            }
+            offset = end;
+        }
+
+        MicroBatchReport {
+            tuples: input.len() as u64,
+            results,
+            batches: batch_count,
+            elapsed: started.elapsed(),
+        }
+    }
+
+    /// Processes one micro-batch across the configured partitions and merges
+    /// the per-partition partials (the per-batch barrier).
+    fn process_batch(
+        &self,
+        input: &RowBuffer,
+        from: usize,
+        to: usize,
+    ) -> BTreeMap<Vec<i64>, Vec<AggState>> {
+        let agg = match self.query.operators.last() {
+            Some(OperatorDef::Aggregation(a)) => Some(a.clone()),
+            _ => None,
+        };
+        let partitions = self.config.partitions.max(1);
+        let chunk = (to - from).div_ceil(partitions).max(1);
+        let selection = self.query.operators.iter().find_map(|op| match op {
+            OperatorDef::Selection(s) => Some(s.predicate.clone()),
+            _ => None,
+        });
+
+        let mut partials: Vec<BTreeMap<Vec<i64>, Vec<AggState>>> = Vec::new();
+        std::thread::scope(|scope| {
+            let mut handles = Vec::new();
+            let mut start = from;
+            while start < to {
+                let end = (start + chunk).min(to);
+                let agg = agg.clone();
+                let selection = selection.clone();
+                handles.push(scope.spawn(move || {
+                    let mut local: BTreeMap<Vec<i64>, Vec<AggState>> = BTreeMap::new();
+                    for i in start..end {
+                        let tuple = input.row(i);
+                        if let Some(p) = &selection {
+                            if !p.eval_bool(&tuple) {
+                                continue;
+                            }
+                        }
+                        match &agg {
+                            Some(agg) => {
+                                let keys: Vec<i64> =
+                                    agg.group_by.iter().map(|&c| tuple.get_key(c)).collect();
+                                let states = local
+                                    .entry(keys)
+                                    .or_insert_with(|| vec![AggState::new(); agg.aggregates.len()]);
+                                for (s, spec) in states.iter_mut().zip(agg.aggregates.iter()) {
+                                    match spec.function {
+                                        AggregateFunction::Count => s.update(1.0),
+                                        _ => s.update(tuple.get_numeric(spec.column.unwrap_or(0))),
+                                    }
+                                }
+                            }
+                            None => {
+                                let states = local.entry(vec![]).or_insert_with(|| vec![AggState::new()]);
+                                states[0].update(1.0);
+                            }
+                        }
+                    }
+                    local
+                }));
+                start = end;
+            }
+            for h in handles {
+                partials.push(h.join().expect("partition thread"));
+            }
+        });
+
+        // Barrier: merge all partition partials before the batch completes.
+        let mut merged: BTreeMap<Vec<i64>, Vec<AggState>> = BTreeMap::new();
+        for partial in partials {
+            for (k, states) in partial {
+                let entry = merged
+                    .entry(k)
+                    .or_insert_with(|| vec![AggState::new(); states.len()]);
+                for (m, s) in entry.iter_mut().zip(states.iter()) {
+                    m.merge(s);
+                }
+            }
+        }
+        merged
+    }
+}
+
+/// Spin for the given duration (scheduling overhead emulation; sleeping would
+/// under-represent sub-millisecond overheads).
+fn busy_wait(duration: Duration) {
+    if duration.is_zero() {
+        return;
+    }
+    let start = Instant::now();
+    if duration > Duration::from_micros(500) {
+        std::thread::sleep(duration - Duration::from_micros(200));
+    }
+    while start.elapsed() < duration {
+        std::hint::spin_loop();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use saber_query::{AggregateFunction, QueryBuilder};
+    use saber_types::{DataType, Schema, Value};
+
+    fn schema() -> saber_types::schema::SchemaRef {
+        Schema::from_pairs(&[
+            ("timestamp", DataType::Timestamp),
+            ("value", DataType::Float),
+            ("key", DataType::Int),
+        ])
+        .unwrap()
+        .into_ref()
+    }
+
+    fn data(n: usize) -> RowBuffer {
+        let mut buf = RowBuffer::new(schema());
+        for i in 0..n {
+            buf.push_values(&[
+                Value::Timestamp(i as i64),
+                Value::Float(1.0),
+                Value::Int((i % 4) as i32),
+            ])
+            .unwrap();
+        }
+        buf
+    }
+
+    fn groupby_query(size: u64, slide: u64) -> Query {
+        QueryBuilder::new("gb", schema())
+            .count_window(size, slide)
+            .aggregate(AggregateFunction::Sum, 1)
+            .group_by(vec![2])
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn batch_size_is_coupled_to_the_slide() {
+        let engine = MicroBatchEngine::new(groupby_query(1024, 64), MicroBatchConfig::default()).unwrap();
+        assert_eq!(engine.batch_rows(), 64);
+        let engine = MicroBatchEngine::new(
+            groupby_query(1024, 64),
+            MicroBatchConfig {
+                slides_per_batch: 4,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(engine.batch_rows(), 256);
+    }
+
+    #[test]
+    fn smaller_slides_mean_more_batches_and_lower_throughput() {
+        let config = MicroBatchConfig {
+            scheduling_overhead: Duration::from_micros(300),
+            partitions: 2,
+            slides_per_batch: 1,
+        };
+        let input = data(8192);
+        let small = MicroBatchEngine::new(groupby_query(1024, 32), config.clone())
+            .unwrap()
+            .run(&input);
+        let large = MicroBatchEngine::new(groupby_query(1024, 1024), config)
+            .unwrap()
+            .run(&input);
+        assert!(small.batches > large.batches * 10);
+        assert!(small.tuples_per_second() < large.tuples_per_second());
+    }
+
+    #[test]
+    fn window_results_cover_all_groups() {
+        let config = MicroBatchConfig {
+            scheduling_overhead: Duration::ZERO,
+            partitions: 2,
+            slides_per_batch: 1,
+        };
+        let report = MicroBatchEngine::new(groupby_query(64, 64), config)
+            .unwrap()
+            .run(&data(256));
+        // 4 tumbling windows × 4 groups.
+        assert_eq!(report.results, 16);
+        assert_eq!(report.batches, 4);
+    }
+
+    #[test]
+    fn invalid_queries_are_rejected() {
+        let time_query = QueryBuilder::new("t", schema())
+            .time_window(100, 10)
+            .aggregate(AggregateFunction::Count, 1)
+            .build()
+            .unwrap();
+        assert!(MicroBatchEngine::new(time_query, MicroBatchConfig::default()).is_err());
+    }
+}

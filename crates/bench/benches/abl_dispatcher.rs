@@ -1,0 +1,62 @@
+//! Ablation: deferred vs eager window computation in the dispatcher (§4.1).
+//!
+//! SABER's dispatcher only cuts fixed-size batches; window boundaries are
+//! computed inside the parallel tasks. The eager baseline computes, for every
+//! ingested tuple, the set of windows it belongs to *in the dispatching
+//! thread* — which is sequential work on the critical path and collapses for
+//! small slides.
+
+use saber_bench::{fmt, Report};
+use saber_query::WindowSpec;
+use saber_workloads::synthetic;
+use std::time::Instant;
+
+fn main() {
+    let schema = synthetic::schema();
+    let rows = 512 * 1024;
+    let data = synthetic::generate(&schema, rows, 61);
+
+    let mut report = Report::new(
+        "abl_dispatcher",
+        "Ablation — deferred vs eager window computation in the dispatcher",
+        &["slide_tuples", "deferred_mtuples_per_s", "eager_mtuples_per_s"],
+    );
+
+    for slide in [1u64, 16, 256, 1024] {
+        let window = WindowSpec::count(1024, slide);
+
+        // Deferred: the dispatcher's per-tuple work is just byte accounting
+        // (emulated by the same loop without window assignment).
+        let started = Instant::now();
+        let mut batches = 0u64;
+        let mut pending = 0usize;
+        for _ in 0..rows {
+            pending += synthetic::TUPLE_SIZE;
+            if pending >= 1 << 20 {
+                batches += 1;
+                pending = 0;
+            }
+        }
+        let deferred = started.elapsed();
+
+        // Eager: compute every window index each tuple belongs to while
+        // dispatching (what batch-per-window systems effectively do).
+        let started = Instant::now();
+        let mut assignments = 0u64;
+        for i in 0..rows as u64 {
+            let range = window.windows_containing(i);
+            assignments += range.end - range.start;
+        }
+        let eager = started.elapsed();
+
+        report.add_row(vec![
+            slide.to_string(),
+            fmt(rows as f64 / deferred.as_secs_f64() / 1e6),
+            fmt(rows as f64 / eager.as_secs_f64() / 1e6),
+        ]);
+        // Keep the optimiser honest.
+        assert!(batches > 0 && assignments > 0 && data.len() == rows);
+    }
+    report.finish();
+    println!("expected shape: the deferred dispatcher is independent of the slide; eager window assignment degrades as the slide shrinks");
+}

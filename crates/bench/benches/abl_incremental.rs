@@ -1,0 +1,100 @@
+//! Ablation: incremental (pane-based) sliding-window aggregation vs
+//! recomputing every window from scratch (§3, §5.3).
+//!
+//! The SABER path assembles each window from per-pane partials (O(1) amortised
+//! work per tuple for invertible aggregates); the baseline recomputes every
+//! window over its full extent, as a non-incremental engine would.
+
+use saber_bench::{fmt, Report};
+use saber_cpu::exec::StreamBatch;
+use saber_cpu::plan::{CompiledPlan, PlanKind};
+use saber_cpu::{AggregationAssembler, TaskOutput};
+use saber_query::AggregateFunction;
+use saber_types::RowBuffer;
+use saber_workloads::synthetic;
+use std::time::Instant;
+
+fn main() {
+    let schema = synthetic::schema();
+    let rows = 256 * 1024;
+    let data = synthetic::generate(&schema, rows, 51);
+    // Sliding window: 1024 tuples, slide 32 tuples.
+    let window = synthetic::window_bytes(32 * 1024, 1024);
+    let query = synthetic::agg(AggregateFunction::Avg, window);
+    let plan = CompiledPlan::compile(&query).expect("plan");
+    let agg = match plan.kind() {
+        PlanKind::Aggregation(a) => a.clone(),
+        _ => unreachable!(),
+    };
+
+    let mut report = Report::new(
+        "abl_incremental",
+        "Ablation — incremental pane-based aggregation vs full recomputation",
+        &["configuration", "windows", "elapsed_ms", "mtuples_per_s"],
+    );
+
+    // SABER path: batch operator function + pane-based assembly.
+    let started = Instant::now();
+    let mut assembler = AggregationAssembler::new(&plan).unwrap();
+    let mut out = RowBuffer::new(plan.output_schema().clone());
+    let task_rows = 32 * 1024;
+    let mut offset = 0usize;
+    while offset < rows {
+        let end = (offset + task_rows).min(rows);
+        let slice = RowBuffer::from_bytes(
+            schema.clone(),
+            data.bytes()[offset * 32..end * 32].to_vec(),
+        )
+        .unwrap();
+        let batch = StreamBatch::new(slice, offset as u64, offset as i64);
+        match saber_cpu::windowed::execute(&plan, &agg, &batch).unwrap() {
+            TaskOutput::Fragments { panes, progress } => {
+                assembler.accept(panes, progress, &mut out).unwrap();
+            }
+            _ => unreachable!(),
+        }
+        offset = end;
+    }
+    let incremental = started.elapsed();
+    let incremental_windows = assembler.windows_emitted();
+    report.add_row(vec![
+        "incremental (pane partials + sliding assembly)".into(),
+        incremental_windows.to_string(),
+        fmt(incremental.as_secs_f64() * 1000.0),
+        fmt(rows as f64 / incremental.as_secs_f64() / 1e6),
+    ]);
+
+    // Baseline: recompute every complete window from scratch.
+    let spec = *query.window(0);
+    let started = Instant::now();
+    let mut w = 0u64;
+    let mut windows = 0u64;
+    let mut checksum = 0.0f64;
+    while spec.window_end(w) <= rows as u64 {
+        let start = spec.window_start(w) as usize;
+        let end = spec.window_end(w) as usize;
+        let mut sum = 0.0f64;
+        for i in start..end {
+            sum += data.row(i).get_f32(1) as f64;
+        }
+        checksum += sum / (end - start) as f64;
+        windows += 1;
+        w += 1;
+    }
+    let recompute = started.elapsed();
+    report.add_row(vec![
+        "full recomputation per window".into(),
+        windows.to_string(),
+        fmt(recompute.as_secs_f64() * 1000.0),
+        fmt(rows as f64 / recompute.as_secs_f64() / 1e6),
+    ]);
+
+    report.finish();
+    println!(
+        "speedup from incremental computation: {:.1}x (checksum {:.1}, windows {} vs {})",
+        recompute.as_secs_f64() / incremental.as_secs_f64().max(1e-9),
+        checksum,
+        incremental_windows,
+        windows
+    );
+}

@@ -1,0 +1,36 @@
+//! Ablation: sensitivity of HLS to the switch threshold (§4.2).
+//!
+//! The switch threshold bounds how many consecutive tasks of a query run on
+//! its preferred processor before one is forced onto the other processor so
+//! the throughput matrix keeps both columns fresh. Too small a threshold
+//! wastes work on the slower processor; too large a threshold makes HLS slow
+//! to notice workload changes.
+
+use saber_bench::{engine_config, fmt, run_single, Report, DEFAULT_TASK_SIZE};
+use saber_engine::{ExecutionMode, SchedulingPolicyKind};
+use saber_workloads::synthetic;
+
+fn main() {
+    let schema = synthetic::schema();
+    let data = synthetic::generate(&schema, 512 * 1024, 71);
+    let w = synthetic::window_bytes(32 * 1024, 32 * 1024);
+
+    let mut report = Report::new(
+        "abl_switch_threshold",
+        "Ablation — HLS switch-threshold sensitivity (PROJ6*, GB/s)",
+        &["switch_threshold", "gb_per_s", "gpgpu_share_pct"],
+    );
+
+    for st in [1u32, 4, 16, 64, 256] {
+        let mut config = engine_config(ExecutionMode::Hybrid, DEFAULT_TASK_SIZE);
+        config.scheduling = SchedulingPolicyKind::Hls { switch_threshold: st };
+        let m = run_single("PROJ6*", config, synthetic::proj(6, 100, w), &data).expect("run");
+        report.add_row(vec![
+            st.to_string(),
+            fmt(m.gb_per_second()),
+            fmt(m.gpu_share * 100.0),
+        ]);
+    }
+    report.finish();
+    println!("expected shape: throughput is flat over a broad middle range of thresholds and dips at the extremes");
+}

@@ -1,0 +1,75 @@
+//! Figure 8: synthetic queries under CPU-only, GPGPU-only and hybrid
+//! execution (PROJ4, SELECT16, AGG*, GROUP-BY8, JOIN1) with ω(32KB,32KB).
+//!
+//! The expected shape: the hybrid configuration is at least as fast as the
+//! better of CPU-only / GPGPU-only for every query (close to additive for the
+//! compute-heavy ones). This harness also reports the headline aggregate
+//! throughput and latency (§6 claims >6 GB/s and sub-second latency).
+
+use saber_bench::{engine_config, fmt, mode_label, run_join, run_single, Report, DEFAULT_TASK_SIZE};
+use saber_engine::ExecutionMode;
+use saber_query::AggregateFunction;
+use saber_workloads::synthetic;
+
+fn main() {
+    let schema = synthetic::schema();
+    let data = synthetic::generate(&schema, 1024 * 1024, 3);
+    let w = synthetic::window_bytes(32 * 1024, 32 * 1024);
+    let wj = synthetic::window_bytes(4 * 1024, 4 * 1024);
+
+    let mut report = Report::new(
+        "fig08_synthetic_hybrid",
+        "Fig. 8 — synthetic queries: CPU only vs GPGPU only vs hybrid (GB/s)",
+        &["query", "mode", "gb_per_s", "mtuples_per_s", "latency_ms"],
+    );
+
+    let modes = [ExecutionMode::CpuOnly, ExecutionMode::GpuOnly, ExecutionMode::Hybrid];
+    let mut hybrid_total = 0.0;
+    let mut hybrid_latency_ms: f64 = 0.0;
+
+    for mode in modes {
+        for (name, query) in [
+            ("PROJ4", synthetic::proj(4, 8, w)),
+            ("SELECT16", synthetic::select(16, w)),
+            ("AGG*", synthetic::agg(AggregateFunction::Avg, w)),
+            ("GROUP-BY8", synthetic::group_by(8, w)),
+        ] {
+            let m = run_single(name, engine_config(mode, DEFAULT_TASK_SIZE), query, &data)
+                .expect("benchmark run");
+            if mode == ExecutionMode::Hybrid {
+                hybrid_total += m.gb_per_second();
+                hybrid_latency_ms = hybrid_latency_ms.max(m.avg_latency.as_secs_f64() * 1000.0);
+            }
+            report.add_row(vec![
+                name.to_string(),
+                mode_label(mode).to_string(),
+                fmt(m.gb_per_second()),
+                fmt(m.mtuples_per_second()),
+                fmt(m.avg_latency.as_secs_f64() * 1000.0),
+            ]);
+        }
+        // JOIN1 uses a smaller window (as in the paper's Fig. 8 right panel).
+        let m = run_join(
+            "JOIN1",
+            engine_config(mode, 256 * 1024),
+            synthetic::join(1, wj),
+            &data,
+            &data,
+        )
+        .expect("join run");
+        report.add_row(vec![
+            "JOIN1".to_string(),
+            mode_label(mode).to_string(),
+            fmt(m.gb_per_second()),
+            fmt(m.mtuples_per_second()),
+            fmt(m.avg_latency.as_secs_f64() * 1000.0),
+        ]);
+    }
+
+    report.finish();
+    println!(
+        "headline: hybrid aggregate over the four single-input queries = {:.2} GB/s, worst average latency = {:.1} ms",
+        hybrid_total, hybrid_latency_ms
+    );
+    println!("expected shape: hybrid >= max(CPU only, GPGPU only) for every query");
+}

@@ -1,0 +1,73 @@
+//! Figure 12: performance impact of the query task size φ (64 KB – 4 MB) for
+//! SELECT-10, AGG-avg GROUP-BY-64 and JOIN-4 with ω(32KB,32KB): throughput
+//! grows with φ and plateaus around 1 MB while latency grows.
+
+use saber_bench::{engine_config, fmt, mode_label, run_join, run_single, Report};
+use saber_engine::ExecutionMode;
+use saber_workloads::synthetic;
+
+fn main() {
+    let schema = synthetic::schema();
+    let data = synthetic::generate(&schema, 1024 * 1024, 29);
+    let w = synthetic::window_bytes(32 * 1024, 32 * 1024);
+    let modes = [ExecutionMode::CpuOnly, ExecutionMode::GpuOnly, ExecutionMode::Hybrid];
+
+    let mut report = Report::new(
+        "fig12_task_size",
+        "Fig. 12 — throughput and latency vs query task size",
+        &["query", "task_size_kb", "mode", "gb_per_s", "latency_ms"],
+    );
+
+    for task_kb in [64usize, 256, 1024, 4096] {
+        let task_size = task_kb * 1024;
+        for mode in modes {
+            let m = run_single(
+                "SELECT10",
+                engine_config(mode, task_size),
+                synthetic::select(10, w),
+                &data,
+            )
+            .expect("select run");
+            report.add_row(vec![
+                "SELECT10".into(),
+                task_kb.to_string(),
+                mode_label(mode).into(),
+                fmt(m.gb_per_second()),
+                fmt(m.avg_latency.as_secs_f64() * 1000.0),
+            ]);
+
+            let m = run_single(
+                "AGGavgGROUP-BY64",
+                engine_config(mode, task_size),
+                synthetic::group_by(64, w),
+                &data,
+            )
+            .expect("group-by run");
+            report.add_row(vec![
+                "AGGavgGROUP-BY64".into(),
+                task_kb.to_string(),
+                mode_label(mode).into(),
+                fmt(m.gb_per_second()),
+                fmt(m.avg_latency.as_secs_f64() * 1000.0),
+            ]);
+
+            let m = run_join(
+                "JOIN4",
+                engine_config(mode, task_size),
+                synthetic::join(4, w),
+                &data,
+                &data,
+            )
+            .expect("join run");
+            report.add_row(vec![
+                "JOIN4".into(),
+                task_kb.to_string(),
+                mode_label(mode).into(),
+                fmt(m.gb_per_second()),
+                fmt(m.avg_latency.as_secs_f64() * 1000.0),
+            ]);
+        }
+    }
+    report.finish();
+    println!("expected shape: throughput grows with the task size and plateaus near 1 MB; latency grows with the task size");
+}

@@ -1,0 +1,38 @@
+//! Figure 14: scalability of the CPU operator implementation — PROJ-6 with
+//! ω(32KB,32KB), sweeping the number of worker threads.
+
+use saber_bench::{engine_config, fmt, run_single, Report, DEFAULT_TASK_SIZE};
+use saber_engine::ExecutionMode;
+use saber_workloads::synthetic;
+
+fn main() {
+    let schema = synthetic::schema();
+    let data = synthetic::generate(&schema, 1024 * 1024, 37);
+    let w = synthetic::window_bytes(32 * 1024, 32 * 1024);
+    let max_workers = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(8);
+
+    let mut report = Report::new(
+        "fig14_scalability",
+        "Fig. 14 — CPU operator scalability (PROJ6)",
+        &["worker_threads", "gb_per_s", "scaling_vs_1"],
+    );
+
+    let mut base = 0.0f64;
+    let mut workers = 1usize;
+    while workers <= max_workers.min(32) {
+        let mut config = engine_config(ExecutionMode::CpuOnly, DEFAULT_TASK_SIZE);
+        config.worker_threads = workers;
+        let m = run_single("PROJ6", config, synthetic::proj(6, 4, w), &data).expect("proj run");
+        if workers == 1 {
+            base = m.gb_per_second();
+        }
+        report.add_row(vec![
+            workers.to_string(),
+            fmt(m.gb_per_second()),
+            fmt(m.gb_per_second() / base.max(1e-9)),
+        ]);
+        workers *= 2;
+    }
+    report.finish();
+    println!("expected shape: near-linear scaling up to the physical core count, then a plateau");
+}

@@ -1,0 +1,78 @@
+//! Figure 15: the effect of the scheduling policy — FCFS vs Static vs HLS —
+//! on the two-query workloads W1 (PROJ6* + AGGcnt GROUP-BY1) and W2
+//! (PROJ1 + AGGsum).
+
+use saber_bench::{bench_workers, engine_config, fmt, measure_duration, Report, DEFAULT_TASK_SIZE};
+use saber_engine::{ExecutionMode, Processor, Saber, SchedulingPolicyKind};
+use saber_query::{AggregateFunction, Query};
+use saber_workloads::synthetic;
+use std::collections::HashMap;
+use std::time::Instant;
+
+/// Runs a two-query workload under one scheduling policy, ingesting into both
+/// queries alternately, and returns the aggregate throughput in GB/s.
+fn run_workload(policy: SchedulingPolicyKind, queries: [Query; 2]) -> f64 {
+    let schema = synthetic::schema();
+    let data = synthetic::generate(&schema, 512 * 1024, 41);
+    let mut config = engine_config(ExecutionMode::Hybrid, DEFAULT_TASK_SIZE);
+    config.scheduling = policy;
+    config.worker_threads = bench_workers();
+    let mut engine = Saber::with_config(config).expect("engine");
+    for q in queries {
+        engine.add_query_with_options(q, false).expect("query");
+    }
+    engine.start().expect("start");
+    let chunk = 32 * 1024 * synthetic::TUPLE_SIZE;
+    let bytes = data.bytes();
+    let duration = measure_duration();
+    let started = Instant::now();
+    let mut offset = 0usize;
+    let mut ingested = 0u64;
+    while started.elapsed() < duration {
+        let end = (offset + chunk).min(bytes.len());
+        for q in 0..2 {
+            engine.ingest(q, 0, &bytes[offset..end]).expect("ingest");
+            ingested += (end - offset) as u64;
+        }
+        offset = if end >= bytes.len() { 0 } else { end };
+    }
+    engine.stop().expect("stop");
+    ingested as f64 / started.elapsed().as_secs_f64() / 1e9
+}
+
+fn main() {
+    let w = synthetic::window_bytes(32 * 1024, 32 * 1024);
+    let w_slide = synthetic::window_bytes(32 * 1024, 16 * 1024);
+
+    let mut report = Report::new(
+        "fig15_scheduling",
+        "Fig. 15 — FCFS vs Static vs HLS on workloads W1 and W2 (GB/s)",
+        &["workload", "policy", "gb_per_s"],
+    );
+
+    // W1: Q1 = PROJ6* (compute heavy, prefers the accelerator),
+    //     Q2 = AGGcnt GROUP-BY1 (prefers the CPU).
+    // W2: Q3 = PROJ1, Q4 = AGGsum (both simple).
+    let workloads: Vec<(&str, [Query; 2])> = vec![
+        ("W1", [synthetic::proj(6, 100, w), synthetic::group_by(1, w_slide)]),
+        ("W2", [synthetic::proj(1, 0, w), synthetic::agg(AggregateFunction::Sum, w)]),
+    ];
+
+    for (workload, queries) in workloads {
+        // Static: Q1 → GPGPU, Q2 → CPU (the assignment the paper describes).
+        let mut assignment = HashMap::new();
+        assignment.insert(0usize, Processor::Gpu);
+        assignment.insert(1usize, Processor::Cpu);
+        let policies = [
+            ("FCFS", SchedulingPolicyKind::Fcfs),
+            ("Static", SchedulingPolicyKind::Static { assignment }),
+            ("HLS", SchedulingPolicyKind::Hls { switch_threshold: 16 }),
+        ];
+        for (name, policy) in policies {
+            let gbps = run_workload(policy, queries.clone());
+            report.add_row(vec![workload.into(), name.into(), fmt(gbps)]);
+        }
+    }
+    report.finish();
+    println!("expected shape: FCFS < Static < HLS on W1; HLS matches or beats Static on W2 by using both processors");
+}

@@ -1,0 +1,77 @@
+//! Figure 16: HLS adaptation to workload changes. A SELECT-500 query runs
+//! over the cluster-monitoring trace whose task-failure rate surges
+//! periodically; as the selectivity (and therefore the per-task cost) rises,
+//! HLS shifts tasks towards the accelerator, and shifts back when the surge
+//! ends. The harness reports, per time slice, the observed selectivity proxy
+//! and the share of tasks executed on the GPGPU.
+
+use saber_bench::{engine_config, fmt, Report, DEFAULT_TASK_SIZE};
+use saber_engine::{ExecutionMode, Saber};
+use saber_workloads::cluster;
+use std::sync::atomic::Ordering;
+use std::time::{Duration, Instant};
+
+fn main() {
+    let config = engine_config(ExecutionMode::Hybrid, DEFAULT_TASK_SIZE);
+    let mut engine = Saber::with_config(config).expect("engine");
+    engine
+        .add_query_with_options(cluster::select500_failures(), false)
+        .expect("query");
+    engine.start().expect("start");
+
+    // 30 "seconds" of trace with surges every 10s (3s long), replayed as fast
+    // as the engine accepts it; each slice is one second of application time.
+    let trace_config = cluster::TraceConfig {
+        events_per_second: 200_000,
+        surge_every: 10,
+        surge_duration: 3,
+        ..Default::default()
+    };
+    let slices = 30u64;
+    let rows_per_slice = trace_config.events_per_second as usize;
+
+    let mut report = Report::new(
+        "fig16_adaptation",
+        "Fig. 16 — HLS adaptation to selectivity surges (per time slice)",
+        &["slice_s", "failure_rate_pct", "gpgpu_task_share_pct", "slice_wall_ms"],
+    );
+
+    let stats = engine.query_stats(0).expect("stats");
+    let mut prev_cpu = 0u64;
+    let mut prev_gpu = 0u64;
+    let deadline = Instant::now() + Duration::from_secs(60);
+    for slice in 0..slices {
+        if Instant::now() > deadline {
+            break;
+        }
+        let data = cluster::generate(&trace_config, rows_per_slice, 100 + slice, (slice * 1000) as i64);
+        // Observed selectivity proxy: fraction of failure events in the slice.
+        let failures = data
+            .iter()
+            .filter(|t| t.get_i32(cluster::columns::EVENT_TYPE) == cluster::event_types::FAIL)
+            .count();
+        let slice_started = Instant::now();
+        engine.ingest(0, 0, data.bytes()).expect("ingest");
+        engine.drain(Duration::from_secs(10));
+        let cpu = stats.tasks_cpu.load(Ordering::Relaxed);
+        let gpu = stats.tasks_gpu.load(Ordering::Relaxed);
+        let d_cpu = cpu - prev_cpu;
+        let d_gpu = gpu - prev_gpu;
+        prev_cpu = cpu;
+        prev_gpu = gpu;
+        let share = if d_cpu + d_gpu == 0 {
+            0.0
+        } else {
+            d_gpu as f64 / (d_cpu + d_gpu) as f64
+        };
+        report.add_row(vec![
+            slice.to_string(),
+            fmt(100.0 * failures as f64 / rows_per_slice as f64),
+            fmt(share * 100.0),
+            fmt(slice_started.elapsed().as_secs_f64() * 1000.0),
+        ]);
+    }
+    engine.stop().expect("stop");
+    report.finish();
+    println!("expected shape: the GPGPU task share rises during surge slices (high failure rate) and falls back in calm slices");
+}

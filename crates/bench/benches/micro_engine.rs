@@ -1,0 +1,98 @@
+//! Criterion micro-benchmarks of the engine substrates: dispatcher task
+//! creation, HLS selection over a populated queue, circular-buffer inserts
+//! and group-table updates.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use saber_cpu::hashtable::GroupTable;
+use saber_cpu::plan::CompiledPlan;
+use saber_engine::circular::CircularBuffer;
+use saber_engine::dispatcher::Dispatcher;
+use saber_engine::queue::TaskQueue;
+use saber_engine::scheduler::{Processor, Scheduler};
+use saber_engine::{SchedulingPolicyKind, ThroughputMatrix};
+use saber_query::aggregate::AggregateFunction;
+use saber_workloads::synthetic;
+use std::sync::atomic::AtomicU64;
+use std::sync::Arc;
+use std::time::Duration;
+
+fn bench_engine(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine_substrates");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_millis(800));
+    group.warm_up_time(Duration::from_millis(200));
+
+    // Dispatcher: cutting 1 MB tasks out of a 16 MB ingest stream.
+    let schema = synthetic::schema();
+    let data = synthetic::generate(&schema, 512 * 1024, 3);
+    let w = synthetic::window_bytes(32 * 1024, 32 * 1024);
+    let query = synthetic::select(4, w);
+    let plan = Arc::new(CompiledPlan::compile(&query).unwrap());
+    group.throughput(Throughput::Bytes(data.byte_len() as u64));
+    group.bench_function("dispatcher_1mb_tasks", |b| {
+        b.iter(|| {
+            let mut d = Dispatcher::new(plan.clone(), 1 << 20, 64 << 20, Arc::new(AtomicU64::new(0)));
+            let mut tasks = 0usize;
+            for chunk in data.bytes().chunks(256 * 1024) {
+                tasks += d.ingest(0, chunk).unwrap().len();
+            }
+            tasks
+        })
+    });
+
+    // HLS selection over a queue of 64 tasks from 4 queries.
+    group.throughput(Throughput::Elements(1));
+    group.bench_function("hls_select_from_64_tasks", |b| {
+        let matrix = Arc::new(ThroughputMatrix::new(0.5, 8));
+        for q in 0..4 {
+            matrix.record(q, Processor::Cpu, Duration::from_micros(500 + 100 * q as u64));
+            matrix.record(q, Processor::Gpu, Duration::from_micros(900 - 150 * q as u64));
+        }
+        let scheduler = Scheduler::new(SchedulingPolicyKind::default(), matrix);
+        let queue = TaskQueue::new();
+        let mut d = Dispatcher::new(plan.clone(), 64 * 1024, 64 << 20, Arc::new(AtomicU64::new(0)));
+        for chunk in data.bytes().chunks(64 * 1024).take(64) {
+            for t in d.ingest(0, chunk).unwrap() {
+                queue.push(t);
+            }
+        }
+        b.iter(|| {
+            // Select and re-insert so the queue stays populated.
+            if let Some(task) = scheduler.next_task(&queue, Processor::Cpu, Duration::from_millis(1)) {
+                queue.push(task);
+            }
+        })
+    });
+
+    // Circular buffer insert/release cycle.
+    group.throughput(Throughput::Bytes(64 * 1024));
+    group.bench_function("circular_buffer_64kb_roundtrip", |b| {
+        let mut buf = CircularBuffer::new(8 << 20);
+        let chunk = vec![7u8; 64 * 1024];
+        b.iter(|| {
+            buf.insert(&chunk).unwrap();
+            let head = buf.head();
+            buf.release_until(head);
+            head
+        })
+    });
+
+    // Group-table updates (the GROUP-BY hot loop).
+    group.throughput(Throughput::Elements(10_000));
+    group.bench_function("group_table_10k_updates", |b| {
+        b.iter(|| {
+            let mut t = GroupTable::new(&[AggregateFunction::Sum, AggregateFunction::Count]);
+            for i in 0..10_000i64 {
+                let states = t.entry(&[i % 64]);
+                states[0].update(i as f64);
+                states[1].update(1.0);
+            }
+            t.len()
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_engine);
+criterion_main!(benches);

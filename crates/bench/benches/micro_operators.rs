@@ -1,0 +1,50 @@
+//! Criterion micro-benchmarks of the operator implementations: the CPU batch
+//! operator functions and the accelerator kernels over one 1 MB task.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use saber_cpu::exec::StreamBatch;
+use saber_cpu::plan::CompiledPlan;
+use saber_cpu::CpuExecutor;
+use saber_gpu::device::{DeviceConfig, GpuDevice};
+use saber_query::AggregateFunction;
+use saber_workloads::synthetic;
+use std::time::Duration;
+
+fn one_task(rows: usize) -> StreamBatch {
+    let schema = synthetic::schema();
+    StreamBatch::new(synthetic::generate(&schema, rows, 5), 0, 0)
+}
+
+fn bench_operators(c: &mut Criterion) {
+    let rows = 32 * 1024; // 1 MB task
+    let batch = one_task(rows);
+    let w = synthetic::window_bytes(32 * 1024, 32 * 1024);
+    let executor = CpuExecutor::new();
+    let device = GpuDevice::new(DeviceConfig::unpaced());
+
+    let mut group = c.benchmark_group("operators_1mb_task");
+    group.throughput(Throughput::Bytes((rows * synthetic::TUPLE_SIZE) as u64));
+    group.sample_size(10);
+    group.measurement_time(Duration::from_millis(800));
+    group.warm_up_time(Duration::from_millis(200));
+
+    let cases = [
+        ("selection16", synthetic::select(16, w)),
+        ("projection4", synthetic::proj(4, 8, w)),
+        ("agg_avg", synthetic::agg(AggregateFunction::Avg, w)),
+        ("group_by64", synthetic::group_by(64, w)),
+    ];
+    for (name, query) in cases {
+        let plan = CompiledPlan::compile(&query).unwrap();
+        group.bench_function(format!("cpu_{name}"), |b| {
+            b.iter(|| executor.execute(&plan, std::slice::from_ref(&batch)).unwrap())
+        });
+        group.bench_function(format!("gpu_kernel_{name}"), |b| {
+            b.iter(|| device.execute_kernels(&plan, std::slice::from_ref(&batch)).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_operators);
+criterion_main!(benches);

@@ -1,0 +1,181 @@
+//! Shared execution types: stream batches, pane partials and task outputs.
+//!
+//! These types are produced and consumed by both the CPU operator
+//! implementations and the simulated accelerator, and by the engine's result
+//! stage.
+
+use crate::hashtable::GroupTable;
+use saber_types::{RowBuffer, Timestamp};
+
+/// A stream batch handed to a query task (paper §3): a finite sequence of
+/// tuples plus enough positional information to compute window boundaries
+/// *inside* the task (deferred window computation, §4.1).
+#[derive(Debug, Clone)]
+pub struct StreamBatch {
+    /// The rows of the batch. For join tasks this may include a *lookback*
+    /// prefix of rows that precede the batch proper (needed to match new
+    /// tuples against the tail of the other stream's window).
+    pub rows: RowBuffer,
+    /// Absolute index (in tuples, counted from the start of the stream) of
+    /// row `lookback_rows` — i.e. of the first *new* row of the batch.
+    pub start_index: u64,
+    /// Number of leading rows that are lookback context rather than new data.
+    pub lookback_rows: usize,
+    /// Timestamp of the first new row (used by time-based windows).
+    pub start_timestamp: Timestamp,
+}
+
+impl StreamBatch {
+    /// Creates a batch with no lookback rows.
+    pub fn new(rows: RowBuffer, start_index: u64, start_timestamp: Timestamp) -> Self {
+        Self {
+            rows,
+            start_index,
+            lookback_rows: 0,
+            start_timestamp,
+        }
+    }
+
+    /// Creates a batch whose first `lookback_rows` rows are context only.
+    pub fn with_lookback(
+        rows: RowBuffer,
+        start_index: u64,
+        start_timestamp: Timestamp,
+        lookback_rows: usize,
+    ) -> Self {
+        Self {
+            rows,
+            start_index,
+            lookback_rows,
+            start_timestamp,
+        }
+    }
+
+    /// Number of *new* rows (excluding lookback context).
+    pub fn new_rows(&self) -> usize {
+        self.rows.len() - self.lookback_rows
+    }
+
+    /// Absolute index one past the last new row.
+    pub fn end_index(&self) -> u64 {
+        self.start_index + self.new_rows() as u64
+    }
+
+    /// Timestamp of the last new row, or `start_timestamp` if empty.
+    pub fn end_timestamp(&self) -> Timestamp {
+        if self.new_rows() == 0 {
+            self.start_timestamp
+        } else {
+            self.rows.row(self.rows.len() - 1).timestamp()
+        }
+    }
+
+    /// Payload size of the new rows in bytes.
+    pub fn new_bytes(&self) -> usize {
+        self.new_rows() * self.rows.schema().row_size()
+    }
+}
+
+/// The partial aggregation state contributed by one task to one pane
+/// (paper §2.1/§5.3: windows are concatenations of panes; overlapping
+/// windows are assembled from per-pane partials).
+#[derive(Debug, Clone)]
+pub struct PanePartial {
+    /// Pane sequence number (pane `p` covers positions
+    /// `[p * pane_length, (p+1) * pane_length)` in tuples or time units).
+    pub pane: u64,
+    /// Per-group partial aggregate states for the rows of this task that
+    /// fall into the pane.
+    pub table: GroupTable,
+}
+
+/// The result of evaluating the batch operator function over one task.
+#[derive(Debug, Clone)]
+pub enum TaskOutput {
+    /// Output rows ready to be appended to the output stream in task order
+    /// (stateless pipelines and joins).
+    Rows(RowBuffer),
+    /// Window-fragment results of an aggregation: per-pane partial states
+    /// plus the positions up to which the task has seen the stream, so the
+    /// result stage knows which windows can be finalised.
+    Fragments {
+        /// Per-pane partial aggregation state.
+        panes: Vec<PanePartial>,
+        /// Absolute position (tuples for count windows, time units for time
+        /// windows) one past the last position covered by this task.
+        progress: u64,
+    },
+}
+
+impl TaskOutput {
+    /// Number of directly emitted rows (0 for fragment outputs).
+    pub fn row_count(&self) -> usize {
+        match self {
+            TaskOutput::Rows(buf) => buf.len(),
+            TaskOutput::Fragments { .. } => 0,
+        }
+    }
+
+    /// Payload bytes of directly emitted rows.
+    pub fn byte_len(&self) -> usize {
+        match self {
+            TaskOutput::Rows(buf) => buf.byte_len(),
+            TaskOutput::Fragments { .. } => 0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use saber_types::{DataType, Schema, Value};
+
+    fn rows(n: usize) -> RowBuffer {
+        let schema = Schema::from_pairs(&[("ts", DataType::Timestamp), ("v", DataType::Int)])
+            .unwrap()
+            .into_ref();
+        let mut buf = RowBuffer::new(schema);
+        for i in 0..n {
+            buf.push_values(&[Value::Timestamp(i as i64 * 10), Value::Int(i as i32)])
+                .unwrap();
+        }
+        buf
+    }
+
+    #[test]
+    fn batch_positions_without_lookback() {
+        let b = StreamBatch::new(rows(5), 100, 1000);
+        assert_eq!(b.new_rows(), 5);
+        assert_eq!(b.end_index(), 105);
+        assert_eq!(b.end_timestamp(), 40);
+        assert_eq!(b.new_bytes(), 5 * 12);
+    }
+
+    #[test]
+    fn batch_positions_with_lookback() {
+        let b = StreamBatch::with_lookback(rows(8), 50, 30, 3);
+        assert_eq!(b.new_rows(), 5);
+        assert_eq!(b.end_index(), 55);
+        assert_eq!(b.rows.len(), 8);
+    }
+
+    #[test]
+    fn empty_batch_end_timestamp_falls_back() {
+        let b = StreamBatch::new(rows(0), 7, 123);
+        assert_eq!(b.new_rows(), 0);
+        assert_eq!(b.end_timestamp(), 123);
+    }
+
+    #[test]
+    fn task_output_row_counts() {
+        let out = TaskOutput::Rows(rows(3));
+        assert_eq!(out.row_count(), 3);
+        assert_eq!(out.byte_len(), 36);
+        let frag = TaskOutput::Fragments {
+            panes: vec![],
+            progress: 10,
+        };
+        assert_eq!(frag.row_count(), 0);
+        assert_eq!(frag.byte_len(), 0);
+    }
+}

@@ -1,0 +1,326 @@
+//! Open-addressing group-by hash table.
+//!
+//! The paper keeps GROUP-BY state in statically allocated, open-addressing
+//! hash tables backed by byte arrays (§5.3/§5.4) so that aggregation never
+//! allocates on the critical path and so that CPU and GPGPU use the same
+//! table layout. [`GroupTable`] reproduces that design in safe Rust: linear
+//! probing over a power-of-two slot array, group keys stored inline, one
+//! [`AggState`] per aggregate per group.
+
+use saber_query::aggregate::{AggState, AggregateFunction};
+
+/// FNV-1a hash over the raw 64-bit group key parts (a cheap, deterministic
+/// hash that both the CPU path and the simulated accelerator share, mirroring
+/// the paper's requirement that CPU and GPGPU hash tables are compatible).
+#[inline]
+pub fn hash_keys(keys: &[i64]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for k in keys {
+        for b in k.to_le_bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+    h
+}
+
+/// One occupied slot of the table.
+#[derive(Debug, Clone)]
+struct Entry {
+    hash: u64,
+    keys: Vec<i64>,
+    states: Vec<AggState>,
+}
+
+/// An open-addressing (linear probing) hash table from group keys to partial
+/// aggregate states.
+#[derive(Debug, Clone)]
+pub struct GroupTable {
+    slots: Vec<Option<Entry>>,
+    len: usize,
+    num_aggregates: usize,
+    distinct: Vec<bool>,
+}
+
+impl GroupTable {
+    /// Default initial capacity (slots).
+    const DEFAULT_CAPACITY: usize = 64;
+    /// Maximum load factor before resizing.
+    const MAX_LOAD_NUM: usize = 7;
+    const MAX_LOAD_DEN: usize = 10;
+
+    /// Creates a table for `functions.len()` aggregates per group.
+    pub fn new(functions: &[AggregateFunction]) -> Self {
+        Self::with_capacity(functions, Self::DEFAULT_CAPACITY)
+    }
+
+    /// Creates a table with at least `capacity` slots.
+    pub fn with_capacity(functions: &[AggregateFunction], capacity: usize) -> Self {
+        let cap = capacity.next_power_of_two().max(8);
+        Self {
+            slots: vec![None; cap],
+            len: 0,
+            num_aggregates: functions.len(),
+            distinct: functions
+                .iter()
+                .map(|f| matches!(f, AggregateFunction::CountDistinct))
+                .collect(),
+        }
+    }
+
+    /// Number of distinct groups currently stored.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True if no group has been inserted.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Number of aggregates tracked per group.
+    pub fn num_aggregates(&self) -> usize {
+        self.num_aggregates
+    }
+
+    /// Removes all groups, keeping the allocation (object pooling, §5.1).
+    pub fn clear(&mut self) {
+        for slot in &mut self.slots {
+            *slot = None;
+        }
+        self.len = 0;
+    }
+
+    fn fresh_states(&self) -> Vec<AggState> {
+        (0..self.num_aggregates)
+            .map(|i| {
+                if self.distinct[i] {
+                    AggState::new_distinct()
+                } else {
+                    AggState::new()
+                }
+            })
+            .collect()
+    }
+
+    fn grow(&mut self) {
+        let new_cap = self.slots.len() * 2;
+        let old = std::mem::replace(&mut self.slots, vec![None; new_cap]);
+        self.len = 0;
+        for entry in old.into_iter().flatten() {
+            self.insert_entry(entry);
+        }
+    }
+
+    fn insert_entry(&mut self, entry: Entry) {
+        let mask = self.slots.len() - 1;
+        let mut idx = (entry.hash as usize) & mask;
+        loop {
+            if self.slots[idx].is_none() {
+                self.slots[idx] = Some(entry);
+                self.len += 1;
+                return;
+            }
+            idx = (idx + 1) & mask;
+        }
+    }
+
+    /// Returns a mutable reference to the per-aggregate states of `keys`,
+    /// creating the group if needed.
+    pub fn entry(&mut self, keys: &[i64]) -> &mut [AggState] {
+        if (self.len + 1) * Self::MAX_LOAD_DEN >= self.slots.len() * Self::MAX_LOAD_NUM {
+            self.grow();
+        }
+        let hash = hash_keys(keys);
+        let mask = self.slots.len() - 1;
+        let mut idx = (hash as usize) & mask;
+        loop {
+            match &self.slots[idx] {
+                Some(e) if e.hash == hash && e.keys == keys => break,
+                Some(_) => idx = (idx + 1) & mask,
+                None => {
+                    let entry = Entry {
+                        hash,
+                        keys: keys.to_vec(),
+                        states: self.fresh_states(),
+                    };
+                    self.slots[idx] = Some(entry);
+                    self.len += 1;
+                    break;
+                }
+            }
+        }
+        self.slots[idx].as_mut().unwrap().states.as_mut_slice()
+    }
+
+    /// Looks up the states of `keys` without inserting.
+    pub fn get(&self, keys: &[i64]) -> Option<&[AggState]> {
+        let hash = hash_keys(keys);
+        let mask = self.slots.len() - 1;
+        let mut idx = (hash as usize) & mask;
+        let mut probed = 0;
+        while probed < self.slots.len() {
+            match &self.slots[idx] {
+                Some(e) if e.hash == hash && e.keys == keys => return Some(&e.states),
+                Some(_) => {
+                    idx = (idx + 1) & mask;
+                    probed += 1;
+                }
+                None => return None,
+            }
+        }
+        None
+    }
+
+    /// Iterates over `(group keys, states)` pairs in unspecified order.
+    pub fn iter(&self) -> impl Iterator<Item = (&[i64], &[AggState])> {
+        self.slots
+            .iter()
+            .filter_map(|s| s.as_ref().map(|e| (e.keys.as_slice(), e.states.as_slice())))
+    }
+
+    /// Merges another table into this one (the assembly operator function
+    /// for GROUP-BY aggregation: per-group state merge).
+    pub fn merge(&mut self, other: &GroupTable) {
+        debug_assert_eq!(self.num_aggregates, other.num_aggregates);
+        for (keys, states) in other.iter() {
+            let mine = self.entry(keys);
+            for (m, o) in mine.iter_mut().zip(states.iter()) {
+                m.merge(o);
+            }
+        }
+    }
+
+    /// Sorted snapshot of the table (tests and deterministic output).
+    pub fn sorted_groups(&self) -> Vec<(Vec<i64>, Vec<AggState>)> {
+        let mut v: Vec<(Vec<i64>, Vec<AggState>)> = self
+            .iter()
+            .map(|(k, s)| (k.to_vec(), s.to_vec()))
+            .collect();
+        v.sort_by(|a, b| a.0.cmp(&b.0));
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sum_count() -> Vec<AggregateFunction> {
+        vec![AggregateFunction::Sum, AggregateFunction::Count]
+    }
+
+    #[test]
+    fn insert_and_lookup_single_group() {
+        let mut t = GroupTable::new(&sum_count());
+        t.entry(&[7])[0].update(2.0);
+        t.entry(&[7])[0].update(3.0);
+        t.entry(&[7])[1].update(1.0);
+        assert_eq!(t.len(), 1);
+        let states = t.get(&[7]).unwrap();
+        assert_eq!(states[0].sum, 5.0);
+        assert_eq!(states[1].count, 1);
+        assert!(t.get(&[8]).is_none());
+    }
+
+    #[test]
+    fn many_groups_with_growth() {
+        let mut t = GroupTable::with_capacity(&sum_count(), 8);
+        for g in 0..1000i64 {
+            for _ in 0..3 {
+                t.entry(&[g])[0].update(g as f64);
+            }
+        }
+        assert_eq!(t.len(), 1000);
+        for g in (0..1000i64).step_by(97) {
+            let s = t.get(&[g]).unwrap();
+            assert_eq!(s[0].sum, 3.0 * g as f64);
+            assert_eq!(s[0].count, 3);
+        }
+    }
+
+    #[test]
+    fn composite_keys_are_distinguished() {
+        let mut t = GroupTable::new(&sum_count());
+        t.entry(&[1, 2])[0].update(1.0);
+        t.entry(&[2, 1])[0].update(10.0);
+        t.entry(&[1, 2])[0].update(1.0);
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.get(&[1, 2]).unwrap()[0].sum, 2.0);
+        assert_eq!(t.get(&[2, 1]).unwrap()[0].sum, 10.0);
+    }
+
+    #[test]
+    fn merge_combines_group_states() {
+        let mut a = GroupTable::new(&sum_count());
+        let mut b = GroupTable::new(&sum_count());
+        a.entry(&[1])[0].update(1.0);
+        a.entry(&[2])[0].update(2.0);
+        b.entry(&[2])[0].update(3.0);
+        b.entry(&[3])[0].update(4.0);
+        a.merge(&b);
+        assert_eq!(a.len(), 3);
+        assert_eq!(a.get(&[2]).unwrap()[0].sum, 5.0);
+        assert_eq!(a.get(&[3]).unwrap()[0].sum, 4.0);
+    }
+
+    #[test]
+    fn merge_matches_single_table_reference() {
+        // Property: splitting updates across two tables and merging gives the
+        // same result as applying all updates to one table.
+        let updates: Vec<(i64, f64)> = (0..500).map(|i| ((i % 37) as i64, i as f64 * 0.25)).collect();
+        let mut whole = GroupTable::new(&sum_count());
+        for (k, v) in &updates {
+            whole.entry(&[*k])[0].update(*v);
+            whole.entry(&[*k])[1].update(*v);
+        }
+        let mut left = GroupTable::new(&sum_count());
+        let mut right = GroupTable::new(&sum_count());
+        for (i, (k, v)) in updates.iter().enumerate() {
+            let t = if i % 2 == 0 { &mut left } else { &mut right };
+            t.entry(&[*k])[0].update(*v);
+            t.entry(&[*k])[1].update(*v);
+        }
+        left.merge(&right);
+        let a = whole.sorted_groups();
+        let b = left.sorted_groups();
+        assert_eq!(a.len(), b.len());
+        for ((ka, sa), (kb, sb)) in a.iter().zip(b.iter()) {
+            assert_eq!(ka, kb);
+            assert!((sa[0].sum - sb[0].sum).abs() < 1e-9);
+            assert_eq!(sa[1].count, sb[1].count);
+        }
+    }
+
+    #[test]
+    fn distinct_states_are_created_for_count_distinct() {
+        let mut t = GroupTable::new(&[AggregateFunction::CountDistinct]);
+        t.entry(&[1])[0].update_distinct(5);
+        t.entry(&[1])[0].update_distinct(5);
+        t.entry(&[1])[0].update_distinct(6);
+        assert_eq!(
+            t.get(&[1]).unwrap()[0].finalize(AggregateFunction::CountDistinct),
+            2.0
+        );
+    }
+
+    #[test]
+    fn clear_retains_capacity_and_empties_table() {
+        let mut t = GroupTable::with_capacity(&sum_count(), 8);
+        for g in 0..100i64 {
+            t.entry(&[g])[0].update(1.0);
+        }
+        let cap = t.slots.len();
+        t.clear();
+        assert!(t.is_empty());
+        assert_eq!(t.slots.len(), cap);
+        assert!(t.get(&[5]).is_none());
+    }
+
+    #[test]
+    fn hash_is_deterministic_and_key_sensitive() {
+        assert_eq!(hash_keys(&[1, 2, 3]), hash_keys(&[1, 2, 3]));
+        assert_ne!(hash_keys(&[1, 2, 3]), hash_keys(&[3, 2, 1]));
+        assert_ne!(hash_keys(&[0]), hash_keys(&[1]));
+    }
+}

@@ -1,0 +1,166 @@
+//! Stateless pipelines: projection and selection (paper §5.3).
+//!
+//! "Projection and selection operators are both stateless, and their batch
+//! operator function is thus a single scan over the stream batch". The
+//! compiled [`StatelessPlan`] holds one combined filter and one list of
+//! output expressions, so this module is exactly that scan. When the
+//! projection is the identity, selected rows are forwarded byte-for-byte
+//! (direct byte forwarding, §5.1).
+
+use crate::exec::{StreamBatch, TaskOutput};
+use crate::plan::{CompiledPlan, StatelessPlan};
+use saber_types::{Result, RowBuffer};
+
+/// Evaluates a stateless plan over one stream batch.
+pub fn execute(plan: &CompiledPlan, stateless: &StatelessPlan, batch: &StreamBatch) -> Result<TaskOutput> {
+    let mut out = RowBuffer::with_capacity(plan.output_schema().clone(), batch.new_rows());
+    let rows = &batch.rows;
+    for i in batch.lookback_rows..rows.len() {
+        let tuple = rows.row(i);
+        if let Some(filter) = &stateless.filter {
+            if !filter.eval_bool(&tuple) {
+                continue;
+            }
+        }
+        match &stateless.projection {
+            None => {
+                // Identity projection: forward the raw bytes.
+                out.push_bytes(tuple.bytes())?;
+            }
+            Some(exprs) => {
+                let mut row = out.push_uninit();
+                for (col, (expr, _ty)) in exprs.iter().enumerate() {
+                    row.set_numeric(col, expr.eval(&tuple));
+                }
+            }
+        }
+    }
+    Ok(TaskOutput::Rows(out))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::PlanKind;
+    use saber_query::{Expr, QueryBuilder};
+    use saber_types::{DataType, Schema, Value};
+
+    fn schema() -> saber_types::schema::SchemaRef {
+        Schema::from_pairs(&[
+            ("timestamp", DataType::Timestamp),
+            ("value", DataType::Float),
+            ("key", DataType::Int),
+        ])
+        .unwrap()
+        .into_ref()
+    }
+
+    fn batch(n: usize) -> StreamBatch {
+        let mut rows = RowBuffer::new(schema());
+        for i in 0..n {
+            rows.push_values(&[
+                Value::Timestamp(i as i64),
+                Value::Float(i as f32 / n as f32),
+                Value::Int((i % 10) as i32),
+            ])
+            .unwrap();
+        }
+        StreamBatch::new(rows, 0, 0)
+    }
+
+    fn run(query: saber_query::Query, batch: &StreamBatch) -> RowBuffer {
+        let plan = CompiledPlan::compile(&query).unwrap();
+        let stateless = match plan.kind() {
+            PlanKind::Stateless(s) => s.clone(),
+            _ => panic!("expected stateless plan"),
+        };
+        match execute(&plan, &stateless, batch).unwrap() {
+            TaskOutput::Rows(r) => r,
+            _ => panic!("expected rows"),
+        }
+    }
+
+    #[test]
+    fn selection_filters_rows_and_forwards_bytes() {
+        let q = QueryBuilder::new("sel", schema())
+            .count_window(16, 16)
+            .select(Expr::column(1).ge(Expr::literal(0.5)))
+            .build()
+            .unwrap();
+        let b = batch(100);
+        let out = run(q, &b);
+        assert_eq!(out.len(), 50);
+        // Output schema identical to input, bytes forwarded unchanged.
+        assert_eq!(out.schema().row_size(), b.rows.schema().row_size());
+        assert_eq!(out.row(0).timestamp(), 50);
+    }
+
+    #[test]
+    fn projection_computes_expressions() {
+        let q = QueryBuilder::new("proj", schema())
+            .count_window(16, 16)
+            .project(vec![
+                (Expr::column(0), "timestamp"),
+                (Expr::column(1).mul(Expr::literal(10.0)), "v10"),
+            ])
+            .build()
+            .unwrap();
+        let b = batch(10);
+        let out = run(q, &b);
+        assert_eq!(out.len(), 10);
+        assert_eq!(out.schema().len(), 2);
+        assert!((out.row(5).get_f32(1) - 5.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn projection_and_selection_compose() {
+        let q = QueryBuilder::new("ps", schema())
+            .count_window(16, 16)
+            .project(vec![
+                (Expr::column(0), "timestamp"),
+                (Expr::column(2), "key"),
+            ])
+            .select(Expr::column(1).eq(Expr::literal(3.0)))
+            .build()
+            .unwrap();
+        let b = batch(100);
+        let out = run(q, &b);
+        assert_eq!(out.len(), 10);
+        for t in out.iter() {
+            assert_eq!(t.get_i32(1), 3);
+        }
+    }
+
+    #[test]
+    fn lookback_rows_are_not_emitted() {
+        let q = QueryBuilder::new("sel", schema())
+            .count_window(16, 16)
+            .select(Expr::literal(1.0))
+            .build()
+            .unwrap();
+        let plan = CompiledPlan::compile(&q).unwrap();
+        let stateless = match plan.kind() {
+            PlanKind::Stateless(s) => s.clone(),
+            _ => unreachable!(),
+        };
+        let mut b = batch(10);
+        b.lookback_rows = 4;
+        let out = match execute(&plan, &stateless, &b).unwrap() {
+            TaskOutput::Rows(r) => r,
+            _ => unreachable!(),
+        };
+        assert_eq!(out.len(), 6);
+        assert_eq!(out.row(0).timestamp(), 4);
+    }
+
+    #[test]
+    fn empty_batch_produces_empty_output() {
+        let q = QueryBuilder::new("sel", schema())
+            .count_window(16, 16)
+            .select(Expr::literal(1.0))
+            .build()
+            .unwrap();
+        let out = run(q, &batch(0));
+        assert!(out.is_empty());
+    }
+}

@@ -1,0 +1,310 @@
+//! Window-aware aggregation: the batch operator function `f_b` (paper §3, §5.3).
+//!
+//! The stream batch of a query task is partitioned into *panes* — the
+//! distinct subsequences from which overlapping windows are assembled. For
+//! each pane touched by the batch, the batch operator function produces a
+//! partial aggregation state ([`PanePartial`]) per GROUP-BY group. Because a
+//! pane may straddle a batch boundary, these are *fragments*: the result
+//! stage merges partials for the same pane across consecutive tasks and
+//! assembles complete window results (see [`crate::assembler`]).
+//!
+//! This pane-based formulation is the incremental-computation optimisation of
+//! the paper: every input tuple is folded into exactly one pane state, and
+//! overlapping windows reuse the pane states instead of re-aggregating the
+//! raw tuples.
+
+use crate::exec::{PanePartial, StreamBatch, TaskOutput};
+use crate::hashtable::GroupTable;
+use crate::plan::{AggregationPlan, CompiledPlan};
+use saber_query::aggregate::AggregateFunction;
+use saber_query::Expr;
+use saber_types::{Result, TupleRef};
+
+/// Computes the pane a position belongs to.
+#[inline]
+pub fn pane_of(position: u64, pane_length: u64) -> u64 {
+    position / pane_length.max(1)
+}
+
+/// Extracts the group key parts of a tuple under the plan's group
+/// expressions. Column references use the exact raw key (bit pattern for
+/// floats); computed expressions fall back to the numeric value's bits.
+#[inline]
+fn group_keys(tuple: &TupleRef<'_>, group_exprs: &[Expr], out: &mut Vec<i64>) {
+    out.clear();
+    for e in group_exprs {
+        let key = match e {
+            Expr::Column(c) => tuple.get_key(*c),
+            other => other.eval(tuple).to_bits() as i64,
+        };
+        out.push(key);
+    }
+}
+
+/// Evaluates the aggregation batch operator function over one stream batch,
+/// producing per-pane window-fragment partials.
+pub fn execute(plan: &CompiledPlan, agg: &AggregationPlan, batch: &StreamBatch) -> Result<TaskOutput> {
+    let functions = agg.functions();
+    let rows = &batch.rows;
+    let count_based = agg.window.is_count_based();
+    let pane_length = agg.pane_length.max(1);
+
+    let mut panes: Vec<PanePartial> = Vec::new();
+    let mut keys: Vec<i64> = Vec::with_capacity(agg.group_exprs.len());
+
+    for i in batch.lookback_rows..rows.len() {
+        let tuple = rows.row(i);
+        if let Some(filter) = &agg.filter {
+            if !filter.eval_bool(&tuple) {
+                continue;
+            }
+        }
+        // Deferred window computation: the pane (and therefore every window)
+        // this tuple belongs to is derived here, inside the parallel task,
+        // from the batch's absolute position.
+        let position = if count_based {
+            batch.start_index + (i - batch.lookback_rows) as u64
+        } else {
+            tuple.timestamp().max(0) as u64
+        };
+        let pane = pane_of(position, pane_length);
+
+        // Rows arrive in position order, so the pane sequence is
+        // non-decreasing; reuse the last pane partial when possible.
+        let need_new = match panes.last() {
+            Some(last) => last.pane != pane,
+            None => true,
+        };
+        if need_new {
+            panes.push(PanePartial {
+                pane,
+                table: GroupTable::new(&functions),
+            });
+        }
+        let table = &mut panes.last_mut().unwrap().table;
+
+        group_keys(&tuple, &agg.group_exprs, &mut keys);
+        let states = table.entry(&keys);
+        for (slot, (function, input)) in states.iter_mut().zip(agg.aggregates.iter()) {
+            match function {
+                AggregateFunction::Count => slot.update(1.0),
+                AggregateFunction::CountDistinct => {
+                    let key = match input {
+                        Some(Expr::Column(c)) => tuple.get_key(*c),
+                        Some(e) => e.eval(&tuple).to_bits() as i64,
+                        None => 0,
+                    };
+                    slot.update_distinct(key);
+                }
+                _ => {
+                    let v = input.as_ref().map(|e| e.eval(&tuple)).unwrap_or(0.0);
+                    slot.update(v);
+                }
+            }
+        }
+    }
+
+    // Progress: every position strictly below this value has been observed by
+    // this or an earlier task, so windows ending at or before it can be
+    // finalised by the result stage.
+    let progress = if count_based {
+        batch.end_index()
+    } else {
+        batch.end_timestamp().max(0) as u64
+    };
+
+    let _ = plan;
+    Ok(TaskOutput::Fragments { panes, progress })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::PlanKind;
+    use saber_query::{AggregateFunction, Expr, QueryBuilder, WindowSpec};
+    use saber_types::{DataType, RowBuffer, Schema, Value};
+
+    fn schema() -> saber_types::schema::SchemaRef {
+        Schema::from_pairs(&[
+            ("timestamp", DataType::Timestamp),
+            ("value", DataType::Float),
+            ("key", DataType::Int),
+        ])
+        .unwrap()
+        .into_ref()
+    }
+
+    fn batch(n: usize, start_index: u64) -> StreamBatch {
+        let mut rows = RowBuffer::new(schema());
+        for i in 0..n {
+            let abs = start_index + i as u64;
+            rows.push_values(&[
+                Value::Timestamp(abs as i64),
+                Value::Float(1.0),
+                Value::Int((abs % 4) as i32),
+            ])
+            .unwrap();
+        }
+        StreamBatch::new(rows, start_index, start_index as i64)
+    }
+
+    fn compile(window: WindowSpec, grouped: bool) -> (CompiledPlan, AggregationPlan) {
+        let mut b = QueryBuilder::new("agg", schema())
+            .window(window)
+            .aggregate(AggregateFunction::Sum, 1)
+            .aggregate_count();
+        if grouped {
+            b = b.group_by(vec![2]);
+        }
+        let q = b.build().unwrap();
+        let plan = CompiledPlan::compile(&q).unwrap();
+        let agg = match plan.kind() {
+            PlanKind::Aggregation(a) => a.clone(),
+            _ => panic!("expected aggregation"),
+        };
+        (plan, agg)
+    }
+
+    #[test]
+    fn tumbling_window_panes_cover_the_batch() {
+        // ω(8,8): pane length 8. A 32-row batch at index 0 has 4 panes.
+        let (plan, agg) = compile(WindowSpec::count(8, 8), false);
+        let out = execute(&plan, &agg, &batch(32, 0)).unwrap();
+        match out {
+            TaskOutput::Fragments { panes, progress } => {
+                assert_eq!(progress, 32);
+                assert_eq!(panes.len(), 4);
+                for (i, p) in panes.iter().enumerate() {
+                    assert_eq!(p.pane, i as u64);
+                    let states = p.table.get(&[]).unwrap();
+                    assert_eq!(states[0].sum, 8.0);
+                    assert_eq!(states[1].count, 8);
+                }
+            }
+            _ => panic!("expected fragments"),
+        }
+    }
+
+    #[test]
+    fn sliding_window_uses_gcd_panes() {
+        // ω(8,2): pane length 2; a 10-row batch has 5 panes.
+        let (plan, agg) = compile(WindowSpec::count(8, 2), false);
+        let out = execute(&plan, &agg, &batch(10, 0)).unwrap();
+        match out {
+            TaskOutput::Fragments { panes, .. } => {
+                assert_eq!(panes.len(), 5);
+                assert!(panes.iter().all(|p| p.table.get(&[]).unwrap()[1].count == 2));
+            }
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn batch_not_aligned_to_pane_boundary_produces_partial_edge_panes() {
+        // Batch covering positions [3, 13) with pane length 4 touches panes
+        // 0 (1 row), 1 (4 rows), 2 (4 rows), 3 (1 row).
+        let (plan, agg) = compile(WindowSpec::count(4, 4), false);
+        let out = execute(&plan, &agg, &batch(10, 3)).unwrap();
+        match out {
+            TaskOutput::Fragments { panes, progress } => {
+                assert_eq!(progress, 13);
+                let counts: Vec<u64> = panes
+                    .iter()
+                    .map(|p| p.table.get(&[]).unwrap()[1].count)
+                    .collect();
+                assert_eq!(counts, vec![1, 4, 4, 1]);
+            }
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn grouped_aggregation_tracks_groups_per_pane() {
+        let (plan, agg) = compile(WindowSpec::count(8, 8), true);
+        let out = execute(&plan, &agg, &batch(16, 0)).unwrap();
+        match out {
+            TaskOutput::Fragments { panes, .. } => {
+                assert_eq!(panes.len(), 2);
+                for p in &panes {
+                    assert_eq!(p.table.len(), 4);
+                    for g in 0..4i64 {
+                        assert_eq!(p.table.get(&[g]).unwrap()[1].count, 2);
+                    }
+                }
+            }
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn filter_is_applied_before_aggregation() {
+        let q = QueryBuilder::new("cm2", schema())
+            .count_window(8, 8)
+            .select(Expr::column(2).eq(Expr::literal(1.0)))
+            .aggregate_count()
+            .build()
+            .unwrap();
+        let plan = CompiledPlan::compile(&q).unwrap();
+        let agg = match plan.kind() {
+            PlanKind::Aggregation(a) => a.clone(),
+            _ => unreachable!(),
+        };
+        let out = execute(&plan, &agg, &batch(16, 0)).unwrap();
+        match out {
+            TaskOutput::Fragments { panes, .. } => {
+                let total: u64 = panes
+                    .iter()
+                    .map(|p| p.table.get(&[]).map(|s| s[0].count).unwrap_or(0))
+                    .sum();
+                assert_eq!(total, 4); // every 4th row has key == 1
+            }
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn time_based_windows_use_timestamps_for_panes() {
+        // Time window of 10 units sliding by 5: pane length 5. Rows have
+        // timestamp == index, so a 20-row batch covers panes 0..3.
+        let (plan, agg) = compile(WindowSpec::time(10, 5), false);
+        let out = execute(&plan, &agg, &batch(20, 0)).unwrap();
+        match out {
+            TaskOutput::Fragments { panes, progress } => {
+                assert_eq!(panes.len(), 4);
+                assert_eq!(progress, 19); // timestamp of the last row
+            }
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn count_distinct_uses_raw_keys() {
+        let q = QueryBuilder::new("cd", schema())
+            .count_window(8, 8)
+            .aggregate(AggregateFunction::CountDistinct, 2)
+            .build()
+            .unwrap();
+        let plan = CompiledPlan::compile(&q).unwrap();
+        let agg = match plan.kind() {
+            PlanKind::Aggregation(a) => a.clone(),
+            _ => unreachable!(),
+        };
+        let out = execute(&plan, &agg, &batch(8, 0)).unwrap();
+        match out {
+            TaskOutput::Fragments { panes, .. } => {
+                let states = panes[0].table.get(&[]).unwrap();
+                assert_eq!(states[0].finalize(AggregateFunction::CountDistinct), 4.0);
+            }
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn pane_of_is_position_over_length() {
+        assert_eq!(pane_of(0, 4), 0);
+        assert_eq!(pane_of(3, 4), 0);
+        assert_eq!(pane_of(4, 4), 1);
+        assert_eq!(pane_of(100, 1), 100);
+        assert_eq!(pane_of(5, 0), 5); // degenerate pane length clamps to 1
+    }
+}

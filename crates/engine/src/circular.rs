@@ -1,0 +1,177 @@
+//! Per-query, per-stream circular input buffers (paper §4.1).
+//!
+//! Incoming tuples are stored without deserialisation in a circular byte
+//! buffer backed by a fixed array. One producer (the ingesting thread, which
+//! is also the thread that creates query tasks) appends data; the dispatcher
+//! reads contiguous ranges out of the buffer when it cuts a query task; and
+//! data is released by moving the *free pointer* forward once it can no
+//! longer be needed (for join queries a window-sized lookback is retained so
+//! tasks can rebuild the opposite stream's window).
+
+use saber_types::{Result, SaberError};
+
+/// A single-producer circular byte buffer with explicit free-pointer
+/// management.
+#[derive(Debug)]
+pub struct CircularBuffer {
+    data: Vec<u8>,
+    capacity: usize,
+    /// Absolute number of bytes ever written (the write pointer).
+    head: u64,
+    /// Absolute number of bytes released (the free pointer).
+    tail: u64,
+}
+
+impl CircularBuffer {
+    /// Creates a buffer of `capacity` bytes (rounded up to a power of two).
+    pub fn new(capacity: usize) -> Self {
+        let capacity = capacity.next_power_of_two().max(1024);
+        Self {
+            data: vec![0; capacity],
+            capacity,
+            head: 0,
+            tail: 0,
+        }
+    }
+
+    /// Buffer capacity in bytes.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Bytes currently held (written but not yet released).
+    pub fn len(&self) -> usize {
+        (self.head - self.tail) as usize
+    }
+
+    /// True if no unreleased bytes remain.
+    pub fn is_empty(&self) -> bool {
+        self.head == self.tail
+    }
+
+    /// Free space available for new writes.
+    pub fn available(&self) -> usize {
+        self.capacity - self.len()
+    }
+
+    /// Absolute position of the write pointer (bytes ever written).
+    pub fn head(&self) -> u64 {
+        self.head
+    }
+
+    /// Absolute position of the free pointer.
+    pub fn tail(&self) -> u64 {
+        self.tail
+    }
+
+    /// Appends `bytes`, failing if the buffer would overflow (the caller
+    /// applies backpressure).
+    pub fn insert(&mut self, bytes: &[u8]) -> Result<()> {
+        if bytes.len() > self.available() {
+            return Err(SaberError::Buffer(format!(
+                "circular buffer overflow: {} bytes, {} available",
+                bytes.len(),
+                self.available()
+            )));
+        }
+        let start = (self.head as usize) & (self.capacity - 1);
+        let first = bytes.len().min(self.capacity - start);
+        self.data[start..start + first].copy_from_slice(&bytes[..first]);
+        if first < bytes.len() {
+            let rest = bytes.len() - first;
+            self.data[..rest].copy_from_slice(&bytes[first..]);
+        }
+        self.head += bytes.len() as u64;
+        Ok(())
+    }
+
+    /// Copies the absolute byte range `[from, to)` out of the buffer. The
+    /// range must still be resident (`from >= tail`, `to <= head`).
+    pub fn read_range(&self, from: u64, to: u64) -> Result<Vec<u8>> {
+        if from < self.tail || to > self.head || from > to {
+            return Err(SaberError::Buffer(format!(
+                "range [{from}, {to}) outside resident data [{}, {})",
+                self.tail, self.head
+            )));
+        }
+        let len = (to - from) as usize;
+        let mut out = vec![0u8; len];
+        let start = (from as usize) & (self.capacity - 1);
+        let first = len.min(self.capacity - start);
+        out[..first].copy_from_slice(&self.data[start..start + first]);
+        if first < len {
+            out[first..].copy_from_slice(&self.data[..len - first]);
+        }
+        Ok(out)
+    }
+
+    /// Moves the free pointer forward to absolute position `free`, releasing
+    /// everything before it.
+    pub fn release_until(&mut self, free: u64) {
+        if free > self.tail {
+            self.tail = free.min(self.head);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_and_read_round_trip() {
+        let mut buf = CircularBuffer::new(1024);
+        buf.insert(&[1, 2, 3, 4]).unwrap();
+        buf.insert(&[5, 6]).unwrap();
+        assert_eq!(buf.len(), 6);
+        assert_eq!(buf.read_range(0, 6).unwrap(), vec![1, 2, 3, 4, 5, 6]);
+        assert_eq!(buf.read_range(2, 4).unwrap(), vec![3, 4]);
+    }
+
+    #[test]
+    fn wrap_around_preserves_data() {
+        let mut buf = CircularBuffer::new(1024); // capacity 1024
+        let chunk: Vec<u8> = (0..200u16).map(|v| (v % 251) as u8).collect();
+        let mut written = 0u64;
+        for round in 0..20 {
+            buf.insert(&chunk).unwrap();
+            written += chunk.len() as u64;
+            // Release all but the last chunk to make room.
+            buf.release_until(written - chunk.len() as u64);
+            let got = buf.read_range(written - chunk.len() as u64, written).unwrap();
+            assert_eq!(got, chunk, "round {round}");
+        }
+        assert_eq!(buf.head(), written);
+    }
+
+    #[test]
+    fn overflow_is_rejected_until_released() {
+        let mut buf = CircularBuffer::new(1024);
+        buf.insert(&vec![7u8; 1000]).unwrap();
+        assert!(buf.insert(&vec![8u8; 100]).is_err());
+        buf.release_until(512);
+        buf.insert(&vec![8u8; 100]).unwrap();
+        assert_eq!(buf.len(), 1000 - 512 + 100);
+    }
+
+    #[test]
+    fn reading_released_data_is_an_error() {
+        let mut buf = CircularBuffer::new(1024);
+        buf.insert(&[1, 2, 3, 4]).unwrap();
+        buf.release_until(2);
+        assert!(buf.read_range(0, 4).is_err());
+        assert!(buf.read_range(2, 4).is_ok());
+        assert!(buf.read_range(2, 8).is_err());
+    }
+
+    #[test]
+    fn release_never_moves_backwards_or_past_head() {
+        let mut buf = CircularBuffer::new(1024);
+        buf.insert(&[0; 100]).unwrap();
+        buf.release_until(60);
+        buf.release_until(40);
+        assert_eq!(buf.tail(), 60);
+        buf.release_until(1_000_000);
+        assert_eq!(buf.tail(), buf.head());
+    }
+}

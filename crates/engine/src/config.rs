@@ -1,0 +1,270 @@
+//! Engine configuration.
+
+use crate::engine::Saber;
+use crate::scheduler::{Processor, SchedulingPolicyKind};
+use saber_gpu::device::DeviceConfig;
+use saber_types::{Result, SaberError};
+use std::collections::HashMap;
+
+/// Which processors participate in query execution (used by the CPU-only /
+/// GPGPU-only / hybrid comparisons of §6.2–§6.4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExecutionMode {
+    /// CPU worker threads only.
+    CpuOnly,
+    /// The accelerator only.
+    GpuOnly,
+    /// CPU workers and the accelerator together (the SABER default).
+    Hybrid,
+}
+
+/// Engine configuration (paper §4, §6.1).
+#[derive(Debug, Clone)]
+pub struct EngineConfig {
+    /// Number of CPU worker threads (the paper uses 15 workers on a 16-core
+    /// host, keeping one core for dispatch).
+    pub worker_threads: usize,
+    /// Query task size φ in bytes (the paper's sweet spot is ~1 MB; see
+    /// Fig. 12/13).
+    pub query_task_size: usize,
+    /// Which processors to use.
+    pub execution_mode: ExecutionMode,
+    /// Scheduling policy (HLS by default).
+    pub scheduling: SchedulingPolicyKind,
+    /// Configuration of the simulated accelerator.
+    pub device: DeviceConfig,
+    /// Capacity of each circular input buffer in bytes.
+    pub input_buffer_capacity: usize,
+    /// Maximum number of queued tasks before ingest applies backpressure.
+    pub max_queued_tasks: usize,
+    /// Number of in-flight tasks the accelerator pipeline keeps (1 disables
+    /// pipelined data movement).
+    pub gpu_pipeline_depth: usize,
+    /// Exponential moving average factor for the throughput matrix in (0, 1].
+    pub throughput_smoothing: f64,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        Self {
+            worker_threads: (std::thread::available_parallelism()
+                .map(|p| p.get())
+                .unwrap_or(8)
+                .saturating_sub(5))
+            .clamp(1, 15),
+            query_task_size: 1 << 20,
+            execution_mode: ExecutionMode::Hybrid,
+            scheduling: SchedulingPolicyKind::default(),
+            device: DeviceConfig::default(),
+            input_buffer_capacity: 64 << 20,
+            max_queued_tasks: 256,
+            gpu_pipeline_depth: 4,
+            throughput_smoothing: 0.25,
+        }
+    }
+}
+
+impl EngineConfig {
+    /// Validates the configuration.
+    pub fn validate(&self) -> Result<()> {
+        if self.worker_threads == 0 && self.execution_mode == ExecutionMode::CpuOnly {
+            return Err(SaberError::Config("CPU-only mode needs at least one worker".into()));
+        }
+        if self.query_task_size == 0 {
+            return Err(SaberError::Config("query task size must be positive".into()));
+        }
+        if self.input_buffer_capacity < 2 * self.query_task_size {
+            return Err(SaberError::Config(
+                "input buffer capacity must be at least twice the query task size".into(),
+            ));
+        }
+        if self.max_queued_tasks == 0 {
+            return Err(SaberError::Config("max queued tasks must be positive".into()));
+        }
+        if !(0.0..=1.0).contains(&self.throughput_smoothing) || self.throughput_smoothing == 0.0 {
+            return Err(SaberError::Config(
+                "throughput smoothing must be in (0, 1]".into(),
+            ));
+        }
+        Ok(())
+    }
+
+    /// Number of CPU workers after applying the execution mode.
+    pub fn effective_cpu_workers(&self) -> usize {
+        match self.execution_mode {
+            ExecutionMode::GpuOnly => 0,
+            _ => self.worker_threads.max(1),
+        }
+    }
+
+    /// Whether the accelerator worker is started.
+    pub fn gpu_enabled(&self) -> bool {
+        !matches!(self.execution_mode, ExecutionMode::CpuOnly)
+    }
+}
+
+/// Fluent builder for [`Saber`] engines.
+#[derive(Debug, Clone, Default)]
+pub struct SaberBuilder {
+    config: EngineConfig,
+    static_assignment: HashMap<usize, Processor>,
+}
+
+impl SaberBuilder {
+    /// Starts from the default configuration.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the number of CPU worker threads.
+    pub fn worker_threads(mut self, n: usize) -> Self {
+        self.config.worker_threads = n;
+        self
+    }
+
+    /// Sets the query task size φ in bytes.
+    pub fn query_task_size(mut self, bytes: usize) -> Self {
+        self.config.query_task_size = bytes;
+        self.config.input_buffer_capacity = self.config.input_buffer_capacity.max(4 * bytes);
+        self
+    }
+
+    /// Sets the execution mode (CPU-only, GPGPU-only or hybrid).
+    pub fn execution_mode(mut self, mode: ExecutionMode) -> Self {
+        self.config.execution_mode = mode;
+        self
+    }
+
+    /// Sets the scheduling policy.
+    pub fn scheduling(mut self, policy: SchedulingPolicyKind) -> Self {
+        self.config.scheduling = policy;
+        self
+    }
+
+    /// Statically assigns a query (by registration order) to a processor
+    /// (only meaningful with [`SchedulingPolicyKind::Static`]).
+    pub fn assign_static(mut self, query_index: usize, processor: Processor) -> Self {
+        self.static_assignment.insert(query_index, processor);
+        self
+    }
+
+    /// Sets the accelerator configuration.
+    pub fn device(mut self, device: DeviceConfig) -> Self {
+        self.config.device = device;
+        self
+    }
+
+    /// Sets the accelerator pipeline depth (1 = no pipelining).
+    pub fn gpu_pipeline_depth(mut self, depth: usize) -> Self {
+        self.config.gpu_pipeline_depth = depth.max(1);
+        self
+    }
+
+    /// Sets the maximum number of queued tasks before ingest blocks.
+    pub fn max_queued_tasks(mut self, n: usize) -> Self {
+        self.config.max_queued_tasks = n;
+        self
+    }
+
+    /// Overrides the full configuration.
+    pub fn config(mut self, config: EngineConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Access to the accumulated configuration (tests).
+    pub fn peek_config(&self) -> &EngineConfig {
+        &self.config
+    }
+
+    /// Builds the engine.
+    pub fn build(self) -> Result<Saber> {
+        self.config.validate()?;
+        let mut config = self.config;
+        if let SchedulingPolicyKind::Static { ref mut assignment } = config.scheduling {
+            for (q, p) in &self.static_assignment {
+                assignment.insert(*q, *p);
+            }
+        } else if !self.static_assignment.is_empty() {
+            config.scheduling = SchedulingPolicyKind::Static {
+                assignment: self.static_assignment,
+            };
+        }
+        Saber::with_config(config)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_config_is_valid() {
+        assert!(EngineConfig::default().validate().is_ok());
+    }
+
+    #[test]
+    fn invalid_configs_are_rejected() {
+        let mut c = EngineConfig {
+            query_task_size: 0,
+            ..Default::default()
+        };
+        assert!(c.validate().is_err());
+        c.query_task_size = 1 << 20;
+        c.input_buffer_capacity = 1 << 20;
+        assert!(c.validate().is_err());
+        c.input_buffer_capacity = 64 << 20;
+        c.max_queued_tasks = 0;
+        assert!(c.validate().is_err());
+        c.max_queued_tasks = 4;
+        c.throughput_smoothing = 0.0;
+        assert!(c.validate().is_err());
+        c.throughput_smoothing = 1.5;
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn execution_mode_controls_processors() {
+        let mut c = EngineConfig::default();
+        c.worker_threads = 8;
+        c.execution_mode = ExecutionMode::GpuOnly;
+        assert_eq!(c.effective_cpu_workers(), 0);
+        assert!(c.gpu_enabled());
+        c.execution_mode = ExecutionMode::CpuOnly;
+        assert_eq!(c.effective_cpu_workers(), 8);
+        assert!(!c.gpu_enabled());
+        c.execution_mode = ExecutionMode::Hybrid;
+        assert_eq!(c.effective_cpu_workers(), 8);
+        assert!(c.gpu_enabled());
+    }
+
+    #[test]
+    fn builder_accumulates_settings() {
+        let b = SaberBuilder::new()
+            .worker_threads(3)
+            .query_task_size(128 * 1024)
+            .execution_mode(ExecutionMode::CpuOnly)
+            .max_queued_tasks(16)
+            .gpu_pipeline_depth(0);
+        let c = b.peek_config();
+        assert_eq!(c.worker_threads, 3);
+        assert_eq!(c.query_task_size, 128 * 1024);
+        assert_eq!(c.execution_mode, ExecutionMode::CpuOnly);
+        assert_eq!(c.max_queued_tasks, 16);
+        assert_eq!(c.gpu_pipeline_depth, 1);
+    }
+
+    #[test]
+    fn static_assignment_switches_policy() {
+        let b = SaberBuilder::new().assign_static(0, Processor::Gpu);
+        // Building creates a full engine; only verify the policy conversion
+        // logic here by inspecting the builder output config path.
+        let engine = b.worker_threads(1).build().unwrap();
+        match engine.config().scheduling {
+            SchedulingPolicyKind::Static { ref assignment } => {
+                assert_eq!(assignment.get(&0), Some(&Processor::Gpu));
+            }
+            _ => panic!("expected static policy"),
+        }
+    }
+}

@@ -1,0 +1,472 @@
+//! The engine façade: query registration, ingestion, lifecycle.
+
+use crate::config::{EngineConfig, ExecutionMode, SaberBuilder};
+use crate::dispatcher::Dispatcher;
+use crate::metrics::{EngineStats, QueryStats};
+use crate::queue::TaskQueue;
+use crate::result::ResultStage;
+use crate::scheduler::Scheduler;
+use crate::sink::QuerySink;
+use crate::throughput::ThroughputMatrix;
+use crate::worker::{run_cpu_worker, run_gpu_worker, QueryRuntime, WorkerContext};
+use parking_lot::Mutex;
+use saber_cpu::plan::CompiledPlan;
+use saber_gpu::{DeviceConfig, GpuDevice};
+use saber_query::Query;
+use saber_types::{Result, SaberError};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+struct QueryEntry {
+    dispatcher: Mutex<Dispatcher>,
+    runtime: Arc<ResultStage>,
+    stats: Arc<QueryStats>,
+    sink: QuerySink,
+    /// Row size of each input stream (ingest accounting).
+    row_sizes: Vec<usize>,
+}
+
+/// The SABER hybrid stream processing engine.
+pub struct Saber {
+    config: EngineConfig,
+    queue: Arc<TaskQueue>,
+    matrix: Arc<ThroughputMatrix>,
+    scheduler: Arc<Scheduler>,
+    task_ids: Arc<AtomicU64>,
+    in_flight: Arc<AtomicU64>,
+    queries: Vec<QueryEntry>,
+    stats: EngineStats,
+    device: Arc<GpuDevice>,
+    workers: Vec<JoinHandle<()>>,
+    running: bool,
+}
+
+impl Saber {
+    /// Starts building an engine with the default configuration.
+    pub fn builder() -> SaberBuilder {
+        SaberBuilder::new()
+    }
+
+    /// Creates an engine from an explicit configuration.
+    pub fn with_config(config: EngineConfig) -> Result<Self> {
+        config.validate()?;
+        let matrix = Arc::new(ThroughputMatrix::new(
+            config.throughput_smoothing,
+            config.effective_cpu_workers(),
+        ));
+        let mut scheduler = Scheduler::new(config.scheduling.clone(), matrix.clone());
+        match config.execution_mode {
+            ExecutionMode::CpuOnly => {
+                scheduler = scheduler.with_single_processor(crate::scheduler::Processor::Cpu)
+            }
+            ExecutionMode::GpuOnly => {
+                scheduler = scheduler.with_single_processor(crate::scheduler::Processor::Gpu)
+            }
+            ExecutionMode::Hybrid => {}
+        }
+        let scheduler = Arc::new(scheduler);
+        let device = Arc::new(GpuDevice::new(config.device.clone()));
+        Ok(Self {
+            queue: Arc::new(TaskQueue::new()),
+            matrix,
+            scheduler,
+            task_ids: Arc::new(AtomicU64::new(0)),
+            in_flight: Arc::new(AtomicU64::new(0)),
+            queries: Vec::new(),
+            stats: EngineStats::default(),
+            device,
+            workers: Vec::new(),
+            running: false,
+            config,
+        })
+    }
+
+    /// The engine configuration.
+    pub fn config(&self) -> &EngineConfig {
+        &self.config
+    }
+
+    /// The accelerator device (statistics, bus counters).
+    pub fn device(&self) -> &Arc<GpuDevice> {
+        &self.device
+    }
+
+    /// The observed throughput matrix.
+    pub fn matrix(&self) -> &Arc<ThroughputMatrix> {
+        &self.matrix
+    }
+
+    /// Engine-wide statistics.
+    pub fn stats(&self) -> &EngineStats {
+        &self.stats
+    }
+
+    /// Number of registered queries.
+    pub fn num_queries(&self) -> usize {
+        self.queries.len()
+    }
+
+    /// Per-query statistics (by registration index).
+    pub fn query_stats(&self, query: usize) -> Option<Arc<QueryStats>> {
+        self.queries.get(query).map(|q| q.stats.clone())
+    }
+
+    /// Registers a query, returning its output sink. The query's id is its
+    /// registration index. Output rows are retained in the sink.
+    pub fn add_query(&mut self, query: Query) -> Result<QuerySink> {
+        self.add_query_with_options(query, true)
+    }
+
+    /// Registers a query; when `retain_output` is false the sink only counts
+    /// emitted tuples (benchmarks over unbounded output).
+    pub fn add_query_with_options(&mut self, query: Query, retain_output: bool) -> Result<QuerySink> {
+        if self.running {
+            return Err(SaberError::State("cannot add queries to a running engine".into()));
+        }
+        let id = self.queries.len();
+        let query = query.with_id(id);
+        let plan = Arc::new(CompiledPlan::compile(&query)?);
+        let sink = QuerySink::new(plan.output_schema().clone(), retain_output);
+        let stats = self.stats.register_query();
+        let result = Arc::new(ResultStage::new(&plan, sink.clone(), stats.clone()));
+        let row_sizes = plan.input_schemas().iter().map(|s| s.row_size()).collect();
+        let dispatcher = Dispatcher::new(
+            plan,
+            self.config.query_task_size,
+            self.config.input_buffer_capacity,
+            self.task_ids.clone(),
+        );
+        self.queries.push(QueryEntry {
+            dispatcher: Mutex::new(dispatcher),
+            runtime: result,
+            stats,
+            sink: sink.clone(),
+            row_sizes,
+        });
+        Ok(sink)
+    }
+
+    /// Starts the worker threads.
+    pub fn start(&mut self) -> Result<()> {
+        if self.running {
+            return Err(SaberError::State("engine already running".into()));
+        }
+        if self.queries.is_empty() {
+            return Err(SaberError::State("no queries registered".into()));
+        }
+        let runtimes: Arc<Vec<QueryRuntime>> = Arc::new(
+            self.queries
+                .iter()
+                .map(|q| QueryRuntime {
+                    result: q.runtime.clone(),
+                    stats: q.stats.clone(),
+                })
+                .collect(),
+        );
+
+        let cpu_workers = self.config.effective_cpu_workers();
+        for i in 0..cpu_workers {
+            let ctx = WorkerContext {
+                queue: self.queue.clone(),
+                scheduler: self.scheduler.clone(),
+                matrix: self.matrix.clone(),
+                queries: runtimes.clone(),
+                in_flight: self.in_flight.clone(),
+            };
+            self.workers.push(
+                std::thread::Builder::new()
+                    .name(format!("saber-cpu-{i}"))
+                    .spawn(move || run_cpu_worker(ctx))
+                    .map_err(|e| SaberError::State(format!("failed to spawn worker: {e}")))?,
+            );
+        }
+        if self.config.gpu_enabled() {
+            let ctx = WorkerContext {
+                queue: self.queue.clone(),
+                scheduler: self.scheduler.clone(),
+                matrix: self.matrix.clone(),
+                queries: runtimes.clone(),
+                in_flight: self.in_flight.clone(),
+            };
+            let device = self.device.clone();
+            let depth = self.config.gpu_pipeline_depth;
+            self.workers.push(
+                std::thread::Builder::new()
+                    .name("saber-gpgpu".to_string())
+                    .spawn(move || run_gpu_worker(ctx, device, depth))
+                    .map_err(|e| SaberError::State(format!("failed to spawn GPU worker: {e}")))?,
+            );
+        }
+        self.running = true;
+        Ok(())
+    }
+
+    /// Ingests whole rows into input `stream` of query `query`. Applies
+    /// backpressure when the task queue is saturated.
+    pub fn ingest(&self, query: usize, stream: usize, bytes: &[u8]) -> Result<()> {
+        if !self.running {
+            return Err(SaberError::State("engine is not running".into()));
+        }
+        let entry = self
+            .queries
+            .get(query)
+            .ok_or_else(|| SaberError::Query(format!("unknown query {query}")))?;
+
+        // Backpressure: bound the number of queued tasks.
+        while self.queue.len() >= self.config.max_queued_tasks {
+            std::thread::sleep(Duration::from_micros(200));
+        }
+
+        let row_size = *entry
+            .row_sizes
+            .get(stream)
+            .ok_or_else(|| SaberError::Query(format!("query {query} has no input stream {stream}")))?;
+        let tasks = {
+            let mut dispatcher = entry.dispatcher.lock();
+            let tasks = dispatcher.ingest(stream, bytes)?;
+            entry
+                .stats
+                .tuples_in
+                .fetch_add((bytes.len() / row_size) as u64, Ordering::Relaxed);
+            entry.stats.bytes_in.fetch_add(bytes.len() as u64, Ordering::Relaxed);
+            tasks
+        };
+        for task in tasks {
+            entry.stats.tasks_created.fetch_add(1, Ordering::Relaxed);
+            self.in_flight.fetch_add(1, Ordering::Acquire);
+            self.queue.push(task);
+        }
+        Ok(())
+    }
+
+    /// Flushes partially filled stream batches into final (undersized) tasks.
+    pub fn flush(&self) -> Result<()> {
+        for entry in &self.queries {
+            let task = entry.dispatcher.lock().flush()?;
+            if let Some(task) = task {
+                entry.stats.tasks_created.fetch_add(1, Ordering::Relaxed);
+                self.in_flight.fetch_add(1, Ordering::Acquire);
+                self.queue.push(task);
+            }
+        }
+        Ok(())
+    }
+
+    /// Waits until every dispatched task has been fully processed (bounded by
+    /// `timeout`). Returns true if the engine drained in time.
+    pub fn drain(&self, timeout: Duration) -> bool {
+        let deadline = Instant::now() + timeout;
+        while self.in_flight.load(Ordering::Acquire) > 0 {
+            if Instant::now() > deadline {
+                return false;
+            }
+            std::thread::sleep(Duration::from_micros(500));
+        }
+        true
+    }
+
+    /// Flushes remaining data, waits for all tasks to complete and stops the
+    /// worker threads.
+    pub fn stop(&mut self) -> Result<()> {
+        if !self.running {
+            return Ok(());
+        }
+        self.flush()?;
+        self.drain(Duration::from_secs(60));
+        self.queue.signal_shutdown();
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+        self.running = false;
+        Ok(())
+    }
+
+    /// The output sink of query `query`.
+    pub fn sink(&self, query: usize) -> Option<QuerySink> {
+        self.queries.get(query).map(|q| q.sink.clone())
+    }
+
+    /// Number of tasks currently queued (diagnostics).
+    pub fn queued_tasks(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Resets the throughput matrix and the scheduler's execution counters
+    /// (used by the adaptation experiment to emulate periodic refresh).
+    pub fn reset_scheduling_state(&self) {
+        self.matrix.reset();
+        self.scheduler.reset_counts();
+    }
+
+    /// Convenience constructor used by comparisons that only need defaults
+    /// with a specific execution mode.
+    pub fn with_mode(mode: ExecutionMode) -> Result<Self> {
+        let config = EngineConfig {
+            execution_mode: mode,
+            device: DeviceConfig::default(),
+            ..Default::default()
+        };
+        Self::with_config(config)
+    }
+}
+
+impl Drop for Saber {
+    fn drop(&mut self) {
+        if self.running {
+            let _ = self.stop();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scheduler::SchedulingPolicyKind;
+    use saber_gpu::device::DeviceConfig;
+    use saber_query::{AggregateFunction, Expr, QueryBuilder};
+    use saber_types::{DataType, RowBuffer, Schema, Value};
+
+    fn schema() -> saber_types::schema::SchemaRef {
+        Schema::from_pairs(&[
+            ("timestamp", DataType::Timestamp),
+            ("value", DataType::Float),
+            ("key", DataType::Int),
+        ])
+        .unwrap()
+        .into_ref()
+    }
+
+    fn data(n: usize, start: i64) -> Vec<u8> {
+        let mut buf = RowBuffer::new(schema());
+        for i in 0..n {
+            let abs = start + i as i64;
+            buf.push_values(&[
+                Value::Timestamp(abs),
+                Value::Float((abs % 100) as f32 / 100.0),
+                Value::Int((abs % 8) as i32),
+            ])
+            .unwrap();
+        }
+        buf.into_bytes()
+    }
+
+    fn small_engine(mode: ExecutionMode) -> Saber {
+        let config = EngineConfig {
+            worker_threads: 2,
+            query_task_size: 16 * 1024,
+            execution_mode: mode,
+            scheduling: SchedulingPolicyKind::default(),
+            device: DeviceConfig::unpaced(),
+            input_buffer_capacity: 8 << 20,
+            max_queued_tasks: 64,
+            gpu_pipeline_depth: 2,
+            throughput_smoothing: 0.25,
+        };
+        Saber::with_config(config).unwrap()
+    }
+
+    #[test]
+    fn selection_query_end_to_end_cpu_only() {
+        let mut engine = small_engine(ExecutionMode::CpuOnly);
+        let q = QueryBuilder::new("sel", schema())
+            .count_window(1024, 1024)
+            .select(Expr::column(1).lt(Expr::literal(0.5)))
+            .build()
+            .unwrap();
+        let sink = engine.add_query(q).unwrap();
+        engine.start().unwrap();
+        let rows = 20_000;
+        engine.ingest(0, 0, &data(rows, 0)).unwrap();
+        engine.stop().unwrap();
+        // Exactly half the values are < 0.5 (values cycle 0..99).
+        assert_eq!(sink.tuples_emitted(), rows as u64 / 2);
+        let stats = engine.query_stats(0).unwrap();
+        assert!(stats.tasks_cpu.load(Ordering::Relaxed) > 0);
+        assert_eq!(stats.tasks_gpu.load(Ordering::Relaxed), 0);
+    }
+
+    #[test]
+    fn aggregation_query_end_to_end_hybrid() {
+        let mut engine = small_engine(ExecutionMode::Hybrid);
+        let q = QueryBuilder::new("agg", schema())
+            .count_window(512, 512)
+            .aggregate(AggregateFunction::Count, 1)
+            .group_by(vec![2])
+            .build()
+            .unwrap();
+        let sink = engine.add_query(q).unwrap();
+        engine.start().unwrap();
+        let rows = 16 * 512;
+        engine.ingest(0, 0, &data(rows, 0)).unwrap();
+        engine.stop().unwrap();
+        // 16 complete windows × 8 groups.
+        assert_eq!(sink.tuples_emitted(), 16 * 8);
+        let out = sink.take_rows();
+        for t in out.iter() {
+            assert_eq!(t.get_i64(2), 64);
+        }
+    }
+
+    #[test]
+    fn results_preserve_task_order_despite_parallel_execution() {
+        let mut engine = small_engine(ExecutionMode::Hybrid);
+        let q = QueryBuilder::new("proj", schema())
+            .count_window(256, 256)
+            .project(vec![(Expr::column(0), "timestamp")])
+            .build()
+            .unwrap();
+        let sink = engine.add_query(q).unwrap();
+        engine.start().unwrap();
+        for chunk in 0..20 {
+            engine.ingest(0, 0, &data(2048, chunk * 2048)).unwrap();
+        }
+        engine.stop().unwrap();
+        let out = sink.take_rows();
+        assert_eq!(out.len(), 20 * 2048);
+        let mut last = -1i64;
+        for t in out.iter() {
+            assert!(t.timestamp() > last);
+            last = t.timestamp();
+        }
+    }
+
+    #[test]
+    fn lifecycle_errors_are_reported() {
+        let mut engine = small_engine(ExecutionMode::CpuOnly);
+        assert!(engine.start().is_err()); // no queries
+        let q = QueryBuilder::new("sel", schema())
+            .count_window(4, 4)
+            .select(Expr::literal(1.0))
+            .build()
+            .unwrap();
+        engine.add_query(q.clone()).unwrap();
+        assert!(engine.ingest(0, 0, &data(1, 0)).is_err()); // not started
+        engine.start().unwrap();
+        assert!(engine.start().is_err());
+        assert!(engine.add_query(q).is_err());
+        assert!(engine.ingest(5, 0, &data(1, 0)).is_err());
+        engine.stop().unwrap();
+        assert!(engine.stop().is_ok());
+    }
+
+    #[test]
+    fn gpu_only_mode_runs_all_tasks_on_the_device() {
+        let mut engine = small_engine(ExecutionMode::GpuOnly);
+        let q = QueryBuilder::new("sel", schema())
+            .count_window(256, 256)
+            .select(Expr::column(2).eq(Expr::literal(1.0)))
+            .build()
+            .unwrap();
+        let sink = engine.add_query(q).unwrap();
+        engine.start().unwrap();
+        engine.ingest(0, 0, &data(8192, 0)).unwrap();
+        engine.stop().unwrap();
+        assert_eq!(sink.tuples_emitted(), 1024);
+        let stats = engine.query_stats(0).unwrap();
+        assert_eq!(stats.tasks_cpu.load(Ordering::Relaxed), 0);
+        assert!(stats.tasks_gpu.load(Ordering::Relaxed) > 0);
+        assert!(engine.device().stats().tasks_executed() > 0);
+    }
+}

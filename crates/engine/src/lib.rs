@@ -1,0 +1,44 @@
+//! # saber-engine
+//!
+//! The SABER hybrid stream processing engine (paper §4): the runtime that
+//! turns windowed streaming queries into fixed-size *query tasks*, schedules
+//! them over heterogeneous processors (CPU worker threads and the simulated
+//! accelerator) with **heterogeneous lookahead scheduling (HLS)**, and
+//! reassembles ordered result streams from the out-of-order task results.
+//!
+//! Lifecycle of a tuple (Fig. 4):
+//!
+//! 1. **Dispatching stage** — [`ingest`](Saber::ingest)ed bytes land in a
+//!    per-query, per-stream [`circular::CircularBuffer`]; once a query has
+//!    accumulated `query_task_size` bytes, the [`dispatcher::Dispatcher`]
+//!    cuts a [`task::QueryTask`] (window computation is deferred to the
+//!    task itself) and appends it to the system-wide [`queue::TaskQueue`].
+//! 2. **Scheduling stage** — idle workers pick tasks through the configured
+//!    [`scheduler::SchedulingPolicyKind`]: HLS (Alg. 1), FCFS or Static.
+//! 3. **Execution stage** — CPU workers run the task through
+//!    `saber_cpu::CpuExecutor`; the accelerator worker drives the
+//!    five-stage pipeline of `saber_gpu`.
+//! 4. **Result stage** — [`result::ResultStage`] reorders task results by
+//!    task identifier, assembles window results from window fragments and
+//!    appends them to the query's [`sink::QuerySink`].
+
+pub mod circular;
+pub mod config;
+pub mod dispatcher;
+pub mod engine;
+pub mod metrics;
+pub mod queue;
+pub mod result;
+pub mod scheduler;
+pub mod sink;
+pub mod task;
+pub mod throughput;
+pub mod worker;
+
+pub use config::{EngineConfig, ExecutionMode, SaberBuilder};
+pub use engine::Saber;
+pub use metrics::{EngineStats, QueryStats};
+pub use scheduler::{Processor, SchedulingPolicyKind};
+pub use sink::QuerySink;
+pub use task::QueryTask;
+pub use throughput::ThroughputMatrix;

@@ -1,0 +1,148 @@
+//! Engine and per-query statistics.
+
+use crate::scheduler::Processor;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Per-query counters.
+#[derive(Debug, Default)]
+pub struct QueryStats {
+    /// Tuples ingested into the query's input buffers.
+    pub tuples_in: AtomicU64,
+    /// Bytes ingested.
+    pub bytes_in: AtomicU64,
+    /// Query tasks created by the dispatcher.
+    pub tasks_created: AtomicU64,
+    /// Tasks executed on CPU workers.
+    pub tasks_cpu: AtomicU64,
+    /// Tasks executed on the accelerator.
+    pub tasks_gpu: AtomicU64,
+    /// Result tuples emitted.
+    pub tuples_out: AtomicU64,
+    /// Sum of task result latencies in nanoseconds (dispatch → emitted).
+    pub latency_sum_nanos: AtomicU64,
+    /// Number of latency samples.
+    pub latency_samples: AtomicU64,
+    /// Maximum observed latency in nanoseconds.
+    pub latency_max_nanos: AtomicU64,
+}
+
+impl QueryStats {
+    /// Records one end-to-end task latency.
+    pub fn record_latency(&self, latency: Duration) {
+        let nanos = latency.as_nanos() as u64;
+        self.latency_sum_nanos.fetch_add(nanos, Ordering::Relaxed);
+        self.latency_samples.fetch_add(1, Ordering::Relaxed);
+        self.latency_max_nanos.fetch_max(nanos, Ordering::Relaxed);
+    }
+
+    /// Average task latency.
+    pub fn avg_latency(&self) -> Duration {
+        let samples = self.latency_samples.load(Ordering::Relaxed);
+        if samples == 0 {
+            return Duration::ZERO;
+        }
+        Duration::from_nanos(self.latency_sum_nanos.load(Ordering::Relaxed) / samples)
+    }
+
+    /// Maximum task latency.
+    pub fn max_latency(&self) -> Duration {
+        Duration::from_nanos(self.latency_max_nanos.load(Ordering::Relaxed))
+    }
+
+    /// Records one task execution on `processor`.
+    pub fn record_task(&self, processor: Processor) {
+        match processor {
+            Processor::Cpu => self.tasks_cpu.fetch_add(1, Ordering::Relaxed),
+            Processor::Gpu => self.tasks_gpu.fetch_add(1, Ordering::Relaxed),
+        };
+    }
+
+    /// Fraction of executed tasks that ran on the accelerator (the "GPGPU
+    /// contribution" split of Fig. 7).
+    pub fn gpu_share(&self) -> f64 {
+        let cpu = self.tasks_cpu.load(Ordering::Relaxed) as f64;
+        let gpu = self.tasks_gpu.load(Ordering::Relaxed) as f64;
+        if cpu + gpu == 0.0 {
+            0.0
+        } else {
+            gpu / (cpu + gpu)
+        }
+    }
+}
+
+/// Engine-wide statistics: one [`QueryStats`] per registered query.
+#[derive(Debug, Default)]
+pub struct EngineStats {
+    queries: Vec<Arc<QueryStats>>,
+}
+
+impl EngineStats {
+    /// Adds a per-query stats block and returns it.
+    pub fn register_query(&mut self) -> Arc<QueryStats> {
+        let stats = Arc::new(QueryStats::default());
+        self.queries.push(stats.clone());
+        stats
+    }
+
+    /// Per-query statistics in registration order.
+    pub fn queries(&self) -> &[Arc<QueryStats>] {
+        &self.queries
+    }
+
+    /// Total tuples ingested across all queries.
+    pub fn total_tuples_in(&self) -> u64 {
+        self.queries.iter().map(|q| q.tuples_in.load(Ordering::Relaxed)).sum()
+    }
+
+    /// Total bytes ingested across all queries.
+    pub fn total_bytes_in(&self) -> u64 {
+        self.queries.iter().map(|q| q.bytes_in.load(Ordering::Relaxed)).sum()
+    }
+
+    /// Total tuples emitted across all queries.
+    pub fn total_tuples_out(&self) -> u64 {
+        self.queries.iter().map(|q| q.tuples_out.load(Ordering::Relaxed)).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn latency_accounting() {
+        let s = QueryStats::default();
+        assert_eq!(s.avg_latency(), Duration::ZERO);
+        s.record_latency(Duration::from_millis(10));
+        s.record_latency(Duration::from_millis(20));
+        assert_eq!(s.avg_latency(), Duration::from_millis(15));
+        assert_eq!(s.max_latency(), Duration::from_millis(20));
+    }
+
+    #[test]
+    fn gpu_share_reflects_task_split() {
+        let s = QueryStats::default();
+        assert_eq!(s.gpu_share(), 0.0);
+        s.record_task(Processor::Cpu);
+        s.record_task(Processor::Cpu);
+        s.record_task(Processor::Gpu);
+        assert!((s.gpu_share() - 1.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn engine_stats_aggregate_queries() {
+        let mut e = EngineStats::default();
+        let a = e.register_query();
+        let b = e.register_query();
+        a.tuples_in.store(10, Ordering::Relaxed);
+        b.tuples_in.store(5, Ordering::Relaxed);
+        a.bytes_in.store(100, Ordering::Relaxed);
+        b.tuples_out.store(3, Ordering::Relaxed);
+        assert_eq!(e.total_tuples_in(), 15);
+        assert_eq!(e.total_bytes_in(), 100);
+        assert_eq!(e.total_tuples_out(), 3);
+        assert_eq!(e.queries().len(), 2);
+    }
+}

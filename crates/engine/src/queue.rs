@@ -1,0 +1,176 @@
+//! The system-wide query task queue (paper §4.1).
+//!
+//! All queries share a single queue of tasks; the scheduling stage scans it
+//! (HLS looks ahead past the head) and removes the task an idle worker should
+//! execute next. The queue also carries the engine's shutdown signal so that
+//! parked workers wake up promptly.
+
+use crate::task::QueryTask;
+use parking_lot::{Condvar, Mutex};
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::time::Duration;
+
+/// The shared task queue.
+#[derive(Debug, Default)]
+pub struct TaskQueue {
+    inner: Mutex<VecDeque<QueryTask>>,
+    not_empty: Condvar,
+    shutdown: AtomicBool,
+    enqueued: AtomicU64,
+    dequeued: AtomicU64,
+}
+
+impl TaskQueue {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends a task to the tail of the queue and wakes one worker.
+    pub fn push(&self, task: QueryTask) {
+        {
+            let mut q = self.inner.lock();
+            q.push_back(task);
+        }
+        self.enqueued.fetch_add(1, Ordering::Relaxed);
+        self.not_empty.notify_one();
+    }
+
+    /// Number of tasks currently queued.
+    pub fn len(&self) -> usize {
+        self.inner.lock().len()
+    }
+
+    /// True if no tasks are queued.
+    pub fn is_empty(&self) -> bool {
+        self.inner.lock().is_empty()
+    }
+
+    /// Total number of tasks ever enqueued.
+    pub fn total_enqueued(&self) -> u64 {
+        self.enqueued.load(Ordering::Relaxed)
+    }
+
+    /// Total number of tasks ever removed by workers.
+    pub fn total_dequeued(&self) -> u64 {
+        self.dequeued.load(Ordering::Relaxed)
+    }
+
+    /// Signals shutdown and wakes all parked workers.
+    pub fn signal_shutdown(&self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        self.not_empty.notify_all();
+    }
+
+    /// True once shutdown has been signalled.
+    pub fn is_shutdown(&self) -> bool {
+        self.shutdown.load(Ordering::SeqCst)
+    }
+
+    /// Removes and returns the task chosen by `select` from the queue,
+    /// blocking for up to `timeout` while the queue is empty. `select`
+    /// receives the queue contents and returns the index of the task to
+    /// remove (or `None` to decline all currently queued tasks).
+    pub fn take_with<F>(&self, timeout: Duration, mut select: F) -> Option<QueryTask>
+    where
+        F: FnMut(&VecDeque<QueryTask>) -> Option<usize>,
+    {
+        let mut q = self.inner.lock();
+        if q.is_empty() && !self.is_shutdown() {
+            self.not_empty.wait_for(&mut q, timeout);
+        }
+        if q.is_empty() {
+            return None;
+        }
+        let idx = select(&q)?;
+        let task = q.remove(idx);
+        if task.is_some() {
+            self.dequeued.fetch_add(1, Ordering::Relaxed);
+        }
+        task
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use saber_cpu::plan::CompiledPlan;
+    use saber_query::{Expr, QueryBuilder};
+    use saber_types::{DataType, RowBuffer, Schema};
+    use std::sync::Arc;
+    use std::time::Instant;
+
+    fn task(id: u64, query_id: usize) -> QueryTask {
+        let schema = Schema::from_pairs(&[("ts", DataType::Timestamp)]).unwrap().into_ref();
+        let q = QueryBuilder::new("q", schema.clone())
+            .count_window(4, 4)
+            .select(Expr::literal(1.0))
+            .build()
+            .unwrap();
+        QueryTask {
+            id,
+            query_id,
+            seq: id,
+            plan: Arc::new(CompiledPlan::compile(&q).unwrap()),
+            batches: vec![saber_cpu::exec::StreamBatch::new(RowBuffer::new(schema), 0, 0)],
+            created: Instant::now(),
+        }
+    }
+
+    #[test]
+    fn push_and_take_head() {
+        let q = TaskQueue::new();
+        q.push(task(1, 0));
+        q.push(task(2, 1));
+        assert_eq!(q.len(), 2);
+        let t = q.take_with(Duration::from_millis(10), |q| Some(q.len() - q.len())).unwrap();
+        assert_eq!(t.id, 1);
+        assert_eq!(q.total_dequeued(), 1);
+        assert_eq!(q.total_enqueued(), 2);
+    }
+
+    #[test]
+    fn selector_can_pick_a_non_head_task() {
+        let q = TaskQueue::new();
+        for i in 0..4 {
+            q.push(task(i, i as usize % 2));
+        }
+        // Pick the first task of query 1 (index 1).
+        let t = q
+            .take_with(Duration::from_millis(10), |tasks| {
+                tasks.iter().position(|t| t.query_id == 1)
+            })
+            .unwrap();
+        assert_eq!(t.id, 1);
+        assert_eq!(q.len(), 3);
+    }
+
+    #[test]
+    fn empty_queue_times_out_with_none() {
+        let q = TaskQueue::new();
+        let got = q.take_with(Duration::from_millis(5), |_| Some(0));
+        assert!(got.is_none());
+    }
+
+    #[test]
+    fn selector_declining_returns_none_but_keeps_tasks() {
+        let q = TaskQueue::new();
+        q.push(task(7, 0));
+        let got = q.take_with(Duration::from_millis(5), |_| None);
+        assert!(got.is_none());
+        assert_eq!(q.len(), 1);
+    }
+
+    #[test]
+    fn shutdown_wakes_waiters() {
+        let q = Arc::new(TaskQueue::new());
+        let q2 = q.clone();
+        let handle = std::thread::spawn(move || q2.take_with(Duration::from_secs(5), |_| Some(0)));
+        std::thread::sleep(Duration::from_millis(20));
+        q.signal_shutdown();
+        let result = handle.join().unwrap();
+        assert!(result.is_none());
+        assert!(q.is_shutdown());
+    }
+}

@@ -1,0 +1,345 @@
+//! Scheduling policies: HLS (Alg. 1), FCFS and Static (paper §4.2, §6.6).
+
+use crate::queue::TaskQueue;
+use crate::task::QueryTask;
+use crate::throughput::ThroughputMatrix;
+use parking_lot::Mutex;
+use std::collections::{HashMap, VecDeque};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// A heterogeneous processor: one of the CPU worker cores (collectively "the
+/// CPU") or the accelerator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Processor {
+    /// The CPU worker pool.
+    Cpu,
+    /// The simulated accelerator.
+    Gpu,
+}
+
+impl Processor {
+    /// Short display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Processor::Cpu => "cpu",
+            Processor::Gpu => "gpgpu",
+        }
+    }
+}
+
+/// The scheduling policies compared in §6.6.
+#[derive(Debug, Clone)]
+pub enum SchedulingPolicyKind {
+    /// Heterogeneous lookahead scheduling (the SABER default).
+    Hls {
+        /// Maximum number of consecutive executions of a query's tasks on its
+        /// preferred processor before one task is forced onto the other
+        /// processor (the paper's switch threshold).
+        switch_threshold: u32,
+    },
+    /// First-come, first-served: every worker takes the queue head.
+    Fcfs,
+    /// Static assignment of queries to processors (infeasible in practice
+    /// for dynamic workloads; used as a baseline).
+    Static {
+        /// Map from query id to its assigned processor (unassigned queries
+        /// default to the CPU).
+        assignment: HashMap<usize, Processor>,
+    },
+}
+
+impl Default for SchedulingPolicyKind {
+    fn default() -> Self {
+        SchedulingPolicyKind::Hls { switch_threshold: 16 }
+    }
+}
+
+impl SchedulingPolicyKind {
+    /// Short policy name for reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            SchedulingPolicyKind::Hls { .. } => "hls",
+            SchedulingPolicyKind::Fcfs => "fcfs",
+            SchedulingPolicyKind::Static { .. } => "static",
+        }
+    }
+}
+
+/// The scheduling stage: selects the next task for an idle worker.
+#[derive(Debug)]
+pub struct Scheduler {
+    policy: SchedulingPolicyKind,
+    matrix: Arc<ThroughputMatrix>,
+    /// count(q, p): consecutive executions per query and processor
+    /// (Alg. 1's execution counters).
+    counts: Mutex<HashMap<(usize, Processor), u32>>,
+    /// When only one processor type is active (CPU-only / GPGPU-only modes),
+    /// lookahead is pointless: the single processor must take the head of the
+    /// queue or tasks would never complete.
+    single_processor: Option<Processor>,
+}
+
+impl Scheduler {
+    /// Creates a scheduler with the given policy over the shared throughput
+    /// matrix.
+    pub fn new(policy: SchedulingPolicyKind, matrix: Arc<ThroughputMatrix>) -> Self {
+        Self {
+            policy,
+            matrix,
+            counts: Mutex::new(HashMap::new()),
+            single_processor: None,
+        }
+    }
+
+    /// Restricts scheduling to a single processor type (CPU-only or
+    /// GPGPU-only execution modes), which degenerates every policy to FCFS
+    /// for that processor.
+    pub fn with_single_processor(mut self, processor: Processor) -> Self {
+        self.single_processor = Some(processor);
+        self
+    }
+
+    /// The policy in use.
+    pub fn policy(&self) -> &SchedulingPolicyKind {
+        &self.policy
+    }
+
+    /// The shared throughput matrix.
+    pub fn matrix(&self) -> &Arc<ThroughputMatrix> {
+        &self.matrix
+    }
+
+    /// Blocks for up to `timeout` and returns the task the given processor
+    /// should execute next (or `None` if the queue stays empty / no queued
+    /// task should run on this processor yet).
+    pub fn next_task(
+        &self,
+        queue: &TaskQueue,
+        processor: Processor,
+        timeout: Duration,
+    ) -> Option<QueryTask> {
+        queue.take_with(timeout, |tasks| self.select_index(tasks, processor))
+    }
+
+    /// Pure selection logic: the index in `tasks` of the task `processor`
+    /// should execute, per the configured policy.
+    pub fn select_index(&self, tasks: &VecDeque<QueryTask>, processor: Processor) -> Option<usize> {
+        if tasks.is_empty() {
+            return None;
+        }
+        if let Some(single) = self.single_processor {
+            return if single == processor { Some(0) } else { None };
+        }
+        match &self.policy {
+            SchedulingPolicyKind::Fcfs => Some(0),
+            SchedulingPolicyKind::Static { assignment } => tasks.iter().position(|t| {
+                assignment
+                    .get(&t.query_id)
+                    .copied()
+                    .unwrap_or(Processor::Cpu)
+                    == processor
+            }),
+            SchedulingPolicyKind::Hls { switch_threshold } => {
+                self.select_hls(tasks, processor, *switch_threshold)
+            }
+        }
+    }
+
+    /// Algorithm 1 of the paper: hybrid lookahead scheduling.
+    fn select_hls(
+        &self,
+        tasks: &VecDeque<QueryTask>,
+        processor: Processor,
+        switch_threshold: u32,
+    ) -> Option<usize> {
+        let mut counts = self.counts.lock();
+        let mut delay = 0.0f64;
+        for (pos, task) in tasks.iter().enumerate() {
+            let q = task.query_id;
+            let preferred = self.matrix.preferred(q);
+            let count_on_this = *counts.get(&(q, processor)).unwrap_or(&0);
+            let count_on_pref = *counts.get(&(q, preferred)).unwrap_or(&0);
+
+            let take = if processor == preferred {
+                // Preferred processor takes the task unless the switch
+                // threshold forces exploration of the other processor.
+                count_on_this < switch_threshold
+            } else {
+                // Non-preferred processor takes the task if the preferred
+                // processor's accumulated backlog would delay it longer than
+                // running it here, or if the switch threshold demands it.
+                count_on_pref >= switch_threshold
+                    || delay >= 1.0 / self.matrix.value(q, processor).max(1e-9)
+            };
+
+            if take {
+                if count_on_pref >= switch_threshold {
+                    counts.insert((q, preferred), 0);
+                }
+                *counts.entry((q, processor)).or_insert(0) += 1;
+                return Some(pos);
+            }
+            // The task is expected to run on its preferred processor; account
+            // for the work it adds to that processor's backlog.
+            delay += 1.0 / self.matrix.value(q, preferred).max(1e-9);
+        }
+        None
+    }
+
+    /// Clears the per-query execution counters (tests and policy resets).
+    pub fn reset_counts(&self) {
+        self.counts.lock().clear();
+    }
+
+    /// Current execution counter for `(query, processor)` (tests).
+    pub fn count(&self, query: usize, processor: Processor) -> u32 {
+        *self.counts.lock().get(&(query, processor)).unwrap_or(&0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use saber_cpu::exec::StreamBatch;
+    use saber_cpu::plan::CompiledPlan;
+    use saber_query::{Expr, QueryBuilder};
+    use saber_types::{DataType, RowBuffer, Schema};
+    use std::time::Instant;
+
+    fn mk_task(id: u64, query_id: usize) -> QueryTask {
+        let schema = Schema::from_pairs(&[("ts", DataType::Timestamp)]).unwrap().into_ref();
+        let q = QueryBuilder::new(format!("q{query_id}"), schema.clone())
+            .count_window(4, 4)
+            .select(Expr::literal(1.0))
+            .build()
+            .unwrap()
+            .with_id(query_id);
+        QueryTask {
+            id,
+            query_id,
+            seq: id,
+            plan: Arc::new(CompiledPlan::compile(&q).unwrap()),
+            batches: vec![StreamBatch::new(RowBuffer::new(schema), 0, 0)],
+            created: Instant::now(),
+        }
+    }
+
+    fn queue_of(spec: &[usize]) -> VecDeque<QueryTask> {
+        spec.iter()
+            .enumerate()
+            .map(|(i, q)| mk_task(i as u64, *q))
+            .collect()
+    }
+
+    /// Builds a matrix mirroring the paper's Fig. 5 example:
+    /// q1: CPU 50, GPU 20; q2: CPU 5, GPU 15; q3: CPU 20, GPU 30.
+    fn fig5_matrix() -> Arc<ThroughputMatrix> {
+        let m = Arc::new(ThroughputMatrix::new(1.0, 1));
+        m.record(1, Processor::Cpu, Duration::from_secs_f64(1.0 / 50.0));
+        m.record(1, Processor::Gpu, Duration::from_secs_f64(1.0 / 20.0));
+        m.record(2, Processor::Cpu, Duration::from_secs_f64(1.0 / 5.0));
+        m.record(2, Processor::Gpu, Duration::from_secs_f64(1.0 / 15.0));
+        m.record(3, Processor::Cpu, Duration::from_secs_f64(1.0 / 20.0));
+        m.record(3, Processor::Gpu, Duration::from_secs_f64(1.0 / 30.0));
+        m
+    }
+
+    #[test]
+    fn fcfs_always_takes_the_head() {
+        let s = Scheduler::new(SchedulingPolicyKind::Fcfs, Arc::new(ThroughputMatrix::new(0.5, 1)));
+        let q = queue_of(&[2, 1, 3]);
+        assert_eq!(s.select_index(&q, Processor::Cpu), Some(0));
+        assert_eq!(s.select_index(&q, Processor::Gpu), Some(0));
+        assert_eq!(s.select_index(&VecDeque::new(), Processor::Cpu), None);
+    }
+
+    #[test]
+    fn static_policy_matches_assignment() {
+        let mut assignment = HashMap::new();
+        assignment.insert(1usize, Processor::Gpu);
+        assignment.insert(2usize, Processor::Cpu);
+        let s = Scheduler::new(
+            SchedulingPolicyKind::Static { assignment },
+            Arc::new(ThroughputMatrix::new(0.5, 1)),
+        );
+        let q = queue_of(&[1, 1, 2]);
+        assert_eq!(s.select_index(&q, Processor::Gpu), Some(0));
+        assert_eq!(s.select_index(&q, Processor::Cpu), Some(2));
+        // Unassigned queries default to the CPU.
+        let q = queue_of(&[9]);
+        assert_eq!(s.select_index(&q, Processor::Gpu), None);
+        assert_eq!(s.select_index(&q, Processor::Cpu), Some(0));
+    }
+
+    #[test]
+    fn hls_reproduces_the_papers_fig5_walkthrough() {
+        // Queue (head first): q2 q2 q2 q3 q3 q1 q1 — Fig. 5 of the paper.
+        // A CPU worker should skip the q2 tasks (preferred on the GPGPU) and
+        // the q3 task while the accumulated GPGPU delay is small, and pick
+        // the fourth task (a q3 task) once the delay exceeds the benefit...
+        // The paper's walkthrough: the CPU worker skips v1..v3 and executes
+        // v4; a GPGPU worker takes the head of the queue.
+        let matrix = fig5_matrix();
+        let s = Scheduler::new(SchedulingPolicyKind::Hls { switch_threshold: 100 }, matrix);
+        let q = queue_of(&[2, 2, 2, 3, 3, 1, 1]);
+        // GPGPU worker: q2 prefers the GPGPU → take the head.
+        assert_eq!(s.select_index(&q, Processor::Gpu), Some(0));
+        // CPU worker: delay after skipping v1..v3 (all q2, GPGPU-preferred)
+        // is 1/15+1/15+1/15 = 0.2 ≥ 1/C(q3, CPU) = 1/20 → v4 runs on the CPU.
+        assert_eq!(s.select_index(&q, Processor::Cpu), Some(3));
+    }
+
+    #[test]
+    fn hls_prefers_the_faster_processor_when_it_is_idle() {
+        let matrix = fig5_matrix();
+        let s = Scheduler::new(SchedulingPolicyKind::Hls { switch_threshold: 100 }, matrix);
+        // Only q1 tasks (CPU-preferred): the CPU takes the head, the GPGPU
+        // declines because the CPU backlog (1/50) stays below 1/C(q1,GPU)=1/20.
+        let q = queue_of(&[1, 1]);
+        assert_eq!(s.select_index(&q, Processor::Cpu), Some(0));
+        assert_eq!(s.select_index(&q, Processor::Gpu), None);
+    }
+
+    #[test]
+    fn hls_lets_the_slower_processor_help_under_backlog() {
+        let matrix = fig5_matrix();
+        let s = Scheduler::new(SchedulingPolicyKind::Hls { switch_threshold: 100 }, matrix);
+        // Many q1 tasks: the CPU backlog accumulates (1/50 per task), so the
+        // GPGPU eventually picks one up even though the CPU is preferred.
+        let q = queue_of(&[1; 10]);
+        let picked = s.select_index(&q, Processor::Gpu);
+        // After skipping k tasks the delay is k/50; the GPGPU takes a task
+        // once k/50 >= 1/20, i.e. at index 3 (k = 3 skipped: 3/50 = 0.06 ≥ 0.05).
+        assert_eq!(picked, Some(3));
+    }
+
+    #[test]
+    fn switch_threshold_forces_exploration() {
+        let matrix = fig5_matrix();
+        let s = Scheduler::new(SchedulingPolicyKind::Hls { switch_threshold: 3 }, matrix);
+        let q = queue_of(&[1, 1, 1, 1, 1, 1]);
+        // The CPU (preferred for q1) takes three tasks, then the threshold
+        // stops it...
+        for _ in 0..3 {
+            assert_eq!(s.select_index(&q, Processor::Cpu), Some(0));
+        }
+        assert_eq!(s.select_index(&q, Processor::Cpu), None);
+        // ...and the GPGPU is allowed to take the next task immediately,
+        // which resets the CPU counter.
+        assert_eq!(s.select_index(&q, Processor::Gpu), Some(0));
+        assert_eq!(s.count(1, Processor::Cpu), 0);
+        assert_eq!(s.select_index(&q, Processor::Cpu), Some(0));
+    }
+
+    #[test]
+    fn next_task_removes_from_the_shared_queue() {
+        let matrix = fig5_matrix();
+        let s = Scheduler::new(SchedulingPolicyKind::Fcfs, matrix);
+        let queue = TaskQueue::new();
+        queue.push(mk_task(0, 1));
+        let t = s.next_task(&queue, Processor::Cpu, Duration::from_millis(10));
+        assert!(t.is_some());
+        assert!(queue.is_empty());
+    }
+}

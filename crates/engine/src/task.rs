@@ -1,0 +1,74 @@
+//! Query tasks (paper §3): an operator function bundled with stream batches.
+
+use saber_cpu::exec::StreamBatch;
+use saber_cpu::plan::CompiledPlan;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// A data-parallel query task, runnable on either a CPU core or the
+/// accelerator.
+#[derive(Debug, Clone)]
+pub struct QueryTask {
+    /// Globally unique, monotonically increasing task identifier.
+    pub id: u64,
+    /// The query this task belongs to.
+    pub query_id: usize,
+    /// Per-query sequence number (defines result order within the query).
+    pub seq: u64,
+    /// The compiled operator function `f^q`.
+    pub plan: Arc<CompiledPlan>,
+    /// One stream batch per query input.
+    pub batches: Vec<StreamBatch>,
+    /// When the task was created by the dispatcher (latency accounting).
+    pub created: Instant,
+}
+
+impl QueryTask {
+    /// Total payload size of the task's new rows in bytes (the paper's query
+    /// task size φ is the sum of the stream batch sizes).
+    pub fn size_bytes(&self) -> usize {
+        self.batches.iter().map(|b| b.new_bytes()).sum()
+    }
+
+    /// Total number of new rows across the task's batches.
+    pub fn rows(&self) -> usize {
+        self.batches.iter().map(|b| b.new_rows()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use saber_query::{Expr, QueryBuilder};
+    use saber_types::{DataType, RowBuffer, Schema, Value};
+
+    #[test]
+    fn task_size_sums_new_bytes_of_all_batches() {
+        let schema = Schema::from_pairs(&[("ts", DataType::Timestamp), ("v", DataType::Int)])
+            .unwrap()
+            .into_ref();
+        let q = QueryBuilder::new("sel", schema.clone())
+            .count_window(4, 4)
+            .select(Expr::literal(1.0))
+            .build()
+            .unwrap();
+        let plan = Arc::new(CompiledPlan::compile(&q).unwrap());
+        let mut rows = RowBuffer::new(schema);
+        for i in 0..10 {
+            rows.push_values(&[Value::Timestamp(i), Value::Int(i as i32)]).unwrap();
+        }
+        let mut batch = StreamBatch::new(rows, 0, 0);
+        batch.lookback_rows = 2;
+        batch.start_index = 2;
+        let task = QueryTask {
+            id: 1,
+            query_id: 0,
+            seq: 0,
+            plan,
+            batches: vec![batch],
+            created: Instant::now(),
+        };
+        assert_eq!(task.rows(), 8);
+        assert_eq!(task.size_bytes(), 8 * 12);
+    }
+}

@@ -1,0 +1,216 @@
+//! Worker threads (paper §4): the execution stage.
+//!
+//! Every worker handles the complete lifecycle of the query tasks it picks:
+//! it invokes the scheduling stage to obtain a task for its processor,
+//! executes the task (CPU workers through `saber_cpu::CpuExecutor`, the
+//! accelerator worker through the five-stage pipeline of `saber_gpu`),
+//! records the observed throughput in the matrix, and enters the result stage
+//! to reorder and assemble results.
+
+use crate::metrics::QueryStats;
+use crate::queue::TaskQueue;
+use crate::result::ResultStage;
+use crate::scheduler::{Processor, Scheduler};
+use crate::task::QueryTask;
+use crate::throughput::ThroughputMatrix;
+use saber_cpu::{CpuExecutor, TaskOutput};
+use saber_gpu::pipeline::{GpuPipeline, PipelineJob};
+use saber_gpu::GpuDevice;
+use saber_types::RowBuffer;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Per-query runtime state shared with the workers.
+pub struct QueryRuntime {
+    /// The query's result stage.
+    pub result: Arc<ResultStage>,
+    /// The query's statistics block.
+    pub stats: Arc<QueryStats>,
+}
+
+/// Everything a worker thread needs.
+pub struct WorkerContext {
+    /// The system-wide task queue.
+    pub queue: Arc<TaskQueue>,
+    /// The scheduling stage.
+    pub scheduler: Arc<Scheduler>,
+    /// The observed throughput matrix.
+    pub matrix: Arc<ThroughputMatrix>,
+    /// Per-query runtime state, indexed by query id.
+    pub queries: Arc<Vec<QueryRuntime>>,
+    /// Number of tasks dispatched but not yet fully processed.
+    pub in_flight: Arc<AtomicU64>,
+}
+
+impl WorkerContext {
+    fn finish(&self, task_query: usize, seq: u64, created: Instant, output: TaskOutput, processor: Processor) {
+        let runtime = &self.queries[task_query];
+        runtime.stats.record_task(processor);
+        let output = output;
+        if runtime.result.submit(seq, output, created).is_err() {
+            // Result-stage errors are unrecoverable for the query; keep the
+            // sequence moving so other tasks are not blocked.
+            let _ = runtime.result.submit(
+                seq,
+                TaskOutput::Rows(RowBuffer::new(runtime.result.sink().schema().clone())),
+                created,
+            );
+        }
+        self.in_flight.fetch_sub(1, Ordering::Release);
+    }
+}
+
+/// The CPU worker loop: one instance runs per CPU worker thread.
+pub fn run_cpu_worker(ctx: WorkerContext) {
+    let executor = CpuExecutor::new();
+    loop {
+        match ctx
+            .scheduler
+            .next_task(&ctx.queue, Processor::Cpu, Duration::from_millis(20))
+        {
+            Some(task) => {
+                let QueryTask {
+                    query_id,
+                    seq,
+                    plan,
+                    batches,
+                    created,
+                    ..
+                } = task;
+                let started = Instant::now();
+                let output = executor
+                    .execute(&plan, &batches)
+                    .unwrap_or_else(|_| TaskOutput::Rows(RowBuffer::new(plan.output_schema().clone())));
+                ctx.matrix.record(query_id, Processor::Cpu, started.elapsed());
+                ctx.finish(query_id, seq, created, output, Processor::Cpu);
+            }
+            None => {
+                if ctx.queue.is_shutdown() && ctx.queue.is_empty() {
+                    break;
+                }
+            }
+        }
+    }
+}
+
+/// The accelerator worker loop: drives the device, optionally keeping
+/// several tasks in flight through the five-stage pipeline so data movement
+/// overlaps kernel execution.
+pub fn run_gpu_worker(ctx: WorkerContext, device: Arc<GpuDevice>, pipeline_depth: usize) {
+    if pipeline_depth <= 1 {
+        run_gpu_worker_sequential(ctx, device);
+    } else {
+        run_gpu_worker_pipelined(ctx, device, pipeline_depth);
+    }
+}
+
+fn run_gpu_worker_sequential(ctx: WorkerContext, device: Arc<GpuDevice>) {
+    loop {
+        match ctx
+            .scheduler
+            .next_task(&ctx.queue, Processor::Gpu, Duration::from_millis(20))
+        {
+            Some(task) => {
+                let QueryTask {
+                    query_id,
+                    seq,
+                    plan,
+                    batches,
+                    created,
+                    ..
+                } = task;
+                let started = Instant::now();
+                let output = device
+                    .execute(&plan, &batches)
+                    .unwrap_or_else(|_| TaskOutput::Rows(RowBuffer::new(plan.output_schema().clone())));
+                ctx.matrix.record(query_id, Processor::Gpu, started.elapsed());
+                ctx.finish(query_id, seq, created, output, Processor::Gpu);
+            }
+            None => {
+                if ctx.queue.is_shutdown() && ctx.queue.is_empty() {
+                    break;
+                }
+            }
+        }
+    }
+}
+
+struct InFlightTask {
+    query_id: usize,
+    seq: u64,
+    created: Instant,
+    submitted: Instant,
+}
+
+fn run_gpu_worker_pipelined(ctx: WorkerContext, device: Arc<GpuDevice>, depth: usize) {
+    let pipeline = GpuPipeline::new(device, 1);
+    let completions = pipeline.completions().clone();
+    let mut in_flight: HashMap<u64, InFlightTask> = HashMap::new();
+    loop {
+        // Fill the pipeline up to the configured depth.
+        while in_flight.len() < depth {
+            let timeout = if in_flight.is_empty() {
+                Duration::from_millis(20)
+            } else {
+                Duration::from_millis(1)
+            };
+            match ctx.scheduler.next_task(&ctx.queue, Processor::Gpu, timeout) {
+                Some(task) => {
+                    let job = PipelineJob {
+                        task_id: task.id,
+                        plan: task.plan.clone(),
+                        batches: task.batches,
+                    };
+                    in_flight.insert(
+                        task.id,
+                        InFlightTask {
+                            query_id: task.query_id,
+                            seq: task.seq,
+                            created: task.created,
+                            submitted: Instant::now(),
+                        },
+                    );
+                    if pipeline.submit(job).is_err() {
+                        // Pipeline shut down unexpectedly; drop the task.
+                        in_flight.remove(&task.id);
+                        ctx.in_flight.fetch_sub(1, Ordering::Release);
+                    }
+                }
+                None => break,
+            }
+        }
+
+        // Drain completions.
+        let mut drained = false;
+        while let Ok(result) = completions.try_recv() {
+            drained = true;
+            if let Some(meta) = in_flight.remove(&result.task_id) {
+                let duration = meta.submitted.elapsed();
+                ctx.matrix.record(meta.query_id, Processor::Gpu, duration);
+                let output = result.output.unwrap_or_else(|_| {
+                    TaskOutput::Rows(RowBuffer::new(result.plan.output_schema().clone()))
+                });
+                ctx.finish(meta.query_id, meta.seq, meta.created, output, Processor::Gpu);
+            }
+        }
+        if !drained && !in_flight.is_empty() {
+            // Wait briefly for the next completion instead of spinning.
+            if let Ok(result) = completions.recv_timeout(Duration::from_millis(5)) {
+                if let Some(meta) = in_flight.remove(&result.task_id) {
+                    let duration = meta.submitted.elapsed();
+                    ctx.matrix.record(meta.query_id, Processor::Gpu, duration);
+                    let output = result.output.unwrap_or_else(|_| {
+                        TaskOutput::Rows(RowBuffer::new(result.plan.output_schema().clone()))
+                    });
+                    ctx.finish(meta.query_id, meta.seq, meta.created, output, Processor::Gpu);
+                }
+            }
+        }
+
+        if ctx.queue.is_shutdown() && ctx.queue.is_empty() && in_flight.is_empty() {
+            break;
+        }
+    }
+}

@@ -1,0 +1,170 @@
+//! Pinned host memory and device global memory.
+//!
+//! Executing a query task on the accelerator moves its data through four
+//! memory regions (paper Fig. 6): engine heap → pinned host input buffer →
+//! device global memory → pinned host output buffer → engine heap. The
+//! regions here are plain byte buffers, but routing every task through them
+//! keeps the data-movement structure (and the copy costs measured by the
+//! `copyin`/`copyout` stages) identical to the paper's design.
+
+use saber_types::{Result, SaberError};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A reusable fixed-capacity byte region (one slot of pinned or device
+/// memory).
+#[derive(Debug, Clone)]
+pub struct MemoryRegion {
+    bytes: Vec<u8>,
+    capacity: usize,
+}
+
+impl MemoryRegion {
+    /// Creates an empty region with the given capacity.
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            bytes: Vec::with_capacity(capacity),
+            capacity,
+        }
+    }
+
+    /// Copies `data` into the region, replacing its contents.
+    pub fn write(&mut self, data: &[u8]) -> Result<()> {
+        if data.len() > self.capacity {
+            return Err(SaberError::Device(format!(
+                "region overflow: {} bytes into a {}-byte region",
+                data.len(),
+                self.capacity
+            )));
+        }
+        self.bytes.clear();
+        self.bytes.extend_from_slice(data);
+        Ok(())
+    }
+
+    /// The current contents.
+    pub fn as_slice(&self) -> &[u8] {
+        &self.bytes
+    }
+
+    /// Number of valid bytes.
+    pub fn len(&self) -> usize {
+        self.bytes.len()
+    }
+
+    /// True if no bytes are stored.
+    pub fn is_empty(&self) -> bool {
+        self.bytes.is_empty()
+    }
+
+    /// Region capacity in bytes.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Clears the contents, keeping the allocation.
+    pub fn clear(&mut self) {
+        self.bytes.clear();
+    }
+}
+
+/// Tracks the accelerator's global-memory budget (allocation accounting only
+/// — contents live in [`MemoryRegion`]s owned by the pipeline slots).
+#[derive(Debug)]
+pub struct DeviceMemory {
+    capacity: u64,
+    allocated: AtomicU64,
+    peak: AtomicU64,
+}
+
+impl DeviceMemory {
+    /// Creates an accounting pool of `capacity` bytes.
+    pub fn new(capacity: u64) -> Self {
+        Self {
+            capacity,
+            allocated: AtomicU64::new(0),
+            peak: AtomicU64::new(0),
+        }
+    }
+
+    /// Reserves `bytes`; fails if the device memory would be exhausted.
+    pub fn allocate(&self, bytes: u64) -> Result<()> {
+        let mut current = self.allocated.load(Ordering::Relaxed);
+        loop {
+            let next = current + bytes;
+            if next > self.capacity {
+                return Err(SaberError::Device(format!(
+                    "device memory exhausted: {next} > {} bytes",
+                    self.capacity
+                )));
+            }
+            match self.allocated.compare_exchange_weak(
+                current,
+                next,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => {
+                    self.peak.fetch_max(next, Ordering::Relaxed);
+                    return Ok(());
+                }
+                Err(actual) => current = actual,
+            }
+        }
+    }
+
+    /// Releases `bytes` back to the pool.
+    pub fn free(&self, bytes: u64) {
+        self.allocated.fetch_sub(bytes, Ordering::Relaxed);
+    }
+
+    /// Currently allocated bytes.
+    pub fn allocated(&self) -> u64 {
+        self.allocated.load(Ordering::Relaxed)
+    }
+
+    /// Peak allocation seen so far.
+    pub fn peak(&self) -> u64 {
+        self.peak.load(Ordering::Relaxed)
+    }
+
+    /// Total capacity in bytes.
+    pub fn capacity(&self) -> u64 {
+        self.capacity
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn region_write_and_read_back() {
+        let mut r = MemoryRegion::new(16);
+        r.write(&[1, 2, 3]).unwrap();
+        assert_eq!(r.as_slice(), &[1, 2, 3]);
+        assert_eq!(r.len(), 3);
+        assert!(!r.is_empty());
+        r.clear();
+        assert!(r.is_empty());
+        assert_eq!(r.capacity(), 16);
+    }
+
+    #[test]
+    fn region_overflow_is_an_error() {
+        let mut r = MemoryRegion::new(4);
+        assert!(r.write(&[0; 8]).is_err());
+    }
+
+    #[test]
+    fn device_memory_accounting() {
+        let mem = DeviceMemory::new(1000);
+        mem.allocate(400).unwrap();
+        mem.allocate(500).unwrap();
+        assert!(mem.allocate(200).is_err());
+        assert_eq!(mem.allocated(), 900);
+        mem.free(500);
+        assert_eq!(mem.allocated(), 400);
+        assert_eq!(mem.peak(), 900);
+        assert_eq!(mem.capacity(), 1000);
+    }
+}

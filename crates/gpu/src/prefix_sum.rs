@@ -1,0 +1,76 @@
+//! Prefix-sum (scan) primitive.
+//!
+//! The paper's selection and join kernels write their results to a
+//! *continuous* region of global device memory by first producing a binary
+//! match-flag vector per work group and then running a prefix-sum over it to
+//! obtain each matching tuple's output address (§5.4, citing Blelloch [14]).
+//! This module provides that scan.
+
+/// Exclusive prefix sum: `out[i] = flags[0] + … + flags[i-1]`.
+/// Returns the total number of set flags.
+pub fn exclusive_scan(flags: &[u32], out: &mut Vec<u32>) -> u32 {
+    out.clear();
+    out.reserve(flags.len());
+    let mut acc = 0u32;
+    for &f in flags {
+        out.push(acc);
+        acc += f;
+    }
+    acc
+}
+
+/// In-place inclusive prefix sum over `values`; returns the total.
+pub fn inclusive_scan_in_place(values: &mut [u32]) -> u32 {
+    let mut acc = 0u32;
+    for v in values.iter_mut() {
+        acc += *v;
+        *v = acc;
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exclusive_scan_computes_offsets() {
+        let flags = vec![1, 0, 1, 1, 0, 1];
+        let mut out = Vec::new();
+        let total = exclusive_scan(&flags, &mut out);
+        assert_eq!(total, 4);
+        assert_eq!(out, vec![0, 1, 1, 2, 3, 3]);
+    }
+
+    #[test]
+    fn exclusive_scan_of_empty_input() {
+        let mut out = Vec::new();
+        assert_eq!(exclusive_scan(&[], &mut out), 0);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn inclusive_scan_in_place_totals() {
+        let mut v = vec![1, 2, 3, 4];
+        let total = inclusive_scan_in_place(&mut v);
+        assert_eq!(total, 10);
+        assert_eq!(v, vec![1, 3, 6, 10]);
+    }
+
+    #[test]
+    fn scan_addresses_compact_selected_rows() {
+        // Property: using the exclusive scan as write addresses compacts
+        // exactly the flagged elements, preserving order.
+        let flags: Vec<u32> = (0..100).map(|i| (i % 3 == 0) as u32).collect();
+        let mut offsets = Vec::new();
+        let total = exclusive_scan(&flags, &mut offsets) as usize;
+        let mut out = vec![usize::MAX; total];
+        for (i, &f) in flags.iter().enumerate() {
+            if f == 1 {
+                out[offsets[i] as usize] = i;
+            }
+        }
+        let expected: Vec<usize> = (0..100).filter(|i| i % 3 == 0).collect();
+        assert_eq!(out, expected);
+    }
+}

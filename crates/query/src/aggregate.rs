@@ -1,0 +1,348 @@
+//! Aggregate functions and aggregate specifications.
+//!
+//! SABER's aggregation operator evaluates one or more aggregate functions per
+//! window (optionally per GROUP-BY group). The engine computes aggregates
+//! incrementally over panes (paper §5.3), so every function here must expose
+//! a mergeable partial state: [`AggState`] values produced for window
+//! fragments are merged by the assembly operator function.
+
+use saber_types::{DataType, Result, SaberError, Schema};
+
+/// The aggregate functions supported by the engine.
+///
+/// `Count`, `Sum`, `Avg`, `Min` and `Max` are the paper's associative /
+/// commutative aggregation functions; `CountDistinct` is used by LRB4
+/// (number of distinct vehicles per segment).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AggregateFunction {
+    Count,
+    Sum,
+    Avg,
+    Min,
+    Max,
+    CountDistinct,
+}
+
+impl AggregateFunction {
+    /// Human-readable lower-case name (`sum`, `cnt`, ...), used in output
+    /// attribute names.
+    pub fn name(&self) -> &'static str {
+        match self {
+            AggregateFunction::Count => "cnt",
+            AggregateFunction::Sum => "sum",
+            AggregateFunction::Avg => "avg",
+            AggregateFunction::Min => "min",
+            AggregateFunction::Max => "max",
+            AggregateFunction::CountDistinct => "cntd",
+        }
+    }
+
+    /// Whether the function needs an input column (COUNT does not).
+    pub fn needs_column(&self) -> bool {
+        !matches!(self, AggregateFunction::Count)
+    }
+
+    /// Whether partial states can be merged by simple addition of sums and
+    /// counts (true for all but `CountDistinct`, which carries a value set).
+    pub fn is_additive(&self) -> bool {
+        !matches!(self, AggregateFunction::CountDistinct)
+    }
+
+    /// The output type of the aggregate.
+    pub fn output_type(&self) -> DataType {
+        match self {
+            AggregateFunction::Count | AggregateFunction::CountDistinct => DataType::Long,
+            _ => DataType::Float,
+        }
+    }
+}
+
+/// One aggregate to compute: a function plus its input column.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AggregateSpec {
+    /// The aggregate function.
+    pub function: AggregateFunction,
+    /// Input column index (ignored for `Count`).
+    pub column: Option<usize>,
+    /// Output attribute name.
+    pub output_name: String,
+}
+
+impl AggregateSpec {
+    /// Creates an aggregate over `column`.
+    pub fn new(function: AggregateFunction, column: usize) -> Self {
+        Self {
+            function,
+            column: Some(column),
+            output_name: format!("{}_{}", function.name(), column),
+        }
+    }
+
+    /// Creates a `COUNT(*)` aggregate.
+    pub fn count() -> Self {
+        Self {
+            function: AggregateFunction::Count,
+            column: None,
+            output_name: "cnt".to_string(),
+        }
+    }
+
+    /// Renames the output attribute.
+    pub fn named(mut self, name: impl Into<String>) -> Self {
+        self.output_name = name.into();
+        self
+    }
+
+    /// Validates the spec against an input schema.
+    pub fn validate(&self, schema: &Schema) -> Result<()> {
+        if self.function.needs_column() {
+            match self.column {
+                None => {
+                    return Err(SaberError::Query(format!(
+                        "aggregate {} requires an input column",
+                        self.function.name()
+                    )))
+                }
+                Some(c) if c >= schema.len() => {
+                    return Err(SaberError::Query(format!(
+                        "aggregate {} references column {c} but the schema has {} attributes",
+                        self.function.name(),
+                        schema.len()
+                    )))
+                }
+                _ => {}
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Mergeable partial aggregate state for a single aggregate function over one
+/// (window, group) pair.
+///
+/// The representation covers all supported functions: `sum` and `count`
+/// together express COUNT/SUM/AVG, `min`/`max` express the extrema, and
+/// `distinct` carries the value set for COUNT DISTINCT. The assembly operator
+/// function merges partial states of adjacent window fragments with
+/// [`AggState::merge`], which is associative and commutative for the additive
+/// functions and associative for COUNT DISTINCT.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AggState {
+    /// Sum of the aggregated column.
+    pub sum: f64,
+    /// Number of contributing tuples.
+    pub count: u64,
+    /// Minimum observed value.
+    pub min: f64,
+    /// Maximum observed value.
+    pub max: f64,
+    /// Distinct raw 64-bit keys (only populated for COUNT DISTINCT).
+    pub distinct: Option<Vec<i64>>,
+}
+
+impl Default for AggState {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl AggState {
+    /// An empty (identity) state.
+    pub fn new() -> Self {
+        Self {
+            sum: 0.0,
+            count: 0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+            distinct: None,
+        }
+    }
+
+    /// An empty state that tracks distinct values.
+    pub fn new_distinct() -> Self {
+        let mut s = Self::new();
+        s.distinct = Some(Vec::new());
+        s
+    }
+
+    /// Folds one value into the state.
+    #[inline]
+    pub fn update(&mut self, value: f64) {
+        self.sum += value;
+        self.count += 1;
+        if value < self.min {
+            self.min = value;
+        }
+        if value > self.max {
+            self.max = value;
+        }
+    }
+
+    /// Folds one distinct key into the state (COUNT DISTINCT).
+    pub fn update_distinct(&mut self, key: i64) {
+        self.count += 1;
+        let set = self.distinct.get_or_insert_with(Vec::new);
+        if let Err(pos) = set.binary_search(&key) {
+            set.insert(pos, key);
+        }
+    }
+
+    /// Merges another partial state into this one (assembly operator
+    /// function for aggregation).
+    pub fn merge(&mut self, other: &AggState) {
+        self.sum += other.sum;
+        self.count += other.count;
+        if other.min < self.min {
+            self.min = other.min;
+        }
+        if other.max > self.max {
+            self.max = other.max;
+        }
+        if let Some(theirs) = &other.distinct {
+            let set = self.distinct.get_or_insert_with(Vec::new);
+            for k in theirs {
+                if let Err(pos) = set.binary_search(k) {
+                    set.insert(pos, *k);
+                }
+            }
+        }
+    }
+
+    /// Finalises the state into the value of `function`.
+    pub fn finalize(&self, function: AggregateFunction) -> f64 {
+        match function {
+            AggregateFunction::Count => self.count as f64,
+            AggregateFunction::Sum => self.sum,
+            AggregateFunction::Avg => {
+                if self.count == 0 {
+                    0.0
+                } else {
+                    self.sum / self.count as f64
+                }
+            }
+            AggregateFunction::Min => {
+                if self.count == 0 {
+                    0.0
+                } else {
+                    self.min
+                }
+            }
+            AggregateFunction::Max => {
+                if self.count == 0 {
+                    0.0
+                } else {
+                    self.max
+                }
+            }
+            AggregateFunction::CountDistinct => {
+                self.distinct.as_ref().map(|d| d.len()).unwrap_or(0) as f64
+            }
+        }
+    }
+
+    /// True if no tuple has contributed to this state.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn function_metadata() {
+        assert_eq!(AggregateFunction::Sum.name(), "sum");
+        assert_eq!(AggregateFunction::Count.name(), "cnt");
+        assert!(!AggregateFunction::Count.needs_column());
+        assert!(AggregateFunction::Avg.needs_column());
+        assert!(AggregateFunction::Sum.is_additive());
+        assert!(!AggregateFunction::CountDistinct.is_additive());
+        assert_eq!(AggregateFunction::Count.output_type(), DataType::Long);
+        assert_eq!(AggregateFunction::Avg.output_type(), DataType::Float);
+    }
+
+    #[test]
+    fn spec_validation() {
+        let schema = Schema::from_pairs(&[("ts", DataType::Timestamp), ("v", DataType::Float)]).unwrap();
+        assert!(AggregateSpec::new(AggregateFunction::Sum, 1).validate(&schema).is_ok());
+        assert!(AggregateSpec::new(AggregateFunction::Sum, 5).validate(&schema).is_err());
+        assert!(AggregateSpec::count().validate(&schema).is_ok());
+        let mut broken = AggregateSpec::count();
+        broken.function = AggregateFunction::Avg;
+        assert!(broken.validate(&schema).is_err());
+    }
+
+    #[test]
+    fn named_changes_output_name() {
+        let spec = AggregateSpec::new(AggregateFunction::Avg, 2).named("avgCpu");
+        assert_eq!(spec.output_name, "avgCpu");
+    }
+
+    #[test]
+    fn state_update_and_finalize() {
+        let mut s = AggState::new();
+        for v in [3.0, 1.0, 4.0, 1.0, 5.0] {
+            s.update(v);
+        }
+        assert_eq!(s.finalize(AggregateFunction::Count), 5.0);
+        assert_eq!(s.finalize(AggregateFunction::Sum), 14.0);
+        assert!((s.finalize(AggregateFunction::Avg) - 2.8).abs() < 1e-9);
+        assert_eq!(s.finalize(AggregateFunction::Min), 1.0);
+        assert_eq!(s.finalize(AggregateFunction::Max), 5.0);
+    }
+
+    #[test]
+    fn empty_state_finalizes_to_zero() {
+        let s = AggState::new();
+        assert!(s.is_empty());
+        for f in [
+            AggregateFunction::Count,
+            AggregateFunction::Sum,
+            AggregateFunction::Avg,
+            AggregateFunction::Min,
+            AggregateFunction::Max,
+            AggregateFunction::CountDistinct,
+        ] {
+            assert_eq!(s.finalize(f), 0.0);
+        }
+    }
+
+    #[test]
+    fn merge_is_equivalent_to_single_pass() {
+        let values: Vec<f64> = (0..100).map(|i| (i as f64) * 0.37 - 5.0).collect();
+        let mut whole = AggState::new();
+        for v in &values {
+            whole.update(*v);
+        }
+        // Split into three fragments and merge.
+        let mut merged = AggState::new();
+        for chunk in values.chunks(33) {
+            let mut part = AggState::new();
+            for v in chunk {
+                part.update(*v);
+            }
+            merged.merge(&part);
+        }
+        assert_eq!(merged.count, whole.count);
+        assert!((merged.sum - whole.sum).abs() < 1e-9);
+        assert_eq!(merged.min, whole.min);
+        assert_eq!(merged.max, whole.max);
+    }
+
+    #[test]
+    fn distinct_counting_dedupes_across_merges() {
+        let mut a = AggState::new_distinct();
+        for k in [1, 2, 3, 2, 1] {
+            a.update_distinct(k);
+        }
+        let mut b = AggState::new_distinct();
+        for k in [3, 4, 5] {
+            b.update_distinct(k);
+        }
+        a.merge(&b);
+        assert_eq!(a.finalize(AggregateFunction::CountDistinct), 5.0);
+        // COUNT still counts all contributing tuples.
+        assert_eq!(a.count, 8);
+    }
+}

@@ -1,0 +1,31 @@
+//! # saber-query
+//!
+//! The window-based streaming query model of SABER (paper §2.4).
+//!
+//! A query `q` over `n` input streams is defined by
+//!
+//! 1. an *n*-tuple of window functions (one [`WindowSpec`] per input),
+//! 2. an operator function `f^q` (a pipeline of relational operators:
+//!    projection, selection, aggregation with GROUP-BY/HAVING, θ-join,
+//!    partition join), and
+//! 3. a stream function `φ^q` ([`StreamFunction::RStream`] or
+//!    [`StreamFunction::IStream`]) that turns window results back into a
+//!    stream.
+//!
+//! Queries are *logical* descriptions; the physical fragment/batch/assembly
+//! operator functions live in `saber-cpu` and `saber-gpu`, and the runtime in
+//! `saber-engine`.
+
+pub mod aggregate;
+pub mod expr;
+pub mod operator;
+pub mod query;
+pub mod window;
+
+pub use aggregate::{AggregateFunction, AggregateSpec};
+pub use expr::{BinaryOp, CompareOp, Expr};
+pub use operator::{
+    AggregationSpec, JoinSpec, OperatorDef, PartitionJoinSpec, ProjectionSpec, SelectionSpec,
+};
+pub use query::{Query, QueryBuilder, QueryId, StreamFunction, StreamInput};
+pub use window::{PaneLayout, WindowIndex, WindowRange, WindowSpec};

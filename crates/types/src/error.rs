@@ -1,0 +1,103 @@
+//! Error handling for the SABER crates.
+
+use std::fmt;
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, SaberError>;
+
+/// Errors produced by the SABER data model, query compiler and engine.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SaberError {
+    /// A schema was constructed or used inconsistently (duplicate attribute
+    /// names, unknown attribute, type mismatch, ...).
+    Schema(String),
+    /// A query definition is invalid (window size of zero, aggregate over a
+    /// non-numeric column, join without two inputs, ...).
+    Query(String),
+    /// An engine configuration value is invalid (zero workers, task size of
+    /// zero bytes, result-slot count not a power of two, ...).
+    Config(String),
+    /// A buffer operation failed (out-of-bounds row index, misaligned byte
+    /// length, circular-buffer overflow with backpressure disabled, ...).
+    Buffer(String),
+    /// The simulated accelerator rejected an operation (kernel missing for an
+    /// operator, device memory exhausted, ...).
+    Device(String),
+    /// The engine is in the wrong state for the requested operation
+    /// (e.g. adding a query after `start`, ingesting into a stopped engine).
+    State(String),
+}
+
+impl SaberError {
+    /// Short machine-readable category name, useful for metrics and logs.
+    pub fn category(&self) -> &'static str {
+        match self {
+            SaberError::Schema(_) => "schema",
+            SaberError::Query(_) => "query",
+            SaberError::Config(_) => "config",
+            SaberError::Buffer(_) => "buffer",
+            SaberError::Device(_) => "device",
+            SaberError::State(_) => "state",
+        }
+    }
+
+    /// The human-readable message carried by this error.
+    pub fn message(&self) -> &str {
+        match self {
+            SaberError::Schema(m)
+            | SaberError::Query(m)
+            | SaberError::Config(m)
+            | SaberError::Buffer(m)
+            | SaberError::Device(m)
+            | SaberError::State(m) => m,
+        }
+    }
+}
+
+impl fmt::Display for SaberError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} error: {}", self.category(), self.message())
+    }
+}
+
+impl std::error::Error for SaberError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_category_and_message() {
+        let err = SaberError::Schema("duplicate attribute `cpu`".to_string());
+        let text = err.to_string();
+        assert!(text.contains("schema"));
+        assert!(text.contains("duplicate attribute"));
+    }
+
+    #[test]
+    fn category_is_stable_per_variant() {
+        assert_eq!(SaberError::Query("q".into()).category(), "query");
+        assert_eq!(SaberError::Config("c".into()).category(), "config");
+        assert_eq!(SaberError::Buffer("b".into()).category(), "buffer");
+        assert_eq!(SaberError::Device("d".into()).category(), "device");
+        assert_eq!(SaberError::State("s".into()).category(), "state");
+    }
+
+    #[test]
+    fn message_round_trips() {
+        let err = SaberError::Buffer("row 10 out of bounds".into());
+        assert_eq!(err.message(), "row 10 out of bounds");
+    }
+
+    #[test]
+    fn errors_are_comparable() {
+        assert_eq!(
+            SaberError::State("stopped".into()),
+            SaberError::State("stopped".into())
+        );
+        assert_ne!(
+            SaberError::State("stopped".into()),
+            SaberError::State("running".into())
+        );
+    }
+}

@@ -1,0 +1,413 @@
+//! Schemas describe the fixed-width binary layout of stream tuples.
+//!
+//! SABER keeps tuples serialised in byte arrays for their whole lifetime
+//! (paper §5.1); a [`Schema`] records, for each attribute, its primitive
+//! type and byte offset inside a row so that operators can decode exactly
+//! the attributes they touch.
+
+use crate::error::{Result, SaberError};
+use crate::value::Value;
+use std::sync::Arc;
+
+/// Primitive attribute types supported by the stream data model.
+///
+/// All types have a fixed width so that rows have a fixed size and windows
+/// can be addressed by byte arithmetic (the synthetic workloads of the paper
+/// use 32-byte tuples: one 64-bit timestamp plus six 32-bit values).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DataType {
+    /// 32-bit signed integer.
+    Int,
+    /// 64-bit signed integer.
+    Long,
+    /// 32-bit IEEE-754 float.
+    Float,
+    /// 64-bit IEEE-754 float.
+    Double,
+    /// 64-bit logical timestamp (milliseconds of application time).
+    Timestamp,
+}
+
+impl DataType {
+    /// Width of a value of this type in bytes.
+    pub const fn size(self) -> usize {
+        match self {
+            DataType::Int | DataType::Float => 4,
+            DataType::Long | DataType::Double | DataType::Timestamp => 8,
+        }
+    }
+
+    /// Whether the type can participate in arithmetic and aggregation.
+    pub const fn is_numeric(self) -> bool {
+        true
+    }
+
+    /// Whether the type is floating point.
+    pub const fn is_float(self) -> bool {
+        matches!(self, DataType::Float | DataType::Double)
+    }
+}
+
+/// A named, typed attribute of a stream schema.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Attribute {
+    name: String,
+    data_type: DataType,
+}
+
+impl Attribute {
+    /// Creates a new attribute.
+    pub fn new(name: impl Into<String>, data_type: DataType) -> Self {
+        Self {
+            name: name.into(),
+            data_type,
+        }
+    }
+
+    /// Attribute name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Attribute type.
+    pub fn data_type(&self) -> DataType {
+        self.data_type
+    }
+}
+
+/// A fixed-width row layout: an ordered list of attributes plus the byte
+/// offset of each attribute within a row.
+///
+/// By convention the timestamp attribute is attribute `0` unless another
+/// attribute of type [`DataType::Timestamp`] is designated explicitly with
+/// [`Schema::with_timestamp_attribute`]. Rows may carry trailing padding
+/// (`pad_to`) so workloads can reproduce the paper's tuple sizes exactly
+/// (e.g. the smart-grid tuples are padded to 32 bytes).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Schema {
+    attributes: Vec<Attribute>,
+    offsets: Vec<usize>,
+    row_size: usize,
+    timestamp_index: usize,
+}
+
+/// Shared, immutable schema handle used throughout the engine.
+pub type SchemaRef = Arc<Schema>;
+
+impl Schema {
+    /// Builds a schema from a list of attributes.
+    ///
+    /// Returns an error if the list is empty or contains duplicate names.
+    pub fn new(attributes: Vec<Attribute>) -> Result<Self> {
+        Self::with_padding(attributes, 0)
+    }
+
+    /// Builds a schema padded to at least `pad_to` bytes per row.
+    pub fn with_padding(attributes: Vec<Attribute>, pad_to: usize) -> Result<Self> {
+        if attributes.is_empty() {
+            return Err(SaberError::Schema("schema needs at least one attribute".into()));
+        }
+        for (i, a) in attributes.iter().enumerate() {
+            for b in &attributes[i + 1..] {
+                if a.name() == b.name() {
+                    return Err(SaberError::Schema(format!(
+                        "duplicate attribute name `{}`",
+                        a.name()
+                    )));
+                }
+            }
+        }
+        let mut offsets = Vec::with_capacity(attributes.len());
+        let mut offset = 0usize;
+        for attr in &attributes {
+            offsets.push(offset);
+            offset += attr.data_type().size();
+        }
+        let row_size = offset.max(pad_to);
+        let timestamp_index = attributes
+            .iter()
+            .position(|a| a.data_type() == DataType::Timestamp)
+            .unwrap_or(0);
+        Ok(Self {
+            attributes,
+            offsets,
+            row_size,
+            timestamp_index,
+        })
+    }
+
+    /// Convenience constructor from `(name, type)` pairs.
+    pub fn from_pairs(pairs: &[(&str, DataType)]) -> Result<Self> {
+        Self::new(
+            pairs
+                .iter()
+                .map(|(n, t)| Attribute::new(*n, *t))
+                .collect::<Vec<_>>(),
+        )
+    }
+
+    /// Designates `index` as the timestamp attribute.
+    pub fn with_timestamp_attribute(mut self, index: usize) -> Result<Self> {
+        if index >= self.attributes.len() {
+            return Err(SaberError::Schema(format!(
+                "timestamp attribute {index} out of range ({} attributes)",
+                self.attributes.len()
+            )));
+        }
+        self.timestamp_index = index;
+        Ok(self)
+    }
+
+    /// Wraps the schema into the shared handle used by the engine.
+    pub fn into_ref(self) -> SchemaRef {
+        Arc::new(self)
+    }
+
+    /// Number of attributes.
+    pub fn len(&self) -> usize {
+        self.attributes.len()
+    }
+
+    /// True if the schema has no attributes (never the case for valid schemas).
+    pub fn is_empty(&self) -> bool {
+        self.attributes.is_empty()
+    }
+
+    /// The attributes in declaration order.
+    pub fn attributes(&self) -> &[Attribute] {
+        &self.attributes
+    }
+
+    /// The attribute at `index`.
+    pub fn attribute(&self, index: usize) -> &Attribute {
+        &self.attributes[index]
+    }
+
+    /// Byte offset of attribute `index` within a row.
+    pub fn offset(&self, index: usize) -> usize {
+        self.offsets[index]
+    }
+
+    /// Fixed row width in bytes (including padding).
+    pub fn row_size(&self) -> usize {
+        self.row_size
+    }
+
+    /// Index of the attribute that carries the logical timestamp.
+    pub fn timestamp_index(&self) -> usize {
+        self.timestamp_index
+    }
+
+    /// Looks up an attribute index by name.
+    pub fn index_of(&self, name: &str) -> Result<usize> {
+        self.attributes
+            .iter()
+            .position(|a| a.name() == name)
+            .ok_or_else(|| SaberError::Schema(format!("unknown attribute `{name}`")))
+    }
+
+    /// Type of the attribute at `index`.
+    pub fn data_type(&self, index: usize) -> DataType {
+        self.attributes[index].data_type()
+    }
+
+    /// Builds the schema that results from projecting this schema onto the
+    /// given attribute indices (used for output-schema inference).
+    pub fn project(&self, indices: &[usize]) -> Result<Schema> {
+        let mut attrs = Vec::with_capacity(indices.len());
+        for &i in indices {
+            if i >= self.attributes.len() {
+                return Err(SaberError::Schema(format!(
+                    "projection index {i} out of range ({} attributes)",
+                    self.attributes.len()
+                )));
+            }
+            attrs.push(self.attributes[i].clone());
+        }
+        Schema::new(attrs)
+    }
+
+    /// Serialises a row of [`Value`]s according to this layout, appending the
+    /// bytes to `out`. Used by workload generators and tests; the hot ingest
+    /// path writes bytes directly.
+    pub fn encode_row(&self, values: &[Value], out: &mut Vec<u8>) -> Result<()> {
+        if values.len() != self.attributes.len() {
+            return Err(SaberError::Schema(format!(
+                "expected {} values, got {}",
+                self.attributes.len(),
+                values.len()
+            )));
+        }
+        let start = out.len();
+        out.resize(start + self.row_size, 0);
+        for (i, value) in values.iter().enumerate() {
+            let offset = start + self.offsets[i];
+            match (self.attributes[i].data_type(), value) {
+                (DataType::Int, Value::Int(v)) => {
+                    out[offset..offset + 4].copy_from_slice(&v.to_le_bytes())
+                }
+                (DataType::Float, Value::Float(v)) => {
+                    out[offset..offset + 4].copy_from_slice(&v.to_le_bytes())
+                }
+                (DataType::Long, Value::Long(v)) => {
+                    out[offset..offset + 8].copy_from_slice(&v.to_le_bytes())
+                }
+                (DataType::Double, Value::Double(v)) => {
+                    out[offset..offset + 8].copy_from_slice(&v.to_le_bytes())
+                }
+                (DataType::Timestamp, Value::Timestamp(v)) | (DataType::Timestamp, Value::Long(v)) => {
+                    out[offset..offset + 8].copy_from_slice(&v.to_le_bytes())
+                }
+                (expected, got) => {
+                    return Err(SaberError::Schema(format!(
+                        "attribute {} (`{}`) expects {:?}, got {:?}",
+                        i,
+                        self.attributes[i].name(),
+                        expected,
+                        got
+                    )))
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn synthetic() -> Schema {
+        Schema::from_pairs(&[
+            ("timestamp", DataType::Timestamp),
+            ("a1", DataType::Float),
+            ("a2", DataType::Int),
+            ("a3", DataType::Int),
+            ("a4", DataType::Int),
+            ("a5", DataType::Int),
+            ("a6", DataType::Int),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn synthetic_schema_is_32_bytes() {
+        // The paper's synthetic tuples are 32 bytes: 8-byte timestamp + six
+        // 4-byte attributes.
+        assert_eq!(synthetic().row_size(), 32);
+    }
+
+    #[test]
+    fn offsets_are_cumulative() {
+        let s = synthetic();
+        assert_eq!(s.offset(0), 0);
+        assert_eq!(s.offset(1), 8);
+        assert_eq!(s.offset(2), 12);
+        assert_eq!(s.offset(6), 28);
+    }
+
+    #[test]
+    fn padding_extends_row_size() {
+        let s = Schema::with_padding(
+            vec![
+                Attribute::new("timestamp", DataType::Timestamp),
+                Attribute::new("value", DataType::Float),
+            ],
+            32,
+        )
+        .unwrap();
+        assert_eq!(s.row_size(), 32);
+    }
+
+    #[test]
+    fn duplicate_names_are_rejected() {
+        let err = Schema::from_pairs(&[("x", DataType::Int), ("x", DataType::Int)]).unwrap_err();
+        assert_eq!(err.category(), "schema");
+    }
+
+    #[test]
+    fn empty_schema_is_rejected() {
+        assert!(Schema::new(vec![]).is_err());
+    }
+
+    #[test]
+    fn timestamp_attribute_is_detected() {
+        let s = Schema::from_pairs(&[("x", DataType::Int), ("ts", DataType::Timestamp)]).unwrap();
+        assert_eq!(s.timestamp_index(), 1);
+    }
+
+    #[test]
+    fn timestamp_attribute_can_be_overridden() {
+        let s = Schema::from_pairs(&[("a", DataType::Long), ("b", DataType::Long)])
+            .unwrap()
+            .with_timestamp_attribute(1)
+            .unwrap();
+        assert_eq!(s.timestamp_index(), 1);
+        assert!(Schema::from_pairs(&[("a", DataType::Long)])
+            .unwrap()
+            .with_timestamp_attribute(3)
+            .is_err());
+    }
+
+    #[test]
+    fn index_of_finds_attributes() {
+        let s = synthetic();
+        assert_eq!(s.index_of("a3").unwrap(), 3);
+        assert!(s.index_of("missing").is_err());
+    }
+
+    #[test]
+    fn project_builds_sub_schema() {
+        let s = synthetic();
+        let p = s.project(&[0, 2]).unwrap();
+        assert_eq!(p.len(), 2);
+        assert_eq!(p.attribute(1).name(), "a2");
+        assert_eq!(p.row_size(), 12);
+        assert!(s.project(&[99]).is_err());
+    }
+
+    #[test]
+    fn encode_row_round_trips_via_tuple_ref() {
+        let s = synthetic();
+        let mut bytes = Vec::new();
+        s.encode_row(
+            &[
+                Value::Timestamp(42),
+                Value::Float(1.5),
+                Value::Int(7),
+                Value::Int(8),
+                Value::Int(9),
+                Value::Int(10),
+                Value::Int(11),
+            ],
+            &mut bytes,
+        )
+        .unwrap();
+        assert_eq!(bytes.len(), 32);
+        let t = crate::tuple::TupleRef::new(&s, &bytes);
+        assert_eq!(t.timestamp(), 42);
+        assert_eq!(t.get_f32(1), 1.5);
+        assert_eq!(t.get_i32(4), 9);
+    }
+
+    #[test]
+    fn encode_row_checks_arity_and_types() {
+        let s = Schema::from_pairs(&[("ts", DataType::Timestamp), ("v", DataType::Int)]).unwrap();
+        let mut out = Vec::new();
+        assert!(s.encode_row(&[Value::Timestamp(0)], &mut out).is_err());
+        assert!(s
+            .encode_row(&[Value::Timestamp(0), Value::Float(1.0)], &mut out)
+            .is_err());
+    }
+
+    #[test]
+    fn data_type_sizes() {
+        assert_eq!(DataType::Int.size(), 4);
+        assert_eq!(DataType::Float.size(), 4);
+        assert_eq!(DataType::Long.size(), 8);
+        assert_eq!(DataType::Double.size(), 8);
+        assert_eq!(DataType::Timestamp.size(), 8);
+        assert!(DataType::Float.is_float());
+        assert!(!DataType::Int.is_float());
+    }
+}

@@ -1,0 +1,303 @@
+//! Zero-copy tuple views.
+//!
+//! A [`TupleRef`] is a borrowed view over one serialised row. Attribute
+//! accessors decode single primitive values on demand — the paper's lazy
+//! deserialisation (§5.1): "tuples are stored in their byte representation
+//! and deserialised only if and when needed", and "deserialisation only
+//! generates primitive types".
+
+use crate::schema::{DataType, Schema};
+use crate::value::Value;
+use crate::Timestamp;
+
+/// Immutable view over one serialised row.
+#[derive(Debug, Clone, Copy)]
+pub struct TupleRef<'a> {
+    schema: &'a Schema,
+    bytes: &'a [u8],
+}
+
+impl<'a> TupleRef<'a> {
+    /// Creates a view over `bytes`, which must hold exactly one row of
+    /// `schema` (callers slicing out of row buffers guarantee this).
+    pub fn new(schema: &'a Schema, bytes: &'a [u8]) -> Self {
+        debug_assert!(bytes.len() >= schema.row_size());
+        Self { schema, bytes }
+    }
+
+    /// The schema this row belongs to.
+    pub fn schema(&self) -> &'a Schema {
+        self.schema
+    }
+
+    /// Raw row bytes (used for direct byte forwarding, §5.1).
+    pub fn bytes(&self) -> &'a [u8] {
+        &self.bytes[..self.schema.row_size()]
+    }
+
+    /// Decodes attribute `index` as `i32`.
+    #[inline]
+    pub fn get_i32(&self, index: usize) -> i32 {
+        let o = self.schema.offset(index);
+        i32::from_le_bytes(self.bytes[o..o + 4].try_into().unwrap())
+    }
+
+    /// Decodes attribute `index` as `i64`.
+    #[inline]
+    pub fn get_i64(&self, index: usize) -> i64 {
+        let o = self.schema.offset(index);
+        i64::from_le_bytes(self.bytes[o..o + 8].try_into().unwrap())
+    }
+
+    /// Decodes attribute `index` as `f32`.
+    #[inline]
+    pub fn get_f32(&self, index: usize) -> f32 {
+        let o = self.schema.offset(index);
+        f32::from_le_bytes(self.bytes[o..o + 4].try_into().unwrap())
+    }
+
+    /// Decodes attribute `index` as `f64`.
+    #[inline]
+    pub fn get_f64(&self, index: usize) -> f64 {
+        let o = self.schema.offset(index);
+        f64::from_le_bytes(self.bytes[o..o + 8].try_into().unwrap())
+    }
+
+    /// Decodes attribute `index` into the common `f64` numeric domain,
+    /// regardless of its declared type.
+    #[inline]
+    pub fn get_numeric(&self, index: usize) -> f64 {
+        match self.schema.data_type(index) {
+            DataType::Int => self.get_i32(index) as f64,
+            DataType::Float => self.get_f32(index) as f64,
+            DataType::Long | DataType::Timestamp => self.get_i64(index) as f64,
+            DataType::Double => self.get_f64(index),
+        }
+    }
+
+    /// Decodes attribute `index` into a [`Value`] of its declared type.
+    pub fn get_value(&self, index: usize) -> Value {
+        match self.schema.data_type(index) {
+            DataType::Int => Value::Int(self.get_i32(index)),
+            DataType::Float => Value::Float(self.get_f32(index)),
+            DataType::Long => Value::Long(self.get_i64(index)),
+            DataType::Double => Value::Double(self.get_f64(index)),
+            DataType::Timestamp => Value::Timestamp(self.get_i64(index)),
+        }
+    }
+
+    /// Decodes all attributes (tests / debugging only).
+    pub fn to_values(&self) -> Vec<Value> {
+        (0..self.schema.len()).map(|i| self.get_value(i)).collect()
+    }
+
+    /// The logical timestamp of this tuple.
+    #[inline]
+    pub fn timestamp(&self) -> Timestamp {
+        self.get_i64(self.schema.timestamp_index())
+    }
+
+    /// Decodes attribute `index` as a group-by key in its raw 64-bit form
+    /// (integers keep their value; floats use their bit pattern), which is
+    /// what the hash tables key on.
+    #[inline]
+    pub fn get_key(&self, index: usize) -> i64 {
+        match self.schema.data_type(index) {
+            DataType::Int => self.get_i32(index) as i64,
+            DataType::Long | DataType::Timestamp => self.get_i64(index),
+            DataType::Float => self.get_f32(index).to_bits() as i64,
+            DataType::Double => self.get_f64(index).to_bits() as i64,
+        }
+    }
+}
+
+/// Mutable view over one serialised row, used when operators write results
+/// directly into output byte buffers.
+#[derive(Debug)]
+pub struct TupleMut<'a> {
+    schema: &'a Schema,
+    bytes: &'a mut [u8],
+}
+
+impl<'a> TupleMut<'a> {
+    /// Creates a mutable view over `bytes`, which must hold one row of
+    /// `schema`.
+    pub fn new(schema: &'a Schema, bytes: &'a mut [u8]) -> Self {
+        debug_assert!(bytes.len() >= schema.row_size());
+        Self { schema, bytes }
+    }
+
+    /// Writes an `i32` into attribute `index`.
+    #[inline]
+    pub fn set_i32(&mut self, index: usize, v: i32) {
+        let o = self.schema.offset(index);
+        self.bytes[o..o + 4].copy_from_slice(&v.to_le_bytes());
+    }
+
+    /// Writes an `i64` into attribute `index`.
+    #[inline]
+    pub fn set_i64(&mut self, index: usize, v: i64) {
+        let o = self.schema.offset(index);
+        self.bytes[o..o + 8].copy_from_slice(&v.to_le_bytes());
+    }
+
+    /// Writes an `f32` into attribute `index`.
+    #[inline]
+    pub fn set_f32(&mut self, index: usize, v: f32) {
+        let o = self.schema.offset(index);
+        self.bytes[o..o + 4].copy_from_slice(&v.to_le_bytes());
+    }
+
+    /// Writes an `f64` into attribute `index`.
+    #[inline]
+    pub fn set_f64(&mut self, index: usize, v: f64) {
+        let o = self.schema.offset(index);
+        self.bytes[o..o + 8].copy_from_slice(&v.to_le_bytes());
+    }
+
+    /// Writes a numeric value into attribute `index`, converting from the
+    /// common `f64` domain to the attribute's declared type.
+    #[inline]
+    pub fn set_numeric(&mut self, index: usize, v: f64) {
+        match self.schema.data_type(index) {
+            DataType::Int => self.set_i32(index, v as i32),
+            DataType::Float => self.set_f32(index, v as f32),
+            DataType::Long | DataType::Timestamp => self.set_i64(index, v as i64),
+            DataType::Double => self.set_f64(index, v),
+        }
+    }
+
+    /// Writes a [`Value`] into attribute `index` (type-converting if needed).
+    pub fn set_value(&mut self, index: usize, v: Value) {
+        self.set_numeric(index, v.as_f64());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{Attribute, Schema};
+
+    fn schema() -> Schema {
+        Schema::new(vec![
+            Attribute::new("ts", DataType::Timestamp),
+            Attribute::new("f", DataType::Float),
+            Attribute::new("i", DataType::Int),
+            Attribute::new("d", DataType::Double),
+            Attribute::new("l", DataType::Long),
+        ])
+        .unwrap()
+    }
+
+    fn row(ts: i64, f: f32, i: i32, d: f64, l: i64) -> Vec<u8> {
+        let s = schema();
+        let mut out = Vec::new();
+        s.encode_row(
+            &[
+                Value::Timestamp(ts),
+                Value::Float(f),
+                Value::Int(i),
+                Value::Double(d),
+                Value::Long(l),
+            ],
+            &mut out,
+        )
+        .unwrap();
+        out
+    }
+
+    #[test]
+    fn typed_getters_decode_each_attribute() {
+        let s = schema();
+        let bytes = row(5, 1.25, -3, 9.5, 1 << 40);
+        let t = TupleRef::new(&s, &bytes);
+        assert_eq!(t.timestamp(), 5);
+        assert_eq!(t.get_f32(1), 1.25);
+        assert_eq!(t.get_i32(2), -3);
+        assert_eq!(t.get_f64(3), 9.5);
+        assert_eq!(t.get_i64(4), 1 << 40);
+    }
+
+    #[test]
+    fn numeric_getter_converts_all_types() {
+        let s = schema();
+        let bytes = row(5, 1.25, -3, 9.5, 7);
+        let t = TupleRef::new(&s, &bytes);
+        assert_eq!(t.get_numeric(0), 5.0);
+        assert_eq!(t.get_numeric(1), 1.25);
+        assert_eq!(t.get_numeric(2), -3.0);
+        assert_eq!(t.get_numeric(3), 9.5);
+        assert_eq!(t.get_numeric(4), 7.0);
+    }
+
+    #[test]
+    fn get_value_and_to_values() {
+        let s = schema();
+        let bytes = row(5, 1.0, 2, 3.0, 4);
+        let t = TupleRef::new(&s, &bytes);
+        assert_eq!(t.get_value(2), Value::Int(2));
+        assert_eq!(
+            t.to_values(),
+            vec![
+                Value::Timestamp(5),
+                Value::Float(1.0),
+                Value::Int(2),
+                Value::Double(3.0),
+                Value::Long(4)
+            ]
+        );
+    }
+
+    #[test]
+    fn group_keys_use_bit_patterns_for_floats() {
+        let s = schema();
+        let b1 = row(0, 1.5, 10, 2.5, 20);
+        let b2 = row(0, 1.5, 11, 2.5, 20);
+        let t1 = TupleRef::new(&s, &b1);
+        let t2 = TupleRef::new(&s, &b2);
+        assert_eq!(t1.get_key(1), t2.get_key(1));
+        assert_ne!(t1.get_key(2), t2.get_key(2));
+        assert_eq!(t1.get_key(4), 20);
+    }
+
+    #[test]
+    fn mutable_view_writes_values() {
+        let s = schema();
+        let mut bytes = row(0, 0.0, 0, 0.0, 0);
+        {
+            let mut m = TupleMut::new(&s, &mut bytes);
+            m.set_i64(0, 99);
+            m.set_f32(1, 2.5);
+            m.set_i32(2, 7);
+            m.set_f64(3, -1.0);
+            m.set_numeric(4, 123.9);
+        }
+        let t = TupleRef::new(&s, &bytes);
+        assert_eq!(t.timestamp(), 99);
+        assert_eq!(t.get_f32(1), 2.5);
+        assert_eq!(t.get_i32(2), 7);
+        assert_eq!(t.get_f64(3), -1.0);
+        assert_eq!(t.get_i64(4), 123);
+    }
+
+    #[test]
+    fn set_value_converts_types() {
+        let s = schema();
+        let mut bytes = row(0, 0.0, 0, 0.0, 0);
+        {
+            let mut m = TupleMut::new(&s, &mut bytes);
+            m.set_value(2, Value::Double(41.7));
+        }
+        let t = TupleRef::new(&s, &bytes);
+        assert_eq!(t.get_i32(2), 41);
+    }
+
+    #[test]
+    fn bytes_returns_exactly_one_row() {
+        let s = schema();
+        let mut bytes = row(1, 1.0, 1, 1.0, 1);
+        bytes.extend_from_slice(&[0xAA; 8]);
+        let t = TupleRef::new(&s, &bytes);
+        assert_eq!(t.bytes().len(), s.row_size());
+    }
+}

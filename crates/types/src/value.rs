@@ -1,0 +1,182 @@
+//! Decoded attribute values.
+//!
+//! [`Value`] is used at the edges of the system — workload generators, tests,
+//! result inspection and examples. The hot path never materialises `Value`s;
+//! operators work directly on row bytes through [`crate::TupleRef`].
+
+use crate::schema::DataType;
+use std::cmp::Ordering;
+use std::fmt;
+
+/// A single decoded attribute value.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Value {
+    /// 32-bit integer value.
+    Int(i32),
+    /// 64-bit integer value.
+    Long(i64),
+    /// 32-bit float value.
+    Float(f32),
+    /// 64-bit float value.
+    Double(f64),
+    /// Logical timestamp value.
+    Timestamp(i64),
+}
+
+impl Value {
+    /// The [`DataType`] this value belongs to.
+    pub fn data_type(&self) -> DataType {
+        match self {
+            Value::Int(_) => DataType::Int,
+            Value::Long(_) => DataType::Long,
+            Value::Float(_) => DataType::Float,
+            Value::Double(_) => DataType::Double,
+            Value::Timestamp(_) => DataType::Timestamp,
+        }
+    }
+
+    /// Interprets the value as an `f64`, the common numeric domain used by
+    /// expression evaluation and aggregation.
+    pub fn as_f64(&self) -> f64 {
+        match self {
+            Value::Int(v) => *v as f64,
+            Value::Long(v) => *v as f64,
+            Value::Float(v) => *v as f64,
+            Value::Double(v) => *v,
+            Value::Timestamp(v) => *v as f64,
+        }
+    }
+
+    /// Interprets the value as an `i64`, truncating floats.
+    pub fn as_i64(&self) -> i64 {
+        match self {
+            Value::Int(v) => *v as i64,
+            Value::Long(v) => *v,
+            Value::Float(v) => *v as i64,
+            Value::Double(v) => *v as i64,
+            Value::Timestamp(v) => *v,
+        }
+    }
+
+    /// Builds a value of the requested type from an `f64` (used when writing
+    /// computed expression results back into binary rows).
+    pub fn from_f64(data_type: DataType, v: f64) -> Value {
+        match data_type {
+            DataType::Int => Value::Int(v as i32),
+            DataType::Long => Value::Long(v as i64),
+            DataType::Float => Value::Float(v as f32),
+            DataType::Double => Value::Double(v),
+            DataType::Timestamp => Value::Timestamp(v as i64),
+        }
+    }
+
+    /// Numeric comparison across value types (total order, NaN sorts last).
+    pub fn compare(&self, other: &Value) -> Ordering {
+        let a = self.as_f64();
+        let b = other.as_f64();
+        a.partial_cmp(&b).unwrap_or_else(|| {
+            if a.is_nan() && b.is_nan() {
+                Ordering::Equal
+            } else if a.is_nan() {
+                Ordering::Greater
+            } else {
+                Ordering::Less
+            }
+        })
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Int(v) => write!(f, "{v}"),
+            Value::Long(v) => write!(f, "{v}"),
+            Value::Float(v) => write!(f, "{v}"),
+            Value::Double(v) => write!(f, "{v}"),
+            Value::Timestamp(v) => write!(f, "{v}"),
+        }
+    }
+}
+
+impl From<i32> for Value {
+    fn from(v: i32) -> Self {
+        Value::Int(v)
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::Long(v)
+    }
+}
+
+impl From<f32> for Value {
+    fn from(v: f32) -> Self {
+        Value::Float(v)
+    }
+}
+
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::Double(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn data_type_matches_variant() {
+        assert_eq!(Value::Int(1).data_type(), DataType::Int);
+        assert_eq!(Value::Long(1).data_type(), DataType::Long);
+        assert_eq!(Value::Float(1.0).data_type(), DataType::Float);
+        assert_eq!(Value::Double(1.0).data_type(), DataType::Double);
+        assert_eq!(Value::Timestamp(1).data_type(), DataType::Timestamp);
+    }
+
+    #[test]
+    fn numeric_conversions() {
+        assert_eq!(Value::Int(3).as_f64(), 3.0);
+        assert_eq!(Value::Float(2.5).as_f64(), 2.5);
+        assert_eq!(Value::Double(-1.25).as_i64(), -1);
+        assert_eq!(Value::Timestamp(99).as_i64(), 99);
+    }
+
+    #[test]
+    fn from_f64_builds_requested_type() {
+        assert_eq!(Value::from_f64(DataType::Int, 3.9), Value::Int(3));
+        assert_eq!(Value::from_f64(DataType::Long, 3.9), Value::Long(3));
+        assert_eq!(Value::from_f64(DataType::Float, 0.5), Value::Float(0.5));
+        assert_eq!(Value::from_f64(DataType::Double, 0.5), Value::Double(0.5));
+        assert_eq!(Value::from_f64(DataType::Timestamp, 7.0), Value::Timestamp(7));
+    }
+
+    #[test]
+    fn compare_orders_across_types() {
+        assert_eq!(Value::Int(1).compare(&Value::Double(2.0)), Ordering::Less);
+        assert_eq!(Value::Long(5).compare(&Value::Float(5.0)), Ordering::Equal);
+        assert_eq!(
+            Value::Double(f64::NAN).compare(&Value::Int(0)),
+            Ordering::Greater
+        );
+        assert_eq!(
+            Value::Double(f64::NAN).compare(&Value::Double(f64::NAN)),
+            Ordering::Equal
+        );
+    }
+
+    #[test]
+    fn display_formats_plainly() {
+        assert_eq!(Value::Int(-3).to_string(), "-3");
+        assert_eq!(Value::Timestamp(12).to_string(), "12");
+    }
+
+    #[test]
+    fn from_impls() {
+        assert_eq!(Value::from(1i32), Value::Int(1));
+        assert_eq!(Value::from(1i64), Value::Long(1));
+        assert_eq!(Value::from(1.0f32), Value::Float(1.0));
+        assert_eq!(Value::from(1.0f64), Value::Double(1.0));
+    }
+}

@@ -1,0 +1,27 @@
+//! # saber-workloads
+//!
+//! The datasets and application queries of the SABER evaluation (paper §6.1,
+//! Table 1 and Appendix A):
+//!
+//! * [`synthetic`] — the synthetic workload *Syn*: 32-byte tuples and the
+//!   parameterised PROJ-m / SELECT-n / AGG-f / GROUP-BY-o / JOIN-r queries,
+//! * [`cluster`] — compute cluster monitoring (CM1, CM2) over a synthetic
+//!   Google-cluster-style TaskEvents trace,
+//! * [`smartgrid`] — smart-grid anomaly detection (SG1–SG3) over synthetic
+//!   smart-meter readings,
+//! * [`linearroad`] — the Linear Road benchmark queries (LRB1–LRB4) over
+//!   synthetic vehicle position reports,
+//! * [`reference`] — a deliberately simple, single-threaded reference
+//!   implementation of windowed queries used by the integration tests to
+//!   validate engine results,
+//! * [`rates`] — helpers for rate-controlled ingestion and throughput
+//!   accounting.
+
+pub mod cluster;
+pub mod linearroad;
+pub mod rates;
+pub mod reference;
+pub mod smartgrid;
+pub mod synthetic;
+
+pub use rates::{Measurement, run_query_benchmark};

@@ -1,0 +1,206 @@
+//! The Linear Road benchmark workload (paper §6.1, Appendix A.3).
+//!
+//! Linear Road [8] models a network of toll roads; the input stream carries
+//! position reports of vehicles (highway, lane, direction, position, speed).
+//! The original benchmark's data generator is not redistributable, so this
+//! module synthesises position reports with congestion episodes (slow
+//! segments) that exercise LRB3's HAVING clause, plus the four queries
+//! LRB1–LRB4 from the paper's appendix.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use saber_query::{AggregateFunction, Expr, PartitionJoinSpec, Query, QueryBuilder, WindowSpec};
+use saber_types::schema::SchemaRef;
+use saber_types::{DataType, RowBuffer, Schema};
+
+/// Attribute indices of the PosSpeedStr schema.
+pub mod columns {
+    pub const TIMESTAMP: usize = 0;
+    pub const VEHICLE: usize = 1;
+    pub const SPEED: usize = 2;
+    pub const HIGHWAY: usize = 3;
+    pub const LANE: usize = 4;
+    pub const DIRECTION: usize = 5;
+    pub const POSITION: usize = 6;
+}
+
+/// The PosSpeedStr schema (7 attributes, 32 bytes).
+pub fn schema() -> SchemaRef {
+    Schema::from_pairs(&[
+        ("timestamp", DataType::Timestamp),
+        ("vehicle", DataType::Int),
+        ("speed", DataType::Float),
+        ("highway", DataType::Int),
+        ("lane", DataType::Int),
+        ("direction", DataType::Int),
+        ("position", DataType::Int),
+    ])
+    .unwrap()
+    .into_ref()
+}
+
+/// Generator configuration.
+#[derive(Debug, Clone)]
+pub struct RoadConfig {
+    /// Number of vehicles on the road network.
+    pub vehicles: i32,
+    /// Number of highways.
+    pub highways: i32,
+    /// Position reports per second of application time.
+    pub reports_per_second: u64,
+    /// Fraction of segments that are congested (average speed < 40 mph).
+    pub congested_fraction: f64,
+}
+
+impl Default for RoadConfig {
+    fn default() -> Self {
+        Self {
+            vehicles: 50_000,
+            highways: 10,
+            reports_per_second: 100_000,
+            congested_fraction: 0.15,
+        }
+    }
+}
+
+/// Generates `rows` position reports starting at `start_ms`.
+pub fn generate(config: &RoadConfig, rows: usize, seed: u64, start_ms: i64) -> RowBuffer {
+    let schema = schema();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut buf = RowBuffer::with_capacity(schema.clone(), rows);
+    let ms_per_report = 1000.0 / config.reports_per_second.max(1) as f64;
+    for i in 0..rows {
+        let ts = start_ms + (i as f64 * ms_per_report) as i64;
+        let vehicle = rng.gen_range(0..config.vehicles);
+        let highway = rng.gen_range(0..config.highways);
+        let direction = rng.gen_range(0..2);
+        let lane = rng.gen_range(0..4);
+        let segment = rng.gen_range(0..100);
+        // Congested segments have low speeds (exercises LRB3's HAVING).
+        let congested = (segment as f64 / 100.0) < config.congested_fraction;
+        let speed = if congested {
+            rng.gen_range(5.0..35.0)
+        } else {
+            rng.gen_range(45.0..80.0)
+        };
+        let position = segment * 5280 + rng.gen_range(0..5280);
+        let mut row = buf.push_uninit();
+        row.set_i64(columns::TIMESTAMP, ts);
+        row.set_i32(columns::VEHICLE, vehicle);
+        row.set_f32(columns::SPEED, speed);
+        row.set_i32(columns::HIGHWAY, highway);
+        row.set_i32(columns::LANE, lane);
+        row.set_i32(columns::DIRECTION, direction);
+        row.set_i32(columns::POSITION, position);
+    }
+    buf
+}
+
+/// LRB1: stateless projection deriving the segment from the position
+/// (`position / 5280`), over an unbounded window.
+pub fn lrb1() -> Query {
+    QueryBuilder::new("LRB1", schema())
+        .window(WindowSpec::unbounded())
+        .project(vec![
+            (Expr::column(columns::TIMESTAMP), "timestamp"),
+            (Expr::column(columns::VEHICLE), "vehicle"),
+            (Expr::column(columns::SPEED), "speed"),
+            (Expr::column(columns::HIGHWAY), "highway"),
+            (Expr::column(columns::LANE), "lane"),
+            (Expr::column(columns::DIRECTION), "direction"),
+            (Expr::column(columns::POSITION).div(Expr::literal(5280.0)), "segment"),
+        ])
+        .build()
+        .expect("valid LRB1")
+}
+
+/// Output schema of LRB1 (SegSpeedStr).
+pub fn segspeed_schema() -> SchemaRef {
+    lrb1().output_schema.clone()
+}
+
+/// LRB2: vehicles that recently entered a segment — a partition join of the
+/// 30 s window of SegSpeedStr with the per-vehicle last position report
+/// (`[partition by vehicle rows 1]`), the paper's UDF example.
+pub fn lrb2() -> Query {
+    let seg = segspeed_schema();
+    QueryBuilder::new("LRB2", seg.clone())
+        .time_window(30_000, 1_000)
+        .partition_join(
+            seg,
+            WindowSpec::count(1, 1),
+            PartitionJoinSpec::new(columns::VEHICLE, columns::VEHICLE),
+        )
+        .build()
+        .expect("valid LRB2")
+}
+
+/// LRB3: congested segments — average speed per (highway, direction,
+/// segment) over a 300 s window, HAVING avgSpeed < 40.
+pub fn lrb3() -> Query {
+    let seg = segspeed_schema();
+    QueryBuilder::new("LRB3", seg)
+        .time_window(300_000, 1_000)
+        .aggregate_spec(
+            saber_query::aggregate::AggregateSpec::new(AggregateFunction::Avg, 2).named("avgSpeed"),
+        )
+        .group_by(vec![3, 5, 6])
+        // Output schema: timestamp, highway, direction, segment, avgSpeed.
+        .having(Expr::column(4).lt(Expr::literal(40.0)))
+        .build()
+        .expect("valid LRB3")
+}
+
+/// LRB4: number of distinct vehicles per (highway, direction, segment) over
+/// a 30 s window.
+pub fn lrb4() -> Query {
+    let seg = segspeed_schema();
+    QueryBuilder::new("LRB4", seg)
+        .time_window(30_000, 1_000)
+        .aggregate_spec(
+            saber_query::aggregate::AggregateSpec::new(AggregateFunction::CountDistinct, 1)
+                .named("numVehicles"),
+        )
+        .group_by(vec![3, 5, 6])
+        .build()
+        .expect("valid LRB4")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schema_has_seven_attributes() {
+        assert_eq!(schema().len(), 7);
+        assert_eq!(schema().row_size(), 32);
+    }
+
+    #[test]
+    fn generator_produces_valid_reports() {
+        let data = generate(&RoadConfig::default(), 2000, 9, 0);
+        for t in data.iter() {
+            assert!(t.get_f32(columns::SPEED) > 0.0);
+            assert!(t.get_i32(columns::POSITION) >= 0);
+            assert!(t.get_i32(columns::HIGHWAY) < 10);
+        }
+    }
+
+    #[test]
+    fn queries_compile_with_expected_schemas() {
+        assert_eq!(lrb1().output_schema.len(), 7);
+        assert!(lrb2().is_join());
+        let l3 = lrb3();
+        assert_eq!(l3.output_schema.len(), 5);
+        assert!(l3.aggregation().unwrap().having.is_some());
+        assert!(lrb4().has_aggregation());
+    }
+
+    #[test]
+    fn congestion_exists_in_the_generated_data() {
+        let data = generate(&RoadConfig::default(), 20_000, 1, 0);
+        let slow = data.iter().filter(|t| t.get_f32(columns::SPEED) < 40.0).count();
+        let frac = slow as f64 / data.len() as f64;
+        assert!(frac > 0.05 && frac < 0.4, "congested fraction {frac}");
+    }
+}

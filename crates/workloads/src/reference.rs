@@ -1,0 +1,267 @@
+//! A deliberately simple, single-threaded reference implementation of
+//! windowed queries.
+//!
+//! The integration tests execute queries both on the SABER engine and on this
+//! reference and compare the results. The reference favours obviousness over
+//! speed: it materialises every window, evaluates operators tuple-at-a-time
+//! with decoded values and performs no incremental computation.
+
+use saber_query::aggregate::{AggState, AggregateFunction};
+use saber_query::{OperatorDef, Query, WindowSpec};
+use saber_types::{Result, RowBuffer, TupleRef};
+use std::collections::BTreeMap;
+
+/// Runs a single-input query over a fully materialised input stream and
+/// returns the output rows (in window order, groups sorted by key).
+pub fn run_single_input(query: &Query, input: &RowBuffer) -> Result<RowBuffer> {
+    let window = *query.window(0);
+    let mut out = RowBuffer::new(query.output_schema.clone());
+
+    // Split the pipeline into stateless prefix + optional aggregation.
+    let mut stateless: Vec<&OperatorDef> = Vec::new();
+    let mut aggregation = None;
+    for op in &query.operators {
+        match op {
+            OperatorDef::Aggregation(a) => aggregation = Some(a),
+            other => stateless.push(other),
+        }
+    }
+
+    if aggregation.is_none() {
+        // Stateless: each input tuple contributes exactly once.
+        for i in 0..input.len() {
+            let tuple = input.row(i);
+            if let Some(values) = apply_stateless(&stateless, &tuple) {
+                let mut row = out.push_uninit();
+                for (c, v) in values.iter().enumerate() {
+                    row.set_numeric(c, *v);
+                }
+            }
+        }
+        return Ok(out);
+    }
+
+    let agg = aggregation.unwrap();
+    // Enumerate complete windows over the input.
+    let limit = if window.is_count_based() {
+        input.len() as u64
+    } else if input.is_empty() {
+        0
+    } else {
+        input.row(input.len() - 1).timestamp().max(0) as u64
+    };
+    let mut w = 0u64;
+    while window.window_end(w) <= limit {
+        let start = window.window_start(w);
+        let end = window.window_end(w);
+        // Collect the group states of this window.
+        let functions: Vec<AggregateFunction> = agg.aggregates.iter().map(|a| a.function).collect();
+        let mut groups: BTreeMap<Vec<i64>, Vec<AggState>> = BTreeMap::new();
+        for i in 0..input.len() {
+            let tuple = input.row(i);
+            let position = if window.is_count_based() {
+                i as u64
+            } else {
+                tuple.timestamp().max(0) as u64
+            };
+            if position < start || position >= end {
+                continue;
+            }
+            // Apply the stateless prefix (selection may drop the tuple; a
+            // projection changes the attribute mapping).
+            let Some(values) = apply_stateless(&stateless, &tuple) else { continue };
+            let keys: Vec<i64> = agg.group_by.iter().map(|&c| values[c] as i64).collect();
+            let states = groups.entry(keys).or_insert_with(|| {
+                functions
+                    .iter()
+                    .map(|f| {
+                        if matches!(f, AggregateFunction::CountDistinct) {
+                            AggState::new_distinct()
+                        } else {
+                            AggState::new()
+                        }
+                    })
+                    .collect()
+            });
+            for (state, spec) in states.iter_mut().zip(agg.aggregates.iter()) {
+                match spec.function {
+                    AggregateFunction::Count => state.update(1.0),
+                    AggregateFunction::CountDistinct => {
+                        state.update_distinct(values[spec.column.unwrap_or(0)] as i64)
+                    }
+                    _ => state.update(values[spec.column.unwrap_or(0)]),
+                }
+            }
+        }
+        // Emit one row per group (sorted), applying HAVING.
+        for (keys, states) in &groups {
+            let schema = query.output_schema.clone();
+            let mut scratch = vec![0u8; schema.row_size()];
+            {
+                let mut row = saber_types::TupleMut::new(&schema, &mut scratch);
+                row.set_i64(0, start as i64);
+                for (gi, k) in keys.iter().enumerate() {
+                    row.set_numeric(1 + gi, *k as f64);
+                }
+                for (ai, (state, spec)) in states.iter().zip(agg.aggregates.iter()).enumerate() {
+                    row.set_numeric(1 + keys.len() + ai, state.finalize(spec.function));
+                }
+            }
+            if let Some(having) = &agg.having {
+                let t = TupleRef::new(&schema, &scratch);
+                if !having.eval_bool(&t) {
+                    continue;
+                }
+            }
+            out.push_bytes(&scratch)?;
+        }
+        w += 1;
+    }
+    Ok(out)
+}
+
+/// Applies the stateless operator prefix to one tuple; returns the decoded
+/// output values or `None` if a selection dropped the tuple.
+fn apply_stateless(ops: &[&OperatorDef], tuple: &TupleRef<'_>) -> Option<Vec<f64>> {
+    let mut values: Vec<f64> = (0..tuple.schema().len()).map(|c| tuple.get_numeric(c)).collect();
+    for op in ops {
+        match op {
+            OperatorDef::Selection(s) => {
+                if !eval_on_values(&s.predicate, &values) {
+                    return None;
+                }
+            }
+            OperatorDef::Projection(p) => {
+                values = p
+                    .exprs
+                    .iter()
+                    .map(|pe| eval_numeric_on_values(&pe.expr, &values))
+                    .collect();
+            }
+            _ => {}
+        }
+    }
+    Some(values)
+}
+
+fn eval_numeric_on_values(expr: &saber_query::Expr, values: &[f64]) -> f64 {
+    use saber_query::Expr as E;
+    match expr {
+        E::Column(i) => values.get(*i).copied().unwrap_or(0.0),
+        E::Literal(v) => *v,
+        E::Arith(op, l, r) => {
+            let a = eval_numeric_on_values(l, values);
+            let b = eval_numeric_on_values(r, values);
+            use saber_query::BinaryOp::*;
+            match op {
+                Add => a + b,
+                Sub => a - b,
+                Mul => a * b,
+                Div => {
+                    if b == 0.0 {
+                        0.0
+                    } else {
+                        a / b
+                    }
+                }
+                Mod => {
+                    if b == 0.0 {
+                        0.0
+                    } else {
+                        a % b
+                    }
+                }
+            }
+        }
+        other => {
+            if eval_on_values(other, values) {
+                1.0
+            } else {
+                0.0
+            }
+        }
+    }
+}
+
+fn eval_on_values(expr: &saber_query::Expr, values: &[f64]) -> bool {
+    use saber_query::Expr as E;
+    match expr {
+        E::Compare(op, l, r) => {
+            let a = eval_numeric_on_values(l, values);
+            let b = eval_numeric_on_values(r, values);
+            use saber_query::CompareOp::*;
+            match op {
+                Eq => a == b,
+                Ne => a != b,
+                Lt => a < b,
+                Le => a <= b,
+                Gt => a > b,
+                Ge => a >= b,
+            }
+        }
+        E::And(l, r) => eval_on_values(l, values) && eval_on_values(r, values),
+        E::Or(l, r) => eval_on_values(l, values) || eval_on_values(r, values),
+        E::Not(e) => !eval_on_values(e, values),
+        other => eval_numeric_on_values(other, values) != 0.0,
+    }
+}
+
+/// True if the reference supports the query shape (single input, no join).
+pub fn supports(query: &Query) -> bool {
+    query.num_inputs() == 1 && !query.is_join()
+}
+
+/// Window helper exposed for tests: the number of complete windows of `spec`
+/// over `n` positions.
+pub fn complete_windows(spec: &WindowSpec, n: u64) -> u64 {
+    let mut w = 0;
+    while spec.window_end(w) <= n {
+        w += 1;
+    }
+    w
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synthetic;
+    use saber_query::{AggregateFunction, Expr, QueryBuilder};
+
+    #[test]
+    fn reference_selection_counts_match_manual_filtering() {
+        let schema = synthetic::schema();
+        let data = synthetic::generate(&schema, 1000, 42);
+        let q = QueryBuilder::new("sel", schema)
+            .count_window(64, 64)
+            .select(Expr::column(1).lt(Expr::literal(0.25)))
+            .build()
+            .unwrap();
+        let out = run_single_input(&q, &data).unwrap();
+        let expected = data.iter().filter(|t| t.get_f32(1) < 0.25).count();
+        assert_eq!(out.len(), expected);
+        assert!(supports(&q));
+    }
+
+    #[test]
+    fn reference_aggregation_matches_hand_computation() {
+        let schema = synthetic::schema();
+        let data = synthetic::generate(&schema, 256, 1);
+        let q = QueryBuilder::new("agg", schema)
+            .count_window(64, 32)
+            .aggregate(AggregateFunction::Sum, 1)
+            .build()
+            .unwrap();
+        let out = run_single_input(&q, &data).unwrap();
+        // Complete windows: end = 32w + 64 <= 256 → w <= 6 → 7 windows.
+        assert_eq!(out.len(), 7);
+        let manual: f64 = (0..64).map(|i| data.row(i).get_f32(1) as f64).sum();
+        assert!((out.row(0).get_f32(1) as f64 - manual).abs() < 1e-3);
+    }
+
+    #[test]
+    fn complete_windows_helper() {
+        assert_eq!(complete_windows(&WindowSpec::count(4, 4), 16), 4);
+        assert_eq!(complete_windows(&WindowSpec::count(8, 2), 16), 5);
+        assert_eq!(complete_windows(&WindowSpec::count(8, 2), 7), 0);
+    }
+}

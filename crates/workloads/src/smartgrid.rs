@@ -1,0 +1,197 @@
+//! Smart-grid anomaly detection workload (paper §6.1, Appendix A.2).
+//!
+//! The paper uses the DEBS 2014 Grand Challenge trace of smart-meter load
+//! readings [34]. This module generates a synthetic equivalent with the same
+//! schema (house / household / plug hierarchy) and a diurnal load pattern
+//! with per-plug noise, plus the three queries SG1–SG3.
+//!
+//! SG3 joins the outputs of SG1 (global average load) and SG2 (per-plug
+//! average load); [`sg3`] therefore takes the two *derived* schemas as its
+//! inputs, and [`sg3_chain`] documents how the three queries are wired
+//! together by the examples and benchmarks.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use saber_query::{AggregateFunction, Expr, Query, QueryBuilder, WindowSpec};
+use saber_types::schema::SchemaRef;
+use saber_types::{DataType, RowBuffer, Schema};
+
+/// Attribute indices of the SmartGridStr schema.
+pub mod columns {
+    pub const TIMESTAMP: usize = 0;
+    pub const VALUE: usize = 1;
+    pub const PROPERTY: usize = 2;
+    pub const PLUG: usize = 3;
+    pub const HOUSEHOLD: usize = 4;
+    pub const HOUSE: usize = 5;
+}
+
+/// The SmartGridStr schema (padded to 32 bytes, as in the paper).
+pub fn schema() -> SchemaRef {
+    Schema::with_padding(
+        vec![
+            saber_types::Attribute::new("timestamp", DataType::Timestamp),
+            saber_types::Attribute::new("value", DataType::Float),
+            saber_types::Attribute::new("property", DataType::Int),
+            saber_types::Attribute::new("plug", DataType::Int),
+            saber_types::Attribute::new("household", DataType::Int),
+            saber_types::Attribute::new("house", DataType::Int),
+        ],
+        32,
+    )
+    .unwrap()
+    .into_ref()
+}
+
+/// Generator configuration.
+#[derive(Debug, Clone)]
+pub struct GridConfig {
+    /// Number of houses.
+    pub houses: i32,
+    /// Households per house.
+    pub households_per_house: i32,
+    /// Plugs per household.
+    pub plugs_per_household: i32,
+    /// Readings per second of application time.
+    pub readings_per_second: u64,
+}
+
+impl Default for GridConfig {
+    fn default() -> Self {
+        Self {
+            houses: 40,
+            households_per_house: 10,
+            plugs_per_household: 5,
+            readings_per_second: 50_000,
+        }
+    }
+}
+
+/// Generates `rows` smart-meter load readings starting at `start_ms`.
+pub fn generate(config: &GridConfig, rows: usize, seed: u64, start_ms: i64) -> RowBuffer {
+    let schema = schema();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut buf = RowBuffer::with_capacity(schema.clone(), rows);
+    let ms_per_reading = 1000.0 / config.readings_per_second.max(1) as f64;
+    for i in 0..rows {
+        let ts = start_ms + (i as f64 * ms_per_reading) as i64;
+        let house = rng.gen_range(0..config.houses);
+        let household = rng.gen_range(0..config.households_per_house);
+        let plug = rng.gen_range(0..config.plugs_per_household);
+        // Diurnal base load plus per-plug noise; a few plugs run hot, which
+        // is the anomaly SG3 detects.
+        let hour = ((ts / 1000 / 3600) % 24) as f64;
+        let base = 50.0 + 40.0 * ((hour - 18.0) / 24.0 * std::f64::consts::TAU).cos();
+        let hot = (house * 31 + household * 7 + plug) % 97 == 0;
+        let load = base * if hot { 3.0 } else { 1.0 } + rng.gen_range(0.0..10.0);
+        let mut row = buf.push_uninit();
+        row.set_i64(columns::TIMESTAMP, ts);
+        row.set_f32(columns::VALUE, load as f32);
+        row.set_i32(columns::PROPERTY, 1);
+        row.set_i32(columns::PLUG, plug);
+        row.set_i32(columns::HOUSEHOLD, household);
+        row.set_i32(columns::HOUSE, house);
+    }
+    buf
+}
+
+/// SG1: sliding global average load,
+/// `select timestamp, avg(value) from SmartGridStr [range 3600 slide 1]`.
+pub fn sg1() -> Query {
+    QueryBuilder::new("SG1", schema())
+        .time_window(3_600_000, 1_000)
+        .aggregate_spec(
+            saber_query::aggregate::AggregateSpec::new(AggregateFunction::Avg, columns::VALUE)
+                .named("globalAvgLoad"),
+        )
+        .build()
+        .expect("valid SG1")
+}
+
+/// SG2: sliding average load per plug,
+/// `... group by plug, household, house`.
+pub fn sg2() -> Query {
+    QueryBuilder::new("SG2", schema())
+        .time_window(3_600_000, 1_000)
+        .aggregate_spec(
+            saber_query::aggregate::AggregateSpec::new(AggregateFunction::Avg, columns::VALUE)
+                .named("localAvgLoad"),
+        )
+        .group_by(vec![columns::PLUG, columns::HOUSEHOLD, columns::HOUSE])
+        .build()
+        .expect("valid SG2")
+}
+
+/// Output schema of SG1 (timestamp, globalAvgLoad).
+pub fn sg1_output_schema() -> SchemaRef {
+    sg1().output_schema.clone()
+}
+
+/// Output schema of SG2 (timestamp, plug, household, house, localAvgLoad).
+pub fn sg2_output_schema() -> SchemaRef {
+    sg2().output_schema.clone()
+}
+
+/// SG3: joins the per-plug averages (left) with the global average (right)
+/// on matching window timestamps and counts, per house, the plugs whose local
+/// average exceeds the global average.
+pub fn sg3() -> Query {
+    let local = sg2_output_schema(); // timestamp, plug, household, house, localAvgLoad
+    let global = sg1_output_schema(); // timestamp, globalAvgLoad
+    let lw = local.len();
+    QueryBuilder::new("SG3", local.clone())
+        .time_window(1_000, 1_000)
+        .theta_join(
+            global,
+            WindowSpec::time(1_000, 1_000),
+            // Same reporting window and local > global.
+            Expr::column(0)
+                .eq(Expr::column(lw))
+                .and(Expr::column(4).gt(Expr::column(lw + 1))),
+        )
+        .project(vec![
+            (Expr::column(0), "timestamp"),
+            (Expr::column(3), "house"),
+            (Expr::column(1), "plug"),
+        ])
+        .build()
+        .expect("valid SG3")
+}
+
+/// Describes how SG1–SG3 chain together (the examples and the Fig. 7 harness
+/// feed SG1 and SG2 outputs into SG3's two inputs).
+pub fn sg3_chain() -> (Query, Query, Query) {
+    (sg1(), sg2(), sg3())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schema_is_padded_to_32_bytes() {
+        let s = schema();
+        assert_eq!(s.row_size(), 32);
+        assert_eq!(s.len(), 6);
+    }
+
+    #[test]
+    fn generator_produces_plausible_loads() {
+        let data = generate(&GridConfig::default(), 5000, 5, 0);
+        assert_eq!(data.len(), 5000);
+        for t in data.iter() {
+            let v = t.get_f32(columns::VALUE);
+            assert!(v >= 0.0 && v < 500.0);
+            assert!(t.get_i32(columns::HOUSE) < 40);
+        }
+    }
+
+    #[test]
+    fn sg_queries_compile_and_chain() {
+        let (a, b, c) = sg3_chain();
+        assert_eq!(a.output_schema.len(), 2);
+        assert_eq!(b.output_schema.len(), 5);
+        assert!(c.is_join());
+        assert_eq!(c.output_schema.len(), 3);
+    }
+}

@@ -1,0 +1,60 @@
+//! Cluster monitoring (the paper's CM workload): run CM1 and CM2 over a
+//! synthetic Google-cluster-style TaskEvents trace and print the per-category
+//! CPU usage of the most recent windows.
+//!
+//! ```bash
+//! cargo run --release --example cluster_monitoring
+//! ```
+
+use saber::engine::{ExecutionMode, Saber};
+use saber::workloads::cluster;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut engine = Saber::builder()
+        .worker_threads(4)
+        .query_task_size(512 * 1024)
+        .execution_mode(ExecutionMode::Hybrid)
+        .build()?;
+    let cm1_sink = engine.add_query(cluster::cm1())?;
+    let cm2_sink = engine.add_query_with_options(cluster::cm2(), false)?;
+    engine.start()?;
+
+    // 90 seconds of application time at 50k events/s.
+    let config = cluster::TraceConfig {
+        events_per_second: 50_000,
+        ..Default::default()
+    };
+    let seconds = 90u64;
+    for s in 0..seconds {
+        let slice = cluster::generate(&config, config.events_per_second as usize, s, (s * 1000) as i64);
+        engine.ingest(0, 0, slice.bytes())?;
+        engine.ingest(1, 0, slice.bytes())?;
+    }
+    engine.stop()?;
+
+    println!(
+        "CM1 emitted {} (window, category) rows; CM2 emitted {} (window, job) rows",
+        cm1_sink.tuples_emitted(),
+        cm2_sink.tuples_emitted()
+    );
+
+    // Show the total requested CPU per category for the last complete window.
+    let out = cm1_sink.take_rows();
+    if !out.is_empty() {
+        let last_window = out.row(out.len() - 1).timestamp();
+        println!("requested CPU per category in the window starting at {last_window} ms:");
+        for t in out.iter().filter(|t| t.timestamp() == last_window) {
+            println!("  category {:>3}: {:>10.1}", t.get_i32(1), t.get_f32(2));
+        }
+    }
+
+    for (i, name) in ["CM1", "CM2"].iter().enumerate() {
+        let stats = engine.query_stats(i).unwrap();
+        println!(
+            "{name}: {:.1}% of tasks ran on the accelerator, avg latency {:?}",
+            stats.gpu_share() * 100.0,
+            stats.avg_latency()
+        );
+    }
+    Ok(())
+}

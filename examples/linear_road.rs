@@ -1,0 +1,72 @@
+//! Linear Road (the paper's LRB workload): LRB1 derives the segment stream,
+//! LRB3 finds congested segments (HAVING avgSpeed < 40) and LRB4 counts
+//! distinct vehicles per segment.
+//!
+//! ```bash
+//! cargo run --release --example linear_road
+//! ```
+
+use saber::engine::{ExecutionMode, Saber};
+use saber::workloads::linearroad;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Stage 1: LRB1 projects raw position reports into SegSpeedStr.
+    let mut stage1 = Saber::builder()
+        .worker_threads(4)
+        .query_task_size(512 * 1024)
+        .execution_mode(ExecutionMode::Hybrid)
+        .build()?;
+    let seg_sink = stage1.add_query(linearroad::lrb1())?;
+    stage1.start()?;
+
+    let config = linearroad::RoadConfig {
+        reports_per_second: 50_000,
+        ..Default::default()
+    };
+    // Ten minutes of application time in one-minute slices.
+    for minute in 0..10u64 {
+        let slice = linearroad::generate(
+            &config,
+            (config.reports_per_second * 60) as usize,
+            minute,
+            (minute * 60_000) as i64,
+        );
+        stage1.ingest(0, 0, slice.bytes())?;
+    }
+    stage1.stop()?;
+    let segspeed = seg_sink.take_rows();
+    println!("LRB1 derived {} SegSpeedStr tuples", segspeed.len());
+
+    // Stage 2: LRB3 and LRB4 over the derived segment stream.
+    let mut stage2 = Saber::builder()
+        .worker_threads(4)
+        .query_task_size(512 * 1024)
+        .execution_mode(ExecutionMode::Hybrid)
+        .build()?;
+    let congestion_sink = stage2.add_query(linearroad::lrb3())?;
+    let volume_sink = stage2.add_query_with_options(linearroad::lrb4(), false)?;
+    stage2.start()?;
+    for chunk in segspeed.bytes().chunks(1 << 20) {
+        stage2.ingest(0, 0, chunk)?;
+        stage2.ingest(1, 0, chunk)?;
+    }
+    stage2.stop()?;
+
+    let congested = congestion_sink.take_rows();
+    println!(
+        "LRB3 reported {} congested (window, highway, direction, segment) rows; LRB4 produced {} volume rows",
+        congested.len(),
+        volume_sink.tuples_emitted()
+    );
+    for t in congested.iter().take(10) {
+        println!(
+            "  window {:>9}: highway {} dir {} segment {:>3} — avg speed {:>5.1} mph",
+            t.timestamp(),
+            t.get_i32(1),
+            t.get_i32(2),
+            t.get_i32(3),
+            t.get_f32(4)
+        );
+    }
+    Ok(())
+}

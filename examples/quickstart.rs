@@ -1,0 +1,71 @@
+//! Quickstart: run a windowed selection and a sliding GROUP-BY aggregation
+//! over a synthetic stream on the hybrid engine.
+//!
+//! ```bash
+//! cargo run --release --example quickstart
+//! ```
+
+use saber::prelude::*;
+use saber::workloads::synthetic;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let schema = synthetic::schema();
+
+    // Query 1: SELECT * WHERE a1 > 0.9 over a 1024-tuple tumbling window.
+    let hot_values = QueryBuilder::new("hot-values", schema.clone())
+        .count_window(1024, 1024)
+        .select(Expr::column(1).gt(Expr::literal(0.9)))
+        .build()?;
+
+    // Query 2: per-key COUNT over a sliding window (4096 tuples, slide 1024).
+    let counts_per_key = QueryBuilder::new("counts-per-key", schema.clone())
+        .count_window(4096, 1024)
+        .aggregate(AggregateFunction::Count, 1)
+        .group_by(vec![2])
+        .build()?;
+
+    let mut engine = Saber::builder()
+        .worker_threads(4)
+        .query_task_size(256 * 1024)
+        .execution_mode(ExecutionMode::Hybrid)
+        .build()?;
+    let hot_sink = engine.add_query(hot_values)?;
+    let count_sink = engine.add_query(counts_per_key)?;
+    engine.start()?;
+
+    // Stream 1M synthetic tuples into both queries.
+    let rows = 1_000_000;
+    let data = synthetic::generate(&schema, rows, 42);
+    for chunk in data.bytes().chunks(64 * 1024 * synthetic::TUPLE_SIZE) {
+        engine.ingest(0, 0, chunk)?;
+        engine.ingest(1, 0, chunk)?;
+    }
+    engine.stop()?;
+
+    println!("ingested {rows} tuples into two queries");
+    println!(
+        "hot-values emitted {} tuples (~10% of the input expected)",
+        hot_sink.tuples_emitted()
+    );
+    println!("counts-per-key emitted {} window results", count_sink.tuples_emitted());
+
+    let stats = engine.query_stats(1).unwrap();
+    println!(
+        "counts-per-key: {} tasks on CPU, {} on the accelerator, avg latency {:?}",
+        stats.tasks_cpu.load(std::sync::atomic::Ordering::Relaxed),
+        stats.tasks_gpu.load(std::sync::atomic::Ordering::Relaxed),
+        stats.avg_latency()
+    );
+
+    // Peek at the first few window results.
+    let out = count_sink.take_rows();
+    for t in out.iter().take(5) {
+        println!(
+            "window starting at {}: key {} appeared {} times",
+            t.timestamp(),
+            t.get_i32(1),
+            t.get_i64(2)
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,58 @@
+//! # SABER — Window-Based Hybrid Stream Processing for Heterogeneous Architectures
+//!
+//! This crate is the public facade of the SABER reproduction. It re-exports
+//! the workspace crates so that applications can depend on a single crate:
+//!
+//! * [`types`] — stream data model (schemas, binary tuples, row buffers),
+//! * [`query`] — windows, expressions, aggregates and the query builder,
+//! * [`cpu`] — CPU operator implementations (fragment/batch/assembly functions),
+//! * [`gpu`] — the simulated many-core accelerator and its kernels,
+//! * [`engine`] — dispatcher, HLS scheduler, worker threads, result stage,
+//! * [`baselines`] — comparator engines used by the evaluation,
+//! * [`workloads`] — datasets and application queries of the paper's §6.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use saber::prelude::*;
+//!
+//! // A 32-byte synthetic schema: timestamp + six 32-bit attributes.
+//! let schema = saber::workloads::synthetic::schema();
+//!
+//! // SELECT * WHERE a1 > 0.5 over a 1024-tuple tumbling window.
+//! let query = QueryBuilder::new("quickstart", schema.clone())
+//!     .count_window(1024, 1024)
+//!     .select(Expr::column(1).gt(Expr::literal(0.5)))
+//!     .build()
+//!     .unwrap();
+//!
+//! let mut engine = Saber::builder()
+//!     .worker_threads(2)
+//!     .query_task_size(64 * 1024)
+//!     .build()
+//!     .unwrap();
+//! let sink = engine.add_query(query).unwrap();
+//! engine.start().unwrap();
+//!
+//! let batch = saber::workloads::synthetic::generate(&schema, 8 * 1024, 42);
+//! engine.ingest(0, 0, batch.bytes()).unwrap();
+//! engine.stop().unwrap();
+//! assert!(sink.tuples_emitted() > 0);
+//! ```
+
+pub use saber_baselines as baselines;
+pub use saber_cpu as cpu;
+pub use saber_engine as engine;
+pub use saber_gpu as gpu;
+pub use saber_query as query;
+pub use saber_types as types;
+pub use saber_workloads as workloads;
+
+/// Commonly used items, re-exported for convenience.
+pub mod prelude {
+    pub use saber_engine::{EngineConfig, ExecutionMode, Saber, SaberBuilder, SchedulingPolicyKind};
+    pub use saber_query::{
+        AggregateFunction, Expr, Query, QueryBuilder, StreamFunction, WindowSpec,
+    };
+    pub use saber_types::{Attribute, DataType, RowBuffer, Schema, TupleRef, Value};
+}

@@ -1,0 +1,242 @@
+//! End-to-end integration tests: whole queries run through the engine on all
+//! execution modes and are checked against the single-threaded reference
+//! implementation (`saber::workloads::reference`).
+
+use saber::engine::{EngineConfig, ExecutionMode, Saber, SchedulingPolicyKind};
+use saber::gpu::device::DeviceConfig;
+use saber::prelude::*;
+use saber::workloads::{reference, synthetic};
+
+fn test_config(mode: ExecutionMode) -> EngineConfig {
+    EngineConfig {
+        worker_threads: 3,
+        query_task_size: 32 * 1024,
+        execution_mode: mode,
+        scheduling: SchedulingPolicyKind::default(),
+        device: DeviceConfig::unpaced(),
+        input_buffer_capacity: 16 << 20,
+        max_queued_tasks: 64,
+        gpu_pipeline_depth: 2,
+        throughput_smoothing: 0.25,
+    }
+}
+
+/// Runs a single-input query on the engine and returns the emitted rows.
+fn run_on_engine(mode: ExecutionMode, query: Query, data: &saber::types::RowBuffer) -> saber::types::RowBuffer {
+    let mut engine = Saber::with_config(test_config(mode)).unwrap();
+    let sink = engine.add_query(query).unwrap();
+    engine.start().unwrap();
+    for chunk in data.bytes().chunks(48 * 1024) {
+        engine.ingest(0, 0, chunk).unwrap();
+    }
+    engine.stop().unwrap();
+    sink.take_rows()
+}
+
+#[test]
+fn selection_matches_reference_on_all_modes() {
+    let schema = synthetic::schema();
+    let data = synthetic::generate(&schema, 100_000, 7);
+    let query = || {
+        QueryBuilder::new("sel", schema.clone())
+            .count_window(1024, 1024)
+            .select(Expr::column(1).lt(Expr::literal(0.3)))
+            .build()
+            .unwrap()
+    };
+    let expected = reference::run_single_input(&query(), &data).unwrap();
+    for mode in [ExecutionMode::CpuOnly, ExecutionMode::GpuOnly, ExecutionMode::Hybrid] {
+        let got = run_on_engine(mode, query(), &data);
+        assert_eq!(got.len(), expected.len(), "mode {mode:?}");
+        assert_eq!(got.bytes(), expected.bytes(), "mode {mode:?}");
+    }
+}
+
+#[test]
+fn projection_with_arithmetic_matches_reference() {
+    let schema = synthetic::schema();
+    let data = synthetic::generate(&schema, 50_000, 13);
+    let query = || {
+        QueryBuilder::new("proj", schema.clone())
+            .count_window(512, 512)
+            .project(vec![
+                (Expr::column(0), "timestamp"),
+                (Expr::column(1).mul(Expr::literal(3.0)).add(Expr::column(2)), "derived"),
+            ])
+            .build()
+            .unwrap()
+    };
+    let expected = reference::run_single_input(&query(), &data).unwrap();
+    let got = run_on_engine(ExecutionMode::Hybrid, query(), &data);
+    assert_eq!(got.len(), expected.len());
+    // Spot-check values (bytes may differ in float rounding only if the
+    // engine used a different evaluation order — it does not, so exact).
+    assert_eq!(got.bytes(), expected.bytes());
+}
+
+#[test]
+fn tumbling_group_by_matches_reference() {
+    let schema = synthetic::schema();
+    let data = synthetic::generate(&schema, 64 * 1024, 3);
+    let query = || {
+        QueryBuilder::new("agg", schema.clone())
+            .count_window(4096, 4096)
+            .aggregate(AggregateFunction::Count, 1)
+            .aggregate(AggregateFunction::Sum, 1)
+            .group_by(vec![3])
+            .build()
+            .unwrap()
+    };
+    let expected = reference::run_single_input(&query(), &data).unwrap();
+    for mode in [ExecutionMode::CpuOnly, ExecutionMode::Hybrid] {
+        let got = run_on_engine(mode, query(), &data);
+        assert_eq!(got.len(), expected.len(), "mode {mode:?}");
+        // Compare per-row with a float tolerance for the sums.
+        for (g, e) in got.iter().zip(expected.iter()) {
+            assert_eq!(g.timestamp(), e.timestamp());
+            assert_eq!(g.get_i32(1), e.get_i32(1));
+            assert_eq!(g.get_i64(2), e.get_i64(2));
+            assert!((g.get_f32(3) - e.get_f32(3)).abs() < 1.0);
+        }
+    }
+}
+
+#[test]
+fn sliding_average_matches_reference() {
+    let schema = synthetic::schema();
+    let data = synthetic::generate(&schema, 32 * 1024, 11);
+    let query = || {
+        QueryBuilder::new("sliding", schema.clone())
+            .count_window(2048, 256)
+            .aggregate(AggregateFunction::Avg, 1)
+            .build()
+            .unwrap()
+    };
+    let expected = reference::run_single_input(&query(), &data).unwrap();
+    let got = run_on_engine(ExecutionMode::Hybrid, query(), &data);
+    assert_eq!(got.len(), expected.len());
+    for (g, e) in got.iter().zip(expected.iter()) {
+        assert_eq!(g.timestamp(), e.timestamp());
+        assert!((g.get_f32(1) - e.get_f32(1)).abs() < 1e-3);
+    }
+}
+
+#[test]
+fn selection_with_aggregation_and_having_matches_reference() {
+    let schema = synthetic::schema();
+    let data = synthetic::generate(&schema, 48 * 1024, 19);
+    let query = || {
+        QueryBuilder::new("cm2-like", schema.clone())
+            .count_window(1024, 1024)
+            .select(Expr::column(2).lt(Expr::literal(512.0)))
+            .aggregate(AggregateFunction::Avg, 1)
+            .group_by(vec![4])
+            .having(Expr::column(2).gt(Expr::literal(0.45)))
+            .build()
+            .unwrap()
+    };
+    let expected = reference::run_single_input(&query(), &data).unwrap();
+    let got = run_on_engine(ExecutionMode::Hybrid, query(), &data);
+    assert_eq!(got.len(), expected.len());
+}
+
+#[test]
+fn results_are_identical_across_task_sizes() {
+    // The paper's claim behind Fig. 13: the query task size is a physical
+    // parameter and must not change query results.
+    let schema = synthetic::schema();
+    let data = synthetic::generate(&schema, 64 * 1024, 23);
+    let query = || {
+        QueryBuilder::new("agg", schema.clone())
+            .count_window(1024, 256)
+            .aggregate(AggregateFunction::Sum, 1)
+            .build()
+            .unwrap()
+    };
+    let mut outputs = Vec::new();
+    for task_size in [8 * 1024usize, 64 * 1024, 512 * 1024] {
+        let mut config = test_config(ExecutionMode::Hybrid);
+        config.query_task_size = task_size;
+        let mut engine = Saber::with_config(config).unwrap();
+        let sink = engine.add_query(query()).unwrap();
+        engine.start().unwrap();
+        for chunk in data.bytes().chunks(32 * 1024) {
+            engine.ingest(0, 0, chunk).unwrap();
+        }
+        engine.stop().unwrap();
+        let rows = sink.take_rows();
+        outputs.push(rows.len());
+    }
+    assert_eq!(outputs[0], outputs[1]);
+    assert_eq!(outputs[1], outputs[2]);
+}
+
+#[test]
+fn join_query_runs_end_to_end_on_two_streams() {
+    let schema = synthetic::schema();
+    let left = synthetic::generate(&schema, 16 * 1024, 31);
+    let right = synthetic::generate(&schema, 16 * 1024, 37);
+    let window = WindowSpec::count(512, 512);
+    let query = QueryBuilder::new("join", schema.clone())
+        .window(window)
+        .theta_join(
+            schema.clone(),
+            window,
+            Expr::column(2)
+                .rem(Expr::literal(16.0))
+                .eq(Expr::column(7 + 2).rem(Expr::literal(16.0))),
+        )
+        .build()
+        .unwrap();
+    let mut engine = Saber::with_config(test_config(ExecutionMode::Hybrid)).unwrap();
+    let sink = engine.add_query_with_options(query, false).unwrap();
+    engine.start().unwrap();
+    // Interleave ingestion window-by-window (512 rows = 16 KB per side), as a
+    // real source would: each query task then carries aligned batches of both
+    // streams.
+    for (l, r) in left.bytes().chunks(16 * 1024).zip(right.bytes().chunks(16 * 1024)) {
+        engine.ingest(0, 0, l).unwrap();
+        engine.ingest(0, 1, r).unwrap();
+    }
+    engine.stop().unwrap();
+    // Expected pair count per tumbling 512-row window ≈ 512 * 512 / 16.
+    let emitted = sink.tuples_emitted();
+    assert!(emitted > 0, "join emitted nothing");
+    let windows = 16 * 1024 / 512;
+    let expected = windows as f64 * 512.0 * 512.0 / 16.0;
+    let ratio = emitted as f64 / expected;
+    assert!(ratio > 0.6 && ratio < 1.7, "emitted {emitted}, expected ~{expected}");
+}
+
+#[test]
+fn scheduling_policies_all_produce_correct_results() {
+    let schema = synthetic::schema();
+    let data = synthetic::generate(&schema, 64 * 1024, 41);
+    let query = || {
+        QueryBuilder::new("agg", schema.clone())
+            .count_window(2048, 2048)
+            .aggregate(AggregateFunction::Count, 1)
+            .build()
+            .unwrap()
+    };
+    let expected = reference::run_single_input(&query(), &data).unwrap();
+    for policy in [
+        SchedulingPolicyKind::Hls { switch_threshold: 4 },
+        SchedulingPolicyKind::Fcfs,
+    ] {
+        let mut config = test_config(ExecutionMode::Hybrid);
+        config.scheduling = policy;
+        let mut engine = Saber::with_config(config).unwrap();
+        let sink = engine.add_query(query()).unwrap();
+        engine.start().unwrap();
+        for chunk in data.bytes().chunks(64 * 1024) {
+            engine.ingest(0, 0, chunk).unwrap();
+        }
+        engine.stop().unwrap();
+        let got = sink.take_rows();
+        assert_eq!(got.len(), expected.len());
+        for (g, e) in got.iter().zip(expected.iter()) {
+            assert_eq!(g.get_i64(1), e.get_i64(1));
+        }
+    }
+}
