@@ -246,8 +246,20 @@ mod tests {
     fn materialising_all_columns_costs_more_than_two() {
         let left = table(400, 6, 8);
         let right = table(400, 6, 8);
-        let narrow = theta_join(&left, &right, |i, j, l, r| l.column(0)[i] == r.column(0)[j], 4, 2);
-        let wide = theta_join(&left, &right, |i, j, l, r| l.column(0)[i] == r.column(0)[j], 4, 12);
+        let narrow = theta_join(
+            &left,
+            &right,
+            |i, j, l, r| l.column(0)[i] == r.column(0)[j],
+            4,
+            2,
+        );
+        let wide = theta_join(
+            &left,
+            &right,
+            |i, j, l, r| l.column(0)[i] == r.column(0)[j],
+            4,
+            12,
+        );
         assert_eq!(narrow.matches, wide.matches);
         assert!(wide.materialise_time >= narrow.materialise_time);
         assert_eq!(wide.output_columns, 12);

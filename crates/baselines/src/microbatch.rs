@@ -198,7 +198,8 @@ impl MicroBatchEngine {
                                 }
                             }
                             None => {
-                                let states = local.entry(vec![]).or_insert_with(|| vec![AggState::new()]);
+                                let states =
+                                    local.entry(vec![]).or_insert_with(|| vec![AggState::new()]);
                                 states[0].update(1.0);
                             }
                         }
@@ -283,7 +284,8 @@ mod tests {
 
     #[test]
     fn batch_size_is_coupled_to_the_slide() {
-        let engine = MicroBatchEngine::new(groupby_query(1024, 64), MicroBatchConfig::default()).unwrap();
+        let engine =
+            MicroBatchEngine::new(groupby_query(1024, 64), MicroBatchConfig::default()).unwrap();
         assert_eq!(engine.batch_rows(), 64);
         let engine = MicroBatchEngine::new(
             groupby_query(1024, 64),

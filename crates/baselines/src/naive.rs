@@ -78,7 +78,9 @@ impl NaiveEngine {
             }
             // A window closes whenever the position reaches a slide boundary
             // past the first full window.
-            if position + 1 >= window.size() && (position + 1 - window.size()) % window.slide() == 0 {
+            if position + 1 >= window.size()
+                && (position + 1 - window.size()).is_multiple_of(window.slide())
+            {
                 produced += self.evaluate_window(&mut state);
                 state.windows_closed += 1;
             }
@@ -150,8 +152,20 @@ fn eval_numeric(expr: &saber_query::Expr, values: &[f64]) -> f64 {
                 Add => a + b,
                 Sub => a - b,
                 Mul => a * b,
-                Div => if b == 0.0 { 0.0 } else { a / b },
-                Mod => if b == 0.0 { 0.0 } else { a % b },
+                Div => {
+                    if b == 0.0 {
+                        0.0
+                    } else {
+                        a / b
+                    }
+                }
+                Mod => {
+                    if b == 0.0 {
+                        0.0
+                    } else {
+                        a % b
+                    }
+                }
             }
         }
         other => eval_bool(other, values) as i64 as f64,
@@ -256,7 +270,11 @@ mod tests {
     fn join_queries_are_rejected() {
         let q = QueryBuilder::new("join", schema())
             .count_window(4, 4)
-            .theta_join(schema(), saber_query::WindowSpec::count(4, 4), Expr::literal(1.0))
+            .theta_join(
+                schema(),
+                saber_query::WindowSpec::count(4, 4),
+                Expr::literal(1.0),
+            )
             .build()
             .unwrap();
         assert!(NaiveEngine::new(q).is_err());

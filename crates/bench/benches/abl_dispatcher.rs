@@ -19,7 +19,11 @@ fn main() {
     let mut report = Report::new(
         "abl_dispatcher",
         "Ablation — deferred vs eager window computation in the dispatcher",
-        &["slide_tuples", "deferred_mtuples_per_s", "eager_mtuples_per_s"],
+        &[
+            "slide_tuples",
+            "deferred_mtuples_per_s",
+            "eager_mtuples_per_s",
+        ],
     );
 
     for slide in [1u64, 16, 256, 1024] {

@@ -41,11 +41,9 @@ fn main() {
     let mut offset = 0usize;
     while offset < rows {
         let end = (offset + task_rows).min(rows);
-        let slice = RowBuffer::from_bytes(
-            schema.clone(),
-            data.bytes()[offset * 32..end * 32].to_vec(),
-        )
-        .unwrap();
+        let slice =
+            RowBuffer::from_bytes(schema.clone(), data.bytes()[offset * 32..end * 32].to_vec())
+                .unwrap();
         let batch = StreamBatch::new(slice, offset as u64, offset as i64);
         match saber_cpu::windowed::execute(&plan, &agg, &batch).unwrap() {
             TaskOutput::Fragments { panes, progress } => {

@@ -18,7 +18,12 @@ fn jobs(plan: &Arc<CompiledPlan>, tasks: usize, rows_per_task: usize) -> Vec<Pip
     let schema = synthetic::schema();
     (0..tasks)
         .map(|t| {
-            let rows = synthetic::generate_from(&schema, rows_per_task, t as u64, (t * rows_per_task) as i64);
+            let rows = synthetic::generate_from(
+                &schema,
+                rows_per_task,
+                t as u64,
+                (t * rows_per_task) as i64,
+            );
             PipelineJob {
                 task_id: t as u64,
                 plan: plan.clone(),

@@ -23,7 +23,9 @@ fn main() {
 
     for st in [1u32, 4, 16, 64, 256] {
         let mut config = engine_config(ExecutionMode::Hybrid, DEFAULT_TASK_SIZE);
-        config.scheduling = SchedulingPolicyKind::Hls { switch_threshold: st };
+        config.scheduling = SchedulingPolicyKind::Hls {
+            switch_threshold: st,
+        };
         let m = run_single("PROJ6*", config, synthetic::proj(6, 100, w), &data).expect("run");
         report.add_row(vec![
             st.to_string(),

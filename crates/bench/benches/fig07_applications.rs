@@ -37,7 +37,9 @@ fn naive_equivalent(query: &Query, data: &RowBuffer) -> f64 {
         }
     }
     let Ok(q) = builder.build() else { return 0.0 };
-    let Ok(engine) = NaiveEngine::new(q) else { return 0.0 };
+    let Ok(engine) = NaiveEngine::new(q) else {
+        return 0.0;
+    };
     // Replay a bounded slice: the naive engine is very slow by design.
     let rows = data.len().min(64 * 1024);
     let slice = RowBuffer::from_bytes(

@@ -6,7 +6,9 @@
 //! compute-heavy ones). This harness also reports the headline aggregate
 //! throughput and latency (§6 claims >6 GB/s and sub-second latency).
 
-use saber_bench::{engine_config, fmt, mode_label, run_join, run_single, Report, DEFAULT_TASK_SIZE};
+use saber_bench::{
+    engine_config, fmt, mode_label, run_join, run_single, Report, DEFAULT_TASK_SIZE,
+};
 use saber_engine::ExecutionMode;
 use saber_query::AggregateFunction;
 use saber_workloads::synthetic;
@@ -23,7 +25,11 @@ fn main() {
         &["query", "mode", "gb_per_s", "mtuples_per_s", "latency_ms"],
     );
 
-    let modes = [ExecutionMode::CpuOnly, ExecutionMode::GpuOnly, ExecutionMode::Hybrid];
+    let modes = [
+        ExecutionMode::CpuOnly,
+        ExecutionMode::GpuOnly,
+        ExecutionMode::Hybrid,
+    ];
     let mut hybrid_total = 0.0;
     let mut hybrid_latency_ms: f64 = 0.0;
 

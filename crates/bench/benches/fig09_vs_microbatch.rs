@@ -15,7 +15,12 @@ fn main() {
     let mut report = Report::new(
         "fig09_vs_microbatch",
         "Fig. 9 — SABER vs micro-batch engine (10^6 tuples/s)",
-        &["query", "saber_mtuples_per_s", "microbatch_mtuples_per_s", "speedup"],
+        &[
+            "query",
+            "saber_mtuples_per_s",
+            "microbatch_mtuples_per_s",
+            "speedup",
+        ],
     );
 
     let cm_data = cluster::generate(&cluster::TraceConfig::default(), 512 * 1024, 5, 0);
@@ -36,10 +41,9 @@ fn main() {
             "CM2",
             QueryBuilder::new("CM2", cluster::schema())
                 .window(WindowSpec::tumbling_count(WINDOW))
-                .select(
-                    saber_query::Expr::column(cluster::columns::EVENT_TYPE)
-                        .eq(saber_query::Expr::literal(cluster::event_types::SCHEDULE as f64)),
-                )
+                .select(saber_query::Expr::column(cluster::columns::EVENT_TYPE).eq(
+                    saber_query::Expr::literal(cluster::event_types::SCHEDULE as f64),
+                ))
                 .aggregate(AggregateFunction::Avg, cluster::columns::CPU)
                 .group_by(vec![cluster::columns::JOB_ID])
                 .build()

@@ -2,14 +2,20 @@
 //! with ω(32KB,32KB) and JOIN-r with ω(4KB,4KB), sweeping the number of
 //! predicates, for CPU-only, GPGPU-only and hybrid execution.
 
-use saber_bench::{engine_config, fmt, mode_label, run_join, run_single, Report, DEFAULT_TASK_SIZE};
+use saber_bench::{
+    engine_config, fmt, mode_label, run_join, run_single, Report, DEFAULT_TASK_SIZE,
+};
 use saber_engine::ExecutionMode;
 use saber_workloads::synthetic;
 
 fn main() {
     let schema = synthetic::schema();
     let data = synthetic::generate(&schema, 1024 * 1024, 17);
-    let modes = [ExecutionMode::CpuOnly, ExecutionMode::GpuOnly, ExecutionMode::Hybrid];
+    let modes = [
+        ExecutionMode::CpuOnly,
+        ExecutionMode::GpuOnly,
+        ExecutionMode::Hybrid,
+    ];
 
     let mut report = Report::new(
         "fig10_predicates",

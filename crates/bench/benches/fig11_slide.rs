@@ -13,7 +13,11 @@ use saber_workloads::synthetic;
 fn main() {
     let schema = synthetic::schema();
     let data = synthetic::generate(&schema, 1024 * 1024, 23);
-    let modes = [ExecutionMode::CpuOnly, ExecutionMode::GpuOnly, ExecutionMode::Hybrid];
+    let modes = [
+        ExecutionMode::CpuOnly,
+        ExecutionMode::GpuOnly,
+        ExecutionMode::Hybrid,
+    ];
 
     let mut report = Report::new(
         "fig11_slide",

@@ -10,7 +10,11 @@ fn main() {
     let schema = synthetic::schema();
     let data = synthetic::generate(&schema, 1024 * 1024, 29);
     let w = synthetic::window_bytes(32 * 1024, 32 * 1024);
-    let modes = [ExecutionMode::CpuOnly, ExecutionMode::GpuOnly, ExecutionMode::Hybrid];
+    let modes = [
+        ExecutionMode::CpuOnly,
+        ExecutionMode::GpuOnly,
+        ExecutionMode::Hybrid,
+    ];
 
     let mut report = Report::new(
         "fig12_task_size",

@@ -13,7 +13,10 @@ fn main() {
     let windows = [
         ("w(32B,32B)", synthetic::window_bytes(32, 32)),
         ("w(32KB,32B)", synthetic::window_bytes(32 * 1024, 32)),
-        ("w(32KB,32KB)", synthetic::window_bytes(32 * 1024, 32 * 1024)),
+        (
+            "w(32KB,32KB)",
+            synthetic::window_bytes(32 * 1024, 32 * 1024),
+        ),
     ];
     let modes = [ExecutionMode::CpuOnly, ExecutionMode::GpuOnly];
 

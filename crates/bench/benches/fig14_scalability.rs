@@ -9,7 +9,9 @@ fn main() {
     let schema = synthetic::schema();
     let data = synthetic::generate(&schema, 1024 * 1024, 37);
     let w = synthetic::window_bytes(32 * 1024, 32 * 1024);
-    let max_workers = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(8);
+    let max_workers = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(8);
 
     let mut report = Report::new(
         "fig14_scalability",

@@ -54,8 +54,17 @@ fn main() {
     //     Q2 = AGGcnt GROUP-BY1 (prefers the CPU).
     // W2: Q3 = PROJ1, Q4 = AGGsum (both simple).
     let workloads: Vec<(&str, [Query; 2])> = vec![
-        ("W1", [synthetic::proj(6, 100, w), synthetic::group_by(1, w_slide)]),
-        ("W2", [synthetic::proj(1, 0, w), synthetic::agg(AggregateFunction::Sum, w)]),
+        (
+            "W1",
+            [synthetic::proj(6, 100, w), synthetic::group_by(1, w_slide)],
+        ),
+        (
+            "W2",
+            [
+                synthetic::proj(1, 0, w),
+                synthetic::agg(AggregateFunction::Sum, w),
+            ],
+        ),
     ];
 
     for (workload, queries) in workloads {
@@ -66,7 +75,12 @@ fn main() {
         let policies = [
             ("FCFS", SchedulingPolicyKind::Fcfs),
             ("Static", SchedulingPolicyKind::Static { assignment }),
-            ("HLS", SchedulingPolicyKind::Hls { switch_threshold: 16 }),
+            (
+                "HLS",
+                SchedulingPolicyKind::Hls {
+                    switch_threshold: 16,
+                },
+            ),
         ];
         for (name, policy) in policies {
             let gbps = run_workload(policy, queries.clone());

@@ -33,7 +33,12 @@ fn main() {
     let mut report = Report::new(
         "fig16_adaptation",
         "Fig. 16 — HLS adaptation to selectivity surges (per time slice)",
-        &["slice_s", "failure_rate_pct", "gpgpu_task_share_pct", "slice_wall_ms"],
+        &[
+            "slice_s",
+            "failure_rate_pct",
+            "gpgpu_task_share_pct",
+            "slice_wall_ms",
+        ],
     );
 
     let stats = engine.query_stats(0).expect("stats");
@@ -44,7 +49,12 @@ fn main() {
         if Instant::now() > deadline {
             break;
         }
-        let data = cluster::generate(&trace_config, rows_per_slice, 100 + slice, (slice * 1000) as i64);
+        let data = cluster::generate(
+            &trace_config,
+            rows_per_slice,
+            100 + slice,
+            (slice * 1000) as i64,
+        );
         // Observed selectivity proxy: fraction of failure events in the slice.
         let failures = data
             .iter()

@@ -31,7 +31,7 @@ fn bench_engine(c: &mut Criterion) {
     group.throughput(Throughput::Bytes(data.byte_len() as u64));
     group.bench_function("dispatcher_1mb_tasks", |b| {
         b.iter(|| {
-            let mut d = Dispatcher::new(plan.clone(), 1 << 20, 64 << 20, Arc::new(AtomicU64::new(0)));
+            let d = Dispatcher::new(plan.clone(), 1 << 20, 64 << 20, Arc::new(AtomicU64::new(0)));
             let mut tasks = 0usize;
             for chunk in data.bytes().chunks(256 * 1024) {
                 tasks += d.ingest(0, chunk).unwrap().len();
@@ -45,12 +45,25 @@ fn bench_engine(c: &mut Criterion) {
     group.bench_function("hls_select_from_64_tasks", |b| {
         let matrix = Arc::new(ThroughputMatrix::new(0.5, 8));
         for q in 0..4 {
-            matrix.record(q, Processor::Cpu, Duration::from_micros(500 + 100 * q as u64));
-            matrix.record(q, Processor::Gpu, Duration::from_micros(900 - 150 * q as u64));
+            matrix.record(
+                q,
+                Processor::Cpu,
+                Duration::from_micros(500 + 100 * q as u64),
+            );
+            matrix.record(
+                q,
+                Processor::Gpu,
+                Duration::from_micros(900 - 150 * q as u64),
+            );
         }
         let scheduler = Scheduler::new(SchedulingPolicyKind::default(), matrix);
-        let queue = TaskQueue::new();
-        let mut d = Dispatcher::new(plan.clone(), 64 * 1024, 64 << 20, Arc::new(AtomicU64::new(0)));
+        let queue = TaskQueue::with_queries(1);
+        let d = Dispatcher::new(
+            plan.clone(),
+            64 * 1024,
+            64 << 20,
+            Arc::new(AtomicU64::new(0)),
+        );
         for chunk in data.bytes().chunks(64 * 1024).take(64) {
             for t in d.ingest(0, chunk).unwrap() {
                 queue.push(t);
@@ -58,7 +71,9 @@ fn bench_engine(c: &mut Criterion) {
         }
         b.iter(|| {
             // Select and re-insert so the queue stays populated.
-            if let Some(task) = scheduler.next_task(&queue, Processor::Cpu, Duration::from_millis(1)) {
+            if let Some(task) =
+                scheduler.next_task(&queue, Processor::Cpu, Duration::from_millis(1))
+            {
                 queue.push(task);
             }
         })
@@ -67,7 +82,7 @@ fn bench_engine(c: &mut Criterion) {
     // Circular buffer insert/release cycle.
     group.throughput(Throughput::Bytes(64 * 1024));
     group.bench_function("circular_buffer_64kb_roundtrip", |b| {
-        let mut buf = CircularBuffer::new(8 << 20);
+        let buf = CircularBuffer::new(8 << 20);
         let chunk = vec![7u8; 64 * 1024];
         b.iter(|| {
             buf.insert(&chunk).unwrap();

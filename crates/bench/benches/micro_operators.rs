@@ -37,10 +37,18 @@ fn bench_operators(c: &mut Criterion) {
     for (name, query) in cases {
         let plan = CompiledPlan::compile(&query).unwrap();
         group.bench_function(format!("cpu_{name}"), |b| {
-            b.iter(|| executor.execute(&plan, std::slice::from_ref(&batch)).unwrap())
+            b.iter(|| {
+                executor
+                    .execute(&plan, std::slice::from_ref(&batch))
+                    .unwrap()
+            })
         });
         group.bench_function(format!("gpu_kernel_{name}"), |b| {
-            b.iter(|| device.execute_kernels(&plan, std::slice::from_ref(&batch)).unwrap())
+            b.iter(|| {
+                device
+                    .execute_kernels(&plan, std::slice::from_ref(&batch))
+                    .unwrap()
+            })
         });
     }
     group.finish();

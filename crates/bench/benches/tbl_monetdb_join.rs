@@ -26,23 +26,47 @@ fn main() {
     let mut right = ColumnTable::new(7);
     for i in 0..ROWS {
         let row: Vec<f64> = (0..7)
-            .map(|c| if c == 1 { (i as i64 % key_mod) as f64 } else { (i * (c + 1)) as f64 })
+            .map(|c| {
+                if c == 1 {
+                    (i as i64 % key_mod) as f64
+                } else {
+                    (i * (c + 1)) as f64
+                }
+            })
             .collect();
         left.push_row(&row).unwrap();
         let row: Vec<f64> = (0..7)
-            .map(|c| if c == 1 { ((i as i64 * 7) % key_mod) as f64 } else { (i * (c + 2)) as f64 })
+            .map(|c| {
+                if c == 1 {
+                    ((i as i64 * 7) % key_mod) as f64
+                } else {
+                    (i * (c + 2)) as f64
+                }
+            })
             .collect();
         right.push_row(&row).unwrap();
     }
 
-    let narrow = theta_join(&left, &right, |i, j, l, r| l.column(1)[i] == r.column(1)[j], 8, 2);
+    let narrow = theta_join(
+        &left,
+        &right,
+        |i, j, l, r| l.column(1)[i] == r.column(1)[j],
+        8,
+        2,
+    );
     report.add_row(vec![
         "columnar theta-join (2-column output)".into(),
         narrow.matches.to_string(),
         fmt(narrow.total_time().as_secs_f64() * 1000.0),
         "join + narrow materialisation".into(),
     ]);
-    let wide = theta_join(&left, &right, |i, j, l, r| l.column(1)[i] == r.column(1)[j], 8, 14);
+    let wide = theta_join(
+        &left,
+        &right,
+        |i, j, l, r| l.column(1)[i] == r.column(1)[j],
+        8,
+        14,
+    );
     report.add_row(vec![
         "columnar theta-join (select *)".into(),
         wide.matches.to_string(),

@@ -36,7 +36,11 @@ pub fn bench_workers() -> usize {
         .ok()
         .and_then(|v| v.parse().ok())
         .unwrap_or_else(|| {
-            (std::thread::available_parallelism().map(|p| p.get()).unwrap_or(8) / 2).clamp(2, 8)
+            (std::thread::available_parallelism()
+                .map(|p| p.get())
+                .unwrap_or(8)
+                / 2)
+            .clamp(2, 8)
         })
 }
 

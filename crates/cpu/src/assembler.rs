@@ -71,10 +71,12 @@ impl AggregationAssembler {
     /// True when the incremental sliding path applies.
     fn incremental(&self) -> bool {
         self.agg.group_exprs.is_empty()
-            && self
-                .functions
-                .iter()
-                .all(|f| matches!(f, AggregateFunction::Count | AggregateFunction::Sum | AggregateFunction::Avg))
+            && self.functions.iter().all(|f| {
+                matches!(
+                    f,
+                    AggregateFunction::Count | AggregateFunction::Sum | AggregateFunction::Avg
+                )
+            })
     }
 
     /// Number of windows emitted so far.
@@ -200,13 +202,12 @@ impl AggregationAssembler {
                 }
             }
             self.running = Some(states);
-        } else {
+        } else if let Some(running) = self.running.as_mut() {
             // Slide: previous window was w-1 covering panes
             // [first_pane - panes_per_slide, last_pane - panes_per_slide).
             let panes = self.agg.window.panes();
             let shift = panes.panes_per_slide;
             let prev_first = first_pane - shift;
-            let running = self.running.as_mut().unwrap();
             // Subtract panes that left the window.
             for p in prev_first..first_pane {
                 if let Some(table) = self.panes.get(&p) {
@@ -390,7 +391,12 @@ mod tests {
         // ω(8,2) SUM over 40 rows split into uneven batches; compare against
         // a brute-force reference.
         let batches = vec![make_batch(0, 7), make_batch(7, 13), make_batch(20, 20)];
-        let out = run_pipeline(WindowSpec::count(8, 2), false, AggregateFunction::Sum, batches);
+        let out = run_pipeline(
+            WindowSpec::count(8, 2),
+            false,
+            AggregateFunction::Sum,
+            batches,
+        );
         // Windows with end <= 40: windows 0..=16 (end = 2w+8 <= 40 → w <= 16).
         assert_eq!(out.len(), 17);
         for (i, t) in out.iter().enumerate() {
@@ -517,7 +523,9 @@ mod tests {
     #[test]
     fn panes_are_evicted_after_use() {
         let out_spec = WindowSpec::count(4, 4);
-        let mut b = QueryBuilder::new("agg", schema()).window(out_spec).aggregate_count();
+        let mut b = QueryBuilder::new("agg", schema())
+            .window(out_spec)
+            .aggregate_count();
         b = b.group_by(vec![2]);
         let q = b.build().unwrap();
         let plan = CompiledPlan::compile(&q).unwrap();

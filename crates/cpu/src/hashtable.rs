@@ -193,10 +193,8 @@ impl GroupTable {
 
     /// Sorted snapshot of the table (tests and deterministic output).
     pub fn sorted_groups(&self) -> Vec<(Vec<i64>, Vec<AggState>)> {
-        let mut v: Vec<(Vec<i64>, Vec<AggState>)> = self
-            .iter()
-            .map(|(k, s)| (k.to_vec(), s.to_vec()))
-            .collect();
+        let mut v: Vec<(Vec<i64>, Vec<AggState>)> =
+            self.iter().map(|(k, s)| (k.to_vec(), s.to_vec())).collect();
         v.sort_by(|a, b| a.0.cmp(&b.0));
         v
     }
@@ -268,7 +266,9 @@ mod tests {
     fn merge_matches_single_table_reference() {
         // Property: splitting updates across two tables and merging gives the
         // same result as applying all updates to one table.
-        let updates: Vec<(i64, f64)> = (0..500).map(|i| ((i % 37) as i64, i as f64 * 0.25)).collect();
+        let updates: Vec<(i64, f64)> = (0..500)
+            .map(|i| ((i % 37) as i64, i as f64 * 0.25))
+            .collect();
         let mut whole = GroupTable::new(&sum_count());
         for (k, v) in &updates {
             whole.entry(&[*k])[0].update(*v);

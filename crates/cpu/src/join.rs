@@ -21,13 +21,7 @@ use std::collections::HashMap;
 /// given window specification (count-based windows compare stream positions,
 /// time-based windows compare timestamps).
 #[inline]
-fn within_window(
-    window: &WindowSpec,
-    pos_a: u64,
-    ts_a: i64,
-    pos_b: u64,
-    ts_b: i64,
-) -> bool {
+fn within_window(window: &WindowSpec, pos_a: u64, ts_a: i64, pos_b: u64, ts_b: i64) -> bool {
     if window.is_count_based() {
         let a = window.windows_containing(pos_a);
         let b = window.windows_containing(pos_b);
@@ -45,7 +39,9 @@ pub fn execute_theta(
     batches: &[StreamBatch],
 ) -> Result<TaskOutput> {
     if batches.len() != 2 {
-        return Err(SaberError::Query("theta join expects two stream batches".into()));
+        return Err(SaberError::Query(
+            "theta join expects two stream batches".into(),
+        ));
     }
     let left = &batches[0];
     let right = &batches[1];
@@ -71,7 +67,11 @@ pub fn join_side(
     swapped: bool,
     out: &mut RowBuffer,
 ) -> Result<()> {
-    let window = if swapped { &join.left_window } else { &join.right_window };
+    let window = if swapped {
+        &join.left_window
+    } else {
+        &join.right_window
+    };
     let split = join.left_width;
     let build_limit = if swapped {
         build.lookback_rows // only old rows on the other side
@@ -95,7 +95,11 @@ pub fn join_side(
             if !within_window(window, probe_pos, probe_ts, build_pos, build_ts) {
                 continue;
             }
-            let (l, r) = if swapped { (&build_row, &probe_row) } else { (&probe_row, &build_row) };
+            let (l, r) = if swapped {
+                (&build_row, &probe_row)
+            } else {
+                (&probe_row, &build_row)
+            };
             if !join.predicate.eval_join_bool(l, r, split) {
                 continue;
             }
@@ -150,7 +154,9 @@ pub fn execute_partition(
     batches: &[StreamBatch],
 ) -> Result<TaskOutput> {
     if batches.len() != 2 {
-        return Err(SaberError::Query("partition join expects two stream batches".into()));
+        return Err(SaberError::Query(
+            "partition join expects two stream batches".into(),
+        ));
     }
     let left = &batches[0];
     let right = &batches[1];
@@ -168,7 +174,9 @@ pub fn execute_partition(
     for i in left.lookback_rows..left.rows.len() {
         let row = left.rows.row(i);
         let key = row.get_key(pj.spec.left_key);
-        let Some(&j) = partitions.get(&key) else { continue };
+        let Some(&j) = partitions.get(&key) else {
+            continue;
+        };
         let right_row = right.rows.row(j);
         if let Some(pred) = &pj.spec.predicate {
             if !pred.eval_join_bool(&row, &right_row, pj.left_width) {

@@ -81,8 +81,11 @@ mod tests {
         let plan = CompiledPlan::compile(&query).unwrap();
         let mut rows = RowBuffer::new(schema);
         for i in 0..8 {
-            rows.push_values(&[Value::Timestamp(i), Value::Float(if i % 2 == 0 { 0.9 } else { 0.1 })])
-                .unwrap();
+            rows.push_values(&[
+                Value::Timestamp(i),
+                Value::Float(if i % 2 == 0 { 0.9 } else { 0.1 }),
+            ])
+            .unwrap();
         }
         let batch = StreamBatch::new(rows, 0, 0);
         let out = CpuExecutor::new().execute(&plan, &[batch]).unwrap();

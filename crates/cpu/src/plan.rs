@@ -33,10 +33,7 @@ use saber_types::{DataType, Result, SaberError};
 /// directly on the input schema.
 pub fn substitute(expr: &Expr, cols: &[Expr]) -> Expr {
     match expr {
-        Expr::Column(i) => cols
-            .get(*i)
-            .cloned()
-            .unwrap_or(Expr::Column(*i)),
+        Expr::Column(i) => cols.get(*i).cloned().unwrap_or(Expr::Column(*i)),
         Expr::Literal(v) => Expr::Literal(*v),
         Expr::Arith(op, l, r) => Expr::Arith(
             *op,
@@ -184,7 +181,11 @@ impl CompiledPlan {
         for op in &query.operators {
             match op {
                 OperatorDef::Projection(p) => {
-                    cols = p.exprs.iter().map(|pe| substitute(&pe.expr, &cols)).collect();
+                    cols = p
+                        .exprs
+                        .iter()
+                        .map(|pe| substitute(&pe.expr, &cols))
+                        .collect();
                 }
                 OperatorDef::Selection(s) => {
                     filters.push(substitute(&s.predicate, &cols));
@@ -263,7 +264,9 @@ impl CompiledPlan {
         let right_window = query.inputs[1].window;
 
         let mut ops = query.operators.iter();
-        let first = ops.next().ok_or_else(|| SaberError::Query("empty pipeline".into()))?;
+        let first = ops
+            .next()
+            .ok_or_else(|| SaberError::Query("empty pipeline".into()))?;
 
         match first {
             OperatorDef::ThetaJoin(j) => {
@@ -272,7 +275,11 @@ impl CompiledPlan {
                 for op in ops {
                     match op {
                         OperatorDef::Projection(p) => {
-                            cols = p.exprs.iter().map(|pe| substitute(&pe.expr, &cols)).collect();
+                            cols = p
+                                .exprs
+                                .iter()
+                                .map(|pe| substitute(&pe.expr, &cols))
+                                .collect();
                         }
                         OperatorDef::Selection(s) => {
                             filters.push(substitute(&s.predicate, &cols));

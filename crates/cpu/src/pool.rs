@@ -67,7 +67,9 @@ mod tests {
     use saber_types::{DataType, Schema, Value};
 
     fn schema() -> SchemaRef {
-        Schema::from_pairs(&[("ts", DataType::Timestamp)]).unwrap().into_ref()
+        Schema::from_pairs(&[("ts", DataType::Timestamp)])
+            .unwrap()
+            .into_ref()
     }
 
     #[test]

@@ -12,7 +12,11 @@ use crate::plan::{CompiledPlan, StatelessPlan};
 use saber_types::{Result, RowBuffer};
 
 /// Evaluates a stateless plan over one stream batch.
-pub fn execute(plan: &CompiledPlan, stateless: &StatelessPlan, batch: &StreamBatch) -> Result<TaskOutput> {
+pub fn execute(
+    plan: &CompiledPlan,
+    stateless: &StatelessPlan,
+    batch: &StreamBatch,
+) -> Result<TaskOutput> {
     let mut out = RowBuffer::with_capacity(plan.output_schema().clone(), batch.new_rows());
     let rows = &batch.rows;
     for i in batch.lookback_rows..rows.len() {

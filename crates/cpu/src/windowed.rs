@@ -43,7 +43,11 @@ fn group_keys(tuple: &TupleRef<'_>, group_exprs: &[Expr], out: &mut Vec<i64>) {
 
 /// Evaluates the aggregation batch operator function over one stream batch,
 /// producing per-pane window-fragment partials.
-pub fn execute(plan: &CompiledPlan, agg: &AggregationPlan, batch: &StreamBatch) -> Result<TaskOutput> {
+pub fn execute(
+    plan: &CompiledPlan,
+    agg: &AggregationPlan,
+    batch: &StreamBatch,
+) -> Result<TaskOutput> {
     let functions = agg.functions();
     let rows = &batch.rows;
     let count_based = agg.window.is_count_based();
@@ -193,7 +197,9 @@ mod tests {
         match out {
             TaskOutput::Fragments { panes, .. } => {
                 assert_eq!(panes.len(), 5);
-                assert!(panes.iter().all(|p| p.table.get(&[]).unwrap()[1].count == 2));
+                assert!(panes
+                    .iter()
+                    .all(|p| p.table.get(&[]).unwrap()[1].count == 2));
             }
             _ => panic!(),
         }

@@ -68,10 +68,14 @@ impl EngineConfig {
     /// Validates the configuration.
     pub fn validate(&self) -> Result<()> {
         if self.worker_threads == 0 && self.execution_mode == ExecutionMode::CpuOnly {
-            return Err(SaberError::Config("CPU-only mode needs at least one worker".into()));
+            return Err(SaberError::Config(
+                "CPU-only mode needs at least one worker".into(),
+            ));
         }
         if self.query_task_size == 0 {
-            return Err(SaberError::Config("query task size must be positive".into()));
+            return Err(SaberError::Config(
+                "query task size must be positive".into(),
+            ));
         }
         if self.input_buffer_capacity < 2 * self.query_task_size {
             return Err(SaberError::Config(
@@ -79,7 +83,9 @@ impl EngineConfig {
             ));
         }
         if self.max_queued_tasks == 0 {
-            return Err(SaberError::Config("max queued tasks must be positive".into()));
+            return Err(SaberError::Config(
+                "max queued tasks must be positive".into(),
+            ));
         }
         if !(0.0..=1.0).contains(&self.throughput_smoothing) || self.throughput_smoothing == 0.0 {
             return Err(SaberError::Config(
@@ -225,9 +231,11 @@ mod tests {
 
     #[test]
     fn execution_mode_controls_processors() {
-        let mut c = EngineConfig::default();
-        c.worker_threads = 8;
-        c.execution_mode = ExecutionMode::GpuOnly;
+        let mut c = EngineConfig {
+            worker_threads: 8,
+            execution_mode: ExecutionMode::GpuOnly,
+            ..Default::default()
+        };
         assert_eq!(c.effective_cpu_workers(), 0);
         assert!(c.gpu_enabled());
         c.execution_mode = ExecutionMode::CpuOnly;

@@ -1,11 +1,23 @@
 //! The dispatching stage (paper §4.1): buffering incoming data and creating
 //! fixed-size query tasks.
 //!
-//! One dispatcher exists per query. Incoming bytes are appended to the
-//! query's circular input buffers without deserialisation; as soon as the sum
-//! of the pending stream batch sizes reaches the query task size φ, a task is
-//! cut. Window computation is *not* performed here — the task only records
-//! the absolute tuple index / first timestamp of its batches so the execution
+//! One dispatcher exists per query, split into two halves so that producers
+//! and the task cutter never serialize on each other:
+//!
+//! * **Ingest front-ends** ([`StreamIngest`], one per input stream) append
+//!   incoming bytes to the stream's reservation-based
+//!   [`CircularBuffer`](crate::circular::CircularBuffer) without taking any
+//!   lock. Many producer threads may append to the same stream concurrently;
+//!   the ring serializes them with a compare-and-swap claim.
+//! * **The task cutter** (a small mutex over the per-stream pending cursors
+//!   and the task sequence counter) runs when the sum of the pending stream
+//!   batch sizes reaches the query task size φ. It copies the pending
+//!   regions out of the rings, advances the cursors and releases consumed
+//!   bytes. The cutter lock is never held during a producer's buffer copy —
+//!   only while cutting, which is the one step that must serialize.
+//!
+//! Window computation is *not* performed here — the task only records the
+//! absolute tuple index / first timestamp of its batches so the execution
 //! stage can derive window boundaries in parallel (deferred window
 //! computation). For join queries each batch additionally carries a
 //! window-sized lookback prefix so tasks can rebuild the opposite stream's
@@ -13,40 +25,145 @@
 
 use crate::circular::CircularBuffer;
 use crate::task::QueryTask;
+use parking_lot::{Condvar, Mutex};
 use saber_cpu::exec::StreamBatch;
 use saber_cpu::plan::CompiledPlan;
 use saber_query::WindowSpec;
 use saber_types::{Result, RowBuffer, SaberError};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
-/// Per-input-stream dispatch state.
+/// Lock-free ingest front-end of one input stream.
 #[derive(Debug)]
-struct InputState {
+pub struct StreamIngest {
     buffer: CircularBuffer,
-    /// Absolute byte offset of the first *pending* (not yet dispatched) byte.
-    pending_from: u64,
-    /// Absolute tuple index of the first pending row.
-    next_row_index: u64,
-    /// Timestamp of the first pending row (maintained on insert).
-    pending_first_ts: i64,
-    /// Total tuples ingested on this input.
-    rows_ingested: u64,
     /// Row size in bytes.
     row_size: usize,
+    /// Byte offset of the timestamp attribute within a row.
+    ts_offset: usize,
     /// Lookback retained before the pending region, in rows (join queries).
     lookback_rows: usize,
+    /// Total tuples published on this input (monitoring; `Relaxed`).
+    rows_ingested: AtomicU64,
+    /// Absolute byte offset of the first *pending* (not yet dispatched)
+    /// byte. Written only by the cutter (under the cutter lock), read by
+    /// producers when checking the φ threshold.
+    pending_from: AtomicU64,
+    /// Absolute tuple index of the first pending row (cutter-owned).
+    next_row_index: AtomicU64,
+    /// Backs `space_freed`; held only around blocking waits for ring space.
+    space: Mutex<()>,
+    /// Signalled whenever the cutter releases ring space.
+    space_freed: Condvar,
 }
 
-/// The dispatching stage of one query.
+impl StreamIngest {
+    fn new(
+        buffer_capacity: usize,
+        row_size: usize,
+        ts_offset: usize,
+        lookback_rows: usize,
+    ) -> Self {
+        Self {
+            buffer: CircularBuffer::new(buffer_capacity),
+            row_size,
+            ts_offset,
+            lookback_rows,
+            rows_ingested: AtomicU64::new(0),
+            pending_from: AtomicU64::new(0),
+            next_row_index: AtomicU64::new(0),
+            space: Mutex::new(()),
+            space_freed: Condvar::new(),
+        }
+    }
+
+    /// Row size of this stream in bytes.
+    pub fn row_size(&self) -> usize {
+        self.row_size
+    }
+
+    /// The stream's circular input buffer.
+    pub fn buffer(&self) -> &CircularBuffer {
+        &self.buffer
+    }
+
+    /// Total tuples published on this input.
+    pub fn rows_ingested(&self) -> u64 {
+        self.rows_ingested.load(Ordering::Relaxed)
+    }
+
+    /// Bytes published but not yet dispatched into a task.
+    pub fn pending_bytes(&self) -> u64 {
+        let head = self.buffer.head();
+        head.saturating_sub(self.pending_from.load(Ordering::Acquire))
+    }
+
+    /// Appends whole rows, blocking while the ring lacks space. Space frees
+    /// up when the cutter consumes pending data, so `on_full` is invoked
+    /// before each wait to give the caller a chance to cut tasks itself.
+    fn append(&self, bytes: &[u8], mut on_full: impl FnMut() -> Result<()>) -> Result<()> {
+        // Cutting can never release the retained lookback, so an append that
+        // needs more than `capacity - lookback` would wait forever. Reject it
+        // up front instead of hanging.
+        let reserved = self.lookback_rows * self.row_size;
+        if bytes.len() + reserved > self.buffer.capacity() {
+            return Err(SaberError::Buffer(format!(
+                "{} bytes cannot fit: the {}-byte input buffer permanently retains {} bytes of \
+                 join-window lookback; increase input_buffer_capacity",
+                bytes.len(),
+                self.buffer.capacity(),
+                reserved
+            )));
+        }
+        while !self.buffer.try_insert(bytes)? {
+            on_full()?;
+            let mut guard = self.space.lock();
+            // Re-check under the lock: `release_and_notify` takes the same
+            // lock before notifying, so a release between our failed insert
+            // and this wait cannot be missed. The bounded wait is defensive.
+            if self.buffer.available() < bytes.len() {
+                self.space_freed
+                    .wait_for(&mut guard, Duration::from_millis(10));
+            }
+        }
+        self.rows_ingested
+            .fetch_add((bytes.len() / self.row_size) as u64, Ordering::Relaxed);
+        Ok(())
+    }
+
+    /// Releases ring bytes below `free` and wakes producers blocked on
+    /// space (called by the cutter).
+    fn release_and_notify(&self, free: u64) {
+        self.buffer.release_until(free);
+        drop(self.space.lock());
+        self.space_freed.notify_all();
+    }
+
+    /// Timestamp of the row starting at absolute byte `at`, read directly
+    /// out of the ring.
+    fn timestamp_at(&self, at: u64) -> Result<i64> {
+        let from = at + self.ts_offset as u64;
+        let bytes = self.buffer.read_range(from, from + 8)?;
+        Ok(i64::from_le_bytes(bytes.as_slice().try_into().unwrap()))
+    }
+}
+
+/// Cutter-owned state (everything the φ-threshold cut must serialize on).
+#[derive(Debug)]
+struct CutterState {
+    next_seq: u64,
+}
+
+/// The dispatching stage of one query. Internally synchronized: `&self`
+/// methods are safe to call from many producer threads.
 #[derive(Debug)]
 pub struct Dispatcher {
     plan: Arc<CompiledPlan>,
     query_id: usize,
     task_size: usize,
-    inputs: Vec<InputState>,
-    next_seq: u64,
+    streams: Vec<Arc<StreamIngest>>,
+    cutter: Mutex<CutterState>,
     global_task_ids: Arc<AtomicU64>,
 }
 
@@ -58,30 +175,26 @@ impl Dispatcher {
         buffer_capacity: usize,
         global_task_ids: Arc<AtomicU64>,
     ) -> Self {
-        let inputs = plan
+        let streams = plan
             .input_schemas()
             .iter()
             .zip(plan.windows().iter())
             .map(|(schema, window)| {
-                let row_size = schema.row_size();
-                let lookback_rows = lookback_rows(plan.num_inputs(), window);
-                InputState {
-                    buffer: CircularBuffer::new(buffer_capacity),
-                    pending_from: 0,
-                    next_row_index: 0,
-                    pending_first_ts: 0,
-                    rows_ingested: 0,
-                    row_size,
-                    lookback_rows,
-                }
+                let ts_offset = schema.offset(schema.timestamp_index());
+                Arc::new(StreamIngest::new(
+                    buffer_capacity,
+                    schema.row_size(),
+                    ts_offset,
+                    lookback_rows(plan.num_inputs(), window),
+                ))
             })
             .collect();
         Self {
             query_id: plan.query_id(),
             plan,
             task_size: task_size.max(1),
-            inputs,
-            next_seq: 0,
+            streams,
+            cutter: Mutex::new(CutterState { next_seq: 0 }),
             global_task_ids,
         }
     }
@@ -91,27 +204,60 @@ impl Dispatcher {
         self.query_id
     }
 
+    /// The ingest front-end of input `stream`.
+    pub fn stream(&self, stream: usize) -> Option<&Arc<StreamIngest>> {
+        self.streams.get(stream)
+    }
+
+    /// Number of input streams.
+    pub fn num_streams(&self) -> usize {
+        self.streams.len()
+    }
+
     /// Total rows ingested across all inputs.
     pub fn rows_ingested(&self) -> u64 {
-        self.inputs.iter().map(|i| i.rows_ingested).sum()
+        self.streams.iter().map(|s| s.rows_ingested()).sum()
     }
 
     /// Bytes currently pending (ingested but not yet dispatched).
     pub fn pending_bytes(&self) -> usize {
-        self.inputs
+        self.streams
             .iter()
-            .map(|i| (i.buffer.head() - i.pending_from) as usize)
+            .map(|s| s.pending_bytes() as usize)
             .sum()
     }
 
     /// Ingests `bytes` (whole rows) into input `stream`, returning any query
-    /// tasks that became ready.
-    pub fn ingest(&mut self, stream: usize, bytes: &[u8]) -> Result<Vec<QueryTask>> {
+    /// tasks that became ready. The buffer copy itself is lock-free; only
+    /// cutting serializes (on the cutter mutex). Inputs larger than the ring
+    /// are appended in half-ring slices with cuts in between, so a single
+    /// call may ingest arbitrarily more data than the ring holds — but all
+    /// cut tasks are materialized in the returned Vec; callers that need
+    /// bounded memory should use [`Dispatcher::ingest_with`].
+    pub fn ingest(&self, stream: usize, bytes: &[u8]) -> Result<Vec<QueryTask>> {
+        let mut tasks = Vec::new();
+        self.ingest_with(stream, bytes, &mut |task| {
+            tasks.push(task);
+            Ok(())
+        })?;
+        Ok(tasks)
+    }
+
+    /// Like [`Dispatcher::ingest`], but hands each cut task to `sink` as soon
+    /// as it is cut. A sink that applies admission control (blocking on queue
+    /// credits) therefore bounds the memory of arbitrarily large ingests: at
+    /// most one ring's worth of data plus the admitted tasks is resident.
+    pub fn ingest_with(
+        &self,
+        stream: usize,
+        bytes: &[u8],
+        sink: &mut dyn FnMut(QueryTask) -> Result<()>,
+    ) -> Result<()> {
         let input = self
-            .inputs
-            .get_mut(stream)
+            .streams
+            .get(stream)
             .ok_or_else(|| SaberError::Query(format!("query has no input stream {stream}")))?;
-        if bytes.len() % input.row_size != 0 {
+        if !bytes.len().is_multiple_of(input.row_size) {
             return Err(SaberError::Buffer(format!(
                 "ingested {} bytes is not a multiple of the row size {}",
                 bytes.len(),
@@ -119,65 +265,105 @@ impl Dispatcher {
             )));
         }
         if bytes.is_empty() {
-            return Ok(Vec::new());
+            return Ok(());
         }
-        if input.buffer.head() == input.pending_from {
-            // First bytes of a new pending region: remember its timestamp.
-            let ts_index = self.plan.input_schemas()[stream].timestamp_index();
-            let offset = self.plan.input_schemas()[stream].offset(ts_index);
-            input.pending_first_ts =
-                i64::from_le_bytes(bytes[offset..offset + 8].try_into().unwrap());
-        }
-        input.buffer.insert(bytes)?;
-        input.rows_ingested += (bytes.len() / input.row_size) as u64;
 
-        let mut tasks = Vec::new();
-        while self.pending_bytes() >= self.task_size {
-            tasks.push(self.cut_task()?);
+        // Slice inputs so one call can ingest more than the ring holds;
+        // half the ring bounds a slice so concurrent producers still fit.
+        let half_ring = input.buffer().capacity() / 2;
+        let slice_bytes = (half_ring - half_ring % input.row_size).max(input.row_size);
+        for chunk in bytes.chunks(slice_bytes) {
+            input.append(chunk, || {
+                // Ring full: consume pending data ourselves before waiting.
+                // If the φ threshold is not reached the ring is full of
+                // sub-φ pending data (small ring or heavy lookback), so cut
+                // an undersized task — the only way space ever frees up.
+                if !self.cut_ready(sink)? {
+                    let mut state = self.cutter.lock();
+                    if self.pending_bytes() > 0 {
+                        let task = self.cut_task(&mut state)?;
+                        sink(task)?;
+                    }
+                }
+                Ok(())
+            })?;
+            self.cut_ready(sink)?;
         }
-        Ok(tasks)
+        Ok(())
+    }
+
+    /// Cuts tasks while the φ threshold is met, handing them to `sink`.
+    /// Returns whether any task was cut.
+    fn cut_ready(&self, sink: &mut dyn FnMut(QueryTask) -> Result<()>) -> Result<bool> {
+        if self.pending_bytes() < self.task_size {
+            return Ok(false);
+        }
+        let mut state = self.cutter.lock();
+        let mut cut_any = false;
+        while self.pending_bytes() >= self.task_size {
+            let task = self.cut_task(&mut state)?;
+            sink(task)?;
+            cut_any = true;
+        }
+        Ok(cut_any)
     }
 
     /// Flushes any remaining pending data into a final (possibly undersized)
     /// task. Returns `None` if nothing is pending.
-    pub fn flush(&mut self) -> Result<Option<QueryTask>> {
+    pub fn flush(&self) -> Result<Option<QueryTask>> {
+        let mut state = self.cutter.lock();
         if self.pending_bytes() == 0 {
             return Ok(None);
         }
-        Ok(Some(self.cut_task()?))
+        Ok(Some(self.cut_task(&mut state)?))
     }
 
-    /// Cuts one query task from the pending regions of all inputs.
-    fn cut_task(&mut self) -> Result<QueryTask> {
-        let mut batches = Vec::with_capacity(self.inputs.len());
-        let schemas: Vec<_> = self.plan.input_schemas().to_vec();
-        for (idx, input) in self.inputs.iter_mut().enumerate() {
+    /// Cuts one query task from the pending regions of all inputs. Must be
+    /// called with the cutter lock held.
+    fn cut_task(&self, state: &mut CutterState) -> Result<QueryTask> {
+        let mut batches = Vec::with_capacity(self.streams.len());
+        let schemas = self.plan.input_schemas();
+        for (idx, input) in self.streams.iter().enumerate() {
             let schema = &schemas[idx];
-            let pending_bytes = (input.buffer.head() - input.pending_from) as usize;
+            let pending_from = input.pending_from.load(Ordering::Acquire);
+            // Snapshot the publish pointer: everything below it is complete
+            // and immutable until released.
+            let to = input.buffer.head();
+            let pending_bytes = (to - pending_from) as usize;
             // Include lookback context before the pending region if retained.
             let lookback_bytes = (input.lookback_rows * input.row_size) as u64;
-            let from = input.pending_from.saturating_sub(lookback_bytes).max(input.buffer.tail());
-            let lookback_actual_rows = ((input.pending_from - from) / input.row_size as u64) as usize;
-            let to = input.buffer.head();
+            let from = pending_from
+                .saturating_sub(lookback_bytes)
+                .max(input.buffer.tail());
+            let lookback_actual_rows = ((pending_from - from) / input.row_size as u64) as usize;
+            let start_timestamp = if pending_bytes > 0 {
+                input.timestamp_at(pending_from)?
+            } else if to > from {
+                input.timestamp_at(from)?
+            } else {
+                0
+            };
             let bytes = input.buffer.read_range(from, to)?;
             let rows = RowBuffer::from_bytes(schema.clone(), bytes)?;
             let batch = StreamBatch::with_lookback(
                 rows,
-                input.next_row_index,
-                input.pending_first_ts,
+                input.next_row_index.load(Ordering::Acquire),
+                start_timestamp,
                 lookback_actual_rows,
             );
             // Advance the pending region and release data that is no longer
             // needed (everything before the new lookback horizon).
-            input.next_row_index += (pending_bytes / input.row_size) as u64;
-            input.pending_from = to;
-            let new_lookback_start = to.saturating_sub((input.lookback_rows * input.row_size) as u64);
-            input.buffer.release_until(new_lookback_start);
+            input
+                .next_row_index
+                .fetch_add((pending_bytes / input.row_size) as u64, Ordering::AcqRel);
+            input.pending_from.store(to, Ordering::Release);
+            let new_lookback_start = to.saturating_sub(lookback_bytes);
+            input.release_and_notify(new_lookback_start);
             batches.push(batch);
         }
         let id = self.global_task_ids.fetch_add(1, Ordering::Relaxed);
-        let seq = self.next_seq;
-        self.next_seq += 1;
+        let seq = state.next_seq;
+        state.next_seq += 1;
         Ok(QueryTask {
             id,
             query_id: self.query_id,
@@ -247,14 +433,12 @@ mod tests {
     #[test]
     fn tasks_are_cut_at_the_task_size() {
         // Task size of 64 rows (16 bytes each = 1024 bytes).
-        let mut d = dispatcher(1024);
+        let d = dispatcher(1024);
         // 50 rows: not enough for a task yet.
         assert!(d.ingest(0, &rows(50, 0)).unwrap().is_empty());
         assert_eq!(d.pending_bytes(), 50 * 16);
-        // 100 more rows: 150 pending → two tasks of 64+ rows... the
-        // dispatcher cuts whole pending regions, so the first task takes all
-        // 150 pending rows? No: it cuts as soon as pending >= φ, taking the
-        // entire pending region at that moment.
+        // 100 more rows: the dispatcher cuts as soon as pending >= φ, taking
+        // the entire pending region at that moment.
         let tasks = d.ingest(0, &rows(100, 50)).unwrap();
         assert_eq!(tasks.len(), 1);
         assert_eq!(tasks[0].rows(), 150);
@@ -265,7 +449,7 @@ mod tests {
 
     #[test]
     fn consecutive_tasks_have_increasing_positions_and_ids() {
-        let mut d = dispatcher(16 * 16); // 16 rows per task
+        let d = dispatcher(16 * 16); // 16 rows per task
         let mut all = Vec::new();
         for chunk in 0..8 {
             all.extend(d.ingest(0, &rows(16, chunk * 16)).unwrap());
@@ -280,7 +464,7 @@ mod tests {
 
     #[test]
     fn ingest_rejects_partial_rows_and_unknown_streams() {
-        let mut d = dispatcher(1024);
+        let d = dispatcher(1024);
         assert!(d.ingest(0, &[0u8; 7]).is_err());
         assert!(d.ingest(3, &rows(1, 0)).is_err());
         assert!(d.ingest(0, &[]).unwrap().is_empty());
@@ -288,11 +472,35 @@ mod tests {
 
     #[test]
     fn flush_emits_the_remaining_partial_task() {
-        let mut d = dispatcher(1 << 20);
+        let d = dispatcher(1 << 20);
         d.ingest(0, &rows(10, 0)).unwrap();
         let t = d.flush().unwrap().unwrap();
         assert_eq!(t.rows(), 10);
         assert!(d.flush().unwrap().is_none());
+    }
+
+    #[test]
+    fn ingest_larger_than_the_ring_is_sliced_into_tasks() {
+        // Ring of 16 KB (1024 rows), one big 4096-row ingest: the dispatcher
+        // must slice the input and cut tasks in between to stay in bounds.
+        let q = QueryBuilder::new("sel", schema())
+            .count_window(64, 64)
+            .select(Expr::literal(1.0))
+            .build()
+            .unwrap();
+        let plan = Arc::new(CompiledPlan::compile(&q).unwrap());
+        let d = Dispatcher::new(plan, 256 * 16, 16 * 1024, Arc::new(AtomicU64::new(0)));
+        let tasks = d.ingest(0, &rows(4096, 0)).unwrap();
+        let total: usize = tasks.iter().map(|t| t.rows()).sum();
+        assert_eq!(total, 4096);
+        // Half-ring slices of 512 rows, each cut as one ≥φ task.
+        assert_eq!(tasks.len(), 8);
+        // Tasks tile the input without gaps or overlaps.
+        let mut next = 0u64;
+        for t in &tasks {
+            assert_eq!(t.batches[0].start_index, next);
+            next += t.batches[0].new_rows() as u64;
+        }
     }
 
     #[test]
@@ -307,7 +515,7 @@ mod tests {
             .build()
             .unwrap();
         let plan = Arc::new(CompiledPlan::compile(&q).unwrap());
-        let mut d = Dispatcher::new(plan, 32 * 16, 1 << 20, Arc::new(AtomicU64::new(0)));
+        let d = Dispatcher::new(plan, 32 * 16, 1 << 20, Arc::new(AtomicU64::new(0)));
         // Fill both inputs; a task is cut when the *sum* of pending bytes
         // reaches φ (here 32 rows total).
         let t1 = d.ingest(0, &rows(16, 0)).unwrap();
@@ -325,5 +533,107 @@ mod tests {
         assert_eq!(t3[0].batches[0].start_index, 16);
         // New rows exclude the lookback prefix.
         assert_eq!(t3[0].batches[0].new_rows(), 16);
+    }
+
+    #[test]
+    fn lookback_exceeding_the_ring_is_an_error_not_a_hang() {
+        // An 8192-row join lookback (128 KB) against a 4 KB ring: cutting
+        // can never free enough space, so ingest must fail fast.
+        let q = QueryBuilder::new("join", schema())
+            .count_window(8192, 8192)
+            .theta_join(
+                schema(),
+                saber_query::WindowSpec::count(8192, 8192),
+                Expr::column(1).eq(Expr::column(3 + 1)),
+            )
+            .build()
+            .unwrap();
+        let plan = Arc::new(CompiledPlan::compile(&q).unwrap());
+        let d = Dispatcher::new(plan, 1 << 20, 4096, Arc::new(AtomicU64::new(0)));
+        let err = d.ingest(0, &rows(256, 0)).unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("lookback"), "unexpected error: {msg}");
+    }
+
+    #[test]
+    fn lookback_survives_ring_wraparound() {
+        // A small ring forces many wraparounds; lookback rows must always be
+        // retained and resident when the next task is cut.
+        let q = QueryBuilder::new("join", schema())
+            .count_window(8, 8)
+            .theta_join(
+                schema(),
+                saber_query::WindowSpec::count(8, 8),
+                Expr::column(1).eq(Expr::column(3 + 1)),
+            )
+            .build()
+            .unwrap();
+        let plan = Arc::new(CompiledPlan::compile(&q).unwrap());
+        let d = Dispatcher::new(plan, 32 * 16, 1024, Arc::new(AtomicU64::new(0)));
+        let mut tasks = Vec::new();
+        for round in 0..64 {
+            tasks.extend(d.ingest(0, &rows(16, round * 16)).unwrap());
+            tasks.extend(d.ingest(1, &rows(16, round * 16)).unwrap());
+        }
+        assert_eq!(tasks.len(), 64);
+        for (i, t) in tasks.iter().enumerate().skip(1) {
+            assert_eq!(t.batches[0].lookback_rows, 8, "task {i}");
+            assert_eq!(t.batches[0].start_index, i as u64 * 16);
+        }
+    }
+
+    /// The tentpole invariant: concurrent producers on the same stream never
+    /// lose, duplicate or tear a row, and the cut tasks tile the input.
+    #[test]
+    fn concurrent_ingest_and_cut_preserves_every_row() {
+        const PRODUCERS: usize = 4;
+        const ROWS_PER_PRODUCER: usize = 8000;
+        let d = Arc::new(dispatcher(128 * 16));
+        let mut handles = Vec::new();
+        for p in 0..PRODUCERS {
+            let d = d.clone();
+            handles.push(std::thread::spawn(move || {
+                let mut tasks = Vec::new();
+                // Each producer stamps rows with a disjoint timestamp range.
+                let base = (p * 10_000_000) as i64;
+                for chunk in 0..(ROWS_PER_PRODUCER / 100) {
+                    tasks.extend(d.ingest(0, &rows(100, base + chunk as i64 * 100)).unwrap());
+                }
+                tasks
+            }));
+        }
+        let mut tasks: Vec<QueryTask> = Vec::new();
+        for h in handles {
+            tasks.extend(h.join().unwrap());
+        }
+        tasks.extend(d.flush().unwrap());
+
+        let total = PRODUCERS * ROWS_PER_PRODUCER;
+        assert_eq!(d.rows_ingested() as usize, total);
+        assert_eq!(tasks.iter().map(|t| t.rows()).sum::<usize>(), total);
+
+        // Tasks tile [0, total) by start index without gaps or overlaps.
+        tasks.sort_by_key(|t| t.batches[0].start_index);
+        let mut next = 0u64;
+        for t in &tasks {
+            assert_eq!(t.batches[0].start_index, next);
+            next += t.batches[0].new_rows() as u64;
+        }
+        assert_eq!(next, total as u64);
+
+        // Every row arrived exactly once with its payload intact.
+        let mut timestamps: Vec<i64> = tasks
+            .iter()
+            .flat_map(|t| {
+                let b = &t.batches[0];
+                (b.lookback_rows..b.rows.len()).map(|i| b.rows.row(i).timestamp())
+            })
+            .collect();
+        timestamps.sort_unstable();
+        let mut expected: Vec<i64> = (0..PRODUCERS)
+            .flat_map(|p| (0..ROWS_PER_PRODUCER).map(move |i| (p * 10_000_000) as i64 + i as i64))
+            .collect();
+        expected.sort_unstable();
+        assert_eq!(timestamps, expected);
     }
 }

@@ -8,13 +8,18 @@
 //!
 //! Lifecycle of a tuple (Fig. 4):
 //!
-//! 1. **Dispatching stage** — [`ingest`](Saber::ingest)ed bytes land in a
-//!    per-query, per-stream [`circular::CircularBuffer`]; once a query has
-//!    accumulated `query_task_size` bytes, the [`dispatcher::Dispatcher`]
+//! 1. **Dispatching stage** — [`ingest`](Saber::ingest)ed bytes (from any
+//!    number of producer threads — see [`Saber::ingest_handle`]) land
+//!    lock-free in a per-query, per-stream reservation-based
+//!    [`circular::CircularBuffer`]; once a query has accumulated
+//!    `query_task_size` bytes, the [`dispatcher::Dispatcher`]'s task cutter
 //!    cuts a [`task::QueryTask`] (window computation is deferred to the
-//!    task itself) and appends it to the system-wide [`queue::TaskQueue`].
+//!    task itself) and admits it — gated by the [`flow::FlowControl`]
+//!    credit gate, which blocks producers precisely while the queue is
+//!    saturated — into the per-query sharded [`queue::TaskQueue`].
 //! 2. **Scheduling stage** — idle workers pick tasks through the configured
 //!    [`scheduler::SchedulingPolicyKind`]: HLS (Alg. 1), FCFS or Static.
+//!    HLS scans the O(#queries) sub-queue heads instead of a global list.
 //! 3. **Execution stage** — CPU workers run the task through
 //!    `saber_cpu::CpuExecutor`; the accelerator worker drives the
 //!    five-stage pipeline of `saber_gpu`.
@@ -26,6 +31,7 @@ pub mod circular;
 pub mod config;
 pub mod dispatcher;
 pub mod engine;
+pub mod flow;
 pub mod metrics;
 pub mod queue;
 pub mod result;
@@ -36,8 +42,10 @@ pub mod throughput;
 pub mod worker;
 
 pub use config::{EngineConfig, ExecutionMode, SaberBuilder};
-pub use engine::Saber;
+pub use engine::{IngestHandle, Saber};
+pub use flow::FlowControl;
 pub use metrics::{EngineStats, QueryStats};
+pub use queue::{TaskHead, TaskQueue};
 pub use scheduler::{Processor, SchedulingPolicyKind};
 pub use sink::QuerySink;
 pub use task::QueryTask;

@@ -1,4 +1,14 @@
 //! Engine and per-query statistics.
+//!
+//! # Memory-ordering protocol
+//!
+//! Every counter in this module is monitoring data: it is incremented on hot
+//! paths and read asynchronously by reporting code, and no control-flow
+//! decision synchronizes through it. All accesses therefore use `Relaxed`
+//! ordering on purpose. Counters that *do* gate execution live elsewhere and
+//! carry real synchronization: task admission is the mutex/condvar pair in
+//! [`crate::flow::FlowControl`], and buffer visibility is the
+//! Release/Acquire publish protocol of [`crate::circular::CircularBuffer`].
 
 use crate::scheduler::Processor;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -26,6 +36,10 @@ pub struct QueryStats {
     pub latency_samples: AtomicU64,
     /// Maximum observed latency in nanoseconds.
     pub latency_max_nanos: AtomicU64,
+    /// Nanoseconds producers of this query spent blocked on backpressure.
+    pub backpressure_wait_nanos: AtomicU64,
+    /// Number of task submissions that had to block on backpressure.
+    pub backpressure_waits: AtomicU64,
 }
 
 impl QueryStats {
@@ -49,6 +63,20 @@ impl QueryStats {
     /// Maximum task latency.
     pub fn max_latency(&self) -> Duration {
         Duration::from_nanos(self.latency_max_nanos.load(Ordering::Relaxed))
+    }
+
+    /// Records one producer backpressure stall.
+    pub fn record_backpressure(&self, waited: Duration) {
+        if waited > Duration::ZERO {
+            self.backpressure_wait_nanos
+                .fetch_add(waited.as_nanos() as u64, Ordering::Relaxed);
+            self.backpressure_waits.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Total time this query's producers spent blocked on backpressure.
+    pub fn backpressure_wait(&self) -> Duration {
+        Duration::from_nanos(self.backpressure_wait_nanos.load(Ordering::Relaxed))
     }
 
     /// Records one task execution on `processor`.
@@ -93,17 +121,36 @@ impl EngineStats {
 
     /// Total tuples ingested across all queries.
     pub fn total_tuples_in(&self) -> u64 {
-        self.queries.iter().map(|q| q.tuples_in.load(Ordering::Relaxed)).sum()
+        self.queries
+            .iter()
+            .map(|q| q.tuples_in.load(Ordering::Relaxed))
+            .sum()
     }
 
     /// Total bytes ingested across all queries.
     pub fn total_bytes_in(&self) -> u64 {
-        self.queries.iter().map(|q| q.bytes_in.load(Ordering::Relaxed)).sum()
+        self.queries
+            .iter()
+            .map(|q| q.bytes_in.load(Ordering::Relaxed))
+            .sum()
     }
 
     /// Total tuples emitted across all queries.
     pub fn total_tuples_out(&self) -> u64 {
-        self.queries.iter().map(|q| q.tuples_out.load(Ordering::Relaxed)).sum()
+        self.queries
+            .iter()
+            .map(|q| q.tuples_out.load(Ordering::Relaxed))
+            .sum()
+    }
+
+    /// Total producer time spent blocked on backpressure, across all queries.
+    pub fn total_backpressure_wait(&self) -> Duration {
+        Duration::from_nanos(
+            self.queries
+                .iter()
+                .map(|q| q.backpressure_wait_nanos.load(Ordering::Relaxed))
+                .sum(),
+        )
     }
 }
 
@@ -119,6 +166,17 @@ mod tests {
         s.record_latency(Duration::from_millis(20));
         assert_eq!(s.avg_latency(), Duration::from_millis(15));
         assert_eq!(s.max_latency(), Duration::from_millis(20));
+    }
+
+    #[test]
+    fn backpressure_accounting_ignores_zero_waits() {
+        let s = QueryStats::default();
+        s.record_backpressure(Duration::ZERO);
+        assert_eq!(s.backpressure_waits.load(Ordering::Relaxed), 0);
+        s.record_backpressure(Duration::from_micros(250));
+        s.record_backpressure(Duration::from_micros(750));
+        assert_eq!(s.backpressure_waits.load(Ordering::Relaxed), 2);
+        assert_eq!(s.backpressure_wait(), Duration::from_millis(1));
     }
 
     #[test]

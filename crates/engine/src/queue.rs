@@ -1,20 +1,80 @@
-//! The system-wide query task queue (paper §4.1).
+//! The system-wide query task queue (paper §4.1), sharded per query.
 //!
-//! All queries share a single queue of tasks; the scheduling stage scans it
-//! (HLS looks ahead past the head) and removes the task an idle worker should
-//! execute next. The queue also carries the engine's shutdown signal so that
-//! parked workers wake up promptly.
+//! Logically all queries share one queue of tasks; physically each query has
+//! its own sub-queue under a small per-shard mutex, plus lock-free metadata
+//! (head arrival stamp and depth) that the scheduling stage reads without
+//! taking any lock. HLS lookahead therefore scans O(#queries) sub-queue
+//! heads instead of walking an O(queue-length) list under one global lock,
+//! and workers popping tasks of different queries never contend.
+//!
+//! Global FIFO order across queries is preserved by stamping every pushed
+//! task with a monotonically increasing *arrival* number; head snapshots are
+//! handed to the scheduler sorted by arrival, so FCFS is "pop the smallest
+//! arrival" and HLS walks heads in true queue order.
+//!
+//! The queue also carries the engine's shutdown signal so that parked
+//! workers wake up promptly.
 
 use crate::task::QueryTask;
-use parking_lot::{Condvar, Mutex};
+use parking_lot::{Condvar, Mutex, RwLock};
 use std::collections::VecDeque;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::time::Duration;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
 
-/// The shared task queue.
+/// Scheduler-visible snapshot of one non-empty sub-queue.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TaskHead {
+    /// The query whose sub-queue this is.
+    pub query_id: usize,
+    /// Global FIFO stamp of the task at the head of the sub-queue.
+    pub arrival: u64,
+    /// Number of tasks queued for this query (the query's backlog).
+    pub depth: usize,
+}
+
+#[derive(Debug)]
+struct Shard {
+    inner: Mutex<VecDeque<(u64, QueryTask)>>,
+    /// Arrival stamp of the head task; `u64::MAX` when empty. Updated under
+    /// the shard lock, read lock-free by head snapshots.
+    head_arrival: AtomicU64,
+    /// Sub-queue depth mirror (same discipline as `head_arrival`).
+    depth: AtomicUsize,
+}
+
+impl Default for Shard {
+    fn default() -> Self {
+        Self {
+            inner: Mutex::new(VecDeque::new()),
+            head_arrival: AtomicU64::new(u64::MAX),
+            depth: AtomicUsize::new(0),
+        }
+    }
+}
+
+impl Shard {
+    fn sync_meta(&self, queue: &VecDeque<(u64, QueryTask)>) {
+        self.head_arrival.store(
+            queue.front().map(|(a, _)| *a).unwrap_or(u64::MAX),
+            Ordering::Release,
+        );
+        self.depth.store(queue.len(), Ordering::Release);
+    }
+}
+
+/// The sharded task queue.
 #[derive(Debug, Default)]
 pub struct TaskQueue {
-    inner: Mutex<VecDeque<QueryTask>>,
+    shards: RwLock<Vec<Arc<Shard>>>,
+    /// Global FIFO stamp source.
+    arrivals: AtomicU64,
+    /// Total queued tasks across all shards.
+    len: AtomicUsize,
+    /// High-water mark of `len` (queue-depth metric).
+    max_depth: AtomicUsize,
+    /// Backs `not_empty`; held briefly by pushers to serialize with waiters.
+    sleep: Mutex<()>,
     not_empty: Condvar,
     shutdown: AtomicBool,
     enqueued: AtomicU64,
@@ -22,29 +82,80 @@ pub struct TaskQueue {
 }
 
 impl TaskQueue {
-    /// Creates an empty queue.
+    /// Creates an empty queue with no registered queries.
     pub fn new() -> Self {
         Self::default()
     }
 
-    /// Appends a task to the tail of the queue and wakes one worker.
-    pub fn push(&self, task: QueryTask) {
-        {
-            let mut q = self.inner.lock();
-            q.push_back(task);
+    /// Creates a queue with `n` query sub-queues (ids `0..n`).
+    pub fn with_queries(n: usize) -> Self {
+        let queue = Self::default();
+        for _ in 0..n {
+            queue.register_query();
         }
+        queue
+    }
+
+    /// Adds a sub-queue for the next query id and returns that id.
+    pub fn register_query(&self) -> usize {
+        let mut shards = self.shards.write();
+        shards.push(Arc::new(Shard::default()));
+        shards.len() - 1
+    }
+
+    /// Number of registered query sub-queues.
+    pub fn num_queries(&self) -> usize {
+        self.shards.read().len()
+    }
+
+    fn shard(&self, query_id: usize) -> Option<Arc<Shard>> {
+        self.shards.read().get(query_id).cloned()
+    }
+
+    /// Appends a task to its query's sub-queue and wakes one worker.
+    ///
+    /// Panics if the task's query was never registered — tasks for unknown
+    /// queries would be lost silently otherwise.
+    pub fn push(&self, task: QueryTask) {
+        let shard = self.shard(task.query_id).unwrap_or_else(|| {
+            panic!("query {} not registered with the task queue", task.query_id)
+        });
+        let arrival = self.arrivals.fetch_add(1, Ordering::Relaxed);
+        {
+            let mut q = shard.inner.lock();
+            q.push_back((arrival, task));
+            shard.sync_meta(&q);
+        }
+        let len = self.len.fetch_add(1, Ordering::AcqRel) + 1;
+        self.max_depth.fetch_max(len, Ordering::AcqRel);
         self.enqueued.fetch_add(1, Ordering::Relaxed);
+        // Serialize with `take_with` waiters so the wakeup cannot be lost:
+        // a waiter holds the sleep lock between its emptiness check and its
+        // wait, so by the time we acquire it the waiter is parked.
+        drop(self.sleep.lock());
         self.not_empty.notify_one();
     }
 
-    /// Number of tasks currently queued.
+    /// Number of tasks currently queued across all queries.
     pub fn len(&self) -> usize {
-        self.inner.lock().len()
+        self.len.load(Ordering::Acquire)
     }
 
     /// True if no tasks are queued.
     pub fn is_empty(&self) -> bool {
-        self.inner.lock().is_empty()
+        self.len() == 0
+    }
+
+    /// Highest number of simultaneously queued tasks observed.
+    pub fn max_depth(&self) -> usize {
+        self.max_depth.load(Ordering::Acquire)
+    }
+
+    /// Number of tasks queued for one query (0 for unknown queries).
+    pub fn depth(&self, query_id: usize) -> usize {
+        self.shard(query_id)
+            .map(|s| s.depth.load(Ordering::Acquire))
+            .unwrap_or(0)
     }
 
     /// Total number of tasks ever enqueued.
@@ -60,6 +171,7 @@ impl TaskQueue {
     /// Signals shutdown and wakes all parked workers.
     pub fn signal_shutdown(&self) {
         self.shutdown.store(true, Ordering::SeqCst);
+        drop(self.sleep.lock());
         self.not_empty.notify_all();
     }
 
@@ -68,27 +180,78 @@ impl TaskQueue {
         self.shutdown.load(Ordering::SeqCst)
     }
 
-    /// Removes and returns the task chosen by `select` from the queue,
-    /// blocking for up to `timeout` while the queue is empty. `select`
-    /// receives the queue contents and returns the index of the task to
-    /// remove (or `None` to decline all currently queued tasks).
+    /// Fills `out` with a snapshot of all non-empty sub-queue heads, sorted
+    /// by arrival (global FIFO order). Lock-free: reads only shard metadata.
+    pub fn snapshot_heads(&self, out: &mut Vec<TaskHead>) {
+        out.clear();
+        let shards = self.shards.read();
+        for (query_id, shard) in shards.iter().enumerate() {
+            let arrival = shard.head_arrival.load(Ordering::Acquire);
+            if arrival != u64::MAX {
+                out.push(TaskHead {
+                    query_id,
+                    arrival,
+                    depth: shard.depth.load(Ordering::Acquire).max(1),
+                });
+            }
+        }
+        out.sort_by_key(|h| h.arrival);
+    }
+
+    /// Pops the head task of `query_id`'s sub-queue, if any.
+    pub fn try_pop(&self, query_id: usize) -> Option<QueryTask> {
+        let shard = self.shard(query_id)?;
+        let task = {
+            let mut q = shard.inner.lock();
+            let task = q.pop_front();
+            shard.sync_meta(&q);
+            task
+        };
+        let (_, task) = task?;
+        self.len.fetch_sub(1, Ordering::AcqRel);
+        self.dequeued.fetch_add(1, Ordering::Relaxed);
+        Some(task)
+    }
+
+    /// Removes and returns the task chosen by `select`, blocking for up to
+    /// `timeout` while nothing selectable is queued. `select` receives the
+    /// non-empty sub-queue heads in arrival order and returns the index of
+    /// the head to pop (or `None` to decline all currently queued tasks).
     pub fn take_with<F>(&self, timeout: Duration, mut select: F) -> Option<QueryTask>
     where
-        F: FnMut(&VecDeque<QueryTask>) -> Option<usize>,
+        F: FnMut(&[TaskHead]) -> Option<usize>,
     {
-        let mut q = self.inner.lock();
-        if q.is_empty() && !self.is_shutdown() {
-            self.not_empty.wait_for(&mut q, timeout);
+        let deadline = Instant::now() + timeout;
+        let mut heads = Vec::new();
+        loop {
+            // Version check: a push between our snapshot and our wait bumps
+            // `enqueued`, which we re-check under the sleep lock below.
+            let version = self.enqueued.load(Ordering::Acquire);
+            self.snapshot_heads(&mut heads);
+            if !heads.is_empty() {
+                if let Some(idx) = select(&heads) {
+                    let head = heads.get(idx)?;
+                    if let Some(task) = self.try_pop(head.query_id) {
+                        return Some(task);
+                    }
+                    // Raced with another worker; rescan immediately.
+                    continue;
+                }
+            }
+            if self.is_shutdown() {
+                return None;
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return None;
+            }
+            let mut guard = self.sleep.lock();
+            if self.enqueued.load(Ordering::Acquire) != version {
+                continue; // new task arrived while scanning
+            }
+            self.not_empty
+                .wait_for(&mut guard, (deadline - now).min(Duration::from_millis(20)));
         }
-        if q.is_empty() {
-            return None;
-        }
-        let idx = select(&q)?;
-        let task = q.remove(idx);
-        if task.is_some() {
-            self.dequeued.fetch_add(1, Ordering::Relaxed);
-        }
-        task
     }
 }
 
@@ -98,11 +261,12 @@ mod tests {
     use saber_cpu::plan::CompiledPlan;
     use saber_query::{Expr, QueryBuilder};
     use saber_types::{DataType, RowBuffer, Schema};
-    use std::sync::Arc;
     use std::time::Instant;
 
     fn task(id: u64, query_id: usize) -> QueryTask {
-        let schema = Schema::from_pairs(&[("ts", DataType::Timestamp)]).unwrap().into_ref();
+        let schema = Schema::from_pairs(&[("ts", DataType::Timestamp)])
+            .unwrap()
+            .into_ref();
         let q = QueryBuilder::new("q", schema.clone())
             .count_window(4, 4)
             .select(Expr::literal(1.0))
@@ -113,49 +277,76 @@ mod tests {
             query_id,
             seq: id,
             plan: Arc::new(CompiledPlan::compile(&q).unwrap()),
-            batches: vec![saber_cpu::exec::StreamBatch::new(RowBuffer::new(schema), 0, 0)],
+            batches: vec![saber_cpu::exec::StreamBatch::new(
+                RowBuffer::new(schema),
+                0,
+                0,
+            )],
             created: Instant::now(),
         }
     }
 
     #[test]
-    fn push_and_take_head() {
-        let q = TaskQueue::new();
+    fn push_and_take_in_fifo_order_across_queries() {
+        let q = TaskQueue::with_queries(2);
         q.push(task(1, 0));
         q.push(task(2, 1));
         assert_eq!(q.len(), 2);
-        let t = q.take_with(Duration::from_millis(10), |q| Some(q.len() - q.len())).unwrap();
+        // FCFS: always pop the smallest arrival (index 0 of the sorted heads).
+        let t = q.take_with(Duration::from_millis(10), |_| Some(0)).unwrap();
         assert_eq!(t.id, 1);
-        assert_eq!(q.total_dequeued(), 1);
+        let t = q.take_with(Duration::from_millis(10), |_| Some(0)).unwrap();
+        assert_eq!(t.id, 2);
+        assert_eq!(q.total_dequeued(), 2);
         assert_eq!(q.total_enqueued(), 2);
+        assert_eq!(q.max_depth(), 2);
     }
 
     #[test]
-    fn selector_can_pick_a_non_head_task() {
-        let q = TaskQueue::new();
+    fn heads_expose_per_query_backlog_in_arrival_order() {
+        let q = TaskQueue::with_queries(3);
+        q.push(task(0, 1));
+        q.push(task(1, 1));
+        q.push(task(2, 0));
+        let mut heads = Vec::new();
+        q.snapshot_heads(&mut heads);
+        assert_eq!(heads.len(), 2);
+        // Query 1 arrived first and has depth 2; query 2 has no tasks.
+        assert_eq!(heads[0].query_id, 1);
+        assert_eq!(heads[0].depth, 2);
+        assert_eq!(heads[1].query_id, 0);
+        assert_eq!(heads[1].depth, 1);
+        assert_eq!(q.depth(1), 2);
+        assert_eq!(q.depth(2), 0);
+    }
+
+    #[test]
+    fn selector_can_pick_a_non_head_query() {
+        let q = TaskQueue::with_queries(2);
         for i in 0..4 {
             q.push(task(i, i as usize % 2));
         }
-        // Pick the first task of query 1 (index 1).
+        // Pick query 1's sub-queue head (arrival order: q0, q1 → index 1).
         let t = q
-            .take_with(Duration::from_millis(10), |tasks| {
-                tasks.iter().position(|t| t.query_id == 1)
+            .take_with(Duration::from_millis(10), |heads| {
+                heads.iter().position(|h| h.query_id == 1)
             })
             .unwrap();
         assert_eq!(t.id, 1);
+        assert_eq!(t.query_id, 1);
         assert_eq!(q.len(), 3);
     }
 
     #[test]
     fn empty_queue_times_out_with_none() {
-        let q = TaskQueue::new();
+        let q = TaskQueue::with_queries(1);
         let got = q.take_with(Duration::from_millis(5), |_| Some(0));
         assert!(got.is_none());
     }
 
     #[test]
     fn selector_declining_returns_none_but_keeps_tasks() {
-        let q = TaskQueue::new();
+        let q = TaskQueue::with_queries(1);
         q.push(task(7, 0));
         let got = q.take_with(Duration::from_millis(5), |_| None);
         assert!(got.is_none());
@@ -164,7 +355,7 @@ mod tests {
 
     #[test]
     fn shutdown_wakes_waiters() {
-        let q = Arc::new(TaskQueue::new());
+        let q = Arc::new(TaskQueue::with_queries(1));
         let q2 = q.clone();
         let handle = std::thread::spawn(move || q2.take_with(Duration::from_secs(5), |_| Some(0)));
         std::thread::sleep(Duration::from_millis(20));
@@ -172,5 +363,66 @@ mod tests {
         let result = handle.join().unwrap();
         assert!(result.is_none());
         assert!(q.is_shutdown());
+    }
+
+    #[test]
+    fn waiters_are_woken_by_a_push_not_by_polling() {
+        let q = Arc::new(TaskQueue::with_queries(1));
+        let q2 = q.clone();
+        let handle = std::thread::spawn(move || {
+            let started = Instant::now();
+            let t = q2.take_with(Duration::from_secs(5), |_| Some(0));
+            (t, started.elapsed())
+        });
+        std::thread::sleep(Duration::from_millis(30));
+        q.push(task(9, 0));
+        let (t, elapsed) = handle.join().unwrap();
+        assert_eq!(t.unwrap().id, 9);
+        // Woken promptly after the push, well before the 5 s timeout.
+        assert!(elapsed < Duration::from_secs(1));
+    }
+
+    #[test]
+    fn concurrent_workers_drain_everything_exactly_once() {
+        const TASKS: u64 = 2000;
+        let q = Arc::new(TaskQueue::with_queries(4));
+        let mut consumers = Vec::new();
+        for _ in 0..4 {
+            let q = q.clone();
+            consumers.push(std::thread::spawn(move || {
+                let mut got = Vec::new();
+                loop {
+                    match q.take_with(Duration::from_millis(50), |_| Some(0)) {
+                        Some(t) => got.push(t.id),
+                        None => {
+                            if q.is_shutdown() && q.is_empty() {
+                                break;
+                            }
+                        }
+                    }
+                }
+                got
+            }));
+        }
+        let producer = {
+            let q = q.clone();
+            std::thread::spawn(move || {
+                for i in 0..TASKS {
+                    q.push(task(i, (i % 4) as usize));
+                }
+            })
+        };
+        producer.join().unwrap();
+        while !q.is_empty() {
+            std::thread::yield_now();
+        }
+        q.signal_shutdown();
+        let mut all: Vec<u64> = consumers
+            .into_iter()
+            .flat_map(|c| c.join().unwrap())
+            .collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..TASKS).collect::<Vec<u64>>());
+        assert_eq!(q.total_dequeued(), TASKS);
     }
 }

@@ -78,7 +78,9 @@ impl ResultStage {
     /// calling worker thread releases as many in-order results as possible.
     pub fn submit(&self, seq: u64, output: TaskOutput, created: Instant) -> Result<()> {
         let mut ordered = self.ordered.lock();
-        ordered.pending.insert(seq, PendingResult { output, created });
+        ordered
+            .pending
+            .insert(seq, PendingResult { output, created });
 
         // Release the in-order prefix.
         while let Some(result) = {
@@ -138,7 +140,8 @@ mod tests {
     fn rows(n: usize, start: i64) -> RowBuffer {
         let mut b = RowBuffer::new(schema());
         for i in 0..n {
-            b.push_values(&[Value::Timestamp(start + i as i64), Value::Float(1.0)]).unwrap();
+            b.push_values(&[Value::Timestamp(start + i as i64), Value::Float(1.0)])
+                .unwrap();
         }
         b
     }
@@ -158,8 +161,12 @@ mod tests {
     #[test]
     fn in_order_results_are_released_immediately() {
         let (stage, sink) = stateless_stage();
-        stage.submit(0, TaskOutput::Rows(rows(3, 0)), Instant::now()).unwrap();
-        stage.submit(1, TaskOutput::Rows(rows(2, 3)), Instant::now()).unwrap();
+        stage
+            .submit(0, TaskOutput::Rows(rows(3, 0)), Instant::now())
+            .unwrap();
+        stage
+            .submit(1, TaskOutput::Rows(rows(2, 3)), Instant::now())
+            .unwrap();
         assert_eq!(sink.tuples_emitted(), 5);
         assert_eq!(stage.completed_tasks(), 2);
         assert_eq!(stage.parked(), 0);
@@ -168,12 +175,18 @@ mod tests {
     #[test]
     fn out_of_order_results_wait_for_the_missing_task() {
         let (stage, sink) = stateless_stage();
-        stage.submit(1, TaskOutput::Rows(rows(2, 4)), Instant::now()).unwrap();
-        stage.submit(2, TaskOutput::Rows(rows(2, 8)), Instant::now()).unwrap();
+        stage
+            .submit(1, TaskOutput::Rows(rows(2, 4)), Instant::now())
+            .unwrap();
+        stage
+            .submit(2, TaskOutput::Rows(rows(2, 8)), Instant::now())
+            .unwrap();
         assert_eq!(sink.tuples_emitted(), 0);
         assert_eq!(stage.parked(), 2);
         // The missing task 0 arrives and releases everything in order.
-        stage.submit(0, TaskOutput::Rows(rows(2, 0)), Instant::now()).unwrap();
+        stage
+            .submit(0, TaskOutput::Rows(rows(2, 0)), Instant::now())
+            .unwrap();
         assert_eq!(sink.tuples_emitted(), 6);
         let out = sink.take_rows();
         let stamps: Vec<i64> = out.iter().map(|t| t.timestamp()).collect();
@@ -199,7 +212,8 @@ mod tests {
 
         // Two tasks of 6 rows each; window 0 (rows 0..8) spans both.
         let mk = |start: u64| {
-            let batch = saber_cpu::exec::StreamBatch::new(rows(6, start as i64), start, start as i64);
+            let batch =
+                saber_cpu::exec::StreamBatch::new(rows(6, start as i64), start, start as i64);
             saber_cpu::windowed::execute(&plan, &agg, &batch).unwrap()
         };
         // Submit out of order.

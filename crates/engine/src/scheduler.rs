@@ -1,10 +1,20 @@
 //! Scheduling policies: HLS (Alg. 1), FCFS and Static (paper §4.2, §6.6).
+//!
+//! The scheduling stage operates on [`TaskHead`] snapshots — one entry per
+//! query with queued tasks, in global FIFO (arrival) order — instead of
+//! scanning the whole task list under a lock. HLS's lookahead walk is
+//! therefore O(#queries): skipping a query charges its *entire* backlog
+//! (`depth` tasks) to the preferred processor's accumulated delay. This
+//! matches Alg. 1's task-by-task sum exactly when each query's tasks are
+//! contiguous in arrival order, and overestimates the delay (erring towards
+//! letting the non-preferred processor help) when arrivals interleave —
+//! tasks that arrived *after* the candidate head are charged too.
 
-use crate::queue::TaskQueue;
+use crate::queue::{TaskHead, TaskQueue};
 use crate::task::QueryTask;
 use crate::throughput::ThroughputMatrix;
 use parking_lot::Mutex;
-use std::collections::{HashMap, VecDeque};
+use std::collections::HashMap;
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -51,7 +61,9 @@ pub enum SchedulingPolicyKind {
 
 impl Default for SchedulingPolicyKind {
     fn default() -> Self {
-        SchedulingPolicyKind::Hls { switch_threshold: 16 }
+        SchedulingPolicyKind::Hls {
+            switch_threshold: 16,
+        }
     }
 }
 
@@ -119,13 +131,40 @@ impl Scheduler {
         processor: Processor,
         timeout: Duration,
     ) -> Option<QueryTask> {
-        queue.take_with(timeout, |tasks| self.select_index(tasks, processor))
+        let task = queue.take_with(timeout, |heads| self.select(heads, processor))?;
+        // Execution counters are committed only for tasks actually popped:
+        // `select` may run several times per pop (head snapshots race with
+        // other workers), so mutating counts there would drift.
+        self.record_execution(task.query_id, processor);
+        Some(task)
     }
 
-    /// Pure selection logic: the index in `tasks` of the task `processor`
-    /// should execute, per the configured policy.
-    pub fn select_index(&self, tasks: &VecDeque<QueryTask>, processor: Processor) -> Option<usize> {
-        if tasks.is_empty() {
+    /// Commits Alg. 1's execution counters for a task of `query` that will
+    /// run on `processor`. Called once per task actually taken; public so
+    /// embedders driving [`Scheduler::select`] manually can keep the
+    /// counters honest.
+    pub fn record_execution(&self, query: usize, processor: Processor) {
+        let SchedulingPolicyKind::Hls { switch_threshold } = self.policy else {
+            return;
+        };
+        let mut counts = self.counts.lock();
+        let preferred = self.matrix.preferred(query);
+        if processor != preferred {
+            // A non-preferred take triggered by the switch threshold resets
+            // the preferred processor's streak.
+            let on_pref = *counts.get(&(query, preferred)).unwrap_or(&0);
+            if on_pref >= switch_threshold {
+                counts.insert((query, preferred), 0);
+            }
+        }
+        *counts.entry((query, processor)).or_insert(0) += 1;
+    }
+
+    /// Pure selection logic: the index in `heads` (non-empty sub-queue heads
+    /// in arrival order) of the query whose head task `processor` should
+    /// execute, per the configured policy.
+    pub fn select(&self, heads: &[TaskHead], processor: Processor) -> Option<usize> {
+        if heads.is_empty() {
             return None;
         }
         if let Some(single) = self.single_processor {
@@ -133,30 +172,35 @@ impl Scheduler {
         }
         match &self.policy {
             SchedulingPolicyKind::Fcfs => Some(0),
-            SchedulingPolicyKind::Static { assignment } => tasks.iter().position(|t| {
+            SchedulingPolicyKind::Static { assignment } => heads.iter().position(|h| {
                 assignment
-                    .get(&t.query_id)
+                    .get(&h.query_id)
                     .copied()
                     .unwrap_or(Processor::Cpu)
                     == processor
             }),
             SchedulingPolicyKind::Hls { switch_threshold } => {
-                self.select_hls(tasks, processor, *switch_threshold)
+                self.select_hls(heads, processor, *switch_threshold)
             }
         }
     }
 
-    /// Algorithm 1 of the paper: hybrid lookahead scheduling.
+    /// Algorithm 1 of the paper: hybrid lookahead scheduling over sub-queue
+    /// heads. Walking the heads in arrival order visits the first task of
+    /// each query in true queue order; skipping a head charges its whole
+    /// backlog to the preferred processor's delay. Read-only: the execution
+    /// counters are committed by [`Scheduler::record_execution`] once a task
+    /// is actually popped.
     fn select_hls(
         &self,
-        tasks: &VecDeque<QueryTask>,
+        heads: &[TaskHead],
         processor: Processor,
         switch_threshold: u32,
     ) -> Option<usize> {
-        let mut counts = self.counts.lock();
+        let counts = self.counts.lock();
         let mut delay = 0.0f64;
-        for (pos, task) in tasks.iter().enumerate() {
-            let q = task.query_id;
+        for (pos, head) in heads.iter().enumerate() {
+            let q = head.query_id;
             let preferred = self.matrix.preferred(q);
             let count_on_this = *counts.get(&(q, processor)).unwrap_or(&0);
             let count_on_pref = *counts.get(&(q, preferred)).unwrap_or(&0);
@@ -166,23 +210,22 @@ impl Scheduler {
                 // threshold forces exploration of the other processor.
                 count_on_this < switch_threshold
             } else {
-                // Non-preferred processor takes the task if the preferred
-                // processor's accumulated backlog would delay it longer than
-                // running it here, or if the switch threshold demands it.
+                // Non-preferred processor helps if the preferred processor's
+                // accumulated backlog — earlier queries' delay plus this
+                // query's own remaining backlog — would delay the task longer
+                // than running it here, or if the switch threshold demands it.
+                let backlog =
+                    delay + (head.depth - 1) as f64 / self.matrix.value(q, preferred).max(1e-9);
                 count_on_pref >= switch_threshold
-                    || delay >= 1.0 / self.matrix.value(q, processor).max(1e-9)
+                    || backlog >= 1.0 / self.matrix.value(q, processor).max(1e-9)
             };
 
             if take {
-                if count_on_pref >= switch_threshold {
-                    counts.insert((q, preferred), 0);
-                }
-                *counts.entry((q, processor)).or_insert(0) += 1;
                 return Some(pos);
             }
-            // The task is expected to run on its preferred processor; account
-            // for the work it adds to that processor's backlog.
-            delay += 1.0 / self.matrix.value(q, preferred).max(1e-9);
+            // The query's tasks are expected to run on their preferred
+            // processor; account for the work its backlog adds there.
+            delay += head.depth as f64 / self.matrix.value(q, preferred).max(1e-9);
         }
         None
     }
@@ -208,7 +251,9 @@ mod tests {
     use std::time::Instant;
 
     fn mk_task(id: u64, query_id: usize) -> QueryTask {
-        let schema = Schema::from_pairs(&[("ts", DataType::Timestamp)]).unwrap().into_ref();
+        let schema = Schema::from_pairs(&[("ts", DataType::Timestamp)])
+            .unwrap()
+            .into_ref();
         let q = QueryBuilder::new(format!("q{query_id}"), schema.clone())
             .count_window(4, 4)
             .select(Expr::literal(1.0))
@@ -225,11 +270,21 @@ mod tests {
         }
     }
 
-    fn queue_of(spec: &[usize]) -> VecDeque<QueryTask> {
-        spec.iter()
-            .enumerate()
-            .map(|(i, q)| mk_task(i as u64, *q))
-            .collect()
+    /// Builds the head snapshot of a FIFO queue containing `spec` (query ids
+    /// in arrival order), as `TaskQueue::snapshot_heads` would produce it.
+    fn heads_of(spec: &[usize]) -> Vec<TaskHead> {
+        let mut heads: Vec<TaskHead> = Vec::new();
+        for (arrival, q) in spec.iter().enumerate() {
+            match heads.iter_mut().find(|h| h.query_id == *q) {
+                Some(h) => h.depth += 1,
+                None => heads.push(TaskHead {
+                    query_id: *q,
+                    arrival: arrival as u64,
+                    depth: 1,
+                }),
+            }
+        }
+        heads
     }
 
     /// Builds a matrix mirroring the paper's Fig. 5 example:
@@ -246,12 +301,15 @@ mod tests {
     }
 
     #[test]
-    fn fcfs_always_takes_the_head() {
-        let s = Scheduler::new(SchedulingPolicyKind::Fcfs, Arc::new(ThroughputMatrix::new(0.5, 1)));
-        let q = queue_of(&[2, 1, 3]);
-        assert_eq!(s.select_index(&q, Processor::Cpu), Some(0));
-        assert_eq!(s.select_index(&q, Processor::Gpu), Some(0));
-        assert_eq!(s.select_index(&VecDeque::new(), Processor::Cpu), None);
+    fn fcfs_always_takes_the_earliest_arrival() {
+        let s = Scheduler::new(
+            SchedulingPolicyKind::Fcfs,
+            Arc::new(ThroughputMatrix::new(0.5, 1)),
+        );
+        let heads = heads_of(&[2, 1, 3]);
+        assert_eq!(s.select(&heads, Processor::Cpu), Some(0));
+        assert_eq!(s.select(&heads, Processor::Gpu), Some(0));
+        assert_eq!(s.select(&[], Processor::Cpu), None);
     }
 
     #[test]
@@ -263,80 +321,130 @@ mod tests {
             SchedulingPolicyKind::Static { assignment },
             Arc::new(ThroughputMatrix::new(0.5, 1)),
         );
-        let q = queue_of(&[1, 1, 2]);
-        assert_eq!(s.select_index(&q, Processor::Gpu), Some(0));
-        assert_eq!(s.select_index(&q, Processor::Cpu), Some(2));
+        let heads = heads_of(&[1, 1, 2]);
+        assert_eq!(s.select(&heads, Processor::Gpu), Some(0));
+        assert_eq!(s.select(&heads, Processor::Cpu), Some(1));
         // Unassigned queries default to the CPU.
-        let q = queue_of(&[9]);
-        assert_eq!(s.select_index(&q, Processor::Gpu), None);
-        assert_eq!(s.select_index(&q, Processor::Cpu), Some(0));
+        let heads = heads_of(&[9]);
+        assert_eq!(s.select(&heads, Processor::Gpu), None);
+        assert_eq!(s.select(&heads, Processor::Cpu), Some(0));
     }
 
     #[test]
     fn hls_reproduces_the_papers_fig5_walkthrough() {
         // Queue (head first): q2 q2 q2 q3 q3 q1 q1 — Fig. 5 of the paper.
-        // A CPU worker should skip the q2 tasks (preferred on the GPGPU) and
-        // the q3 task while the accumulated GPGPU delay is small, and pick
-        // the fourth task (a q3 task) once the delay exceeds the benefit...
-        // The paper's walkthrough: the CPU worker skips v1..v3 and executes
-        // v4; a GPGPU worker takes the head of the queue.
+        // Head snapshot: [q2 (depth 3), q3 (depth 2), q1 (depth 2)].
+        // A GPGPU worker takes the head (q2 prefers the GPGPU). A CPU worker
+        // skips q2 — the GPGPU delay after its backlog is 3/15 = 0.2 ≥
+        // 1/C(q3, CPU) = 1/20 — and picks the q3 head, the paper's v4.
         let matrix = fig5_matrix();
-        let s = Scheduler::new(SchedulingPolicyKind::Hls { switch_threshold: 100 }, matrix);
-        let q = queue_of(&[2, 2, 2, 3, 3, 1, 1]);
-        // GPGPU worker: q2 prefers the GPGPU → take the head.
-        assert_eq!(s.select_index(&q, Processor::Gpu), Some(0));
-        // CPU worker: delay after skipping v1..v3 (all q2, GPGPU-preferred)
-        // is 1/15+1/15+1/15 = 0.2 ≥ 1/C(q3, CPU) = 1/20 → v4 runs on the CPU.
-        assert_eq!(s.select_index(&q, Processor::Cpu), Some(3));
+        let s = Scheduler::new(
+            SchedulingPolicyKind::Hls {
+                switch_threshold: 100,
+            },
+            matrix,
+        );
+        let heads = heads_of(&[2, 2, 2, 3, 3, 1, 1]);
+        assert_eq!(s.select(&heads, Processor::Gpu), Some(0));
+        assert_eq!(s.select(&heads, Processor::Cpu), Some(1));
+        assert_eq!(heads[1].query_id, 3);
     }
 
     #[test]
     fn hls_prefers_the_faster_processor_when_it_is_idle() {
         let matrix = fig5_matrix();
-        let s = Scheduler::new(SchedulingPolicyKind::Hls { switch_threshold: 100 }, matrix);
+        let s = Scheduler::new(
+            SchedulingPolicyKind::Hls {
+                switch_threshold: 100,
+            },
+            matrix,
+        );
         // Only q1 tasks (CPU-preferred): the CPU takes the head, the GPGPU
         // declines because the CPU backlog (1/50) stays below 1/C(q1,GPU)=1/20.
-        let q = queue_of(&[1, 1]);
-        assert_eq!(s.select_index(&q, Processor::Cpu), Some(0));
-        assert_eq!(s.select_index(&q, Processor::Gpu), None);
+        let heads = heads_of(&[1, 1]);
+        assert_eq!(s.select(&heads, Processor::Cpu), Some(0));
+        assert_eq!(s.select(&heads, Processor::Gpu), None);
     }
 
     #[test]
     fn hls_lets_the_slower_processor_help_under_backlog() {
         let matrix = fig5_matrix();
-        let s = Scheduler::new(SchedulingPolicyKind::Hls { switch_threshold: 100 }, matrix);
+        let s = Scheduler::new(
+            SchedulingPolicyKind::Hls {
+                switch_threshold: 100,
+            },
+            matrix,
+        );
         // Many q1 tasks: the CPU backlog accumulates (1/50 per task), so the
-        // GPGPU eventually picks one up even though the CPU is preferred.
-        let q = queue_of(&[1; 10]);
-        let picked = s.select_index(&q, Processor::Gpu);
-        // After skipping k tasks the delay is k/50; the GPGPU takes a task
-        // once k/50 >= 1/20, i.e. at index 3 (k = 3 skipped: 3/50 = 0.06 ≥ 0.05).
-        assert_eq!(picked, Some(3));
+        // GPGPU helps even though the CPU is preferred: the remaining backlog
+        // delay 9/50 = 0.18 exceeds 1/C(q1, GPU) = 0.05.
+        let heads = heads_of(&[1; 10]);
+        assert_eq!(s.select(&heads, Processor::Gpu), Some(0));
+        // With a backlog of 2 the delay 1/50 stays below 0.05: decline.
+        let heads = heads_of(&[1; 2]);
+        assert_eq!(s.select(&heads, Processor::Gpu), None);
     }
 
     #[test]
     fn switch_threshold_forces_exploration() {
         let matrix = fig5_matrix();
-        let s = Scheduler::new(SchedulingPolicyKind::Hls { switch_threshold: 3 }, matrix);
-        let q = queue_of(&[1, 1, 1, 1, 1, 1]);
+        let s = Scheduler::new(
+            SchedulingPolicyKind::Hls {
+                switch_threshold: 3,
+            },
+            matrix,
+        );
+        let heads = heads_of(&[1, 1, 1, 1, 1, 1]);
         // The CPU (preferred for q1) takes three tasks, then the threshold
         // stops it...
         for _ in 0..3 {
-            assert_eq!(s.select_index(&q, Processor::Cpu), Some(0));
+            assert_eq!(s.select(&heads, Processor::Cpu), Some(0));
+            s.record_execution(1, Processor::Cpu);
         }
-        assert_eq!(s.select_index(&q, Processor::Cpu), None);
+        assert_eq!(s.select(&heads, Processor::Cpu), None);
         // ...and the GPGPU is allowed to take the next task immediately,
         // which resets the CPU counter.
-        assert_eq!(s.select_index(&q, Processor::Gpu), Some(0));
+        assert_eq!(s.select(&heads, Processor::Gpu), Some(0));
+        s.record_execution(1, Processor::Gpu);
         assert_eq!(s.count(1, Processor::Cpu), 0);
-        assert_eq!(s.select_index(&q, Processor::Cpu), Some(0));
+        assert_eq!(s.select(&heads, Processor::Cpu), Some(0));
+    }
+
+    #[test]
+    fn counters_only_advance_for_popped_tasks() {
+        // A selection that loses the pop race must not bump the counters:
+        // `select` is pure, `record_execution` commits.
+        let matrix = fig5_matrix();
+        let s = Scheduler::new(
+            SchedulingPolicyKind::Hls {
+                switch_threshold: 3,
+            },
+            matrix,
+        );
+        let heads = heads_of(&[1, 1]);
+        for _ in 0..10 {
+            assert_eq!(s.select(&heads, Processor::Cpu), Some(0));
+        }
+        assert_eq!(s.count(1, Processor::Cpu), 0);
+        s.record_execution(1, Processor::Cpu);
+        assert_eq!(s.count(1, Processor::Cpu), 1);
+    }
+
+    #[test]
+    fn single_processor_mode_degenerates_to_fcfs() {
+        let matrix = fig5_matrix();
+        let s = Scheduler::new(SchedulingPolicyKind::default(), matrix)
+            .with_single_processor(Processor::Cpu);
+        let heads = heads_of(&[2, 1]);
+        assert_eq!(s.select(&heads, Processor::Cpu), Some(0));
+        assert_eq!(s.select(&heads, Processor::Gpu), None);
     }
 
     #[test]
     fn next_task_removes_from_the_shared_queue() {
         let matrix = fig5_matrix();
         let s = Scheduler::new(SchedulingPolicyKind::Fcfs, matrix);
-        let queue = TaskQueue::new();
+        let queue = TaskQueue::with_queries(2);
         queue.push(mk_task(0, 1));
         let t = s.next_task(&queue, Processor::Cpu, Duration::from_millis(10));
         assert!(t.is_some());

@@ -93,7 +93,8 @@ mod tests {
     fn rows(n: usize) -> RowBuffer {
         let mut b = RowBuffer::new(schema());
         for i in 0..n {
-            b.push_values(&[Value::Timestamp(i as i64), Value::Int(i as i32)]).unwrap();
+            b.push_values(&[Value::Timestamp(i as i64), Value::Int(i as i32)])
+                .unwrap();
         }
         b
     }

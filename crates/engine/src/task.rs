@@ -55,7 +55,8 @@ mod tests {
         let plan = Arc::new(CompiledPlan::compile(&q).unwrap());
         let mut rows = RowBuffer::new(schema);
         for i in 0..10 {
-            rows.push_values(&[Value::Timestamp(i), Value::Int(i as i32)]).unwrap();
+            rows.push_values(&[Value::Timestamp(i), Value::Int(i as i32)])
+                .unwrap();
         }
         let mut batch = StreamBatch::new(rows, 0, 0);
         batch.lookback_rows = 2;

@@ -52,10 +52,9 @@ impl ThroughputMatrix {
     pub fn record(&self, query: usize, processor: Processor, duration: Duration) {
         let rate = 1.0 / duration.as_secs_f64().max(1e-9);
         let mut entries = self.entries.write();
-        let entry = entries.entry((query, processor)).or_insert(Entry {
-            rate,
-            samples: 0,
-        });
+        let entry = entries
+            .entry((query, processor))
+            .or_insert(Entry { rate, samples: 0 });
         entry.rate = self.alpha * rate + (1.0 - self.alpha) * entry.rate;
         entry.samples += 1;
     }

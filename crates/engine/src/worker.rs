@@ -7,6 +7,7 @@
 //! records the observed throughput in the matrix, and enters the result stage
 //! to reorder and assemble results.
 
+use crate::flow::FlowControl;
 use crate::metrics::QueryStats;
 use crate::queue::TaskQueue;
 use crate::result::ResultStage;
@@ -18,7 +19,6 @@ use saber_gpu::pipeline::{GpuPipeline, PipelineJob};
 use saber_gpu::GpuDevice;
 use saber_types::RowBuffer;
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -40,15 +40,22 @@ pub struct WorkerContext {
     pub matrix: Arc<ThroughputMatrix>,
     /// Per-query runtime state, indexed by query id.
     pub queries: Arc<Vec<QueryRuntime>>,
-    /// Number of tasks dispatched but not yet fully processed.
-    pub in_flight: Arc<AtomicU64>,
+    /// Admission-control gate: every finished task returns its credit here,
+    /// waking producers blocked on backpressure.
+    pub flow: Arc<FlowControl>,
 }
 
 impl WorkerContext {
-    fn finish(&self, task_query: usize, seq: u64, created: Instant, output: TaskOutput, processor: Processor) {
+    fn finish(
+        &self,
+        task_query: usize,
+        seq: u64,
+        created: Instant,
+        output: TaskOutput,
+        processor: Processor,
+    ) {
         let runtime = &self.queries[task_query];
         runtime.stats.record_task(processor);
-        let output = output;
         if runtime.result.submit(seq, output, created).is_err() {
             // Result-stage errors are unrecoverable for the query; keep the
             // sequence moving so other tasks are not blocked.
@@ -58,7 +65,7 @@ impl WorkerContext {
                 created,
             );
         }
-        self.in_flight.fetch_sub(1, Ordering::Release);
+        self.flow.release();
     }
 }
 
@@ -80,10 +87,11 @@ pub fn run_cpu_worker(ctx: WorkerContext) {
                     ..
                 } = task;
                 let started = Instant::now();
-                let output = executor
-                    .execute(&plan, &batches)
-                    .unwrap_or_else(|_| TaskOutput::Rows(RowBuffer::new(plan.output_schema().clone())));
-                ctx.matrix.record(query_id, Processor::Cpu, started.elapsed());
+                let output = executor.execute(&plan, &batches).unwrap_or_else(|_| {
+                    TaskOutput::Rows(RowBuffer::new(plan.output_schema().clone()))
+                });
+                ctx.matrix
+                    .record(query_id, Processor::Cpu, started.elapsed());
                 ctx.finish(query_id, seq, created, output, Processor::Cpu);
             }
             None => {
@@ -122,10 +130,11 @@ fn run_gpu_worker_sequential(ctx: WorkerContext, device: Arc<GpuDevice>) {
                     ..
                 } = task;
                 let started = Instant::now();
-                let output = device
-                    .execute(&plan, &batches)
-                    .unwrap_or_else(|_| TaskOutput::Rows(RowBuffer::new(plan.output_schema().clone())));
-                ctx.matrix.record(query_id, Processor::Gpu, started.elapsed());
+                let output = device.execute(&plan, &batches).unwrap_or_else(|_| {
+                    TaskOutput::Rows(RowBuffer::new(plan.output_schema().clone()))
+                });
+                ctx.matrix
+                    .record(query_id, Processor::Gpu, started.elapsed());
                 ctx.finish(query_id, seq, created, output, Processor::Gpu);
             }
             None => {
@@ -175,7 +184,7 @@ fn run_gpu_worker_pipelined(ctx: WorkerContext, device: Arc<GpuDevice>, depth: u
                     if pipeline.submit(job).is_err() {
                         // Pipeline shut down unexpectedly; drop the task.
                         in_flight.remove(&task.id);
-                        ctx.in_flight.fetch_sub(1, Ordering::Release);
+                        ctx.flow.release();
                     }
                 }
                 None => break,
@@ -192,7 +201,13 @@ fn run_gpu_worker_pipelined(ctx: WorkerContext, device: Arc<GpuDevice>, depth: u
                 let output = result.output.unwrap_or_else(|_| {
                     TaskOutput::Rows(RowBuffer::new(result.plan.output_schema().clone()))
                 });
-                ctx.finish(meta.query_id, meta.seq, meta.created, output, Processor::Gpu);
+                ctx.finish(
+                    meta.query_id,
+                    meta.seq,
+                    meta.created,
+                    output,
+                    Processor::Gpu,
+                );
             }
         }
         if !drained && !in_flight.is_empty() {
@@ -204,7 +219,13 @@ fn run_gpu_worker_pipelined(ctx: WorkerContext, device: Arc<GpuDevice>, depth: u
                     let output = result.output.unwrap_or_else(|_| {
                         TaskOutput::Rows(RowBuffer::new(result.plan.output_schema().clone()))
                     });
-                    ctx.finish(meta.query_id, meta.seq, meta.created, output, Processor::Gpu);
+                    ctx.finish(
+                        meta.query_id,
+                        meta.seq,
+                        meta.created,
+                        output,
+                        Processor::Gpu,
+                    );
                 }
             }
         }

@@ -114,7 +114,12 @@ impl Default for CostModel {
 impl CostModel {
     /// Models a query task of `tuples` tuples (each `tuple_bytes` bytes) with
     /// `ops_per_tuple` operations per tuple.
-    pub fn compare(&self, tuples: u64, tuple_bytes: usize, ops_per_tuple: usize) -> ModeledComparison {
+    pub fn compare(
+        &self,
+        tuples: u64,
+        tuple_bytes: usize,
+        ops_per_tuple: usize,
+    ) -> ModeledComparison {
         let cpu = self.cpu.task_time(tuples, tuple_bytes, ops_per_tuple);
         let gpu_kernel = self.gpu.task_time(tuples, tuple_bytes, ops_per_tuple);
         let in_bytes = tuples as usize * tuple_bytes;

@@ -141,7 +141,11 @@ impl GpuDevice {
 
     /// Runs only the `execute` stage: the task's kernels across the device's
     /// work groups, in parallel over the executor threads.
-    pub fn execute_kernels(&self, plan: &CompiledPlan, batches: &[StreamBatch]) -> Result<TaskOutput> {
+    pub fn execute_kernels(
+        &self,
+        plan: &CompiledPlan,
+        batches: &[StreamBatch],
+    ) -> Result<TaskOutput> {
         if batches.is_empty() {
             return Err(SaberError::Device("task has no stream batches".into()));
         }
@@ -250,8 +254,12 @@ impl GpuDevice {
         let movement_after_kernel = after_kernel.elapsed();
 
         self.stats.tasks.fetch_add(1, Ordering::Relaxed);
-        self.stats.bytes_in.fetch_add(input_bytes as u64, Ordering::Relaxed);
-        self.stats.bytes_out.fetch_add(out_bytes as u64, Ordering::Relaxed);
+        self.stats
+            .bytes_in
+            .fetch_add(input_bytes as u64, Ordering::Relaxed);
+        self.stats
+            .bytes_out
+            .fetch_add(out_bytes as u64, Ordering::Relaxed);
         self.stats.movement_nanos.fetch_add(
             (movement_before_kernel + movement_after_kernel).as_nanos() as u64,
             Ordering::Relaxed,

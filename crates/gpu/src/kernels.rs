@@ -55,7 +55,11 @@ pub fn run_work_group(
 }
 
 /// Merges per-group results (in group order) into one task output.
-pub fn merge_group_results(plan: &CompiledPlan, groups: Vec<GroupResult>, progress: u64) -> Result<TaskOutput> {
+pub fn merge_group_results(
+    plan: &CompiledPlan,
+    groups: Vec<GroupResult>,
+    progress: u64,
+) -> Result<TaskOutput> {
     if plan.produces_fragments() {
         let mut panes: Vec<PanePartial> = Vec::new();
         for group in groups {
@@ -135,8 +139,10 @@ fn stateless_kernel(
                 Some(exprs) => {
                     let values: Vec<f64> = exprs.iter().map(|(e, _)| e.eval(&tuple)).collect();
                     let bytes = out.bytes_mut();
-                    let mut row =
-                        saber_types::TupleMut::new(&schema, &mut bytes[dst_start..dst_start + row_size]);
+                    let mut row = saber_types::TupleMut::new(
+                        &schema,
+                        &mut bytes[dst_start..dst_start + row_size],
+                    );
                     for (col, v) in values.iter().enumerate() {
                         row.set_numeric(col, *v);
                     }
@@ -175,7 +181,9 @@ fn aggregation_kernel(
     let sub = StreamBatch::new(local, batch.start_index + range.start as u64, first_ts);
     match saber_cpu::windowed::execute(plan, agg, &sub)? {
         TaskOutput::Fragments { panes, .. } => Ok(GroupResult::Panes(panes)),
-        _ => Err(SaberError::Device("aggregation kernel produced rows".into())),
+        _ => Err(SaberError::Device(
+            "aggregation kernel produced rows".into(),
+        )),
     }
 }
 
@@ -232,11 +240,15 @@ fn partition_join_kernel(
     if !first_group {
         // Other groups contribute nothing; the first group handles the task.
         let _ = range;
-        return Ok(GroupResult::Rows(RowBuffer::new(plan.output_schema().clone())));
+        return Ok(GroupResult::Rows(RowBuffer::new(
+            plan.output_schema().clone(),
+        )));
     }
     match saber_cpu::join::execute_partition(plan, pj, batches)? {
         TaskOutput::Rows(rows) => Ok(GroupResult::Rows(rows)),
-        _ => Err(SaberError::Device("partition join produced fragments".into())),
+        _ => Err(SaberError::Device(
+            "partition join produced fragments".into(),
+        )),
     }
 }
 
@@ -288,7 +300,10 @@ mod tests {
         let mut start = 0;
         while start < b.new_rows() {
             let end = (start + 300).min(b.new_rows());
-            groups.push(run_work_group(&plan, std::slice::from_ref(&b), start..end, 64, start == 0).unwrap());
+            groups.push(
+                run_work_group(&plan, std::slice::from_ref(&b), start..end, 64, start == 0)
+                    .unwrap(),
+            );
             start = end;
         }
         let gpu_out = merge_group_results(&plan, groups, b.end_index()).unwrap();
@@ -364,7 +379,9 @@ mod tests {
         let right = batch(16);
         let batches = vec![left, right];
 
-        let cpu_out = saber_cpu::CpuExecutor::new().execute(&plan, &batches).unwrap();
+        let cpu_out = saber_cpu::CpuExecutor::new()
+            .execute(&plan, &batches)
+            .unwrap();
         let g0 = run_work_group(&plan, &batches, 0..8, 32, true).unwrap();
         let g1 = run_work_group(&plan, &batches, 8..16, 32, false).unwrap();
         let gpu_out = merge_group_results(&plan, vec![g0, g1], 16).unwrap();

@@ -171,7 +171,10 @@ mod tests {
         let start = Instant::now();
         bus.transfer(1_000_000); // ~1.2 ms modeled
         let elapsed = start.elapsed();
-        assert!(elapsed >= Duration::from_micros(1000), "elapsed {elapsed:?}");
+        assert!(
+            elapsed >= Duration::from_micros(1000),
+            "elapsed {elapsed:?}"
+        );
     }
 
     #[test]

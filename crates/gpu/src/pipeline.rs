@@ -80,104 +80,114 @@ impl GpuPipeline {
         // Stage 1: copyin (heap -> pinned host memory).
         {
             let device = device.clone();
-            threads.push(std::thread::Builder::new()
-                .name("gpu-copyin".into())
-                .spawn(move || {
-                    for mut msg in copyin_rx.iter() {
-                        let pinned = device.copyin(&msg.job.batches);
-                        msg.pinned_bytes = pinned.len();
-                        if copyin_tx.send(msg).is_err() {
-                            break;
+            threads.push(
+                std::thread::Builder::new()
+                    .name("gpu-copyin".into())
+                    .spawn(move || {
+                        for mut msg in copyin_rx.iter() {
+                            let pinned = device.copyin(&msg.job.batches);
+                            msg.pinned_bytes = pinned.len();
+                            if copyin_tx.send(msg).is_err() {
+                                break;
+                            }
                         }
-                    }
-                })
-                .expect("spawn copyin stage"));
+                    })
+                    .expect("spawn copyin stage"),
+            );
         }
         // Stage 2: movein (pinned -> device memory over PCIe).
         {
             let device = device.clone();
-            threads.push(std::thread::Builder::new()
-                .name("gpu-movein".into())
-                .spawn(move || {
-                    for mut msg in movein_rx.iter() {
-                        if let Err(e) = device.movein(msg.pinned_bytes) {
-                            msg.output = Some(Err(e));
+            threads.push(
+                std::thread::Builder::new()
+                    .name("gpu-movein".into())
+                    .spawn(move || {
+                        for mut msg in movein_rx.iter() {
+                            if let Err(e) = device.movein(msg.pinned_bytes) {
+                                msg.output = Some(Err(e));
+                            }
+                            if movein_tx.send(msg).is_err() {
+                                break;
+                            }
                         }
-                        if movein_tx.send(msg).is_err() {
-                            break;
-                        }
-                    }
-                })
-                .expect("spawn movein stage"));
+                    })
+                    .expect("spawn movein stage"),
+            );
         }
         // Stage 3: execute (kernels over the device's work groups).
         {
             let device = device.clone();
-            threads.push(std::thread::Builder::new()
-                .name("gpu-execute".into())
-                .spawn(move || {
-                    for mut msg in execute_rx.iter() {
-                        if msg.output.is_none() {
-                            let out = device.execute_kernels(&msg.job.plan, &msg.job.batches);
-                            msg.output = Some(out);
+            threads.push(
+                std::thread::Builder::new()
+                    .name("gpu-execute".into())
+                    .spawn(move || {
+                        for mut msg in execute_rx.iter() {
+                            if msg.output.is_none() {
+                                let out = device.execute_kernels(&msg.job.plan, &msg.job.batches);
+                                msg.output = Some(out);
+                            }
+                            if execute_tx.send(msg).is_err() {
+                                break;
+                            }
                         }
-                        if execute_tx.send(msg).is_err() {
-                            break;
-                        }
-                    }
-                })
-                .expect("spawn execute stage"));
+                    })
+                    .expect("spawn execute stage"),
+            );
         }
         // Stage 4: moveout (device -> pinned memory over PCIe).
         {
             let device = device.clone();
-            threads.push(std::thread::Builder::new()
-                .name("gpu-moveout".into())
-                .spawn(move || {
-                    for msg in moveout_rx.iter() {
-                        let out_bytes = msg
-                            .output
-                            .as_ref()
-                            .and_then(|o| o.as_ref().ok())
-                            .map(|o| o.byte_len())
-                            .unwrap_or(0);
-                        device.moveout(out_bytes, msg.pinned_bytes);
-                        if moveout_tx.send(msg).is_err() {
-                            break;
+            threads.push(
+                std::thread::Builder::new()
+                    .name("gpu-moveout".into())
+                    .spawn(move || {
+                        for msg in moveout_rx.iter() {
+                            let out_bytes = msg
+                                .output
+                                .as_ref()
+                                .and_then(|o| o.as_ref().ok())
+                                .map(|o| o.byte_len())
+                                .unwrap_or(0);
+                            device.moveout(out_bytes, msg.pinned_bytes);
+                            if moveout_tx.send(msg).is_err() {
+                                break;
+                            }
                         }
-                    }
-                })
-                .expect("spawn moveout stage"));
+                    })
+                    .expect("spawn moveout stage"),
+            );
         }
         // Stage 5: copyout (pinned memory -> heap) + completion.
         {
             let device = device.clone();
-            threads.push(std::thread::Builder::new()
-                .name("gpu-copyout".into())
-                .spawn(move || {
-                    for msg in copyout_rx.iter() {
-                        let output = msg
-                            .output
-                            .unwrap_or_else(|| Err(SaberError::Device("job skipped execution".into())));
-                        if let Ok(out) = &output {
-                            device.copyout(out);
+            threads.push(
+                std::thread::Builder::new()
+                    .name("gpu-copyout".into())
+                    .spawn(move || {
+                        for msg in copyout_rx.iter() {
+                            let output = msg.output.unwrap_or_else(|| {
+                                Err(SaberError::Device("job skipped execution".into()))
+                            });
+                            if let Ok(out) = &output {
+                                device.copyout(out);
+                            }
+                            device
+                                .stats()
+                                .tasks
+                                .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                            let result = PipelineResult {
+                                task_id: msg.job.task_id,
+                                output,
+                                elapsed: msg.submitted.elapsed(),
+                                plan: msg.job.plan,
+                            };
+                            if completion_tx.send(result).is_err() {
+                                break;
+                            }
                         }
-                        device
-                            .stats()
-                            .tasks
-                            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                        let result = PipelineResult {
-                            task_id: msg.job.task_id,
-                            output,
-                            elapsed: msg.submitted.elapsed(),
-                            plan: msg.job.plan,
-                        };
-                        if completion_tx.send(result).is_err() {
-                            break;
-                        }
-                    }
-                })
-                .expect("spawn copyout stage"));
+                    })
+                    .expect("spawn copyout stage"),
+            );
         }
 
         Self {

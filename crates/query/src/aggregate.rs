@@ -264,9 +264,14 @@ mod tests {
 
     #[test]
     fn spec_validation() {
-        let schema = Schema::from_pairs(&[("ts", DataType::Timestamp), ("v", DataType::Float)]).unwrap();
-        assert!(AggregateSpec::new(AggregateFunction::Sum, 1).validate(&schema).is_ok());
-        assert!(AggregateSpec::new(AggregateFunction::Sum, 5).validate(&schema).is_err());
+        let schema =
+            Schema::from_pairs(&[("ts", DataType::Timestamp), ("v", DataType::Float)]).unwrap();
+        assert!(AggregateSpec::new(AggregateFunction::Sum, 1)
+            .validate(&schema)
+            .is_ok());
+        assert!(AggregateSpec::new(AggregateFunction::Sum, 5)
+            .validate(&schema)
+            .is_err());
         assert!(AggregateSpec::count().validate(&schema).is_ok());
         let mut broken = AggregateSpec::count();
         broken.function = AggregateFunction::Avg;

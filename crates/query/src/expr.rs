@@ -68,26 +68,31 @@ impl Expr {
     }
 
     /// `self + rhs`
+    #[allow(clippy::should_implement_trait)] // DSL builder, not numeric add
     pub fn add(self, rhs: Expr) -> Expr {
         Expr::Arith(BinaryOp::Add, Box::new(self), Box::new(rhs))
     }
 
     /// `self - rhs`
+    #[allow(clippy::should_implement_trait)] // DSL builder, not numeric sub
     pub fn sub(self, rhs: Expr) -> Expr {
         Expr::Arith(BinaryOp::Sub, Box::new(self), Box::new(rhs))
     }
 
     /// `self * rhs`
+    #[allow(clippy::should_implement_trait)] // DSL builder, not numeric mul
     pub fn mul(self, rhs: Expr) -> Expr {
         Expr::Arith(BinaryOp::Mul, Box::new(self), Box::new(rhs))
     }
 
     /// `self / rhs`
+    #[allow(clippy::should_implement_trait)] // DSL builder, not numeric div
     pub fn div(self, rhs: Expr) -> Expr {
         Expr::Arith(BinaryOp::Div, Box::new(self), Box::new(rhs))
     }
 
     /// `self % rhs`
+    #[allow(clippy::should_implement_trait)] // DSL builder, not numeric rem
     pub fn rem(self, rhs: Expr) -> Expr {
         Expr::Arith(BinaryOp::Mod, Box::new(self), Box::new(rhs))
     }
@@ -366,7 +371,12 @@ mod tests {
         let mut out = Vec::new();
         schema()
             .encode_row(
-                &[Value::Timestamp(ts), Value::Float(a), Value::Int(b), Value::Int(c)],
+                &[
+                    Value::Timestamp(ts),
+                    Value::Float(a),
+                    Value::Int(b),
+                    Value::Int(c),
+                ],
                 &mut out,
             )
             .unwrap();
@@ -494,12 +504,10 @@ mod tests {
         assert!(conjunction(vec![]).eval_bool(&t));
         assert!(!disjunction(vec![]).eval_bool(&t));
         // Fig. 16 shape: p1 AND (p2 OR ... OR pn).
-        let fig16 = Expr::column(2)
-            .eq(Expr::literal(2.0))
-            .and(disjunction(vec![
-                Expr::column(3).eq(Expr::literal(99.0)),
-                Expr::column(3).eq(Expr::literal(3.0)),
-            ]));
+        let fig16 = Expr::column(2).eq(Expr::literal(2.0)).and(disjunction(vec![
+            Expr::column(3).eq(Expr::literal(99.0)),
+            Expr::column(3).eq(Expr::literal(3.0)),
+        ]));
         assert!(fig16.eval_bool(&t));
     }
 }

@@ -56,7 +56,11 @@ impl ProjectionSpec {
         for (expr, name) in pairs {
             expr.validate(schema)?;
             let data_type = expr.output_type(schema);
-            exprs.push(ProjectedExpr { expr, name, data_type });
+            exprs.push(ProjectedExpr {
+                expr,
+                name,
+                data_type,
+            });
         }
         Ok(Self { exprs })
     }
@@ -135,7 +139,9 @@ impl AggregationSpec {
     /// Validates against the input schema.
     pub fn validate(&self, schema: &Schema) -> Result<()> {
         if self.aggregates.is_empty() {
-            return Err(SaberError::Query("aggregation needs at least one aggregate".into()));
+            return Err(SaberError::Query(
+                "aggregation needs at least one aggregate".into(),
+            ));
         }
         for a in &self.aggregates {
             a.validate(schema)?;
@@ -171,7 +177,10 @@ impl AggregationSpec {
             ));
         }
         for a in &self.aggregates {
-            attrs.push(Attribute::new(a.output_name.clone(), a.function.output_type()));
+            attrs.push(Attribute::new(
+                a.output_name.clone(),
+                a.function.output_type(),
+            ));
         }
         Schema::new(attrs)
     }
@@ -308,7 +317,10 @@ impl OperatorDef {
 
     /// True for operators that consume two input streams.
     pub fn is_binary(&self) -> bool {
-        matches!(self, OperatorDef::ThetaJoin(_) | OperatorDef::PartitionJoin(_))
+        matches!(
+            self,
+            OperatorDef::ThetaJoin(_) | OperatorDef::PartitionJoin(_)
+        )
     }
 
     /// True for stateless, per-tuple operators.
@@ -361,7 +373,10 @@ mod tests {
             &s,
             vec![
                 (Expr::column(0), "timestamp".to_string()),
-                (Expr::column(3).div(Expr::literal(5280.0)), "segment".to_string()),
+                (
+                    Expr::column(3).div(Expr::literal(5280.0)),
+                    "segment".to_string(),
+                ),
             ],
         )
         .unwrap();
@@ -394,15 +409,15 @@ mod tests {
     fn aggregation_validation_errors() {
         let s = schema();
         assert!(AggregationSpec::new(vec![]).validate(&s).is_err());
-        assert!(AggregationSpec::new(vec![AggregateSpec::new(AggregateFunction::Sum, 99)])
-            .validate(&s)
-            .is_err());
         assert!(
-            AggregationSpec::new(vec![AggregateSpec::count()])
-                .with_group_by(vec![9])
+            AggregationSpec::new(vec![AggregateSpec::new(AggregateFunction::Sum, 99)])
                 .validate(&s)
                 .is_err()
         );
+        assert!(AggregationSpec::new(vec![AggregateSpec::count()])
+            .with_group_by(vec![9])
+            .validate(&s)
+            .is_err());
         // HAVING over output schema: column 1 of the output is the group key.
         let ok = AggregationSpec::new(vec![AggregateSpec::new(AggregateFunction::Avg, 1)])
             .with_group_by(vec![2])
@@ -439,7 +454,8 @@ mod tests {
     fn operator_def_metadata() {
         let s = schema();
         let proj = OperatorDef::Projection(ProjectionSpec::columns(&s, &[0, 1]).unwrap());
-        let sel = OperatorDef::Selection(SelectionSpec::new(Expr::column(1).gt(Expr::literal(0.0))));
+        let sel =
+            OperatorDef::Selection(SelectionSpec::new(Expr::column(1).gt(Expr::literal(0.0))));
         let agg = OperatorDef::Aggregation(AggregationSpec::new(vec![AggregateSpec::count()]));
         let join = OperatorDef::ThetaJoin(JoinSpec::new(Expr::literal(1.0)));
         assert!(proj.is_stateless());

@@ -87,7 +87,11 @@ impl Query {
     /// Total per-tuple compute cost of the pipeline (used by the simulated
     /// accelerator's cost model and by scheduling diagnostics).
     pub fn pipeline_cost(&self) -> usize {
-        self.operators.iter().map(|o| o.cost()).sum::<usize>().max(1)
+        self.operators
+            .iter()
+            .map(|o| o.cost())
+            .sum::<usize>()
+            .max(1)
     }
 
     /// Returns the aggregation spec if the query ends in one.
@@ -215,7 +219,11 @@ impl QueryBuilder {
     }
 
     /// Adds an aggregate over a column (terminal operator).
-    pub fn aggregate(mut self, function: crate::aggregate::AggregateFunction, column: usize) -> Self {
+    pub fn aggregate(
+        mut self,
+        function: crate::aggregate::AggregateFunction,
+        column: usize,
+    ) -> Self {
         self.aggregates.push(AggregateSpec::new(function, column));
         self
     }
@@ -351,7 +359,9 @@ impl QueryBuilder {
                     ));
                 }
                 if seen_binary {
-                    return Err(SaberError::Query("only one join operator is supported".into()));
+                    return Err(SaberError::Query(
+                        "only one join operator is supported".into(),
+                    ));
                 }
                 seen_binary = true;
             }
@@ -365,7 +375,9 @@ impl QueryBuilder {
             }
         }
         if seen_binary && self.inputs.len() != 2 {
-            return Err(SaberError::Query("join queries need exactly two inputs".into()));
+            return Err(SaberError::Query(
+                "join queries need exactly two inputs".into(),
+            ));
         }
         if !seen_binary && self.inputs.len() != 1 {
             return Err(SaberError::Query(
@@ -570,10 +582,16 @@ mod tests {
         builder = builder.count_window(16, 16).aggregate_count();
         // Manually force an operator after aggregation.
         let mut q = builder.build().unwrap();
-        q.operators.push(OperatorDef::Selection(SelectionSpec::new(Expr::literal(1.0))));
+        q.operators
+            .push(OperatorDef::Selection(SelectionSpec::new(Expr::literal(
+                1.0,
+            ))));
         // Rebuilding through the builder API cannot produce this, but the
         // structural check exists for engine-level construction paths.
-        assert!(matches!(q.operators.last(), Some(OperatorDef::Selection(_))));
+        assert!(matches!(
+            q.operators.last(),
+            Some(OperatorDef::Selection(_))
+        ));
     }
 
     #[test]

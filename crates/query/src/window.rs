@@ -134,11 +134,7 @@ impl WindowSpec {
         let last = p / slide;
         // First window containing p: smallest w with w*slide + size > p,
         // i.e. w > (p - size) / slide.
-        let first = if p < size {
-            0
-        } else {
-            (p - size) / slide + 1
-        };
+        let first = if p < size { 0 } else { (p - size) / slide + 1 };
         first..last + 1
     }
 

@@ -39,7 +39,7 @@ impl RowBuffer {
     /// Wraps existing row bytes. The byte length must be a multiple of the
     /// schema's row size.
     pub fn from_bytes(schema: SchemaRef, bytes: Vec<u8>) -> Result<Self> {
-        if bytes.len() % schema.row_size() != 0 {
+        if !bytes.len().is_multiple_of(schema.row_size()) {
             return Err(SaberError::Buffer(format!(
                 "byte length {} is not a multiple of row size {}",
                 bytes.len(),
@@ -133,7 +133,7 @@ impl RowBuffer {
 
     /// Appends many rows given as raw bytes (length must be a row multiple).
     pub fn extend_from_bytes(&mut self, rows: &[u8]) -> Result<()> {
-        if rows.len() % self.schema.row_size() != 0 {
+        if !rows.len().is_multiple_of(self.schema.row_size()) {
             return Err(SaberError::Buffer(format!(
                 "byte length {} is not a multiple of row size {}",
                 rows.len(),
@@ -175,7 +175,8 @@ impl RowBuffer {
                 src.len()
             )));
         }
-        self.bytes.extend_from_slice(&src.bytes[start..start + row_size]);
+        self.bytes
+            .extend_from_slice(&src.bytes[start..start + row_size]);
         Ok(())
     }
 

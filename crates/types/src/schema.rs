@@ -105,7 +105,9 @@ impl Schema {
     /// Builds a schema padded to at least `pad_to` bytes per row.
     pub fn with_padding(attributes: Vec<Attribute>, pad_to: usize) -> Result<Self> {
         if attributes.is_empty() {
-            return Err(SaberError::Schema("schema needs at least one attribute".into()));
+            return Err(SaberError::Schema(
+                "schema needs at least one attribute".into(),
+            ));
         }
         for (i, a) in attributes.iter().enumerate() {
             for b in &attributes[i + 1..] {
@@ -255,7 +257,8 @@ impl Schema {
                 (DataType::Double, Value::Double(v)) => {
                     out[offset..offset + 8].copy_from_slice(&v.to_le_bytes())
                 }
-                (DataType::Timestamp, Value::Timestamp(v)) | (DataType::Timestamp, Value::Long(v)) => {
+                (DataType::Timestamp, Value::Timestamp(v))
+                | (DataType::Timestamp, Value::Long(v)) => {
                     out[offset..offset + 8].copy_from_slice(&v.to_le_bytes())
                 }
                 (expected, got) => {

@@ -149,7 +149,10 @@ mod tests {
         assert_eq!(Value::from_f64(DataType::Long, 3.9), Value::Long(3));
         assert_eq!(Value::from_f64(DataType::Float, 0.5), Value::Float(0.5));
         assert_eq!(Value::from_f64(DataType::Double, 0.5), Value::Double(0.5));
-        assert_eq!(Value::from_f64(DataType::Timestamp, 7.0), Value::Timestamp(7));
+        assert_eq!(
+            Value::from_f64(DataType::Timestamp, 7.0),
+            Value::Timestamp(7)
+        );
     }
 
     #[test]

@@ -109,7 +109,8 @@ pub fn generate(config: &TraceConfig, rows: usize, seed: u64, start_ms: i64) -> 
     for i in 0..rows {
         let ts = start_ms + (i as f64 * ms_per_event) as i64;
         let second = (ts / 1000) as u64;
-        let in_surge = config.surge_every > 0 && (second % config.surge_every) < config.surge_duration;
+        let in_surge =
+            config.surge_every > 0 && (second % config.surge_every) < config.surge_duration;
         let failure_rate = if in_surge {
             config.surge_failure_rate
         } else {
@@ -131,7 +132,10 @@ pub fn generate(config: &TraceConfig, rows: usize, seed: u64, start_ms: i64) -> 
         row.set_i64(columns::TIMESTAMP, ts);
         row.set_i64(columns::JOB_ID, job);
         row.set_i64(columns::TASK_ID, rng.gen_range(0..1_000_000));
-        row.set_i64(columns::MACHINE_ID, rng.gen_range(0..config.machines as i64));
+        row.set_i64(
+            columns::MACHINE_ID,
+            rng.gen_range(0..config.machines as i64),
+        );
         row.set_i32(columns::EVENT_TYPE, event_type);
         row.set_i32(columns::USER_ID, rng.gen_range(0..1000));
         row.set_i32(columns::CATEGORY, rng.gen_range(0..config.categories));
@@ -248,7 +252,10 @@ mod tests {
         }
         let surge_rate = surge_failures as f64 / surge_total as f64;
         let calm_rate = calm_failures as f64 / calm_total as f64;
-        assert!(surge_rate > 10.0 * calm_rate, "surge {surge_rate} calm {calm_rate}");
+        assert!(
+            surge_rate > 10.0 * calm_rate,
+            "surge {surge_rate} calm {calm_rate}"
+        );
     }
 
     #[test]

@@ -24,4 +24,4 @@ pub mod reference;
 pub mod smartgrid;
 pub mod synthetic;
 
-pub use rates::{Measurement, run_query_benchmark};
+pub use rates::{run_query_benchmark, Measurement};

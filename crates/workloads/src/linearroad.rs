@@ -108,7 +108,10 @@ pub fn lrb1() -> Query {
             (Expr::column(columns::HIGHWAY), "highway"),
             (Expr::column(columns::LANE), "lane"),
             (Expr::column(columns::DIRECTION), "direction"),
-            (Expr::column(columns::POSITION).div(Expr::literal(5280.0)), "segment"),
+            (
+                Expr::column(columns::POSITION).div(Expr::literal(5280.0)),
+                "segment",
+            ),
         ])
         .build()
         .expect("valid LRB1")
@@ -199,7 +202,10 @@ mod tests {
     #[test]
     fn congestion_exists_in_the_generated_data() {
         let data = generate(&RoadConfig::default(), 20_000, 1, 0);
-        let slow = data.iter().filter(|t| t.get_f32(columns::SPEED) < 40.0).count();
+        let slow = data
+            .iter()
+            .filter(|t| t.get_f32(columns::SPEED) < 40.0)
+            .count();
         let frac = slow as f64 / data.len() as f64;
         assert!(frac > 0.05 && frac < 0.4, "congested fraction {frac}");
     }

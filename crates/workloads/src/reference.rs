@@ -69,7 +69,9 @@ pub fn run_single_input(query: &Query, input: &RowBuffer) -> Result<RowBuffer> {
             }
             // Apply the stateless prefix (selection may drop the tuple; a
             // projection changes the attribute mapping).
-            let Some(values) = apply_stateless(&stateless, &tuple) else { continue };
+            let Some(values) = apply_stateless(&stateless, &tuple) else {
+                continue;
+            };
             let keys: Vec<i64> = agg.group_by.iter().map(|&c| values[c] as i64).collect();
             let states = groups.entry(keys).or_insert_with(|| {
                 functions
@@ -123,13 +125,13 @@ pub fn run_single_input(query: &Query, input: &RowBuffer) -> Result<RowBuffer> {
 /// Applies the stateless operator prefix to one tuple; returns the decoded
 /// output values or `None` if a selection dropped the tuple.
 fn apply_stateless(ops: &[&OperatorDef], tuple: &TupleRef<'_>) -> Option<Vec<f64>> {
-    let mut values: Vec<f64> = (0..tuple.schema().len()).map(|c| tuple.get_numeric(c)).collect();
+    let mut values: Vec<f64> = (0..tuple.schema().len())
+        .map(|c| tuple.get_numeric(c))
+        .collect();
     for op in ops {
         match op {
-            OperatorDef::Selection(s) => {
-                if !eval_on_values(&s.predicate, &values) {
-                    return None;
-                }
+            OperatorDef::Selection(s) if !eval_on_values(&s.predicate, &values) => {
+                return None;
             }
             OperatorDef::Projection(p) => {
                 values = p

@@ -181,7 +181,7 @@ mod tests {
         assert_eq!(data.len(), 5000);
         for t in data.iter() {
             let v = t.get_f32(columns::VALUE);
-            assert!(v >= 0.0 && v < 500.0);
+            assert!((0.0..500.0).contains(&v));
             assert!(t.get_i32(columns::HOUSE) < 40);
         }
     }

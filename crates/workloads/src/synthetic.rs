@@ -65,13 +65,15 @@ pub fn proj(m: usize, arith_ops: usize, window: WindowSpec) -> Query {
     let s = schema();
     let mut exprs: Vec<(Expr, &str)> = vec![(Expr::column(0), "timestamp")];
     let names = ["p1", "p2", "p3", "p4", "p5", "p6", "p7", "p8", "p9", "p10"];
-    for k in 0..m.clamp(1, 10) {
+    for (k, name) in names.iter().enumerate().take(m.clamp(1, 10)) {
         let col = 1 + (k % 6);
         let mut e = Expr::column(col);
         for j in 0..arith_ops {
-            e = e.mul(Expr::literal(1.0 + (j % 3) as f64 * 0.25)).add(Expr::literal(0.5));
+            e = e
+                .mul(Expr::literal(1.0 + (j % 3) as f64 * 0.25))
+                .add(Expr::literal(0.5));
         }
-        exprs.push((e, names[k]));
+        exprs.push((e, name));
     }
     QueryBuilder::new(format!("PROJ{m}"), s)
         .window(window)
@@ -89,9 +91,11 @@ pub fn select(n: usize, window: WindowSpec) -> Query {
         let col = 2 + (k % 5);
         // Each predicate keeps ~half the tuples so the conjunction stays
         // selective but non-empty for small n.
-        predicates.push(Expr::column(col).ge(Expr::literal(0.0)).and(
-            Expr::column(col).lt(Expr::literal(1024.0 - (k % 7) as f64)),
-        ));
+        predicates.push(
+            Expr::column(col)
+                .ge(Expr::literal(0.0))
+                .and(Expr::column(col).lt(Expr::literal(1024.0 - (k % 7) as f64))),
+        );
     }
     QueryBuilder::new(format!("SELECT{n}"), s)
         .window(window)

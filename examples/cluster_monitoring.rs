@@ -26,7 +26,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     };
     let seconds = 90u64;
     for s in 0..seconds {
-        let slice = cluster::generate(&config, config.events_per_second as usize, s, (s * 1000) as i64);
+        let slice = cluster::generate(
+            &config,
+            config.events_per_second as usize,
+            s,
+            (s * 1000) as i64,
+        );
         engine.ingest(0, 0, slice.bytes())?;
         engine.ingest(1, 0, slice.bytes())?;
     }

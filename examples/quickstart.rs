@@ -47,7 +47,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "hot-values emitted {} tuples (~10% of the input expected)",
         hot_sink.tuples_emitted()
     );
-    println!("counts-per-key emitted {} window results", count_sink.tuples_emitted());
+    println!(
+        "counts-per-key emitted {} window results",
+        count_sink.tuples_emitted()
+    );
 
     let stats = engine.query_stats(1).unwrap();
     println!(

@@ -63,7 +63,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     stage2.stop()?;
 
     let outliers = outlier_sink.take_rows();
-    println!("SG3 flagged {} (window, house, plug) outlier rows", outliers.len());
+    println!(
+        "SG3 flagged {} (window, house, plug) outlier rows",
+        outliers.len()
+    );
     for t in outliers.iter().take(10) {
         println!(
             "  window {:>10}: house {:>3}, plug {:>2} above the global average",

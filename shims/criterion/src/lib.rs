@@ -1,0 +1,196 @@
+//! Offline stand-in for the [`criterion`](https://crates.io/crates/criterion)
+//! benchmark harness, reproducing the API surface this workspace uses:
+//! benchmark groups, throughput annotations and `Bencher::iter`. Statistics
+//! are deliberately simple (mean over timed samples after a warm-up) — good
+//! enough to compare configurations, not a substitute for real criterion.
+
+use std::time::{Duration, Instant};
+
+/// Prevents the optimiser from discarding a benchmarked value.
+pub fn black_box<T>(value: T) -> T {
+    std::hint::black_box(value)
+}
+
+/// Throughput annotation attached to a benchmark group.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// The benchmark processes this many bytes per iteration.
+    Bytes(u64),
+    /// The benchmark processes this many elements per iteration.
+    Elements(u64),
+}
+
+/// The benchmark driver handed to `criterion_group!` functions.
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("\nbenchmark group: {name}");
+        BenchmarkGroup {
+            _criterion: self,
+            name,
+            sample_size: 10,
+            measurement_time: Duration::from_millis(500),
+            warm_up_time: Duration::from_millis(100),
+            throughput: None,
+        }
+    }
+
+    /// Runs a single benchmark outside a group.
+    pub fn bench_function(&mut self, id: impl Into<String>, f: impl FnMut(&mut Bencher)) {
+        let mut group = self.benchmark_group("default");
+        group.bench_function(id, f);
+        group.finish();
+    }
+}
+
+/// A group of benchmarks sharing measurement settings.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Total measurement budget per benchmark.
+    pub fn measurement_time(&mut self, t: Duration) -> &mut Self {
+        self.measurement_time = t;
+        self
+    }
+
+    /// Warm-up budget per benchmark.
+    pub fn warm_up_time(&mut self, t: Duration) -> &mut Self {
+        self.warm_up_time = t;
+        self
+    }
+
+    /// Annotates subsequent benchmarks with a throughput unit.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Runs one benchmark and prints its mean iteration time.
+    pub fn bench_function(&mut self, id: impl Into<String>, mut f: impl FnMut(&mut Bencher)) {
+        let id = id.into();
+        let mut bencher = Bencher {
+            iterations: 0,
+            elapsed: Duration::ZERO,
+        };
+
+        // Warm-up: run until the warm-up budget is spent.
+        let warm_up_end = Instant::now() + self.warm_up_time;
+        while Instant::now() < warm_up_end {
+            f(&mut bencher);
+        }
+
+        // Measurement.
+        bencher.iterations = 0;
+        bencher.elapsed = Duration::ZERO;
+        let budget_end = Instant::now() + self.measurement_time;
+        let mut samples = 0usize;
+        while samples < self.sample_size || Instant::now() < budget_end {
+            f(&mut bencher);
+            samples += 1;
+            if samples >= self.sample_size && Instant::now() >= budget_end {
+                break;
+            }
+            if samples >= self.sample_size * 100 {
+                break;
+            }
+        }
+
+        let iters = bencher.iterations.max(1);
+        let mean = bencher.elapsed.as_nanos() as f64 / iters as f64;
+        let rate = match self.throughput {
+            Some(Throughput::Bytes(bytes)) => {
+                let gib_s = bytes as f64 / (mean * 1e-9) / (1u64 << 30) as f64;
+                format!("  ({gib_s:.3} GiB/s)")
+            }
+            Some(Throughput::Elements(n)) => {
+                let me_s = n as f64 / (mean * 1e-9) / 1e6;
+                format!("  ({me_s:.3} Melem/s)")
+            }
+            None => String::new(),
+        };
+        println!("{}/{id}: {mean:.1} ns/iter{rate}", self.name);
+    }
+
+    /// Ends the group.
+    pub fn finish(&mut self) {}
+}
+
+/// Times the closure passed to [`Bencher::iter`].
+#[derive(Debug)]
+pub struct Bencher {
+    iterations: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Runs `f` once under the timer. The harness calls the benchmark closure
+    /// repeatedly, so a single timed execution per call keeps totals exact.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let started = Instant::now();
+        black_box(f());
+        self.elapsed += started.elapsed();
+        self.iterations += 1;
+    }
+}
+
+/// Declares a benchmark group function, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the benchmark `main` function, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_and_counts_iterations() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("unit");
+        group.sample_size(3);
+        group.measurement_time(Duration::from_millis(5));
+        group.warm_up_time(Duration::from_millis(1));
+        group.throughput(Throughput::Bytes(1024));
+        let mut runs = 0u64;
+        group.bench_function("count", |b| {
+            b.iter(|| {
+                runs += 1;
+                runs
+            })
+        });
+        group.finish();
+        assert!(runs > 0);
+    }
+}

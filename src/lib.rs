@@ -50,7 +50,9 @@ pub use saber_workloads as workloads;
 
 /// Commonly used items, re-exported for convenience.
 pub mod prelude {
-    pub use saber_engine::{EngineConfig, ExecutionMode, Saber, SaberBuilder, SchedulingPolicyKind};
+    pub use saber_engine::{
+        EngineConfig, ExecutionMode, Saber, SaberBuilder, SchedulingPolicyKind,
+    };
     pub use saber_query::{
         AggregateFunction, Expr, Query, QueryBuilder, StreamFunction, WindowSpec,
     };

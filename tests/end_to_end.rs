@@ -22,7 +22,11 @@ fn test_config(mode: ExecutionMode) -> EngineConfig {
 }
 
 /// Runs a single-input query on the engine and returns the emitted rows.
-fn run_on_engine(mode: ExecutionMode, query: Query, data: &saber::types::RowBuffer) -> saber::types::RowBuffer {
+fn run_on_engine(
+    mode: ExecutionMode,
+    query: Query,
+    data: &saber::types::RowBuffer,
+) -> saber::types::RowBuffer {
     let mut engine = Saber::with_config(test_config(mode)).unwrap();
     let sink = engine.add_query(query).unwrap();
     engine.start().unwrap();
@@ -45,7 +49,11 @@ fn selection_matches_reference_on_all_modes() {
             .unwrap()
     };
     let expected = reference::run_single_input(&query(), &data).unwrap();
-    for mode in [ExecutionMode::CpuOnly, ExecutionMode::GpuOnly, ExecutionMode::Hybrid] {
+    for mode in [
+        ExecutionMode::CpuOnly,
+        ExecutionMode::GpuOnly,
+        ExecutionMode::Hybrid,
+    ] {
         let got = run_on_engine(mode, query(), &data);
         assert_eq!(got.len(), expected.len(), "mode {mode:?}");
         assert_eq!(got.bytes(), expected.bytes(), "mode {mode:?}");
@@ -61,7 +69,10 @@ fn projection_with_arithmetic_matches_reference() {
             .count_window(512, 512)
             .project(vec![
                 (Expr::column(0), "timestamp"),
-                (Expr::column(1).mul(Expr::literal(3.0)).add(Expr::column(2)), "derived"),
+                (
+                    Expr::column(1).mul(Expr::literal(3.0)).add(Expr::column(2)),
+                    "derived",
+                ),
             ])
             .build()
             .unwrap()
@@ -194,7 +205,11 @@ fn join_query_runs_end_to_end_on_two_streams() {
     // Interleave ingestion window-by-window (512 rows = 16 KB per side), as a
     // real source would: each query task then carries aligned batches of both
     // streams.
-    for (l, r) in left.bytes().chunks(16 * 1024).zip(right.bytes().chunks(16 * 1024)) {
+    for (l, r) in left
+        .bytes()
+        .chunks(16 * 1024)
+        .zip(right.bytes().chunks(16 * 1024))
+    {
         engine.ingest(0, 0, l).unwrap();
         engine.ingest(0, 1, r).unwrap();
     }
@@ -205,7 +220,10 @@ fn join_query_runs_end_to_end_on_two_streams() {
     let windows = 16 * 1024 / 512;
     let expected = windows as f64 * 512.0 * 512.0 / 16.0;
     let ratio = emitted as f64 / expected;
-    assert!(ratio > 0.6 && ratio < 1.7, "emitted {emitted}, expected ~{expected}");
+    assert!(
+        ratio > 0.6 && ratio < 1.7,
+        "emitted {emitted}, expected ~{expected}"
+    );
 }
 
 #[test]
@@ -221,7 +239,9 @@ fn scheduling_policies_all_produce_correct_results() {
     };
     let expected = reference::run_single_input(&query(), &data).unwrap();
     for policy in [
-        SchedulingPolicyKind::Hls { switch_threshold: 4 },
+        SchedulingPolicyKind::Hls {
+            switch_threshold: 4,
+        },
         SchedulingPolicyKind::Fcfs,
     ] {
         let mut config = test_config(ExecutionMode::Hybrid);
