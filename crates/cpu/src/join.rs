@@ -1,6 +1,6 @@
 //! Streaming join operators (paper §5.3).
 //!
-//! * [`execute_theta`] implements the windowed θ-join of Kang et al. [35]:
+//! * [`execute_theta`] implements the windowed θ-join of Kang et al. \[35\]:
 //!   every *new* tuple of one stream is matched against the other stream's
 //!   current window. Inside a query task, the "current window" is
 //!   reconstructed from the task's stream batches, which include a lookback

@@ -6,7 +6,7 @@
 //!
 //! * **Ingest front-ends** ([`StreamIngest`], one per input stream) append
 //!   incoming bytes to the stream's reservation-based
-//!   [`CircularBuffer`](crate::circular::CircularBuffer) without taking any
+//!   [`CircularBuffer`](crate::circular) without taking any
 //!   lock. Many producer threads may append to the same stream concurrently;
 //!   the ring serializes them with a compare-and-swap claim.
 //! * **The task cutter** (a small mutex over the per-stream pending cursors

@@ -52,6 +52,19 @@ pub struct Saber {
 
 impl Saber {
     /// Starts building an engine with the default configuration.
+    ///
+    /// ```
+    /// use saber_engine::{ExecutionMode, Saber};
+    ///
+    /// let engine = Saber::builder()
+    ///     .worker_threads(2)
+    ///     .query_task_size(64 * 1024)
+    ///     .execution_mode(ExecutionMode::CpuOnly)
+    ///     .build()
+    ///     .unwrap();
+    /// assert_eq!(engine.config().worker_threads, 2);
+    /// assert_eq!(engine.num_queries(), 0);
+    /// ```
     pub fn builder() -> SaberBuilder {
         SaberBuilder::new()
     }
@@ -159,6 +172,64 @@ impl Saber {
             sink: sink.clone(),
         });
         Ok(sink)
+    }
+
+    /// Registers a query written in the SABER SQL dialect (see
+    /// `docs/sql.md`), resolving stream names against `catalog`. Returns the
+    /// query's output sink, exactly like [`Saber::add_query`].
+    ///
+    /// Parse, name-resolution and type errors surface as
+    /// [`SaberError::Query`] with the offending line and column; use
+    /// [`saber_sql::compile`] directly to get the full caret diagnostic.
+    ///
+    /// ```
+    /// use saber_engine::Saber;
+    /// use saber_sql::Catalog;
+    /// use saber_types::{DataType, RowBuffer, Schema, Value};
+    ///
+    /// let schema = Schema::from_pairs(&[
+    ///     ("timestamp", DataType::Timestamp),
+    ///     ("value", DataType::Float),
+    ///     ("key", DataType::Int),
+    /// ])
+    /// .unwrap()
+    /// .into_ref();
+    /// let catalog = Catalog::new().with_stream("Sensors", schema.clone());
+    ///
+    /// let mut engine = Saber::builder().worker_threads(1).build().unwrap();
+    /// let sink = engine
+    ///     .add_query_sql(
+    ///         "SELECT timestamp, key, COUNT(*) FROM Sensors [ROWS 4] GROUP BY key",
+    ///         &catalog,
+    ///     )
+    ///     .unwrap();
+    /// engine.start().unwrap();
+    ///
+    /// let mut rows = RowBuffer::new(schema);
+    /// for i in 0..8 {
+    ///     rows.push_values(&[Value::Timestamp(i), Value::Float(1.0), Value::Int(0)])
+    ///         .unwrap();
+    /// }
+    /// engine.ingest(0, 0, rows.bytes()).unwrap();
+    /// engine.stop().unwrap();
+    /// // Two tumbling 4-row windows, one group each.
+    /// assert_eq!(sink.tuples_emitted(), 2);
+    /// ```
+    pub fn add_query_sql(&mut self, sql: &str, catalog: &saber_sql::Catalog) -> Result<QuerySink> {
+        let query = saber_sql::compile(sql, catalog)?;
+        self.add_query(query)
+    }
+
+    /// Like [`Saber::add_query_sql`], but with the sink's `retain_output`
+    /// switch exposed (see [`Saber::add_query_with_options`]).
+    pub fn add_query_sql_with_options(
+        &mut self,
+        sql: &str,
+        catalog: &saber_sql::Catalog,
+        retain_output: bool,
+    ) -> Result<QuerySink> {
+        let query = saber_sql::compile(sql, catalog)?;
+        self.add_query_with_options(query, retain_output)
     }
 
     /// Starts the worker threads.
@@ -369,6 +440,47 @@ struct HandleInner {
 /// A cloneable, thread-safe producer handle bound to one input stream of one
 /// query (see [`Saber::ingest_handle`]). Appends are lock-free; admission
 /// blocks precisely while the task queue is saturated.
+///
+/// ```
+/// use saber_engine::Saber;
+/// use saber_sql::Catalog;
+/// use saber_types::{DataType, RowBuffer, Schema, Value};
+///
+/// let schema = Schema::from_pairs(&[
+///     ("timestamp", DataType::Timestamp),
+///     ("value", DataType::Float),
+/// ])
+/// .unwrap()
+/// .into_ref();
+/// let catalog = Catalog::new().with_stream("S", schema.clone());
+/// let mut engine = Saber::builder().worker_threads(1).build().unwrap();
+/// let sink = engine
+///     .add_query_sql("SELECT * FROM S [ROWS 2] WHERE value >= 0", &catalog)
+///     .unwrap();
+/// engine.start().unwrap();
+///
+/// // Handles are cheap to clone and may ingest from many threads at once.
+/// let handle = engine.ingest_handle(0, 0).unwrap();
+/// let producers: Vec<_> = (0..2)
+///     .map(|p| {
+///         let handle = handle.clone();
+///         let schema = schema.clone();
+///         std::thread::spawn(move || {
+///             let mut rows = RowBuffer::new(schema);
+///             for i in 0..4i64 {
+///                 rows.push_values(&[Value::Timestamp(p * 4 + i), Value::Float(0.5)])
+///                     .unwrap();
+///             }
+///             handle.ingest(rows.bytes()).unwrap();
+///         })
+///     })
+///     .collect();
+/// for t in producers {
+///     t.join().unwrap();
+/// }
+/// engine.stop().unwrap();
+/// assert_eq!(sink.tuples_emitted(), 8);
+/// ```
 #[derive(Clone)]
 pub struct IngestHandle {
     inner: Arc<HandleInner>,

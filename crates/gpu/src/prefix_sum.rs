@@ -3,7 +3,7 @@
 //! The paper's selection and join kernels write their results to a
 //! *continuous* region of global device memory by first producing a binary
 //! match-flag vector per work group and then running a prefix-sum over it to
-//! obtain each matching tuple's output address (§5.4, citing Blelloch [14]).
+//! obtain each matching tuple's output address (§5.4, citing Blelloch \[14\]).
 //! This module provides that scan.
 
 /// Exclusive prefix sum: `out[i] = flags[0] + … + flags[i-1]`.

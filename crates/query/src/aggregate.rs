@@ -15,11 +15,17 @@ use saber_types::{DataType, Result, SaberError, Schema};
 /// (number of distinct vehicles per segment).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum AggregateFunction {
+    /// Number of contributing tuples (`COUNT(*)`).
     Count,
+    /// Sum of the aggregated column.
     Sum,
+    /// Arithmetic mean of the aggregated column.
     Avg,
+    /// Minimum value of the aggregated column.
     Min,
+    /// Maximum value of the aggregated column.
     Max,
+    /// Number of distinct values of the aggregated column (LRB4).
     CountDistinct,
 }
 

@@ -14,7 +14,10 @@
 //!
 //! Queries are *logical* descriptions; the physical fragment/batch/assembly
 //! operator functions live in `saber-cpu` and `saber-gpu`, and the runtime in
-//! `saber-engine`.
+//! `saber-engine`. Textual queries (the SQL dialect of `saber-sql`) compile
+//! into this IR.
+
+#![deny(missing_docs)]
 
 pub mod aggregate;
 pub mod expr;

@@ -193,7 +193,7 @@ impl AggregationSpec {
 }
 
 /// Streaming θ-join operator ⋈ between two windowed input streams
-/// (Kang et al. [35]: every new tuple of one stream is matched against the
+/// (Kang et al. \[35\]: every new tuple of one stream is matched against the
 /// current window of the other stream).
 #[derive(Debug, Clone, PartialEq)]
 pub struct JoinSpec {

@@ -32,9 +32,19 @@ pub type WindowRange = std::ops::Range<WindowIndex>;
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum WindowSpec {
     /// Count-based window: `size` and `slide` are tuple counts.
-    CountBased { size: u64, slide: u64 },
+    CountBased {
+        /// Window size in tuples.
+        size: u64,
+        /// Window slide in tuples.
+        slide: u64,
+    },
     /// Time-based window: `size` and `slide` are timestamp deltas.
-    TimeBased { size: u64, slide: u64 },
+    TimeBased {
+        /// Window size in timestamp units (milliseconds).
+        size: u64,
+        /// Window slide in timestamp units (milliseconds).
+        slide: u64,
+    },
 }
 
 impl WindowSpec {

@@ -1,0 +1,638 @@
+//! The typed abstract syntax tree of the SABER SQL dialect.
+//!
+//! Every node carries the byte [`Span`] it was parsed from so the planner can
+//! report name-resolution and type errors with precise locations. The
+//! [`Display`] implementations pretty-print a statement back into canonical
+//! dialect text (upper-case keywords, explicit `SLIDE`, minimal parentheses);
+//! parsing that text yields an identical AST modulo spans, which the
+//! round-trip property test relies on.
+//!
+//! [`Display`]: std::fmt::Display
+
+use crate::error::Span;
+use std::fmt;
+
+/// A (possibly qualified) reference to a stream attribute, e.g. `speed` or
+/// `SegSpeedStr.speed`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ColumnRef {
+    /// Optional stream qualifier (`stream.attr`).
+    pub qualifier: Option<String>,
+    /// Attribute name (case-sensitive, as declared in the schema).
+    pub name: String,
+    /// Source span of the whole reference.
+    pub span: Span,
+}
+
+impl fmt::Display for ColumnRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.qualifier {
+            Some(q) => write!(f, "{q}.{}", self.name),
+            None => f.write_str(&self.name),
+        }
+    }
+}
+
+/// Unary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UnaryOp {
+    /// Arithmetic negation `-x`.
+    Neg,
+    /// Logical negation `NOT x`.
+    Not,
+}
+
+/// Binary operators, from arithmetic through comparison to boolean logic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinOp {
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/`
+    Div,
+    /// `%`
+    Mod,
+    /// `=` (also `==`)
+    Eq,
+    /// `!=` (also `<>`)
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `AND`
+    And,
+    /// `OR`
+    Or,
+}
+
+impl BinOp {
+    /// Binding strength; higher binds tighter. Mirrors the parser's
+    /// precedence climbing levels.
+    pub fn precedence(&self) -> u8 {
+        match self {
+            BinOp::Or => 1,
+            BinOp::And => 2,
+            BinOp::Eq | BinOp::Ne | BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge => 4,
+            BinOp::Add | BinOp::Sub => 5,
+            BinOp::Mul | BinOp::Div | BinOp::Mod => 6,
+        }
+    }
+
+    /// The dialect's spelling of the operator.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            BinOp::Add => "+",
+            BinOp::Sub => "-",
+            BinOp::Mul => "*",
+            BinOp::Div => "/",
+            BinOp::Mod => "%",
+            BinOp::Eq => "=",
+            BinOp::Ne => "!=",
+            BinOp::Lt => "<",
+            BinOp::Le => "<=",
+            BinOp::Gt => ">",
+            BinOp::Ge => ">=",
+            BinOp::And => "AND",
+            BinOp::Or => "OR",
+        }
+    }
+}
+
+/// A scalar expression of the dialect.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SqlExpr {
+    /// An attribute reference.
+    Column(ColumnRef),
+    /// A numeric literal.
+    Number {
+        /// The literal value.
+        value: f64,
+        /// Source span.
+        span: Span,
+    },
+    /// A unary operation (`-x`, `NOT x`).
+    Unary {
+        /// The operator.
+        op: UnaryOp,
+        /// The operand.
+        operand: Box<SqlExpr>,
+        /// Source span (operator through operand).
+        span: Span,
+    },
+    /// A binary operation.
+    Binary {
+        /// The operator.
+        op: BinOp,
+        /// Left operand.
+        left: Box<SqlExpr>,
+        /// Right operand.
+        right: Box<SqlExpr>,
+        /// Source span (left through right).
+        span: Span,
+    },
+}
+
+impl SqlExpr {
+    /// The source span of the expression.
+    pub fn span(&self) -> Span {
+        match self {
+            SqlExpr::Column(c) => c.span,
+            SqlExpr::Number { span, .. }
+            | SqlExpr::Unary { span, .. }
+            | SqlExpr::Binary { span, .. } => *span,
+        }
+    }
+
+    fn precedence(&self) -> u8 {
+        match self {
+            SqlExpr::Column(_) | SqlExpr::Number { .. } => 10,
+            SqlExpr::Unary {
+                op: UnaryOp::Neg, ..
+            } => 7,
+            SqlExpr::Unary {
+                op: UnaryOp::Not, ..
+            } => 3,
+            SqlExpr::Binary { op, .. } => op.precedence(),
+        }
+    }
+
+    fn fmt_child(&self, f: &mut fmt::Formatter<'_>, min_prec: u8) -> fmt::Result {
+        if self.precedence() < min_prec {
+            write!(f, "({self})")
+        } else {
+            write!(f, "{self}")
+        }
+    }
+}
+
+impl fmt::Display for SqlExpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SqlExpr::Column(c) => write!(f, "{c}"),
+            SqlExpr::Number { value, .. } => write!(f, "{value}"),
+            SqlExpr::Unary { op, operand, .. } => match op {
+                UnaryOp::Neg => {
+                    f.write_str("-")?;
+                    operand.fmt_child(f, 8)
+                }
+                UnaryOp::Not => {
+                    // Always parenthesise: unambiguous and trivially
+                    // re-parseable regardless of the operand's shape.
+                    write!(f, "NOT ({operand})")
+                }
+            },
+            SqlExpr::Binary {
+                op, left, right, ..
+            } => {
+                let prec = op.precedence();
+                // Comparisons are non-associative (the parser rejects
+                // chains), so a comparison child needs parentheses on either
+                // side; other operators parse left-associatively, so only a
+                // same-level right child needs them.
+                let non_assoc = matches!(
+                    op,
+                    BinOp::Eq | BinOp::Ne | BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge
+                );
+                left.fmt_child(f, if non_assoc { prec + 1 } else { prec })?;
+                write!(f, " {} ", op.as_str())?;
+                right.fmt_child(f, prec + 1)
+            }
+        }
+    }
+}
+
+/// Units accepted after a `RANGE`/`SLIDE` duration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TimeUnit {
+    /// Milliseconds (`MS`).
+    Milliseconds,
+    /// Seconds (`SECONDS`) — the default, matching the paper's `[range 3600
+    /// slide 1]` notation.
+    Seconds,
+    /// Minutes (`MINUTES`).
+    Minutes,
+    /// Hours (`HOURS`).
+    Hours,
+}
+
+impl TimeUnit {
+    /// Milliseconds per unit.
+    pub fn millis(&self) -> u64 {
+        match self {
+            TimeUnit::Milliseconds => 1,
+            TimeUnit::Seconds => 1_000,
+            TimeUnit::Minutes => 60_000,
+            TimeUnit::Hours => 3_600_000,
+        }
+    }
+
+    /// The dialect's spelling of the unit.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            TimeUnit::Milliseconds => "MS",
+            TimeUnit::Seconds => "SECONDS",
+            TimeUnit::Minutes => "MINUTES",
+            TimeUnit::Hours => "HOURS",
+        }
+    }
+}
+
+/// A duration literal in a time-based window clause.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Duration {
+    /// The numeric magnitude as written.
+    pub value: f64,
+    /// The unit (defaults to [`TimeUnit::Seconds`] when omitted).
+    pub unit: TimeUnit,
+    /// Source span.
+    pub span: Span,
+}
+
+impl Duration {
+    /// The duration in whole milliseconds (the engine's time domain).
+    pub fn as_millis(&self) -> u64 {
+        (self.value * self.unit.millis() as f64).round() as u64
+    }
+}
+
+impl fmt::Display for Duration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {}", self.value, self.unit.as_str())
+    }
+}
+
+/// The window clause attached to a stream source (paper §2.4 / §3).
+#[derive(Debug, Clone, PartialEq)]
+pub enum WindowClause {
+    /// `[RANGE UNBOUNDED]` — an effectively unbounded window.
+    Unbounded {
+        /// Source span of the clause.
+        span: Span,
+    },
+    /// `[ROWS n SLIDE m]` — a count-based window (tuples).
+    Rows {
+        /// Window size in tuples.
+        size: u64,
+        /// Window slide in tuples (`None` means tumbling: slide = size).
+        slide: Option<u64>,
+        /// Source span of the clause.
+        span: Span,
+    },
+    /// `[RANGE d SLIDE e]` — a time-based window (durations).
+    Range {
+        /// Window size.
+        size: Duration,
+        /// Window slide (`None` means tumbling: slide = size).
+        slide: Option<Duration>,
+        /// Source span of the clause.
+        span: Span,
+    },
+}
+
+impl WindowClause {
+    /// The source span of the clause.
+    pub fn span(&self) -> Span {
+        match self {
+            WindowClause::Unbounded { span }
+            | WindowClause::Rows { span, .. }
+            | WindowClause::Range { span, .. } => *span,
+        }
+    }
+}
+
+impl fmt::Display for WindowClause {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WindowClause::Unbounded { .. } => f.write_str("[RANGE UNBOUNDED]"),
+            WindowClause::Rows { size, slide, .. } => {
+                write!(f, "[ROWS {size}")?;
+                if let Some(s) = slide {
+                    write!(f, " SLIDE {s}")?;
+                }
+                f.write_str("]")
+            }
+            WindowClause::Range { size, slide, .. } => {
+                write!(f, "[RANGE {size}")?;
+                if let Some(s) = slide {
+                    write!(f, " SLIDE {s}")?;
+                }
+                f.write_str("]")
+            }
+        }
+    }
+}
+
+/// A stream source with its optional window: `name [window]`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StreamClause {
+    /// The stream name, resolved against the catalog.
+    pub name: String,
+    /// The window clause (`None` means unbounded, as in LRB1).
+    pub window: Option<WindowClause>,
+    /// Source span (name through window).
+    pub span: Span,
+}
+
+impl fmt::Display for StreamClause {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.name)?;
+        if let Some(w) = &self.window {
+            write!(f, " {w}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Aggregate functions callable from the select list.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AggFunc {
+    /// `COUNT(*)` / `COUNT(col)` / `COUNT(DISTINCT col)`.
+    Count,
+    /// `SUM(col)`.
+    Sum,
+    /// `AVG(col)`.
+    Avg,
+    /// `MIN(col)`.
+    Min,
+    /// `MAX(col)`.
+    Max,
+}
+
+impl AggFunc {
+    /// The dialect's spelling of the function.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            AggFunc::Count => "COUNT",
+            AggFunc::Sum => "SUM",
+            AggFunc::Avg => "AVG",
+            AggFunc::Min => "MIN",
+            AggFunc::Max => "MAX",
+        }
+    }
+
+    /// Recognises an aggregate function name (case-insensitive).
+    pub fn from_name(name: &str) -> Option<AggFunc> {
+        Some(match name.to_ascii_uppercase().as_str() {
+            "COUNT" => AggFunc::Count,
+            "SUM" => AggFunc::Sum,
+            "AVG" => AggFunc::Avg,
+            "MIN" => AggFunc::Min,
+            "MAX" => AggFunc::Max,
+            _ => return None,
+        })
+    }
+}
+
+/// An aggregate call in the select list.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AggregateCall {
+    /// The aggregate function.
+    pub function: AggFunc,
+    /// True for `COUNT(DISTINCT col)`.
+    pub distinct: bool,
+    /// The aggregated column (`None` for `COUNT(*)`).
+    pub argument: Option<ColumnRef>,
+    /// Source span of the whole call.
+    pub span: Span,
+}
+
+impl fmt::Display for AggregateCall {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}(", self.function.as_str())?;
+        if self.distinct {
+            f.write_str("DISTINCT ")?;
+        }
+        match &self.argument {
+            Some(c) => write!(f, "{c}")?,
+            None => f.write_str("*")?,
+        }
+        f.write_str(")")
+    }
+}
+
+/// One item of the select list.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SelectItem {
+    /// `*` — all attributes of the (combined) input.
+    Wildcard {
+        /// Source span.
+        span: Span,
+    },
+    /// A scalar expression with an optional `AS` alias.
+    Expr {
+        /// The projected expression.
+        expr: SqlExpr,
+        /// Output attribute name override.
+        alias: Option<String>,
+        /// Source span (expression through alias).
+        span: Span,
+    },
+    /// An aggregate call with an optional `AS` alias.
+    Aggregate {
+        /// The aggregate call.
+        call: AggregateCall,
+        /// Output attribute name override.
+        alias: Option<String>,
+        /// Source span (call through alias).
+        span: Span,
+    },
+}
+
+impl SelectItem {
+    /// The source span of the item.
+    pub fn span(&self) -> Span {
+        match self {
+            SelectItem::Wildcard { span }
+            | SelectItem::Expr { span, .. }
+            | SelectItem::Aggregate { span, .. } => *span,
+        }
+    }
+}
+
+impl fmt::Display for SelectItem {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SelectItem::Wildcard { .. } => f.write_str("*"),
+            SelectItem::Expr { expr, alias, .. } => {
+                write!(f, "{expr}")?;
+                if let Some(a) = alias {
+                    write!(f, " AS {a}")?;
+                }
+                Ok(())
+            }
+            SelectItem::Aggregate { call, alias, .. } => {
+                write!(f, "{call}")?;
+                if let Some(a) = alias {
+                    write!(f, " AS {a}")?;
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+/// The relation-to-stream function named after `SELECT` (paper §2.4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EmitClause {
+    /// `ISTREAM` — emit only the delta against the previous window.
+    IStream,
+    /// `RSTREAM` — emit every window result in full.
+    RStream,
+}
+
+/// A `JOIN ... ON ...` clause (streaming θ-join, paper §3).
+#[derive(Debug, Clone, PartialEq)]
+pub struct JoinClause {
+    /// The right-hand stream with its window.
+    pub stream: StreamClause,
+    /// The join predicate over the combined schema.
+    pub on: SqlExpr,
+    /// Source span of the whole clause.
+    pub span: Span,
+}
+
+/// A complete parsed statement of the dialect.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SelectStatement {
+    /// Optional explicit relation-to-stream function.
+    pub emit: Option<EmitClause>,
+    /// The select list (never empty).
+    pub items: Vec<SelectItem>,
+    /// The (left) input stream.
+    pub from: StreamClause,
+    /// Optional θ-join with a second stream.
+    pub join: Option<JoinClause>,
+    /// Optional `WHERE` predicate.
+    pub where_clause: Option<SqlExpr>,
+    /// `GROUP BY` columns (empty when absent).
+    pub group_by: Vec<ColumnRef>,
+    /// Optional `HAVING` predicate (over the aggregation output).
+    pub having: Option<SqlExpr>,
+    /// Source span of the whole statement.
+    pub span: Span,
+}
+
+impl SelectStatement {
+    /// True if any select item is an aggregate call.
+    pub fn has_aggregates(&self) -> bool {
+        self.items
+            .iter()
+            .any(|i| matches!(i, SelectItem::Aggregate { .. }))
+    }
+
+    /// Resets every span in the tree to the empty default. Used to compare
+    /// statements structurally (e.g. pretty-print → reparse round trips,
+    /// where the re-parsed spans necessarily differ).
+    pub fn clear_spans(&mut self) {
+        fn clear_expr(e: &mut SqlExpr) {
+            match e {
+                SqlExpr::Column(c) => c.span = Span::default(),
+                SqlExpr::Number { span, .. } => *span = Span::default(),
+                SqlExpr::Unary { operand, span, .. } => {
+                    *span = Span::default();
+                    clear_expr(operand);
+                }
+                SqlExpr::Binary {
+                    left, right, span, ..
+                } => {
+                    *span = Span::default();
+                    clear_expr(left);
+                    clear_expr(right);
+                }
+            }
+        }
+        fn clear_stream(s: &mut StreamClause) {
+            s.span = Span::default();
+            if let Some(w) = &mut s.window {
+                match w {
+                    WindowClause::Unbounded { span } => *span = Span::default(),
+                    WindowClause::Rows { span, .. } => *span = Span::default(),
+                    WindowClause::Range { size, slide, span } => {
+                        *span = Span::default();
+                        size.span = Span::default();
+                        if let Some(s) = slide {
+                            s.span = Span::default();
+                        }
+                    }
+                }
+            }
+        }
+        self.span = Span::default();
+        for item in &mut self.items {
+            match item {
+                SelectItem::Wildcard { span } => *span = Span::default(),
+                SelectItem::Expr { expr, span, .. } => {
+                    *span = Span::default();
+                    clear_expr(expr);
+                }
+                SelectItem::Aggregate { call, span, .. } => {
+                    *span = Span::default();
+                    call.span = Span::default();
+                    if let Some(arg) = &mut call.argument {
+                        arg.span = Span::default();
+                    }
+                }
+            }
+        }
+        clear_stream(&mut self.from);
+        if let Some(j) = &mut self.join {
+            j.span = Span::default();
+            clear_stream(&mut j.stream);
+            clear_expr(&mut j.on);
+        }
+        if let Some(w) = &mut self.where_clause {
+            clear_expr(w);
+        }
+        for g in &mut self.group_by {
+            g.span = Span::default();
+        }
+        if let Some(h) = &mut self.having {
+            clear_expr(h);
+        }
+    }
+}
+
+impl fmt::Display for SelectStatement {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("SELECT ")?;
+        match self.emit {
+            Some(EmitClause::IStream) => f.write_str("ISTREAM ")?,
+            Some(EmitClause::RStream) => f.write_str("RSTREAM ")?,
+            None => {}
+        }
+        for (i, item) in self.items.iter().enumerate() {
+            if i > 0 {
+                f.write_str(", ")?;
+            }
+            write!(f, "{item}")?;
+        }
+        write!(f, " FROM {}", self.from)?;
+        if let Some(j) = &self.join {
+            write!(f, " JOIN {} ON {}", j.stream, j.on)?;
+        }
+        if let Some(w) = &self.where_clause {
+            write!(f, " WHERE {w}")?;
+        }
+        if !self.group_by.is_empty() {
+            f.write_str(" GROUP BY ")?;
+            for (i, g) in self.group_by.iter().enumerate() {
+                if i > 0 {
+                    f.write_str(", ")?;
+                }
+                write!(f, "{g}")?;
+            }
+        }
+        if let Some(h) = &self.having {
+            write!(f, " HAVING {h}")?;
+        }
+        Ok(())
+    }
+}

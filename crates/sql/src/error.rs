@@ -1,0 +1,192 @@
+//! Parse and planning errors with precise source spans.
+//!
+//! Every error produced by the SQL frontend — lexing, parsing, name
+//! resolution and type checking — carries the byte [`Span`] of the offending
+//! text. [`ParseError`] keeps a copy of the source so its [`Display`]
+//! implementation can render a compiler-style caret diagnostic:
+//!
+//! ```text
+//! error: unknown attribute `vlaue` in stream `SmartGridStr`
+//!   |
+//! 1 | SELECT AVG(vlaue) FROM SmartGridStr [RANGE 3600 SLIDE 1]
+//!   |            ^^^^^
+//! ```
+//!
+//! [`Display`]: std::fmt::Display
+
+use saber_types::SaberError;
+use std::fmt;
+
+/// A half-open byte range `[start, end)` into the SQL source text.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Span {
+    /// Byte offset of the first character.
+    pub start: usize,
+    /// Byte offset one past the last character.
+    pub end: usize,
+}
+
+impl Span {
+    /// A span covering `[start, end)`.
+    pub fn new(start: usize, end: usize) -> Self {
+        Self { start, end }
+    }
+
+    /// The smallest span covering both `self` and `other`.
+    pub fn merge(self, other: Span) -> Span {
+        Span {
+            start: self.start.min(other.start),
+            end: self.end.max(other.end),
+        }
+    }
+
+    /// True if the span covers no text (synthetic nodes).
+    pub fn is_empty(&self) -> bool {
+        self.start >= self.end
+    }
+}
+
+/// An error from the SQL frontend, annotated with the source location.
+///
+/// The error remembers the full query text, so [`fmt::Display`] renders the
+/// offending line with a caret under the exact span. Use [`ParseError::line`]
+/// / [`ParseError::column`] for 1-based positions and
+/// [`ParseError::message`] for the bare description.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    message: String,
+    span: Span,
+    source: String,
+}
+
+impl ParseError {
+    /// Creates an error for `span` of `source`.
+    pub fn new(message: impl Into<String>, span: Span, source: impl Into<String>) -> Self {
+        Self {
+            message: message.into(),
+            span,
+            source: source.into(),
+        }
+    }
+
+    /// The bare error description (no location information).
+    pub fn message(&self) -> &str {
+        &self.message
+    }
+
+    /// The byte span of the offending text.
+    pub fn span(&self) -> Span {
+        self.span
+    }
+
+    /// The SQL text the error refers to.
+    pub fn source(&self) -> &str {
+        &self.source
+    }
+
+    /// 1-based line of the span start.
+    pub fn line(&self) -> usize {
+        self.source[..self.span.start.min(self.source.len())]
+            .bytes()
+            .filter(|&b| b == b'\n')
+            .count()
+            + 1
+    }
+
+    /// 1-based column (in bytes) of the span start within its line.
+    pub fn column(&self) -> usize {
+        let upto = &self.source[..self.span.start.min(self.source.len())];
+        upto.len() - upto.rfind('\n').map(|p| p + 1).unwrap_or(0) + 1
+    }
+
+    /// The source line containing the span start (without the newline).
+    fn source_line(&self) -> &str {
+        let start = self.span.start.min(self.source.len());
+        let line_start = self.source[..start].rfind('\n').map(|p| p + 1).unwrap_or(0);
+        let line_end = self.source[line_start..]
+            .find('\n')
+            .map(|p| line_start + p)
+            .unwrap_or(self.source.len());
+        &self.source[line_start..line_end]
+    }
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "error: {}", self.message)?;
+        let line_no = self.line();
+        let gutter = line_no.to_string().len();
+        let line = self.source_line();
+        writeln!(f, "{:gutter$} |", "")?;
+        writeln!(f, "{line_no} | {line}")?;
+        let col = self.column();
+        let width = (self.span.end - self.span.start)
+            .max(1)
+            .min(line.len().saturating_sub(col.saturating_sub(1)).max(1));
+        write!(
+            f,
+            "{:gutter$} | {:>pad$}{}",
+            "",
+            "",
+            "^".repeat(width),
+            pad = col.saturating_sub(1)
+        )
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+impl From<ParseError> for SaberError {
+    fn from(err: ParseError) -> Self {
+        SaberError::Query(format!(
+            "SQL {} (line {}, column {})",
+            err.message(),
+            err.line(),
+            err.column()
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spans_merge_and_report_emptiness() {
+        let a = Span::new(2, 5);
+        let b = Span::new(4, 9);
+        assert_eq!(a.merge(b), Span::new(2, 9));
+        assert!(Span::new(3, 3).is_empty());
+        assert!(!a.is_empty());
+    }
+
+    #[test]
+    fn line_and_column_are_one_based() {
+        let src = "SELECT *\nFROM s [ROWS 0]";
+        let err = ParseError::new("window size must be positive", Span::new(22, 23), src);
+        assert_eq!(err.line(), 2);
+        assert_eq!(err.column(), 14);
+    }
+
+    #[test]
+    fn display_renders_a_caret_under_the_span() {
+        let src = "SELECT AVG(vlaue) FROM S";
+        let err = ParseError::new("unknown attribute `vlaue`", Span::new(11, 16), src);
+        let text = err.to_string();
+        assert!(text.contains("error: unknown attribute `vlaue`"));
+        assert!(text.contains("SELECT AVG(vlaue) FROM S"));
+        assert!(text.contains("^^^^^"));
+        // The caret is aligned under the attribute.
+        let caret_line = text.lines().last().unwrap();
+        assert_eq!(caret_line.find('^').unwrap(), "1 | ".len() + 11);
+    }
+
+    #[test]
+    fn conversion_to_saber_error_keeps_the_location() {
+        let src = "SELECT x FROM s";
+        let err = ParseError::new("unknown attribute `x`", Span::new(7, 8), src);
+        let saber: SaberError = err.into();
+        assert_eq!(saber.category(), "query");
+        assert!(saber.message().contains("line 1, column 8"));
+    }
+}

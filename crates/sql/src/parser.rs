@@ -1,0 +1,829 @@
+//! Recursive-descent parser for the SABER SQL dialect.
+//!
+//! The grammar (see `docs/sql.md` for the full reference):
+//!
+//! ```text
+//! statement  := SELECT [ISTREAM | RSTREAM] select_list
+//!               FROM stream [JOIN stream ON expr]
+//!               [WHERE expr] [GROUP BY column (',' column)*] [HAVING expr] [';']
+//! select_list:= item (',' item)*
+//! item       := '*' | aggregate [AS ident] | expr [AS ident]
+//! aggregate  := (COUNT|SUM|AVG|MIN|MAX) '(' ('*' | [DISTINCT] column) ')'
+//! stream     := ident ['[' window ']']
+//! window     := ROWS int [SLIDE int]
+//!             | RANGE (UNBOUNDED | duration [SLIDE duration])
+//! duration   := number [MS | SECONDS | MINUTES | HOURS]       -- default SECONDS
+//! column     := ident ['.' ident]
+//! ```
+//!
+//! Expressions use precedence climbing: `OR < AND < NOT < comparison <
+//! additive < multiplicative < unary minus`. Aggregate calls are recognised
+//! only at the top of select-list items; anywhere else a call syntax is a
+//! parse error with a helpful message.
+
+use crate::ast::{
+    AggFunc, AggregateCall, BinOp, ColumnRef, Duration, EmitClause, JoinClause, SelectItem,
+    SelectStatement, SqlExpr, StreamClause, TimeUnit, UnaryOp, WindowClause,
+};
+use crate::error::{ParseError, Span};
+use crate::token::{tokenize, Keyword, Token, TokenKind};
+
+/// Parses one statement of the dialect into its AST.
+///
+/// ```
+/// let stmt = saber_sql::parse(
+///     "SELECT timestamp, AVG(value) AS avgLoad \
+///      FROM SmartGridStr [RANGE 3600 SLIDE 1] GROUP BY plug",
+/// )
+/// .unwrap();
+/// assert!(stmt.has_aggregates());
+/// assert_eq!(stmt.from.name, "SmartGridStr");
+/// ```
+pub fn parse(source: &str) -> Result<SelectStatement, ParseError> {
+    let tokens = tokenize(source)?;
+    let mut parser = Parser {
+        source,
+        tokens,
+        pos: 0,
+    };
+    let stmt = parser.statement()?;
+    parser.expect_eof()?;
+    Ok(stmt)
+}
+
+struct Parser<'a> {
+    source: &'a str,
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn peek(&self) -> &Token {
+        &self.tokens[self.pos]
+    }
+
+    fn peek_kind(&self) -> &TokenKind {
+        &self.tokens[self.pos].kind
+    }
+
+    fn advance(&mut self) -> Token {
+        let t = self.tokens[self.pos].clone();
+        if self.pos + 1 < self.tokens.len() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn error(&self, message: impl Into<String>, span: Span) -> ParseError {
+        ParseError::new(message, span, self.source)
+    }
+
+    fn eat_keyword(&mut self, kw: Keyword) -> bool {
+        if self.peek_kind() == &TokenKind::Keyword(kw) {
+            self.advance();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_keyword(&mut self, kw: Keyword) -> Result<Token, ParseError> {
+        if self.peek_kind() == &TokenKind::Keyword(kw) {
+            Ok(self.advance())
+        } else {
+            let t = self.peek().clone();
+            Err(self.error(
+                format!("expected `{}`, found {}", kw.as_str(), describe(&t.kind)),
+                t.span,
+            ))
+        }
+    }
+
+    fn expect(&mut self, kind: TokenKind, what: &str) -> Result<Token, ParseError> {
+        if self.peek_kind() == &kind {
+            Ok(self.advance())
+        } else {
+            let t = self.peek().clone();
+            Err(self.error(
+                format!("expected {what}, found {}", describe(&t.kind)),
+                t.span,
+            ))
+        }
+    }
+
+    fn expect_ident(&mut self, what: &str) -> Result<(String, Span), ParseError> {
+        match self.peek_kind().clone() {
+            TokenKind::Ident(name) => {
+                let t = self.advance();
+                Ok((name, t.span))
+            }
+            other => {
+                let span = self.peek().span;
+                Err(self.error(format!("expected {what}, found {}", describe(&other)), span))
+            }
+        }
+    }
+
+    fn expect_eof(&mut self) -> Result<(), ParseError> {
+        // Allow a single trailing semicolon.
+        if self.peek_kind() == &TokenKind::Semicolon {
+            self.advance();
+        }
+        match self.peek_kind() {
+            TokenKind::Eof => Ok(()),
+            other => {
+                let span = self.peek().span;
+                Err(self.error(
+                    format!("expected end of statement, found {}", describe(other)),
+                    span,
+                ))
+            }
+        }
+    }
+
+    fn statement(&mut self) -> Result<SelectStatement, ParseError> {
+        let start = self.expect_keyword(Keyword::Select)?.span;
+        let emit = if self.eat_keyword(Keyword::IStream) {
+            Some(EmitClause::IStream)
+        } else if self.eat_keyword(Keyword::RStream) {
+            Some(EmitClause::RStream)
+        } else {
+            None
+        };
+
+        let mut items = vec![self.select_item()?];
+        while self.peek_kind() == &TokenKind::Comma {
+            self.advance();
+            items.push(self.select_item()?);
+        }
+
+        self.expect_keyword(Keyword::From)?;
+        let from = self.stream_clause()?;
+
+        let join = if self.peek_kind() == &TokenKind::Keyword(Keyword::Join) {
+            let jstart = self.advance().span;
+            let stream = self.stream_clause()?;
+            self.expect_keyword(Keyword::On)?;
+            let on = self.expr()?;
+            let span = jstart.merge(on.span());
+            Some(JoinClause { stream, on, span })
+        } else {
+            None
+        };
+
+        let where_clause = if self.eat_keyword(Keyword::Where) {
+            Some(self.expr()?)
+        } else {
+            None
+        };
+
+        let mut group_by = Vec::new();
+        if self.peek_kind() == &TokenKind::Keyword(Keyword::Group) {
+            self.advance();
+            self.expect_keyword(Keyword::By)?;
+            group_by.push(self.column_ref()?);
+            while self.peek_kind() == &TokenKind::Comma {
+                self.advance();
+                group_by.push(self.column_ref()?);
+            }
+        }
+
+        let having = if self.eat_keyword(Keyword::Having) {
+            Some(self.expr()?)
+        } else {
+            None
+        };
+
+        let end = self.tokens[self.pos.saturating_sub(1)].span;
+        Ok(SelectStatement {
+            emit,
+            items,
+            from,
+            join,
+            where_clause,
+            group_by,
+            having,
+            span: start.merge(end),
+        })
+    }
+
+    fn select_item(&mut self) -> Result<SelectItem, ParseError> {
+        if self.peek_kind() == &TokenKind::Star {
+            let span = self.advance().span;
+            return Ok(SelectItem::Wildcard { span });
+        }
+        // An aggregate call: a known function name followed by `(`.
+        if let TokenKind::Ident(name) = self.peek_kind() {
+            if let Some(function) = AggFunc::from_name(name) {
+                if self.tokens.get(self.pos + 1).map(|t| &t.kind) == Some(&TokenKind::LeftParen) {
+                    let call = self.aggregate_call(function)?;
+                    let (alias, alias_span) = self.alias()?;
+                    let span = match alias_span {
+                        Some(s) => call.span.merge(s),
+                        None => call.span,
+                    };
+                    return Ok(SelectItem::Aggregate { call, alias, span });
+                }
+            }
+        }
+        let expr = self.expr()?;
+        let (alias, alias_span) = self.alias()?;
+        let span = match alias_span {
+            Some(s) => expr.span().merge(s),
+            None => expr.span(),
+        };
+        Ok(SelectItem::Expr { expr, alias, span })
+    }
+
+    fn alias(&mut self) -> Result<(Option<String>, Option<Span>), ParseError> {
+        if self.eat_keyword(Keyword::As) {
+            let (name, span) = self.expect_ident("an output attribute name after `AS`")?;
+            Ok((Some(name), Some(span)))
+        } else {
+            Ok((None, None))
+        }
+    }
+
+    fn aggregate_call(&mut self, function: AggFunc) -> Result<AggregateCall, ParseError> {
+        let start = self.advance().span; // function name
+        self.expect(TokenKind::LeftParen, "`(`")?;
+        let distinct = self.eat_keyword(Keyword::Distinct);
+        if distinct && function != AggFunc::Count {
+            let span = self.tokens[self.pos - 1].span;
+            return Err(self.error("DISTINCT is only supported with COUNT", span));
+        }
+        // The grammar requires `*` or a column — empty parentheses are a
+        // typo, not an implicit COUNT(*).
+        let argument = if self.peek_kind() == &TokenKind::Star {
+            let star = self.advance();
+            if function != AggFunc::Count {
+                return Err(self.error(
+                    format!("{}(*) is not valid; name a column", function.as_str()),
+                    star.span,
+                ));
+            }
+            None
+        } else if matches!(self.peek_kind(), TokenKind::RightParen) && !distinct {
+            let span = self.peek().span;
+            let expected = if function == AggFunc::Count {
+                "`*` or a column"
+            } else {
+                "a column"
+            };
+            return Err(self.error(
+                format!("{} requires {expected} as its argument", function.as_str()),
+                span,
+            ));
+        } else {
+            Some(self.column_ref()?)
+        };
+        let end = self.expect(TokenKind::RightParen, "`)`")?.span;
+        Ok(AggregateCall {
+            function,
+            distinct,
+            argument,
+            span: start.merge(end),
+        })
+    }
+
+    fn stream_clause(&mut self) -> Result<StreamClause, ParseError> {
+        let (name, start) = self.expect_ident("a stream name")?;
+        let window = if self.peek_kind() == &TokenKind::LeftBracket {
+            Some(self.window_clause()?)
+        } else {
+            None
+        };
+        let span = match &window {
+            Some(w) => start.merge(w.span()),
+            None => start,
+        };
+        Ok(StreamClause { name, window, span })
+    }
+
+    fn window_clause(&mut self) -> Result<WindowClause, ParseError> {
+        let start = self.expect(TokenKind::LeftBracket, "`[`")?.span;
+        let clause = if self.eat_keyword(Keyword::Rows) {
+            let size = self.integer("a window size in rows")?;
+            let slide = if self.eat_keyword(Keyword::Slide) {
+                Some(self.integer("a window slide in rows")?)
+            } else {
+                None
+            };
+            let end = self.expect(TokenKind::RightBracket, "`]`")?.span;
+            WindowClause::Rows {
+                size,
+                slide,
+                span: start.merge(end),
+            }
+        } else if self.eat_keyword(Keyword::Range) {
+            if self.eat_keyword(Keyword::Unbounded) {
+                let end = self.expect(TokenKind::RightBracket, "`]`")?.span;
+                WindowClause::Unbounded {
+                    span: start.merge(end),
+                }
+            } else {
+                let size = self.duration("a window size duration")?;
+                let slide = if self.eat_keyword(Keyword::Slide) {
+                    Some(self.duration("a window slide duration")?)
+                } else {
+                    None
+                };
+                let end = self.expect(TokenKind::RightBracket, "`]`")?.span;
+                WindowClause::Range {
+                    size,
+                    slide,
+                    span: start.merge(end),
+                }
+            }
+        } else {
+            let t = self.peek().clone();
+            return Err(self.error(
+                format!(
+                    "expected `ROWS` or `RANGE` in window clause, found {}",
+                    describe(&t.kind)
+                ),
+                t.span,
+            ));
+        };
+        Ok(clause)
+    }
+
+    fn integer(&mut self, what: &str) -> Result<u64, ParseError> {
+        match *self.peek_kind() {
+            TokenKind::Number(v) => {
+                let t = self.advance();
+                if v < 0.0 || v.fract() != 0.0 || v > u64::MAX as f64 {
+                    Err(self.error(format!("expected {what} (a non-negative integer)"), t.span))
+                } else {
+                    Ok(v as u64)
+                }
+            }
+            _ => {
+                let t = self.peek().clone();
+                Err(self.error(
+                    format!("expected {what}, found {}", describe(&t.kind)),
+                    t.span,
+                ))
+            }
+        }
+    }
+
+    fn duration(&mut self, what: &str) -> Result<Duration, ParseError> {
+        match *self.peek_kind() {
+            TokenKind::Number(value) => {
+                let t = self.advance();
+                if value < 0.0 {
+                    return Err(self.error(format!("expected {what} (non-negative)"), t.span));
+                }
+                let (unit, end) = match self.peek_kind() {
+                    TokenKind::Keyword(Keyword::Ms) => {
+                        (TimeUnit::Milliseconds, self.advance().span)
+                    }
+                    TokenKind::Keyword(Keyword::Seconds) => {
+                        (TimeUnit::Seconds, self.advance().span)
+                    }
+                    TokenKind::Keyword(Keyword::Minutes) => {
+                        (TimeUnit::Minutes, self.advance().span)
+                    }
+                    TokenKind::Keyword(Keyword::Hours) => (TimeUnit::Hours, self.advance().span),
+                    _ => (TimeUnit::Seconds, t.span),
+                };
+                Ok(Duration {
+                    value,
+                    unit,
+                    span: t.span.merge(end),
+                })
+            }
+            _ => {
+                let t = self.peek().clone();
+                Err(self.error(
+                    format!("expected {what}, found {}", describe(&t.kind)),
+                    t.span,
+                ))
+            }
+        }
+    }
+
+    fn column_ref(&mut self) -> Result<ColumnRef, ParseError> {
+        let (first, start) = self.expect_ident("an attribute name")?;
+        if self.peek_kind() == &TokenKind::Dot {
+            self.advance();
+            let (name, end) = self.expect_ident("an attribute name after `.`")?;
+            Ok(ColumnRef {
+                qualifier: Some(first),
+                name,
+                span: start.merge(end),
+            })
+        } else {
+            Ok(ColumnRef {
+                qualifier: None,
+                name: first,
+                span: start,
+            })
+        }
+    }
+
+    // ---- expressions (precedence climbing) ----
+
+    fn expr(&mut self) -> Result<SqlExpr, ParseError> {
+        self.or_expr()
+    }
+
+    fn or_expr(&mut self) -> Result<SqlExpr, ParseError> {
+        let mut left = self.and_expr()?;
+        while self.peek_kind() == &TokenKind::Keyword(Keyword::Or) {
+            self.advance();
+            let right = self.and_expr()?;
+            let span = left.span().merge(right.span());
+            left = SqlExpr::Binary {
+                op: BinOp::Or,
+                left: Box::new(left),
+                right: Box::new(right),
+                span,
+            };
+        }
+        Ok(left)
+    }
+
+    fn and_expr(&mut self) -> Result<SqlExpr, ParseError> {
+        let mut left = self.not_expr()?;
+        while self.peek_kind() == &TokenKind::Keyword(Keyword::And) {
+            self.advance();
+            let right = self.not_expr()?;
+            let span = left.span().merge(right.span());
+            left = SqlExpr::Binary {
+                op: BinOp::And,
+                left: Box::new(left),
+                right: Box::new(right),
+                span,
+            };
+        }
+        Ok(left)
+    }
+
+    fn not_expr(&mut self) -> Result<SqlExpr, ParseError> {
+        if self.peek_kind() == &TokenKind::Keyword(Keyword::Not) {
+            let start = self.advance().span;
+            let operand = self.not_expr()?;
+            let span = start.merge(operand.span());
+            Ok(SqlExpr::Unary {
+                op: UnaryOp::Not,
+                operand: Box::new(operand),
+                span,
+            })
+        } else {
+            self.comparison()
+        }
+    }
+
+    fn comparison_op(&self) -> Option<BinOp> {
+        match self.peek_kind() {
+            TokenKind::Eq => Some(BinOp::Eq),
+            TokenKind::Ne => Some(BinOp::Ne),
+            TokenKind::Lt => Some(BinOp::Lt),
+            TokenKind::Le => Some(BinOp::Le),
+            TokenKind::Gt => Some(BinOp::Gt),
+            TokenKind::Ge => Some(BinOp::Ge),
+            _ => None,
+        }
+    }
+
+    fn comparison(&mut self) -> Result<SqlExpr, ParseError> {
+        let left = self.additive()?;
+        let Some(op) = self.comparison_op() else {
+            return Ok(left);
+        };
+        self.advance();
+        let right = self.additive()?;
+        let span = left.span().merge(right.span());
+        // Comparisons are non-associative: `0 < a1 < 0.1` would evaluate the
+        // inner comparison to 0/1 and compare *that* — almost never what the
+        // author meant — so chaining is a parse error, not a silent footgun.
+        if self.comparison_op().is_some() {
+            let t = self.peek().clone();
+            return Err(self.error(
+                "comparisons cannot be chained: write `a < b AND b < c`, or \
+                 parenthesise one side if the 0/1 result is really intended",
+                t.span,
+            ));
+        }
+        Ok(SqlExpr::Binary {
+            op,
+            left: Box::new(left),
+            right: Box::new(right),
+            span,
+        })
+    }
+
+    fn additive(&mut self) -> Result<SqlExpr, ParseError> {
+        let mut left = self.multiplicative()?;
+        loop {
+            let op = match self.peek_kind() {
+                TokenKind::Plus => BinOp::Add,
+                TokenKind::Minus => BinOp::Sub,
+                _ => break,
+            };
+            self.advance();
+            let right = self.multiplicative()?;
+            let span = left.span().merge(right.span());
+            left = SqlExpr::Binary {
+                op,
+                left: Box::new(left),
+                right: Box::new(right),
+                span,
+            };
+        }
+        Ok(left)
+    }
+
+    fn multiplicative(&mut self) -> Result<SqlExpr, ParseError> {
+        let mut left = self.unary()?;
+        loop {
+            let op = match self.peek_kind() {
+                TokenKind::Star => BinOp::Mul,
+                TokenKind::Slash => BinOp::Div,
+                TokenKind::Percent => BinOp::Mod,
+                _ => break,
+            };
+            self.advance();
+            let right = self.unary()?;
+            let span = left.span().merge(right.span());
+            left = SqlExpr::Binary {
+                op,
+                left: Box::new(left),
+                right: Box::new(right),
+                span,
+            };
+        }
+        Ok(left)
+    }
+
+    fn unary(&mut self) -> Result<SqlExpr, ParseError> {
+        if self.peek_kind() == &TokenKind::Minus {
+            let start = self.advance().span;
+            let operand = self.unary()?;
+            let span = start.merge(operand.span());
+            Ok(SqlExpr::Unary {
+                op: UnaryOp::Neg,
+                operand: Box::new(operand),
+                span,
+            })
+        } else {
+            self.primary()
+        }
+    }
+
+    fn primary(&mut self) -> Result<SqlExpr, ParseError> {
+        match self.peek_kind().clone() {
+            TokenKind::Number(value) => {
+                let t = self.advance();
+                Ok(SqlExpr::Number {
+                    value,
+                    span: t.span,
+                })
+            }
+            TokenKind::LeftParen => {
+                self.advance();
+                let inner = self.expr()?;
+                self.expect(TokenKind::RightParen, "`)`")?;
+                Ok(inner)
+            }
+            TokenKind::Ident(name) => {
+                // Reject call syntax outside the select list with a hint.
+                if self.tokens.get(self.pos + 1).map(|t| &t.kind) == Some(&TokenKind::LeftParen) {
+                    let t = self.peek().clone();
+                    let hint = if AggFunc::from_name(&name).is_some() {
+                        "aggregate calls are only allowed at the top of select-list items"
+                    } else {
+                        "function calls are not supported"
+                    };
+                    return Err(self.error(format!("unexpected call to `{name}`: {hint}"), t.span));
+                }
+                Ok(SqlExpr::Column(self.column_ref()?))
+            }
+            other => {
+                let span = self.peek().span;
+                Err(self.error(
+                    format!("expected an expression, found {}", describe(&other)),
+                    span,
+                ))
+            }
+        }
+    }
+}
+
+/// Human-readable description of a token kind for error messages.
+fn describe(kind: &TokenKind) -> String {
+    match kind {
+        TokenKind::Keyword(k) => format!("keyword `{}`", k.as_str()),
+        TokenKind::Ident(name) => format!("identifier `{name}`"),
+        TokenKind::Number(v) => format!("number `{v}`"),
+        TokenKind::Eof => "end of input".to_string(),
+        TokenKind::LeftParen => "`(`".to_string(),
+        TokenKind::RightParen => "`)`".to_string(),
+        TokenKind::LeftBracket => "`[`".to_string(),
+        TokenKind::RightBracket => "`]`".to_string(),
+        TokenKind::Comma => "`,`".to_string(),
+        TokenKind::Dot => "`.`".to_string(),
+        TokenKind::Star => "`*`".to_string(),
+        TokenKind::Slash => "`/`".to_string(),
+        TokenKind::Percent => "`%`".to_string(),
+        TokenKind::Plus => "`+`".to_string(),
+        TokenKind::Minus => "`-`".to_string(),
+        TokenKind::Eq => "`=`".to_string(),
+        TokenKind::Ne => "`!=`".to_string(),
+        TokenKind::Lt => "`<`".to_string(),
+        TokenKind::Le => "`<=`".to_string(),
+        TokenKind::Gt => "`>`".to_string(),
+        TokenKind::Ge => "`>=`".to_string(),
+        TokenKind::Semicolon => "`;`".to_string(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_a_minimal_selection() {
+        let stmt = parse("SELECT * FROM Syn [ROWS 1024] WHERE a1 > 0.5").unwrap();
+        assert_eq!(stmt.items.len(), 1);
+        assert!(matches!(stmt.items[0], SelectItem::Wildcard { .. }));
+        assert_eq!(stmt.from.name, "Syn");
+        assert!(matches!(
+            stmt.from.window,
+            Some(WindowClause::Rows {
+                size: 1024,
+                slide: None,
+                ..
+            })
+        ));
+        assert!(stmt.where_clause.is_some());
+        assert!(!stmt.has_aggregates());
+    }
+
+    #[test]
+    fn parses_aggregates_with_group_by_and_having() {
+        let stmt = parse(
+            "SELECT timestamp, highway, AVG(speed) AS avgSpeed \
+             FROM SegSpeedStr [RANGE 300 SLIDE 1] \
+             GROUP BY highway HAVING avgSpeed < 40",
+        )
+        .unwrap();
+        assert!(stmt.has_aggregates());
+        assert_eq!(stmt.group_by.len(), 1);
+        assert_eq!(stmt.group_by[0].name, "highway");
+        assert!(stmt.having.is_some());
+        match &stmt.items[2] {
+            SelectItem::Aggregate { call, alias, .. } => {
+                assert_eq!(call.function, AggFunc::Avg);
+                assert_eq!(alias.as_deref(), Some("avgSpeed"));
+            }
+            other => panic!("expected aggregate, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_count_star_and_count_distinct() {
+        let stmt = parse("SELECT COUNT(*), COUNT(DISTINCT vehicle) FROM S [ROWS 4]").unwrap();
+        match (&stmt.items[0], &stmt.items[1]) {
+            (SelectItem::Aggregate { call: a, .. }, SelectItem::Aggregate { call: b, .. }) => {
+                assert!(a.argument.is_none() && !a.distinct);
+                assert!(b.argument.is_some() && b.distinct);
+            }
+            other => panic!("expected aggregates, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_joins_with_qualified_columns() {
+        let stmt = parse(
+            "SELECT L.timestamp, house FROM L [RANGE 1 SLIDE 1] \
+             JOIN G [RANGE 1 SLIDE 1] ON L.timestamp = G.timestamp AND load > globalLoad",
+        )
+        .unwrap();
+        let join = stmt.join.unwrap();
+        assert_eq!(join.stream.name, "G");
+        assert!(matches!(join.on, SqlExpr::Binary { op: BinOp::And, .. }));
+    }
+
+    #[test]
+    fn window_units_and_unbounded() {
+        let stmt = parse("SELECT * FROM S [RANGE 2 MINUTES SLIDE 500 MS] WHERE x = 1").unwrap();
+        match stmt.from.window.unwrap() {
+            WindowClause::Range { size, slide, .. } => {
+                assert_eq!(size.as_millis(), 120_000);
+                assert_eq!(slide.unwrap().as_millis(), 500);
+            }
+            other => panic!("expected range window, got {other:?}"),
+        }
+        let stmt = parse("SELECT * FROM S [RANGE UNBOUNDED] WHERE x = 1").unwrap();
+        assert!(matches!(
+            stmt.from.window,
+            Some(WindowClause::Unbounded { .. })
+        ));
+    }
+
+    #[test]
+    fn expression_precedence_is_conventional() {
+        let stmt = parse("SELECT a + b * c - d FROM S [ROWS 1]").unwrap();
+        // a + (b*c) first, then - d: ((a + b*c) - d)
+        match &stmt.items[0] {
+            SelectItem::Expr { expr, .. } => {
+                let printed = format!("{expr}");
+                assert_eq!(printed, "a + b * c - d");
+                match expr {
+                    SqlExpr::Binary {
+                        op: BinOp::Sub,
+                        left,
+                        ..
+                    } => match left.as_ref() {
+                        SqlExpr::Binary {
+                            op: BinOp::Add,
+                            right,
+                            ..
+                        } => {
+                            assert!(matches!(
+                                right.as_ref(),
+                                SqlExpr::Binary { op: BinOp::Mul, .. }
+                            ));
+                        }
+                        other => panic!("expected add, got {other:?}"),
+                    },
+                    other => panic!("expected sub at the root, got {other:?}"),
+                }
+            }
+            other => panic!("expected expression, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn istream_and_rstream_are_recognised() {
+        let stmt = parse("SELECT ISTREAM * FROM S [ROWS 4] WHERE x = 1").unwrap();
+        assert_eq!(stmt.emit, Some(EmitClause::IStream));
+        let stmt = parse("SELECT RSTREAM x FROM S [ROWS 4]").unwrap();
+        assert_eq!(stmt.emit, Some(EmitClause::RStream));
+    }
+
+    #[test]
+    fn trailing_semicolon_is_accepted() {
+        assert!(parse("SELECT x FROM S [ROWS 4];").is_ok());
+        assert!(parse("SELECT x FROM S [ROWS 4]; SELECT").is_err());
+    }
+
+    #[test]
+    fn error_spans_point_at_the_problem() {
+        let err = parse("SELECT FROM S").unwrap_err();
+        assert_eq!(&"SELECT FROM S"[err.span().start..err.span().end], "FROM");
+
+        let err = parse("SELECT x ROM S").unwrap_err();
+        assert_eq!(&"SELECT x ROM S"[err.span().start..err.span().end], "ROM");
+
+        let err = parse("SELECT x FROM S [ROWS 0.5]").unwrap_err();
+        assert!(err.message().contains("integer"));
+
+        let err = parse("SELECT SUM(*) FROM S [ROWS 4]").unwrap_err();
+        assert!(err.message().contains("name a column"));
+
+        let err = parse("SELECT AVG(DISTINCT x) FROM S [ROWS 4]").unwrap_err();
+        assert!(err.message().contains("DISTINCT"));
+
+        let err = parse("SELECT x FROM S [ROWS 4] WHERE AVG(x) > 1").unwrap_err();
+        assert!(err.message().contains("select-list"));
+    }
+
+    #[test]
+    fn chained_comparisons_are_rejected_with_a_hint() {
+        let err = parse("SELECT * FROM S [ROWS 4] WHERE 0 < a1 < 0.1").unwrap_err();
+        assert!(err.message().contains("cannot be chained"));
+        // The span points at the second comparison operator.
+        let src = "SELECT * FROM S [ROWS 4] WHERE 0 < a1 < 0.1";
+        assert_eq!(&src[err.span().start..err.span().end], "<");
+        assert_eq!(err.column(), 39);
+        // Parenthesised forms stay legal for the rare intentional use.
+        assert!(parse("SELECT * FROM S [ROWS 4] WHERE (0 < a1) < 0.1").is_ok());
+        assert!(parse("SELECT * FROM S [ROWS 4] WHERE 0 < a1 AND a1 < 0.1").is_ok());
+    }
+
+    #[test]
+    fn not_and_unary_minus_bind_correctly() {
+        let stmt = parse("SELECT * FROM S [ROWS 1] WHERE NOT a > 1 AND b < -2").unwrap();
+        // NOT (a > 1) AND (b < -2): AND at the root.
+        match stmt.where_clause.unwrap() {
+            SqlExpr::Binary {
+                op: BinOp::And,
+                left,
+                ..
+            } => {
+                assert!(matches!(
+                    left.as_ref(),
+                    SqlExpr::Unary {
+                        op: UnaryOp::Not,
+                        ..
+                    }
+                ));
+            }
+            other => panic!("expected AND at root, got {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,827 @@
+//! Compiles a parsed [`SelectStatement`] into the engine's [`Query`] IR.
+//!
+//! Planning is schema-aware: stream names resolve against a [`Catalog`],
+//! attribute names resolve against the streams' [`Schema`]s (qualified
+//! references disambiguate join sides), and every name-resolution or shape
+//! error is reported as a [`ParseError`] carrying the span of the offending
+//! AST node.
+//!
+//! The planner targets the pipeline shapes the engine executes (paper §3):
+//! an optional θ-join first, then stateless selection/projection, then an
+//! optional terminal aggregation with GROUP BY / HAVING. The aggregation
+//! output layout is fixed by the engine — `timestamp, <group-by columns>,
+//! <aggregates>` — so the planner checks that the select list matches that
+//! layout instead of silently reordering attributes.
+
+use crate::ast::{
+    AggFunc, AggregateCall, BinOp, ColumnRef, EmitClause, SelectItem, SelectStatement, SqlExpr,
+    StreamClause, UnaryOp, WindowClause,
+};
+use crate::error::{ParseError, Span};
+use saber_query::aggregate::{AggregateFunction, AggregateSpec};
+use saber_query::{Expr, Query, QueryBuilder, StreamFunction, WindowSpec};
+use saber_types::schema::SchemaRef;
+use saber_types::Schema;
+
+/// Maps stream names to their schemas.
+///
+/// The engine itself is schema-per-query; the catalog exists so SQL text can
+/// refer to streams by name. Names are case-sensitive.
+///
+/// ```
+/// use saber_sql::Catalog;
+/// use saber_types::{DataType, Schema};
+///
+/// let schema = Schema::from_pairs(&[
+///     ("timestamp", DataType::Timestamp),
+///     ("value", DataType::Float),
+/// ])
+/// .unwrap()
+/// .into_ref();
+/// let catalog = Catalog::new().with_stream("Readings", schema);
+/// assert!(catalog.get("Readings").is_some());
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Catalog {
+    streams: Vec<(String, SchemaRef)>,
+}
+
+impl Catalog {
+    /// An empty catalog.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers (or replaces) a stream, consuming and returning the catalog
+    /// for chaining.
+    pub fn with_stream(mut self, name: impl Into<String>, schema: SchemaRef) -> Self {
+        self.register(name, schema);
+        self
+    }
+
+    /// Registers (or replaces) a stream.
+    pub fn register(&mut self, name: impl Into<String>, schema: SchemaRef) {
+        let name = name.into();
+        if let Some(slot) = self.streams.iter_mut().find(|(n, _)| *n == name) {
+            slot.1 = schema;
+        } else {
+            self.streams.push((name, schema));
+        }
+    }
+
+    /// Looks up a stream schema by name.
+    pub fn get(&self, name: &str) -> Option<&SchemaRef> {
+        self.streams.iter().find(|(n, _)| n == name).map(|(_, s)| s)
+    }
+
+    /// The registered `(name, schema)` pairs, in registration order.
+    pub fn streams(&self) -> impl Iterator<Item = (&str, &SchemaRef)> {
+        self.streams.iter().map(|(n, s)| (n.as_str(), s))
+    }
+
+    fn known_names(&self) -> String {
+        let names: Vec<&str> = self.streams.iter().map(|(n, _)| n.as_str()).collect();
+        if names.is_empty() {
+            "the catalog is empty".to_string()
+        } else {
+            format!("known streams: {}", names.join(", "))
+        }
+    }
+}
+
+/// Compiles `stmt` (parsed from `source`) into a [`Query`] named `name`.
+pub fn plan(
+    stmt: &SelectStatement,
+    name: &str,
+    catalog: &Catalog,
+    source: &str,
+) -> Result<Query, ParseError> {
+    Planner {
+        catalog,
+        source,
+        name,
+    }
+    .plan(stmt)
+}
+
+struct Planner<'a> {
+    catalog: &'a Catalog,
+    source: &'a str,
+    name: &'a str,
+}
+
+/// One input stream visible to name resolution, with the offset of its first
+/// column in the combined column space.
+struct ScopeStream<'a> {
+    name: &'a str,
+    schema: &'a Schema,
+    offset: usize,
+}
+
+/// The set of streams attribute names resolve against.
+struct Scope<'a> {
+    streams: Vec<ScopeStream<'a>>,
+}
+
+impl<'a> Scope<'a> {
+    fn single(name: &'a str, schema: &'a Schema) -> Self {
+        Self {
+            streams: vec![ScopeStream {
+                name,
+                schema,
+                offset: 0,
+            }],
+        }
+    }
+
+    fn joined(left: (&'a str, &'a Schema), right: (&'a str, &'a Schema)) -> Self {
+        Self {
+            streams: vec![
+                ScopeStream {
+                    name: left.0,
+                    schema: left.1,
+                    offset: 0,
+                },
+                ScopeStream {
+                    name: right.0,
+                    schema: right.1,
+                    offset: left.1.len(),
+                },
+            ],
+        }
+    }
+
+    fn width(&self) -> usize {
+        self.streams.iter().map(|s| s.schema.len()).sum()
+    }
+
+    /// The attribute name of combined column `index` (for error messages and
+    /// projection naming).
+    fn column_name(&self, index: usize) -> &str {
+        for s in &self.streams {
+            if index >= s.offset && index < s.offset + s.schema.len() {
+                return s.schema.attribute(index - s.offset).name();
+            }
+        }
+        ""
+    }
+
+    /// True if combined column `index` is the timestamp attribute of the
+    /// first (left) stream.
+    fn is_timestamp(&self, index: usize) -> bool {
+        index == self.streams[0].schema.timestamp_index()
+    }
+}
+
+impl<'a> Planner<'a> {
+    fn err(&self, message: impl Into<String>, span: Span) -> ParseError {
+        ParseError::new(message, span, self.source)
+    }
+
+    fn plan(&self, stmt: &SelectStatement) -> Result<Query, ParseError> {
+        // Resolve the input streams and windows.
+        let left_schema = self.stream_schema(&stmt.from)?;
+        let left_window = self.window_spec(&stmt.from)?;
+
+        let mut builder = QueryBuilder::new(self.name, left_schema.clone()).window(left_window);
+
+        // The schema flowing through the pipeline, for HAVING resolution.
+        let mut current: Schema = (*left_schema).clone();
+
+        let scope: Scope<'_>;
+        let right_data;
+        if let Some(join) = &stmt.join {
+            if join.stream.name == stmt.from.name {
+                // Qualified references could not distinguish the two sides
+                // (stream aliases are not supported yet); predicates would
+                // silently resolve to the left stream only.
+                return Err(self.err(
+                    format!(
+                        "self-joins need distinct stream names: register \
+                         `{}` under a second name in the catalog and join that",
+                        stmt.from.name
+                    ),
+                    join.stream.span,
+                ));
+            }
+            let right_schema = self.stream_schema(&join.stream)?;
+            let right_window = self.window_spec(&join.stream)?;
+            right_data = (join.stream.name.clone(), right_schema.clone());
+            scope = Scope::joined(
+                (stmt.from.name.as_str(), &left_schema),
+                (right_data.0.as_str(), &right_data.1),
+            );
+            let on = self.to_expr(&join.on, &scope)?;
+            current = saber_query::JoinSpec::output_schema(&current, &right_schema)
+                .map_err(|e| self.err(e.message().to_string(), join.span))?;
+            builder = builder.theta_join(right_schema, right_window, on);
+        } else {
+            scope = Scope::single(stmt.from.name.as_str(), &left_schema);
+        }
+
+        if let Some(pred) = &stmt.where_clause {
+            let predicate = self.to_expr(pred, &scope)?;
+            builder = builder.select(predicate);
+        }
+
+        if stmt.has_aggregates() {
+            builder = self.plan_aggregation(stmt, &scope, &current, builder)?;
+        } else {
+            if let Some(g) = stmt.group_by.first() {
+                return Err(self.err(
+                    "GROUP BY requires at least one aggregate in the select list",
+                    g.span,
+                ));
+            }
+            if let Some(h) = &stmt.having {
+                return Err(self.err(
+                    "HAVING requires an aggregation; use WHERE for row predicates",
+                    h.span(),
+                ));
+            }
+            builder = self.plan_projection(stmt, &scope, builder)?;
+        }
+
+        match stmt.emit {
+            Some(EmitClause::IStream) => builder = builder.stream_function(StreamFunction::IStream),
+            Some(EmitClause::RStream) => builder = builder.stream_function(StreamFunction::RStream),
+            None => {}
+        }
+
+        // Residual build errors (window arithmetic, pipeline shape) have no
+        // better anchor than the whole statement.
+        builder
+            .build()
+            .map_err(|e| self.err(e.message().to_string(), stmt.span))
+    }
+
+    fn stream_schema(&self, stream: &StreamClause) -> Result<SchemaRef, ParseError> {
+        self.catalog.get(&stream.name).cloned().ok_or_else(|| {
+            self.err(
+                format!(
+                    "unknown stream `{}` ({})",
+                    stream.name,
+                    self.catalog.known_names()
+                ),
+                stream.span,
+            )
+        })
+    }
+
+    fn window_spec(&self, stream: &StreamClause) -> Result<WindowSpec, ParseError> {
+        let spec = match &stream.window {
+            None | Some(WindowClause::Unbounded { .. }) => WindowSpec::unbounded(),
+            Some(WindowClause::Rows { size, slide, .. }) => {
+                WindowSpec::count(*size, slide.unwrap_or(*size))
+            }
+            Some(WindowClause::Range { size, slide, .. }) => {
+                let size_ms = size.as_millis();
+                let slide_ms = slide.as_ref().map(|s| s.as_millis()).unwrap_or(size_ms);
+                WindowSpec::time(size_ms, slide_ms)
+            }
+        };
+        if let Some(clause) = &stream.window {
+            spec.validate()
+                .map_err(|e| self.err(e.message().to_string(), clause.span()))?;
+        }
+        Ok(spec)
+    }
+
+    /// Resolves a column reference to its index in the scope's combined
+    /// column space.
+    fn resolve(&self, col: &ColumnRef, scope: &Scope<'_>) -> Result<usize, ParseError> {
+        if let Some(q) = &col.qualifier {
+            let stream = scope.streams.iter().find(|s| s.name == q).ok_or_else(|| {
+                let known: Vec<&str> = scope.streams.iter().map(|s| s.name).collect();
+                self.err(
+                    format!(
+                        "unknown stream qualifier `{q}` (in scope: {})",
+                        known.join(", ")
+                    ),
+                    col.span,
+                )
+            })?;
+            let idx = stream.schema.index_of(&col.name).map_err(|_| {
+                self.err(
+                    format!("unknown attribute `{}` in stream `{q}`", col.name),
+                    col.span,
+                )
+            })?;
+            return Ok(stream.offset + idx);
+        }
+        let mut matches = scope.streams.iter().filter_map(|s| {
+            s.schema
+                .index_of(&col.name)
+                .ok()
+                .map(|idx| (s.name, s.offset + idx))
+        });
+        match (matches.next(), matches.next()) {
+            (Some((_, idx)), None) => Ok(idx),
+            (Some((a, _)), Some((b, _))) => Err(self.err(
+                format!(
+                    "ambiguous attribute `{}`: qualify it as `{a}.{}` or `{b}.{}`",
+                    col.name, col.name, col.name
+                ),
+                col.span,
+            )),
+            _ => {
+                let available: Vec<&str> = scope
+                    .streams
+                    .iter()
+                    .flat_map(|s| s.schema.attributes().iter().map(|a| a.name()))
+                    .collect();
+                Err(self.err(
+                    format!(
+                        "unknown attribute `{}` in stream `{}` (attributes: {})",
+                        col.name,
+                        scope
+                            .streams
+                            .iter()
+                            .map(|s| s.name)
+                            .collect::<Vec<_>>()
+                            .join("/"),
+                        available.join(", ")
+                    ),
+                    col.span,
+                ))
+            }
+        }
+    }
+
+    /// Converts a dialect expression into the engine's [`Expr`] IR.
+    fn to_expr(&self, e: &SqlExpr, scope: &Scope<'_>) -> Result<Expr, ParseError> {
+        Ok(match e {
+            SqlExpr::Column(c) => Expr::column(self.resolve(c, scope)?),
+            SqlExpr::Number { value, .. } => Expr::literal(*value),
+            SqlExpr::Unary { op, operand, .. } => match op {
+                // Fold negation into numeric literals so `-5` plans exactly
+                // like a hand-written `Expr::literal(-5.0)`.
+                UnaryOp::Neg => match operand.as_ref() {
+                    SqlExpr::Number { value, .. } => Expr::literal(-value),
+                    other => Expr::literal(0.0).sub(self.to_expr(other, scope)?),
+                },
+                UnaryOp::Not => self.to_expr(operand, scope)?.negate(),
+            },
+            SqlExpr::Binary {
+                op, left, right, ..
+            } => {
+                let l = self.to_expr(left, scope)?;
+                let r = self.to_expr(right, scope)?;
+                match op {
+                    BinOp::Add => l.add(r),
+                    BinOp::Sub => l.sub(r),
+                    BinOp::Mul => l.mul(r),
+                    BinOp::Div => l.div(r),
+                    BinOp::Mod => l.rem(r),
+                    BinOp::Eq => l.eq(r),
+                    BinOp::Ne => l.ne(r),
+                    BinOp::Lt => l.lt(r),
+                    BinOp::Le => l.le(r),
+                    BinOp::Gt => l.gt(r),
+                    BinOp::Ge => l.ge(r),
+                    BinOp::And => l.and(r),
+                    BinOp::Or => l.or(r),
+                }
+            }
+        })
+    }
+
+    /// Plans a scalar (non-aggregate) select list as a projection.
+    fn plan_projection(
+        &self,
+        stmt: &SelectStatement,
+        scope: &Scope<'_>,
+        builder: QueryBuilder,
+    ) -> Result<QueryBuilder, ParseError> {
+        let wildcard = stmt
+            .items
+            .iter()
+            .find(|i| matches!(i, SelectItem::Wildcard { .. }));
+        if let Some(w) = wildcard {
+            if stmt.items.len() > 1 {
+                return Err(self.err("`*` cannot be combined with other select items", w.span()));
+            }
+            // `SELECT *` forwards the input unchanged. A selection or join
+            // already gives the pipeline an operator; otherwise add an
+            // identity projection so the query has one.
+            if stmt.where_clause.is_none() && stmt.join.is_none() {
+                let all: Vec<usize> = (0..scope.width()).collect();
+                return Ok(builder.project_columns(&all));
+            }
+            return Ok(builder);
+        }
+
+        let mut pairs: Vec<(Expr, String)> = Vec::with_capacity(stmt.items.len());
+        for (i, item) in stmt.items.iter().enumerate() {
+            let SelectItem::Expr { expr, alias, .. } = item else {
+                unreachable!("aggregates handled by plan_aggregation");
+            };
+            let compiled = self.to_expr(expr, scope)?;
+            let name = match alias {
+                Some(a) => a.clone(),
+                None => match expr {
+                    SqlExpr::Column(c) => {
+                        let idx = self.resolve(c, scope)?;
+                        scope.column_name(idx).to_string()
+                    }
+                    _ => format!("expr{i}"),
+                },
+            };
+            pairs.push((compiled, name));
+        }
+        let pairs_ref: Vec<(Expr, &str)> =
+            pairs.iter().map(|(e, n)| (e.clone(), n.as_str())).collect();
+        Ok(builder.project(pairs_ref))
+    }
+
+    /// Plans an aggregate select list as the terminal aggregation operator.
+    fn plan_aggregation(
+        &self,
+        stmt: &SelectStatement,
+        scope: &Scope<'_>,
+        input: &Schema,
+        mut builder: QueryBuilder,
+    ) -> Result<QueryBuilder, ParseError> {
+        // Resolve GROUP BY columns first — the output layout depends on them.
+        let mut group_indices = Vec::with_capacity(stmt.group_by.len());
+        for g in &stmt.group_by {
+            group_indices.push(self.resolve(g, scope)?);
+        }
+
+        // Split the select list, keeping the engine's fixed output layout
+        // `timestamp, <group-by columns>, <aggregates>` honest: scalar items
+        // must be the (optional) timestamp followed by the GROUP BY columns
+        // in clause order, and must precede every aggregate.
+        let mut scalar_indices: Vec<(usize, Span)> = Vec::new();
+        let mut aggregates: Vec<(AggregateCall, Option<String>)> = Vec::new();
+        for item in &stmt.items {
+            match item {
+                SelectItem::Wildcard { span } => {
+                    return Err(self.err("`*` cannot appear in an aggregate select list", *span));
+                }
+                SelectItem::Expr { expr, alias, span } => {
+                    if !aggregates.is_empty() {
+                        return Err(self.err(
+                            "plain columns must come before aggregates \
+                             (output layout: timestamp, group-by columns, aggregates)",
+                            *span,
+                        ));
+                    }
+                    let SqlExpr::Column(c) = expr else {
+                        return Err(self.err(
+                            "only plain columns may accompany aggregates in the select list",
+                            expr.span(),
+                        ));
+                    };
+                    let idx = self.resolve(c, scope)?;
+                    if let Some(a) = alias {
+                        // The aggregation operator fixes the output names:
+                        // `timestamp` for column 0, attribute names for the
+                        // group-by columns. Accept an alias only if it
+                        // matches the name the output will actually carry —
+                        // anything else would be silently dropped. The name
+                        // comes from the *post-join* schema (`input`), where
+                        // right-hand collisions are already `r_`-renamed.
+                        let effective = if scope.is_timestamp(idx) {
+                            "timestamp"
+                        } else {
+                            input.attribute(idx).name()
+                        };
+                        if a != effective {
+                            return Err(self.err(
+                                format!(
+                                    "the aggregation output names this column \
+                                     `{effective}`; aliases cannot rename it — \
+                                     remove `AS {a}`"
+                                ),
+                                *span,
+                            ));
+                        }
+                    }
+                    scalar_indices.push((idx, *span));
+                }
+                SelectItem::Aggregate { call, alias, .. } => {
+                    aggregates.push((call.clone(), alias.clone()));
+                }
+            }
+        }
+
+        // Strip the optional leading timestamp reference.
+        let mut rest = scalar_indices.as_slice();
+        if let Some((first, _)) = rest.first() {
+            if scope.is_timestamp(*first) && !group_indices.contains(first) {
+                rest = &rest[1..];
+            }
+        }
+        if !rest.is_empty() {
+            let selected: Vec<usize> = rest.iter().map(|(i, _)| *i).collect();
+            if selected != group_indices {
+                let (_, span) = rest[0];
+                return Err(self.err(
+                    "scalar select items must be the timestamp followed by the \
+                     GROUP BY columns in clause order (the engine's aggregation \
+                     output layout is: timestamp, group-by columns, aggregates)",
+                    span,
+                ));
+            }
+        }
+
+        // Build the aggregate specs.
+        let mut specs = Vec::with_capacity(aggregates.len());
+        for (call, alias) in &aggregates {
+            let spec = match (call.function, call.distinct) {
+                (AggFunc::Count, true) => {
+                    let col = call.argument.as_ref().expect("parser enforces argument");
+                    AggregateSpec::new(AggregateFunction::CountDistinct, self.resolve(col, scope)?)
+                }
+                // COUNT(col) counts tuples exactly like COUNT(*) (the data
+                // model has no NULLs) but the argument must still resolve —
+                // a typo'd column name is an error, not silently ignored.
+                (AggFunc::Count, false) => match &call.argument {
+                    Some(col) => {
+                        AggregateSpec::new(AggregateFunction::Count, self.resolve(col, scope)?)
+                    }
+                    None => AggregateSpec::count(),
+                },
+                (func, _) => {
+                    let col = call.argument.as_ref().expect("parser enforces argument");
+                    let function = match func {
+                        AggFunc::Sum => AggregateFunction::Sum,
+                        AggFunc::Avg => AggregateFunction::Avg,
+                        AggFunc::Min => AggregateFunction::Min,
+                        AggFunc::Max => AggregateFunction::Max,
+                        AggFunc::Count => unreachable!(),
+                    };
+                    AggregateSpec::new(function, self.resolve(col, scope)?)
+                }
+            };
+            let spec = match alias {
+                Some(a) => spec.named(a.clone()),
+                None => spec,
+            };
+            specs.push(spec);
+        }
+
+        // Resolve HAVING against the aggregation's *output* schema.
+        let having = if let Some(h) = &stmt.having {
+            let agg = saber_query::AggregationSpec::new(specs.clone())
+                .with_group_by(group_indices.clone());
+            let out = agg
+                .output_schema(input)
+                .map_err(|e| self.err(e.message().to_string(), stmt.span))?;
+            let out_name = "aggregation output";
+            let out_scope = Scope::single(out_name, &out);
+            Some(self.to_expr(h, &out_scope)?)
+        } else {
+            None
+        };
+
+        for spec in specs {
+            builder = builder.aggregate_spec(spec);
+        }
+        builder = builder.group_by(group_indices);
+        if let Some(h) = having {
+            builder = builder.having(h);
+        }
+        Ok(builder)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse;
+    use saber_query::OperatorDef;
+    use saber_types::DataType;
+
+    fn catalog() -> Catalog {
+        let readings = Schema::from_pairs(&[
+            ("timestamp", DataType::Timestamp),
+            ("value", DataType::Float),
+            ("plug", DataType::Int),
+            ("house", DataType::Int),
+        ])
+        .unwrap()
+        .into_ref();
+        let derived = Schema::from_pairs(&[
+            ("timestamp", DataType::Timestamp),
+            ("globalAvg", DataType::Float),
+        ])
+        .unwrap()
+        .into_ref();
+        Catalog::new()
+            .with_stream("Readings", readings)
+            .with_stream("Global", derived)
+    }
+
+    fn plan_sql(sql: &str) -> Result<Query, ParseError> {
+        let stmt = parse(sql)?;
+        plan(&stmt, "test", &catalog(), sql)
+    }
+
+    #[test]
+    fn selection_plans_to_a_single_selection_operator() {
+        let q = plan_sql("SELECT * FROM Readings [ROWS 1024] WHERE value > 0.5").unwrap();
+        assert_eq!(q.operators.len(), 1);
+        assert!(matches!(q.operators[0], OperatorDef::Selection(_)));
+        assert_eq!(q.window(0), &WindowSpec::count(1024, 1024));
+        assert_eq!(q.stream_function, StreamFunction::IStream);
+    }
+
+    #[test]
+    fn bare_select_star_gets_an_identity_projection() {
+        let q = plan_sql("SELECT * FROM Readings [ROWS 64 SLIDE 32]").unwrap();
+        assert_eq!(q.operators.len(), 1);
+        assert!(matches!(q.operators[0], OperatorDef::Projection(_)));
+        assert_eq!(q.output_schema.len(), 4);
+    }
+
+    #[test]
+    fn aggregation_with_group_by_and_having_plans() {
+        let q = plan_sql(
+            "SELECT timestamp, plug, AVG(value) AS avgLoad \
+             FROM Readings [RANGE 3600 SLIDE 1] \
+             GROUP BY plug HAVING avgLoad > 10",
+        )
+        .unwrap();
+        assert!(q.has_aggregation());
+        let agg = q.aggregation().unwrap();
+        assert_eq!(agg.group_by, vec![2]);
+        assert_eq!(agg.aggregates[0].output_name, "avgLoad");
+        assert!(agg.having.is_some());
+        // HAVING's avgLoad resolved to output column 2 (timestamp, plug, avgLoad).
+        assert_eq!(agg.having.as_ref().unwrap().referenced_columns(), vec![2]);
+        assert_eq!(q.window(0), &WindowSpec::time(3_600_000, 1_000));
+        assert_eq!(q.output_schema.attribute(2).name(), "avgLoad");
+    }
+
+    #[test]
+    fn join_resolves_qualified_and_unqualified_names() {
+        let q = plan_sql(
+            "SELECT Readings.timestamp, house \
+             FROM Readings [RANGE 1 SLIDE 1] \
+             JOIN Global [RANGE 1 SLIDE 1] \
+             ON Readings.timestamp = Global.timestamp AND value > globalAvg",
+        )
+        .unwrap();
+        assert!(q.is_join());
+        assert_eq!(q.num_inputs(), 2);
+        // ON predicate references columns 0 (left ts), 4 (right ts),
+        // 1 (value), 5 (globalAvg).
+        match &q.operators[0] {
+            OperatorDef::ThetaJoin(j) => {
+                assert_eq!(j.predicate.referenced_columns(), vec![0, 1, 4, 5]);
+            }
+            other => panic!("expected join, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unknown_names_error_with_spans() {
+        let sql = "SELECT * FROM Nowhere [ROWS 4] WHERE x = 1";
+        let err = plan_sql(sql).unwrap_err();
+        assert!(err.message().contains("unknown stream `Nowhere`"));
+        assert_eq!(&sql[err.span().start..err.span().end], "Nowhere [ROWS 4]");
+
+        let sql = "SELECT * FROM Readings [ROWS 4] WHERE vlaue = 1";
+        let err = plan_sql(sql).unwrap_err();
+        assert!(err.message().contains("unknown attribute `vlaue`"));
+        assert_eq!(&sql[err.span().start..err.span().end], "vlaue");
+    }
+
+    #[test]
+    fn ambiguous_names_must_be_qualified() {
+        let err = plan_sql("SELECT * FROM Readings [ROWS 4] JOIN Global [ROWS 4] ON timestamp = 1")
+            .unwrap_err();
+        assert!(err.message().contains("ambiguous attribute `timestamp`"));
+    }
+
+    #[test]
+    fn invalid_windows_error_at_the_window_span() {
+        let sql = "SELECT * FROM Readings [ROWS 4 SLIDE 8] WHERE value > 0";
+        let err = plan_sql(sql).unwrap_err();
+        assert!(err.message().contains("slide"));
+        assert_eq!(&sql[err.span().start..err.span().end], "[ROWS 4 SLIDE 8]");
+    }
+
+    #[test]
+    fn group_by_without_aggregate_is_rejected() {
+        let err = plan_sql("SELECT plug FROM Readings [ROWS 4] GROUP BY plug").unwrap_err();
+        assert!(err.message().contains("GROUP BY requires"));
+    }
+
+    #[test]
+    fn aliases_on_fixed_output_names_are_rejected_not_dropped() {
+        // Renaming the timestamp or a group column would be silently ignored
+        // by the aggregation's fixed output layout, so the planner rejects it.
+        let err = plan_sql(
+            "SELECT timestamp AS ts, plug, AVG(value) FROM Readings [ROWS 64] GROUP BY plug",
+        )
+        .unwrap_err();
+        assert!(err.message().contains("`timestamp`"), "{}", err.message());
+        let err = plan_sql(
+            "SELECT timestamp, plug AS p, AVG(value) FROM Readings [ROWS 64] GROUP BY plug",
+        )
+        .unwrap_err();
+        assert!(err.message().contains("`plug`"), "{}", err.message());
+        // Redundant aliases that match the fixed names are harmless.
+        assert!(plan_sql(
+            "SELECT timestamp AS timestamp, plug AS plug, AVG(value) \
+             FROM Readings [ROWS 64] GROUP BY plug",
+        )
+        .is_ok());
+    }
+
+    #[test]
+    fn aggregate_aliases_follow_join_collision_renames() {
+        // After a join, colliding right-hand attributes are `r_`-renamed in
+        // the output schema; the alias check must compare against that name.
+        let accepted = plan_sql(
+            "SELECT Readings.timestamp, Global.timestamp AS r_timestamp, COUNT(*) \
+             FROM Readings [ROWS 4] JOIN Global [ROWS 4] ON value > globalAvg \
+             GROUP BY Global.timestamp",
+        )
+        .unwrap();
+        assert_eq!(accepted.output_schema.attribute(1).name(), "r_timestamp");
+        let err = plan_sql(
+            "SELECT Readings.timestamp, Global.timestamp AS timestamp, COUNT(*) \
+             FROM Readings [ROWS 4] JOIN Global [ROWS 4] ON value > globalAvg \
+             GROUP BY Global.timestamp",
+        )
+        .unwrap_err();
+        assert!(err.message().contains("`r_timestamp`"), "{}", err.message());
+    }
+
+    #[test]
+    fn select_list_layout_is_enforced_for_aggregates() {
+        // Group column out of order with respect to the clause.
+        let err =
+            plan_sql("SELECT house, plug, COUNT(*) FROM Readings [ROWS 64] GROUP BY plug, house")
+                .unwrap_err();
+        assert!(err.message().contains("clause order"));
+
+        // Aggregate before a scalar item.
+        let err =
+            plan_sql("SELECT COUNT(*), plug FROM Readings [ROWS 64] GROUP BY plug").unwrap_err();
+        assert!(err.message().contains("before aggregates"));
+    }
+
+    #[test]
+    fn emit_clause_overrides_the_stream_function() {
+        let q = plan_sql("SELECT RSTREAM * FROM Readings [ROWS 4] WHERE value > 0").unwrap();
+        assert_eq!(q.stream_function, StreamFunction::RStream);
+    }
+
+    #[test]
+    fn negative_literals_fold() {
+        let q = plan_sql("SELECT * FROM Readings [ROWS 4] WHERE value > -1.5").unwrap();
+        match &q.operators[0] {
+            OperatorDef::Selection(s) => {
+                assert!(format!("{:?}", s.predicate).contains("-1.5"));
+            }
+            other => panic!("expected selection, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn count_argument_is_name_resolved() {
+        // COUNT(col) validates its column even though it counts like COUNT(*).
+        let err = plan_sql("SELECT COUNT(nope) FROM Readings [ROWS 4]").unwrap_err();
+        assert!(err.message().contains("unknown attribute `nope`"));
+        let q = plan_sql("SELECT COUNT(plug) FROM Readings [ROWS 4]").unwrap();
+        let agg = q.aggregation().unwrap();
+        assert_eq!(agg.aggregates[0].function, AggregateFunction::Count);
+        assert_eq!(agg.aggregates[0].output_name, "cnt_2");
+    }
+
+    #[test]
+    fn self_joins_are_rejected_with_a_workaround_hint() {
+        let err = plan_sql(
+            "SELECT Readings.value FROM Readings [ROWS 4] \
+             JOIN Readings [ROWS 4] ON Readings.value = Readings.value",
+        )
+        .unwrap_err();
+        assert!(err.message().contains("self-joins"), "{}", err.message());
+        assert!(err.message().contains("second name"));
+    }
+
+    #[test]
+    fn count_distinct_maps_to_the_distinct_aggregate() {
+        let q = plan_sql("SELECT COUNT(DISTINCT plug) AS plugs FROM Readings [RANGE 30 SLIDE 1]")
+            .unwrap();
+        let agg = q.aggregation().unwrap();
+        assert_eq!(agg.aggregates[0].function, AggregateFunction::CountDistinct);
+        assert_eq!(agg.aggregates[0].output_name, "plugs");
+    }
+
+    #[test]
+    fn projection_names_default_to_attribute_names() {
+        let q = plan_sql("SELECT timestamp, value * 2 AS doubled, plug FROM Readings [ROWS 16]")
+            .unwrap();
+        let out = &q.output_schema;
+        assert_eq!(out.attribute(0).name(), "timestamp");
+        assert_eq!(out.attribute(1).name(), "doubled");
+        assert_eq!(out.attribute(2).name(), "plug");
+        assert_eq!(out.data_type(2), DataType::Int);
+    }
+}

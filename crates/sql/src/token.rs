@@ -1,0 +1,419 @@
+//! Lexer for the SABER SQL dialect.
+//!
+//! Tokenisation is a single forward pass with no allocation besides the
+//! token vector. Keywords are case-insensitive; identifiers preserve case
+//! (they must match schema attribute names exactly). Every token carries its
+//! byte [`Span`] so the parser and planner can report precise locations.
+
+use crate::error::{ParseError, Span};
+
+/// The kinds of token produced by the lexer.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TokenKind {
+    /// A keyword of the dialect (stored upper-cased).
+    Keyword(Keyword),
+    /// An identifier (stream or attribute name, preserved case).
+    Ident(String),
+    /// A numeric literal.
+    Number(f64),
+    /// `(`
+    LeftParen,
+    /// `)`
+    RightParen,
+    /// `[`
+    LeftBracket,
+    /// `]`
+    RightBracket,
+    /// `,`
+    Comma,
+    /// `.`
+    Dot,
+    /// `*`
+    Star,
+    /// `/`
+    Slash,
+    /// `%`
+    Percent,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `=` or `==`
+    Eq,
+    /// `!=` or `<>`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `;`
+    Semicolon,
+    /// End of input (always the last token).
+    Eof,
+}
+
+/// Reserved words of the dialect.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Keyword {
+    /// `SELECT`
+    Select,
+    /// `ISTREAM` (relation-to-stream function, paper §2.4)
+    IStream,
+    /// `RSTREAM` (relation-to-stream function, paper §2.4)
+    RStream,
+    /// `FROM`
+    From,
+    /// `WHERE`
+    Where,
+    /// `GROUP`
+    Group,
+    /// `BY`
+    By,
+    /// `HAVING`
+    Having,
+    /// `JOIN`
+    Join,
+    /// `ON`
+    On,
+    /// `AS`
+    As,
+    /// `AND`
+    And,
+    /// `OR`
+    Or,
+    /// `NOT`
+    Not,
+    /// `ROWS` (count-based window)
+    Rows,
+    /// `RANGE` (time-based window)
+    Range,
+    /// `SLIDE`
+    Slide,
+    /// `UNBOUNDED`
+    Unbounded,
+    /// `DISTINCT` (inside `COUNT(DISTINCT col)`)
+    Distinct,
+    /// `MS` (milliseconds unit)
+    Ms,
+    /// `SECONDS` (also accepts `SECOND`)
+    Seconds,
+    /// `MINUTES` (also accepts `MINUTE`)
+    Minutes,
+    /// `HOURS` (also accepts `HOUR`)
+    Hours,
+}
+
+impl Keyword {
+    /// The canonical upper-case spelling, used by the pretty-printer.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            Keyword::Select => "SELECT",
+            Keyword::IStream => "ISTREAM",
+            Keyword::RStream => "RSTREAM",
+            Keyword::From => "FROM",
+            Keyword::Where => "WHERE",
+            Keyword::Group => "GROUP",
+            Keyword::By => "BY",
+            Keyword::Having => "HAVING",
+            Keyword::Join => "JOIN",
+            Keyword::On => "ON",
+            Keyword::As => "AS",
+            Keyword::And => "AND",
+            Keyword::Or => "OR",
+            Keyword::Not => "NOT",
+            Keyword::Rows => "ROWS",
+            Keyword::Range => "RANGE",
+            Keyword::Slide => "SLIDE",
+            Keyword::Unbounded => "UNBOUNDED",
+            Keyword::Distinct => "DISTINCT",
+            Keyword::Ms => "MS",
+            Keyword::Seconds => "SECONDS",
+            Keyword::Minutes => "MINUTES",
+            Keyword::Hours => "HOURS",
+        }
+    }
+
+    fn from_word(word: &str) -> Option<Keyword> {
+        let upper = word.to_ascii_uppercase();
+        Some(match upper.as_str() {
+            "SELECT" => Keyword::Select,
+            "ISTREAM" => Keyword::IStream,
+            "RSTREAM" => Keyword::RStream,
+            "FROM" => Keyword::From,
+            "WHERE" => Keyword::Where,
+            "GROUP" => Keyword::Group,
+            "BY" => Keyword::By,
+            "HAVING" => Keyword::Having,
+            "JOIN" => Keyword::Join,
+            "ON" => Keyword::On,
+            "AS" => Keyword::As,
+            "AND" => Keyword::And,
+            "OR" => Keyword::Or,
+            "NOT" => Keyword::Not,
+            "ROWS" => Keyword::Rows,
+            "RANGE" => Keyword::Range,
+            "SLIDE" => Keyword::Slide,
+            "UNBOUNDED" => Keyword::Unbounded,
+            "DISTINCT" => Keyword::Distinct,
+            "MS" => Keyword::Ms,
+            "SECOND" | "SECONDS" => Keyword::Seconds,
+            "MINUTE" | "MINUTES" => Keyword::Minutes,
+            "HOUR" | "HOURS" => Keyword::Hours,
+            _ => return None,
+        })
+    }
+}
+
+/// One lexed token with its source span.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    /// What was lexed.
+    pub kind: TokenKind,
+    /// Where it was lexed from.
+    pub span: Span,
+}
+
+/// Tokenises `source` into a vector ending in an [`TokenKind::Eof`] token.
+///
+/// `--` starts a comment running to the end of the line (the dialect has no
+/// block comments). Unknown characters and malformed numbers are reported
+/// with their exact span.
+pub fn tokenize(source: &str) -> Result<Vec<Token>, ParseError> {
+    let bytes = source.as_bytes();
+    let mut tokens = Vec::new();
+    let mut i = 0usize;
+    while i < bytes.len() {
+        let b = bytes[i];
+        // Whitespace.
+        if b.is_ascii_whitespace() {
+            i += 1;
+            continue;
+        }
+        // Line comments: `-- ...`.
+        if b == b'-' && bytes.get(i + 1) == Some(&b'-') {
+            while i < bytes.len() && bytes[i] != b'\n' {
+                i += 1;
+            }
+            continue;
+        }
+        let start = i;
+        // Identifiers and keywords.
+        if b.is_ascii_alphabetic() || b == b'_' {
+            while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_') {
+                i += 1;
+            }
+            let word = &source[start..i];
+            let span = Span::new(start, i);
+            let kind = match Keyword::from_word(word) {
+                Some(k) => TokenKind::Keyword(k),
+                None => TokenKind::Ident(word.to_string()),
+            };
+            tokens.push(Token { kind, span });
+            continue;
+        }
+        // Numbers: integer or decimal, optional exponent.
+        if b.is_ascii_digit() || (b == b'.' && bytes.get(i + 1).is_some_and(u8::is_ascii_digit)) {
+            while i < bytes.len() && bytes[i].is_ascii_digit() {
+                i += 1;
+            }
+            if i < bytes.len() && bytes[i] == b'.' {
+                i += 1;
+                while i < bytes.len() && bytes[i].is_ascii_digit() {
+                    i += 1;
+                }
+            }
+            if i < bytes.len() && (bytes[i] == b'e' || bytes[i] == b'E') {
+                let mut j = i + 1;
+                if j < bytes.len() && (bytes[j] == b'+' || bytes[j] == b'-') {
+                    j += 1;
+                }
+                if j < bytes.len() && bytes[j].is_ascii_digit() {
+                    i = j;
+                    while i < bytes.len() && bytes[i].is_ascii_digit() {
+                        i += 1;
+                    }
+                }
+            }
+            let span = Span::new(start, i);
+            let value: f64 = source[start..i].parse().map_err(|_| {
+                ParseError::new(
+                    format!("malformed numeric literal `{}`", &source[start..i]),
+                    span,
+                    source,
+                )
+            })?;
+            tokens.push(Token {
+                kind: TokenKind::Number(value),
+                span,
+            });
+            continue;
+        }
+        // Operators and punctuation.
+        let (kind, len) = match b {
+            b'(' => (TokenKind::LeftParen, 1),
+            b')' => (TokenKind::RightParen, 1),
+            b'[' => (TokenKind::LeftBracket, 1),
+            b']' => (TokenKind::RightBracket, 1),
+            b',' => (TokenKind::Comma, 1),
+            b'.' => (TokenKind::Dot, 1),
+            b'*' => (TokenKind::Star, 1),
+            b'/' => (TokenKind::Slash, 1),
+            b'%' => (TokenKind::Percent, 1),
+            b'+' => (TokenKind::Plus, 1),
+            b'-' => (TokenKind::Minus, 1),
+            b';' => (TokenKind::Semicolon, 1),
+            b'=' if bytes.get(i + 1) == Some(&b'=') => (TokenKind::Eq, 2),
+            b'=' => (TokenKind::Eq, 1),
+            b'!' if bytes.get(i + 1) == Some(&b'=') => (TokenKind::Ne, 2),
+            b'<' if bytes.get(i + 1) == Some(&b'>') => (TokenKind::Ne, 2),
+            b'<' if bytes.get(i + 1) == Some(&b'=') => (TokenKind::Le, 2),
+            b'<' => (TokenKind::Lt, 1),
+            b'>' if bytes.get(i + 1) == Some(&b'=') => (TokenKind::Ge, 2),
+            b'>' => (TokenKind::Gt, 1),
+            _ => {
+                // Decode the full (possibly multi-byte) character so the
+                // message shows what the user typed and the span stays on a
+                // char boundary (callers slice the source by it).
+                let ch = source[start..].chars().next().unwrap_or('\u{fffd}');
+                return Err(ParseError::new(
+                    format!("unexpected character `{ch}`"),
+                    Span::new(start, start + ch.len_utf8()),
+                    source,
+                ));
+            }
+        };
+        tokens.push(Token {
+            kind,
+            span: Span::new(start, start + len),
+        });
+        i += len;
+    }
+    tokens.push(Token {
+        kind: TokenKind::Eof,
+        span: Span::new(source.len(), source.len()),
+    });
+    Ok(tokens)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        tokenize(src).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn keywords_are_case_insensitive() {
+        assert_eq!(
+            kinds("select FROM Group bY"),
+            vec![
+                TokenKind::Keyword(Keyword::Select),
+                TokenKind::Keyword(Keyword::From),
+                TokenKind::Keyword(Keyword::Group),
+                TokenKind::Keyword(Keyword::By),
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn identifiers_preserve_case() {
+        assert_eq!(
+            kinds("avgSpeed"),
+            vec![TokenKind::Ident("avgSpeed".to_string()), TokenKind::Eof]
+        );
+    }
+
+    #[test]
+    fn numbers_parse_including_decimals_and_exponents() {
+        assert_eq!(
+            kinds("42 0.5 1e3 2.5E-2"),
+            vec![
+                TokenKind::Number(42.0),
+                TokenKind::Number(0.5),
+                TokenKind::Number(1000.0),
+                TokenKind::Number(0.025),
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn comparison_operators_have_aliases() {
+        assert_eq!(
+            kinds("= == != <> < <= > >="),
+            vec![
+                TokenKind::Eq,
+                TokenKind::Eq,
+                TokenKind::Ne,
+                TokenKind::Ne,
+                TokenKind::Lt,
+                TokenKind::Le,
+                TokenKind::Gt,
+                TokenKind::Ge,
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_are_skipped_but_minus_is_not() {
+        assert_eq!(
+            kinds("1 -- a comment\n- 2"),
+            vec![
+                TokenKind::Number(1.0),
+                TokenKind::Minus,
+                TokenKind::Number(2.0),
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn spans_point_into_the_source() {
+        let tokens = tokenize("SELECT value").unwrap();
+        assert_eq!(tokens[0].span, Span::new(0, 6));
+        assert_eq!(tokens[1].span, Span::new(7, 12));
+        assert_eq!(tokens[2].span, Span::new(12, 12));
+    }
+
+    #[test]
+    fn unexpected_characters_are_rejected_with_spans() {
+        let err = tokenize("SELECT @x").unwrap_err();
+        assert!(err.message().contains('@'));
+        assert_eq!(err.span(), Span::new(7, 8));
+    }
+
+    #[test]
+    fn multibyte_characters_error_without_splitting_the_char() {
+        // Non-breaking space and curly quote, as pasted from rich documents.
+        for src in ["SELECT\u{a0}x", "SELECT \u{2018}x\u{2019}"] {
+            let err = tokenize(src).unwrap_err();
+            let span = err.span();
+            // Slicing by the span must not panic and yields the whole char.
+            let covered = &src[span.start..span.end];
+            assert_eq!(covered.chars().count(), 1);
+            assert!(err.message().contains(covered));
+        }
+    }
+
+    #[test]
+    fn unit_keywords_accept_singular_and_plural() {
+        assert_eq!(
+            kinds("second seconds minute hours ms"),
+            vec![
+                TokenKind::Keyword(Keyword::Seconds),
+                TokenKind::Keyword(Keyword::Seconds),
+                TokenKind::Keyword(Keyword::Minutes),
+                TokenKind::Keyword(Keyword::Hours),
+                TokenKind::Keyword(Keyword::Ms),
+                TokenKind::Eof,
+            ]
+        );
+    }
+}

@@ -1,7 +1,7 @@
 //! Compute cluster monitoring workload (paper §6.1, Appendix A.1).
 //!
 //! The paper replays a trace of task events from an 11,000-machine Google
-//! compute cluster [53]. That trace is proprietary, so this module generates
+//! compute cluster \[53\]. That trace is proprietary, so this module generates
 //! a synthetic TaskEvents stream with the published schema and the
 //! characteristics the queries depend on: a skewed job distribution,
 //! categorical event types and priorities, per-task CPU/RAM/disk requests,

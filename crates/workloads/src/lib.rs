@@ -11,17 +11,21 @@
 //!   smart-meter readings,
 //! * [`linearroad`] — the Linear Road benchmark queries (LRB1–LRB4) over
 //!   synthetic vehicle position reports,
-//! * [`reference`] — a deliberately simple, single-threaded reference
+//! * [`mod@reference`] — a deliberately simple, single-threaded reference
 //!   implementation of windowed queries used by the integration tests to
 //!   validate engine results,
 //! * [`rates`] — helpers for rate-controlled ingestion and throughput
-//!   accounting.
+//!   accounting,
+//! * [`sql`] — the same reference queries as SQL text (see `docs/sql.md`),
+//!   verified equivalent to their programmatic forms, plus a [`saber_sql`]
+//!   catalog covering every stream of the evaluation.
 
 pub mod cluster;
 pub mod linearroad;
 pub mod rates;
 pub mod reference;
 pub mod smartgrid;
+pub mod sql;
 pub mod synthetic;
 
 pub use rates::{run_query_benchmark, Measurement};

@@ -1,6 +1,6 @@
 //! The Linear Road benchmark workload (paper §6.1, Appendix A.3).
 //!
-//! Linear Road [8] models a network of toll roads; the input stream carries
+//! Linear Road \[8\] models a network of toll roads; the input stream carries
 //! position reports of vehicles (highway, lane, direction, position, speed).
 //! The original benchmark's data generator is not redistributable, so this
 //! module synthesises position reports with congestion episodes (slow

@@ -1,7 +1,7 @@
 //! Smart-grid anomaly detection workload (paper §6.1, Appendix A.2).
 //!
 //! The paper uses the DEBS 2014 Grand Challenge trace of smart-meter load
-//! readings [34]. This module generates a synthetic equivalent with the same
+//! readings \[34\]. This module generates a synthetic equivalent with the same
 //! schema (house / household / plug hierarchy) and a diurnal load pattern
 //! with per-plug noise, plus the three queries SG1–SG3.
 //!

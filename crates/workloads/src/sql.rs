@@ -1,0 +1,199 @@
+//! The reference queries of the paper's evaluation, expressed as SQL text.
+//!
+//! Each constant below is the SABER SQL form (see `docs/sql.md`) of a query
+//! that the sibling modules also build programmatically ([`crate::cluster`],
+//! [`crate::smartgrid`], [`crate::linearroad`]). The compiled forms are
+//! verified equivalent to their IR counterparts — structurally where the
+//! pipelines coincide, and by identical results on the reference interpreter
+//! where the SQL planner picks a different (but equivalent) pipeline (CM1
+//! aggregates the raw stream directly instead of projecting first).
+//!
+//! [`catalog`] registers every stream these queries refer to, including the
+//! derived streams (`SegSpeedStr` is LRB1's output; `LocalLoadStr` /
+//! `GlobalLoadStr` are SG2's / SG1's outputs feeding SG3).
+
+use crate::{cluster, linearroad, smartgrid};
+use saber_query::Query;
+use saber_sql::{compile_named, Catalog};
+
+/// CM1: total requested CPU per category over a sliding minute
+/// (paper Appendix A.1).
+pub const CM1: &str = "SELECT timestamp, category, SUM(cpu) AS totalCpu \
+     FROM TaskEvents [RANGE 60 SLIDE 1] GROUP BY category";
+
+/// CM2: average requested CPU per job for scheduled tasks
+/// (paper Appendix A.1; `eventType = 1` is SCHEDULE).
+pub const CM2: &str = "SELECT timestamp, jobId, AVG(cpu) AS avgCpu \
+     FROM TaskEvents [RANGE 60 SLIDE 1] WHERE eventType = 1 GROUP BY jobId";
+
+/// SG1: sliding global average load (paper Appendix A.2).
+pub const SG1: &str = "SELECT timestamp, AVG(value) AS globalAvgLoad \
+     FROM SmartGridStr [RANGE 3600 SLIDE 1]";
+
+/// SG2: sliding average load per plug (paper Appendix A.2).
+pub const SG2: &str = "SELECT timestamp, plug, household, house, AVG(value) AS localAvgLoad \
+     FROM SmartGridStr [RANGE 3600 SLIDE 1] GROUP BY plug, household, house";
+
+/// SG3: joins SG2's per-plug averages with SG1's global average and keeps
+/// the plugs whose local average exceeds the global one (paper Appendix A.2).
+pub const SG3: &str = "SELECT LocalLoadStr.timestamp, house, plug \
+     FROM LocalLoadStr [RANGE 1 SLIDE 1] \
+     JOIN GlobalLoadStr [RANGE 1 SLIDE 1] \
+     ON LocalLoadStr.timestamp = GlobalLoadStr.timestamp \
+     AND localAvgLoad > globalAvgLoad";
+
+/// LRB1: derives the segment stream from raw position reports
+/// (paper Appendix A.3; `position / 5280` is the segment).
+pub const LRB1: &str = "SELECT timestamp, vehicle, speed, highway, lane, direction, \
+     position / 5280 AS segment \
+     FROM PosSpeedStr [RANGE UNBOUNDED]";
+
+/// LRB3: congested segments — average speed per (highway, direction,
+/// segment) over 5 minutes, HAVING avgSpeed < 40 (paper Appendix A.3).
+pub const LRB3: &str = "SELECT timestamp, highway, direction, segment, AVG(speed) AS avgSpeed \
+     FROM SegSpeedStr [RANGE 300 SLIDE 1] \
+     GROUP BY highway, direction, segment HAVING avgSpeed < 40";
+
+/// LRB4: distinct vehicles per (highway, direction, segment) over 30 s
+/// (paper Appendix A.3).
+pub const LRB4: &str = "SELECT timestamp, highway, direction, segment, \
+     COUNT(DISTINCT vehicle) AS numVehicles \
+     FROM SegSpeedStr [RANGE 30 SLIDE 1] \
+     GROUP BY highway, direction, segment";
+
+/// A catalog with every stream of the evaluation workloads registered:
+/// the base streams (`Syn`, `TaskEvents`, `SmartGridStr`, `PosSpeedStr`) and
+/// the derived streams SG3 and the LRB chain consume (`SegSpeedStr`,
+/// `LocalLoadStr`, `GlobalLoadStr`).
+pub fn catalog() -> Catalog {
+    Catalog::new()
+        .with_stream("Syn", crate::synthetic::schema())
+        .with_stream("TaskEvents", cluster::schema())
+        .with_stream("SmartGridStr", smartgrid::schema())
+        .with_stream("PosSpeedStr", linearroad::schema())
+        .with_stream("SegSpeedStr", linearroad::segspeed_schema())
+        .with_stream("LocalLoadStr", smartgrid::sg2_output_schema())
+        .with_stream("GlobalLoadStr", smartgrid::sg1_output_schema())
+}
+
+/// Compiles one of the SQL constants above against [`catalog`].
+fn compiled(sql: &str, name: &str) -> Query {
+    compile_named(sql, name, &catalog()).expect("reference SQL compiles")
+}
+
+/// CM1 compiled from [`CM1`].
+pub fn cm1() -> Query {
+    compiled(CM1, "CM1")
+}
+
+/// CM2 compiled from [`CM2`].
+pub fn cm2() -> Query {
+    compiled(CM2, "CM2")
+}
+
+/// SG1 compiled from [`SG1`].
+pub fn sg1() -> Query {
+    compiled(SG1, "SG1")
+}
+
+/// SG2 compiled from [`SG2`].
+pub fn sg2() -> Query {
+    compiled(SG2, "SG2")
+}
+
+/// SG3 compiled from [`SG3`].
+pub fn sg3() -> Query {
+    compiled(SG3, "SG3")
+}
+
+/// LRB1 compiled from [`LRB1`].
+pub fn lrb1() -> Query {
+    compiled(LRB1, "LRB1")
+}
+
+/// LRB3 compiled from [`LRB3`].
+pub fn lrb3() -> Query {
+    compiled(LRB3, "LRB3")
+}
+
+/// LRB4 compiled from [`LRB4`].
+pub fn lrb4() -> Query {
+    compiled(LRB4, "LRB4")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reference;
+
+    /// Structural equivalence: same inputs/windows, operator pipeline,
+    /// stream function and output schema (names may differ).
+    fn assert_same_query(sql: &Query, ir: &Query) {
+        assert_eq!(sql.inputs.len(), ir.inputs.len(), "input arity");
+        for (a, b) in sql.inputs.iter().zip(&ir.inputs) {
+            assert_eq!(a.schema, b.schema, "input schema");
+            assert_eq!(a.window, b.window, "window");
+        }
+        assert_eq!(sql.operators, ir.operators, "operator pipeline");
+        assert_eq!(sql.stream_function, ir.stream_function, "stream function");
+        assert_eq!(sql.output_schema, ir.output_schema, "output schema");
+    }
+
+    #[test]
+    fn sg_queries_match_their_ir_forms_structurally() {
+        assert_same_query(&sg1(), &smartgrid::sg1());
+        assert_same_query(&sg2(), &smartgrid::sg2());
+        assert_same_query(&sg3(), &smartgrid::sg3());
+    }
+
+    #[test]
+    fn cm2_matches_its_ir_form_structurally() {
+        assert_same_query(&cm2(), &cluster::cm2());
+    }
+
+    #[test]
+    fn lrb_queries_match_their_ir_forms_structurally() {
+        assert_same_query(&lrb1(), &linearroad::lrb1());
+        assert_same_query(&lrb3(), &linearroad::lrb3());
+        assert_same_query(&lrb4(), &linearroad::lrb4());
+    }
+
+    #[test]
+    fn cm1_sql_and_ir_produce_identical_results() {
+        // The SQL planner aggregates the raw stream directly while the IR
+        // form projects (timestamp, category, cpu) first — different
+        // pipelines, same semantics. Compare results on the reference
+        // interpreter over 70 seconds of trace.
+        let sql_q = cm1();
+        let ir_q = cluster::cm1();
+        assert_eq!(sql_q.output_schema, ir_q.output_schema);
+
+        let config = cluster::TraceConfig {
+            events_per_second: 1_000,
+            ..Default::default()
+        };
+        let data = cluster::generate(&config, 70_000, 42, 0);
+        let sql_out = reference::run_single_input(&sql_q, &data).unwrap();
+        let ir_out = reference::run_single_input(&ir_q, &data).unwrap();
+        assert!(!sql_out.is_empty(), "windows must close over 70s of data");
+        assert_eq!(sql_out.len(), ir_out.len());
+        assert_eq!(sql_out.bytes(), ir_out.bytes());
+    }
+
+    #[test]
+    fn catalog_registers_all_reference_streams() {
+        let c = catalog();
+        for name in [
+            "Syn",
+            "TaskEvents",
+            "SmartGridStr",
+            "PosSpeedStr",
+            "SegSpeedStr",
+            "LocalLoadStr",
+            "GlobalLoadStr",
+        ] {
+            assert!(c.get(name).is_some(), "missing stream {name}");
+        }
+        assert_eq!(c.streams().count(), 7);
+    }
+}

@@ -1,22 +1,25 @@
-//! Cluster monitoring (the paper's CM workload): run CM1 and CM2 over a
-//! synthetic Google-cluster-style TaskEvents trace and print the per-category
-//! CPU usage of the most recent windows.
+//! Cluster monitoring (the paper's CM workload): run CM1 and CM2 — as SQL
+//! text — over a synthetic Google-cluster-style TaskEvents trace and print
+//! the per-category CPU usage of the most recent windows.
 //!
 //! ```bash
 //! cargo run --release --example cluster_monitoring
 //! ```
 
 use saber::engine::{ExecutionMode, Saber};
-use saber::workloads::cluster;
+use saber::workloads::{cluster, sql};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let catalog = sql::catalog();
     let mut engine = Saber::builder()
         .worker_threads(4)
         .query_task_size(512 * 1024)
         .execution_mode(ExecutionMode::Hybrid)
         .build()?;
-    let cm1_sink = engine.add_query(cluster::cm1())?;
-    let cm2_sink = engine.add_query_with_options(cluster::cm2(), false)?;
+    println!("CM1: {}", sql::CM1);
+    println!("CM2: {}", sql::CM2);
+    let cm1_sink = engine.add_query_sql(sql::CM1, &catalog)?;
+    let cm2_sink = engine.add_query_sql_with_options(sql::CM2, &catalog, false)?;
     engine.start()?;
 
     // 90 seconds of application time at 50k events/s.

@@ -1,22 +1,26 @@
-//! Linear Road (the paper's LRB workload): LRB1 derives the segment stream,
-//! LRB3 finds congested segments (HAVING avgSpeed < 40) and LRB4 counts
-//! distinct vehicles per segment.
+//! Linear Road (the paper's LRB workload) in the SQL dialect: LRB1 derives
+//! the segment stream (`position / 5280 AS segment`), LRB3 finds congested
+//! segments (`HAVING avgSpeed < 40`) and LRB4 counts distinct vehicles per
+//! segment (`COUNT(DISTINCT vehicle)`).
 //!
 //! ```bash
 //! cargo run --release --example linear_road
 //! ```
 
 use saber::engine::{ExecutionMode, Saber};
-use saber::workloads::linearroad;
+use saber::workloads::{linearroad, sql};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let catalog = sql::catalog();
+
     // Stage 1: LRB1 projects raw position reports into SegSpeedStr.
     let mut stage1 = Saber::builder()
         .worker_threads(4)
         .query_task_size(512 * 1024)
         .execution_mode(ExecutionMode::Hybrid)
         .build()?;
-    let seg_sink = stage1.add_query(linearroad::lrb1())?;
+    println!("LRB1: {}", sql::LRB1);
+    let seg_sink = stage1.add_query_sql(sql::LRB1, &catalog)?;
     stage1.start()?;
 
     let config = linearroad::RoadConfig {
@@ -43,8 +47,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .query_task_size(512 * 1024)
         .execution_mode(ExecutionMode::Hybrid)
         .build()?;
-    let congestion_sink = stage2.add_query(linearroad::lrb3())?;
-    let volume_sink = stage2.add_query_with_options(linearroad::lrb4(), false)?;
+    println!("LRB3: {}", sql::LRB3);
+    println!("LRB4: {}", sql::LRB4);
+    let congestion_sink = stage2.add_query_sql(sql::LRB3, &catalog)?;
+    let volume_sink = stage2.add_query_sql_with_options(sql::LRB4, &catalog, false)?;
     stage2.start()?;
     for chunk in segspeed.bytes().chunks(1 << 20) {
         stage2.ingest(0, 0, chunk)?;

@@ -1,5 +1,5 @@
-//! Quickstart: run a windowed selection and a sliding GROUP-BY aggregation
-//! over a synthetic stream on the hybrid engine.
+//! Quickstart: run a windowed selection and a sliding GROUP-BY aggregation —
+//! written as SQL text — over a synthetic stream on the hybrid engine.
 //!
 //! ```bash
 //! cargo run --release --example quickstart
@@ -10,27 +10,24 @@ use saber::workloads::synthetic;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let schema = synthetic::schema();
-
-    // Query 1: SELECT * WHERE a1 > 0.9 over a 1024-tuple tumbling window.
-    let hot_values = QueryBuilder::new("hot-values", schema.clone())
-        .count_window(1024, 1024)
-        .select(Expr::column(1).gt(Expr::literal(0.9)))
-        .build()?;
-
-    // Query 2: per-key COUNT over a sliding window (4096 tuples, slide 1024).
-    let counts_per_key = QueryBuilder::new("counts-per-key", schema.clone())
-        .count_window(4096, 1024)
-        .aggregate(AggregateFunction::Count, 1)
-        .group_by(vec![2])
-        .build()?;
+    let catalog = Catalog::new().with_stream("Syn", schema.clone());
 
     let mut engine = Saber::builder()
         .worker_threads(4)
         .query_task_size(256 * 1024)
         .execution_mode(ExecutionMode::Hybrid)
         .build()?;
-    let hot_sink = engine.add_query(hot_values)?;
-    let count_sink = engine.add_query(counts_per_key)?;
+
+    // Query 1: hot values over a 1024-tuple tumbling window.
+    let hot_sink =
+        engine.add_query_sql("SELECT * FROM Syn [ROWS 1024] WHERE a1 > 0.9", &catalog)?;
+
+    // Query 2: per-key COUNT over a sliding window (4096 tuples, slide 1024).
+    let count_sink = engine.add_query_sql(
+        "SELECT timestamp, a2, COUNT(*) AS hits \
+         FROM Syn [ROWS 4096 SLIDE 1024] GROUP BY a2",
+        &catalog,
+    )?;
     engine.start()?;
 
     // Stream 1M synthetic tuples into both queries.

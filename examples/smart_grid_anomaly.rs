@@ -1,27 +1,32 @@
-//! Smart-grid anomaly detection (the paper's SG workload): SG1 computes the
-//! sliding global average load, SG2 the per-plug average, and SG3 joins the
-//! two derived streams to count, per house, the plugs whose local average
-//! exceeds the global one.
+//! Smart-grid anomaly detection (the paper's SG workload), written entirely
+//! in the SQL dialect: SG1 computes the sliding global average load, SG2 the
+//! per-plug average, and SG3 joins the two derived streams to flag the plugs
+//! whose local average exceeds the global one.
 //!
-//! The example shows how derived streams are chained: SG1 and SG2 run in one
-//! engine, their outputs are forwarded into the two inputs of SG3.
+//! The example shows how derived streams chain: SG1 and SG2 run in one
+//! engine, their outputs are forwarded into the two inputs of SG3 (the
+//! catalog registers the derived schemas as `GlobalLoadStr`/`LocalLoadStr`).
 //!
 //! ```bash
 //! cargo run --release --example smart_grid_anomaly
 //! ```
 
 use saber::engine::{ExecutionMode, Saber};
-use saber::workloads::smartgrid;
+use saber::workloads::{smartgrid, sql};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let catalog = sql::catalog();
+
     // Stage 1: SG1 + SG2 over the raw smart-meter stream.
     let mut stage1 = Saber::builder()
         .worker_threads(4)
         .query_task_size(512 * 1024)
         .execution_mode(ExecutionMode::Hybrid)
         .build()?;
-    let sg1_sink = stage1.add_query(smartgrid::sg1())?;
-    let sg2_sink = stage1.add_query(smartgrid::sg2())?;
+    println!("SG1: {}", sql::SG1);
+    println!("SG2: {}", sql::SG2);
+    let sg1_sink = stage1.add_query_sql(sql::SG1, &catalog)?;
+    let sg2_sink = stage1.add_query_sql(sql::SG2, &catalog)?;
     stage1.start()?;
 
     let config = smartgrid::GridConfig {
@@ -56,7 +61,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .query_task_size(128 * 1024)
         .execution_mode(ExecutionMode::Hybrid)
         .build()?;
-    let outlier_sink = stage2.add_query(smartgrid::sg3())?;
+    println!("SG3: {}", sql::SG3);
+    let outlier_sink = stage2.add_query_sql(sql::SG3, &catalog)?;
     stage2.start()?;
     stage2.ingest(0, 0, local.bytes())?;
     stage2.ingest(0, 1, global.bytes())?;

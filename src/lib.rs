@@ -5,6 +5,7 @@
 //!
 //! * [`types`] — stream data model (schemas, binary tuples, row buffers),
 //! * [`query`] — windows, expressions, aggregates and the query builder,
+//! * [`sql`] — the streaming SQL frontend (text → [`query::Query`] IR),
 //! * [`cpu`] — CPU operator implementations (fragment/batch/assembly functions),
 //! * [`gpu`] — the simulated many-core accelerator and its kernels,
 //! * [`engine`] — dispatcher, HLS scheduler, worker threads, result stage,
@@ -13,25 +14,27 @@
 //!
 //! ## Quickstart
 //!
+//! Queries can be written as SQL text (the dialect of paper §3, see
+//! `docs/sql.md`) and registered with [`Saber::add_query_sql`], or built
+//! programmatically with [`QueryBuilder`]:
+//!
 //! ```
 //! use saber::prelude::*;
 //!
 //! // A 32-byte synthetic schema: timestamp + six 32-bit attributes.
 //! let schema = saber::workloads::synthetic::schema();
-//!
-//! // SELECT * WHERE a1 > 0.5 over a 1024-tuple tumbling window.
-//! let query = QueryBuilder::new("quickstart", schema.clone())
-//!     .count_window(1024, 1024)
-//!     .select(Expr::column(1).gt(Expr::literal(0.5)))
-//!     .build()
-//!     .unwrap();
+//! let catalog = Catalog::new().with_stream("Syn", schema.clone());
 //!
 //! let mut engine = Saber::builder()
 //!     .worker_threads(2)
 //!     .query_task_size(64 * 1024)
 //!     .build()
 //!     .unwrap();
-//! let sink = engine.add_query(query).unwrap();
+//!
+//! // SELECT * WHERE a1 > 0.5 over a 1024-tuple tumbling window.
+//! let sink = engine
+//!     .add_query_sql("SELECT * FROM Syn [ROWS 1024] WHERE a1 > 0.5", &catalog)
+//!     .unwrap();
 //! engine.start().unwrap();
 //!
 //! let batch = saber::workloads::synthetic::generate(&schema, 8 * 1024, 42);
@@ -39,12 +42,17 @@
 //! engine.stop().unwrap();
 //! assert!(sink.tuples_emitted() > 0);
 //! ```
+//!
+//! [`Saber::add_query_sql`]: saber_engine::Saber::add_query_sql
+//! [`Saber`]: saber_engine::Saber
+//! [`QueryBuilder`]: saber_query::QueryBuilder
 
 pub use saber_baselines as baselines;
 pub use saber_cpu as cpu;
 pub use saber_engine as engine;
 pub use saber_gpu as gpu;
 pub use saber_query as query;
+pub use saber_sql as sql;
 pub use saber_types as types;
 pub use saber_workloads as workloads;
 
@@ -56,5 +64,6 @@ pub mod prelude {
     pub use saber_query::{
         AggregateFunction, Expr, Query, QueryBuilder, StreamFunction, WindowSpec,
     };
+    pub use saber_sql::Catalog;
     pub use saber_types::{Attribute, DataType, RowBuffer, Schema, TupleRef, Value};
 }
