@@ -23,7 +23,7 @@ use saber_cpu::plan::CompiledPlan;
 use saber_gpu::{DeviceConfig, GpuDevice};
 use saber_query::Query;
 use saber_types::{Result, SaberError};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
@@ -33,6 +33,95 @@ struct QueryEntry {
     runtime: Arc<ResultStage>,
     stats: Arc<QueryStats>,
     sink: QuerySink,
+}
+
+/// How long [`Saber::stop`] waits for in-flight tasks to drain before giving
+/// up and reporting an unclean stop.
+const STOP_DRAIN_TIMEOUT: Duration = Duration::from_secs(60);
+
+/// Engine lifecycle phases. The engine moves strictly forward:
+/// `Created → Running → Stopped`; a stopped engine cannot be restarted.
+const PHASE_CREATED: u8 = 0;
+const PHASE_RUNNING: u8 = 1;
+const PHASE_STOPPED: u8 = 2;
+
+/// Shared lifecycle state: the phase plus a count of ingest calls currently
+/// past the phase check. Together they make [`Saber::stop`] loss-free: stop
+/// first flips the phase to `Stopped` (so every *new* ingest is rejected with
+/// a [`SaberError::State`]), then waits for the in-flight count to reach
+/// zero (so every ingest that was *already accepted* has finished appending)
+/// before flushing — no accepted row can land after the final flush.
+#[derive(Debug)]
+struct Lifecycle {
+    phase: AtomicU8,
+    in_flight_ingests: AtomicU64,
+}
+
+impl Lifecycle {
+    fn new() -> Self {
+        Self {
+            phase: AtomicU8::new(PHASE_CREATED),
+            in_flight_ingests: AtomicU64::new(0),
+        }
+    }
+
+    fn phase(&self) -> u8 {
+        self.phase.load(Ordering::SeqCst)
+    }
+
+    fn is_running(&self) -> bool {
+        self.phase() == PHASE_RUNNING
+    }
+
+    /// Registers an ingest as in-flight iff the engine is running.
+    ///
+    /// The increment happens *before* the phase check (both `SeqCst`), which
+    /// pairs with the store-then-read order in [`Saber::stop`]: if the check
+    /// here observes `Running`, stop's subsequent wait must observe the
+    /// increment, so the append this permit covers completes before flush.
+    fn begin_ingest(&self) -> Result<IngestPermit<'_>> {
+        self.in_flight_ingests.fetch_add(1, Ordering::SeqCst);
+        match self.phase() {
+            PHASE_RUNNING => Ok(IngestPermit { lifecycle: self }),
+            phase => {
+                self.in_flight_ingests.fetch_sub(1, Ordering::SeqCst);
+                Err(SaberError::State(match phase {
+                    PHASE_CREATED => "engine is not running (call start() first)".to_string(),
+                    _ => "engine is stopped; this ingest handle is no longer valid".to_string(),
+                }))
+            }
+        }
+    }
+
+    /// Blocks until every in-flight ingest has completed, or until `timeout`
+    /// elapses (returning false). New ingests are already rejected after the
+    /// phase flip and in-flight ones only block on the credit gate, which
+    /// the still-running workers keep draining — so in a healthy engine this
+    /// returns true quickly; the timeout exists so a leaked credit (e.g. a
+    /// panicked worker) degrades into an unclean stop instead of a hang.
+    fn wait_ingests_drained(&self, timeout: Duration) -> bool {
+        let deadline = std::time::Instant::now() + timeout;
+        while self.in_flight_ingests.load(Ordering::SeqCst) > 0 {
+            if std::time::Instant::now() >= deadline {
+                return false;
+            }
+            std::thread::sleep(Duration::from_micros(50));
+        }
+        true
+    }
+}
+
+/// RAII guard for one in-flight ingest (see [`Lifecycle::begin_ingest`]).
+struct IngestPermit<'a> {
+    lifecycle: &'a Lifecycle,
+}
+
+impl Drop for IngestPermit<'_> {
+    fn drop(&mut self) {
+        self.lifecycle
+            .in_flight_ingests
+            .fetch_sub(1, Ordering::SeqCst);
+    }
 }
 
 /// The SABER hybrid stream processing engine.
@@ -47,7 +136,7 @@ pub struct Saber {
     stats: EngineStats,
     device: Arc<GpuDevice>,
     workers: Vec<JoinHandle<()>>,
-    running: Arc<AtomicBool>,
+    lifecycle: Arc<Lifecycle>,
 }
 
 impl Saber {
@@ -98,7 +187,7 @@ impl Saber {
             stats: EngineStats::default(),
             device,
             workers: Vec::new(),
-            running: Arc::new(AtomicBool::new(false)),
+            lifecycle: Arc::new(Lifecycle::new()),
             config,
         })
     }
@@ -233,9 +322,21 @@ impl Saber {
     }
 
     /// Starts the worker threads.
+    ///
+    /// The lifecycle is strictly forward: a stopped engine cannot be
+    /// restarted (its task queue and credit gate have been shut down); build
+    /// a fresh engine instead.
     pub fn start(&mut self) -> Result<()> {
-        if self.is_running() {
-            return Err(SaberError::State("engine already running".into()));
+        match self.lifecycle.phase() {
+            PHASE_RUNNING => {
+                return Err(SaberError::State("engine already running".into()));
+            }
+            PHASE_STOPPED => {
+                return Err(SaberError::State(
+                    "engine is stopped and cannot be restarted".into(),
+                ));
+            }
+            _ => {}
         }
         if self.queries.is_empty() {
             return Err(SaberError::State("no queries registered".into()));
@@ -283,21 +384,21 @@ impl Saber {
                     .map_err(|e| SaberError::State(format!("failed to spawn GPU worker: {e}")))?,
             );
         }
-        self.running.store(true, Ordering::Release);
+        self.lifecycle.phase.store(PHASE_RUNNING, Ordering::SeqCst);
         Ok(())
     }
 
     fn is_running(&self) -> bool {
-        self.running.load(Ordering::Acquire)
+        self.lifecycle.is_running()
     }
 
     /// Ingests whole rows into input `stream` of query `query`. The buffer
     /// copy is lock-free; backpressure blocks on the credit gate until
-    /// workers free queue slots.
+    /// workers free queue slots. After [`Saber::stop`] begins, ingests are
+    /// rejected with a [`SaberError::State`] instead of silently dropping
+    /// rows.
     pub fn ingest(&self, query: usize, stream: usize, bytes: &[u8]) -> Result<()> {
-        if !self.is_running() {
-            return Err(SaberError::State("engine is not running".into()));
-        }
+        let _permit = self.lifecycle.begin_ingest()?;
         let entry = self
             .queries
             .get(query)
@@ -332,7 +433,7 @@ impl Saber {
                 stats: entry.stats.clone(),
                 flow: self.flow.clone(),
                 queue: self.queue.clone(),
-                running: self.running.clone(),
+                lifecycle: self.lifecycle.clone(),
                 stream,
             }),
         })
@@ -355,21 +456,67 @@ impl Saber {
         self.flow.wait_idle(timeout)
     }
 
-    /// Flushes remaining data, waits for all tasks to complete and stops the
-    /// worker threads.
+    /// Stops the engine deterministically and loss-free: flushes remaining
+    /// data, waits for all tasks to complete and stops the worker threads.
+    ///
+    /// The ordering is the point (and a fixed race): the phase flips to
+    /// `Stopped` *first*, so producers looping on an [`IngestHandle`] get a
+    /// clean [`SaberError::State`] instead of pinning `drain` at its full
+    /// timeout — and rows they ingest during shutdown are rejected rather
+    /// than accepted and silently dropped after the final flush. Ingests
+    /// already past the phase check are waited for before flushing, so every
+    /// row whose ingest returned `Ok` is processed.
+    ///
+    /// Returns an error if the wind-down (waiting out in-flight ingests and
+    /// draining in-flight tasks — one shared 60 s budget) timed out; the
+    /// workers are still shut down, but on that unclean path some accepted
+    /// rows may not have reached the sinks.
     pub fn stop(&mut self) -> Result<()> {
-        if !self.is_running() {
+        if self
+            .lifecycle
+            .phase
+            .compare_exchange(
+                PHASE_RUNNING,
+                PHASE_STOPPED,
+                Ordering::SeqCst,
+                Ordering::SeqCst,
+            )
+            .is_err()
+        {
+            // Never started, or already stopped: nothing to wind down.
             return Ok(());
         }
-        self.flush()?;
-        self.drain(Duration::from_secs(60));
-        self.running.store(false, Ordering::Release);
+        // One budget covers the whole wind-down (ingest wait + task drain),
+        // so callers can rely on stop() returning within STOP_DRAIN_TIMEOUT.
+        let deadline = std::time::Instant::now() + STOP_DRAIN_TIMEOUT;
+        let ingests_drained = self.lifecycle.wait_ingests_drained(STOP_DRAIN_TIMEOUT);
+        if !ingests_drained {
+            // Something is wedged (e.g. a leaked credit): unblock the
+            // stranded producers instead of hanging; the stop is unclean.
+            self.flow.signal_shutdown();
+        }
+        let flush_result = if ingests_drained {
+            self.flush()
+        } else {
+            Ok(())
+        };
+        let drained = ingests_drained
+            && self.drain(deadline.saturating_duration_since(std::time::Instant::now()));
         self.queue.signal_shutdown();
         // Unblock any producer stranded on the credit gate: once workers are
         // told to exit, remaining credits would never be released.
         self.flow.signal_shutdown();
         for worker in self.workers.drain(..) {
             let _ = worker.join();
+        }
+        flush_result?;
+        if !drained {
+            return Err(SaberError::State(format!(
+                "stop() timed out after {STOP_DRAIN_TIMEOUT:?} with {} in-flight ingest(s) \
+                 and {} in-flight task(s); workers were shut down anyway (unclean stop)",
+                self.lifecycle.in_flight_ingests.load(Ordering::SeqCst),
+                self.flow.outstanding()
+            )));
         }
         Ok(())
     }
@@ -433,7 +580,7 @@ struct HandleInner {
     stats: Arc<QueryStats>,
     flow: Arc<FlowControl>,
     queue: Arc<TaskQueue>,
-    running: Arc<AtomicBool>,
+    lifecycle: Arc<Lifecycle>,
     stream: usize,
 }
 
@@ -498,10 +645,12 @@ impl IngestHandle {
     }
 
     /// Ingests whole rows into the bound stream.
+    ///
+    /// Once the engine stops, the handle is invalidated: every subsequent
+    /// call returns a [`SaberError::State`] — a row is either accepted *and*
+    /// processed, or rejected with an error, never accepted and dropped.
     pub fn ingest(&self, bytes: &[u8]) -> Result<()> {
-        if !self.inner.running.load(Ordering::Acquire) {
-            return Err(SaberError::State("engine is not running".into()));
-        }
+        let _permit = self.inner.lifecycle.begin_ingest()?;
         ingest_into(
             &self.inner.dispatcher,
             &self.inner.stats,
@@ -510,6 +659,20 @@ impl IngestHandle {
             self.inner.stream,
             bytes,
         )
+    }
+
+    /// Cuts this query's partially filled stream batches into a final
+    /// (undersized) task — like [`Saber::flush`], but scoped to the handle's
+    /// query and callable without a reference to the engine (e.g. by a
+    /// producer ending a burst). Admission of the cut task blocks on the
+    /// credit gate like any other. Invalidated by [`Saber::stop`] exactly
+    /// like [`IngestHandle::ingest`].
+    pub fn flush(&self) -> Result<()> {
+        let _permit = self.inner.lifecycle.begin_ingest()?;
+        if let Some(task) = self.inner.dispatcher.flush()? {
+            submit_task(&self.inner.stats, &self.inner.flow, &self.inner.queue, task);
+        }
+        Ok(())
     }
 }
 
@@ -745,6 +908,29 @@ mod tests {
         );
         // Stopped handles refuse further data.
         assert!(handle.ingest(&data(1, 0)).is_err());
+    }
+
+    #[test]
+    fn handle_flush_makes_partial_batches_visible() {
+        let mut engine = small_engine(ExecutionMode::CpuOnly);
+        let q = QueryBuilder::new("proj", schema())
+            .count_window(4, 4)
+            .project(vec![(Expr::column(0), "timestamp")])
+            .build()
+            .unwrap();
+        let sink = engine.add_query(q).unwrap();
+        engine.start().unwrap();
+        let handle = engine.ingest_handle(0, 0).unwrap();
+        // Far less than a task's worth of data: without a flush no task is
+        // ever cut, so nothing can have been emitted.
+        handle.ingest(&data(8, 0)).unwrap();
+        assert_eq!(sink.tuples_emitted(), 0);
+        handle.flush().unwrap();
+        assert!(engine.drain(Duration::from_secs(10)));
+        assert_eq!(sink.tuples_emitted(), 8);
+        engine.stop().unwrap();
+        // Stopped engines invalidate flush exactly like ingest.
+        assert!(handle.flush().is_err());
     }
 
     #[test]

@@ -121,13 +121,16 @@ impl TaskQueue {
             panic!("query {} not registered with the task queue", task.query_id)
         });
         let arrival = self.arrivals.fetch_add(1, Ordering::Relaxed);
+        // Count the task *before* it becomes poppable: a worker that pops it
+        // concurrently decrements `len` only after this increment, so the
+        // counter can transiently overcount but never wrap below zero.
+        let len = self.len.fetch_add(1, Ordering::AcqRel) + 1;
+        self.max_depth.fetch_max(len, Ordering::AcqRel);
         {
             let mut q = shard.inner.lock();
             q.push_back((arrival, task));
             shard.sync_meta(&q);
         }
-        let len = self.len.fetch_add(1, Ordering::AcqRel) + 1;
-        self.max_depth.fetch_max(len, Ordering::AcqRel);
         self.enqueued.fetch_add(1, Ordering::Relaxed);
         // Serialize with `take_with` waiters so the wakeup cannot be lost:
         // a waiter holds the sleep lock between its emptiness check and its

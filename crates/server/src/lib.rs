@@ -1,0 +1,828 @@
+//! # saber-server
+//!
+//! A TCP network frontend for the SABER engine: the piece that turns the
+//! embedded library into a system serving many concurrent clients. It speaks
+//! a small newline-delimited, length-safe text protocol (see
+//! `docs/server.md`):
+//!
+//! * `CREATE STREAM name (attr TYPE, ...)` declares a stream schema in a
+//!   shared [`saber_sql::Catalog`],
+//! * `QUERY <sql>` compiles a statement of the SABER SQL dialect against the
+//!   catalog and registers it with the engine,
+//! * `INSERT <query> <stream> CSV|B64 <rows>` ingests rows — CSV for
+//!   human-driven clients, base64-encoded raw row bytes for binary ones,
+//! * `SUBSCRIBE <query> [CSV|B64]` turns the connection into a result
+//!   stream: the server pushes windows to every subscriber as they close.
+//!
+//! Each connection gets its own reader thread; all connections multiplex
+//! onto **one** [`Saber`] engine, so producers share the engine's credit-gate
+//! backpressure (a slow engine blocks `INSERT` acks, which blocks the TCP
+//! stream — backpressure propagates to the client for free).
+//!
+//! [`Server::shutdown`] is deterministic and loss-free, built on the
+//! engine's reject-then-drain `stop()` semantics: it stops accepting,
+//! unblocks and joins every connection thread (so no ingest is in flight),
+//! stops the engine (every acknowledged row is processed), then delivers the
+//! final result windows and an `END` marker to all subscribers.
+//!
+//! ```no_run
+//! use saber_server::{Server, ServerConfig};
+//! use std::io::{BufRead, BufReader, Write};
+//! use std::net::TcpStream;
+//!
+//! let server = Server::bind("127.0.0.1:0", ServerConfig::default()).unwrap();
+//! let mut client = TcpStream::connect(server.local_addr()).unwrap();
+//! let mut lines = BufReader::new(client.try_clone().unwrap()).lines();
+//! lines.next(); // banner
+//! writeln!(client, "CREATE STREAM S (timestamp TIMESTAMP, v FLOAT)").unwrap();
+//! writeln!(client, "QUERY SELECT * FROM S [ROWS 2] WHERE v > 0").unwrap();
+//! writeln!(client, "INSERT 0 0 CSV 1,0.5;2,1.5").unwrap();
+//! server.shutdown().unwrap();
+//! ```
+
+#![deny(missing_docs)]
+
+pub mod protocol;
+
+use protocol::{
+    data_type_name, format_batch, parse_command, read_line_capped, Command, Encoding, Payload,
+};
+use saber_engine::{EngineConfig, IngestHandle, QuerySink, Saber};
+use saber_sql::Catalog;
+use saber_types::schema::SchemaRef;
+use saber_types::{Result, RowBuffer, SaberError};
+use std::io::{BufReader, Write};
+use std::net::{
+    IpAddr, Ipv4Addr, Ipv6Addr, Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs,
+};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Configuration of a [`Server`].
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Configuration of the embedded engine.
+    pub engine: EngineConfig,
+    /// Maximum accepted request-line length in bytes. Longer lines abort the
+    /// connection with a protocol error (the framing cannot resynchronise).
+    pub max_line_bytes: usize,
+    /// How often the result broadcaster polls the query sinks for newly
+    /// closed windows.
+    pub poll_interval: Duration,
+    /// Write timeout applied to subscriber sockets. A subscriber that stops
+    /// reading (full TCP receive window) fails its next push within this
+    /// bound and is dropped, so one stalled client can neither starve the
+    /// other subscribers nor wedge [`Server::shutdown`].
+    pub subscriber_write_timeout: Duration,
+    /// How often the broadcaster writes a `NOP` keepalive line to quiet
+    /// subscribers. TCP cannot distinguish a half-close ("no more input,
+    /// still receiving" — which subscriptions honour) from a full close
+    /// until a write fails, so the keepalive bounds how long a fully
+    /// disconnected subscriber of an idle query can linger unreaped.
+    pub keepalive_interval: Duration,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        Self {
+            engine: EngineConfig::default(),
+            max_line_bytes: 1 << 20,
+            poll_interval: Duration::from_millis(1),
+            subscriber_write_timeout: Duration::from_secs(10),
+            keepalive_interval: Duration::from_secs(15),
+        }
+    }
+}
+
+/// Final per-query counters returned by [`Server::shutdown`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QueryReport {
+    /// Rows accepted into the query's input buffers over the server's life.
+    pub tuples_in: u64,
+    /// Result rows emitted by the query.
+    pub tuples_out: u64,
+}
+
+/// Summary of a completed [`Server::shutdown`]: every row counted in
+/// `tuples_in` was fully processed before the engine stopped.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShutdownReport {
+    /// Per-query counters, indexed by query id.
+    pub queries: Vec<QueryReport>,
+}
+
+/// One registered query: its SQL text, input schemas (for decoding `INSERT`
+/// payloads), one cached [`IngestHandle`] per input stream (handles are
+/// cheap `Arc` clones, so the hot `INSERT` path neither re-resolves nor
+/// re-allocates), output sink and current subscribers.
+struct QueryReg {
+    sql: String,
+    input_schemas: Vec<SchemaRef>,
+    handles: Vec<IngestHandle>,
+    sink: QuerySink,
+    subscribers: Vec<Subscriber>,
+}
+
+/// A result subscriber: the write half of its connection plus its encoding.
+struct Subscriber {
+    id: u64,
+    stream: Arc<TcpStream>,
+    encoding: Encoding,
+    /// False until the `OK subscribed` ack has been written. The broadcaster
+    /// holds a query's drain back while any of its subscribers is pending,
+    /// so no window closed after the ack can be dropped, and no `ROW` can
+    /// precede the ack.
+    ready: Arc<AtomicBool>,
+}
+
+/// A live connection as seen by shutdown: a socket handle to unblock its
+/// reader thread with, and whether it became a subscriber (subscriber write
+/// halves must stay open until the final windows are delivered).
+struct ConnReg {
+    id: u64,
+    stream: TcpStream,
+    subscriber: Arc<AtomicBool>,
+}
+
+struct State {
+    catalog: Catalog,
+    engine: Saber,
+    started: bool,
+    queries: Vec<QueryReg>,
+    conns: Vec<ConnReg>,
+    threads: Vec<JoinHandle<()>>,
+}
+
+struct Shared {
+    state: Mutex<State>,
+    /// Set first during shutdown: stops the accept loop and tells exiting
+    /// connection threads not to deregister their subscribers.
+    shutting_down: AtomicBool,
+    /// Set after the engine has stopped: the broadcaster performs one final
+    /// drain, delivers `END` to every subscriber and exits.
+    finish_broadcast: AtomicBool,
+    next_subscriber_id: AtomicU64,
+    next_conn_id: AtomicU64,
+    max_line_bytes: usize,
+    poll_interval: Duration,
+    subscriber_write_timeout: Duration,
+    keepalive_interval: Duration,
+}
+
+impl Shared {
+    /// Locks the state, recovering from poisoning: a panicking connection
+    /// thread must not take the whole server down.
+    fn lock(&self) -> MutexGuard<'_, State> {
+        self.state.lock().unwrap_or_else(|p| p.into_inner())
+    }
+}
+
+/// A running SABER network server (see the crate docs for the protocol).
+pub struct Server {
+    shared: Arc<Shared>,
+    local_addr: SocketAddr,
+    accept: Option<JoinHandle<()>>,
+    broadcaster: Option<JoinHandle<()>>,
+    shut_down: bool,
+}
+
+impl Server {
+    /// Binds a server with an empty catalog. Use port 0 to let the OS pick a
+    /// free port (see [`Server::local_addr`]).
+    pub fn bind(addr: impl ToSocketAddrs, config: ServerConfig) -> Result<Server> {
+        Self::bind_with_catalog(addr, config, Catalog::new())
+    }
+
+    /// Binds a server whose catalog is pre-populated with `catalog` (clients
+    /// can reference those streams immediately and still `CREATE STREAM`
+    /// more).
+    pub fn bind_with_catalog(
+        addr: impl ToSocketAddrs,
+        config: ServerConfig,
+        catalog: Catalog,
+    ) -> Result<Server> {
+        let engine = Saber::with_config(config.engine.clone())?;
+        let listener = TcpListener::bind(addr)
+            .map_err(|e| SaberError::State(format!("failed to bind server socket: {e}")))?;
+        let local_addr = listener
+            .local_addr()
+            .map_err(|e| SaberError::State(format!("failed to read local address: {e}")))?;
+        let shared = Arc::new(Shared {
+            state: Mutex::new(State {
+                catalog,
+                engine,
+                started: false,
+                queries: Vec::new(),
+                conns: Vec::new(),
+                threads: Vec::new(),
+            }),
+            shutting_down: AtomicBool::new(false),
+            finish_broadcast: AtomicBool::new(false),
+            next_subscriber_id: AtomicU64::new(0),
+            next_conn_id: AtomicU64::new(0),
+            max_line_bytes: config.max_line_bytes,
+            poll_interval: config.poll_interval,
+            subscriber_write_timeout: config.subscriber_write_timeout,
+            keepalive_interval: config.keepalive_interval,
+        });
+        let accept = {
+            let shared = shared.clone();
+            std::thread::Builder::new()
+                .name("saber-accept".into())
+                .spawn(move || accept_loop(shared, listener))
+                .map_err(|e| SaberError::State(format!("failed to spawn accept thread: {e}")))?
+        };
+        let broadcaster = {
+            let shared = shared.clone();
+            std::thread::Builder::new()
+                .name("saber-broadcast".into())
+                .spawn(move || broadcast_loop(shared))
+                .map_err(|e| SaberError::State(format!("failed to spawn broadcaster: {e}")))?
+        };
+        Ok(Server {
+            shared,
+            local_addr,
+            accept: Some(accept),
+            broadcaster: Some(broadcaster),
+            shut_down: false,
+        })
+    }
+
+    /// The address the server is listening on.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Shuts the server down deterministically and loss-free:
+    ///
+    /// 1. stop accepting connections,
+    /// 2. unblock and join every connection thread — after this no `INSERT`
+    ///    is in flight, and every acknowledged one has reached the engine,
+    /// 3. stop the engine (reject-then-drain: all accepted rows are
+    ///    processed),
+    /// 4. deliver the final result windows plus an `END` line to every
+    ///    subscriber.
+    ///
+    /// Returns the final per-query counters; an error (with workers already
+    /// shut down) if the engine failed to drain within its timeout.
+    pub fn shutdown(mut self) -> Result<ShutdownReport> {
+        self.shutdown_inner()
+    }
+
+    fn shutdown_inner(&mut self) -> Result<ShutdownReport> {
+        if self.shut_down {
+            return Err(SaberError::State("server already shut down".into()));
+        }
+        self.shut_down = true;
+        self.shared.shutting_down.store(true, Ordering::SeqCst);
+        // Wake the accept loop with a throwaway connection (via loopback
+        // when bound to a wildcard address).
+        let mut poke_addr = self.local_addr;
+        if poke_addr.ip().is_unspecified() {
+            poke_addr.set_ip(match poke_addr.ip() {
+                IpAddr::V4(_) => IpAddr::V4(Ipv4Addr::LOCALHOST),
+                IpAddr::V6(_) => IpAddr::V6(Ipv6Addr::LOCALHOST),
+            });
+        }
+        let poked = TcpStream::connect_timeout(&poke_addr, Duration::from_secs(1)).is_ok();
+        if let Some(t) = self.accept.take() {
+            if poked {
+                let _ = t.join();
+            }
+            // If the poke failed (fd exhaustion, unreachable bind address),
+            // detach instead of wedging shutdown: the flag is set, so the
+            // accept loop exits on its next wakeup without registering
+            // anything.
+        }
+        // Unblock every connection reader. Ingest connections can be torn
+        // down completely; subscriber write halves must survive until the
+        // broadcaster has delivered the final windows.
+        let (conns, threads) = {
+            let mut st = self.shared.lock();
+            (
+                std::mem::take(&mut st.conns),
+                std::mem::take(&mut st.threads),
+            )
+        };
+        for conn in &conns {
+            let how = if conn.subscriber.load(Ordering::SeqCst) {
+                Shutdown::Read
+            } else {
+                Shutdown::Both
+            };
+            let _ = conn.stream.shutdown(how);
+        }
+        for t in threads {
+            let _ = t.join();
+        }
+        // No connection thread is alive: every acknowledged INSERT has been
+        // handed to the engine. Stop it — reject-then-drain makes this
+        // deterministic.
+        let stop_result = self.shared.lock().engine.stop();
+        // Engine results are final; let the broadcaster flush them and close.
+        self.shared.finish_broadcast.store(true, Ordering::SeqCst);
+        if let Some(t) = self.broadcaster.take() {
+            let _ = t.join();
+        }
+        let report = {
+            let st = self.shared.lock();
+            ShutdownReport {
+                queries: (0..st.queries.len())
+                    .map(|i| {
+                        let stats = st.engine.query_stats(i).expect("registered query");
+                        QueryReport {
+                            tuples_in: stats.tuples_in.load(Ordering::Relaxed),
+                            tuples_out: stats.tuples_out.load(Ordering::Relaxed),
+                        }
+                    })
+                    .collect(),
+            }
+        };
+        stop_result?;
+        Ok(report)
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        if !self.shut_down {
+            let _ = self.shutdown_inner();
+        }
+    }
+}
+
+fn accept_loop(shared: Arc<Shared>, listener: TcpListener) {
+    loop {
+        let stream = match listener.accept() {
+            Ok((stream, _)) => stream,
+            Err(_) => {
+                if shared.shutting_down.load(Ordering::SeqCst) {
+                    return;
+                }
+                // Persistent accept errors (e.g. EMFILE) must not busy-spin.
+                std::thread::sleep(Duration::from_millis(10));
+                continue;
+            }
+        };
+        if shared.shutting_down.load(Ordering::SeqCst) {
+            return;
+        }
+        let Ok(reg_clone) = stream.try_clone() else {
+            continue;
+        };
+        let id = shared.next_conn_id.fetch_add(1, Ordering::SeqCst);
+        let subscriber = Arc::new(AtomicBool::new(false));
+        // Register the connection *before* spawning its thread: the thread
+        // deregisters itself on exit, and a fast-exiting connection must not
+        // race its own registration (a leaked entry would keep a socket
+        // clone alive and rob the client of its EOF).
+        {
+            let mut st = shared.lock();
+            // Re-check under the registry lock: if shutdown has already
+            // drained the registry (possible only on the degraded detached
+            // path, when the wake poke failed), registering now would leave
+            // a connection nobody unblocks — refuse it instead.
+            if shared.shutting_down.load(Ordering::SeqCst) {
+                let _ = stream.shutdown(Shutdown::Both);
+                return;
+            }
+            st.conns.push(ConnReg {
+                id,
+                stream: reg_clone,
+                subscriber: subscriber.clone(),
+            });
+            // Reap finished connection threads so a long-lived server with
+            // many short connections does not accumulate handles.
+            st.threads.retain(|t| !t.is_finished());
+        }
+        let thread = {
+            let shared = shared.clone();
+            let subscriber = subscriber.clone();
+            std::thread::Builder::new()
+                .name("saber-conn".into())
+                .spawn(move || handle_conn(shared, id, stream, subscriber))
+        };
+        let mut st = shared.lock();
+        match thread {
+            Ok(thread) => st.threads.push(thread),
+            Err(_) => st.conns.retain(|c| c.id != id),
+        }
+    }
+}
+
+fn write_line(stream: &TcpStream, line: &str) -> std::io::Result<()> {
+    let mut out = String::with_capacity(line.len() + 1);
+    out.push_str(line);
+    out.push('\n');
+    (&mut &*stream).write_all(out.as_bytes())
+}
+
+fn saber_err(e: &SaberError) -> String {
+    format!("ERR {} {}", e.category(), e.message())
+}
+
+fn handle_conn(shared: Arc<Shared>, id: u64, stream: TcpStream, subscriber_flag: Arc<AtomicBool>) {
+    run_conn(&shared, &stream, &subscriber_flag);
+    // Deregister so the registry's socket clone is dropped and the client
+    // sees EOF. During shutdown the registry belongs to the shutdown path.
+    if !shared.shutting_down.load(Ordering::SeqCst) {
+        let mut st = shared.lock();
+        st.conns.retain(|c| c.id != id);
+    }
+}
+
+fn run_conn(shared: &Arc<Shared>, stream: &TcpStream, subscriber_flag: &Arc<AtomicBool>) {
+    let _ = stream.set_nodelay(true);
+    let Ok(read_half) = stream.try_clone() else {
+        return;
+    };
+    let mut reader = BufReader::new(read_half);
+    let Ok(write_half) = stream.try_clone() else {
+        return;
+    };
+    let writer = Arc::new(write_half);
+    if write_line(&writer, "OK saber-server ready").is_err() {
+        return;
+    }
+    loop {
+        let line = match read_line_capped(&mut reader, shared.max_line_bytes) {
+            Ok(Some(line)) => line,
+            Ok(None) => return,
+            Err(e) => {
+                let _ = write_line(&writer, &format!("ERR protocol {e}"));
+                return;
+            }
+        };
+        if line.trim().is_empty() {
+            continue;
+        }
+        let command = match parse_command(&line) {
+            Ok(command) => command,
+            Err(message) => {
+                if write_line(&writer, &format!("ERR protocol {message}")).is_err() {
+                    return;
+                }
+                continue;
+            }
+        };
+        match command {
+            Command::Quit => {
+                let _ = write_line(&writer, "BYE");
+                return;
+            }
+            Command::Subscribe { query, encoding } => {
+                // Mark the connection *before* the ack goes out: once the
+                // client holds an `OK subscribed`, a concurrent shutdown
+                // must treat this socket as a subscriber (read-half close
+                // only) or the final windows and END would be cut off.
+                subscriber_flag.store(true, Ordering::SeqCst);
+                match subscribe(shared, &writer, query, encoding) {
+                    Ok(_id) => {
+                        hold_subscriber(shared, &mut reader);
+                        return;
+                    }
+                    Err(message) => {
+                        subscriber_flag.store(false, Ordering::SeqCst);
+                        if write_line(&writer, &message).is_err() {
+                            return;
+                        }
+                    }
+                }
+            }
+            other => {
+                let response = execute(shared, other);
+                if write_line(&writer, &response).is_err() {
+                    return;
+                }
+            }
+        }
+    }
+}
+
+/// Registers the connection as a subscriber of `query`.
+///
+/// The subscriber is registered *pending* first, then acked, then marked
+/// ready: the broadcaster holds the query's drain back while a pending
+/// subscriber exists, so a window closing between ack and readiness cannot
+/// be dropped — and since only ready subscribers are pushed to, no `ROW`
+/// can precede the ack. The ack is written outside the state lock and under
+/// the subscriber write timeout, so a client with a full socket buffer
+/// delays only its own query's delivery, boundedly.
+fn subscribe(
+    shared: &Shared,
+    writer: &Arc<TcpStream>,
+    query: usize,
+    encoding: Encoding,
+) -> std::result::Result<u64, String> {
+    let id = shared.next_subscriber_id.fetch_add(1, Ordering::SeqCst);
+    let ready = Arc::new(AtomicBool::new(false));
+    {
+        let mut st = shared.lock();
+        if query >= st.queries.len() {
+            return Err(format!("ERR query unknown query {query}"));
+        }
+        st.queries[query].subscribers.push(Subscriber {
+            id,
+            stream: writer.clone(),
+            encoding,
+            ready: ready.clone(),
+        });
+    }
+    // Bound every write (ack, pushes, keepalives) so a subscriber that
+    // stops reading is dropped instead of blocking the broadcaster forever.
+    let _ = writer.set_write_timeout(Some(shared.subscriber_write_timeout));
+    if let Err(e) = write_line(writer, &format!("OK subscribed {query}")) {
+        let mut st = shared.lock();
+        if let Some(reg) = st.queries.get_mut(query) {
+            reg.subscribers.retain(|s| s.id != id);
+        }
+        return Err(format!("ERR protocol {e}"));
+    }
+    ready.store(true, Ordering::SeqCst);
+    Ok(id)
+}
+
+/// Blocks on the (now push-only) subscriber connection until its read half
+/// ends. EOF here is a *half*-close — "no more input, still receiving" — so
+/// the subscription itself stays registered: it ends when the server shuts
+/// down, or when a fully-closed connection makes a broadcast write fail
+/// (the broadcaster reaps dead subscribers on write errors).
+fn hold_subscriber(shared: &Shared, reader: &mut BufReader<TcpStream>) {
+    // Input on a push connection is ignored.
+    while let Ok(Some(_)) = read_line_capped(reader, shared.max_line_bytes) {}
+}
+
+/// Executes one non-subscription command, returning the response line.
+fn execute(shared: &Shared, command: Command) -> String {
+    match command {
+        Command::Ping => "PONG".to_string(),
+        Command::CreateStream { name, schema } => {
+            let mut st = shared.lock();
+            st.catalog.register(&name, schema.into_ref());
+            format!("OK stream {name}")
+        }
+        Command::Query { sql } => {
+            let mut st = shared.lock();
+            let query = match saber_sql::compile(&sql, &st.catalog) {
+                Ok(q) => q,
+                Err(e) => {
+                    return format!(
+                        "ERR query line {} col {}: {}",
+                        e.line(),
+                        e.column(),
+                        e.message()
+                    )
+                }
+            };
+            let input_schemas: Vec<SchemaRef> = (0..query.num_inputs())
+                .map(|i| query.input_schema(i).clone())
+                .collect();
+            match st.engine.add_query(query) {
+                Ok(sink) => {
+                    let id = st.queries.len();
+                    let handles: std::result::Result<Vec<IngestHandle>, SaberError> = (0
+                        ..input_schemas.len())
+                        .map(|i| st.engine.ingest_handle(id, i))
+                        .collect();
+                    let handles = match handles {
+                        Ok(handles) => handles,
+                        Err(e) => return saber_err(&e),
+                    };
+                    st.queries.push(QueryReg {
+                        sql: sql.trim().trim_end_matches(';').to_string(),
+                        input_schemas,
+                        handles,
+                        sink,
+                        subscribers: Vec::new(),
+                    });
+                    format!("OK query {id}")
+                }
+                Err(e) => saber_err(&e),
+            }
+        }
+        Command::Insert {
+            query,
+            stream,
+            payload,
+        } => insert(shared, query, stream, &payload),
+        Command::Flush => {
+            // Resolve per-query flush handles under the lock, flush outside
+            // it: flushing admits tasks through the credit gate, which can
+            // block under backpressure and must not stall other clients.
+            let handles: Vec<IngestHandle> = {
+                let st = shared.lock();
+                if !st.started {
+                    return "ERR state engine is not running (nothing to flush)".to_string();
+                }
+                st.queries
+                    .iter()
+                    .filter_map(|q| q.handles.first().cloned())
+                    .collect()
+            };
+            for handle in &handles {
+                if let Err(e) = handle.flush() {
+                    return saber_err(&e);
+                }
+            }
+            "OK flushed".to_string()
+        }
+        Command::Streams => {
+            let st = shared.lock();
+            let mut entries = Vec::new();
+            for (name, schema) in st.catalog.streams() {
+                let attrs: Vec<String> = schema
+                    .attributes()
+                    .iter()
+                    .map(|a| format!("{}:{}", a.name(), data_type_name(a.data_type())))
+                    .collect();
+                entries.push(format!("{name}({})", attrs.join(",")));
+            }
+            format!("OK streams {}", entries.join(" "))
+        }
+        Command::Queries => {
+            let st = shared.lock();
+            let mut out = format!("OK queries {}", st.queries.len());
+            for (id, reg) in st.queries.iter().enumerate() {
+                out.push_str(&format!(" [{id}] {}", reg.sql));
+            }
+            out
+        }
+        Command::Stats { query } => {
+            let st = shared.lock();
+            if query >= st.queries.len() {
+                return format!("ERR query unknown query {query}");
+            }
+            let stats = st.engine.query_stats(query).expect("registered query");
+            format!(
+                "OK stats query={query} tuples_in={} bytes_in={} tuples_out={} tasks_created={}",
+                stats.tuples_in.load(Ordering::Relaxed),
+                stats.bytes_in.load(Ordering::Relaxed),
+                stats.tuples_out.load(Ordering::Relaxed),
+                stats.tasks_created.load(Ordering::Relaxed),
+            )
+        }
+        Command::Quit | Command::Subscribe { .. } => unreachable!("handled by the caller"),
+    }
+}
+
+/// Handles `INSERT`: resolve the target under the state lock, then decode
+/// and ingest *outside* it, so one client blocked on the engine's credit
+/// gate never stalls the others' commands.
+fn insert(shared: &Shared, query: usize, stream: usize, payload: &Payload) -> String {
+    // Resolve and decode first: a malformed INSERT must be rejected before
+    // it can have side effects (notably auto-starting the engine, which
+    // freezes query registration). Queries are append-only, so the indices
+    // stay valid across lock acquisitions; in the steady state this is one
+    // short lock plus an Arc clone of the cached handle.
+    let (schema, handle, started) = {
+        let st = shared.lock();
+        if st.queries.is_empty() {
+            return "ERR state no queries registered (send QUERY first)".to_string();
+        }
+        let Some(reg) = st.queries.get(query) else {
+            return format!("ERR query unknown query {query}");
+        };
+        let Some(schema) = reg.input_schemas.get(stream).cloned() else {
+            return format!("ERR query query {query} has no input stream {stream}");
+        };
+        (schema, reg.handles[stream].clone(), st.started)
+    };
+    let bytes = match payload.decode(&schema) {
+        Ok(bytes) => bytes,
+        Err(message) => return format!("ERR payload {message}"),
+    };
+    if !started {
+        // First valid INSERT starts the engine; queries are frozen from
+        // here on.
+        let mut st = shared.lock();
+        if !st.started {
+            if let Err(e) = st.engine.start() {
+                return saber_err(&e);
+            }
+            st.started = true;
+        }
+    }
+    let rows = bytes.len() / schema.row_size();
+    match handle.ingest(&bytes) {
+        Ok(()) => format!("OK rows {rows}"),
+        Err(e) => saber_err(&e),
+    }
+}
+
+/// One endpoint a result batch is fanned out to: subscriber id, write half,
+/// encoding.
+type FanoutTarget = (u64, Arc<TcpStream>, Encoding);
+
+/// The result broadcaster: drains every query's sink and fans the closed
+/// windows out to that query's subscribers, in order. After the engine has
+/// stopped it performs one final drain, appends `END` and closes the write
+/// halves.
+fn broadcast_loop(shared: Arc<Shared>) {
+    let mut last_keepalive = std::time::Instant::now();
+    loop {
+        // Read the finish flag *before* draining: it is set only after the
+        // engine has stopped, so a drain that observes it is final.
+        let finish = shared.finish_broadcast.load(Ordering::SeqCst);
+        let batches: Vec<(RowBuffer, Vec<FanoutTarget>)> = {
+            let mut st = shared.lock();
+            let mut out = Vec::new();
+            for reg in &mut st.queries {
+                // Hold the drain back while a subscriber's ack is still in
+                // flight: rows stay buffered in the sink (order preserved)
+                // so a window closing right after the ack is not lost.
+                // Bounded by the ack's write timeout. Connection threads are
+                // joined before `finish`, so no subscriber is pending then.
+                if reg
+                    .subscribers
+                    .iter()
+                    .any(|s| !s.ready.load(Ordering::SeqCst))
+                {
+                    continue;
+                }
+                let rows = reg.sink.take_rows();
+                if rows.is_empty() || reg.subscribers.is_empty() {
+                    // Windows closed before anyone subscribed are dropped;
+                    // subscriptions only cover windows from that point on.
+                    continue;
+                }
+                out.push((
+                    rows,
+                    reg.subscribers
+                        .iter()
+                        .map(|s| (s.id, s.stream.clone(), s.encoding))
+                        .collect(),
+                ));
+            }
+            out
+        };
+        let mut dead: Vec<u64> = Vec::new();
+        for (rows, subscribers) in &batches {
+            // Encode each batch at most once per encoding actually in use,
+            // not once per subscriber.
+            let mut encoded: [Option<String>; 2] = [None, None];
+            for (id, stream, encoding) in subscribers {
+                let slot = match encoding {
+                    Encoding::Csv => &mut encoded[0],
+                    Encoding::B64 => &mut encoded[1],
+                };
+                let text = slot.get_or_insert_with(|| format_batch(rows, *encoding));
+                if (&mut &**stream).write_all(text.as_bytes()).is_err() {
+                    dead.push(*id);
+                }
+            }
+        }
+        // Keepalive: TCP reports a fully closed peer only when a write
+        // fails, so periodically `NOP` quiet subscribers to reap dead ones
+        // (half-closed but alive clients simply ignore the line).
+        if last_keepalive.elapsed() >= shared.keepalive_interval {
+            last_keepalive = std::time::Instant::now();
+            let targets: Vec<(u64, Arc<TcpStream>)> = {
+                let st = shared.lock();
+                st.queries
+                    .iter()
+                    .flat_map(|reg| reg.subscribers.iter())
+                    .filter(|s| s.ready.load(Ordering::SeqCst))
+                    .map(|s| (s.id, s.stream.clone()))
+                    .collect()
+            };
+            for (id, stream) in targets {
+                if write_line(&stream, "NOP").is_err() {
+                    dead.push(id);
+                }
+            }
+        }
+        if !dead.is_empty() {
+            let mut st = shared.lock();
+            for reg in &mut st.queries {
+                reg.subscribers.retain(|s| {
+                    if dead.contains(&s.id) {
+                        // Close the socket so the (possibly recovered)
+                        // client sees a prompt EOF instead of waiting
+                        // forever on a stream nobody feeds any more.
+                        let _ = s.stream.shutdown(Shutdown::Both);
+                        false
+                    } else {
+                        true
+                    }
+                });
+            }
+        }
+        if finish {
+            let subscribers: Vec<Subscriber> = {
+                let mut st = shared.lock();
+                st.queries
+                    .iter_mut()
+                    .flat_map(|reg| reg.subscribers.drain(..))
+                    .collect()
+            };
+            for s in subscribers {
+                let _ = write_line(&s.stream, "END");
+                let _ = s.stream.shutdown(Shutdown::Write);
+            }
+            return;
+        }
+        std::thread::sleep(shared.poll_interval);
+    }
+}

@@ -1,0 +1,254 @@
+//! Loopback integration tests: real TCP clients against a [`Server`] bound
+//! to 127.0.0.1, exercising the full protocol — stream/query registration,
+//! CSV and base64 ingest, subscriptions, error reporting and deterministic
+//! shutdown.
+
+use saber_engine::{EngineConfig, ExecutionMode};
+use saber_server::protocol::{b64_decode, b64_encode};
+use saber_server::{Server, ServerConfig};
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+fn server() -> Server {
+    let config = ServerConfig {
+        engine: EngineConfig {
+            worker_threads: 2,
+            query_task_size: 4 * 1024,
+            execution_mode: ExecutionMode::CpuOnly,
+            ..EngineConfig::default()
+        },
+        ..ServerConfig::default()
+    };
+    Server::bind("127.0.0.1:0", config).expect("bind")
+}
+
+/// A tiny synchronous protocol client.
+struct Client {
+    stream: TcpStream,
+    reader: BufReader<TcpStream>,
+}
+
+impl Client {
+    fn connect(addr: SocketAddr) -> Client {
+        let stream = TcpStream::connect(addr).expect("connect");
+        stream
+            .set_read_timeout(Some(Duration::from_secs(30)))
+            .unwrap();
+        let reader = BufReader::new(stream.try_clone().unwrap());
+        let mut client = Client { stream, reader };
+        let banner = client.read_line();
+        assert_eq!(banner, "OK saber-server ready");
+        client
+    }
+
+    fn read_line(&mut self) -> String {
+        let mut line = String::new();
+        self.reader.read_line(&mut line).expect("read");
+        line.trim_end().to_string()
+    }
+
+    fn send(&mut self, line: &str) -> String {
+        writeln!(self.stream, "{line}").expect("write");
+        self.read_line()
+    }
+
+    /// Next pushed line that is not a `NOP` keepalive.
+    fn read_push_line(&mut self) -> String {
+        loop {
+            let line = self.read_line();
+            if line != "NOP" {
+                return line;
+            }
+        }
+    }
+}
+
+#[test]
+fn protocol_basics_roundtrip() {
+    let server = server();
+    let mut c = Client::connect(server.local_addr());
+
+    assert_eq!(c.send("PING"), "PONG");
+    assert_eq!(
+        c.send("CREATE STREAM S (timestamp TIMESTAMP, v FLOAT, k INT)"),
+        "OK stream S"
+    );
+    assert!(c
+        .send("STREAMS")
+        .contains("S(timestamp:TIMESTAMP,v:FLOAT,k:INT)"));
+    assert_eq!(
+        c.send("QUERY SELECT * FROM S [ROWS 2] WHERE v >= 0"),
+        "OK query 0"
+    );
+    let queries = c.send("QUERIES");
+    assert!(queries.starts_with("OK queries 1"), "{queries}");
+    assert!(queries.contains("SELECT * FROM S [ROWS 2]"), "{queries}");
+
+    // Errors carry a category and never kill the connection.
+    assert!(c
+        .send("NONSENSE")
+        .starts_with("ERR protocol unknown command"));
+    assert!(c
+        .send("INSERT 7 0 CSV 1,1,1")
+        .starts_with("ERR query unknown query 7"));
+    assert!(c
+        .send("QUERY SELECT * FROM Missing [ROWS 2]")
+        .starts_with("ERR query"));
+    assert!(c.send("INSERT 0 0 CSV 1,oops,1").starts_with("ERR payload"));
+
+    // A rejected INSERT has no side effects: the engine did not start, so
+    // queries can still be registered.
+    assert_eq!(c.send("QUERY SELECT * FROM S [ROWS 8]"), "OK query 1");
+
+    // CSV ingest: 4 rows, two tumbling 2-row windows.
+    assert_eq!(c.send("INSERT 0 0 CSV 1,0.5,1;2,0.25,2"), "OK rows 2");
+    assert_eq!(c.send("INSERT 0 0 CSV 3,0.75,3;4,1.0,4"), "OK rows 2");
+
+    // The engine is running now: new queries are rejected with a state error.
+    assert!(c
+        .send("QUERY SELECT * FROM S [ROWS 4]")
+        .starts_with("ERR state"));
+
+    let report = server.shutdown().expect("clean shutdown");
+    assert_eq!(report.queries.len(), 2);
+    assert_eq!(report.queries[0].tuples_in, 4);
+    assert_eq!(report.queries[0].tuples_out, 4);
+    assert_eq!(report.queries[1].tuples_in, 0);
+
+    assert_eq!(c.read_line(), ""); // connection closed by shutdown
+}
+
+#[test]
+fn subscribers_stream_windows_and_get_a_final_end() {
+    let server = server();
+    let mut admin = Client::connect(server.local_addr());
+    admin.send("CREATE STREAM S (timestamp TIMESTAMP, v FLOAT)");
+    assert_eq!(admin.send("QUERY SELECT * FROM S [ROWS 2]"), "OK query 0");
+
+    let mut sub_csv = Client::connect(server.local_addr());
+    assert_eq!(sub_csv.send("SUBSCRIBE 0"), "OK subscribed 0");
+    let mut sub_b64 = Client::connect(server.local_addr());
+    assert_eq!(sub_b64.send("SUBSCRIBE 0 B64"), "OK subscribed 0");
+
+    // Ingest through a second producer connection, binary path: 4 rows of
+    // (timestamp i64, v f32) little-endian, 12 bytes each.
+    let mut producer = Client::connect(server.local_addr());
+    let mut bytes = Vec::new();
+    for i in 0..4i64 {
+        bytes.extend_from_slice(&i.to_le_bytes());
+        bytes.extend_from_slice(&(i as f32 * 0.5).to_le_bytes());
+    }
+    assert_eq!(
+        producer.send(&format!("INSERT 0 0 B64 {}", b64_encode(&bytes))),
+        "OK rows 4"
+    );
+    // The rows are far smaller than a query task; FLUSH makes the closed
+    // windows visible now instead of at shutdown.
+    assert_eq!(producer.send("FLUSH"), "OK flushed");
+
+    // The CSV subscriber sees each row as a ROW line, in order (NOP
+    // keepalives may interleave and must be ignored).
+    let mut rows = Vec::new();
+    while rows.len() < 4 {
+        let line = sub_csv.read_line();
+        if line == "NOP" {
+            continue;
+        }
+        assert!(line.starts_with("ROW "), "unexpected line `{line}`");
+        rows.push(line[4..].to_string());
+    }
+    assert_eq!(rows[0], "0,0");
+    assert_eq!(rows[1], "1,0.5");
+    assert_eq!(rows[3], "3,1.5");
+
+    // The binary subscriber gets the same rows byte-identically.
+    let mut received = Vec::new();
+    while received.len() < bytes.len() {
+        let line = sub_b64.read_line();
+        if line == "NOP" {
+            continue;
+        }
+        let mut parts = line.split(' ');
+        assert_eq!(parts.next(), Some("DATA"), "unexpected line `{line}`");
+        let _nrows = parts.next().unwrap();
+        received.extend_from_slice(&b64_decode(parts.next().unwrap()).unwrap());
+    }
+    assert_eq!(received, bytes);
+
+    server.shutdown().expect("clean shutdown");
+    assert_eq!(sub_csv.read_push_line(), "END");
+    assert_eq!(sub_b64.read_push_line(), "END");
+}
+
+#[test]
+fn quiet_subscribers_receive_nop_keepalives_and_dead_ones_are_reaped() {
+    let server = Server::bind(
+        "127.0.0.1:0",
+        ServerConfig {
+            keepalive_interval: Duration::from_millis(100),
+            ..ServerConfig::default()
+        },
+    )
+    .unwrap();
+    let mut admin = Client::connect(server.local_addr());
+    admin.send("CREATE STREAM S (timestamp TIMESTAMP, v FLOAT)");
+    assert_eq!(admin.send("QUERY SELECT * FROM S [ROWS 2]"), "OK query 0");
+
+    let mut sub = Client::connect(server.local_addr());
+    assert_eq!(sub.send("SUBSCRIBE 0"), "OK subscribed 0");
+    // With no results flowing, the subscriber still hears from the server.
+    assert_eq!(sub.read_line(), "NOP");
+
+    // A subscriber that disconnects entirely is reaped by a failing
+    // keepalive instead of lingering; the server then shuts down cleanly.
+    {
+        let mut dead = Client::connect(server.local_addr());
+        assert_eq!(dead.send("SUBSCRIBE 0"), "OK subscribed 0");
+        // full close on drop
+    }
+    std::thread::sleep(Duration::from_millis(400));
+    server.shutdown().expect("clean shutdown");
+    // Keepalives may still be in flight ahead of the final END.
+    loop {
+        let line = sub.read_line();
+        if line == "END" {
+            break;
+        }
+        assert_eq!(line, "NOP");
+    }
+}
+
+#[test]
+fn overlong_lines_abort_the_connection_with_a_protocol_error() {
+    let server = Server::bind(
+        "127.0.0.1:0",
+        ServerConfig {
+            max_line_bytes: 64,
+            ..ServerConfig::default()
+        },
+    )
+    .unwrap();
+    let mut c = Client::connect(server.local_addr());
+    writeln!(c.stream, "PING {}", "x".repeat(1000)).unwrap();
+    assert!(c.read_line().starts_with("ERR protocol"));
+    assert_eq!(c.read_line(), ""); // server closed the connection
+    drop(server);
+}
+
+#[test]
+fn dropping_the_server_shuts_it_down() {
+    let addr;
+    {
+        let server = server();
+        addr = server.local_addr();
+        let mut c = Client::connect(addr);
+        assert_eq!(c.send("PING"), "PONG");
+        // server dropped here without an explicit shutdown() call
+    }
+    assert!(
+        TcpStream::connect_timeout(&addr.to_string().parse().unwrap(), Duration::from_secs(1))
+            .is_err(),
+        "listener should be closed after drop"
+    );
+}

@@ -330,20 +330,37 @@ impl fmt::Display for WindowClause {
     }
 }
 
-/// A stream source with its optional window: `name [window]`.
+/// A stream source with its optional alias and window:
+/// `name [AS alias] [window]`.
 #[derive(Debug, Clone, PartialEq)]
 pub struct StreamClause {
     /// The stream name, resolved against the catalog.
     pub name: String,
+    /// Optional `AS` alias. When present, qualified attribute references
+    /// resolve against the alias instead of the stream name — which is what
+    /// lets a self-join (`FROM s AS a JOIN s AS b`) tell its two sides
+    /// apart without registering the stream twice in the catalog.
+    pub alias: Option<String>,
     /// The window clause (`None` means unbounded, as in LRB1).
     pub window: Option<WindowClause>,
-    /// Source span (name through window).
+    /// Source span (name through alias/window).
     pub span: Span,
+}
+
+impl StreamClause {
+    /// The name attribute qualifiers resolve against: the alias when
+    /// present, the stream name otherwise.
+    pub fn scope_name(&self) -> &str {
+        self.alias.as_deref().unwrap_or(&self.name)
+    }
 }
 
 impl fmt::Display for StreamClause {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.write_str(&self.name)?;
+        if let Some(a) = &self.alias {
+            write!(f, " AS {a}")?;
+        }
         if let Some(w) = &self.window {
             write!(f, " {w}")?;
         }

@@ -9,7 +9,7 @@
 //! select_list:= item (',' item)*
 //! item       := '*' | aggregate [AS ident] | expr [AS ident]
 //! aggregate  := (COUNT|SUM|AVG|MIN|MAX) '(' ('*' | [DISTINCT] column) ')'
-//! stream     := ident ['[' window ']']
+//! stream     := ident [AS ident] ['[' window ']']      -- alias also accepted after the window
 //! window     := ROWS int [SLIDE int]
 //!             | RANGE (UNBOUNDED | duration [SLIDE duration])
 //! duration   := number [MS | SECONDS | MINUTES | HOURS]       -- default SECONDS
@@ -288,16 +288,34 @@ impl<'a> Parser<'a> {
 
     fn stream_clause(&mut self) -> Result<StreamClause, ParseError> {
         let (name, start) = self.expect_ident("a stream name")?;
+        let mut end = start;
+        // The canonical position of the alias is right after the name
+        // (`s AS a [ROWS 4]`), but `s [ROWS 4] AS a` is accepted too for
+        // readers used to the alias coming last.
+        let mut alias = None;
+        if self.eat_keyword(Keyword::As) {
+            let (a, span) = self.expect_ident("a stream alias after `AS`")?;
+            alias = Some(a);
+            end = span;
+        }
         let window = if self.peek_kind() == &TokenKind::LeftBracket {
-            Some(self.window_clause()?)
+            let w = self.window_clause()?;
+            end = w.span();
+            Some(w)
         } else {
             None
         };
-        let span = match &window {
-            Some(w) => start.merge(w.span()),
-            None => start,
-        };
-        Ok(StreamClause { name, window, span })
+        if alias.is_none() && self.eat_keyword(Keyword::As) {
+            let (a, span) = self.expect_ident("a stream alias after `AS`")?;
+            alias = Some(a);
+            end = span;
+        }
+        Ok(StreamClause {
+            name,
+            alias,
+            window,
+            span: start.merge(end),
+        })
     }
 
     fn window_clause(&mut self) -> Result<WindowClause, ParseError> {
@@ -755,6 +773,28 @@ mod tests {
             }
             other => panic!("expected expression, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn stream_aliases_parse_in_both_positions() {
+        // Canonical position: right after the name.
+        let stmt =
+            parse("SELECT a.x FROM S AS a [ROWS 4] JOIN S AS b [ROWS 4] ON a.x = b.x").unwrap();
+        assert_eq!(stmt.from.name, "S");
+        assert_eq!(stmt.from.alias.as_deref(), Some("a"));
+        assert_eq!(
+            stmt.join.as_ref().unwrap().stream.alias.as_deref(),
+            Some("b")
+        );
+        // Tolerated position: after the window. Printing canonicalises.
+        let stmt = parse("SELECT a.x FROM S [ROWS 4] AS a").unwrap();
+        assert_eq!(stmt.from.alias.as_deref(), Some("a"));
+        assert_eq!(stmt.to_string(), "SELECT a.x FROM S AS a [ROWS 4]");
+        // At most one alias per stream.
+        assert!(parse("SELECT x FROM S AS a [ROWS 4] AS b").is_err());
+        // The alias must be an identifier.
+        let err = parse("SELECT x FROM S AS [ROWS 4]").unwrap_err();
+        assert!(err.message().contains("stream alias"));
     }
 
     #[test]

@@ -191,24 +191,26 @@ impl<'a> Planner<'a> {
         let scope: Scope<'_>;
         let right_data;
         if let Some(join) = &stmt.join {
-            if join.stream.name == stmt.from.name {
-                // Qualified references could not distinguish the two sides
-                // (stream aliases are not supported yet); predicates would
-                // silently resolve to the left stream only.
+            if join.stream.scope_name() == stmt.from.scope_name() {
+                // Qualified references could not distinguish the two sides;
+                // predicates would silently resolve to the left stream only.
                 return Err(self.err(
                     format!(
-                        "self-joins need distinct stream names: register \
-                         `{}` under a second name in the catalog and join that",
-                        stmt.from.name
+                        "both join sides are named `{}` in scope: alias at \
+                         least one side (`FROM {} AS a JOIN {} AS b ...`) so \
+                         qualified columns can tell them apart",
+                        join.stream.scope_name(),
+                        stmt.from.name,
+                        join.stream.name
                     ),
                     join.stream.span,
                 ));
             }
             let right_schema = self.stream_schema(&join.stream)?;
             let right_window = self.window_spec(&join.stream)?;
-            right_data = (join.stream.name.clone(), right_schema.clone());
+            right_data = (join.stream.scope_name().to_string(), right_schema.clone());
             scope = Scope::joined(
-                (stmt.from.name.as_str(), &left_schema),
+                (stmt.from.scope_name(), &left_schema),
                 (right_data.0.as_str(), &right_data.1),
             );
             let on = self.to_expr(&join.on, &scope)?;
@@ -216,7 +218,7 @@ impl<'a> Planner<'a> {
                 .map_err(|e| self.err(e.message().to_string(), join.span))?;
             builder = builder.theta_join(right_schema, right_window, on);
         } else {
-            scope = Scope::single(stmt.from.name.as_str(), &left_schema);
+            scope = Scope::single(stmt.from.scope_name(), &left_schema);
         }
 
         if let Some(pred) = &stmt.where_clause {
@@ -795,14 +797,84 @@ mod tests {
     }
 
     #[test]
-    fn self_joins_are_rejected_with_a_workaround_hint() {
+    fn unaliased_self_joins_are_rejected_with_an_alias_hint() {
         let err = plan_sql(
             "SELECT Readings.value FROM Readings [ROWS 4] \
              JOIN Readings [ROWS 4] ON Readings.value = Readings.value",
         )
         .unwrap_err();
-        assert!(err.message().contains("self-joins"), "{}", err.message());
-        assert!(err.message().contains("second name"));
+        assert!(
+            err.message().contains("both join sides"),
+            "{}",
+            err.message()
+        );
+        assert!(err.message().contains("AS"), "{}", err.message());
+
+        // Colliding aliases are just as ambiguous as colliding names.
+        let err = plan_sql(
+            "SELECT x.value FROM Readings AS x [ROWS 4] \
+             JOIN Global AS x [ROWS 4] ON x.value > 0",
+        )
+        .unwrap_err();
+        assert!(
+            err.message().contains("both join sides"),
+            "{}",
+            err.message()
+        );
+    }
+
+    #[test]
+    fn aliased_self_joins_resolve_each_side_through_its_alias() {
+        let q = plan_sql(
+            "SELECT a.timestamp, b.value FROM Readings AS a [ROWS 4] \
+             JOIN Readings AS b [ROWS 4] ON a.plug = b.plug AND a.value > b.value",
+        )
+        .unwrap();
+        assert!(q.is_join());
+        assert_eq!(q.num_inputs(), 2);
+        // a.* occupies combined columns 0..4, b.* columns 4..8.
+        match &q.operators[0] {
+            OperatorDef::ThetaJoin(j) => {
+                assert_eq!(j.predicate.referenced_columns(), vec![1, 2, 5, 6]);
+            }
+            other => panic!("expected join, got {other:?}"),
+        }
+        // Projection names come from the referenced attributes.
+        assert_eq!(q.output_schema.attribute(0).name(), "timestamp");
+        assert_eq!(q.output_schema.attribute(1).name(), "value");
+    }
+
+    #[test]
+    fn an_alias_hides_the_original_stream_name() {
+        let err =
+            plan_sql("SELECT Readings.value FROM Readings AS r [ROWS 4] WHERE Readings.value > 0")
+                .unwrap_err();
+        assert!(
+            err.message()
+                .contains("unknown stream qualifier `Readings`"),
+            "{}",
+            err.message()
+        );
+        assert!(err.message().contains("in scope: r"), "{}", err.message());
+        let q = plan_sql("SELECT r.value FROM Readings AS r [ROWS 4] WHERE r.value > 0").unwrap();
+        assert!(matches!(q.operators[0], OperatorDef::Selection(_)));
+    }
+
+    #[test]
+    fn aliases_work_on_ordinary_joins_too() {
+        let q = plan_sql(
+            "SELECT r.timestamp, house FROM Readings AS r [RANGE 1 SLIDE 1] \
+             JOIN Global AS g [RANGE 1 SLIDE 1] \
+             ON r.timestamp = g.timestamp AND value > globalAvg",
+        )
+        .unwrap();
+        assert!(q.is_join());
+        match &q.operators[0] {
+            OperatorDef::ThetaJoin(j) => {
+                assert_eq!(j.predicate.referenced_columns(), vec![0, 1, 4, 5]);
+            }
+            other => panic!("expected join, got {other:?}"),
+        }
     }
 
     #[test]

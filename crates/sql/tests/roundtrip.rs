@@ -159,6 +159,11 @@ fn window(g: &mut Gen) -> Option<WindowClause> {
 fn stream(g: &mut Gen) -> StreamClause {
     StreamClause {
         name: format!("s{}", g.below(3)),
+        alias: if g.chance(30) {
+            Some(format!("a{}", g.below(3)))
+        } else {
+            None
+        },
         window: window(g),
         span: Span::default(),
     }

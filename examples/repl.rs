@@ -14,6 +14,14 @@
 //!
 //! Commands: `.streams` lists the catalog, `.rows N` sets the replay size,
 //! `.help` prints usage, `.quit` exits.
+//!
+//! ## Client mode
+//!
+//! With `--connect <host:port>` the repl becomes a line client for a running
+//! `saber-serve` instance instead: stdin lines are sent verbatim as protocol
+//! commands (`CREATE STREAM`, `QUERY`, `INSERT`, `SUBSCRIBE`, ... — see
+//! `docs/server.md`) and every server line is printed as it arrives, so a
+//! `SUBSCRIBE`d session streams results live.
 
 use saber::engine::{ExecutionMode, Saber};
 use saber::types::{DataType, RowBuffer, TupleRef};
@@ -24,6 +32,18 @@ use std::io::{BufRead, Write};
 const MAX_PRINTED: usize = 40;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.as_slice() {
+        [] => {}
+        [flag, addr] if flag == "--connect" => return client_mode(addr),
+        [flag] if flag == "--connect" => {
+            return Err("--connect needs an address (host:port)".into())
+        }
+        [flag, _, extra, ..] if flag == "--connect" => {
+            return Err(format!("unexpected extra argument `{extra}` after --connect").into())
+        }
+        [other, ..] => return Err(format!("unknown argument `{other}` (try --connect)").into()),
+    }
     let catalog = sql::catalog();
     let stdin = std::io::stdin();
     let interactive = atty_stdin();
@@ -60,6 +80,57 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // EOF terminates a final statement even without `;`, so piped input
     // like `echo 'SELECT ...' | saber-repl` never silently drops it.
     run_if_nonempty(&pending, &catalog, rows);
+    Ok(())
+}
+
+/// Client mode: bridge stdin and a `saber-serve` instance line-for-line.
+/// A reader thread prints pushed server lines (`ROW`/`DATA`/`END`) as they
+/// arrive, independently of the prompt loop.
+fn client_mode(addr: &str) -> Result<(), Box<dyn std::error::Error>> {
+    use std::net::TcpStream;
+
+    let stream = TcpStream::connect(addr)?;
+    eprintln!("connected to saber-serve at {addr}; lines are sent verbatim");
+    eprintln!("(`QUIT` or EOF disconnects; see docs/server.md for commands)");
+    let reader_stream = stream.try_clone()?;
+    let printer = std::thread::spawn(move || {
+        let reader = std::io::BufReader::new(reader_stream);
+        for line in reader.lines() {
+            match line {
+                // NOP lines are the server's subscriber keepalive — noise
+                // to a human, so the client swallows them.
+                Ok(line) if line == "NOP" => {}
+                Ok(line) => println!("{line}"),
+                Err(_) => break,
+            }
+        }
+    });
+    let mut writer = stream.try_clone()?;
+    let mut quit = false;
+    for line in std::io::stdin().lock().lines() {
+        let line = line?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() {
+            continue;
+        }
+        writeln!(writer, "{trimmed}")?;
+        if trimmed.eq_ignore_ascii_case("QUIT") || trimmed.eq_ignore_ascii_case("EXIT") {
+            quit = true;
+            break;
+        }
+    }
+    if quit {
+        // An explicit QUIT means leave *now* — a subscribed session's server
+        // side ignores input and would otherwise keep the stream open
+        // forever, so close both halves to unblock the printer.
+        let _ = stream.shutdown(std::net::Shutdown::Both);
+    } else {
+        // On stdin EOF only half-close: the printer drains whatever the
+        // server still sends (e.g. final windows + END at server shutdown)
+        // and then exits.
+        let _ = stream.shutdown(std::net::Shutdown::Write);
+    }
+    let _ = printer.join();
     Ok(())
 }
 

@@ -1,0 +1,63 @@
+//! saber-serve: run the SABER engine as a network server.
+//!
+//! Binds the TCP frontend (see `docs/server.md` for the protocol) with the
+//! workload catalog pre-registered, so clients can immediately submit SQL
+//! over the paper's streams — or declare their own with `CREATE STREAM`.
+//!
+//! ```bash
+//! cargo run --release --example saber-serve                # 127.0.0.1:7878
+//! cargo run --release --example saber-serve -- 0.0.0.0:9000
+//! # then, from another terminal:
+//! cargo run --release --example saber-repl -- --connect 127.0.0.1:7878
+//! ```
+//!
+//! The server runs until stdin closes or a `quit` line is entered, then
+//! shuts down deterministically (all acknowledged rows processed, final
+//! windows delivered to subscribers).
+
+use saber::server::{Server, ServerConfig};
+use std::io::BufRead;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let addr = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "127.0.0.1:7878".to_string());
+    let server = Server::bind_with_catalog(
+        addr.as_str(),
+        ServerConfig::default(),
+        saber::workloads::sql::catalog(),
+    )?;
+    println!("saber-serve listening on {}", server.local_addr());
+    println!("protocol (docs/server.md):");
+    println!("  CREATE STREAM <name> (<attr> <TYPE>, ...)");
+    println!("  QUERY <sql>                  -- docs/sql.md dialect");
+    println!("  INSERT <query> <stream> CSV <v1,v2,...[;...]>");
+    println!("  INSERT <query> <stream> B64 <base64 row bytes>");
+    println!("  SUBSCRIBE <query> [CSV|B64]  -- push results as windows close");
+    println!("  FLUSH | STREAMS | QUERIES | STATS <query> | PING | QUIT");
+    println!("the workload catalog (Syn, SmartGridStr, ...) is pre-registered");
+    println!("type `quit` (or close stdin) to stop the server");
+
+    for line in std::io::stdin().lock().lines() {
+        let line = line?;
+        if line.trim().eq_ignore_ascii_case("quit") {
+            break;
+        }
+    }
+
+    let report = server.shutdown()?;
+    let (rows_in, rows_out) = report
+        .queries
+        .iter()
+        .fold((0, 0), |(i, o), q| (i + q.tuples_in, o + q.tuples_out));
+    println!(
+        "clean shutdown: {} quer{} served, {rows_in} rows in, {rows_out} rows out",
+        report.queries.len(),
+        if report.queries.len() == 1 {
+            "y"
+        } else {
+            "ies"
+        },
+    );
+    Ok(())
+}

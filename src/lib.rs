@@ -9,6 +9,8 @@
 //! * [`cpu`] — CPU operator implementations (fragment/batch/assembly functions),
 //! * [`gpu`] — the simulated many-core accelerator and its kernels,
 //! * [`engine`] — dispatcher, HLS scheduler, worker threads, result stage,
+//! * [`server`] — TCP network frontend: multi-client SQL ingest and result
+//!   subscriptions over a newline-delimited protocol (see `docs/server.md`),
 //! * [`baselines`] — comparator engines used by the evaluation,
 //! * [`workloads`] — datasets and application queries of the paper's §6.
 //!
@@ -52,6 +54,7 @@ pub use saber_cpu as cpu;
 pub use saber_engine as engine;
 pub use saber_gpu as gpu;
 pub use saber_query as query;
+pub use saber_server as server;
 pub use saber_sql as sql;
 pub use saber_types as types;
 pub use saber_workloads as workloads;
@@ -64,6 +67,7 @@ pub mod prelude {
     pub use saber_query::{
         AggregateFunction, Expr, Query, QueryBuilder, StreamFunction, WindowSpec,
     };
+    pub use saber_server::{Server, ServerConfig};
     pub use saber_sql::Catalog;
     pub use saber_types::{Attribute, DataType, RowBuffer, Schema, TupleRef, Value};
 }

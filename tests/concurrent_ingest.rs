@@ -197,6 +197,93 @@ fn join_streams_can_be_fed_by_independent_threads() {
     assert!(sink.tuples_emitted() > 0, "join emitted nothing");
 }
 
+/// The shutdown race fixed in `Saber::stop()`: producers looping on
+/// `IngestHandle`s while `stop()` runs must (a) never have a row accepted
+/// and then dropped, (b) not pin the stop at its drain timeout, and (c) get
+/// a clear `State` error for every ingest after the stop began.
+#[test]
+fn stop_under_looping_producers_is_loss_free_and_bounded() {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::Arc;
+    use std::time::{Duration, Instant};
+
+    const PRODUCERS: usize = 4;
+    const CHUNK_ROWS: usize = 1024;
+    let schema = synthetic::schema();
+    let mut engine = Saber::with_config(config(ExecutionMode::CpuOnly, 16)).unwrap();
+    // A per-row window: every accepted row closes a window, so the emitted
+    // count must equal the accepted count exactly — accepted-then-dropped
+    // rows would show up as a deficit.
+    let query = QueryBuilder::new("proj", schema.clone())
+        .count_window(1, 1)
+        .project(vec![(Expr::column(0), "timestamp")])
+        .build()
+        .unwrap();
+    let sink = engine.add_query_with_options(query, false).unwrap();
+    engine.start().unwrap();
+
+    let accepted = Arc::new(AtomicU64::new(0));
+    let handle = engine.ingest_handle(0, 0).unwrap();
+    let producers: Vec<_> = (0..PRODUCERS)
+        .map(|p| {
+            let handle = handle.clone();
+            let schema = schema.clone();
+            let accepted = accepted.clone();
+            std::thread::spawn(move || {
+                let chunk = synthetic::generate(&schema, CHUNK_ROWS, 300 + p as u64);
+                // Loop until the engine stops us: each Ok is a promise that
+                // the rows will be processed.
+                loop {
+                    match handle.ingest(chunk.bytes()) {
+                        Ok(()) => {
+                            accepted.fetch_add(CHUNK_ROWS as u64, Ordering::SeqCst);
+                        }
+                        Err(e) => {
+                            assert_eq!(e.category(), "state");
+                            assert!(
+                                e.message().contains("stopped"),
+                                "unexpected message: {}",
+                                e.message()
+                            );
+                            return;
+                        }
+                    }
+                }
+            })
+        })
+        .collect();
+
+    // Let the producers build up steam, then stop mid-flight.
+    std::thread::sleep(Duration::from_millis(200));
+    let started = Instant::now();
+    engine.stop().unwrap();
+    let stop_latency = started.elapsed();
+    for t in producers {
+        t.join().unwrap();
+    }
+
+    // Bounded: nowhere near the 60 s drain timeout a looping producer could
+    // previously pin `stop()` at.
+    assert!(
+        stop_latency < Duration::from_secs(30),
+        "stop took {stop_latency:?}"
+    );
+    let accepted = accepted.load(Ordering::SeqCst);
+    assert!(accepted > 0, "producers never got a row in");
+    let stats = engine.query_stats(0).unwrap();
+    assert_eq!(stats.tuples_in.load(Ordering::SeqCst), accepted);
+    // Loss-free: every accepted row was processed and emitted.
+    assert_eq!(sink.tuples_emitted(), accepted);
+    assert_eq!(engine.in_flight_tasks(), 0);
+
+    // Handles stay invalidated after the stop.
+    let err = handle.ingest(&synthetic::generate(&schema, 1, 0).into_bytes());
+    assert!(matches!(
+        err,
+        Err(saber::types::SaberError::State(ref m)) if m.contains("stopped")
+    ));
+}
+
 /// Sanity: per-chunk ingestion through a handle matches plain `Saber::ingest`
 /// results for a deterministic aggregation.
 #[test]
