@@ -21,7 +21,7 @@
 //! observe the ≥1.5× multi-producer speed-up the refactor targets.
 
 use saber_bench::{bench_workers, fmt, measure_duration, Report};
-use saber_engine::{EngineConfig, ExecutionMode, Saber, SchedulingPolicyKind};
+use saber_engine::{EngineConfig, ExecutionMode, QueryId, Saber, SchedulingPolicyKind, StreamId};
 use saber_gpu::device::DeviceConfig;
 use saber_query::{Expr, QueryBuilder, WindowSpec};
 use saber_workloads::synthetic;
@@ -72,7 +72,7 @@ fn run(producers: usize, shared_stream: bool) -> f64 {
     let threads: Vec<_> = (0..producers)
         .map(|p| {
             let query = if shared_stream { 0 } else { p };
-            let handle = engine.ingest_handle(query, 0).unwrap();
+            let handle = engine.ingest_handle(QueryId(query), StreamId(0)).unwrap();
             let schema = schema.clone();
             let stop = stop.clone();
             std::thread::spawn(move || {

@@ -3,7 +3,7 @@
 //! (PROJ1 + AGGsum).
 
 use saber_bench::{bench_workers, engine_config, fmt, measure_duration, Report, DEFAULT_TASK_SIZE};
-use saber_engine::{ExecutionMode, Processor, Saber, SchedulingPolicyKind};
+use saber_engine::{ExecutionMode, Processor, QueryId, Saber, SchedulingPolicyKind, StreamId};
 use saber_query::{AggregateFunction, Query};
 use saber_workloads::synthetic;
 use std::collections::HashMap;
@@ -31,7 +31,9 @@ fn run_workload(policy: SchedulingPolicyKind, queries: [Query; 2]) -> f64 {
     while started.elapsed() < duration {
         let end = (offset + chunk).min(bytes.len());
         for q in 0..2 {
-            engine.ingest(q, 0, &bytes[offset..end]).expect("ingest");
+            engine
+                .ingest(QueryId(q), StreamId(0), &bytes[offset..end])
+                .expect("ingest");
             ingested += (end - offset) as u64;
         }
         offset = if end >= bytes.len() { 0 } else { end };

@@ -6,7 +6,7 @@
 //! and the share of tasks executed on the GPGPU.
 
 use saber_bench::{engine_config, fmt, Report, DEFAULT_TASK_SIZE};
-use saber_engine::{ExecutionMode, Saber};
+use saber_engine::{ExecutionMode, QueryId, Saber, StreamId};
 use saber_workloads::cluster;
 use std::sync::atomic::Ordering;
 use std::time::{Duration, Instant};
@@ -41,7 +41,7 @@ fn main() {
         ],
     );
 
-    let stats = engine.query_stats(0).expect("stats");
+    let stats = engine.query_stats(QueryId(0)).expect("stats");
     let mut prev_cpu = 0u64;
     let mut prev_gpu = 0u64;
     let deadline = Instant::now() + Duration::from_secs(60);
@@ -61,7 +61,9 @@ fn main() {
             .filter(|t| t.get_i32(cluster::columns::EVENT_TYPE) == cluster::event_types::FAIL)
             .count();
         let slice_started = Instant::now();
-        engine.ingest(0, 0, data.bytes()).expect("ingest");
+        engine
+            .ingest(QueryId(0), StreamId(0), data.bytes())
+            .expect("ingest");
         engine.drain(Duration::from_secs(10));
         let cpu = stats.tasks_cpu.load(Ordering::Relaxed);
         let gpu = stats.tasks_gpu.load(Ordering::Relaxed);

@@ -13,7 +13,7 @@
 //! * `SABER_BENCH_WORKERS` — CPU worker threads (default: half the cores,
 //!   capped at 8).
 
-use saber_engine::{EngineConfig, ExecutionMode, Saber, SchedulingPolicyKind};
+use saber_engine::{EngineConfig, ExecutionMode, QueryId, Saber, SchedulingPolicyKind, StreamId};
 use saber_gpu::device::DeviceConfig;
 use saber_query::Query;
 use saber_types::{Result, RowBuffer};
@@ -111,14 +111,14 @@ pub fn run_join(
     while started.elapsed() < duration {
         for (s, buffer) in buffers.iter().enumerate() {
             let end = (offsets[s] + chunk).min(buffer.len());
-            engine.ingest(0, s, &buffer[offsets[s]..end])?;
+            engine.ingest(QueryId(0), StreamId(s), &buffer[offsets[s]..end])?;
             ingested += (end - offsets[s]) as u64;
             offsets[s] = if end >= buffer.len() { 0 } else { end };
         }
     }
     engine.stop()?;
     let elapsed = started.elapsed();
-    let stats = engine.query_stats(0).expect("query registered");
+    let stats = engine.query_stats(QueryId(0)).expect("query registered");
     let row_size = left.schema().row_size() as u64;
     Ok(Measurement {
         label: label.to_string(),

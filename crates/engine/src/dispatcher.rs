@@ -165,6 +165,14 @@ pub struct Dispatcher {
     streams: Vec<Arc<StreamIngest>>,
     cutter: Mutex<CutterState>,
     global_task_ids: Arc<AtomicU64>,
+    /// Total tasks ever cut, incremented under the cutter lock *during* the
+    /// cut. Query removal drains by waiting for the result stage's completed
+    /// count to reach this value: because the counter is committed while the
+    /// cutter lock is held, a removal that flushes (taking the same lock)
+    /// afterwards observes every cut that could still produce a task — even
+    /// one cut whose submission into the task queue is still in flight on
+    /// another thread.
+    tasks_cut: AtomicU64,
 }
 
 impl Dispatcher {
@@ -196,7 +204,14 @@ impl Dispatcher {
             streams,
             cutter: Mutex::new(CutterState { next_seq: 0 }),
             global_task_ids,
+            tasks_cut: AtomicU64::new(0),
         }
+    }
+
+    /// Total tasks ever cut for this query (see the field docs for the
+    /// role this plays in loss-free query removal).
+    pub fn tasks_cut(&self) -> u64 {
+        self.tasks_cut.load(Ordering::SeqCst)
     }
 
     /// The query this dispatcher feeds.
@@ -364,6 +379,7 @@ impl Dispatcher {
         let id = self.global_task_ids.fetch_add(1, Ordering::Relaxed);
         let seq = state.next_seq;
         state.next_seq += 1;
+        self.tasks_cut.fetch_add(1, Ordering::SeqCst);
         Ok(QueryTask {
             id,
             query_id: self.query_id,

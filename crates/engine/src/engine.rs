@@ -1,5 +1,12 @@
 //! The engine façade: query registration, ingestion, lifecycle.
 //!
+//! The query set is **dynamic**: [`Saber::add_query`] takes `&self` and
+//! works on a *running* engine, returning a typed [`QueryHandle`] that owns
+//! the query's [`QuerySink`] and supports loss-free [`QueryHandle::remove`].
+//! Workers resolve queries through the shared
+//! [`QueryRegistry`] — see the registry module docs — so queries appear and
+//! disappear under full concurrency with ingest and execution.
+//!
 //! Ingestion is multi-producer end to end: [`Saber::ingest`] (and the cheap
 //! cloneable [`IngestHandle`]s returned by [`Saber::ingest_handle`]) append
 //! to the per-stream reservation rings without taking any per-query lock —
@@ -11,33 +18,33 @@
 use crate::config::{EngineConfig, ExecutionMode, SaberBuilder};
 use crate::dispatcher::Dispatcher;
 use crate::flow::FlowControl;
+use crate::ids::{QueryId, StreamId};
 use crate::metrics::{EngineStats, QueryStats};
 use crate::queue::TaskQueue;
+use crate::registry::{QueryGate, QueryRegistry, QueryState};
 use crate::result::ResultStage;
 use crate::scheduler::Scheduler;
-use crate::sink::QuerySink;
+use crate::sink::{QuerySink, WindowWait};
 use crate::task::QueryTask;
 use crate::throughput::ThroughputMatrix;
-use crate::worker::{run_cpu_worker, run_gpu_worker, QueryRuntime, WorkerContext};
+use crate::worker::{run_cpu_worker, run_gpu_worker, WorkerContext};
+use parking_lot::Mutex;
 use saber_cpu::plan::CompiledPlan;
 use saber_gpu::{DeviceConfig, GpuDevice};
 use saber_query::Query;
-use saber_types::{Result, SaberError};
+use saber_types::{Result, RowBuffer, SaberError};
 use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::Duration;
-
-struct QueryEntry {
-    dispatcher: Arc<Dispatcher>,
-    runtime: Arc<ResultStage>,
-    stats: Arc<QueryStats>,
-    sink: QuerySink,
-}
+use std::time::{Duration, Instant};
 
 /// How long [`Saber::stop`] waits for in-flight tasks to drain before giving
 /// up and reporting an unclean stop.
 const STOP_DRAIN_TIMEOUT: Duration = Duration::from_secs(60);
+
+/// How long [`QueryHandle::remove`] waits for the query's in-flight ingests
+/// and task backlog to drain before deregistering it uncleanly.
+const REMOVE_DRAIN_TIMEOUT: Duration = Duration::from_secs(60);
 
 /// Engine lifecycle phases. The engine moves strictly forward:
 /// `Created → Running → Stopped`; a stopped engine cannot be restarted.
@@ -51,6 +58,8 @@ const PHASE_STOPPED: u8 = 2;
 /// a [`SaberError::State`]), then waits for the in-flight count to reach
 /// zero (so every ingest that was *already accepted* has finished appending)
 /// before flushing — no accepted row can land after the final flush.
+/// [`QueryHandle::remove`] applies the same pattern per query through its
+/// [`QueryGate`].
 #[derive(Debug)]
 struct Lifecycle {
     phase: AtomicU8,
@@ -100,9 +109,9 @@ impl Lifecycle {
     /// returns true quickly; the timeout exists so a leaked credit (e.g. a
     /// panicked worker) degrades into an unclean stop instead of a hang.
     fn wait_ingests_drained(&self, timeout: Duration) -> bool {
-        let deadline = std::time::Instant::now() + timeout;
+        let deadline = Instant::now() + timeout;
         while self.in_flight_ingests.load(Ordering::SeqCst) > 0 {
-            if std::time::Instant::now() >= deadline {
+            if Instant::now() >= deadline {
                 return false;
             }
             std::thread::sleep(Duration::from_micros(50));
@@ -124,19 +133,29 @@ impl Drop for IngestPermit<'_> {
     }
 }
 
-/// The SABER hybrid stream processing engine.
-pub struct Saber {
+/// Everything shared between the [`Saber`] façade, its worker threads and
+/// the handles ([`QueryHandle`], [`IngestHandle`]) it gives out.
+struct EngineCore {
     config: EngineConfig,
     queue: Arc<TaskQueue>,
     matrix: Arc<ThroughputMatrix>,
     scheduler: Arc<Scheduler>,
     task_ids: Arc<AtomicU64>,
     flow: Arc<FlowControl>,
-    queries: Vec<QueryEntry>,
+    registry: Arc<QueryRegistry>,
     stats: EngineStats,
     device: Arc<GpuDevice>,
+    lifecycle: Lifecycle,
+    /// Serializes the two wind-down paths — engine stop and per-query
+    /// removal — so a removal can never retire a queue shard out from under
+    /// stop's final flush (and vice versa).
+    wind_down: Mutex<()>,
+}
+
+/// The SABER hybrid stream processing engine.
+pub struct Saber {
+    core: Arc<EngineCore>,
     workers: Vec<JoinHandle<()>>,
-    lifecycle: Arc<Lifecycle>,
 }
 
 impl Saber {
@@ -178,101 +197,159 @@ impl Saber {
         let scheduler = Arc::new(scheduler);
         let device = Arc::new(GpuDevice::new(config.device.clone()));
         Ok(Self {
-            queue: Arc::new(TaskQueue::new()),
-            matrix,
-            scheduler,
-            task_ids: Arc::new(AtomicU64::new(0)),
-            flow: Arc::new(FlowControl::new(config.max_queued_tasks)),
-            queries: Vec::new(),
-            stats: EngineStats::default(),
-            device,
+            core: Arc::new(EngineCore {
+                queue: Arc::new(TaskQueue::new()),
+                matrix,
+                scheduler,
+                task_ids: Arc::new(AtomicU64::new(0)),
+                flow: Arc::new(FlowControl::new(config.max_queued_tasks)),
+                registry: Arc::new(QueryRegistry::new()),
+                stats: EngineStats::default(),
+                device,
+                lifecycle: Lifecycle::new(),
+                wind_down: Mutex::new(()),
+                config,
+            }),
             workers: Vec::new(),
-            lifecycle: Arc::new(Lifecycle::new()),
-            config,
         })
     }
 
     /// The engine configuration.
     pub fn config(&self) -> &EngineConfig {
-        &self.config
+        &self.core.config
     }
 
     /// The accelerator device (statistics, bus counters).
     pub fn device(&self) -> &Arc<GpuDevice> {
-        &self.device
+        &self.core.device
     }
 
     /// The observed throughput matrix.
     pub fn matrix(&self) -> &Arc<ThroughputMatrix> {
-        &self.matrix
+        &self.core.matrix
     }
 
-    /// Engine-wide statistics.
+    /// Engine-wide statistics (stats blocks are retained for removed
+    /// queries).
     pub fn stats(&self) -> &EngineStats {
-        &self.stats
+        &self.core.stats
     }
 
-    /// Number of registered queries.
+    /// Number of *live* queries (registered and not removed).
     pub fn num_queries(&self) -> usize {
-        self.queries.len()
+        self.core.registry.num_active()
     }
 
-    /// Per-query statistics (by registration index).
-    pub fn query_stats(&self, query: usize) -> Option<Arc<QueryStats>> {
-        self.queries.get(query).map(|q| q.stats.clone())
+    /// Number of queries ever registered, including removed ones. Query ids
+    /// are assigned from this sequence and never reused.
+    pub fn registered_queries(&self) -> usize {
+        self.core.registry.num_slots()
     }
 
-    /// Registers a query, returning its output sink. The query's id is its
-    /// registration index. Output rows are retained in the sink.
-    pub fn add_query(&mut self, query: Query) -> Result<QuerySink> {
+    /// Ids of all live queries, in registration order.
+    pub fn query_ids(&self) -> Vec<QueryId> {
+        self.core
+            .registry
+            .active_ids()
+            .into_iter()
+            .map(QueryId)
+            .collect()
+    }
+
+    /// Re-acquires a handle to a live query (None if unknown or removed).
+    pub fn query(&self, query: QueryId) -> Option<QueryHandle> {
+        let state = self.core.registry.get(query.index())?;
+        Some(QueryHandle {
+            id: query,
+            core: self.core.clone(),
+            state,
+        })
+    }
+
+    /// Per-query statistics. Unlike the other accessors this also resolves
+    /// *removed* queries, so historical counters stay readable.
+    pub fn query_stats(&self, query: QueryId) -> Option<Arc<QueryStats>> {
+        self.core.stats.get(query.index())
+    }
+
+    /// Number of tasks currently queued for one query (0 for unknown or
+    /// removed queries).
+    pub fn queue_depth(&self, query: QueryId) -> usize {
+        self.core.queue.depth(query.index())
+    }
+
+    /// Registers a query — on a *running* engine too — returning its handle.
+    /// Output rows are retained in the handle's sink.
+    pub fn add_query(&self, query: Query) -> Result<QueryHandle> {
         self.add_query_with_options(query, true)
     }
 
     /// Registers a query; when `retain_output` is false the sink only counts
     /// emitted tuples (benchmarks over unbounded output).
-    pub fn add_query_with_options(
-        &mut self,
-        query: Query,
-        retain_output: bool,
-    ) -> Result<QuerySink> {
-        if self.is_running() {
+    pub fn add_query_with_options(&self, query: Query, retain_output: bool) -> Result<QueryHandle> {
+        if self.core.lifecycle.phase() == PHASE_STOPPED {
             return Err(SaberError::State(
-                "cannot add queries to a running engine".into(),
+                "cannot add queries to a stopped engine".into(),
             ));
         }
-        let id = self.queries.len();
-        let query = query.with_id(id);
-        let plan = Arc::new(CompiledPlan::compile(&query)?);
+        let core = &self.core;
+        // The expensive steps — plan compilation and the input-ring
+        // allocations inside the dispatcher — run before any shared lock is
+        // taken, so registering a query on a loaded engine never stalls
+        // concurrent ingest or task completion (both read-lock the
+        // registry). The id is reserved first (and burnt if this
+        // registration is abandoned; ids are never reused by design).
+        let mut plan = CompiledPlan::compile(&query)?;
+        let id = core.registry.reserve_id();
+        plan.set_query_id(id);
+        let plan = Arc::new(plan);
         let sink = QuerySink::new(plan.output_schema().clone(), retain_output);
-        let stats = self.stats.register_query();
-        let result = Arc::new(ResultStage::new(&plan, sink.clone(), stats.clone()));
+        let stats = core.stats.register_query_at(id);
+        let runtime = Arc::new(ResultStage::new(&plan, sink.clone(), stats.clone()));
         let dispatcher = Arc::new(Dispatcher::new(
             plan,
-            self.config.query_task_size,
-            self.config.input_buffer_capacity,
-            self.task_ids.clone(),
+            core.config.query_task_size,
+            core.config.input_buffer_capacity,
+            core.task_ids.clone(),
         ));
-        let queue_id = self.queue.register_query();
-        debug_assert_eq!(queue_id, id);
-        self.queries.push(QueryEntry {
+        core.queue.register_query_at(id);
+        let state = Arc::new(QueryState {
+            id,
             dispatcher,
-            runtime: result,
+            runtime,
             stats,
-            sink: sink.clone(),
+            sink,
+            gate: QueryGate::new(),
         });
-        Ok(sink)
+        core.registry.insert(state.clone());
+        // A stop that raced this registration has already closed the other
+        // sinks and will not see this query; fail the registration cleanly
+        // instead of leaving a zombie.
+        if self.core.lifecycle.phase() == PHASE_STOPPED {
+            self.core.registry.clear(state.id);
+            state.sink.close();
+            return Err(SaberError::State(
+                "cannot add queries to a stopped engine".into(),
+            ));
+        }
+        Ok(QueryHandle {
+            id: QueryId(state.id),
+            core: self.core.clone(),
+            state,
+        })
     }
 
     /// Registers a query written in the SABER SQL dialect (see
     /// `docs/sql.md`), resolving stream names against `catalog`. Returns the
-    /// query's output sink, exactly like [`Saber::add_query`].
+    /// query's [`QueryHandle`], exactly like [`Saber::add_query`] — and like
+    /// it, works while the engine is running.
     ///
     /// Parse, name-resolution and type errors surface as
     /// [`SaberError::Query`] with the offending line and column; use
     /// [`saber_sql::compile`] directly to get the full caret diagnostic.
     ///
     /// ```
-    /// use saber_engine::Saber;
+    /// use saber_engine::{Saber, StreamId};
     /// use saber_sql::Catalog;
     /// use saber_types::{DataType, RowBuffer, Schema, Value};
     ///
@@ -286,25 +363,27 @@ impl Saber {
     /// let catalog = Catalog::new().with_stream("Sensors", schema.clone());
     ///
     /// let mut engine = Saber::builder().worker_threads(1).build().unwrap();
-    /// let sink = engine
+    /// engine.start().unwrap();
+    ///
+    /// // Queries can be registered after start (the engine is running).
+    /// let query = engine
     ///     .add_query_sql(
     ///         "SELECT timestamp, key, COUNT(*) FROM Sensors [ROWS 4] GROUP BY key",
     ///         &catalog,
     ///     )
     ///     .unwrap();
-    /// engine.start().unwrap();
     ///
     /// let mut rows = RowBuffer::new(schema);
     /// for i in 0..8 {
     ///     rows.push_values(&[Value::Timestamp(i), Value::Float(1.0), Value::Int(0)])
     ///         .unwrap();
     /// }
-    /// engine.ingest(0, 0, rows.bytes()).unwrap();
+    /// query.ingest(StreamId(0), rows.bytes()).unwrap();
     /// engine.stop().unwrap();
     /// // Two tumbling 4-row windows, one group each.
-    /// assert_eq!(sink.tuples_emitted(), 2);
+    /// assert_eq!(query.tuples_emitted(), 2);
     /// ```
-    pub fn add_query_sql(&mut self, sql: &str, catalog: &saber_sql::Catalog) -> Result<QuerySink> {
+    pub fn add_query_sql(&self, sql: &str, catalog: &saber_sql::Catalog) -> Result<QueryHandle> {
         let query = saber_sql::compile(sql, catalog)?;
         self.add_query(query)
     }
@@ -312,22 +391,31 @@ impl Saber {
     /// Like [`Saber::add_query_sql`], but with the sink's `retain_output`
     /// switch exposed (see [`Saber::add_query_with_options`]).
     pub fn add_query_sql_with_options(
-        &mut self,
+        &self,
         sql: &str,
         catalog: &saber_sql::Catalog,
         retain_output: bool,
-    ) -> Result<QuerySink> {
+    ) -> Result<QueryHandle> {
         let query = saber_sql::compile(sql, catalog)?;
         self.add_query_with_options(query, retain_output)
     }
 
-    /// Starts the worker threads.
+    /// Removes a live query, draining it loss-free first (see
+    /// [`QueryHandle::remove`] — this is the same operation addressed by
+    /// id).
+    pub fn remove_query(&self, query: QueryId) -> Result<()> {
+        remove_query_inner(&self.core, query.index())
+    }
+
+    /// Starts the worker threads. Queries may be registered before *or
+    /// after* this point; an engine can start with zero queries and have
+    /// them added while it runs (the long-lived server deployment).
     ///
     /// The lifecycle is strictly forward: a stopped engine cannot be
     /// restarted (its task queue and credit gate have been shut down); build
     /// a fresh engine instead.
     pub fn start(&mut self) -> Result<()> {
-        match self.lifecycle.phase() {
+        match self.core.lifecycle.phase() {
             PHASE_RUNNING => {
                 return Err(SaberError::State("engine already running".into()));
             }
@@ -338,28 +426,9 @@ impl Saber {
             }
             _ => {}
         }
-        if self.queries.is_empty() {
-            return Err(SaberError::State("no queries registered".into()));
-        }
-        let runtimes: Arc<Vec<QueryRuntime>> = Arc::new(
-            self.queries
-                .iter()
-                .map(|q| QueryRuntime {
-                    result: q.runtime.clone(),
-                    stats: q.stats.clone(),
-                })
-                .collect(),
-        );
-
-        let cpu_workers = self.config.effective_cpu_workers();
+        let cpu_workers = self.core.config.effective_cpu_workers();
         for i in 0..cpu_workers {
-            let ctx = WorkerContext {
-                queue: self.queue.clone(),
-                scheduler: self.scheduler.clone(),
-                matrix: self.matrix.clone(),
-                queries: runtimes.clone(),
-                flow: self.flow.clone(),
-            };
+            let ctx = self.worker_context();
             self.workers.push(
                 std::thread::Builder::new()
                     .name(format!("saber-cpu-{i}"))
@@ -367,16 +436,10 @@ impl Saber {
                     .map_err(|e| SaberError::State(format!("failed to spawn worker: {e}")))?,
             );
         }
-        if self.config.gpu_enabled() {
-            let ctx = WorkerContext {
-                queue: self.queue.clone(),
-                scheduler: self.scheduler.clone(),
-                matrix: self.matrix.clone(),
-                queries: runtimes.clone(),
-                flow: self.flow.clone(),
-            };
-            let device = self.device.clone();
-            let depth = self.config.gpu_pipeline_depth;
+        if self.core.config.gpu_enabled() {
+            let ctx = self.worker_context();
+            let device = self.core.device.clone();
+            let depth = self.core.config.gpu_pipeline_depth;
             self.workers.push(
                 std::thread::Builder::new()
                     .name("saber-gpgpu".to_string())
@@ -384,31 +447,46 @@ impl Saber {
                     .map_err(|e| SaberError::State(format!("failed to spawn GPU worker: {e}")))?,
             );
         }
-        self.lifecycle.phase.store(PHASE_RUNNING, Ordering::SeqCst);
+        self.core
+            .lifecycle
+            .phase
+            .store(PHASE_RUNNING, Ordering::SeqCst);
         Ok(())
     }
 
+    fn worker_context(&self) -> WorkerContext {
+        WorkerContext {
+            queue: self.core.queue.clone(),
+            scheduler: self.core.scheduler.clone(),
+            matrix: self.core.matrix.clone(),
+            registry: self.core.registry.clone(),
+            flow: self.core.flow.clone(),
+        }
+    }
+
     fn is_running(&self) -> bool {
-        self.lifecycle.is_running()
+        self.core.lifecycle.is_running()
     }
 
     /// Ingests whole rows into input `stream` of query `query`. The buffer
     /// copy is lock-free; backpressure blocks on the credit gate until
-    /// workers free queue slots. After [`Saber::stop`] begins, ingests are
-    /// rejected with a [`SaberError::State`] instead of silently dropping
-    /// rows.
-    pub fn ingest(&self, query: usize, stream: usize, bytes: &[u8]) -> Result<()> {
-        let _permit = self.lifecycle.begin_ingest()?;
-        let entry = self
-            .queries
-            .get(query)
-            .ok_or_else(|| SaberError::Query(format!("unknown query {query}")))?;
+    /// workers free queue slots. After [`Saber::stop`] begins (or the query
+    /// is removed), ingests are rejected with a [`SaberError::State`]
+    /// instead of silently dropping rows.
+    pub fn ingest(&self, query: QueryId, stream: StreamId, bytes: &[u8]) -> Result<()> {
+        let core = &self.core;
+        let _permit = core.lifecycle.begin_ingest()?;
+        let state = core
+            .registry
+            .get(query.index())
+            .ok_or_else(|| unknown_query_error(core, query.index()))?;
+        let _query_permit = state.gate.begin_ingest(state.id)?;
         ingest_into(
-            &entry.dispatcher,
-            &entry.stats,
-            &self.flow,
-            &self.queue,
-            stream,
+            &state.dispatcher,
+            &state.stats,
+            &core.flow,
+            &core.queue,
+            stream.index(),
             bytes,
         )
     }
@@ -416,34 +494,55 @@ impl Saber {
     /// Returns a cheap cloneable producer handle bound to input `stream` of
     /// query `query`. Handles are `Send + Sync + Clone` and may ingest from
     /// many threads concurrently; they share the engine's backpressure gate
-    /// and remain valid until the engine stops.
-    pub fn ingest_handle(&self, query: usize, stream: usize) -> Result<IngestHandle> {
-        let entry = self
-            .queries
-            .get(query)
-            .ok_or_else(|| SaberError::Query(format!("unknown query {query}")))?;
-        if entry.dispatcher.stream(stream).is_none() {
+    /// and remain valid until the query is removed or the engine stops.
+    pub fn ingest_handle(&self, query: QueryId, stream: StreamId) -> Result<IngestHandle> {
+        let core = &self.core;
+        let state = core
+            .registry
+            .get(query.index())
+            .ok_or_else(|| unknown_query_error(core, query.index()))?;
+        if state.dispatcher.stream(stream.index()).is_none() {
             return Err(SaberError::Query(format!(
-                "query {query} has no input stream {stream}"
+                "query {} has no input stream {}",
+                query.index(),
+                stream.index()
             )));
         }
         Ok(IngestHandle {
             inner: Arc::new(HandleInner {
-                dispatcher: entry.dispatcher.clone(),
-                stats: entry.stats.clone(),
-                flow: self.flow.clone(),
-                queue: self.queue.clone(),
-                lifecycle: self.lifecycle.clone(),
-                stream,
+                core: self.core.clone(),
+                state,
+                stream: stream.index(),
             }),
         })
     }
 
-    /// Flushes partially filled stream batches into final (undersized) tasks.
+    /// Flushes partially filled stream batches of every live query into
+    /// final (undersized) tasks.
     pub fn flush(&self) -> Result<()> {
-        for entry in &self.queries {
-            if let Some(task) = entry.dispatcher.flush()? {
-                submit_task(&entry.stats, &self.flow, &self.queue, task);
+        for state in self.core.registry.active() {
+            // Queries mid-removal flush (and drain) themselves; skipping
+            // them here avoids racing the removal's shard retirement.
+            if !state.gate.is_accepting() {
+                continue;
+            }
+            if let Some(task) = state.dispatcher.flush()? {
+                submit_task(&state.stats, &self.core.flow, &self.core.queue, task);
+            }
+        }
+        Ok(())
+    }
+
+    /// Stop's final flush. Unlike the public [`Saber::flush`] this includes
+    /// queries whose removal is in progress (gate closed, slot still live):
+    /// under the wind-down mutex their shards cannot be retired
+    /// concurrently, and a removal that observes the `Stopped` phase skips
+    /// its own flush — if stop skipped them too, rows accepted just before
+    /// the removal began would be stranded in the ring and silently lost.
+    fn flush_all(&self) -> Result<()> {
+        for state in self.core.registry.active() {
+            if let Some(task) = state.dispatcher.flush()? {
+                submit_task(&state.stats, &self.core.flow, &self.core.queue, task);
             }
         }
         Ok(())
@@ -453,7 +552,7 @@ impl Saber {
     /// `timeout`). Returns true if the engine drained in time. Blocks on the
     /// credit gate's condvar — no polling.
     pub fn drain(&self, timeout: Duration) -> bool {
-        self.flow.wait_idle(timeout)
+        self.core.flow.wait_idle(timeout)
     }
 
     /// Stops the engine deterministically and loss-free: flushes remaining
@@ -465,14 +564,21 @@ impl Saber {
     /// timeout — and rows they ingest during shutdown are rejected rather
     /// than accepted and silently dropped after the final flush. Ingests
     /// already past the phase check are waited for before flushing, so every
-    /// row whose ingest returned `Ok` is processed.
+    /// row whose ingest returned `Ok` is processed. Once the workers have
+    /// stopped, every live query's sink is closed, so consumers blocked in
+    /// [`QuerySink::wait_for_window`] wake with [`WindowWait::Closed`] after
+    /// draining the final windows.
     ///
     /// Returns an error if the wind-down (waiting out in-flight ingests and
     /// draining in-flight tasks — one shared 60 s budget) timed out; the
     /// workers are still shut down, but on that unclean path some accepted
-    /// rows may not have reached the sinks.
+    /// rows may not have reached the sinks. A concurrent
+    /// [`QueryHandle::remove`] holding the wind-down mutex can additionally
+    /// delay stop by up to its own drain timeout, so the worst-case bound is
+    /// `STOP_DRAIN_TIMEOUT + REMOVE_DRAIN_TIMEOUT`.
     pub fn stop(&mut self) -> Result<()> {
         if self
+            .core
             .lifecycle
             .phase
             .compare_exchange(
@@ -486,73 +592,86 @@ impl Saber {
             // Never started, or already stopped: nothing to wind down.
             return Ok(());
         }
-        // One budget covers the whole wind-down (ingest wait + task drain),
-        // so callers can rely on stop() returning within STOP_DRAIN_TIMEOUT.
-        let deadline = std::time::Instant::now() + STOP_DRAIN_TIMEOUT;
-        let ingests_drained = self.lifecycle.wait_ingests_drained(STOP_DRAIN_TIMEOUT);
+        // One budget covers stop's own wind-down (ingest wait + task
+        // drain); waiting out a concurrent removal's wind-down mutex is the
+        // only thing that can extend it (see the doc comment).
+        let deadline = Instant::now() + STOP_DRAIN_TIMEOUT;
+        let ingests_drained = self.core.lifecycle.wait_ingests_drained(STOP_DRAIN_TIMEOUT);
         if !ingests_drained {
             // Something is wedged (e.g. a leaked credit): unblock the
             // stranded producers instead of hanging; the stop is unclean.
-            self.flow.signal_shutdown();
+            self.core.flow.signal_shutdown();
         }
+        // Serialize with concurrent query removals: a removal retiring its
+        // queue shard between our flush and our push would strand the task.
+        let wind_down = self.core.wind_down.lock();
         let flush_result = if ingests_drained {
-            self.flush()
+            self.flush_all()
         } else {
             Ok(())
         };
-        let drained = ingests_drained
-            && self.drain(deadline.saturating_duration_since(std::time::Instant::now()));
-        self.queue.signal_shutdown();
+        let drained =
+            ingests_drained && self.drain(deadline.saturating_duration_since(Instant::now()));
+        self.core.queue.signal_shutdown();
         // Unblock any producer stranded on the credit gate: once workers are
         // told to exit, remaining credits would never be released.
-        self.flow.signal_shutdown();
+        self.core.flow.signal_shutdown();
+        drop(wind_down);
         for worker in self.workers.drain(..) {
             let _ = worker.join();
+        }
+        // Workers are gone: results are final. Signal end-of-stream to every
+        // consumer blocked on (or subscribed to) a sink.
+        for state in self.core.registry.active() {
+            state.sink.close();
         }
         flush_result?;
         if !drained {
             return Err(SaberError::State(format!(
                 "stop() timed out after {STOP_DRAIN_TIMEOUT:?} with {} in-flight ingest(s) \
                  and {} in-flight task(s); workers were shut down anyway (unclean stop)",
-                self.lifecycle.in_flight_ingests.load(Ordering::SeqCst),
-                self.flow.outstanding()
+                self.core.lifecycle.in_flight_ingests.load(Ordering::SeqCst),
+                self.core.flow.outstanding()
             )));
         }
         Ok(())
     }
 
-    /// The output sink of query `query`.
-    pub fn sink(&self, query: usize) -> Option<QuerySink> {
-        self.queries.get(query).map(|q| q.sink.clone())
+    /// The output sink of a live query (None for unknown or removed ids).
+    pub fn sink(&self, query: QueryId) -> Option<QuerySink> {
+        self.core
+            .registry
+            .get(query.index())
+            .map(|s| s.sink.clone())
     }
 
     /// Number of tasks currently queued (diagnostics).
     pub fn queued_tasks(&self) -> usize {
-        self.queue.len()
+        self.core.queue.len()
     }
 
     /// Highest number of simultaneously queued tasks observed (queue-depth
     /// metric).
     pub fn max_queued_tasks_observed(&self) -> usize {
-        self.queue.max_depth()
+        self.core.queue.max_depth()
     }
 
     /// Number of tasks dispatched but not yet fully processed.
     pub fn in_flight_tasks(&self) -> u64 {
-        self.flow.outstanding()
+        self.core.flow.outstanding()
     }
 
     /// `(blocking submissions, total blocked time)` across all producers
     /// (backpressure-wait metric).
     pub fn backpressure_stats(&self) -> (u64, Duration) {
-        self.flow.wait_stats()
+        self.core.flow.wait_stats()
     }
 
     /// Resets the throughput matrix and the scheduler's execution counters
     /// (used by the adaptation experiment to emulate periodic refresh).
     pub fn reset_scheduling_state(&self) {
-        self.matrix.reset();
-        self.scheduler.reset_counts();
+        self.core.matrix.reset();
+        self.core.scheduler.reset_counts();
     }
 
     /// Convenience constructor used by comparisons that only need defaults
@@ -565,6 +684,49 @@ impl Saber {
         };
         Self::with_config(config)
     }
+
+    // ---- deprecated raw-index shims (one release of migration room) ----
+
+    /// Raw-index shim for [`Saber::ingest`].
+    #[deprecated(
+        since = "0.5.0",
+        note = "use the typed API: `ingest(QueryId(q), StreamId(s), bytes)` — \
+                this shim will be removed in the next release"
+    )]
+    pub fn ingest_indexed(&self, query: usize, stream: usize, bytes: &[u8]) -> Result<()> {
+        self.ingest(QueryId(query), StreamId(stream), bytes)
+    }
+
+    /// Raw-index shim for [`Saber::ingest_handle`].
+    #[deprecated(
+        since = "0.5.0",
+        note = "use the typed API: `ingest_handle(QueryId(q), StreamId(s))` — \
+                this shim will be removed in the next release"
+    )]
+    pub fn ingest_handle_indexed(&self, query: usize, stream: usize) -> Result<IngestHandle> {
+        self.ingest_handle(QueryId(query), StreamId(stream))
+    }
+
+    /// Raw-index shim for [`Saber::sink`].
+    #[deprecated(
+        since = "0.5.0",
+        note = "use the typed API: `sink(QueryId(q))` (or keep the \
+                `QueryHandle` from registration) — this shim will be removed \
+                in the next release"
+    )]
+    pub fn sink_indexed(&self, query: usize) -> Option<QuerySink> {
+        self.sink(QueryId(query))
+    }
+
+    /// Raw-index shim for [`Saber::query_stats`].
+    #[deprecated(
+        since = "0.5.0",
+        note = "use the typed API: `query_stats(QueryId(q))` — this shim \
+                will be removed in the next release"
+    )]
+    pub fn query_stats_indexed(&self, query: usize) -> Option<Arc<QueryStats>> {
+        self.query_stats(QueryId(query))
+    }
 }
 
 impl Drop for Saber {
@@ -575,12 +737,250 @@ impl Drop for Saber {
     }
 }
 
+/// Builds the "unknown query" error with the live ids listed, so a caller
+/// holding a stale id can see at a glance what is actually registered.
+fn unknown_query_error(core: &EngineCore, id: usize) -> SaberError {
+    let active = core.registry.active_ids();
+    if active.is_empty() {
+        SaberError::Query(format!("unknown query {id} (no queries registered)"))
+    } else {
+        let ids: Vec<String> = active.iter().map(|i| i.to_string()).collect();
+        SaberError::Query(format!(
+            "unknown query {id} (live queries: {})",
+            ids.join(", ")
+        ))
+    }
+}
+
+/// Removes one query loss-free: close its ingest gate, wait out in-flight
+/// ingests, flush its pending rows, drain its task backlog, then deregister
+/// it everywhere (queue shard, scheduler counters, throughput matrix row,
+/// registry slot) and close its sink.
+fn remove_query_inner(core: &Arc<EngineCore>, id: usize) -> Result<()> {
+    let state = core
+        .registry
+        .get(id)
+        .ok_or_else(|| unknown_query_error(core, id))?;
+    if !state.gate.begin_remove() {
+        return Err(SaberError::State(format!(
+            "query {id} is already being removed"
+        )));
+    }
+    let deadline = Instant::now() + REMOVE_DRAIN_TIMEOUT;
+    // Phase 1 (permit-counter pattern): every ingest that was accepted
+    // before the gate closed finishes appending before we flush.
+    let mut clean = state.gate.wait_ingests_drained(deadline);
+    // Serialize the drain + retire with engine stop (see EngineCore).
+    let wind_down = core.wind_down.lock();
+    // Phase 2 runs whenever the queue still accepts tasks — which, under
+    // the wind-down mutex, is stable and implies workers will drain them.
+    // That includes a `Stopped` *phase* whose stop() call is still parked
+    // on the mutex behind us (its phase flips before the critical section):
+    // skipping the flush on phase alone would strand pending rows, because
+    // stop's own flush cannot run until after we retire the shard. When the
+    // queue has already shut down, stop's flush_all (which covers
+    // gate-closed queries precisely for this hand-off) has flushed and
+    // drained everything, so there is nothing left to do here. An engine
+    // that never started has nothing pending (ingest requires Running).
+    if clean && !core.queue.is_shutdown() {
+        // Flush the final (undersized) task, then wait until every task
+        // ever cut for this query has passed through the result stage.
+        // `tasks_cut` is committed under the cutter lock, so our flush
+        // observes every concurrent cut that could still submit a task.
+        if let Some(task) = state.dispatcher.flush()? {
+            submit_task(&state.stats, &core.flow, &core.queue, task);
+        }
+        while state.runtime.completed_tasks() < state.dispatcher.tasks_cut() {
+            if Instant::now() >= deadline {
+                clean = false;
+                break;
+            }
+            std::thread::sleep(Duration::from_micros(50));
+        }
+    }
+    // Phase 3: deregister. On the clean path the shard is empty; orphans
+    // only exist after a timeout, and their flow credits must be returned so
+    // admission control stays balanced.
+    let orphans = core.queue.retire_query(id);
+    for _ in &orphans {
+        core.flow.release();
+    }
+    core.scheduler.forget_query(id);
+    core.matrix.forget_query(id);
+    core.registry.clear(id);
+    drop(wind_down);
+    state.sink.close();
+    if !clean {
+        return Err(SaberError::State(format!(
+            "removal of query {id} timed out after {REMOVE_DRAIN_TIMEOUT:?} \
+             with {} orphaned task(s); the query was deregistered anyway \
+             (unclean removal)",
+            orphans.len()
+        )));
+    }
+    Ok(())
+}
+
+/// Handle to one registered query, returned by [`Saber::add_query`] and
+/// friends. The handle owns the query's [`QuerySink`] (results are read
+/// through it) and is the query's lifecycle anchor: [`QueryHandle::remove`]
+/// drains and deregisters the query from a running engine, loss-free.
+///
+/// Handles are cheap `Arc` clones and may be used from any thread.
+///
+/// ```
+/// use saber_engine::{Saber, StreamId};
+/// use saber_query::{Expr, QueryBuilder};
+/// use saber_types::{DataType, RowBuffer, Schema, Value};
+///
+/// let schema = Schema::from_pairs(&[("timestamp", DataType::Timestamp)])
+///     .unwrap()
+///     .into_ref();
+/// let mut engine = Saber::builder().worker_threads(1).build().unwrap();
+/// engine.start().unwrap(); // zero queries: they arrive dynamically
+///
+/// let q = QueryBuilder::new("proj", schema.clone())
+///     .count_window(2, 2)
+///     .project(vec![(Expr::column(0), "timestamp")])
+///     .build()
+///     .unwrap();
+/// let query = engine.add_query(q).unwrap();
+///
+/// let mut rows = RowBuffer::new(schema);
+/// for i in 0..4 {
+///     rows.push_values(&[Value::Timestamp(i)]).unwrap();
+/// }
+/// query.ingest(StreamId(0), rows.bytes()).unwrap();
+///
+/// // Loss-free removal: every accepted row is processed first.
+/// query.remove().unwrap();
+/// assert_eq!(query.tuples_emitted(), 4);
+/// assert!(query.is_removed());
+/// engine.stop().unwrap();
+/// ```
+#[derive(Clone)]
+pub struct QueryHandle {
+    id: QueryId,
+    core: Arc<EngineCore>,
+    state: Arc<QueryState>,
+}
+
+impl QueryHandle {
+    /// The query's id (stable for the engine's lifetime, never reused).
+    pub fn id(&self) -> QueryId {
+        self.id
+    }
+
+    /// The query's output sink. The sink outlives removal: buffered rows
+    /// stay drainable and the counters stay readable after the query is
+    /// gone.
+    pub fn sink(&self) -> &QuerySink {
+        &self.state.sink
+    }
+
+    /// The query's statistics block.
+    pub fn stats(&self) -> Arc<QueryStats> {
+        self.state.stats.clone()
+    }
+
+    /// Total tuples emitted by this query (sink delegation).
+    pub fn tuples_emitted(&self) -> u64 {
+        self.state.sink.tuples_emitted()
+    }
+
+    /// Total bytes emitted by this query (sink delegation).
+    pub fn bytes_emitted(&self) -> u64 {
+        self.state.sink.bytes_emitted()
+    }
+
+    /// Takes the buffered output rows (sink delegation).
+    pub fn take_rows(&self) -> RowBuffer {
+        self.state.sink.take_rows()
+    }
+
+    /// Blocks until new result windows are available, the sink is closed,
+    /// or `timeout` elapses (sink delegation — see
+    /// [`QuerySink::wait_for_window`]).
+    pub fn wait_for_window(&self, timeout: Duration) -> WindowWait {
+        self.state.sink.wait_for_window(timeout)
+    }
+
+    /// Ingests whole rows into input `stream` of this query (the engine
+    /// must be running).
+    pub fn ingest(&self, stream: StreamId, bytes: &[u8]) -> Result<()> {
+        let _permit = self.core.lifecycle.begin_ingest()?;
+        let _query_permit = self.state.gate.begin_ingest(self.state.id)?;
+        ingest_into(
+            &self.state.dispatcher,
+            &self.state.stats,
+            &self.core.flow,
+            &self.core.queue,
+            stream.index(),
+            bytes,
+        )
+    }
+
+    /// A cloneable multi-producer handle for input `stream` of this query
+    /// (see [`Saber::ingest_handle`]).
+    pub fn ingest_handle(&self, stream: StreamId) -> Result<IngestHandle> {
+        if self.state.dispatcher.stream(stream.index()).is_none() {
+            return Err(SaberError::Query(format!(
+                "query {} has no input stream {}",
+                self.id.index(),
+                stream.index()
+            )));
+        }
+        Ok(IngestHandle {
+            inner: Arc::new(HandleInner {
+                core: self.core.clone(),
+                state: self.state.clone(),
+                stream: stream.index(),
+            }),
+        })
+    }
+
+    /// Cuts this query's partially filled stream batches into a final
+    /// (undersized) task, like [`Saber::flush`] scoped to this query.
+    pub fn flush(&self) -> Result<()> {
+        let _permit = self.core.lifecycle.begin_ingest()?;
+        let _query_permit = self.state.gate.begin_ingest(self.state.id)?;
+        if let Some(task) = self.state.dispatcher.flush()? {
+            submit_task(&self.state.stats, &self.core.flow, &self.core.queue, task);
+        }
+        Ok(())
+    }
+
+    /// Number of tasks currently queued for this query.
+    pub fn queued_tasks(&self) -> usize {
+        self.core.queue.depth(self.state.id)
+    }
+
+    /// True once the query has been removed (or removal has begun): further
+    /// ingests are rejected.
+    pub fn is_removed(&self) -> bool {
+        !self.state.gate.is_accepting()
+    }
+
+    /// Removes the query from the engine, **loss-free**: new ingests are
+    /// rejected immediately, ingests already in flight are waited for,
+    /// pending rows are flushed into a final task, and the query's whole
+    /// task backlog is drained through the result stage into the sink —
+    /// only then is the query deregistered (its task-queue shard retired,
+    /// its scheduler counters and throughput-matrix row dropped) and the
+    /// sink closed. Every row whose ingest returned `Ok` is reflected in
+    /// the sink after this returns.
+    ///
+    /// Concurrent removals of the same query are single-shot: the second
+    /// caller gets a [`SaberError::State`]. Returns an error (with the
+    /// query deregistered anyway) if draining timed out.
+    pub fn remove(&self) -> Result<()> {
+        remove_query_inner(&self.core, self.state.id)
+    }
+}
+
 struct HandleInner {
-    dispatcher: Arc<Dispatcher>,
-    stats: Arc<QueryStats>,
-    flow: Arc<FlowControl>,
-    queue: Arc<TaskQueue>,
-    lifecycle: Arc<Lifecycle>,
+    core: Arc<EngineCore>,
+    state: Arc<QueryState>,
     stream: usize,
 }
 
@@ -589,7 +989,7 @@ struct HandleInner {
 /// blocks precisely while the task queue is saturated.
 ///
 /// ```
-/// use saber_engine::Saber;
+/// use saber_engine::{QueryId, Saber, StreamId};
 /// use saber_sql::Catalog;
 /// use saber_types::{DataType, RowBuffer, Schema, Value};
 ///
@@ -601,13 +1001,13 @@ struct HandleInner {
 /// .into_ref();
 /// let catalog = Catalog::new().with_stream("S", schema.clone());
 /// let mut engine = Saber::builder().worker_threads(1).build().unwrap();
-/// let sink = engine
+/// let query = engine
 ///     .add_query_sql("SELECT * FROM S [ROWS 2] WHERE value >= 0", &catalog)
 ///     .unwrap();
 /// engine.start().unwrap();
 ///
 /// // Handles are cheap to clone and may ingest from many threads at once.
-/// let handle = engine.ingest_handle(0, 0).unwrap();
+/// let handle = engine.ingest_handle(QueryId(0), StreamId(0)).unwrap();
 /// let producers: Vec<_> = (0..2)
 ///     .map(|p| {
 ///         let handle = handle.clone();
@@ -626,7 +1026,7 @@ struct HandleInner {
 ///     t.join().unwrap();
 /// }
 /// engine.stop().unwrap();
-/// assert_eq!(sink.tuples_emitted(), 8);
+/// assert_eq!(query.tuples_emitted(), 8);
 /// ```
 #[derive(Clone)]
 pub struct IngestHandle {
@@ -635,27 +1035,29 @@ pub struct IngestHandle {
 
 impl IngestHandle {
     /// The input stream this handle feeds.
-    pub fn stream(&self) -> usize {
-        self.inner.stream
+    pub fn stream(&self) -> StreamId {
+        StreamId(self.inner.stream)
     }
 
     /// The query this handle feeds.
-    pub fn query_id(&self) -> usize {
-        self.inner.dispatcher.query_id()
+    pub fn query_id(&self) -> QueryId {
+        QueryId(self.inner.state.id)
     }
 
     /// Ingests whole rows into the bound stream.
     ///
-    /// Once the engine stops, the handle is invalidated: every subsequent
-    /// call returns a [`SaberError::State`] — a row is either accepted *and*
-    /// processed, or rejected with an error, never accepted and dropped.
+    /// Once the engine stops — or the query is removed — the handle is
+    /// invalidated: every subsequent call returns a [`SaberError::State`].
+    /// A row is either accepted *and* processed, or rejected with an error,
+    /// never accepted and dropped.
     pub fn ingest(&self, bytes: &[u8]) -> Result<()> {
-        let _permit = self.inner.lifecycle.begin_ingest()?;
+        let _permit = self.inner.core.lifecycle.begin_ingest()?;
+        let _query_permit = self.inner.state.gate.begin_ingest(self.inner.state.id)?;
         ingest_into(
-            &self.inner.dispatcher,
-            &self.inner.stats,
-            &self.inner.flow,
-            &self.inner.queue,
+            &self.inner.state.dispatcher,
+            &self.inner.state.stats,
+            &self.inner.core.flow,
+            &self.inner.core.queue,
             self.inner.stream,
             bytes,
         )
@@ -665,12 +1067,18 @@ impl IngestHandle {
     /// (undersized) task — like [`Saber::flush`], but scoped to the handle's
     /// query and callable without a reference to the engine (e.g. by a
     /// producer ending a burst). Admission of the cut task blocks on the
-    /// credit gate like any other. Invalidated by [`Saber::stop`] exactly
-    /// like [`IngestHandle::ingest`].
+    /// credit gate like any other. Invalidated by [`Saber::stop`] and query
+    /// removal exactly like [`IngestHandle::ingest`].
     pub fn flush(&self) -> Result<()> {
-        let _permit = self.inner.lifecycle.begin_ingest()?;
-        if let Some(task) = self.inner.dispatcher.flush()? {
-            submit_task(&self.inner.stats, &self.inner.flow, &self.inner.queue, task);
+        let _permit = self.inner.core.lifecycle.begin_ingest()?;
+        let _query_permit = self.inner.state.gate.begin_ingest(self.inner.state.id)?;
+        if let Some(task) = self.inner.state.dispatcher.flush()? {
+            submit_task(
+                &self.inner.state.stats,
+                &self.inner.core.flow,
+                &self.inner.core.queue,
+                task,
+            );
         }
         Ok(())
     }
@@ -711,7 +1119,13 @@ fn submit_task(stats: &QueryStats, flow: &FlowControl, queue: &TaskQueue, task: 
     stats.tasks_created.fetch_add(1, Ordering::Relaxed);
     let waited = flow.acquire();
     stats.record_backpressure(waited);
-    queue.push(task);
+    if !queue.push(task) {
+        // The query's shard was retired while this submission was in flight
+        // — possible only when an ingest outlived an unclean (timed-out)
+        // removal, which already reported the data loss. Return the credit
+        // so admission control stays balanced.
+        flow.release();
+    }
 }
 
 #[cfg(test)]
@@ -761,6 +1175,14 @@ mod tests {
         Saber::with_config(config).unwrap()
     }
 
+    fn projection() -> Query {
+        QueryBuilder::new("proj", schema())
+            .count_window(256, 256)
+            .project(vec![(Expr::column(0), "timestamp")])
+            .build()
+            .unwrap()
+    }
+
     #[test]
     fn selection_query_end_to_end_cpu_only() {
         let mut engine = small_engine(ExecutionMode::CpuOnly);
@@ -769,14 +1191,16 @@ mod tests {
             .select(Expr::column(1).lt(Expr::literal(0.5)))
             .build()
             .unwrap();
-        let sink = engine.add_query(q).unwrap();
+        let query = engine.add_query(q).unwrap();
         engine.start().unwrap();
         let rows = 20_000;
-        engine.ingest(0, 0, &data(rows, 0)).unwrap();
+        engine
+            .ingest(query.id(), StreamId(0), &data(rows, 0))
+            .unwrap();
         engine.stop().unwrap();
         // Exactly half the values are < 0.5 (values cycle 0..99).
-        assert_eq!(sink.tuples_emitted(), rows as u64 / 2);
-        let stats = engine.query_stats(0).unwrap();
+        assert_eq!(query.tuples_emitted(), rows as u64 / 2);
+        let stats = engine.query_stats(query.id()).unwrap();
         assert!(stats.tasks_cpu.load(Ordering::Relaxed) > 0);
         assert_eq!(stats.tasks_gpu.load(Ordering::Relaxed), 0);
     }
@@ -790,14 +1214,14 @@ mod tests {
             .group_by(vec![2])
             .build()
             .unwrap();
-        let sink = engine.add_query(q).unwrap();
+        let query = engine.add_query(q).unwrap();
         engine.start().unwrap();
         let rows = 16 * 512;
-        engine.ingest(0, 0, &data(rows, 0)).unwrap();
+        query.ingest(StreamId(0), &data(rows, 0)).unwrap();
         engine.stop().unwrap();
         // 16 complete windows × 8 groups.
-        assert_eq!(sink.tuples_emitted(), 16 * 8);
-        let out = sink.take_rows();
+        assert_eq!(query.tuples_emitted(), 16 * 8);
+        let out = query.take_rows();
         for t in out.iter() {
             assert_eq!(t.get_i64(2), 64);
         }
@@ -806,18 +1230,15 @@ mod tests {
     #[test]
     fn results_preserve_task_order_despite_parallel_execution() {
         let mut engine = small_engine(ExecutionMode::Hybrid);
-        let q = QueryBuilder::new("proj", schema())
-            .count_window(256, 256)
-            .project(vec![(Expr::column(0), "timestamp")])
-            .build()
-            .unwrap();
-        let sink = engine.add_query(q).unwrap();
+        let query = engine.add_query(projection()).unwrap();
         engine.start().unwrap();
         for chunk in 0..20 {
-            engine.ingest(0, 0, &data(2048, chunk * 2048)).unwrap();
+            engine
+                .ingest(query.id(), StreamId(0), &data(2048, chunk * 2048))
+                .unwrap();
         }
         engine.stop().unwrap();
-        let out = sink.take_rows();
+        let out = query.take_rows();
         assert_eq!(out.len(), 20 * 2048);
         let mut last = -1i64;
         for t in out.iter() {
@@ -829,22 +1250,197 @@ mod tests {
     #[test]
     fn lifecycle_errors_are_reported() {
         let mut engine = small_engine(ExecutionMode::CpuOnly);
-        assert!(engine.start().is_err()); // no queries
         let q = QueryBuilder::new("sel", schema())
             .count_window(4, 4)
             .select(Expr::literal(1.0))
             .build()
             .unwrap();
-        engine.add_query(q.clone()).unwrap();
-        assert!(engine.ingest(0, 0, &data(1, 0)).is_err()); // not started
+        let query = engine.add_query(q.clone()).unwrap();
+        // Not started yet: ingest is rejected, the registration survives.
+        assert!(engine.ingest(query.id(), StreamId(0), &data(1, 0)).is_err());
         engine.start().unwrap();
         assert!(engine.start().is_err());
-        assert!(engine.add_query(q).is_err());
-        assert!(engine.ingest(5, 0, &data(1, 0)).is_err());
-        assert!(engine.ingest_handle(5, 0).is_err());
-        assert!(engine.ingest_handle(0, 3).is_err());
+        // Unknown ids are rejected with the live set listed.
+        let err = engine
+            .ingest(QueryId(5), StreamId(0), &data(1, 0))
+            .unwrap_err();
+        assert!(err.to_string().contains("unknown query 5"), "{err}");
+        assert!(err.to_string().contains("live queries: 0"), "{err}");
+        assert!(engine.ingest_handle(QueryId(5), StreamId(0)).is_err());
+        assert!(engine.ingest_handle(QueryId(0), StreamId(3)).is_err());
         engine.stop().unwrap();
         assert!(engine.stop().is_ok());
+        // A stopped engine rejects new queries and new data.
+        assert!(engine.add_query(q).is_err());
+        assert!(engine.ingest(query.id(), StreamId(0), &data(1, 0)).is_err());
+        assert!(query.sink().is_closed());
+    }
+
+    #[test]
+    fn engine_can_start_with_zero_queries_and_accept_them_later() {
+        let mut engine = small_engine(ExecutionMode::CpuOnly);
+        engine.start().unwrap();
+        assert_eq!(engine.num_queries(), 0);
+        let query = engine.add_query(projection()).unwrap();
+        assert_eq!(engine.num_queries(), 1);
+        assert_eq!(query.id(), QueryId(0));
+        query.ingest(StreamId(0), &data(1024, 0)).unwrap();
+        engine.stop().unwrap();
+        assert_eq!(query.tuples_emitted(), 1024);
+    }
+
+    #[test]
+    fn queries_added_while_running_process_data_ingested_afterwards() {
+        let mut engine = small_engine(ExecutionMode::CpuOnly);
+        let first = engine.add_query(projection()).unwrap();
+        engine.start().unwrap();
+        // Traffic is already flowing on the first query...
+        let handle = engine.ingest_handle(first.id(), StreamId(0)).unwrap();
+        let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let producer = {
+            let stop = stop.clone();
+            let handle = handle.clone();
+            std::thread::spawn(move || {
+                let mut sent = 0u64;
+                while !stop.load(Ordering::Relaxed) {
+                    handle.ingest(&data(512, sent as i64)).unwrap();
+                    sent += 512;
+                }
+                sent
+            })
+        };
+        // ...when a second query arrives, mid-flight.
+        let second = engine.add_query(projection()).unwrap();
+        assert_eq!(second.id(), QueryId(1));
+        second.ingest(StreamId(0), &data(2048, 0)).unwrap();
+        stop.store(true, Ordering::Relaxed);
+        let sent = producer.join().unwrap();
+        engine.stop().unwrap();
+        assert_eq!(first.tuples_emitted(), sent);
+        assert_eq!(second.tuples_emitted(), 2048);
+    }
+
+    #[test]
+    fn remove_query_drains_loss_free_under_concurrent_ingest() {
+        const PRODUCERS: usize = 3;
+        let mut engine = small_engine(ExecutionMode::CpuOnly);
+        let query = engine.add_query(projection()).unwrap();
+        let survivor = engine.add_query(projection()).unwrap();
+        engine.start().unwrap();
+        let handle = engine.ingest_handle(query.id(), StreamId(0)).unwrap();
+        let mut producers = Vec::new();
+        for p in 0..PRODUCERS {
+            let handle = handle.clone();
+            producers.push(std::thread::spawn(move || {
+                let mut accepted = 0u64;
+                let base = (p as i64) * 1_000_000;
+                loop {
+                    match handle.ingest(&data(512, base + accepted as i64)) {
+                        Ok(()) => accepted += 512,
+                        // Removal closed the gate: every previously accepted
+                        // row must still reach the sink.
+                        Err(SaberError::State(_)) => return accepted,
+                        Err(e) => panic!("unexpected ingest error: {e}"),
+                    }
+                }
+            }));
+        }
+        // Let traffic flow, then remove the query under full concurrency.
+        std::thread::sleep(Duration::from_millis(50));
+        query.remove().unwrap();
+        let accepted: u64 = producers.into_iter().map(|p| p.join().unwrap()).sum();
+        // Loss-freeness: every accepted row is in the sink, none were
+        // dropped mid-removal. (A projection emits one row per input row.)
+        assert_eq!(query.tuples_emitted(), accepted);
+        assert!(query.is_removed());
+        assert!(query.sink().is_closed());
+        assert_eq!(engine.num_queries(), 1);
+        assert_eq!(engine.registered_queries(), 2);
+        assert_eq!(engine.query_ids(), vec![survivor.id()]);
+        // The removed id is not resurrected; stats stay readable.
+        assert!(engine.sink(query.id()).is_none());
+        assert!(engine.query_stats(query.id()).is_some());
+        // The survivor keeps working after its neighbour is gone.
+        survivor.ingest(StreamId(0), &data(1024, 0)).unwrap();
+        engine.stop().unwrap();
+        assert_eq!(survivor.tuples_emitted(), 1024);
+    }
+
+    #[test]
+    fn removed_queries_reject_everything_and_removal_is_single_shot() {
+        let mut engine = small_engine(ExecutionMode::CpuOnly);
+        let query = engine.add_query(projection()).unwrap();
+        engine.start().unwrap();
+        let handle = engine.ingest_handle(query.id(), StreamId(0)).unwrap();
+        query.ingest(StreamId(0), &data(8, 0)).unwrap();
+        query.remove().unwrap();
+        // Sub-task-size rows were flushed by the removal: nothing was lost.
+        assert_eq!(query.tuples_emitted(), 8);
+        // The id is gone everywhere.
+        let err = engine
+            .ingest(query.id(), StreamId(0), &data(1, 0))
+            .unwrap_err();
+        assert!(err.to_string().contains("no queries registered"), "{err}");
+        assert!(handle.ingest(&data(1, 0)).is_err());
+        assert!(handle.flush().is_err());
+        assert!(query.flush().is_err());
+        assert!(engine.query(query.id()).is_none());
+        // Second removal (by handle or id) reports the state cleanly.
+        assert!(query.remove().is_err());
+        assert!(engine.remove_query(query.id()).is_err());
+        // New registrations get a fresh id; the old one is never reused.
+        let next = engine.add_query(projection()).unwrap();
+        assert_eq!(next.id(), QueryId(1));
+        engine.stop().unwrap();
+    }
+
+    #[test]
+    fn concurrent_remove_and_stop_never_strand_pending_rows() {
+        // Sub-task-size rows pend in the ring until *someone* flushes them;
+        // whichever of remove()/stop() runs its wind-down first must hand
+        // the flush off to the other — racing them repeatedly would lose
+        // rows if either side skipped it.
+        for round in 0..20 {
+            let mut engine = small_engine(ExecutionMode::CpuOnly);
+            let query = engine.add_query(projection()).unwrap();
+            engine.start().unwrap();
+            query.ingest(StreamId(0), &data(64, round)).unwrap();
+            let remover = {
+                let query = query.clone();
+                std::thread::spawn(move || query.remove())
+            };
+            let _ = engine.stop();
+            let _ = remover.join().unwrap();
+            assert_eq!(
+                query.tuples_emitted(),
+                64,
+                "round {round}: accepted rows stranded by the remove/stop race"
+            );
+            assert!(query.sink().is_closed());
+        }
+    }
+
+    #[test]
+    fn wait_for_window_blocks_until_results_arrive() {
+        let mut engine = small_engine(ExecutionMode::CpuOnly);
+        let query = engine.add_query(projection()).unwrap();
+        engine.start().unwrap();
+        assert_eq!(
+            query.wait_for_window(Duration::from_millis(10)),
+            WindowWait::TimedOut
+        );
+        let waiter = {
+            let query = query.clone();
+            std::thread::spawn(move || query.wait_for_window(Duration::from_secs(10)))
+        };
+        engine
+            .ingest(query.id(), StreamId(0), &data(4096, 0))
+            .unwrap();
+        assert_eq!(waiter.join().unwrap(), WindowWait::Ready);
+        engine.stop().unwrap();
+        // After the final windows are drained, the closed sink reports it.
+        let _ = query.take_rows();
+        assert_eq!(query.wait_for_window(Duration::ZERO), WindowWait::Closed);
     }
 
     #[test]
@@ -855,12 +1451,14 @@ mod tests {
             .select(Expr::column(2).eq(Expr::literal(1.0)))
             .build()
             .unwrap();
-        let sink = engine.add_query(q).unwrap();
+        let query = engine.add_query(q).unwrap();
         engine.start().unwrap();
-        engine.ingest(0, 0, &data(8192, 0)).unwrap();
+        engine
+            .ingest(query.id(), StreamId(0), &data(8192, 0))
+            .unwrap();
         engine.stop().unwrap();
-        assert_eq!(sink.tuples_emitted(), 1024);
-        let stats = engine.query_stats(0).unwrap();
+        assert_eq!(query.tuples_emitted(), 1024);
+        let stats = engine.query_stats(query.id()).unwrap();
         assert_eq!(stats.tasks_cpu.load(Ordering::Relaxed), 0);
         assert!(stats.tasks_gpu.load(Ordering::Relaxed) > 0);
         assert!(engine.device().stats().tasks_executed() > 0);
@@ -871,14 +1469,11 @@ mod tests {
         const PRODUCERS: usize = 4;
         const ROWS_PER_PRODUCER: usize = 8 * 1024;
         let mut engine = small_engine(ExecutionMode::CpuOnly);
-        let q = QueryBuilder::new("proj", schema())
-            .count_window(256, 256)
-            .project(vec![(Expr::column(0), "timestamp")])
-            .build()
-            .unwrap();
-        let sink = engine.add_query_with_options(q, false).unwrap();
+        let query = engine.add_query_with_options(projection(), false).unwrap();
         engine.start().unwrap();
-        let handle = engine.ingest_handle(0, 0).unwrap();
+        let handle = engine.ingest_handle(query.id(), StreamId(0)).unwrap();
+        assert_eq!(handle.query_id(), QueryId(0));
+        assert_eq!(handle.stream(), StreamId(0));
         let mut threads = Vec::new();
         for p in 0..PRODUCERS {
             let handle = handle.clone();
@@ -898,10 +1493,10 @@ mod tests {
         // A projection emits exactly one tuple per ingested row: none were
         // lost or duplicated across the concurrent producers.
         assert_eq!(
-            sink.tuples_emitted(),
+            query.tuples_emitted(),
             (PRODUCERS * ROWS_PER_PRODUCER) as u64
         );
-        let stats = engine.query_stats(0).unwrap();
+        let stats = engine.query_stats(query.id()).unwrap();
         assert_eq!(
             stats.tuples_in.load(Ordering::Relaxed),
             (PRODUCERS * ROWS_PER_PRODUCER) as u64
@@ -918,19 +1513,35 @@ mod tests {
             .project(vec![(Expr::column(0), "timestamp")])
             .build()
             .unwrap();
-        let sink = engine.add_query(q).unwrap();
+        let query = engine.add_query(q).unwrap();
         engine.start().unwrap();
-        let handle = engine.ingest_handle(0, 0).unwrap();
+        let handle = query.ingest_handle(StreamId(0)).unwrap();
         // Far less than a task's worth of data: without a flush no task is
         // ever cut, so nothing can have been emitted.
         handle.ingest(&data(8, 0)).unwrap();
-        assert_eq!(sink.tuples_emitted(), 0);
+        assert_eq!(query.tuples_emitted(), 0);
         handle.flush().unwrap();
         assert!(engine.drain(Duration::from_secs(10)));
-        assert_eq!(sink.tuples_emitted(), 8);
+        assert_eq!(query.tuples_emitted(), 8);
         engine.stop().unwrap();
         // Stopped engines invalidate flush exactly like ingest.
         assert!(handle.flush().is_err());
+    }
+
+    #[test]
+    fn deprecated_raw_index_shims_still_work() {
+        #![allow(deprecated)]
+        let mut engine = small_engine(ExecutionMode::CpuOnly);
+        let query = engine.add_query(projection()).unwrap();
+        engine.start().unwrap();
+        engine.ingest_indexed(0, 0, &data(256, 0)).unwrap();
+        let handle = engine.ingest_handle_indexed(0, 0).unwrap();
+        handle.ingest(&data(256, 256)).unwrap();
+        engine.stop().unwrap();
+        assert_eq!(query.tuples_emitted(), 512);
+        assert!(engine.sink_indexed(0).is_some());
+        assert!(engine.query_stats_indexed(0).is_some());
+        assert!(engine.sink_indexed(7).is_none());
     }
 
     #[test]
@@ -953,10 +1564,12 @@ mod tests {
             .aggregate(AggregateFunction::Sum, 1)
             .build()
             .unwrap();
-        engine.add_query_with_options(q, false).unwrap();
+        let query = engine.add_query_with_options(q, false).unwrap();
         engine.start().unwrap();
         for chunk in 0..64 {
-            engine.ingest(0, 0, &data(4096, chunk * 4096)).unwrap();
+            engine
+                .ingest(query.id(), StreamId(0), &data(4096, chunk * 4096))
+                .unwrap();
         }
         engine.stop().unwrap();
         assert_eq!(engine.in_flight_tasks(), 0);
@@ -964,7 +1577,7 @@ mod tests {
         let (waits, waited) = engine.backpressure_stats();
         assert!(waits > 0, "expected producers to block on the credit gate");
         assert!(waited > Duration::ZERO);
-        let stats = engine.query_stats(0).unwrap();
+        let stats = engine.query_stats(query.id()).unwrap();
         assert!(stats.backpressure_wait() > Duration::ZERO);
     }
 }

@@ -1,0 +1,96 @@
+//! Typed identifiers for queries and their input streams.
+//!
+//! The engine API used to address everything with raw `usize` pairs —
+//! `ingest(0, 1, …)` reads as "query 0, stream 1" only if you remember the
+//! argument order, and nothing stops a caller from swapping them. With the
+//! query set now *dynamic* (queries can be added and removed while the
+//! engine runs), identifiers travel further (over handles, protocol
+//! messages, subscriptions), so they are typed: a [`QueryId`] names one
+//! registered query for the engine's whole lifetime (ids are never reused,
+//! even after [`QueryHandle::remove`](crate::engine::QueryHandle::remove)),
+//! and a [`StreamId`] names one input stream *of a query* (0 for the only
+//! input of single-stream queries, 0/1 for the two sides of a join).
+//!
+//! Both are thin `usize` newtypes with public fields, so `QueryId(3)` /
+//! `StreamId(0)` work wherever a literal is natural.
+
+use std::fmt;
+
+/// Identifier of one registered query.
+///
+/// Assigned by the engine at registration (monotonically increasing,
+/// starting at 0) and never reused: after a query is removed its id stays
+/// retired, so a stale id can never silently address a different query.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct QueryId(pub usize);
+
+impl QueryId {
+    /// Wraps a raw index.
+    pub const fn new(index: usize) -> Self {
+        Self(index)
+    }
+
+    /// The raw registration index.
+    pub const fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl From<usize> for QueryId {
+    fn from(index: usize) -> Self {
+        Self(index)
+    }
+}
+
+impl fmt::Display for QueryId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "q{}", self.0)
+    }
+}
+
+/// Identifier of one input stream of a query.
+///
+/// Single-input queries have exactly `StreamId(0)`; a join's two sides are
+/// `StreamId(0)` (the `FROM` stream) and `StreamId(1)` (the `JOIN` stream).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct StreamId(pub usize);
+
+impl StreamId {
+    /// Wraps a raw index.
+    pub const fn new(index: usize) -> Self {
+        Self(index)
+    }
+
+    /// The raw input index within the query.
+    pub const fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl From<usize> for StreamId {
+    fn from(index: usize) -> Self {
+        Self(index)
+    }
+}
+
+impl fmt::Display for StreamId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "s{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_are_transparent_newtypes() {
+        assert_eq!(QueryId::new(3), QueryId(3));
+        assert_eq!(QueryId::from(3).index(), 3);
+        assert_eq!(StreamId::new(1), StreamId(1));
+        assert_eq!(StreamId::from(1).index(), 1);
+        assert_eq!(QueryId(2).to_string(), "q2");
+        assert_eq!(StreamId(0).to_string(), "s0");
+        assert!(QueryId(1) < QueryId(2));
+    }
+}

@@ -27,13 +27,26 @@
 //!    task identifier, assembles window results from window fragments and
 //!    appends them to the query's [`sink::QuerySink`].
 
+//! ## Dynamic query lifecycle
+//!
+//! The query set is not frozen at [`engine::Saber::start`]: queries are
+//! registered (and removed) through typed handles at any point of the
+//! engine's life. [`engine::Saber::add_query`] returns a
+//! [`engine::QueryHandle`] that owns the query's [`sink::QuerySink`] and
+//! supports loss-free [`engine::QueryHandle::remove`]; results are consumed
+//! push-style via [`sink::QuerySink::wait_for_window`] or
+//! [`sink::QuerySink::subscribe`]. Raw-`usize` addressing survives one more
+//! release as deprecated `*_indexed` shims on [`engine::Saber`].
+
 pub mod circular;
 pub mod config;
 pub mod dispatcher;
 pub mod engine;
 pub mod flow;
+pub mod ids;
 pub mod metrics;
 pub mod queue;
+pub mod registry;
 pub mod result;
 pub mod scheduler;
 pub mod sink;
@@ -42,11 +55,13 @@ pub mod throughput;
 pub mod worker;
 
 pub use config::{EngineConfig, ExecutionMode, SaberBuilder};
-pub use engine::{IngestHandle, Saber};
+pub use engine::{IngestHandle, QueryHandle, Saber};
 pub use flow::FlowControl;
+pub use ids::{QueryId, StreamId};
 pub use metrics::{EngineStats, QueryStats};
 pub use queue::{TaskHead, TaskQueue};
+pub use registry::QueryRegistry;
 pub use scheduler::{Processor, SchedulingPolicyKind};
-pub use sink::QuerySink;
+pub use sink::{QuerySink, WindowWait};
 pub use task::QueryTask;
 pub use throughput::ThroughputMatrix;

@@ -11,6 +11,7 @@
 //! Release/Acquire publish protocol of [`crate::circular::CircularBuffer`].
 
 use crate::scheduler::Processor;
+use parking_lot::RwLock;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
@@ -100,28 +101,63 @@ impl QueryStats {
     }
 }
 
-/// Engine-wide statistics: one [`QueryStats`] per registered query.
+/// Engine-wide statistics: one [`QueryStats`] per registered query, indexed
+/// by query id.
+///
+/// Stats blocks are *retained for removed queries*: queries can now be
+/// registered and removed while the engine runs, and their historical
+/// counters stay readable (shutdown reports, dashboards) after removal.
+/// Registration is internally synchronized so it can happen from any thread.
 #[derive(Debug, Default)]
 pub struct EngineStats {
-    queries: Vec<Arc<QueryStats>>,
+    queries: RwLock<Vec<Arc<QueryStats>>>,
 }
 
 impl EngineStats {
     /// Adds a per-query stats block and returns it.
-    pub fn register_query(&mut self) -> Arc<QueryStats> {
+    pub fn register_query(&self) -> Arc<QueryStats> {
         let stats = Arc::new(QueryStats::default());
-        self.queries.push(stats.clone());
+        self.queries.write().push(stats.clone());
         stats
     }
 
-    /// Per-query statistics in registration order.
-    pub fn queries(&self) -> &[Arc<QueryStats>] {
-        &self.queries
+    /// Adds (or replaces) the stats block of an externally assigned query
+    /// id. Gaps left by ids whose registration is still in flight are
+    /// filled with zeroed placeholder blocks, so totals stay correct.
+    pub fn register_query_at(&self, query: usize) -> Arc<QueryStats> {
+        let stats = Arc::new(QueryStats::default());
+        let mut queries = self.queries.write();
+        if queries.len() <= query {
+            queries.resize_with(query + 1, Default::default);
+        }
+        queries[query] = stats.clone();
+        stats
+    }
+
+    /// The stats block of one query id (present for removed queries too).
+    pub fn get(&self, query: usize) -> Option<Arc<QueryStats>> {
+        self.queries.read().get(query).cloned()
+    }
+
+    /// Number of queries ever registered (including removed ones).
+    pub fn len(&self) -> usize {
+        self.queries.read().len()
+    }
+
+    /// True if no query was ever registered.
+    pub fn is_empty(&self) -> bool {
+        self.queries.read().is_empty()
+    }
+
+    /// Per-query statistics in registration (query-id) order.
+    pub fn queries(&self) -> Vec<Arc<QueryStats>> {
+        self.queries.read().clone()
     }
 
     /// Total tuples ingested across all queries.
     pub fn total_tuples_in(&self) -> u64 {
         self.queries
+            .read()
             .iter()
             .map(|q| q.tuples_in.load(Ordering::Relaxed))
             .sum()
@@ -130,6 +166,7 @@ impl EngineStats {
     /// Total bytes ingested across all queries.
     pub fn total_bytes_in(&self) -> u64 {
         self.queries
+            .read()
             .iter()
             .map(|q| q.bytes_in.load(Ordering::Relaxed))
             .sum()
@@ -138,6 +175,7 @@ impl EngineStats {
     /// Total tuples emitted across all queries.
     pub fn total_tuples_out(&self) -> u64 {
         self.queries
+            .read()
             .iter()
             .map(|q| q.tuples_out.load(Ordering::Relaxed))
             .sum()
@@ -147,6 +185,7 @@ impl EngineStats {
     pub fn total_backpressure_wait(&self) -> Duration {
         Duration::from_nanos(
             self.queries
+                .read()
                 .iter()
                 .map(|q| q.backpressure_wait_nanos.load(Ordering::Relaxed))
                 .sum(),
@@ -191,7 +230,8 @@ mod tests {
 
     #[test]
     fn engine_stats_aggregate_queries() {
-        let mut e = EngineStats::default();
+        let e = EngineStats::default();
+        assert!(e.is_empty());
         let a = e.register_query();
         let b = e.register_query();
         a.tuples_in.store(10, Ordering::Relaxed);
@@ -202,5 +242,12 @@ mod tests {
         assert_eq!(e.total_bytes_in(), 100);
         assert_eq!(e.total_tuples_out(), 3);
         assert_eq!(e.queries().len(), 2);
+        assert_eq!(e.len(), 2);
+        assert_eq!(
+            e.get(1).unwrap().tuples_in.load(Ordering::Relaxed),
+            5,
+            "stats blocks are addressable by query id"
+        );
+        assert!(e.get(2).is_none());
     }
 }

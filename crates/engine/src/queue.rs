@@ -64,9 +64,14 @@ impl Shard {
 }
 
 /// The sharded task queue.
+///
+/// Sub-queues are registered per query and *retired* when the query is
+/// removed: retired slots keep their index (query ids are never reused) but
+/// are skipped by head snapshots and reject lookups, so scheduler scans stay
+/// O(#live queries) under query churn.
 #[derive(Debug, Default)]
 pub struct TaskQueue {
-    shards: RwLock<Vec<Arc<Shard>>>,
+    shards: RwLock<Vec<Option<Arc<Shard>>>>,
     /// Global FIFO stamp source.
     arrivals: AtomicU64,
     /// Total queued tasks across all shards.
@@ -99,27 +104,79 @@ impl TaskQueue {
     /// Adds a sub-queue for the next query id and returns that id.
     pub fn register_query(&self) -> usize {
         let mut shards = self.shards.write();
-        shards.push(Arc::new(Shard::default()));
+        shards.push(Some(Arc::new(Shard::default())));
         shards.len() - 1
     }
 
-    /// Number of registered query sub-queues.
+    /// Adds a sub-queue for an externally assigned query id (the engine
+    /// reserves ids from its registry's counter, so shards may be created
+    /// out of order; gaps read as retired slots, which nobody can push to
+    /// before their registration completes).
+    pub fn register_query_at(&self, query_id: usize) {
+        let mut shards = self.shards.write();
+        if shards.len() <= query_id {
+            shards.resize_with(query_id + 1, || None);
+        }
+        shards[query_id] = Some(Arc::new(Shard::default()));
+    }
+
+    /// Retires a query's sub-queue: the slot keeps its index (ids are never
+    /// reused) but is skipped by snapshots, depth reads and pops from now
+    /// on. Returns any tasks still queued — the caller removed the query
+    /// loss-free, so this is normally empty; on an unclean removal the
+    /// caller must account for the orphans (their flow credits).
+    pub fn retire_query(&self, query_id: usize) -> Vec<QueryTask> {
+        let shard = {
+            let mut shards = self.shards.write();
+            match shards.get_mut(query_id) {
+                Some(slot) => slot.take(),
+                None => None,
+            }
+        };
+        let Some(shard) = shard else {
+            return Vec::new();
+        };
+        let orphans: Vec<QueryTask> = {
+            let mut q = shard.inner.lock();
+            let drained = q.drain(..).map(|(_, task)| task).collect();
+            shard.sync_meta(&q);
+            drained
+        };
+        if !orphans.is_empty() {
+            self.len.fetch_sub(orphans.len(), Ordering::AcqRel);
+            self.dequeued
+                .fetch_add(orphans.len() as u64, Ordering::Relaxed);
+        }
+        orphans
+    }
+
+    /// Number of live (registered, not retired) query sub-queues.
     pub fn num_queries(&self) -> usize {
-        self.shards.read().len()
+        self.shards.read().iter().filter(|s| s.is_some()).count()
     }
 
     fn shard(&self, query_id: usize) -> Option<Arc<Shard>> {
-        self.shards.read().get(query_id).cloned()
+        self.shards.read().get(query_id).and_then(|s| s.clone())
     }
 
     /// Appends a task to its query's sub-queue and wakes one worker.
+    /// Returns false — leaving the task dropped — if the query's shard has
+    /// been *retired*: that only happens when an ingest outlived an unclean
+    /// (timed-out) removal, and the caller must return the task's flow
+    /// credit. Panics if the query was never registered at all — tasks for
+    /// truly unknown queries would be lost silently otherwise.
     ///
-    /// Panics if the task's query was never registered — tasks for unknown
-    /// queries would be lost silently otherwise.
-    pub fn push(&self, task: QueryTask) {
-        let shard = self.shard(task.query_id).unwrap_or_else(|| {
-            panic!("query {} not registered with the task queue", task.query_id)
-        });
+    /// The shard-table read lock is held across the insert, so a concurrent
+    /// [`TaskQueue::retire_query`] (which takes the write lock) either
+    /// observes the task in its drain or rejects this push entirely — a
+    /// task can never land in a detached shard.
+    pub fn push(&self, task: QueryTask) -> bool {
+        let shards = self.shards.read();
+        let shard = match shards.get(task.query_id) {
+            Some(Some(shard)) => shard,
+            Some(None) => return false, // retired
+            None => panic!("query {} not registered with the task queue", task.query_id),
+        };
         let arrival = self.arrivals.fetch_add(1, Ordering::Relaxed);
         // Count the task *before* it becomes poppable: a worker that pops it
         // concurrently decrements `len` only after this increment, so the
@@ -131,12 +188,14 @@ impl TaskQueue {
             q.push_back((arrival, task));
             shard.sync_meta(&q);
         }
+        drop(shards);
         self.enqueued.fetch_add(1, Ordering::Relaxed);
         // Serialize with `take_with` waiters so the wakeup cannot be lost:
         // a waiter holds the sleep lock between its emptiness check and its
         // wait, so by the time we acquire it the waiter is parked.
         drop(self.sleep.lock());
         self.not_empty.notify_one();
+        true
     }
 
     /// Number of tasks currently queued across all queries.
@@ -154,7 +213,8 @@ impl TaskQueue {
         self.max_depth.load(Ordering::Acquire)
     }
 
-    /// Number of tasks queued for one query (0 for unknown queries).
+    /// Number of tasks queued for one query (0 for unknown or retired
+    /// queries).
     pub fn depth(&self, query_id: usize) -> usize {
         self.shard(query_id)
             .map(|s| s.depth.load(Ordering::Acquire))
@@ -189,6 +249,9 @@ impl TaskQueue {
         out.clear();
         let shards = self.shards.read();
         for (query_id, shard) in shards.iter().enumerate() {
+            let Some(shard) = shard else {
+                continue; // retired query
+            };
             let arrival = shard.head_arrival.load(Ordering::Acquire);
             if arrival != u64::MAX {
                 out.push(TaskHead {
@@ -354,6 +417,40 @@ mod tests {
         let got = q.take_with(Duration::from_millis(5), |_| None);
         assert!(got.is_none());
         assert_eq!(q.len(), 1);
+    }
+
+    #[test]
+    fn retired_queries_disappear_from_snapshots_and_lookups() {
+        let q = TaskQueue::with_queries(3);
+        q.push(task(0, 0));
+        q.push(task(1, 1));
+        q.push(task(2, 1));
+        assert_eq!(q.num_queries(), 3);
+        // Loss-free path: query 0's backlog was drained by the caller, so
+        // retiring returns nothing; the slot index stays reserved.
+        assert_eq!(q.try_pop(0).unwrap().id, 0);
+        assert!(q.retire_query(0).is_empty());
+        assert_eq!(q.num_queries(), 2);
+        assert_eq!(q.depth(0), 0);
+        assert!(q.try_pop(0).is_none());
+        let mut heads = Vec::new();
+        q.snapshot_heads(&mut heads);
+        assert_eq!(heads.len(), 1);
+        assert_eq!(heads[0].query_id, 1);
+        // Unclean path: retiring with a backlog hands the orphans back and
+        // keeps the global length honest.
+        let orphans = q.retire_query(1);
+        assert_eq!(orphans.len(), 2);
+        assert_eq!(q.len(), 0);
+        // A push against a retired slot is rejected (not panicked): the
+        // caller owns the task's credit accounting on this unclean path.
+        assert!(!q.push(task(8, 0)));
+        assert_eq!(q.len(), 0);
+        // Ids are never reused: the next registration gets a fresh slot.
+        assert_eq!(q.register_query(), 3);
+        // Retiring twice (or an unknown id) is a no-op.
+        assert!(q.retire_query(1).is_empty());
+        assert!(q.retire_query(99).is_empty());
     }
 
     #[test]

@@ -1,0 +1,210 @@
+//! The dynamic query registry: the shared, concurrently mutable set of
+//! registered queries.
+//!
+//! Before this existed the engine froze its query vector at `start()`;
+//! workers indexed a snapshot and nothing could be added or removed while
+//! the engine ran. The registry replaces that snapshot with a slot table
+//! under a read/write lock: registration appends a slot (query ids are slot
+//! indices and are **never reused**), removal clears the slot, and workers
+//! resolve a task's query state by id at completion time. Lookups on the
+//! hot paths (ingest, task completion) are a read-lock plus an `Arc` clone.
+//!
+//! Per-query removal reuses the engine's shutdown discipline (the PR-3
+//! permit-counter pattern) at query granularity via the crate-internal
+//! `QueryGate`: close the
+//! gate so new ingests are rejected, wait out the ingests already past the
+//! gate check, flush, then drain the query's task backlog — so every row
+//! whose ingest returned `Ok` is fully processed before the query
+//! disappears.
+
+use crate::dispatcher::Dispatcher;
+use crate::metrics::QueryStats;
+use crate::result::ResultStage;
+use crate::sink::QuerySink;
+use parking_lot::RwLock;
+use saber_types::{Result, SaberError};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Everything the engine and its workers need about one registered query.
+pub(crate) struct QueryState {
+    /// The query's id (its slot index; never reused).
+    pub(crate) id: usize,
+    /// The query's dispatching stage.
+    pub(crate) dispatcher: Arc<Dispatcher>,
+    /// The query's result stage.
+    pub(crate) runtime: Arc<ResultStage>,
+    /// The query's statistics block.
+    pub(crate) stats: Arc<QueryStats>,
+    /// The query's output sink.
+    pub(crate) sink: QuerySink,
+    /// Ingest admission gate (closed when removal begins).
+    pub(crate) gate: QueryGate,
+}
+
+/// Per-query ingest gate: the same inc-then-check permit counter that makes
+/// engine shutdown loss-free ([`crate::engine::Saber::stop`]), scoped to one
+/// query so it can be *removed* loss-free while the engine keeps running.
+#[derive(Debug)]
+pub(crate) struct QueryGate {
+    /// False once removal has begun: new ingests are rejected.
+    accepting: AtomicBool,
+    /// Ingest calls currently past the gate check.
+    in_flight: AtomicU64,
+}
+
+impl QueryGate {
+    pub(crate) fn new() -> Self {
+        Self {
+            accepting: AtomicBool::new(true),
+            in_flight: AtomicU64::new(0),
+        }
+    }
+
+    /// Registers an ingest as in-flight iff the query still accepts data.
+    ///
+    /// The increment happens *before* the accepting check (both `SeqCst`),
+    /// pairing with removal's store-then-wait order: if the check here
+    /// observes `accepting`, the removal's drain wait must observe the
+    /// increment, so the rows this permit covers are flushed before the
+    /// query is deregistered.
+    pub(crate) fn begin_ingest(&self, query: usize) -> Result<QueryPermit<'_>> {
+        self.in_flight.fetch_add(1, Ordering::SeqCst);
+        if self.accepting.load(Ordering::SeqCst) {
+            Ok(QueryPermit { gate: self })
+        } else {
+            self.in_flight.fetch_sub(1, Ordering::SeqCst);
+            Err(SaberError::State(format!(
+                "query {query} has been removed; this handle is no longer valid"
+            )))
+        }
+    }
+
+    /// Claims the right to remove the query. Returns false if another
+    /// removal already claimed it (removal is single-shot).
+    pub(crate) fn begin_remove(&self) -> bool {
+        self.accepting
+            .compare_exchange(true, false, Ordering::SeqCst, Ordering::SeqCst)
+            .is_ok()
+    }
+
+    /// True while the query still accepts ingests.
+    pub(crate) fn is_accepting(&self) -> bool {
+        self.accepting.load(Ordering::SeqCst)
+    }
+
+    /// Blocks until every in-flight ingest has completed or `deadline`
+    /// passes (returning false). In-flight ingests only block on the credit
+    /// gate, which the still-running workers keep draining, so this returns
+    /// quickly in a healthy engine.
+    pub(crate) fn wait_ingests_drained(&self, deadline: Instant) -> bool {
+        while self.in_flight.load(Ordering::SeqCst) > 0 {
+            if Instant::now() >= deadline {
+                return false;
+            }
+            std::thread::sleep(Duration::from_micros(50));
+        }
+        true
+    }
+}
+
+/// RAII guard for one in-flight ingest of one query.
+pub(crate) struct QueryPermit<'a> {
+    gate: &'a QueryGate,
+}
+
+impl Drop for QueryPermit<'_> {
+    fn drop(&mut self) {
+        self.gate.in_flight.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+/// The engine's slot table of registered queries. Public so worker contexts
+/// can carry it; all operations are crate-internal.
+///
+/// Ids come from a separate atomic counter so the expensive parts of
+/// registration (plan compilation, input-ring allocation) run *outside*
+/// the slot-table lock — a `QUERY` arriving on a busy server must not
+/// stall ingest or task completion, which read-lock this table on their
+/// hot paths. A reserved-but-not-yet-inserted id's slot reads as `None`
+/// (indistinguishable from a removed query), which is safe: no task,
+/// ingest or handle can reference an id before its registration returns.
+#[derive(Default)]
+pub struct QueryRegistry {
+    slots: RwLock<Vec<Option<Arc<QueryState>>>>,
+    next_id: AtomicUsize,
+}
+
+impl std::fmt::Debug for QueryRegistry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let slots = self.slots.read();
+        write!(
+            f,
+            "QueryRegistry({} live / {} slots)",
+            slots.iter().filter(|s| s.is_some()).count(),
+            slots.len()
+        )
+    }
+}
+
+impl QueryRegistry {
+    pub(crate) fn new() -> Self {
+        Self::default()
+    }
+
+    /// Reserves the next query id. Ids are never reused, even if the
+    /// registration is subsequently abandoned (e.g. it lost a race with
+    /// engine stop).
+    pub(crate) fn reserve_id(&self) -> usize {
+        self.next_id.fetch_add(1, Ordering::SeqCst)
+    }
+
+    /// Inserts a fully built state into its reserved slot. The only step of
+    /// registration that takes the write lock.
+    pub(crate) fn insert(&self, state: Arc<QueryState>) {
+        let id = state.id;
+        let mut slots = self.slots.write();
+        if slots.len() <= id {
+            slots.resize_with(id + 1, || None);
+        }
+        debug_assert!(slots[id].is_none(), "query id inserted twice");
+        slots[id] = Some(state);
+    }
+
+    /// The state of one live query (None for unknown or removed ids).
+    pub(crate) fn get(&self, id: usize) -> Option<Arc<QueryState>> {
+        self.slots.read().get(id).and_then(|s| s.clone())
+    }
+
+    /// Clears a slot (the final step of removal). Returns the state if the
+    /// slot was live.
+    pub(crate) fn clear(&self, id: usize) -> Option<Arc<QueryState>> {
+        self.slots.write().get_mut(id).and_then(|s| s.take())
+    }
+
+    /// All live query states, in id order.
+    pub(crate) fn active(&self) -> Vec<Arc<QueryState>> {
+        self.slots.read().iter().flatten().cloned().collect()
+    }
+
+    /// Ids of all live queries, in order.
+    pub(crate) fn active_ids(&self) -> Vec<usize> {
+        self.slots
+            .read()
+            .iter()
+            .enumerate()
+            .filter_map(|(id, s)| s.as_ref().map(|_| id))
+            .collect()
+    }
+
+    /// Number of live queries.
+    pub(crate) fn num_active(&self) -> usize {
+        self.slots.read().iter().filter(|s| s.is_some()).count()
+    }
+
+    /// Total ids ever reserved (live + removed + abandoned registrations).
+    pub(crate) fn num_slots(&self) -> usize {
+        self.next_id.load(Ordering::SeqCst)
+    }
+}

@@ -76,6 +76,15 @@ impl ResultStage {
 
     /// Submits the result of task `seq` (per-query sequence number). The
     /// calling worker thread releases as many in-order results as possible.
+    ///
+    /// The release sequence **always advances**, even when assembling a
+    /// released result fails: the failed result's output is dropped (and
+    /// the first such error returned), but the entry still counts as
+    /// completed and `next_seq` moves past it. Stalling instead would park
+    /// every later task of the query forever — and with the drain loops of
+    /// `QueryHandle::remove` / `Saber::stop` waiting on the completed
+    /// count, convert one bad result into a 60 s timeout and a spurious
+    /// data-loss report for the whole query.
     pub fn submit(&self, seq: u64, output: TaskOutput, created: Instant) -> Result<()> {
         let mut ordered = self.ordered.lock();
         ordered
@@ -83,6 +92,7 @@ impl ResultStage {
             .insert(seq, PendingResult { output, created });
 
         // Release the in-order prefix.
+        let mut first_error = None;
         while let Some(result) = {
             let next = ordered.next_seq;
             ordered.pending.remove(&next)
@@ -102,12 +112,20 @@ impl ResultStage {
                     } = *ordered;
                     if let Some(assembler) = assembler.as_mut() {
                         scratch.clear();
-                        assembler.accept(panes, progress, scratch)?;
-                        if !scratch.is_empty() {
-                            self.sink.append(scratch);
-                            self.stats
-                                .tuples_out
-                                .fetch_add(scratch.len() as u64, Ordering::Relaxed);
+                        match assembler.accept(panes, progress, scratch) {
+                            Ok(_emitted) => {
+                                if !scratch.is_empty() {
+                                    self.sink.append(scratch);
+                                    self.stats
+                                        .tuples_out
+                                        .fetch_add(scratch.len() as u64, Ordering::Relaxed);
+                                }
+                            }
+                            Err(e) => {
+                                if first_error.is_none() {
+                                    first_error = Some(e);
+                                }
+                            }
                         }
                     }
                 }
@@ -116,7 +134,10 @@ impl ResultStage {
             self.completed_tasks.fetch_add(1, Ordering::Relaxed);
             ordered.next_seq += 1;
         }
-        Ok(())
+        match first_error {
+            Some(e) => Err(e),
+            None => Ok(()),
+        }
     }
 
     /// Number of results parked out of order (diagnostics).

@@ -235,6 +235,12 @@ impl Scheduler {
         self.counts.lock().clear();
     }
 
+    /// Drops the execution counters of one query (called when the query is
+    /// removed, so counter state does not accumulate under query churn).
+    pub fn forget_query(&self, query: usize) {
+        self.counts.lock().retain(|(q, _), _| *q != query);
+    }
+
     /// Current execution counter for `(query, processor)` (tests).
     pub fn count(&self, query: usize, processor: Processor) -> u32 {
         *self.counts.lock().get(&(query, processor)).unwrap_or(&0)

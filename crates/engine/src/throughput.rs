@@ -65,6 +65,12 @@ impl ThroughputMatrix {
         self.entries.write().clear();
     }
 
+    /// Drops the observations of one query (called when the query is
+    /// removed, so matrix rows do not accumulate under query churn).
+    pub fn forget_query(&self, query: usize) {
+        self.entries.write().retain(|(q, _), _| *q != query);
+    }
+
     /// The aggregate task throughput ρ(query, processor): the per-executor
     /// smoothed rate scaled by the processor's parallelism (all CPU cores vs.
     /// the single accelerator).
@@ -165,5 +171,16 @@ mod tests {
         assert_eq!(m.preferred(0), Processor::Gpu);
         m.reset();
         assert_eq!(m.preferred(0), Processor::Cpu);
+    }
+
+    #[test]
+    fn forgetting_a_query_leaves_other_rows_intact() {
+        let m = ThroughputMatrix::new(0.5, 1);
+        m.record(0, Processor::Gpu, Duration::from_micros(10));
+        m.record(1, Processor::Gpu, Duration::from_micros(10));
+        m.forget_query(0);
+        assert_eq!(m.preferred(0), Processor::Cpu);
+        assert_eq!(m.samples(0, Processor::Gpu), 0);
+        assert_eq!(m.preferred(1), Processor::Gpu);
     }
 }

@@ -8,9 +8,8 @@
 //! to reorder and assemble results.
 
 use crate::flow::FlowControl;
-use crate::metrics::QueryStats;
 use crate::queue::TaskQueue;
-use crate::result::ResultStage;
+use crate::registry::QueryRegistry;
 use crate::scheduler::{Processor, Scheduler};
 use crate::task::QueryTask;
 use crate::throughput::ThroughputMatrix;
@@ -22,14 +21,6 @@ use std::collections::HashMap;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-/// Per-query runtime state shared with the workers.
-pub struct QueryRuntime {
-    /// The query's result stage.
-    pub result: Arc<ResultStage>,
-    /// The query's statistics block.
-    pub stats: Arc<QueryStats>,
-}
-
 /// Everything a worker thread needs.
 pub struct WorkerContext {
     /// The system-wide task queue.
@@ -38,8 +29,9 @@ pub struct WorkerContext {
     pub scheduler: Arc<Scheduler>,
     /// The observed throughput matrix.
     pub matrix: Arc<ThroughputMatrix>,
-    /// Per-query runtime state, indexed by query id.
-    pub queries: Arc<Vec<QueryRuntime>>,
+    /// The dynamic query registry: queries are resolved by id at completion
+    /// time, so the set may grow and shrink while workers run.
+    pub registry: Arc<QueryRegistry>,
     /// Admission-control gate: every finished task returns its credit here,
     /// waking producers blocked on backpressure.
     pub flow: Arc<FlowControl>,
@@ -54,17 +46,18 @@ impl WorkerContext {
         output: TaskOutput,
         processor: Processor,
     ) {
-        let runtime = &self.queries[task_query];
-        runtime.stats.record_task(processor);
-        if runtime.result.submit(seq, output, created).is_err() {
-            // Result-stage errors are unrecoverable for the query; keep the
-            // sequence moving so other tasks are not blocked.
-            let _ = runtime.result.submit(
-                seq,
-                TaskOutput::Rows(RowBuffer::new(runtime.result.sink().schema().clone())),
-                created,
-            );
-        }
+        let Some(state) = self.registry.get(task_query) else {
+            // The query vanished with this task still in flight — only
+            // possible after an unclean (timed-out) removal. Drop the output
+            // but return the credit so admission control stays balanced.
+            self.flow.release();
+            return;
+        };
+        state.stats.record_task(processor);
+        // A result-stage error is unrecoverable for the affected window, but
+        // the stage keeps its release sequence advancing internally, so
+        // later tasks (and the removal/stop drain loops) are not blocked.
+        let _ = state.runtime.submit(seq, output, created);
         self.flow.release();
     }
 }
@@ -167,6 +160,7 @@ fn run_gpu_worker_pipelined(ctx: WorkerContext, device: Arc<GpuDevice>, depth: u
             };
             match ctx.scheduler.next_task(&ctx.queue, Processor::Gpu, timeout) {
                 Some(task) => {
+                    let plan = task.plan.clone();
                     let job = PipelineJob {
                         task_id: task.id,
                         plan: task.plan.clone(),
@@ -182,9 +176,20 @@ fn run_gpu_worker_pipelined(ctx: WorkerContext, device: Arc<GpuDevice>, depth: u
                         },
                     );
                     if pipeline.submit(job).is_err() {
-                        // Pipeline shut down unexpectedly; drop the task.
-                        in_flight.remove(&task.id);
-                        ctx.flow.release();
+                        // Pipeline shut down unexpectedly: finish the task
+                        // with an empty result so the query's sequence (and
+                        // any drain waiting on it) keeps moving.
+                        if let Some(meta) = in_flight.remove(&task.id) {
+                            let output =
+                                TaskOutput::Rows(RowBuffer::new(plan.output_schema().clone()));
+                            ctx.finish(
+                                meta.query_id,
+                                meta.seq,
+                                meta.created,
+                                output,
+                                Processor::Gpu,
+                            );
+                        }
                     }
                 }
                 None => break,

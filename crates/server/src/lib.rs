@@ -6,9 +6,14 @@
 //! `docs/server.md`):
 //!
 //! * `CREATE STREAM name (attr TYPE, ...)` declares a stream schema in a
-//!   shared [`saber_sql::Catalog`],
+//!   shared [`saber_sql::SharedCatalog`],
 //! * `QUERY <sql>` compiles a statement of the SABER SQL dialect against the
-//!   catalog and registers it with the engine,
+//!   catalog and registers it with the engine — **at any point in the
+//!   server's life**: the engine starts at bind time with a dynamic query
+//!   set, so `QUERY` works before, between and after `INSERT`s,
+//! * `DROP QUERY <id>` drains a query loss-free (every acknowledged row is
+//!   reflected in its results) and deregisters it; its subscribers receive
+//!   the final windows followed by `END`,
 //! * `INSERT <query> <stream> CSV|B64 <rows>` ingests rows — CSV for
 //!   human-driven clients, base64-encoded raw row bytes for binary ones,
 //! * `SUBSCRIBE <query> [CSV|B64]` turns the connection into a result
@@ -18,6 +23,12 @@
 //! onto **one** [`Saber`] engine, so producers share the engine's credit-gate
 //! backpressure (a slow engine blocks `INSERT` acks, which blocks the TCP
 //! stream — backpressure propagates to the client for free).
+//!
+//! Result delivery is **push-driven end to end**: every query's
+//! [`QuerySink`](saber_engine::QuerySink) carries a subscription hook that
+//! wakes the broadcaster the moment the result stage appends a closed
+//! window — the broadcaster blocks on a condvar between deliveries instead
+//! of sleeping on a poll interval.
 //!
 //! [`Server::shutdown`] is deterministic and loss-free, built on the
 //! engine's reject-then-drain `stop()` semantics: it stops accepting,
@@ -37,6 +48,9 @@
 //! writeln!(client, "CREATE STREAM S (timestamp TIMESTAMP, v FLOAT)").unwrap();
 //! writeln!(client, "QUERY SELECT * FROM S [ROWS 2] WHERE v > 0").unwrap();
 //! writeln!(client, "INSERT 0 0 CSV 1,0.5;2,1.5").unwrap();
+//! // A second query can be registered now — after rows have flowed.
+//! writeln!(client, "QUERY SELECT * FROM S [ROWS 4]").unwrap();
+//! writeln!(client, "DROP QUERY 0").unwrap();
 //! server.shutdown().unwrap();
 //! ```
 
@@ -47,8 +61,8 @@ pub mod protocol;
 use protocol::{
     data_type_name, format_batch, parse_command, read_line_capped, Command, Encoding, Payload,
 };
-use saber_engine::{EngineConfig, IngestHandle, QuerySink, Saber};
-use saber_sql::Catalog;
+use saber_engine::{EngineConfig, IngestHandle, QueryHandle, QueryId, Saber, StreamId};
+use saber_sql::SharedCatalog;
 use saber_types::schema::SchemaRef;
 use saber_types::{Result, RowBuffer, SaberError};
 use std::io::{BufReader, Write};
@@ -56,9 +70,9 @@ use std::net::{
     IpAddr, Ipv4Addr, Ipv6Addr, Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs,
 };
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, Mutex, MutexGuard};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Configuration of a [`Server`].
 #[derive(Debug, Clone)]
@@ -68,8 +82,10 @@ pub struct ServerConfig {
     /// Maximum accepted request-line length in bytes. Longer lines abort the
     /// connection with a protocol error (the framing cannot resynchronise).
     pub max_line_bytes: usize,
-    /// How often the result broadcaster polls the query sinks for newly
-    /// closed windows.
+    /// Legacy knob: **ignored**. The broadcaster used to poll the query
+    /// sinks at this interval; it now blocks on the sinks' push-notification
+    /// hook and wakes exactly when a window closes. The field is kept for
+    /// one release so existing configurations keep compiling.
     pub poll_interval: Duration,
     /// Write timeout applied to subscriber sockets. A subscriber that stops
     /// reading (full TCP receive window) fails its next push within this
@@ -106,23 +122,29 @@ pub struct QueryReport {
 }
 
 /// Summary of a completed [`Server::shutdown`]: every row counted in
-/// `tuples_in` was fully processed before the engine stopped.
+/// `tuples_in` was fully processed before the engine stopped. Indexed by
+/// query id and covering every query ever registered — including queries
+/// dropped with `DROP QUERY` (ids are never reused).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ShutdownReport {
     /// Per-query counters, indexed by query id.
     pub queries: Vec<QueryReport>,
 }
 
-/// One registered query: its SQL text, input schemas (for decoding `INSERT`
-/// payloads), one cached [`IngestHandle`] per input stream (handles are
-/// cheap `Arc` clones, so the hot `INSERT` path neither re-resolves nor
-/// re-allocates), output sink and current subscribers.
+/// One registered query: its SQL text, engine handle, input schemas (for
+/// decoding `INSERT` payloads), one cached [`IngestHandle`] per input stream
+/// (handles are cheap `Arc` clones, so the hot `INSERT` path neither
+/// re-resolves nor re-allocates), and current subscribers.
 struct QueryReg {
     sql: String,
+    handle: QueryHandle,
     input_schemas: Vec<SchemaRef>,
-    handles: Vec<IngestHandle>,
-    sink: QuerySink,
+    ingest: Vec<IngestHandle>,
     subscribers: Vec<Subscriber>,
+    /// Set once the engine-side removal (`DROP QUERY`) has drained the
+    /// query: the broadcaster delivers the final windows plus `END` to the
+    /// subscribers and then clears the slot.
+    dropped: bool,
 }
 
 /// A result subscriber: the write half of its connection plus its encoding.
@@ -147,16 +169,46 @@ struct ConnReg {
 }
 
 struct State {
-    catalog: Catalog,
     engine: Saber,
-    started: bool,
-    queries: Vec<QueryReg>,
+    /// Indexed by query id; `None` marks a dropped query's retired slot.
+    queries: Vec<Option<QueryReg>>,
     conns: Vec<ConnReg>,
     threads: Vec<JoinHandle<()>>,
 }
 
+/// The broadcaster's wake signal: set by sink push-notifications, new
+/// subscriptions, `DROP QUERY` and shutdown. Replaces the old poll loop.
+#[derive(Default)]
+struct Notifier {
+    dirty: Mutex<bool>,
+    cv: Condvar,
+}
+
+impl Notifier {
+    fn wake(&self) {
+        let mut dirty = self.dirty.lock().unwrap_or_else(|p| p.into_inner());
+        *dirty = true;
+        self.cv.notify_all();
+    }
+
+    /// Blocks until woken or `timeout` elapses, consuming the wake flag.
+    fn wait(&self, timeout: Duration) {
+        let mut dirty = self.dirty.lock().unwrap_or_else(|p| p.into_inner());
+        if !*dirty {
+            let (guard, _) = self
+                .cv
+                .wait_timeout(dirty, timeout)
+                .unwrap_or_else(|p| p.into_inner());
+            dirty = guard;
+        }
+        *dirty = false;
+    }
+}
+
 struct Shared {
     state: Mutex<State>,
+    catalog: SharedCatalog,
+    notifier: Arc<Notifier>,
     /// Set first during shutdown: stops the accept loop and tells exiting
     /// connection threads not to deregister their subscribers.
     shutting_down: AtomicBool,
@@ -166,7 +218,6 @@ struct Shared {
     next_subscriber_id: AtomicU64,
     next_conn_id: AtomicU64,
     max_line_bytes: usize,
-    poll_interval: Duration,
     subscriber_write_timeout: Duration,
     keepalive_interval: Duration,
 }
@@ -176,6 +227,29 @@ impl Shared {
     /// thread must not take the whole server down.
     fn lock(&self) -> MutexGuard<'_, State> {
         self.state.lock().unwrap_or_else(|p| p.into_inner())
+    }
+
+    /// Renders the structured "unknown query" error: the offending id plus
+    /// the ids that *are* live, so a client can recover without a round
+    /// trip through `QUERIES`.
+    fn unknown_query(&self, st: &State, id: usize) -> String {
+        let known: Vec<String> = st
+            .queries
+            .iter()
+            .enumerate()
+            .filter_map(|(i, q)| match q {
+                Some(reg) if !reg.dropped => Some(i.to_string()),
+                _ => None,
+            })
+            .collect();
+        if known.is_empty() {
+            format!("ERR query unknown query {id} (no queries registered; send QUERY first)")
+        } else {
+            format!(
+                "ERR query unknown query {id} (known queries: {})",
+                known.join(", ")
+            )
+        }
     }
 }
 
@@ -192,18 +266,23 @@ impl Server {
     /// Binds a server with an empty catalog. Use port 0 to let the OS pick a
     /// free port (see [`Server::local_addr`]).
     pub fn bind(addr: impl ToSocketAddrs, config: ServerConfig) -> Result<Server> {
-        Self::bind_with_catalog(addr, config, Catalog::new())
+        Self::bind_with_catalog(addr, config, saber_sql::Catalog::new())
     }
 
     /// Binds a server whose catalog is pre-populated with `catalog` (clients
     /// can reference those streams immediately and still `CREATE STREAM`
     /// more).
+    ///
+    /// The engine starts immediately with zero queries: `QUERY` registers
+    /// queries dynamically on the running engine, so there is no
+    /// registration freeze at the first `INSERT`.
     pub fn bind_with_catalog(
         addr: impl ToSocketAddrs,
         config: ServerConfig,
-        catalog: Catalog,
+        catalog: saber_sql::Catalog,
     ) -> Result<Server> {
-        let engine = Saber::with_config(config.engine.clone())?;
+        let mut engine = Saber::with_config(config.engine.clone())?;
+        engine.start()?;
         let listener = TcpListener::bind(addr)
             .map_err(|e| SaberError::State(format!("failed to bind server socket: {e}")))?;
         let local_addr = listener
@@ -211,19 +290,18 @@ impl Server {
             .map_err(|e| SaberError::State(format!("failed to read local address: {e}")))?;
         let shared = Arc::new(Shared {
             state: Mutex::new(State {
-                catalog,
                 engine,
-                started: false,
                 queries: Vec::new(),
                 conns: Vec::new(),
                 threads: Vec::new(),
             }),
+            catalog: SharedCatalog::from_catalog(catalog),
+            notifier: Arc::new(Notifier::default()),
             shutting_down: AtomicBool::new(false),
             finish_broadcast: AtomicBool::new(false),
             next_subscriber_id: AtomicU64::new(0),
             next_conn_id: AtomicU64::new(0),
             max_line_bytes: config.max_line_bytes,
-            poll_interval: config.poll_interval,
             subscriber_write_timeout: config.subscriber_write_timeout,
             keepalive_interval: config.keepalive_interval,
         });
@@ -265,8 +343,9 @@ impl Server {
     /// 4. deliver the final result windows plus an `END` line to every
     ///    subscriber.
     ///
-    /// Returns the final per-query counters; an error (with workers already
-    /// shut down) if the engine failed to drain within its timeout.
+    /// Returns the final per-query counters (indexed by query id, covering
+    /// dropped queries too); an error (with workers already shut down) if
+    /// the engine failed to drain within its timeout.
     pub fn shutdown(mut self) -> Result<ShutdownReport> {
         self.shutdown_inner()
     }
@@ -323,15 +402,19 @@ impl Server {
         let stop_result = self.shared.lock().engine.stop();
         // Engine results are final; let the broadcaster flush them and close.
         self.shared.finish_broadcast.store(true, Ordering::SeqCst);
+        self.shared.notifier.wake();
         if let Some(t) = self.broadcaster.take() {
             let _ = t.join();
         }
         let report = {
             let st = self.shared.lock();
             ShutdownReport {
-                queries: (0..st.queries.len())
+                queries: (0..st.engine.registered_queries())
                     .map(|i| {
-                        let stats = st.engine.query_stats(i).expect("registered query");
+                        let stats = st
+                            .engine
+                            .query_stats(QueryId(i))
+                            .expect("stats are retained for every registered query");
                         QueryReport {
                             tuples_in: stats.tuples_in.load(Ordering::Relaxed),
                             tuples_out: stats.tuples_out.load(Ordering::Relaxed),
@@ -520,52 +603,56 @@ fn subscribe(
     let ready = Arc::new(AtomicBool::new(false));
     {
         let mut st = shared.lock();
-        if query >= st.queries.len() {
-            return Err(format!("ERR query unknown query {query}"));
+        match st.queries.get_mut(query) {
+            Some(Some(reg)) if !reg.dropped => {
+                reg.subscribers.push(Subscriber {
+                    id,
+                    stream: writer.clone(),
+                    encoding,
+                    ready: ready.clone(),
+                });
+            }
+            _ => return Err(shared.unknown_query(&st, query)),
         }
-        st.queries[query].subscribers.push(Subscriber {
-            id,
-            stream: writer.clone(),
-            encoding,
-            ready: ready.clone(),
-        });
     }
     // Bound every write (ack, pushes, keepalives) so a subscriber that
     // stops reading is dropped instead of blocking the broadcaster forever.
     let _ = writer.set_write_timeout(Some(shared.subscriber_write_timeout));
     if let Err(e) = write_line(writer, &format!("OK subscribed {query}")) {
         let mut st = shared.lock();
-        if let Some(reg) = st.queries.get_mut(query) {
+        if let Some(Some(reg)) = st.queries.get_mut(query) {
             reg.subscribers.retain(|s| s.id != id);
         }
         return Err(format!("ERR protocol {e}"));
     }
     ready.store(true, Ordering::SeqCst);
+    // Windows held back while our ack was pending can flow now.
+    shared.notifier.wake();
     Ok(id)
 }
 
 /// Blocks on the (now push-only) subscriber connection until its read half
 /// ends. EOF here is a *half*-close — "no more input, still receiving" — so
 /// the subscription itself stays registered: it ends when the server shuts
-/// down, or when a fully-closed connection makes a broadcast write fail
-/// (the broadcaster reaps dead subscribers on write errors).
+/// down, when its query is dropped, or when a fully-closed connection makes
+/// a broadcast write fail (the broadcaster reaps dead subscribers on write
+/// errors).
 fn hold_subscriber(shared: &Shared, reader: &mut BufReader<TcpStream>) {
     // Input on a push connection is ignored.
     while let Ok(Some(_)) = read_line_capped(reader, shared.max_line_bytes) {}
 }
 
 /// Executes one non-subscription command, returning the response line.
-fn execute(shared: &Shared, command: Command) -> String {
+fn execute(shared: &Arc<Shared>, command: Command) -> String {
     match command {
         Command::Ping => "PONG".to_string(),
         Command::CreateStream { name, schema } => {
-            let mut st = shared.lock();
-            st.catalog.register(&name, schema.into_ref());
+            shared.catalog.register(&name, schema.into_ref());
             format!("OK stream {name}")
         }
         Command::Query { sql } => {
-            let mut st = shared.lock();
-            let query = match saber_sql::compile(&sql, &st.catalog) {
+            // Compile against the shared catalog *outside* the state lock.
+            let query = match shared.catalog.compile(&sql) {
                 Ok(q) => q,
                 Err(e) => {
                     return format!(
@@ -579,59 +666,77 @@ fn execute(shared: &Shared, command: Command) -> String {
             let input_schemas: Vec<SchemaRef> = (0..query.num_inputs())
                 .map(|i| query.input_schema(i).clone())
                 .collect();
+            let mut st = shared.lock();
+            // Registration works on the running engine: queries join the
+            // live set immediately, whatever traffic is already flowing.
             match st.engine.add_query(query) {
-                Ok(sink) => {
-                    let id = st.queries.len();
-                    let handles: std::result::Result<Vec<IngestHandle>, SaberError> = (0
+                Ok(handle) => {
+                    // Engine ids are monotonic but may skip a value if a
+                    // registration was abandoned; index the slot table by
+                    // the engine's id rather than assuming density.
+                    let id = handle.id().index();
+                    let ingest: std::result::Result<Vec<IngestHandle>, SaberError> = (0
                         ..input_schemas.len())
-                        .map(|i| st.engine.ingest_handle(id, i))
+                        .map(|i| handle.ingest_handle(StreamId(i)))
                         .collect();
-                    let handles = match handles {
-                        Ok(handles) => handles,
+                    let ingest = match ingest {
+                        Ok(ingest) => ingest,
                         Err(e) => return saber_err(&e),
                     };
-                    st.queries.push(QueryReg {
+                    // The push hook: every closed window wakes the
+                    // broadcaster, which blocks on the notifier in between.
+                    let notifier = shared.notifier.clone();
+                    handle.sink().subscribe(move |_rows| notifier.wake());
+                    if st.queries.len() <= id {
+                        st.queries.resize_with(id + 1, || None);
+                    }
+                    st.queries[id] = Some(QueryReg {
                         sql: sql.trim().trim_end_matches(';').to_string(),
+                        handle,
                         input_schemas,
-                        handles,
-                        sink,
+                        ingest,
                         subscribers: Vec::new(),
+                        dropped: false,
                     });
                     format!("OK query {id}")
                 }
                 Err(e) => saber_err(&e),
             }
         }
+        Command::DropQuery { query } => drop_query(shared, query),
         Command::Insert {
             query,
             stream,
             payload,
         } => insert(shared, query, stream, &payload),
         Command::Flush => {
-            // Resolve per-query flush handles under the lock, flush outside
-            // it: flushing admits tasks through the credit gate, which can
+            // Resolve per-query handles under the lock, flush outside it:
+            // flushing admits tasks through the credit gate, which can
             // block under backpressure and must not stall other clients.
-            let handles: Vec<IngestHandle> = {
+            let handles: Vec<QueryHandle> = {
                 let st = shared.lock();
-                if !st.started {
-                    return "ERR state engine is not running (nothing to flush)".to_string();
-                }
                 st.queries
                     .iter()
-                    .filter_map(|q| q.handles.first().cloned())
+                    .flatten()
+                    .filter(|reg| !reg.dropped)
+                    .map(|reg| reg.handle.clone())
                     .collect()
             };
             for handle in &handles {
                 if let Err(e) = handle.flush() {
+                    // A query removed between resolve and flush is not an
+                    // error for the caller: the removal drained it anyway.
+                    if matches!(e, SaberError::State(_)) {
+                        continue;
+                    }
                     return saber_err(&e);
                 }
             }
             "OK flushed".to_string()
         }
         Command::Streams => {
-            let st = shared.lock();
             let mut entries = Vec::new();
-            for (name, schema) in st.catalog.streams() {
+            for (name, schema) in shared.catalog.streams() {
                 let attrs: Vec<String> = schema
                     .attributes()
                     .iter()
@@ -643,24 +748,39 @@ fn execute(shared: &Shared, command: Command) -> String {
         }
         Command::Queries => {
             let st = shared.lock();
-            let mut out = format!("OK queries {}", st.queries.len());
-            for (id, reg) in st.queries.iter().enumerate() {
+            let live: Vec<(usize, &QueryReg)> = st
+                .queries
+                .iter()
+                .enumerate()
+                .filter_map(|(i, q)| match q {
+                    Some(reg) if !reg.dropped => Some((i, reg)),
+                    _ => None,
+                })
+                .collect();
+            let mut out = format!("OK queries {}", live.len());
+            for (id, reg) in live {
                 out.push_str(&format!(" [{id}] {}", reg.sql));
             }
             out
         }
         Command::Stats { query } => {
             let st = shared.lock();
-            if query >= st.queries.len() {
-                return format!("ERR query unknown query {query}");
-            }
-            let stats = st.engine.query_stats(query).expect("registered query");
+            let subscribers = match st.queries.get(query) {
+                Some(Some(reg)) if !reg.dropped => reg.subscribers.len(),
+                _ => return shared.unknown_query(&st, query),
+            };
+            let stats = st
+                .engine
+                .query_stats(QueryId(query))
+                .expect("registered query");
             format!(
-                "OK stats query={query} tuples_in={} bytes_in={} tuples_out={} tasks_created={}",
+                "OK stats query={query} tuples_in={} bytes_in={} tuples_out={} \
+                 tasks_created={} queued_tasks={} subscribers={subscribers}",
                 stats.tuples_in.load(Ordering::Relaxed),
                 stats.bytes_in.load(Ordering::Relaxed),
                 stats.tuples_out.load(Ordering::Relaxed),
                 stats.tasks_created.load(Ordering::Relaxed),
+                st.engine.queue_depth(QueryId(query)),
             )
         }
         Command::Quit | Command::Subscribe { .. } => unreachable!("handled by the caller"),
@@ -671,42 +791,73 @@ fn execute(shared: &Shared, command: Command) -> String {
 /// and ingest *outside* it, so one client blocked on the engine's credit
 /// gate never stalls the others' commands.
 fn insert(shared: &Shared, query: usize, stream: usize, payload: &Payload) -> String {
-    // Resolve and decode first: a malformed INSERT must be rejected before
-    // it can have side effects (notably auto-starting the engine, which
-    // freezes query registration). Queries are append-only, so the indices
-    // stay valid across lock acquisitions; in the steady state this is one
-    // short lock plus an Arc clone of the cached handle.
-    let (schema, handle, started) = {
+    // Queries are slot-stable (ids are never reused), so the resolved
+    // handle stays valid across lock acquisitions; in the steady state this
+    // is one short lock plus an Arc clone of the cached handle.
+    let (schema, handle) = {
         let st = shared.lock();
-        if st.queries.is_empty() {
-            return "ERR state no queries registered (send QUERY first)".to_string();
-        }
-        let Some(reg) = st.queries.get(query) else {
-            return format!("ERR query unknown query {query}");
+        let Some(Some(reg)) = st.queries.get(query) else {
+            return shared.unknown_query(&st, query);
         };
+        if reg.dropped {
+            return shared.unknown_query(&st, query);
+        }
         let Some(schema) = reg.input_schemas.get(stream).cloned() else {
             return format!("ERR query query {query} has no input stream {stream}");
         };
-        (schema, reg.handles[stream].clone(), st.started)
+        (schema, reg.ingest[stream].clone())
     };
     let bytes = match payload.decode(&schema) {
         Ok(bytes) => bytes,
         Err(message) => return format!("ERR payload {message}"),
     };
-    if !started {
-        // First valid INSERT starts the engine; queries are frozen from
-        // here on.
-        let mut st = shared.lock();
-        if !st.started {
-            if let Err(e) = st.engine.start() {
-                return saber_err(&e);
-            }
-            st.started = true;
-        }
-    }
     let rows = bytes.len() / schema.row_size();
     match handle.ingest(&bytes) {
         Ok(()) => format!("OK rows {rows}"),
+        Err(e) => saber_err(&e),
+    }
+}
+
+/// Handles `DROP QUERY`: the engine-side removal runs *outside* the state
+/// lock (it drains the query's in-flight rows and task backlog, which may
+/// block on the workers), then the slot is marked dropped and the
+/// broadcaster — woken through the notifier — delivers the final windows
+/// plus `END` to the query's subscribers and clears the slot.
+fn drop_query(shared: &Arc<Shared>, query: usize) -> String {
+    let handle = {
+        let st = shared.lock();
+        match st.queries.get(query) {
+            Some(Some(reg)) if !reg.dropped => reg.handle.clone(),
+            _ => return shared.unknown_query(&st, query),
+        }
+    };
+    // Loss-free drain: every acknowledged INSERT is reflected in the sink
+    // before the query disappears. Concurrent DROPs of the same id are
+    // single-shot — the loser gets a state error from the engine.
+    let result = handle.remove();
+    // `remove` can fail in two very different ways: losing the race to a
+    // concurrent DROP (the winner finishes the lifecycle; nothing for us to
+    // do) or an unclean drain timeout, after which the engine HAS
+    // deregistered the query. The engine itself is the source of truth: if
+    // the id is no longer live, the slot must be finalized regardless of
+    // the error, or its subscribers would never receive `END` and the dead
+    // query would haunt `QUERIES` forever.
+    let deregistered = {
+        let mut st = shared.lock();
+        if st.engine.query(QueryId(query)).is_none() {
+            if let Some(Some(reg)) = st.queries.get_mut(query) {
+                reg.dropped = true;
+            }
+            true
+        } else {
+            false
+        }
+    };
+    if deregistered {
+        shared.notifier.wake();
+    }
+    match result {
+        Ok(()) => format!("OK dropped {query}"),
         Err(e) => saber_err(&e),
     }
 }
@@ -715,20 +866,42 @@ fn insert(shared: &Shared, query: usize, stream: usize, payload: &Payload) -> St
 /// encoding.
 type FanoutTarget = (u64, Arc<TcpStream>, Encoding);
 
-/// The result broadcaster: drains every query's sink and fans the closed
-/// windows out to that query's subscribers, in order. After the engine has
+/// Writes one result batch to every target, encoding it at most once per
+/// encoding actually in use (not once per subscriber). Ids whose write
+/// failed are appended to `failed` for the caller to reap.
+fn fanout(rows: &RowBuffer, targets: &[FanoutTarget], failed: &mut Vec<u64>) {
+    let mut encoded: [Option<String>; 2] = [None, None];
+    for (id, stream, encoding) in targets {
+        let slot = match encoding {
+            Encoding::Csv => &mut encoded[0],
+            Encoding::B64 => &mut encoded[1],
+        };
+        let text = slot.get_or_insert_with(|| format_batch(rows, *encoding));
+        if (&mut &**stream).write_all(text.as_bytes()).is_err() {
+            failed.push(*id);
+        }
+    }
+}
+
+/// The result broadcaster: fans each query's closed windows out to that
+/// query's subscribers, in order. Event-driven: it blocks on the
+/// [`Notifier`] — woken by the sinks' push hooks, new subscriptions,
+/// `DROP QUERY` and shutdown — and only uses a bounded wait to schedule
+/// `NOP` keepalives; there is no poll interval. After the engine has
 /// stopped it performs one final drain, appends `END` and closes the write
 /// halves.
 fn broadcast_loop(shared: Arc<Shared>) {
-    let mut last_keepalive = std::time::Instant::now();
+    let mut last_keepalive = Instant::now();
     loop {
         // Read the finish flag *before* draining: it is set only after the
         // engine has stopped, so a drain that observes it is final.
         let finish = shared.finish_broadcast.load(Ordering::SeqCst);
+        let mut finished_queries: Vec<(RowBuffer, Vec<Subscriber>)> = Vec::new();
         let batches: Vec<(RowBuffer, Vec<FanoutTarget>)> = {
             let mut st = shared.lock();
             let mut out = Vec::new();
-            for reg in &mut st.queries {
+            for slot in st.queries.iter_mut() {
+                let Some(reg) = slot else { continue };
                 // Hold the drain back while a subscriber's ack is still in
                 // flight: rows stay buffered in the sink (order preserved)
                 // so a window closing right after the ack is not lost.
@@ -741,7 +914,17 @@ fn broadcast_loop(shared: Arc<Shared>) {
                 {
                     continue;
                 }
-                let rows = reg.sink.take_rows();
+                if reg.dropped {
+                    // The engine-side removal has drained every result into
+                    // the sink: deliver the final windows + END and retire
+                    // the slot.
+                    let rows = reg.handle.take_rows();
+                    let subscribers = std::mem::take(&mut reg.subscribers);
+                    finished_queries.push((rows, subscribers));
+                    *slot = None;
+                    continue;
+                }
+                let rows = reg.handle.take_rows();
                 if rows.is_empty() || reg.subscribers.is_empty() {
                     // Windows closed before anyone subscribed are dropped;
                     // subscriptions only cover windows from that point on.
@@ -759,29 +942,38 @@ fn broadcast_loop(shared: Arc<Shared>) {
         };
         let mut dead: Vec<u64> = Vec::new();
         for (rows, subscribers) in &batches {
-            // Encode each batch at most once per encoding actually in use,
-            // not once per subscriber.
-            let mut encoded: [Option<String>; 2] = [None, None];
-            for (id, stream, encoding) in subscribers {
-                let slot = match encoding {
-                    Encoding::Csv => &mut encoded[0],
-                    Encoding::B64 => &mut encoded[1],
-                };
-                let text = slot.get_or_insert_with(|| format_batch(rows, *encoding));
-                if (&mut &**stream).write_all(text.as_bytes()).is_err() {
-                    dead.push(*id);
+            fanout(rows, subscribers, &mut dead);
+        }
+        // Dropped queries: final windows, END, close. The conn thread sees
+        // EOF once the client closes in response and deregisters itself.
+        for (rows, subscribers) in &finished_queries {
+            let targets: Vec<FanoutTarget> = subscribers
+                .iter()
+                .map(|s| (s.id, s.stream.clone(), s.encoding))
+                .collect();
+            let mut failed = Vec::new();
+            if !rows.is_empty() {
+                fanout(rows, &targets, &mut failed);
+            }
+            for s in subscribers {
+                if failed.contains(&s.id) {
+                    let _ = s.stream.shutdown(Shutdown::Both);
+                    continue;
                 }
+                let _ = write_line(&s.stream, "END");
+                let _ = s.stream.shutdown(Shutdown::Write);
             }
         }
         // Keepalive: TCP reports a fully closed peer only when a write
         // fails, so periodically `NOP` quiet subscribers to reap dead ones
         // (half-closed but alive clients simply ignore the line).
         if last_keepalive.elapsed() >= shared.keepalive_interval {
-            last_keepalive = std::time::Instant::now();
+            last_keepalive = Instant::now();
             let targets: Vec<(u64, Arc<TcpStream>)> = {
                 let st = shared.lock();
                 st.queries
                     .iter()
+                    .flatten()
                     .flat_map(|reg| reg.subscribers.iter())
                     .filter(|s| s.ready.load(Ordering::SeqCst))
                     .map(|s| (s.id, s.stream.clone()))
@@ -795,7 +987,7 @@ fn broadcast_loop(shared: Arc<Shared>) {
         }
         if !dead.is_empty() {
             let mut st = shared.lock();
-            for reg in &mut st.queries {
+            for reg in st.queries.iter_mut().flatten() {
                 reg.subscribers.retain(|s| {
                     if dead.contains(&s.id) {
                         // Close the socket so the (possibly recovered)
@@ -814,6 +1006,7 @@ fn broadcast_loop(shared: Arc<Shared>) {
                 let mut st = shared.lock();
                 st.queries
                     .iter_mut()
+                    .flatten()
                     .flat_map(|reg| reg.subscribers.drain(..))
                     .collect()
             };
@@ -823,6 +1016,12 @@ fn broadcast_loop(shared: Arc<Shared>) {
             }
             return;
         }
-        std::thread::sleep(shared.poll_interval);
+        // Block until a sink push, subscription, drop or shutdown wakes us;
+        // the bounded wait only exists to schedule the next keepalive.
+        let until_keepalive = shared
+            .keepalive_interval
+            .saturating_sub(last_keepalive.elapsed())
+            .max(Duration::from_millis(1));
+        shared.notifier.wait(until_keepalive);
     }
 }

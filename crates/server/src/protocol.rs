@@ -66,10 +66,17 @@ pub enum Command {
         /// Declared schema.
         schema: Schema,
     },
-    /// `QUERY <sql>` — compile and register a query.
+    /// `QUERY <sql>` — compile and register a query (at any point in the
+    /// server's life: the engine's query set is dynamic).
     Query {
         /// The SQL text (rest of the line).
         sql: String,
+    },
+    /// `DROP QUERY <id>` — drain the query loss-free and deregister it. Its
+    /// subscribers receive the final windows followed by `END`.
+    DropQuery {
+        /// Target query id.
+        query: usize,
     },
     /// `INSERT <query> <stream> CSV|B64 <payload>` — ingest rows.
     Insert {
@@ -127,6 +134,21 @@ pub fn parse_command(line: &str) -> Result<Command, String> {
                 sql: rest.to_string(),
             })
         }
+        "DROP" => {
+            let (noun, rest) = split_word(rest);
+            if !noun.eq_ignore_ascii_case("QUERY") {
+                return Err(format!("expected DROP QUERY, found DROP {noun}"));
+            }
+            let (query, extra) = split_word(rest);
+            if !extra.trim().is_empty() {
+                return Err(format!(
+                    "unexpected trailing input `{extra}` after DROP QUERY"
+                ));
+            }
+            Ok(Command::DropQuery {
+                query: parse_index(query, "query id after DROP QUERY")?,
+            })
+        }
         "INSERT" => parse_insert(rest),
         "SUBSCRIBE" => {
             let (query, rest) = split_word(rest);
@@ -152,8 +174,8 @@ pub fn parse_command(line: &str) -> Result<Command, String> {
         "QUIT" | "EXIT" => Ok(Command::Quit),
         "" => Err("empty line".into()),
         other => Err(format!(
-            "unknown command `{other}` (CREATE STREAM, QUERY, INSERT, SUBSCRIBE, \
-             FLUSH, STREAMS, QUERIES, STATS, PING, QUIT)"
+            "unknown command `{other}` (CREATE STREAM, QUERY, DROP QUERY, INSERT, \
+             SUBSCRIBE, FLUSH, STREAMS, QUERIES, STATS, PING, QUIT)"
         )),
     }
 }
@@ -495,6 +517,22 @@ mod tests {
                 encoding: Encoding::Csv
             }
         );
+    }
+
+    #[test]
+    fn drop_query_parses_and_validates() {
+        assert_eq!(
+            parse_command("DROP QUERY 3").unwrap(),
+            Command::DropQuery { query: 3 }
+        );
+        assert_eq!(
+            parse_command("drop query 0").unwrap(),
+            Command::DropQuery { query: 0 }
+        );
+        assert!(parse_command("DROP 3").is_err());
+        assert!(parse_command("DROP QUERY").is_err());
+        assert!(parse_command("DROP QUERY x").is_err());
+        assert!(parse_command("DROP QUERY 1 2").is_err());
     }
 
     #[test]

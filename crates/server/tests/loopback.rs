@@ -85,38 +85,100 @@ fn protocol_basics_roundtrip() {
     assert!(queries.starts_with("OK queries 1"), "{queries}");
     assert!(queries.contains("SELECT * FROM S [ROWS 2]"), "{queries}");
 
-    // Errors carry a category and never kill the connection.
+    // Errors carry a category and never kill the connection. Unknown-id
+    // errors are structured: they list the ids that *are* registered.
     assert!(c
         .send("NONSENSE")
         .starts_with("ERR protocol unknown command"));
-    assert!(c
-        .send("INSERT 7 0 CSV 1,1,1")
-        .starts_with("ERR query unknown query 7"));
+    let err = c.send("INSERT 7 0 CSV 1,1,1");
+    assert!(err.starts_with("ERR query unknown query 7"), "{err}");
+    assert!(err.contains("known queries: 0"), "{err}");
+    let err = c.send("SUBSCRIBE 9");
+    assert!(err.starts_with("ERR query unknown query 9"), "{err}");
+    assert!(err.contains("known queries: 0"), "{err}");
     assert!(c
         .send("QUERY SELECT * FROM Missing [ROWS 2]")
         .starts_with("ERR query"));
     assert!(c.send("INSERT 0 0 CSV 1,oops,1").starts_with("ERR payload"));
 
-    // A rejected INSERT has no side effects: the engine did not start, so
-    // queries can still be registered.
+    // A rejected INSERT has no side effects; registration stays open.
     assert_eq!(c.send("QUERY SELECT * FROM S [ROWS 8]"), "OK query 1");
 
     // CSV ingest: 4 rows, two tumbling 2-row windows.
     assert_eq!(c.send("INSERT 0 0 CSV 1,0.5,1;2,0.25,2"), "OK rows 2");
     assert_eq!(c.send("INSERT 0 0 CSV 3,0.75,3;4,1.0,4"), "OK rows 2");
 
-    // The engine is running now: new queries are rejected with a state error.
-    assert!(c
-        .send("QUERY SELECT * FROM S [ROWS 4]")
-        .starts_with("ERR state"));
+    // The query set is dynamic: registration keeps working after rows have
+    // flowed (no freeze at the first INSERT).
+    assert_eq!(c.send("QUERY SELECT * FROM S [ROWS 4]"), "OK query 2");
+    assert_eq!(c.send("INSERT 2 0 CSV 9,0.5,1"), "OK rows 1");
+
+    // STATS reports the queue depth and subscriber count alongside the
+    // ingest/emit counters.
+    let stats = c.send("STATS 0");
+    assert!(stats.starts_with("OK stats query=0 tuples_in=4"), "{stats}");
+    assert!(stats.contains("queued_tasks="), "{stats}");
+    assert!(stats.contains("subscribers=0"), "{stats}");
 
     let report = server.shutdown().expect("clean shutdown");
-    assert_eq!(report.queries.len(), 2);
+    assert_eq!(report.queries.len(), 3);
     assert_eq!(report.queries[0].tuples_in, 4);
     assert_eq!(report.queries[0].tuples_out, 4);
     assert_eq!(report.queries[1].tuples_in, 0);
+    assert_eq!(report.queries[2].tuples_in, 1);
 
     assert_eq!(c.read_line(), ""); // connection closed by shutdown
+}
+
+#[test]
+fn drop_query_drains_loss_free_and_ends_its_subscribers() {
+    let server = server();
+    let mut admin = Client::connect(server.local_addr());
+    admin.send("CREATE STREAM S (timestamp TIMESTAMP, v FLOAT)");
+    assert_eq!(admin.send("QUERY SELECT * FROM S [ROWS 2]"), "OK query 0");
+    assert_eq!(admin.send("QUERY SELECT * FROM S [ROWS 4]"), "OK query 1");
+
+    let mut sub = Client::connect(server.local_addr());
+    assert_eq!(sub.send("SUBSCRIBE 0"), "OK subscribed 0");
+
+    // 3 rows: one closed 2-row window plus one pending row that only a
+    // drop-time flush can surface — the loss-freeness probe.
+    assert_eq!(admin.send("INSERT 0 0 CSV 1,0.5;2,1.5;3,2.5"), "OK rows 3");
+    assert_eq!(admin.send("DROP QUERY 0"), "OK dropped 0");
+
+    // The subscriber receives every accepted row, then END: nothing was
+    // dropped by the removal, including the undersized final window.
+    let mut rows = Vec::new();
+    loop {
+        let line = sub.read_push_line();
+        if line == "END" {
+            break;
+        }
+        assert!(line.starts_with("ROW "), "unexpected line `{line}`");
+        rows.push(line[4..].to_string());
+    }
+    assert_eq!(rows, vec!["1,0.5", "2,1.5", "3,2.5"]);
+    assert_eq!(sub.read_line(), ""); // write half closed after END
+
+    // The dropped id is gone — errors list the surviving ids — and it is
+    // never reused by later registrations.
+    let err = admin.send("INSERT 0 0 CSV 4,1.0");
+    assert!(err.starts_with("ERR query unknown query 0"), "{err}");
+    assert!(err.contains("known queries: 1"), "{err}");
+    assert!(admin.send("STATS 0").starts_with("ERR query"));
+    assert!(admin.send("DROP QUERY 0").starts_with("ERR query"));
+    let queries = admin.send("QUERIES");
+    assert!(queries.starts_with("OK queries 1 [1]"), "{queries}");
+    assert_eq!(admin.send("QUERY SELECT * FROM S [ROWS 8]"), "OK query 2");
+
+    // The survivor still ingests; the shutdown report covers the dropped
+    // query's historical counters (indexed by id).
+    assert_eq!(admin.send("INSERT 1 0 CSV 5,1.0"), "OK rows 1");
+    let report = server.shutdown().expect("clean shutdown");
+    assert_eq!(report.queries.len(), 3);
+    assert_eq!(report.queries[0].tuples_in, 3);
+    assert_eq!(report.queries[0].tuples_out, 3);
+    assert_eq!(report.queries[1].tuples_in, 1);
 }
 
 #[test]

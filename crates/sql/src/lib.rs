@@ -53,12 +53,14 @@ pub mod ast;
 pub mod error;
 pub mod parser;
 pub mod planner;
+pub mod shared;
 pub mod token;
 
 pub use ast::SelectStatement;
 pub use error::{ParseError, Span};
 pub use parser::parse;
 pub use planner::{plan, Catalog};
+pub use shared::SharedCatalog;
 
 use saber_query::Query;
 

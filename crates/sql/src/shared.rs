@@ -1,0 +1,143 @@
+//! A thread-safe, shareable [`Catalog`] for dynamic deployments.
+//!
+//! With the engine's query set now dynamic (queries register and drop while
+//! the engine runs), the catalog becomes long-lived shared state: many
+//! client connections declare streams and compile queries against it
+//! concurrently. [`SharedCatalog`] wraps a [`Catalog`] in an
+//! `Arc<RwLock<…>>` so registration and compilation are safe from any
+//! thread without the callers serializing on some wider lock of their own —
+//! `saber_server` compiles `QUERY` statements against it outside its
+//! connection-state mutex.
+
+use crate::error::ParseError;
+use crate::planner::Catalog;
+use saber_query::Query;
+use saber_types::schema::SchemaRef;
+use std::sync::{Arc, RwLock, RwLockReadGuard, RwLockWriteGuard};
+
+/// A cloneable, thread-safe catalog handle. Clones share the same
+/// underlying stream set.
+///
+/// ```
+/// use saber_sql::SharedCatalog;
+/// use saber_types::{DataType, Schema};
+///
+/// let catalog = SharedCatalog::new();
+/// let clone = catalog.clone();
+/// let schema = Schema::from_pairs(&[
+///     ("timestamp", DataType::Timestamp),
+///     ("v", DataType::Float),
+/// ])
+/// .unwrap()
+/// .into_ref();
+/// clone.register("S", schema);
+///
+/// // Registrations through any clone are visible to all of them.
+/// let query = catalog.compile("SELECT * FROM S [ROWS 4]").unwrap();
+/// assert_eq!(query.num_inputs(), 1);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct SharedCatalog {
+    inner: Arc<RwLock<Catalog>>,
+}
+
+impl SharedCatalog {
+    /// An empty shared catalog.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Wraps an existing catalog (e.g. a pre-populated workload catalog).
+    pub fn from_catalog(catalog: Catalog) -> Self {
+        Self {
+            inner: Arc::new(RwLock::new(catalog)),
+        }
+    }
+
+    fn read(&self) -> RwLockReadGuard<'_, Catalog> {
+        self.inner.read().unwrap_or_else(|p| p.into_inner())
+    }
+
+    fn write(&self) -> RwLockWriteGuard<'_, Catalog> {
+        self.inner.write().unwrap_or_else(|p| p.into_inner())
+    }
+
+    /// Registers (or replaces) a stream.
+    pub fn register(&self, name: impl Into<String>, schema: SchemaRef) {
+        self.write().register(name, schema);
+    }
+
+    /// Looks up a stream schema by name.
+    pub fn get(&self, name: &str) -> Option<SchemaRef> {
+        self.read().get(name).cloned()
+    }
+
+    /// The registered `(name, schema)` pairs, in registration order.
+    pub fn streams(&self) -> Vec<(String, SchemaRef)> {
+        self.read()
+            .streams()
+            .map(|(n, s)| (n.to_string(), s.clone()))
+            .collect()
+    }
+
+    /// Compiles `sql` against the current catalog contents (see
+    /// [`crate::compile`]). The catalog lock is held only for the duration
+    /// of the compilation.
+    pub fn compile(&self, sql: &str) -> Result<Query, ParseError> {
+        crate::compile(sql, &self.read())
+    }
+
+    /// Like [`SharedCatalog::compile`], but names the query explicitly.
+    pub fn compile_named(&self, sql: &str, name: &str) -> Result<Query, ParseError> {
+        crate::compile_named(sql, name, &self.read())
+    }
+
+    /// A point-in-time copy of the underlying catalog.
+    pub fn snapshot(&self) -> Catalog {
+        self.read().clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use saber_types::{DataType, Schema};
+
+    fn schema() -> SchemaRef {
+        Schema::from_pairs(&[("timestamp", DataType::Timestamp), ("v", DataType::Float)])
+            .unwrap()
+            .into_ref()
+    }
+
+    #[test]
+    fn registration_is_visible_across_clones_and_threads() {
+        let catalog = SharedCatalog::new();
+        assert!(catalog.compile("SELECT * FROM S [ROWS 2]").is_err());
+        let writer = {
+            let catalog = catalog.clone();
+            std::thread::spawn(move || catalog.register("S", schema()))
+        };
+        writer.join().unwrap();
+        assert!(catalog.get("S").is_some());
+        assert!(catalog.get("T").is_none());
+        assert_eq!(catalog.streams().len(), 1);
+        let query = catalog
+            .compile("SELECT * FROM S [ROWS 2] WHERE v > 0")
+            .unwrap();
+        assert_eq!(query.num_inputs(), 1);
+        let named = catalog
+            .compile_named("SELECT * FROM S [ROWS 2]", "mine")
+            .unwrap();
+        assert_eq!(named.name, "mine");
+    }
+
+    #[test]
+    fn snapshot_is_a_point_in_time_copy() {
+        let catalog = SharedCatalog::from_catalog(Catalog::new().with_stream("A", schema()));
+        let snap = catalog.snapshot();
+        catalog.register("B", schema());
+        assert!(snap.get("A").is_some());
+        assert!(snap.get("B").is_none());
+        assert!(catalog.get("B").is_some());
+    }
+}

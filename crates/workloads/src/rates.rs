@@ -1,7 +1,7 @@
 //! Benchmark-harness helpers: driving an engine with a workload and
 //! measuring throughput and latency.
 
-use saber_engine::{EngineConfig, Saber};
+use saber_engine::{EngineConfig, QueryId, Saber, StreamId};
 use saber_query::Query;
 use saber_types::{Result, RowBuffer};
 use std::time::{Duration, Instant};
@@ -72,14 +72,14 @@ pub fn run_query_benchmark(
     let mut ingested_bytes = 0u64;
     while started.elapsed() < duration {
         let end = (offset + chunk_bytes).min(bytes.len());
-        engine.ingest(0, 0, &bytes[offset..end])?;
+        engine.ingest(QueryId(0), StreamId(0), &bytes[offset..end])?;
         ingested_bytes += (end - offset) as u64;
         offset = if end >= bytes.len() { 0 } else { end };
     }
     engine.stop()?;
     let elapsed = started.elapsed();
 
-    let stats = engine.query_stats(0).expect("query registered");
+    let stats = engine.query_stats(QueryId(0)).expect("query registered");
     let tuples_in = ingested_bytes / row_size as u64;
     Ok(Measurement {
         label: label.to_string(),

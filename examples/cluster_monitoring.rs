@@ -6,7 +6,7 @@
 //! cargo run --release --example cluster_monitoring
 //! ```
 
-use saber::engine::{ExecutionMode, Saber};
+use saber::engine::{ExecutionMode, QueryId, Saber, StreamId};
 use saber::workloads::{cluster, sql};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -18,8 +18,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .build()?;
     println!("CM1: {}", sql::CM1);
     println!("CM2: {}", sql::CM2);
-    let cm1_sink = engine.add_query_sql(sql::CM1, &catalog)?;
-    let cm2_sink = engine.add_query_sql_with_options(sql::CM2, &catalog, false)?;
+    let cm1 = engine.add_query_sql(sql::CM1, &catalog)?;
+    let cm2 = engine.add_query_sql_with_options(sql::CM2, &catalog, false)?;
     engine.start()?;
 
     // 90 seconds of application time at 50k events/s.
@@ -35,19 +35,19 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             s,
             (s * 1000) as i64,
         );
-        engine.ingest(0, 0, slice.bytes())?;
-        engine.ingest(1, 0, slice.bytes())?;
+        cm1.ingest(StreamId(0), slice.bytes())?;
+        cm2.ingest(StreamId(0), slice.bytes())?;
     }
     engine.stop()?;
 
     println!(
         "CM1 emitted {} (window, category) rows; CM2 emitted {} (window, job) rows",
-        cm1_sink.tuples_emitted(),
-        cm2_sink.tuples_emitted()
+        cm1.tuples_emitted(),
+        cm2.tuples_emitted()
     );
 
     // Show the total requested CPU per category for the last complete window.
-    let out = cm1_sink.take_rows();
+    let out = cm1.take_rows();
     if !out.is_empty() {
         let last_window = out.row(out.len() - 1).timestamp();
         println!("requested CPU per category in the window starting at {last_window} ms:");
@@ -57,7 +57,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
 
     for (i, name) in ["CM1", "CM2"].iter().enumerate() {
-        let stats = engine.query_stats(i).unwrap();
+        let stats = engine.query_stats(QueryId(i)).unwrap();
         println!(
             "{name}: {:.1}% of tasks ran on the accelerator, avg latency {:?}",
             stats.gpu_share() * 100.0,

@@ -7,7 +7,7 @@
 //! cargo run --release --example linear_road
 //! ```
 
-use saber::engine::{ExecutionMode, Saber};
+use saber::engine::{ExecutionMode, Saber, StreamId};
 use saber::workloads::{linearroad, sql};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -20,7 +20,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .execution_mode(ExecutionMode::Hybrid)
         .build()?;
     println!("LRB1: {}", sql::LRB1);
-    let seg_sink = stage1.add_query_sql(sql::LRB1, &catalog)?;
+    let seg = stage1.add_query_sql(sql::LRB1, &catalog)?;
     stage1.start()?;
 
     let config = linearroad::RoadConfig {
@@ -35,10 +35,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             minute,
             (minute * 60_000) as i64,
         );
-        stage1.ingest(0, 0, slice.bytes())?;
+        seg.ingest(StreamId(0), slice.bytes())?;
     }
     stage1.stop()?;
-    let segspeed = seg_sink.take_rows();
+    let segspeed = seg.take_rows();
     println!("LRB1 derived {} SegSpeedStr tuples", segspeed.len());
 
     // Stage 2: LRB3 and LRB4 over the derived segment stream.
@@ -49,20 +49,20 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .build()?;
     println!("LRB3: {}", sql::LRB3);
     println!("LRB4: {}", sql::LRB4);
-    let congestion_sink = stage2.add_query_sql(sql::LRB3, &catalog)?;
-    let volume_sink = stage2.add_query_sql_with_options(sql::LRB4, &catalog, false)?;
+    let congestion = stage2.add_query_sql(sql::LRB3, &catalog)?;
+    let volume = stage2.add_query_sql_with_options(sql::LRB4, &catalog, false)?;
     stage2.start()?;
     for chunk in segspeed.bytes().chunks(1 << 20) {
-        stage2.ingest(0, 0, chunk)?;
-        stage2.ingest(1, 0, chunk)?;
+        congestion.ingest(StreamId(0), chunk)?;
+        volume.ingest(StreamId(0), chunk)?;
     }
     stage2.stop()?;
 
-    let congested = congestion_sink.take_rows();
+    let congested = congestion.take_rows();
     println!(
         "LRB3 reported {} congested (window, highway, direction, segment) rows; LRB4 produced {} volume rows",
         congested.len(),
-        volume_sink.tuples_emitted()
+        volume.tuples_emitted()
     );
     for t in congested.iter().take(10) {
         println!(

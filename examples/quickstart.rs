@@ -18,38 +18,40 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .execution_mode(ExecutionMode::Hybrid)
         .build()?;
 
+    // Queries register dynamically — before or after start(); each
+    // registration returns a typed QueryHandle that owns the result sink.
+    engine.start()?;
+
     // Query 1: hot values over a 1024-tuple tumbling window.
-    let hot_sink =
-        engine.add_query_sql("SELECT * FROM Syn [ROWS 1024] WHERE a1 > 0.9", &catalog)?;
+    let hot = engine.add_query_sql("SELECT * FROM Syn [ROWS 1024] WHERE a1 > 0.9", &catalog)?;
 
     // Query 2: per-key COUNT over a sliding window (4096 tuples, slide 1024).
-    let count_sink = engine.add_query_sql(
+    let counts = engine.add_query_sql(
         "SELECT timestamp, a2, COUNT(*) AS hits \
          FROM Syn [ROWS 4096 SLIDE 1024] GROUP BY a2",
         &catalog,
     )?;
-    engine.start()?;
 
     // Stream 1M synthetic tuples into both queries.
     let rows = 1_000_000;
     let data = synthetic::generate(&schema, rows, 42);
     for chunk in data.bytes().chunks(64 * 1024 * synthetic::TUPLE_SIZE) {
-        engine.ingest(0, 0, chunk)?;
-        engine.ingest(1, 0, chunk)?;
+        hot.ingest(StreamId(0), chunk)?;
+        counts.ingest(StreamId(0), chunk)?;
     }
     engine.stop()?;
 
     println!("ingested {rows} tuples into two queries");
     println!(
         "hot-values emitted {} tuples (~10% of the input expected)",
-        hot_sink.tuples_emitted()
+        hot.tuples_emitted()
     );
     println!(
         "counts-per-key emitted {} window results",
-        count_sink.tuples_emitted()
+        counts.tuples_emitted()
     );
 
-    let stats = engine.query_stats(1).unwrap();
+    let stats = counts.stats();
     println!(
         "counts-per-key: {} tasks on CPU, {} on the accelerator, avg latency {:?}",
         stats.tasks_cpu.load(std::sync::atomic::Ordering::Relaxed),
@@ -58,7 +60,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     // Peek at the first few window results.
-    let out = count_sink.take_rows();
+    let out = counts.take_rows();
     for t in out.iter().take(5) {
         println!(
             "window starting at {}: key {} appeared {} times",

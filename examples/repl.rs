@@ -23,7 +23,7 @@
 //! `docs/server.md`) and every server line is printed as it arrives, so a
 //! `SUBSCRIBE`d session streams results live.
 
-use saber::engine::{ExecutionMode, Saber};
+use saber::engine::{ExecutionMode, Saber, StreamId};
 use saber::types::{DataType, RowBuffer, TupleRef};
 use saber::workloads::{cluster, linearroad, reference, smartgrid, sql, synthetic};
 use std::io::{BufRead, Write};
@@ -229,7 +229,7 @@ fn run_statement(
         .query_task_size(64 * 1024)
         .execution_mode(ExecutionMode::Hybrid)
         .build()?;
-    let sink = engine.add_query(query)?;
+    let query = engine.add_query(query)?;
     engine.start()?;
 
     // Header.
@@ -248,12 +248,12 @@ fn run_statement(
     for (i, data) in inputs.iter().enumerate() {
         let row_size = data.schema().row_size();
         for chunk in data.bytes().chunks(8192 * row_size) {
-            engine.ingest(0, i, chunk)?;
-            emitted += drain(&sink, &mut printed);
+            query.ingest(StreamId(i), chunk)?;
+            emitted += drain(query.sink(), &mut printed);
         }
     }
     engine.stop()?;
-    emitted += drain(&sink, &mut printed);
+    emitted += drain(query.sink(), &mut printed);
 
     let elapsed = start.elapsed();
     let total: usize = inputs.iter().map(|b| b.len()).sum();

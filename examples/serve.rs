@@ -30,7 +30,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("saber-serve listening on {}", server.local_addr());
     println!("protocol (docs/server.md):");
     println!("  CREATE STREAM <name> (<attr> <TYPE>, ...)");
-    println!("  QUERY <sql>                  -- docs/sql.md dialect");
+    println!("  QUERY <sql>                  -- docs/sql.md dialect; works at any time");
+    println!("  DROP QUERY <id>              -- drain loss-free and deregister");
     println!("  INSERT <query> <stream> CSV <v1,v2,...[;...]>");
     println!("  INSERT <query> <stream> B64 <base64 row bytes>");
     println!("  SUBSCRIBE <query> [CSV|B64]  -- push results as windows close");

@@ -11,7 +11,7 @@
 //! cargo run --release --example smart_grid_anomaly
 //! ```
 
-use saber::engine::{ExecutionMode, Saber};
+use saber::engine::{ExecutionMode, Saber, StreamId};
 use saber::workloads::{smartgrid, sql};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -25,8 +25,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .build()?;
     println!("SG1: {}", sql::SG1);
     println!("SG2: {}", sql::SG2);
-    let sg1_sink = stage1.add_query_sql(sql::SG1, &catalog)?;
-    let sg2_sink = stage1.add_query_sql(sql::SG2, &catalog)?;
+    let sg1 = stage1.add_query_sql(sql::SG1, &catalog)?;
+    let sg2 = stage1.add_query_sql(sql::SG2, &catalog)?;
     stage1.start()?;
 
     let config = smartgrid::GridConfig {
@@ -42,13 +42,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             minute,
             (minute * 60_000) as i64,
         );
-        stage1.ingest(0, 0, slice.bytes())?;
-        stage1.ingest(1, 0, slice.bytes())?;
+        sg1.ingest(StreamId(0), slice.bytes())?;
+        sg2.ingest(StreamId(0), slice.bytes())?;
     }
     stage1.stop()?;
 
-    let global = sg1_sink.take_rows();
-    let local = sg2_sink.take_rows();
+    let global = sg1.take_rows();
+    let local = sg2.take_rows();
     println!(
         "SG1 produced {} global-average windows, SG2 produced {} per-plug rows",
         global.len(),
@@ -62,13 +62,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .execution_mode(ExecutionMode::Hybrid)
         .build()?;
     println!("SG3: {}", sql::SG3);
-    let outlier_sink = stage2.add_query_sql(sql::SG3, &catalog)?;
+    let sg3 = stage2.add_query_sql(sql::SG3, &catalog)?;
     stage2.start()?;
-    stage2.ingest(0, 0, local.bytes())?;
-    stage2.ingest(0, 1, global.bytes())?;
+    sg3.ingest(StreamId(0), local.bytes())?;
+    sg3.ingest(StreamId(1), global.bytes())?;
     stage2.stop()?;
 
-    let outliers = outlier_sink.take_rows();
+    let outliers = sg3.take_rows();
     println!(
         "SG3 flagged {} (window, house, plug) outlier rows",
         outliers.len()

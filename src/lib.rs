@@ -18,7 +18,10 @@
 //!
 //! Queries can be written as SQL text (the dialect of paper §3, see
 //! `docs/sql.md`) and registered with [`Saber::add_query_sql`], or built
-//! programmatically with [`QueryBuilder`]:
+//! programmatically with [`QueryBuilder`]. Registration returns a typed
+//! [`QueryHandle`] and works on a *running* engine — the query set is
+//! dynamic, and [`QueryHandle::remove`] drains a query loss-free without
+//! stopping anything else:
 //!
 //! ```
 //! use saber::prelude::*;
@@ -32,21 +35,23 @@
 //!     .query_task_size(64 * 1024)
 //!     .build()
 //!     .unwrap();
+//! engine.start().unwrap(); // queries may arrive before or after start
 //!
 //! // SELECT * WHERE a1 > 0.5 over a 1024-tuple tumbling window.
-//! let sink = engine
+//! let query = engine
 //!     .add_query_sql("SELECT * FROM Syn [ROWS 1024] WHERE a1 > 0.5", &catalog)
 //!     .unwrap();
-//! engine.start().unwrap();
 //!
 //! let batch = saber::workloads::synthetic::generate(&schema, 8 * 1024, 42);
-//! engine.ingest(0, 0, batch.bytes()).unwrap();
+//! query.ingest(StreamId(0), batch.bytes()).unwrap();
 //! engine.stop().unwrap();
-//! assert!(sink.tuples_emitted() > 0);
+//! assert!(query.tuples_emitted() > 0);
 //! ```
 //!
 //! [`Saber::add_query_sql`]: saber_engine::Saber::add_query_sql
 //! [`Saber`]: saber_engine::Saber
+//! [`QueryHandle`]: saber_engine::QueryHandle
+//! [`QueryHandle::remove`]: saber_engine::QueryHandle::remove
 //! [`QueryBuilder`]: saber_query::QueryBuilder
 
 pub use saber_baselines as baselines;
@@ -62,12 +67,13 @@ pub use saber_workloads as workloads;
 /// Commonly used items, re-exported for convenience.
 pub mod prelude {
     pub use saber_engine::{
-        EngineConfig, ExecutionMode, Saber, SaberBuilder, SchedulingPolicyKind,
+        EngineConfig, ExecutionMode, IngestHandle, QueryHandle, QueryId, QuerySink, Saber,
+        SaberBuilder, SchedulingPolicyKind, StreamId, WindowWait,
     };
     pub use saber_query::{
         AggregateFunction, Expr, Query, QueryBuilder, StreamFunction, WindowSpec,
     };
     pub use saber_server::{Server, ServerConfig};
-    pub use saber_sql::Catalog;
+    pub use saber_sql::{Catalog, SharedCatalog};
     pub use saber_types::{Attribute, DataType, RowBuffer, Schema, TupleRef, Value};
 }

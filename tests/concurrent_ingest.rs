@@ -46,7 +46,7 @@ fn four_producers_one_stream_lose_nothing() {
         .unwrap();
     engine.start().unwrap();
 
-    let handle = engine.ingest_handle(0, 0).unwrap();
+    let handle = engine.ingest_handle(QueryId(0), StreamId(0)).unwrap();
     let threads: Vec<_> = (0..PRODUCERS)
         .map(|p| {
             let handle = handle.clone();
@@ -91,7 +91,7 @@ fn producers_on_separate_queries_are_isolated() {
 
     let threads: Vec<_> = (0..QUERIES)
         .map(|q| {
-            let handle = engine.ingest_handle(q, 0).unwrap();
+            let handle = engine.ingest_handle(QueryId(q), StreamId(0)).unwrap();
             let schema = schema.clone();
             std::thread::spawn(move || {
                 let data = synthetic::generate(&schema, ROWS, 100 + q as u64);
@@ -128,7 +128,7 @@ fn backpressure_under_concurrent_producers_is_lossless_and_observed() {
     engine.add_query_with_options(query, false).unwrap();
     engine.start().unwrap();
 
-    let handle = engine.ingest_handle(0, 0).unwrap();
+    let handle = engine.ingest_handle(QueryId(0), StreamId(0)).unwrap();
     let threads: Vec<_> = (0..PRODUCERS)
         .map(|p| {
             let handle = handle.clone();
@@ -146,7 +146,7 @@ fn backpressure_under_concurrent_producers_is_lossless_and_observed() {
     }
     engine.stop().unwrap();
 
-    let stats = engine.query_stats(0).unwrap();
+    let stats = engine.query_stats(QueryId(0)).unwrap();
     assert_eq!(
         stats.tuples_in.load(std::sync::atomic::Ordering::Relaxed),
         (PRODUCERS * ROWS_PER_PRODUCER) as u64
@@ -180,7 +180,7 @@ fn join_streams_can_be_fed_by_independent_threads() {
     let rows = 16 * 1024;
     let threads: Vec<_> = (0..2)
         .map(|stream| {
-            let handle = engine.ingest_handle(0, stream).unwrap();
+            let handle = engine.ingest_handle(QueryId(0), StreamId(stream)).unwrap();
             let schema = schema.clone();
             std::thread::spawn(move || {
                 let data = synthetic::generate(&schema, rows, 31 + stream as u64);
@@ -223,7 +223,7 @@ fn stop_under_looping_producers_is_loss_free_and_bounded() {
     engine.start().unwrap();
 
     let accepted = Arc::new(AtomicU64::new(0));
-    let handle = engine.ingest_handle(0, 0).unwrap();
+    let handle = engine.ingest_handle(QueryId(0), StreamId(0)).unwrap();
     let producers: Vec<_> = (0..PRODUCERS)
         .map(|p| {
             let handle = handle.clone();
@@ -270,7 +270,7 @@ fn stop_under_looping_producers_is_loss_free_and_bounded() {
     );
     let accepted = accepted.load(Ordering::SeqCst);
     assert!(accepted > 0, "producers never got a row in");
-    let stats = engine.query_stats(0).unwrap();
+    let stats = engine.query_stats(QueryId(0)).unwrap();
     assert_eq!(stats.tuples_in.load(Ordering::SeqCst), accepted);
     // Loss-free: every accepted row was processed and emitted.
     assert_eq!(sink.tuples_emitted(), accepted);
@@ -303,13 +303,13 @@ fn handle_ingest_matches_direct_ingest_results() {
         let sink = engine.add_query(query()).unwrap();
         engine.start().unwrap();
         if use_handle {
-            let handle = engine.ingest_handle(0, 0).unwrap();
+            let handle = engine.ingest_handle(QueryId(0), StreamId(0)).unwrap();
             for chunk in data.bytes().chunks(24 * 1024) {
                 handle.ingest(chunk).unwrap();
             }
         } else {
             for chunk in data.bytes().chunks(24 * 1024) {
-                engine.ingest(0, 0, chunk).unwrap();
+                engine.ingest(QueryId(0), StreamId(0), chunk).unwrap();
             }
         }
         engine.stop().unwrap();

@@ -31,7 +31,7 @@ fn run_on_engine(
     let sink = engine.add_query(query).unwrap();
     engine.start().unwrap();
     for chunk in data.bytes().chunks(48 * 1024) {
-        engine.ingest(0, 0, chunk).unwrap();
+        engine.ingest(QueryId(0), StreamId(0), chunk).unwrap();
     }
     engine.stop().unwrap();
     sink.take_rows()
@@ -172,7 +172,7 @@ fn results_are_identical_across_task_sizes() {
         let sink = engine.add_query(query()).unwrap();
         engine.start().unwrap();
         for chunk in data.bytes().chunks(32 * 1024) {
-            engine.ingest(0, 0, chunk).unwrap();
+            engine.ingest(QueryId(0), StreamId(0), chunk).unwrap();
         }
         engine.stop().unwrap();
         let rows = sink.take_rows();
@@ -210,8 +210,8 @@ fn join_query_runs_end_to_end_on_two_streams() {
         .chunks(16 * 1024)
         .zip(right.bytes().chunks(16 * 1024))
     {
-        engine.ingest(0, 0, l).unwrap();
-        engine.ingest(0, 1, r).unwrap();
+        engine.ingest(QueryId(0), StreamId(0), l).unwrap();
+        engine.ingest(QueryId(0), StreamId(1), r).unwrap();
     }
     engine.stop().unwrap();
     // Expected pair count per tumbling 512-row window ≈ 512 * 512 / 16.
@@ -250,7 +250,7 @@ fn scheduling_policies_all_produce_correct_results() {
         let sink = engine.add_query(query()).unwrap();
         engine.start().unwrap();
         for chunk in data.bytes().chunks(64 * 1024) {
-            engine.ingest(0, 0, chunk).unwrap();
+            engine.ingest(QueryId(0), StreamId(0), chunk).unwrap();
         }
         engine.stop().unwrap();
         let got = sink.take_rows();

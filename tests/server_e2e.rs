@@ -64,7 +64,9 @@ fn in_process_result() -> Vec<u8> {
     let sink = engine.add_query_sql(SQL, &catalog).unwrap();
     engine.start().unwrap();
     for p in 0..PRODUCERS {
-        engine.ingest(0, 0, producer_rows(p).bytes()).unwrap();
+        engine
+            .ingest(QueryId(0), StreamId(0), producer_rows(p).bytes())
+            .unwrap();
     }
     engine.stop().unwrap();
     let out = sink.take_rows();
@@ -101,6 +103,90 @@ impl Client {
         writeln!(self.stream, "{line}").expect("write");
         self.read_line()
     }
+
+    /// Next pushed line that is not a `NOP` keepalive.
+    fn read_push_line(&mut self) -> String {
+        loop {
+            let line = self.read_line();
+            if line != "NOP" {
+                return line;
+            }
+        }
+    }
+}
+
+/// The redesign's acceptance scenario: a second client issues `QUERY` over
+/// TCP *after* rows have already been ingested, and the new query starts
+/// producing windows without any restart; `DROP QUERY` then drains it
+/// loss-free while the first query keeps serving.
+#[test]
+fn query_registered_after_ingest_produces_windows_without_restart() {
+    let server = Server::bind(
+        "127.0.0.1:0",
+        ServerConfig {
+            engine: engine_config(),
+            ..ServerConfig::default()
+        },
+    )
+    .unwrap();
+    let addr = server.local_addr();
+
+    // Client 1 declares the stream, registers a query and ingests.
+    let mut first = Client::connect(addr);
+    assert_eq!(
+        first.send("CREATE STREAM S (timestamp TIMESTAMP, v INT, k INT)"),
+        "OK stream S"
+    );
+    assert_eq!(first.send(&format!("QUERY {SQL}")), "OK query 0");
+    let rows = producer_rows(0);
+    assert_eq!(
+        first.send(&format!("INSERT 0 0 B64 {}", b64_encode(rows.bytes()))),
+        format!("OK rows {ROWS_PER_PRODUCER}")
+    );
+
+    // Client 2 arrives *after* the ingest and registers its own query —
+    // previously this froze with an `ERR state` once the engine had started.
+    let mut second = Client::connect(addr);
+    assert_eq!(
+        second.send("QUERY SELECT timestamp, COUNT(*) AS n FROM S [ROWS 512]"),
+        "OK query 1"
+    );
+    let mut sub = Client::connect(addr);
+    assert_eq!(sub.send("SUBSCRIBE 1"), "OK subscribed 1");
+
+    // Data ingested from now on feeds both queries; the late query's
+    // 512-row tumbling windows close twice per insert below.
+    assert_eq!(
+        second.send(&format!("INSERT 1 0 B64 {}", b64_encode(rows.bytes()))),
+        format!("OK rows {ROWS_PER_PRODUCER}")
+    );
+    let mut window_rows = Vec::new();
+    while window_rows.len() < 2 {
+        let line = sub.read_line();
+        if line == "NOP" {
+            continue;
+        }
+        assert!(line.starts_with("ROW "), "unexpected line `{line}`");
+        window_rows.push(line[4..].to_string());
+    }
+    // Each closed 512-row tumbling window counted exactly its 512 rows.
+    assert!(window_rows[0].ends_with(",512"), "{:?}", window_rows);
+    assert!(window_rows[1].ends_with(",512"), "{:?}", window_rows);
+
+    // Drop the late query: its subscriber sees END, the first query and
+    // the rest of the server keep working.
+    assert_eq!(second.send("DROP QUERY 1"), "OK dropped 1");
+    assert_eq!(sub.read_push_line(), "END");
+    assert_eq!(
+        first.send(&format!("INSERT 0 0 B64 {}", b64_encode(rows.bytes()))),
+        format!("OK rows {ROWS_PER_PRODUCER}")
+    );
+
+    let report = server.shutdown().expect("clean shutdown");
+    assert_eq!(report.queries.len(), 2);
+    assert_eq!(report.queries[0].tuples_in, 2 * ROWS_PER_PRODUCER as u64);
+    assert_eq!(report.queries[1].tuples_in, ROWS_PER_PRODUCER as u64);
+    assert_eq!(report.queries[1].tuples_out, 2);
 }
 
 #[test]

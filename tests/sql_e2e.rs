@@ -25,7 +25,7 @@ fn run_ir(query: Query, data: &RowBuffer) -> RowBuffer {
     let sink = engine.add_query(query).unwrap();
     engine.start().unwrap();
     for chunk in data.bytes().chunks(4096 * synthetic::TUPLE_SIZE) {
-        engine.ingest(0, 0, chunk).unwrap();
+        engine.ingest(QueryId(0), StreamId(0), chunk).unwrap();
     }
     engine.stop().unwrap();
     sink.take_rows()
@@ -42,7 +42,7 @@ fn run_sql(sql: &str, data: &RowBuffer) -> RowBuffer {
     let sink = engine.add_query_sql(sql, &catalog()).unwrap();
     engine.start().unwrap();
     for chunk in data.bytes().chunks(4096 * synthetic::TUPLE_SIZE) {
-        engine.ingest(0, 0, chunk).unwrap();
+        engine.ingest(QueryId(0), StreamId(0), chunk).unwrap();
     }
     engine.stop().unwrap();
     sink.take_rows()
@@ -160,7 +160,7 @@ fn reference_queries_match_ir_on_the_engine() {
         engine.start().unwrap();
         let row = data.schema().row_size();
         for chunk in data.bytes().chunks(4096 * row) {
-            engine.ingest(0, 0, chunk).unwrap();
+            engine.ingest(QueryId(0), StreamId(0), chunk).unwrap();
         }
         engine.stop().unwrap();
         sink.take_rows()
