@@ -56,6 +56,7 @@ pub fn engine_config(mode: ExecutionMode, task_size: usize) -> EngineConfig {
         max_queued_tasks: 128,
         gpu_pipeline_depth: 4,
         throughput_smoothing: 0.25,
+        durability: None,
     }
 }
 

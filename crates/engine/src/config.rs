@@ -3,6 +3,7 @@
 use crate::engine::Saber;
 use crate::scheduler::{Processor, SchedulingPolicyKind};
 use saber_gpu::device::DeviceConfig;
+use saber_store::DurabilityConfig;
 use saber_types::{Result, SaberError};
 use std::collections::HashMap;
 
@@ -42,6 +43,13 @@ pub struct EngineConfig {
     pub gpu_pipeline_depth: usize,
     /// Exponential moving average factor for the throughput matrix in (0, 1].
     pub throughput_smoothing: f64,
+    /// Durability: when set, acknowledged ingests and catalog mutations are
+    /// group-committed to a write-ahead log in the given directory and the
+    /// engine checkpoints catalog snapshots (see `docs/persistence.md`).
+    /// `None` (the default) keeps the engine fully in-memory. An engine
+    /// over a directory with *existing* state must be built through
+    /// [`Saber::recover`], not [`Saber::with_config`].
+    pub durability: Option<DurabilityConfig>,
 }
 
 impl Default for EngineConfig {
@@ -60,6 +68,7 @@ impl Default for EngineConfig {
             max_queued_tasks: 256,
             gpu_pipeline_depth: 4,
             throughput_smoothing: 0.25,
+            durability: None,
         }
     }
 }
@@ -91,6 +100,9 @@ impl EngineConfig {
             return Err(SaberError::Config(
                 "throughput smoothing must be in (0, 1]".into(),
             ));
+        }
+        if let Some(durability) = &self.durability {
+            durability.validate()?;
         }
         Ok(())
     }
@@ -169,6 +181,16 @@ impl SaberBuilder {
     /// Sets the maximum number of queued tasks before ingest blocks.
     pub fn max_queued_tasks(mut self, n: usize) -> Self {
         self.config.max_queued_tasks = n;
+        self
+    }
+
+    /// Enables durability: acknowledged ingests and catalog mutations are
+    /// group-committed to a write-ahead log under `durability.dir`, and the
+    /// engine checkpoints catalog snapshots on the configured cadence (see
+    /// `docs/persistence.md`). Build with [`Saber::recover`] instead when
+    /// the directory already holds state from a previous run.
+    pub fn durability(mut self, durability: DurabilityConfig) -> Self {
+        self.config.durability = Some(durability);
         self
     }
 

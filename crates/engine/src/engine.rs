@@ -17,6 +17,7 @@
 
 use crate::config::{EngineConfig, ExecutionMode, SaberBuilder};
 use crate::dispatcher::Dispatcher;
+use crate::durability::{checkpoint_engine, Durability, QueryMeta};
 use crate::flow::FlowControl;
 use crate::ids::{QueryId, StreamId};
 use crate::metrics::{EngineStats, QueryStats};
@@ -32,6 +33,8 @@ use parking_lot::Mutex;
 use saber_cpu::plan::CompiledPlan;
 use saber_gpu::{DeviceConfig, GpuDevice};
 use saber_query::Query;
+use saber_sql::SharedCatalog;
+use saber_store::{has_existing_state, Store, WalRecord};
 use saber_types::{Result, RowBuffer, SaberError};
 use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
 use std::sync::Arc;
@@ -150,12 +153,16 @@ struct EngineCore {
     /// removal — so a removal can never retire a queue shard out from under
     /// stop's final flush (and vice versa).
     wind_down: Mutex<()>,
+    /// The durability layer (WAL + snapshots), when configured.
+    durability: Option<Arc<Durability>>,
 }
 
 /// The SABER hybrid stream processing engine.
 pub struct Saber {
     core: Arc<EngineCore>,
     workers: Vec<JoinHandle<()>>,
+    /// The background `saber-checkpoint` thread of a durable engine.
+    checkpoint_worker: Option<JoinHandle<()>>,
 }
 
 impl Saber {
@@ -178,7 +185,37 @@ impl Saber {
     }
 
     /// Creates an engine from an explicit configuration.
+    ///
+    /// When `config.durability` is set, the store directory must not hold
+    /// state from a previous run — rebuilding from existing state is
+    /// [`Saber::recover`]'s job, and silently appending to an old log would
+    /// corrupt its history.
     pub fn with_config(config: EngineConfig) -> Result<Self> {
+        config.validate()?;
+        let durability = match &config.durability {
+            Some(durability_config) => {
+                if has_existing_state(&durability_config.dir)? {
+                    return Err(SaberError::State(format!(
+                        "durability directory {} already holds saber-store state; use \
+                         Saber::recover to rebuild from it",
+                        durability_config.dir.display()
+                    )));
+                }
+                let store = Store::open(durability_config)?;
+                Some(Arc::new(Durability::new(store, SharedCatalog::new(), true)))
+            }
+            None => None,
+        };
+        Self::with_durability(config, durability)
+    }
+
+    /// Creates an engine around an already constructed durability layer
+    /// (recovery builds the store first so it can read the snapshot before
+    /// the engine exists).
+    pub(crate) fn with_durability(
+        config: EngineConfig,
+        durability: Option<Arc<Durability>>,
+    ) -> Result<Self> {
         config.validate()?;
         let matrix = Arc::new(ThroughputMatrix::new(
             config.throughput_smoothing,
@@ -208,10 +245,23 @@ impl Saber {
                 device,
                 lifecycle: Lifecycle::new(),
                 wind_down: Mutex::new(()),
+                durability,
                 config,
             }),
             workers: Vec::new(),
+            checkpoint_worker: None,
         })
+    }
+
+    /// The engine's durability layer, if configured.
+    pub(crate) fn durability(&self) -> Option<&Arc<Durability>> {
+        self.core.durability.as_ref()
+    }
+
+    /// Raises the query-id allocator past ids burnt in a previous run
+    /// (recovery only).
+    pub(crate) fn reserve_query_ids_through(&self, next: usize) {
+        self.core.registry.reserve_through(next);
     }
 
     /// The engine configuration.
@@ -287,6 +337,25 @@ impl Saber {
     /// Registers a query; when `retain_output` is false the sink only counts
     /// emitted tuples (benchmarks over unbounded output).
     pub fn add_query_with_options(&self, query: Query, retain_output: bool) -> Result<QueryHandle> {
+        self.add_query_inner(query, retain_output, None)
+    }
+
+    /// Like [`Saber::add_query`], but records `sql` as the query's source
+    /// text so a *durable* engine can log the registration and re-register
+    /// the query on [`Saber::recover`]. On an in-memory engine this is
+    /// identical to [`Saber::add_query`]. ([`Saber::add_query_sql`] calls
+    /// this for you; use it directly when you compile SQL yourself, e.g.
+    /// for better error rendering.)
+    pub fn add_query_with_sql(&self, query: Query, sql: &str) -> Result<QueryHandle> {
+        self.add_query_inner(query, true, Some(sql))
+    }
+
+    fn add_query_inner(
+        &self,
+        query: Query,
+        retain_output: bool,
+        sql: Option<&str>,
+    ) -> Result<QueryHandle> {
         if self.core.lifecycle.phase() == PHASE_STOPPED {
             return Err(SaberError::State(
                 "cannot add queries to a stopped engine".into(),
@@ -299,8 +368,65 @@ impl Saber {
         // concurrent ingest or task completion (both read-lock the
         // registry). The id is reserved first (and burnt if this
         // registration is abandoned; ids are never reused by design).
-        let mut plan = CompiledPlan::compile(&query)?;
+        let plan = CompiledPlan::compile(&query)?;
         let id = core.registry.reserve_id();
+        // Log the registration *before* the query becomes reachable through
+        // the registry: a concurrent ingest into the fresh id can otherwise
+        // log its `Ingest` record ahead of the `AddQuery` record, and replay
+        // (which applies records in sequence order) would drop that
+        // acknowledged batch. Metadata insert and WAL append happen under
+        // one lock so a concurrent checkpoint sees either both or neither.
+        let logged = if let (Some(durability), Some(sql)) = (core.durability.as_ref(), sql) {
+            if durability.logging() {
+                let mut meta = durability.meta.lock();
+                let seq = durability.store.append(&WalRecord::AddQuery {
+                    id: id as u64,
+                    sql: sql.to_string(),
+                })?;
+                meta.insert(
+                    id,
+                    QueryMeta {
+                        sql: sql.to_string(),
+                        replay_from: seq,
+                    },
+                );
+                true
+            } else {
+                false
+            }
+        } else {
+            false
+        };
+        match self.install_plan(id, plan, retain_output) {
+            Ok(handle) => Ok(handle),
+            Err(e) => {
+                // Installation failed (e.g. it lost the race with stop):
+                // retract the logged registration so recovery does not
+                // resurrect a query the caller never received. The id stays
+                // burnt either way.
+                if logged {
+                    let durability = core.durability.as_ref().expect("logged implies durable");
+                    let mut meta = durability.meta.lock();
+                    if meta.remove(&id).is_some() {
+                        let _ = durability
+                            .store
+                            .append(&WalRecord::RemoveQuery { id: id as u64 });
+                    }
+                }
+                Err(e)
+            }
+        }
+    }
+
+    /// Installs a compiled plan under an already reserved `id` — the shared
+    /// tail of normal registration and recovery's restore-at-fixed-id path.
+    fn install_plan(
+        &self,
+        id: usize,
+        mut plan: CompiledPlan,
+        retain_output: bool,
+    ) -> Result<QueryHandle> {
+        let core = &self.core;
         plan.set_query_id(id);
         let plan = Arc::new(plan);
         let sink = QuerySink::new(plan.output_schema().clone(), retain_output);
@@ -332,11 +458,57 @@ impl Saber {
                 "cannot add queries to a stopped engine".into(),
             ));
         }
+        if let Some(durability) = &core.durability {
+            // Checkpoint-on-window-close: every appended result batch marks
+            // the catalog snapshot cadence as due.
+            let durability = durability.clone();
+            state.sink.subscribe(move |_| {
+                durability
+                    .window_dirty
+                    .store(true, std::sync::atomic::Ordering::Relaxed);
+            });
+        }
         Ok(QueryHandle {
             id: QueryId(state.id),
             core: self.core.clone(),
             state,
         })
+    }
+
+    /// Re-registers a recovered query under its original id, compiling its
+    /// SQL against the restored durable catalog. Skips silently if the id
+    /// is already live (a query present in both the snapshot and a
+    /// replayed `AddQuery` record). Recovery only — logging is off.
+    pub(crate) fn restore_query(&self, id: usize, sql: &str, replay_from: u64) -> Result<()> {
+        let core = &self.core;
+        let durability = core
+            .durability
+            .as_ref()
+            .expect("restore_query requires a durable engine")
+            .clone();
+        if core.registry.get(id).is_some() {
+            return Ok(());
+        }
+        let query = durability.catalog.compile(sql).map_err(|e| {
+            SaberError::Store(format!(
+                "recovery: query {id} failed to recompile (line {} col {}: {}); its stream \
+                 definitions may have been replaced after it was registered",
+                e.line(),
+                e.column(),
+                e.message()
+            ))
+        })?;
+        let plan = CompiledPlan::compile(&query)?;
+        core.registry.reserve_through(id + 1);
+        self.install_plan(id, plan, true)?;
+        durability.meta.lock().insert(
+            id,
+            QueryMeta {
+                sql: sql.to_string(),
+                replay_from,
+            },
+        );
+        Ok(())
     }
 
     /// Registers a query written in the SABER SQL dialect (see
@@ -385,7 +557,7 @@ impl Saber {
     /// ```
     pub fn add_query_sql(&self, sql: &str, catalog: &saber_sql::Catalog) -> Result<QueryHandle> {
         let query = saber_sql::compile(sql, catalog)?;
-        self.add_query(query)
+        self.add_query_with_sql(query, sql)
     }
 
     /// Like [`Saber::add_query_sql`], but with the sink's `retain_output`
@@ -397,7 +569,7 @@ impl Saber {
         retain_output: bool,
     ) -> Result<QueryHandle> {
         let query = saber_sql::compile(sql, catalog)?;
-        self.add_query_with_options(query, retain_output)
+        self.add_query_inner(query, retain_output, Some(sql))
     }
 
     /// Removes a live query, draining it loss-free first (see
@@ -447,10 +619,58 @@ impl Saber {
                     .map_err(|e| SaberError::State(format!("failed to spawn GPU worker: {e}")))?,
             );
         }
+        // Recovery starts the engine with logging disabled and spawns the
+        // checkpoint worker itself once replay has finished — a checkpoint
+        // taken mid-replay would snapshot a partially restored query set
+        // (and prune segments the replay still needs).
+        if self
+            .core
+            .durability
+            .as_ref()
+            .is_some_and(|durability| durability.logging())
+        {
+            self.start_checkpoint_worker()?;
+        }
         self.core
             .lifecycle
             .phase
             .store(PHASE_RUNNING, Ordering::SeqCst);
+        Ok(())
+    }
+
+    /// Spawns the `saber-checkpoint` cadence thread of a durable engine (a
+    /// no-op without durability, without a configured interval, or when the
+    /// worker is already running).
+    pub(crate) fn start_checkpoint_worker(&mut self) -> Result<()> {
+        let Some(durability) = &self.core.durability else {
+            return Ok(());
+        };
+        let Some(interval) = durability.store.config().checkpoint_interval else {
+            return Ok(());
+        };
+        if self.checkpoint_worker.is_some() {
+            return Ok(());
+        }
+        let core = self.core.clone();
+        let durability = durability.clone();
+        self.checkpoint_worker = Some(
+            std::thread::Builder::new()
+                .name("saber-checkpoint".to_string())
+                .spawn(move || loop {
+                    if durability.wait_checkpoint_tick(interval) {
+                        return;
+                    }
+                    // Snapshot only when result windows closed since the
+                    // last tick; failures are retried on the next cadence
+                    // (explicit checkpoint() surfaces them).
+                    if durability.window_dirty.swap(false, Ordering::Relaxed) {
+                        let _ = checkpoint_engine(&durability, core.registry.num_slots());
+                    }
+                })
+                .map_err(|e| {
+                    SaberError::State(format!("failed to spawn checkpoint thread: {e}"))
+                })?,
+        );
         Ok(())
     }
 
@@ -481,14 +701,7 @@ impl Saber {
             .get(query.index())
             .ok_or_else(|| unknown_query_error(core, query.index()))?;
         let _query_permit = state.gate.begin_ingest(state.id)?;
-        ingest_into(
-            &state.dispatcher,
-            &state.stats,
-            &core.flow,
-            &core.queue,
-            stream.index(),
-            bytes,
-        )
+        ingest_into(core, &state, stream.index(), bytes)
     }
 
     /// Returns a cheap cloneable producer handle bound to input `stream` of
@@ -625,7 +838,26 @@ impl Saber {
         for state in self.core.registry.active() {
             state.sink.close();
         }
+        // Wind down durability *before* any early error return, or a flush
+        // failure would leave the checkpoint thread running forever (the
+        // phase is already `Stopped`, so no retry reaches this point): stop
+        // the cadence, take one final catalog snapshot (best effort — the
+        // WAL alone is sufficient for recovery) and force the log to stable
+        // storage, so a clean shutdown is fully durable regardless of the
+        // fsync policy.
+        let sync_result = match self.core.durability.clone() {
+            Some(durability) => {
+                durability.stop_checkpoints();
+                if let Some(worker) = self.checkpoint_worker.take() {
+                    let _ = worker.join();
+                }
+                let _ = checkpoint_engine(&durability, self.core.registry.num_slots());
+                durability.store.sync()
+            }
+            None => Ok(()),
+        };
         flush_result?;
+        sync_result?;
         if !drained {
             return Err(SaberError::State(format!(
                 "stop() timed out after {STOP_DRAIN_TIMEOUT:?} with {} in-flight ingest(s) \
@@ -683,49 +915,6 @@ impl Saber {
             ..Default::default()
         };
         Self::with_config(config)
-    }
-
-    // ---- deprecated raw-index shims (one release of migration room) ----
-
-    /// Raw-index shim for [`Saber::ingest`].
-    #[deprecated(
-        since = "0.5.0",
-        note = "use the typed API: `ingest(QueryId(q), StreamId(s), bytes)` — \
-                this shim will be removed in the next release"
-    )]
-    pub fn ingest_indexed(&self, query: usize, stream: usize, bytes: &[u8]) -> Result<()> {
-        self.ingest(QueryId(query), StreamId(stream), bytes)
-    }
-
-    /// Raw-index shim for [`Saber::ingest_handle`].
-    #[deprecated(
-        since = "0.5.0",
-        note = "use the typed API: `ingest_handle(QueryId(q), StreamId(s))` — \
-                this shim will be removed in the next release"
-    )]
-    pub fn ingest_handle_indexed(&self, query: usize, stream: usize) -> Result<IngestHandle> {
-        self.ingest_handle(QueryId(query), StreamId(stream))
-    }
-
-    /// Raw-index shim for [`Saber::sink`].
-    #[deprecated(
-        since = "0.5.0",
-        note = "use the typed API: `sink(QueryId(q))` (or keep the \
-                `QueryHandle` from registration) — this shim will be removed \
-                in the next release"
-    )]
-    pub fn sink_indexed(&self, query: usize) -> Option<QuerySink> {
-        self.sink(QueryId(query))
-    }
-
-    /// Raw-index shim for [`Saber::query_stats`].
-    #[deprecated(
-        since = "0.5.0",
-        note = "use the typed API: `query_stats(QueryId(q))` — this shim \
-                will be removed in the next release"
-    )]
-    pub fn query_stats_indexed(&self, query: usize) -> Option<Arc<QueryStats>> {
-        self.query_stats(QueryId(query))
     }
 }
 
@@ -810,6 +999,20 @@ fn remove_query_inner(core: &Arc<EngineCore>, id: usize) -> Result<()> {
     core.registry.clear(id);
     drop(wind_down);
     state.sink.close();
+    // Drop the durability metadata — unconditionally, so a removal applied
+    // during recovery replay (logging off) cannot leave a ghost entry that
+    // the next checkpoint would snapshot as live — and log the removal (the
+    // id stays burnt across recovery). Every ingest record of this query
+    // precedes the RemoveQuery record: the gate drained the in-flight
+    // permits — whose WAL appends happen inside them — in phase 1.
+    if let Some(durability) = &core.durability {
+        let mut meta = durability.meta.lock();
+        if meta.remove(&id).is_some() && durability.logging() {
+            durability
+                .store
+                .append(&WalRecord::RemoveQuery { id: id as u64 })?;
+        }
+    }
     if !clean {
         return Err(SaberError::State(format!(
             "removal of query {id} timed out after {REMOVE_DRAIN_TIMEOUT:?} \
@@ -910,14 +1113,24 @@ impl QueryHandle {
     pub fn ingest(&self, stream: StreamId, bytes: &[u8]) -> Result<()> {
         let _permit = self.core.lifecycle.begin_ingest()?;
         let _query_permit = self.state.gate.begin_ingest(self.state.id)?;
-        ingest_into(
-            &self.state.dispatcher,
-            &self.state.stats,
-            &self.core.flow,
-            &self.core.queue,
-            stream.index(),
-            bytes,
-        )
+        ingest_into(&self.core, &self.state, stream.index(), bytes)
+    }
+
+    /// Row size in bytes of input `stream` (recovery uses this to count
+    /// replayed rows without decoding batches).
+    pub(crate) fn stream_row_size(&self, stream: StreamId) -> Result<usize> {
+        Ok(self
+            .state
+            .dispatcher
+            .stream(stream.index())
+            .ok_or_else(|| {
+                SaberError::Query(format!(
+                    "query {} has no input stream {}",
+                    self.id.index(),
+                    stream.index()
+                ))
+            })?
+            .row_size())
     }
 
     /// A cloneable multi-producer handle for input `stream` of this query
@@ -1054,10 +1267,8 @@ impl IngestHandle {
         let _permit = self.inner.core.lifecycle.begin_ingest()?;
         let _query_permit = self.inner.state.gate.begin_ingest(self.inner.state.id)?;
         ingest_into(
-            &self.inner.state.dispatcher,
-            &self.inner.state.stats,
-            &self.inner.core.flow,
-            &self.inner.core.queue,
+            &self.inner.core,
+            &self.inner.state,
             self.inner.stream,
             bytes,
         )
@@ -1085,15 +1296,11 @@ impl IngestHandle {
 }
 
 /// Shared ingest path of [`Saber::ingest`] and [`IngestHandle::ingest`]:
-/// lock-free append + cut, then credit-gated admission of the cut tasks.
-fn ingest_into(
-    dispatcher: &Dispatcher,
-    stats: &QueryStats,
-    flow: &FlowControl,
-    queue: &TaskQueue,
-    stream: usize,
-    bytes: &[u8],
-) -> Result<()> {
+/// lock-free append + cut, then credit-gated admission of the cut tasks —
+/// and, on a durable engine, a group-committed WAL append before the ack.
+fn ingest_into(core: &EngineCore, state: &QueryState, stream: usize, bytes: &[u8]) -> Result<()> {
+    let dispatcher = &state.dispatcher;
+    let stats = &state.stats;
     let row_size = dispatcher
         .stream(stream)
         .ok_or_else(|| SaberError::Query(format!("query has no input stream {stream}")))?
@@ -1101,9 +1308,22 @@ fn ingest_into(
     // Tasks are admitted as they are cut, so even an ingest far larger than
     // the ring keeps at most `max_queued_tasks` unprocessed tasks alive.
     dispatcher.ingest_with(stream, bytes, &mut |task| {
-        submit_task(stats, flow, queue, task);
+        submit_task(stats, &core.flow, &core.queue, task);
         Ok(())
     })?;
+    // Log the acknowledged batch while the caller's ingest permits are
+    // still held: removal and stop wait those permits out before logging
+    // `RemoveQuery` / taking their final cut, so a query's ingest records
+    // always precede its removal in the WAL. The append is a buffered copy
+    // (group commit); an error here means the WAL is poisoned (fail-stop)
+    // and the ack correctly turns into an error.
+    if let Some(durability) = &core.durability {
+        if durability.logging() {
+            durability
+                .store
+                .append_ingest(state.id as u64, stream as u32, bytes)?;
+        }
+    }
     stats
         .tuples_in
         .fetch_add((bytes.len() / row_size) as u64, Ordering::Relaxed);
@@ -1171,6 +1391,7 @@ mod tests {
             max_queued_tasks: 64,
             gpu_pipeline_depth: 2,
             throughput_smoothing: 0.25,
+            durability: None,
         };
         Saber::with_config(config).unwrap()
     }
@@ -1529,22 +1750,6 @@ mod tests {
     }
 
     #[test]
-    fn deprecated_raw_index_shims_still_work() {
-        #![allow(deprecated)]
-        let mut engine = small_engine(ExecutionMode::CpuOnly);
-        let query = engine.add_query(projection()).unwrap();
-        engine.start().unwrap();
-        engine.ingest_indexed(0, 0, &data(256, 0)).unwrap();
-        let handle = engine.ingest_handle_indexed(0, 0).unwrap();
-        handle.ingest(&data(256, 256)).unwrap();
-        engine.stop().unwrap();
-        assert_eq!(query.tuples_emitted(), 512);
-        assert!(engine.sink_indexed(0).is_some());
-        assert!(engine.query_stats_indexed(0).is_some());
-        assert!(engine.sink_indexed(7).is_none());
-    }
-
-    #[test]
     fn backpressure_blocks_instead_of_polling_and_is_observable() {
         // One slow worker and a tiny credit gate: producers must block.
         let config = EngineConfig {
@@ -1557,6 +1762,7 @@ mod tests {
             max_queued_tasks: 2,
             gpu_pipeline_depth: 1,
             throughput_smoothing: 0.25,
+            durability: None,
         };
         let mut engine = Saber::with_config(config).unwrap();
         let q = QueryBuilder::new("agg", schema())

@@ -35,12 +35,23 @@
 //! [`engine::QueryHandle`] that owns the query's [`sink::QuerySink`] and
 //! supports loss-free [`engine::QueryHandle::remove`]; results are consumed
 //! push-style via [`sink::QuerySink::wait_for_window`] or
-//! [`sink::QuerySink::subscribe`]. Raw-`usize` addressing survives one more
-//! release as deprecated `*_indexed` shims on [`engine::Saber`].
+//! [`sink::QuerySink::subscribe`]. (The deprecated raw-`usize` `*_indexed`
+//! shims of the 0.5 release have been removed; address queries with
+//! [`ids::QueryId`] / [`ids::StreamId`].)
+//!
+//! ## Durability and crash recovery
+//!
+//! With a [`saber_store::DurabilityConfig`] on the builder, acknowledged
+//! ingests and catalog mutations are group-committed to a write-ahead log,
+//! catalog snapshots are taken as result windows close, and
+//! [`engine::Saber::recover`] rebuilds a crashed engine — same query ids,
+//! byte-identical replayed result windows (see the [`durability`] module
+//! and `docs/persistence.md`).
 
 pub mod circular;
 pub mod config;
 pub mod dispatcher;
+pub mod durability;
 pub mod engine;
 pub mod flow;
 pub mod ids;
@@ -55,6 +66,7 @@ pub mod throughput;
 pub mod worker;
 
 pub use config::{EngineConfig, ExecutionMode, SaberBuilder};
+pub use durability::{CheckpointReport, DurabilityStats, RecoveredQuery, RecoveryReport};
 pub use engine::{IngestHandle, QueryHandle, Saber};
 pub use flow::FlowControl;
 pub use ids::{QueryId, StreamId};
@@ -65,3 +77,7 @@ pub use scheduler::{Processor, SchedulingPolicyKind};
 pub use sink::{QuerySink, WindowWait};
 pub use task::QueryTask;
 pub use throughput::ThroughputMatrix;
+
+// Durability configuration re-exports, so engine users do not need a
+// direct `saber_store` dependency.
+pub use saber_store::{DurabilityConfig, FsyncPolicy};

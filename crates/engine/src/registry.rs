@@ -160,6 +160,13 @@ impl QueryRegistry {
         self.next_id.fetch_add(1, Ordering::SeqCst)
     }
 
+    /// Raises the id allocator to at least `next` (recovery restores
+    /// queries under their original ids and must burn the ids of removed or
+    /// abandoned registrations so they are never handed out again).
+    pub(crate) fn reserve_through(&self, next: usize) {
+        self.next_id.fetch_max(next, Ordering::SeqCst);
+    }
+
     /// Inserts a fully built state into its reserved slot. The only step of
     /// registration that takes the write lock.
     pub(crate) fn insert(&self, state: Arc<QueryState>) {

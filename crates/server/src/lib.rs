@@ -75,6 +75,18 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 /// Configuration of a [`Server`].
+///
+/// Durability is configured through the embedded engine:
+/// `config.engine.durability` (see
+/// [`DurabilityConfig`](saber_engine::DurabilityConfig) and
+/// `docs/persistence.md`). With it set, [`Server::bind`] *recovers* from the
+/// directory when it holds state from a previous run — same query ids,
+/// replayed result windows — and otherwise starts fresh; the engine's
+/// checkpoint cadence lives in `DurabilityConfig::checkpoint_interval`.
+///
+/// (The long-ignored `poll_interval` field of the pre-push-delivery
+/// broadcaster has been removed; result delivery is event-driven and the
+/// checkpoint cadence replaced the field's last conceivable use.)
 #[derive(Debug, Clone)]
 pub struct ServerConfig {
     /// Configuration of the embedded engine.
@@ -82,11 +94,6 @@ pub struct ServerConfig {
     /// Maximum accepted request-line length in bytes. Longer lines abort the
     /// connection with a protocol error (the framing cannot resynchronise).
     pub max_line_bytes: usize,
-    /// Legacy knob: **ignored**. The broadcaster used to poll the query
-    /// sinks at this interval; it now blocks on the sinks' push-notification
-    /// hook and wakes exactly when a window closes. The field is kept for
-    /// one release so existing configurations keep compiling.
-    pub poll_interval: Duration,
     /// Write timeout applied to subscriber sockets. A subscriber that stops
     /// reading (full TCP receive window) fails its next push within this
     /// bound and is dropped, so one stalled client can neither starve the
@@ -105,7 +112,6 @@ impl Default for ServerConfig {
         Self {
             engine: EngineConfig::default(),
             max_line_bytes: 1 << 20,
-            poll_interval: Duration::from_millis(1),
             subscriber_write_timeout: Duration::from_secs(10),
             keepalive_interval: Duration::from_secs(15),
         }
@@ -276,13 +282,41 @@ impl Server {
     /// The engine starts immediately with zero queries: `QUERY` registers
     /// queries dynamically on the running engine, so there is no
     /// registration freeze at the first `INSERT`.
+    ///
+    /// With `config.engine.durability` set, a directory holding state from a
+    /// previous run is **recovered** first: streams, query ids and SQL texts
+    /// are restored and the un-checkpointed WAL suffix is replayed, so the
+    /// server comes back serving the same query ids (`QUERIES`, `INSERT`,
+    /// `SUBSCRIBE` all keep working against ids handed out before the
+    /// restart). Pre-populated `catalog` streams are merged into the durable
+    /// catalog (identical redefinitions are no-ops).
     pub fn bind_with_catalog(
         addr: impl ToSocketAddrs,
         config: ServerConfig,
         catalog: saber_sql::Catalog,
     ) -> Result<Server> {
-        let mut engine = Saber::with_config(config.engine.clone())?;
-        engine.start()?;
+        let durable = config.engine.durability.is_some();
+        let (engine, recovered) = if durable {
+            let (engine, report) = Saber::recover(config.engine.clone())?;
+            (engine, Some(report))
+        } else {
+            let mut engine = Saber::with_config(config.engine.clone())?;
+            engine.start()?;
+            (engine, None)
+        };
+        let shared_catalog = if durable {
+            // The durable catalog is the engine's: CREATE STREAM persists
+            // through it, and recovery restored previous declarations into
+            // it. Seed it with the caller's pre-populated streams.
+            for (name, schema) in catalog.streams() {
+                engine.create_stream(name, schema.clone())?;
+            }
+            engine
+                .shared_catalog()
+                .expect("durable engines own a shared catalog")
+        } else {
+            SharedCatalog::from_catalog(catalog)
+        };
         let listener = TcpListener::bind(addr)
             .map_err(|e| SaberError::State(format!("failed to bind server socket: {e}")))?;
         let local_addr = listener
@@ -295,7 +329,7 @@ impl Server {
                 conns: Vec::new(),
                 threads: Vec::new(),
             }),
-            catalog: SharedCatalog::from_catalog(catalog),
+            catalog: shared_catalog,
             notifier: Arc::new(Notifier::default()),
             shutting_down: AtomicBool::new(false),
             finish_broadcast: AtomicBool::new(false),
@@ -305,6 +339,33 @@ impl Server {
             subscriber_write_timeout: config.subscriber_write_timeout,
             keepalive_interval: config.keepalive_interval,
         });
+        // Rebuild the protocol-level slots of recovered queries so INSERT,
+        // SUBSCRIBE, STATS and DROP address them under their original ids.
+        if let Some(report) = recovered {
+            let mut st = shared.lock();
+            for rq in &report.queries {
+                let Some(handle) = st.engine.query(rq.id) else {
+                    continue;
+                };
+                let query = shared.catalog.compile(&rq.sql).map_err(|e| {
+                    SaberError::Store(format!(
+                        "recovered query {} no longer compiles: {}",
+                        rq.id.index(),
+                        e.message()
+                    ))
+                })?;
+                let input_schemas: Vec<SchemaRef> = (0..query.num_inputs())
+                    .map(|i| query.input_schema(i).clone())
+                    .collect();
+                register_query_slot(
+                    &mut st,
+                    &shared.notifier,
+                    rq.sql.clone(),
+                    input_schemas,
+                    handle,
+                )?;
+            }
+        }
         let accept = {
             let shared = shared.clone();
             std::thread::Builder::new()
@@ -495,6 +556,40 @@ fn accept_loop(shared: Arc<Shared>, listener: TcpListener) {
     }
 }
 
+/// Builds one protocol-level [`QueryReg`] slot around an engine handle:
+/// cached ingest handles per input stream, the broadcaster's push hook, and
+/// the slot table entry (indexed by the engine's id — never reused, possibly
+/// sparse). Shared by `QUERY` registration and restart recovery.
+fn register_query_slot(
+    st: &mut State,
+    notifier: &Arc<Notifier>,
+    sql: String,
+    input_schemas: Vec<SchemaRef>,
+    handle: QueryHandle,
+) -> Result<()> {
+    let id = handle.id().index();
+    let ingest: std::result::Result<Vec<IngestHandle>, SaberError> = (0..input_schemas.len())
+        .map(|i| handle.ingest_handle(StreamId(i)))
+        .collect();
+    let ingest = ingest?;
+    // The push hook: every closed window wakes the broadcaster, which
+    // blocks on the notifier in between.
+    let notifier = notifier.clone();
+    handle.sink().subscribe(move |_rows| notifier.wake());
+    if st.queries.len() <= id {
+        st.queries.resize_with(id + 1, || None);
+    }
+    st.queries[id] = Some(QueryReg {
+        sql,
+        handle,
+        input_schemas,
+        ingest,
+        subscribers: Vec::new(),
+        dropped: false,
+    });
+    Ok(())
+}
+
 fn write_line(stream: &TcpStream, line: &str) -> std::io::Result<()> {
     let mut out = String::with_capacity(line.len() + 1);
     out.push_str(line);
@@ -647,7 +742,24 @@ fn execute(shared: &Arc<Shared>, command: Command) -> String {
     match command {
         Command::Ping => "PONG".to_string(),
         Command::CreateStream { name, schema } => {
-            shared.catalog.register(&name, schema.into_ref());
+            let schema = schema.into_ref();
+            // On a durable server the engine owns the catalog: declaring
+            // through it logs the stream for recovery (identical
+            // redefinitions are no-ops). `shared.catalog` is the same
+            // handle, so compilation sees the stream either way.
+            let durable = {
+                let st = shared.lock();
+                match st.engine.shared_catalog() {
+                    Some(_) => match st.engine.create_stream(&name, schema.clone()) {
+                        Ok(()) => true,
+                        Err(e) => return saber_err(&e),
+                    },
+                    None => false,
+                }
+            };
+            if !durable {
+                shared.catalog.register(&name, schema);
+            }
             format!("OK stream {name}")
         }
         Command::Query { sql } => {
@@ -666,39 +778,28 @@ fn execute(shared: &Arc<Shared>, command: Command) -> String {
             let input_schemas: Vec<SchemaRef> = (0..query.num_inputs())
                 .map(|i| query.input_schema(i).clone())
                 .collect();
+            let clean_sql = sql.trim().trim_end_matches(';').to_string();
             let mut st = shared.lock();
             // Registration works on the running engine: queries join the
             // live set immediately, whatever traffic is already flowing.
-            match st.engine.add_query(query) {
+            // The SQL text rides along so a durable engine can log the
+            // registration and restore it on recovery.
+            match st.engine.add_query_with_sql(query, &clean_sql) {
                 Ok(handle) => {
                     // Engine ids are monotonic but may skip a value if a
                     // registration was abandoned; index the slot table by
                     // the engine's id rather than assuming density.
                     let id = handle.id().index();
-                    let ingest: std::result::Result<Vec<IngestHandle>, SaberError> = (0
-                        ..input_schemas.len())
-                        .map(|i| handle.ingest_handle(StreamId(i)))
-                        .collect();
-                    let ingest = match ingest {
-                        Ok(ingest) => ingest,
-                        Err(e) => return saber_err(&e),
-                    };
-                    // The push hook: every closed window wakes the
-                    // broadcaster, which blocks on the notifier in between.
-                    let notifier = shared.notifier.clone();
-                    handle.sink().subscribe(move |_rows| notifier.wake());
-                    if st.queries.len() <= id {
-                        st.queries.resize_with(id + 1, || None);
-                    }
-                    st.queries[id] = Some(QueryReg {
-                        sql: sql.trim().trim_end_matches(';').to_string(),
-                        handle,
+                    match register_query_slot(
+                        &mut st,
+                        &shared.notifier,
+                        clean_sql,
                         input_schemas,
-                        ingest,
-                        subscribers: Vec::new(),
-                        dropped: false,
-                    });
-                    format!("OK query {id}")
+                        handle,
+                    ) {
+                        Ok(()) => format!("OK query {id}"),
+                        Err(e) => saber_err(&e),
+                    }
                 }
                 Err(e) => saber_err(&e),
             }
@@ -773,7 +874,7 @@ fn execute(shared: &Arc<Shared>, command: Command) -> String {
                 .engine
                 .query_stats(QueryId(query))
                 .expect("registered query");
-            format!(
+            let mut line = format!(
                 "OK stats query={query} tuples_in={} bytes_in={} tuples_out={} \
                  tasks_created={} queued_tasks={} subscribers={subscribers}",
                 stats.tuples_in.load(Ordering::Relaxed),
@@ -781,7 +882,23 @@ fn execute(shared: &Arc<Shared>, command: Command) -> String {
                 stats.tuples_out.load(Ordering::Relaxed),
                 stats.tasks_created.load(Ordering::Relaxed),
                 st.engine.queue_depth(QueryId(query)),
-            )
+            );
+            // Durability section (engine-wide, appended on durable servers
+            // only): WAL volume, checkpoint position, recovery replay count.
+            if let Some(durability) = st.engine.durability_stats() {
+                let last_checkpoint = match durability.last_checkpoint {
+                    Some(seq) => seq.to_string(),
+                    None => "none".to_string(),
+                };
+                line.push_str(&format!(
+                    " wal_bytes={} wal_segments={} last_checkpoint={last_checkpoint} \
+                     recovery_replayed_rows={}",
+                    durability.wal_bytes,
+                    durability.wal_segments,
+                    durability.recovery_replayed_rows
+                ));
+            }
+            line
         }
         Command::Quit | Command::Subscribe { .. } => unreachable!("handled by the caller"),
     }

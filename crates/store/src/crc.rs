@@ -1,0 +1,158 @@
+//! CRC-32C (Castagnoli, reflected, polynomial `0x82F63B78`) used to
+//! checksum WAL frames and snapshot payloads.
+//!
+//! The WAL checksums every ingested byte on the hot path, so checksum
+//! throughput directly bounds durable ingest throughput. Two
+//! implementations:
+//!
+//! * **Hardware** — the SSE 4.2 `crc32` instruction (8 bytes per
+//!   instruction, ~10 GB/s), selected once at startup by runtime feature
+//!   detection on `x86_64`. Castagnoli is the polynomial that instruction
+//!   computes, which is why the format uses CRC-32C rather than the IEEE
+//!   polynomial.
+//! * **Software** — *slicing-by-8* (8 independent table lookups per 8
+//!   bytes, several times faster than the classic byte-serial loop), built
+//!   from compile-time tables, on every other platform.
+//!
+//! Both produce identical values (the tests cross-check them), so logs are
+//! portable across machines.
+
+const fn build_tables() -> [[u32; 256]; 8] {
+    let mut tables = [[0u32; 256]; 8];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 {
+                (crc >> 1) ^ 0x82F6_3B78
+            } else {
+                crc >> 1
+            };
+            bit += 1;
+        }
+        tables[0][i] = crc;
+        i += 1;
+    }
+    let mut t = 1;
+    while t < 8 {
+        let mut i = 0;
+        while i < 256 {
+            let prev = tables[t - 1][i];
+            tables[t][i] = tables[0][(prev & 0xFF) as usize] ^ (prev >> 8);
+            i += 1;
+        }
+        t += 1;
+    }
+    tables
+}
+
+static TABLES: [[u32; 256]; 8] = build_tables();
+
+fn crc32c_software(bytes: &[u8]) -> u32 {
+    let mut crc = 0xFFFF_FFFFu32;
+    let mut chunks = bytes.chunks_exact(8);
+    for chunk in &mut chunks {
+        let lo = u32::from_le_bytes(chunk[0..4].try_into().unwrap()) ^ crc;
+        let hi = u32::from_le_bytes(chunk[4..8].try_into().unwrap());
+        crc = TABLES[7][(lo & 0xFF) as usize]
+            ^ TABLES[6][((lo >> 8) & 0xFF) as usize]
+            ^ TABLES[5][((lo >> 16) & 0xFF) as usize]
+            ^ TABLES[4][(lo >> 24) as usize]
+            ^ TABLES[3][(hi & 0xFF) as usize]
+            ^ TABLES[2][((hi >> 8) & 0xFF) as usize]
+            ^ TABLES[1][((hi >> 16) & 0xFF) as usize]
+            ^ TABLES[0][(hi >> 24) as usize];
+    }
+    for &b in chunks.remainder() {
+        crc = TABLES[0][((crc ^ b as u32) & 0xFF) as usize] ^ (crc >> 8);
+    }
+    !crc
+}
+
+#[cfg(target_arch = "x86_64")]
+mod hw {
+    /// # Safety
+    /// Callers must have verified `sse4.2` is available at runtime.
+    #[target_feature(enable = "sse4.2")]
+    pub(super) unsafe fn crc32c(bytes: &[u8]) -> u32 {
+        use std::arch::x86_64::{_mm_crc32_u64, _mm_crc32_u8};
+        let mut crc = 0xFFFF_FFFFu64;
+        let mut chunks = bytes.chunks_exact(8);
+        for chunk in &mut chunks {
+            crc = _mm_crc32_u64(crc, u64::from_le_bytes(chunk.try_into().unwrap()));
+        }
+        let mut crc = crc as u32;
+        for &b in chunks.remainder() {
+            crc = _mm_crc32_u8(crc, b);
+        }
+        !crc
+    }
+
+    /// Whether the `crc32` instruction is available (detected once).
+    pub(super) fn available() -> bool {
+        use std::sync::OnceLock;
+        static AVAILABLE: OnceLock<bool> = OnceLock::new();
+        *AVAILABLE.get_or_init(|| std::arch::is_x86_feature_detected!("sse4.2"))
+    }
+}
+
+/// CRC-32C of `bytes`.
+pub(crate) fn crc32(bytes: &[u8]) -> u32 {
+    #[cfg(target_arch = "x86_64")]
+    if hw::available() {
+        // SAFETY: `hw::available()` verified sse4.2 support.
+        return unsafe { hw::crc32c(bytes) };
+    }
+    crc32c_software(bytes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The classic byte-at-a-time formulation, as the reference both fast
+    /// implementations must agree with on every length and alignment.
+    fn crc32c_bytewise(bytes: &[u8]) -> u32 {
+        let mut crc = 0xFFFF_FFFFu32;
+        for &b in bytes {
+            crc = TABLES[0][((crc ^ b as u32) & 0xFF) as usize] ^ (crc >> 8);
+        }
+        !crc
+    }
+
+    #[test]
+    fn matches_the_reference_check_value() {
+        // The canonical CRC-32C check: crc32c("123456789") == 0xE3069283.
+        assert_eq!(crc32(b"123456789"), 0xE306_9283);
+        assert_eq!(crc32c_software(b"123456789"), 0xE306_9283);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn all_implementations_agree_on_all_lengths_and_alignments() {
+        let data: Vec<u8> = (0..1024u32).map(|i| (i * 31 + 7) as u8).collect();
+        for len in 0..256 {
+            let expected = crc32c_bytewise(&data[..len]);
+            assert_eq!(crc32(&data[..len]), expected, "dispatch, len {len}");
+            assert_eq!(crc32c_software(&data[..len]), expected, "sw, len {len}");
+        }
+        for start in 0..8 {
+            let expected = crc32c_bytewise(&data[start..]);
+            assert_eq!(crc32(&data[start..]), expected);
+            assert_eq!(crc32c_software(&data[start..]), expected);
+        }
+    }
+
+    #[test]
+    fn detects_single_bit_flips() {
+        let data = b"saber write-ahead log frame";
+        let reference = crc32(data);
+        let mut copy = *data;
+        for i in 0..copy.len() {
+            copy[i] ^= 1;
+            assert_ne!(crc32(&copy), reference, "flip at byte {i} undetected");
+            copy[i] ^= 1;
+        }
+    }
+}

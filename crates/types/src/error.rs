@@ -26,6 +26,9 @@ pub enum SaberError {
     /// The engine is in the wrong state for the requested operation
     /// (e.g. adding a query after `start`, ingesting into a stopped engine).
     State(String),
+    /// A durability operation failed (write-ahead log I/O error, corrupt
+    /// record or snapshot, recovery of an inconsistent store directory).
+    Store(String),
 }
 
 impl SaberError {
@@ -38,6 +41,7 @@ impl SaberError {
             SaberError::Buffer(_) => "buffer",
             SaberError::Device(_) => "device",
             SaberError::State(_) => "state",
+            SaberError::Store(_) => "store",
         }
     }
 
@@ -49,7 +53,8 @@ impl SaberError {
             | SaberError::Config(m)
             | SaberError::Buffer(m)
             | SaberError::Device(m)
-            | SaberError::State(m) => m,
+            | SaberError::State(m)
+            | SaberError::Store(m) => m,
         }
     }
 }
@@ -81,6 +86,7 @@ mod tests {
         assert_eq!(SaberError::Buffer("b".into()).category(), "buffer");
         assert_eq!(SaberError::Device("d".into()).category(), "device");
         assert_eq!(SaberError::State("s".into()).category(), "state");
+        assert_eq!(SaberError::Store("s".into()).category(), "store");
     }
 
     #[test]

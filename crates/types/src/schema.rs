@@ -229,6 +229,77 @@ impl Schema {
         Schema::new(attrs)
     }
 
+    /// Serialises the schema *layout* (attribute names, types, padding and
+    /// the timestamp designation) into a compact, versioned byte form, so
+    /// catalogs and the durability layer can persist stream definitions.
+    /// Round-trips through [`Schema::decode_layout`].
+    pub fn encode_layout(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(16 + self.attributes.len() * 12);
+        out.push(1u8); // layout format version
+        out.extend_from_slice(&(self.attributes.len() as u16).to_le_bytes());
+        for attr in &self.attributes {
+            let name = attr.name().as_bytes();
+            out.extend_from_slice(&(name.len() as u16).to_le_bytes());
+            out.extend_from_slice(name);
+            out.push(match attr.data_type() {
+                DataType::Int => 0,
+                DataType::Long => 1,
+                DataType::Float => 2,
+                DataType::Double => 3,
+                DataType::Timestamp => 4,
+            });
+        }
+        out.extend_from_slice(&(self.row_size as u32).to_le_bytes());
+        out.extend_from_slice(&(self.timestamp_index as u16).to_le_bytes());
+        out
+    }
+
+    /// Decodes a layout produced by [`Schema::encode_layout`], validating
+    /// structure and bounds.
+    pub fn decode_layout(bytes: &[u8]) -> Result<Schema> {
+        fn err(what: &str) -> SaberError {
+            SaberError::Schema(format!("corrupt schema layout: {what}"))
+        }
+        let mut at = 0usize;
+        let take = |at: &mut usize, n: usize| -> Result<&[u8]> {
+            let slice = bytes
+                .get(*at..*at + n)
+                .ok_or_else(|| err("truncated input"))?;
+            *at += n;
+            Ok(slice)
+        };
+        if *take(&mut at, 1)?.first().unwrap() != 1 {
+            return Err(err("unsupported version"));
+        }
+        let nattrs = u16::from_le_bytes(take(&mut at, 2)?.try_into().unwrap()) as usize;
+        let mut attributes = Vec::with_capacity(nattrs);
+        for _ in 0..nattrs {
+            let name_len = u16::from_le_bytes(take(&mut at, 2)?.try_into().unwrap()) as usize;
+            let name = std::str::from_utf8(take(&mut at, name_len)?)
+                .map_err(|_| err("attribute name is not UTF-8"))?
+                .to_string();
+            let data_type = match take(&mut at, 1)?[0] {
+                0 => DataType::Int,
+                1 => DataType::Long,
+                2 => DataType::Float,
+                3 => DataType::Double,
+                4 => DataType::Timestamp,
+                t => return Err(err(&format!("unknown data type tag {t}"))),
+            };
+            attributes.push(Attribute::new(name, data_type));
+        }
+        let row_size = u32::from_le_bytes(take(&mut at, 4)?.try_into().unwrap()) as usize;
+        let timestamp_index = u16::from_le_bytes(take(&mut at, 2)?.try_into().unwrap()) as usize;
+        if at != bytes.len() {
+            return Err(err("trailing bytes"));
+        }
+        let schema = Schema::with_padding(attributes, row_size)?;
+        if schema.row_size() != row_size {
+            return Err(err("row size smaller than the attribute layout"));
+        }
+        schema.with_timestamp_attribute(timestamp_index)
+    }
+
     /// Serialises a row of [`Value`]s according to this layout, appending the
     /// bytes to `out`. Used by workload generators and tests; the hot ingest
     /// path writes bytes directly.
@@ -401,6 +472,54 @@ mod tests {
         assert!(s
             .encode_row(&[Value::Timestamp(0), Value::Float(1.0)], &mut out)
             .is_err());
+    }
+
+    #[test]
+    fn layout_codec_round_trips() {
+        let schemas = [
+            synthetic(),
+            Schema::with_padding(
+                vec![
+                    Attribute::new("ts", DataType::Timestamp),
+                    Attribute::new("v", DataType::Float),
+                ],
+                32,
+            )
+            .unwrap(),
+            Schema::from_pairs(&[("a", DataType::Long), ("b", DataType::Double)])
+                .unwrap()
+                .with_timestamp_attribute(1)
+                .unwrap(),
+        ];
+        for schema in schemas {
+            let bytes = schema.encode_layout();
+            let decoded = Schema::decode_layout(&bytes).unwrap();
+            assert_eq!(decoded, schema);
+            assert_eq!(decoded.timestamp_index(), schema.timestamp_index());
+            assert_eq!(decoded.row_size(), schema.row_size());
+        }
+    }
+
+    #[test]
+    fn layout_decode_rejects_corruption() {
+        let bytes = synthetic().encode_layout();
+        // Truncations at every length must error, never panic.
+        for cut in 0..bytes.len() {
+            assert!(Schema::decode_layout(&bytes[..cut]).is_err(), "cut {cut}");
+        }
+        // Trailing garbage is rejected.
+        let mut long = bytes.clone();
+        long.push(0);
+        assert!(Schema::decode_layout(&long).is_err());
+        // Unknown version and type tags are rejected.
+        let mut wrong_version = bytes.clone();
+        wrong_version[0] = 9;
+        assert!(Schema::decode_layout(&wrong_version).is_err());
+        // A row size below the attribute layout is rejected.
+        let mut small = bytes;
+        let len = small.len();
+        small[len - 6..len - 2].copy_from_slice(&4u32.to_le_bytes());
+        assert!(Schema::decode_layout(&small).is_err());
     }
 
     #[test]

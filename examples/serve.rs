@@ -7,27 +7,55 @@
 //! ```bash
 //! cargo run --release --example saber-serve                # 127.0.0.1:7878
 //! cargo run --release --example saber-serve -- 0.0.0.0:9000
+//! # persistent mode: WAL + snapshots in ./saber-data, crash-recoverable
+//! cargo run --release --example saber-serve -- --data-dir ./saber-data
 //! # then, from another terminal:
 //! cargo run --release --example saber-repl -- --connect 127.0.0.1:7878
 //! ```
+//!
+//! With `--data-dir`, acknowledged inserts and registered queries survive a
+//! restart (even a hard kill): on the next start the server recovers the
+//! directory, restores the same query ids and replays the un-checkpointed
+//! write-ahead log (see `docs/persistence.md`).
 //!
 //! The server runs until stdin closes or a `quit` line is entered, then
 //! shuts down deterministically (all acknowledged rows processed, final
 //! windows delivered to subscribers).
 
+use saber::prelude::DurabilityConfig;
 use saber::server::{Server, ServerConfig};
 use std::io::BufRead;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let addr = std::env::args()
-        .nth(1)
-        .unwrap_or_else(|| "127.0.0.1:7878".to_string());
-    let server = Server::bind_with_catalog(
-        addr.as_str(),
-        ServerConfig::default(),
-        saber::workloads::sql::catalog(),
-    )?;
+    let mut addr = "127.0.0.1:7878".to_string();
+    let mut data_dir: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--data-dir" => {
+                data_dir = Some(
+                    args.next()
+                        .ok_or("--data-dir requires a directory argument")?,
+                );
+            }
+            flag if flag.starts_with("--") => {
+                return Err(format!("unknown flag {flag} (supported: --data-dir <dir>)").into());
+            }
+            positional => addr = positional.to_string(),
+        }
+    }
+
+    let mut config = ServerConfig::default();
+    if let Some(dir) = &data_dir {
+        config.engine.durability = Some(DurabilityConfig::new(dir));
+    }
+    let server =
+        Server::bind_with_catalog(addr.as_str(), config, saber::workloads::sql::catalog())?;
     println!("saber-serve listening on {}", server.local_addr());
+    match &data_dir {
+        Some(dir) => println!("persistent mode: WAL + snapshots in {dir} (docs/persistence.md)"),
+        None => println!("in-memory mode: state is lost on exit (use --data-dir to persist)"),
+    }
     println!("protocol (docs/server.md):");
     println!("  CREATE STREAM <name> (<attr> <TYPE>, ...)");
     println!("  QUERY <sql>                  -- docs/sql.md dialect; works at any time");

@@ -9,6 +9,8 @@
 //! * [`cpu`] — CPU operator implementations (fragment/batch/assembly functions),
 //! * [`gpu`] — the simulated many-core accelerator and its kernels,
 //! * [`engine`] — dispatcher, HLS scheduler, worker threads, result stage,
+//! * [`store`] — durability: segmented CRC-checked write-ahead ingest log,
+//!   catalog snapshots and crash recovery (see `docs/persistence.md`),
 //! * [`server`] — TCP network frontend: multi-client SQL ingest and result
 //!   subscriptions over a newline-delimited protocol (see `docs/server.md`),
 //! * [`baselines`] — comparator engines used by the evaluation,
@@ -61,14 +63,16 @@ pub use saber_gpu as gpu;
 pub use saber_query as query;
 pub use saber_server as server;
 pub use saber_sql as sql;
+pub use saber_store as store;
 pub use saber_types as types;
 pub use saber_workloads as workloads;
 
 /// Commonly used items, re-exported for convenience.
 pub mod prelude {
     pub use saber_engine::{
-        EngineConfig, ExecutionMode, IngestHandle, QueryHandle, QueryId, QuerySink, Saber,
-        SaberBuilder, SchedulingPolicyKind, StreamId, WindowWait,
+        DurabilityConfig, DurabilityStats, EngineConfig, ExecutionMode, FsyncPolicy, IngestHandle,
+        QueryHandle, QueryId, QuerySink, RecoveryReport, Saber, SaberBuilder, SchedulingPolicyKind,
+        StreamId, WindowWait,
     };
     pub use saber_query::{
         AggregateFunction, Expr, Query, QueryBuilder, StreamFunction, WindowSpec,

@@ -21,6 +21,7 @@ fn config(mode: ExecutionMode, max_queued: usize) -> EngineConfig {
         max_queued_tasks: max_queued,
         gpu_pipeline_depth: 2,
         throughput_smoothing: 0.25,
+        durability: None,
     }
 }
 

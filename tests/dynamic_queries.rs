@@ -23,6 +23,7 @@ fn config() -> EngineConfig {
         max_queued_tasks: 64,
         gpu_pipeline_depth: 2,
         throughput_smoothing: 0.25,
+        durability: None,
     }
 }
 

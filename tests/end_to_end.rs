@@ -18,6 +18,7 @@ fn test_config(mode: ExecutionMode) -> EngineConfig {
         max_queued_tasks: 64,
         gpu_pipeline_depth: 2,
         throughput_smoothing: 0.25,
+        durability: None,
     }
 }
 
