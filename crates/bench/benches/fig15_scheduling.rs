@@ -1,17 +1,27 @@
 //! Figure 15: the effect of the scheduling policy — FCFS vs Static vs HLS —
 //! on the two-query workloads W1 (PROJ6* + AGGcnt GROUP-BY1) and W2
-//! (PROJ1 + AGGsum).
+//! (PROJ1 + AGGsum). Besides aggregate throughput, each run reports the
+//! engine's final [`PlacementDecision`] per query — the processor the
+//! throughput matrix prefers and the realized GPGPU task share — so the
+//! table shows *where* each policy actually ran each query, not just how
+//! fast the pair went.
 
 use saber_bench::{bench_workers, engine_config, fmt, measure_duration, Report, DEFAULT_TASK_SIZE};
-use saber_engine::{ExecutionMode, Processor, QueryId, Saber, SchedulingPolicyKind, StreamId};
+use saber_engine::{
+    ExecutionMode, PlacementDecision, Processor, QueryId, Saber, SchedulingPolicyKind, StreamId,
+};
 use saber_query::{AggregateFunction, Query};
 use saber_workloads::synthetic;
 use std::collections::HashMap;
 use std::time::Instant;
 
 /// Runs a two-query workload under one scheduling policy, ingesting into both
-/// queries alternately, and returns the aggregate throughput in GB/s.
-fn run_workload(policy: SchedulingPolicyKind, queries: [Query; 2]) -> f64 {
+/// queries alternately. Returns the aggregate throughput in GB/s and the
+/// engine's final placement decision for each query.
+fn run_workload(
+    policy: SchedulingPolicyKind,
+    queries: [Query; 2],
+) -> (f64, Vec<PlacementDecision>) {
     let schema = synthetic::schema();
     let data = synthetic::generate(&schema, 512 * 1024, 41);
     let mut config = engine_config(ExecutionMode::Hybrid, DEFAULT_TASK_SIZE);
@@ -38,8 +48,21 @@ fn run_workload(policy: SchedulingPolicyKind, queries: [Query; 2]) -> f64 {
         }
         offset = if end >= bytes.len() { 0 } else { end };
     }
+    // Snapshot placements before stop tears the queries down.
+    let placements = engine.placements();
     engine.stop().expect("stop");
-    ingested as f64 / started.elapsed().as_secs_f64() / 1e9
+    (
+        ingested as f64 / started.elapsed().as_secs_f64() / 1e9,
+        placements,
+    )
+}
+
+fn placement_cell(p: &PlacementDecision) -> String {
+    let processor = match p.preferred {
+        Processor::Cpu => "cpu",
+        Processor::Gpu => "gpu",
+    };
+    format!("{processor}({:.0}% gpu)", p.gpu_task_share * 100.0)
 }
 
 fn main() {
@@ -49,7 +72,13 @@ fn main() {
     let mut report = Report::new(
         "fig15_scheduling",
         "Fig. 15 — FCFS vs Static vs HLS on workloads W1 and W2 (GB/s)",
-        &["workload", "policy", "gb_per_s"],
+        &[
+            "workload",
+            "policy",
+            "gb_per_s",
+            "q1_placement",
+            "q2_placement",
+        ],
     );
 
     // W1: Q1 = PROJ6* (compute heavy, prefers the accelerator),
@@ -85,10 +114,17 @@ fn main() {
             ),
         ];
         for (name, policy) in policies {
-            let gbps = run_workload(policy, queries.clone());
-            report.add_row(vec![workload.into(), name.into(), fmt(gbps)]);
+            let (gbps, placements) = run_workload(policy, queries.clone());
+            let cells: Vec<String> = placements.iter().map(placement_cell).collect();
+            report.add_row(vec![
+                workload.into(),
+                name.into(),
+                fmt(gbps),
+                cells.first().cloned().unwrap_or_default(),
+                cells.get(1).cloned().unwrap_or_default(),
+            ]);
         }
     }
     report.finish();
-    println!("expected shape: FCFS < Static < HLS on W1; HLS matches or beats Static on W2 by using both processors");
+    println!("expected shape: FCFS < Static < HLS on W1; HLS matches or beats Static on W2 by using both processors; the placement columns show HLS steering PROJ6* to the GPGPU and the GROUP-BY to the CPU");
 }

@@ -12,9 +12,10 @@
 //!   matching partition row exists.
 
 use crate::exec::{StreamBatch, TaskOutput};
-use crate::plan::{CompiledPlan, PartitionJoinPlan, ThetaJoinPlan};
+use crate::kernels;
+use crate::plan::{CompiledPlan, EquiJoinKeys, PartitionJoinPlan, ThetaJoinPlan};
 use saber_query::WindowSpec;
-use saber_types::{Result, RowBuffer, SaberError, TupleRef};
+use saber_types::{ColumnarBatch, Result, RowBuffer, SaberError, TupleRef};
 use std::collections::HashMap;
 
 /// True if the two tuples fall into at least one common window under the
@@ -49,8 +50,13 @@ pub fn execute_theta(
 
     // New-left × all-right, then all-old-left × new-right: every matching
     // pair in which at least one side is new is produced exactly once.
-    join_side(plan, join, left, right, false, &mut out)?;
-    join_side(plan, join, right, left, true, &mut out)?;
+    if let (true, Some(keys)) = (plan.kernel().is_columnar(), join.equi.as_ref()) {
+        join_side_equi(plan, join, keys, left, right, false, &mut out)?;
+        join_side_equi(plan, join, keys, right, left, true, &mut out)?;
+    } else {
+        join_side(plan, join, left, right, false, &mut out)?;
+        join_side(plan, join, right, left, true, &mut out)?;
+    }
     Ok(TaskOutput::Rows(out))
 }
 
@@ -102,6 +108,109 @@ pub fn join_side(
             };
             if !join.predicate.eval_join_bool(l, r, split) {
                 continue;
+            }
+            if let Some(filter) = &join.post_filter {
+                if !filter.eval_join_bool(l, r, split) {
+                    continue;
+                }
+            }
+            emit_pair(plan, join, l, r, out)?;
+        }
+    }
+    Ok(())
+}
+
+/// The vectorized form of [`join_side`] for equi-decomposable predicates.
+///
+/// Both sides' key expressions are evaluated column-wise once, and each
+/// probe key is matched against the build key column with a SIMD equality
+/// sweep ([`kernels::scan_eq`]) instead of evaluating the full predicate per
+/// pair. Candidates come back in ascending build order and go through the
+/// same window check, residual-conjunct check, post-filter and emission as
+/// the row path — probing keys by IEEE `f64` equality is exactly what the
+/// row path's `Eq` comparison computes, so the output bytes are identical.
+fn join_side_equi(
+    plan: &CompiledPlan,
+    join: &ThetaJoinPlan,
+    keys: &EquiJoinKeys,
+    probe: &StreamBatch,
+    build: &StreamBatch,
+    swapped: bool,
+    out: &mut RowBuffer,
+) -> Result<()> {
+    let simd = plan.kernel().simd();
+    let window = if swapped {
+        &join.left_window
+    } else {
+        &join.right_window
+    };
+    let split = join.left_width;
+    let build_limit = if swapped {
+        build.lookback_rows
+    } else {
+        build.rows.len()
+    };
+    let probe_range = probe.lookback_rows..probe.rows.len();
+    if probe_range.is_empty() || build_limit == 0 {
+        return Ok(());
+    }
+
+    // The probe side keys with `left_key` exactly when it plays the left
+    // role (i.e. not swapped); both expressions are over their own input's
+    // schema.
+    let (probe_key_expr, build_key_expr) = if swapped {
+        (&keys.right_key, &keys.left_key)
+    } else {
+        (&keys.left_key, &keys.right_key)
+    };
+    let probe_columns = ColumnarBatch::gather(
+        &probe.rows,
+        probe_range.clone(),
+        &kernels::referenced_columns([probe_key_expr]),
+    );
+    let probe_keys = kernels::eval(probe_key_expr, &probe_columns, simd);
+    let build_columns = ColumnarBatch::gather(
+        &build.rows,
+        0..build_limit,
+        &kernels::referenced_columns([build_key_expr]),
+    );
+    let build_keys = kernels::eval(build_key_expr, &build_columns, simd);
+
+    let mut candidates: Vec<u32> = Vec::new();
+    for (idx, i) in probe_range.enumerate() {
+        let probe_row = probe.rows.row(i);
+        let probe_pos = probe.start_index + idx as u64;
+        let probe_ts = probe_row.timestamp();
+        candidates.clear();
+        kernels::scan_eq(&build_keys, probe_keys[idx], simd, &mut candidates);
+        for &j in &candidates {
+            let j = j as usize;
+            let build_row = build.rows.row(j);
+            let build_pos = if j >= build.lookback_rows {
+                build.start_index + (j - build.lookback_rows) as u64
+            } else {
+                build
+                    .start_index
+                    .saturating_sub((build.lookback_rows - j) as u64)
+            };
+            if !within_window(
+                window,
+                probe_pos,
+                probe_ts,
+                build_pos,
+                build_row.timestamp(),
+            ) {
+                continue;
+            }
+            let (l, r) = if swapped {
+                (&build_row, &probe_row)
+            } else {
+                (&probe_row, &build_row)
+            };
+            if let Some(residual) = &keys.residual {
+                if !residual.eval_join_bool(l, r, split) {
+                    continue;
+                }
             }
             if let Some(filter) = &join.post_filter {
                 if !filter.eval_join_bool(l, r, split) {
@@ -381,6 +490,51 @@ mod tests {
         // Left keys 2 and 3 have partition rows; key 1 does not.
         assert_eq!(out.len(), 2);
         assert_eq!(out.schema().len(), 3);
+    }
+
+    #[test]
+    fn equi_fast_path_matches_row_kernel_bytes() {
+        use crate::kernels::KernelKind;
+        // Equality plus a residual inequality, with lookback rows on the
+        // right side so both probe directions and old-row positions are
+        // exercised.
+        let q = QueryBuilder::new("join", schema())
+            .count_window(8, 8)
+            .theta_join(
+                schema(),
+                WindowSpec::count(8, 8),
+                Expr::column(1)
+                    .eq(Expr::column(3 + 1))
+                    .and(Expr::column(2).le(Expr::column(3 + 2))),
+            )
+            .build()
+            .unwrap();
+        let plan = CompiledPlan::compile(&q).unwrap();
+        let join = match plan.kind() {
+            PlanKind::ThetaJoin(j) => j.clone(),
+            _ => unreachable!(),
+        };
+        assert!(join.equi.is_some());
+        let left = batch(&[1, 2, 2, 3, 9], 2);
+        let mut right = batch(&[2, 1, 2, 9, 2, 1, 7], 2);
+        right.lookback_rows = 2;
+        let outputs: Vec<Vec<u8>> = [
+            KernelKind::Row,
+            KernelKind::ColumnarScalar,
+            KernelKind::ColumnarSimd,
+        ]
+        .into_iter()
+        .map(|k| {
+            let plan = plan.clone().with_kernel(k);
+            match execute_theta(&plan, &join, &[left.clone(), right.clone()]).unwrap() {
+                TaskOutput::Rows(r) => r.bytes().to_vec(),
+                _ => unreachable!(),
+            }
+        })
+        .collect();
+        assert!(!outputs[0].is_empty());
+        assert_eq!(outputs[0], outputs[1], "row vs columnar-scalar");
+        assert_eq!(outputs[1], outputs[2], "columnar-scalar vs columnar-simd");
     }
 
     #[test]

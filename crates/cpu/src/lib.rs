@@ -24,6 +24,7 @@ pub mod assembler;
 pub mod exec;
 pub mod hashtable;
 pub mod join;
+pub mod kernels;
 pub mod plan;
 pub mod pool;
 pub mod stateless;
@@ -32,6 +33,7 @@ pub mod windowed;
 pub use assembler::AggregationAssembler;
 pub use exec::{PanePartial, StreamBatch, TaskOutput};
 pub use hashtable::GroupTable;
+pub use kernels::KernelKind;
 pub use plan::{CompiledPlan, PlanKind};
 pub use pool::BufferPool;
 

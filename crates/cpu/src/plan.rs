@@ -15,12 +15,19 @@
 //! The same compiled plan drives both the CPU implementation (this crate) and
 //! the simulated accelerator kernels (`saber-gpu`), which guarantees that the
 //! two processors compute identical results for a given task.
+//!
+//! Compilation also picks the *kernel* each plan runs with
+//! ([`KernelKind`]): plan shapes the batch-columnar kernels support
+//! (stateless scans, ungrouped additive aggregation, equi-decomposable
+//! θ-joins) default to the best columnar variant the hardware offers, and
+//! everything else keeps the row-at-a-time interpreter.
 
+use crate::kernels::KernelKind;
 use saber_query::aggregate::AggregateFunction;
 use saber_query::expr::conjunction;
 use saber_query::{
-    AggregationSpec, Expr, OperatorDef, PartitionJoinSpec, Query, QueryId, StreamFunction,
-    WindowSpec,
+    AggregationSpec, CompareOp, Expr, OperatorDef, PartitionJoinSpec, Query, QueryId,
+    StreamFunction, WindowSpec,
 };
 use saber_types::schema::SchemaRef;
 use saber_types::{DataType, Result, SaberError};
@@ -92,11 +99,36 @@ impl AggregationPlan {
     }
 }
 
+/// An equi-key decomposition of a θ-join predicate, extracted at compile
+/// time when the predicate contains a conjunct of the form
+/// `left-expr == right-expr` with each side referencing only one input.
+///
+/// The vectorized probe evaluates both key expressions column-wise and scans
+/// the build side's key column with a SIMD equality sweep; the remaining
+/// conjuncts (if any) run as a per-candidate residual check. Candidate
+/// selection uses IEEE `f64` equality — exactly what the row interpreter's
+/// `Eq` comparison computes — so the fast path produces the identical pair
+/// set.
+#[derive(Debug, Clone)]
+pub struct EquiJoinKeys {
+    /// Key expression over the *left* input schema.
+    pub left_key: Expr,
+    /// Key expression over the *right* input schema (combined-schema column
+    /// indices shifted down by `left_width`).
+    pub right_key: Expr,
+    /// Conjunction of the predicate's remaining conjuncts over the combined
+    /// schema; `None` when the equality was the whole predicate.
+    pub residual: Option<Expr>,
+}
+
 /// A flattened θ-join pipeline.
 #[derive(Debug, Clone)]
 pub struct ThetaJoinPlan {
     /// Join predicate over the combined (left ++ right) schema.
     pub predicate: Expr,
+    /// Equi-key decomposition of `predicate`, when one exists (enables the
+    /// vectorized probe; semantically redundant with `predicate`).
+    pub equi: Option<EquiJoinKeys>,
     /// Post-join filter over the combined schema, if any.
     pub post_filter: Option<Expr>,
     /// Post-join projection over the combined schema; `None` forwards the
@@ -108,6 +140,100 @@ pub struct ThetaJoinPlan {
     pub right_window: WindowSpec,
     /// Number of columns of the left input (the predicate's column split).
     pub left_width: usize,
+}
+
+/// Flattens nested `And` nodes into their conjunct list, in evaluation
+/// order.
+fn flatten_conjuncts(expr: &Expr, out: &mut Vec<Expr>) {
+    if let Expr::And(l, r) = expr {
+        flatten_conjuncts(l, out);
+        flatten_conjuncts(r, out);
+    } else {
+        out.push(expr.clone());
+    }
+}
+
+/// Rewrites every `Column(i)` of `expr` to `Column(i - delta)` — used to
+/// re-express a combined-schema right-side key over the right input schema.
+fn shift_columns(expr: &Expr, delta: usize) -> Expr {
+    match expr {
+        Expr::Column(i) => Expr::Column(i - delta),
+        Expr::Literal(v) => Expr::Literal(*v),
+        Expr::Arith(op, l, r) => Expr::Arith(
+            *op,
+            Box::new(shift_columns(l, delta)),
+            Box::new(shift_columns(r, delta)),
+        ),
+        Expr::Compare(op, l, r) => Expr::Compare(
+            *op,
+            Box::new(shift_columns(l, delta)),
+            Box::new(shift_columns(r, delta)),
+        ),
+        Expr::And(l, r) => Expr::And(
+            Box::new(shift_columns(l, delta)),
+            Box::new(shift_columns(r, delta)),
+        ),
+        Expr::Or(l, r) => Expr::Or(
+            Box::new(shift_columns(l, delta)),
+            Box::new(shift_columns(r, delta)),
+        ),
+        Expr::Not(e) => Expr::Not(Box::new(shift_columns(e, delta))),
+    }
+}
+
+/// Searches the predicate's conjuncts for the first `a == b` whose sides
+/// each reference columns of exactly one input, and splits it off as the
+/// probe key pair. Everything else becomes the residual.
+fn split_equi(predicate: &Expr, left_width: usize) -> Option<EquiJoinKeys> {
+    let mut conjuncts = Vec::new();
+    flatten_conjuncts(predicate, &mut conjuncts);
+
+    let side = |e: &Expr| -> Option<bool> {
+        // Some(true) = purely left, Some(false) = purely right.
+        let cols = e.referenced_columns();
+        if cols.is_empty() {
+            return None;
+        }
+        if cols.iter().all(|&c| c < left_width) {
+            Some(true)
+        } else if cols.iter().all(|&c| c >= left_width) {
+            Some(false)
+        } else {
+            None
+        }
+    };
+
+    let mut keys: Option<(Expr, Expr)> = None;
+    let mut residual: Vec<Expr> = Vec::new();
+    for c in conjuncts {
+        if keys.is_none() {
+            if let Expr::Compare(CompareOp::Eq, a, b) = &c {
+                match (side(a), side(b)) {
+                    (Some(true), Some(false)) => {
+                        keys = Some(((**a).clone(), (**b).clone()));
+                        continue;
+                    }
+                    (Some(false), Some(true)) => {
+                        keys = Some(((**b).clone(), (**a).clone()));
+                        continue;
+                    }
+                    _ => {}
+                }
+            }
+        }
+        residual.push(c);
+    }
+
+    let (left_key, right_combined) = keys?;
+    Some(EquiJoinKeys {
+        left_key,
+        right_key: shift_columns(&right_combined, left_width),
+        residual: if residual.is_empty() {
+            None
+        } else {
+            Some(conjunction(residual))
+        },
+    })
 }
 
 /// A flattened partition-join pipeline (the UDF example; LRB2).
@@ -145,6 +271,7 @@ pub struct CompiledPlan {
     output_schema: SchemaRef,
     stream_function: StreamFunction,
     pipeline_cost: usize,
+    kernel: KernelKind,
 }
 
 impl CompiledPlan {
@@ -158,6 +285,11 @@ impl CompiledPlan {
         } else {
             Self::compile_unary(query)?
         };
+        let kernel = if Self::supports_columnar(&kind) {
+            KernelKind::best_columnar()
+        } else {
+            KernelKind::Row
+        };
 
         Ok(Self {
             query_id: query.id,
@@ -168,7 +300,21 @@ impl CompiledPlan {
             output_schema: query.output_schema.clone(),
             stream_function: query.stream_function,
             pipeline_cost: query.pipeline_cost(),
+            kernel,
         })
+    }
+
+    /// Whether the batch-columnar kernels implement this plan shape:
+    /// stateless scans, ungrouped all-additive aggregation, and θ-joins
+    /// with an equi-key decomposition. Grouped or distinct aggregation and
+    /// partition joins stay on the row interpreter.
+    fn supports_columnar(kind: &PlanKind) -> bool {
+        match kind {
+            PlanKind::Stateless(_) => true,
+            PlanKind::Aggregation(a) => a.group_exprs.is_empty() && a.all_additive(),
+            PlanKind::ThetaJoin(j) => j.equi.is_some(),
+            PlanKind::PartitionJoin(_) => false,
+        }
     }
 
     fn compile_unary(query: &Query) -> Result<PlanKind> {
@@ -315,6 +461,7 @@ impl CompiledPlan {
                 };
                 Ok(PlanKind::ThetaJoin(ThetaJoinPlan {
                     predicate: j.predicate.clone(),
+                    equi: split_equi(&j.predicate, left_width),
                     post_filter,
                     post_projection,
                     left_window,
@@ -382,6 +529,24 @@ impl CompiledPlan {
     /// Per-tuple compute-cost proxy of the pipeline.
     pub fn pipeline_cost(&self) -> usize {
         self.pipeline_cost
+    }
+
+    /// The kernel this plan's batch operator function runs with.
+    pub fn kernel(&self) -> KernelKind {
+        self.kernel
+    }
+
+    /// Overrides the kernel (benchmarks and differential tests pin specific
+    /// variants). Requests for a columnar kernel on a plan shape the
+    /// columnar kernels do not implement are clamped back to
+    /// [`KernelKind::Row`], so forcing is always safe.
+    pub fn with_kernel(mut self, kernel: KernelKind) -> Self {
+        self.kernel = if kernel.is_columnar() && !Self::supports_columnar(&self.kind) {
+            KernelKind::Row
+        } else {
+            kernel
+        };
+        self
     }
 
     /// True if the plan produces window fragments (aggregations) rather than
@@ -563,6 +728,96 @@ mod tests {
             }
             _ => panic!("expected partition join plan"),
         }
+    }
+
+    #[test]
+    fn equi_decomposition_extracts_keys_and_residual() {
+        // (left.key == right.key) AND (left.value > right.value): the
+        // equality becomes the probe key pair, the inequality the residual.
+        let predicate = Expr::column(2)
+            .eq(Expr::column(4 + 2))
+            .and(Expr::column(1).gt(Expr::column(4 + 1)));
+        let keys = split_equi(&predicate, 4).expect("equi decomposition");
+        assert_eq!(keys.left_key, Expr::Column(2));
+        assert_eq!(keys.right_key, Expr::Column(2), "shifted to right schema");
+        let residual = keys.residual.expect("residual conjunct");
+        assert_eq!(residual, Expr::column(1).gt(Expr::column(5)));
+
+        // Reversed sides normalize: right.key == left.key.
+        let flipped = Expr::column(4 + 2).eq(Expr::column(2));
+        let keys = split_equi(&flipped, 4).unwrap();
+        assert_eq!(keys.left_key, Expr::Column(2));
+        assert!(keys.residual.is_none());
+
+        // A pure cross-side inequality has no equi key.
+        assert!(split_equi(&Expr::column(1).lt(Expr::column(5)), 4).is_none());
+        // An equality referencing both inputs on one side does not qualify.
+        let mixed = Expr::column(0).add(Expr::column(5)).eq(Expr::column(1));
+        assert!(split_equi(&mixed, 4).is_none());
+    }
+
+    #[test]
+    fn kernel_selection_matches_plan_shape() {
+        let best = KernelKind::best_columnar();
+
+        let sel = QueryBuilder::new("sel", schema())
+            .count_window(8, 8)
+            .select(Expr::column(1).gt(Expr::literal(0.0)))
+            .build()
+            .unwrap();
+        let plan = CompiledPlan::compile(&sel).unwrap();
+        assert_eq!(plan.kernel(), best, "stateless plans vectorize");
+
+        let agg = QueryBuilder::new("agg", schema())
+            .time_window(60, 1)
+            .aggregate(AggregateFunction::Sum, 1)
+            .build()
+            .unwrap();
+        let plan = CompiledPlan::compile(&agg).unwrap();
+        assert_eq!(plan.kernel(), best, "ungrouped additive agg vectorizes");
+
+        let grouped = QueryBuilder::new("grp", schema())
+            .time_window(60, 1)
+            .aggregate(AggregateFunction::Sum, 1)
+            .group_by(vec![2])
+            .build()
+            .unwrap();
+        let plan = CompiledPlan::compile(&grouped).unwrap();
+        assert_eq!(plan.kernel(), KernelKind::Row, "grouped agg stays row");
+        // Forcing columnar on an unsupported shape clamps back to Row.
+        let plan = plan.with_kernel(KernelKind::ColumnarSimd);
+        assert_eq!(plan.kernel(), KernelKind::Row);
+
+        let join = QueryBuilder::new("join", schema())
+            .count_window(128, 64)
+            .theta_join(
+                schema(),
+                WindowSpec::count(256, 256),
+                Expr::column(2).eq(Expr::column(4 + 2)),
+            )
+            .build()
+            .unwrap();
+        let plan = CompiledPlan::compile(&join).unwrap();
+        match plan.kind() {
+            PlanKind::ThetaJoin(j) => assert!(j.equi.is_some()),
+            _ => panic!("expected join plan"),
+        }
+        assert_eq!(plan.kernel(), best, "equi join vectorizes");
+        // Pinning a supported variant sticks.
+        let plan = plan.with_kernel(KernelKind::ColumnarScalar);
+        assert_eq!(plan.kernel(), KernelKind::ColumnarScalar);
+
+        let theta = QueryBuilder::new("theta", schema())
+            .count_window(128, 64)
+            .theta_join(
+                schema(),
+                WindowSpec::count(256, 256),
+                Expr::column(1).lt(Expr::column(4 + 1)),
+            )
+            .build()
+            .unwrap();
+        let plan = CompiledPlan::compile(&theta).unwrap();
+        assert_eq!(plan.kernel(), KernelKind::Row, "pure θ stays row");
     }
 
     #[test]

@@ -6,10 +6,20 @@
 //! output expressions, so this module is exactly that scan. When the
 //! projection is the identity, selected rows are forwarded byte-for-byte
 //! (direct byte forwarding, §5.1).
+//!
+//! Two kernels implement the scan. The row kernel interprets the
+//! expressions once per tuple. The columnar kernel gathers the referenced
+//! attributes into dense columns ([`ColumnarBatch`]), evaluates the filter
+//! and projection expressions column-wise (vectorized with AVX2 when the
+//! plan's [`KernelKind`](crate::KernelKind) says so), and then forwards
+//! surviving rows —
+//! run-coalesced byte copies for identity projections. Both produce
+//! byte-identical output; `tests/simd_differential.rs` holds them to that.
 
 use crate::exec::{StreamBatch, TaskOutput};
+use crate::kernels;
 use crate::plan::{CompiledPlan, StatelessPlan};
-use saber_types::{Result, RowBuffer};
+use saber_types::{ColumnarBatch, Result, RowBuffer};
 
 /// Evaluates a stateless plan over one stream batch.
 pub fn execute(
@@ -17,6 +27,10 @@ pub fn execute(
     stateless: &StatelessPlan,
     batch: &StreamBatch,
 ) -> Result<TaskOutput> {
+    let kernel = plan.kernel();
+    if kernel.is_columnar() {
+        return execute_columnar(plan, stateless, batch, kernel.simd());
+    }
     let mut out = RowBuffer::with_capacity(plan.output_schema().clone(), batch.new_rows());
     let rows = &batch.rows;
     for i in batch.lookback_rows..rows.len() {
@@ -35,6 +49,87 @@ pub fn execute(
                 let mut row = out.push_uninit();
                 for (col, (expr, _ty)) in exprs.iter().enumerate() {
                     row.set_numeric(col, expr.eval(&tuple));
+                }
+            }
+        }
+    }
+    Ok(TaskOutput::Rows(out))
+}
+
+/// The batch-columnar form of the stateless scan.
+fn execute_columnar(
+    plan: &CompiledPlan,
+    stateless: &StatelessPlan,
+    batch: &StreamBatch,
+    simd: bool,
+) -> Result<TaskOutput> {
+    let rows = &batch.rows;
+    let range = batch.lookback_rows..rows.len();
+    let mut out = RowBuffer::with_capacity(plan.output_schema().clone(), range.len());
+    if range.is_empty() {
+        return Ok(TaskOutput::Rows(out));
+    }
+
+    let wanted = kernels::referenced_columns(
+        stateless.filter.iter().chain(
+            stateless
+                .projection
+                .iter()
+                .flat_map(|p| p.iter().map(|(e, _)| e)),
+        ),
+    );
+    let columns = ColumnarBatch::gather(rows, range.clone(), &wanted);
+    // One 0.0/1.0 survival flag per row; `None` keeps every row.
+    let mask = stateless
+        .filter
+        .as_ref()
+        .map(|f| kernels::eval(f, &columns, simd));
+
+    match &stateless.projection {
+        None => {
+            // Identity projection: forward raw bytes, whole contiguous runs
+            // of surviving rows at a time.
+            let stride = rows.schema().row_size();
+            let bytes = rows.bytes();
+            match &mask {
+                None => {
+                    out.extend_from_bytes(&bytes[range.start * stride..range.end * stride])?;
+                }
+                Some(mask) => {
+                    let mut i = 0;
+                    while i < mask.len() {
+                        if mask[i] == 0.0 {
+                            i += 1;
+                            continue;
+                        }
+                        let run = i;
+                        while i < mask.len() && mask[i] != 0.0 {
+                            i += 1;
+                        }
+                        let start = (range.start + run) * stride;
+                        let end = (range.start + i) * stride;
+                        out.extend_from_bytes(&bytes[start..end])?;
+                    }
+                }
+            }
+        }
+        Some(exprs) => {
+            // Evaluate every output expression over the whole column, then
+            // materialise the surviving rows. Expressions are pure, so
+            // computing them for filtered-out rows changes nothing.
+            let outputs: Vec<Vec<f64>> = exprs
+                .iter()
+                .map(|(e, _ty)| kernels::eval(e, &columns, simd))
+                .collect();
+            for r in 0..columns.rows() {
+                if let Some(mask) = &mask {
+                    if mask[r] == 0.0 {
+                        continue;
+                    }
+                }
+                let mut row = out.push_uninit();
+                for (col, values) in outputs.iter().enumerate() {
+                    row.set_numeric(col, values[r]);
                 }
             }
         }
@@ -155,6 +250,49 @@ mod tests {
         };
         assert_eq!(out.len(), 6);
         assert_eq!(out.row(0).timestamp(), 4);
+    }
+
+    #[test]
+    fn all_kernels_produce_identical_bytes() {
+        use crate::kernels::KernelKind;
+        // Selection + arithmetic projection, with an unaligned row count and
+        // lookback rows, across all three kernels.
+        let q = QueryBuilder::new("k", schema())
+            .count_window(16, 16)
+            .project(vec![
+                (Expr::column(0), "timestamp"),
+                (
+                    Expr::column(1).mul(Expr::literal(3.5)).add(Expr::column(2)),
+                    "mix",
+                ),
+            ])
+            .select(Expr::column(1).lt(Expr::literal(2.0)))
+            .build()
+            .unwrap();
+        let plan = CompiledPlan::compile(&q).unwrap();
+        let stateless = match plan.kind() {
+            PlanKind::Stateless(s) => s.clone(),
+            _ => unreachable!(),
+        };
+        let mut b = batch(37);
+        b.lookback_rows = 5;
+        let outputs: Vec<Vec<u8>> = [
+            KernelKind::Row,
+            KernelKind::ColumnarScalar,
+            KernelKind::ColumnarSimd,
+        ]
+        .into_iter()
+        .map(|k| {
+            let plan = plan.clone().with_kernel(k);
+            match execute(&plan, &stateless, &b).unwrap() {
+                TaskOutput::Rows(r) => r.bytes().to_vec(),
+                _ => unreachable!(),
+            }
+        })
+        .collect();
+        assert!(!outputs[0].is_empty());
+        assert_eq!(outputs[0], outputs[1], "row vs columnar-scalar");
+        assert_eq!(outputs[1], outputs[2], "columnar-scalar vs columnar-simd");
     }
 
     #[test]

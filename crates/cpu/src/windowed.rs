@@ -15,10 +15,11 @@
 
 use crate::exec::{PanePartial, StreamBatch, TaskOutput};
 use crate::hashtable::GroupTable;
+use crate::kernels;
 use crate::plan::{AggregationPlan, CompiledPlan};
 use saber_query::aggregate::AggregateFunction;
 use saber_query::Expr;
-use saber_types::{Result, TupleRef};
+use saber_types::{columnar, ColumnarBatch, Result, TupleRef};
 
 /// Computes the pane a position belongs to.
 #[inline]
@@ -48,6 +49,9 @@ pub fn execute(
     agg: &AggregationPlan,
     batch: &StreamBatch,
 ) -> Result<TaskOutput> {
+    if plan.kernel().is_columnar() {
+        return execute_columnar(agg, batch, plan.kernel().simd());
+    }
     let functions = agg.functions();
     let rows = &batch.rows;
     let count_based = agg.window.is_count_based();
@@ -117,7 +121,128 @@ pub fn execute(
         batch.end_timestamp().max(0) as u64
     };
 
-    let _ = plan;
+    Ok(TaskOutput::Fragments { panes, progress })
+}
+
+/// The batch-columnar form of ungrouped all-additive aggregation (the plan
+/// shapes [`crate::plan::CompiledPlan::kernel`] selects a columnar kernel
+/// for).
+///
+/// The batch is processed as contiguous equal-pane *runs*: each run's
+/// masked sum / count / min / max are computed with the vectorized
+/// reductions and folded into that pane's single `AggState` per aggregate.
+/// Counts, minima and maxima are exact matches of the row path (they are
+/// order-independent under the strict update rule); the sum uses the fixed
+/// lane-split association and therefore matches the row path's sequential
+/// sum only up to float re-association — while staying *bit-identical*
+/// between the scalar and SIMD kernel variants.
+///
+/// Fully filtered-out runs produce no partial, and a surviving run whose
+/// pane equals the previous partial's pane merges into it — replicating the
+/// row path, where filtering happens before pane bookkeeping and so never
+/// splits a pane's partial.
+fn execute_columnar(agg: &AggregationPlan, batch: &StreamBatch, simd: bool) -> Result<TaskOutput> {
+    let functions = agg.functions();
+    let rows = &batch.rows;
+    let range = batch.lookback_rows..rows.len();
+    let count_based = agg.window.is_count_based();
+    let pane_length = agg.pane_length.max(1);
+
+    let mut panes: Vec<PanePartial> = Vec::new();
+
+    if !range.is_empty() {
+        let wanted = kernels::referenced_columns(
+            agg.filter
+                .iter()
+                .chain(agg.aggregates.iter().filter_map(|(_, e)| e.as_ref())),
+        );
+        let columns = ColumnarBatch::gather(rows, range.clone(), &wanted);
+        let n = columns.rows();
+        let mask = agg
+            .filter
+            .as_ref()
+            .map(|f| kernels::eval(f, &columns, simd));
+        // One evaluated input column per non-COUNT aggregate (a missing
+        // input contributes 0.0 per row, like the row path).
+        let inputs: Vec<Option<Vec<f64>>> = agg
+            .aggregates
+            .iter()
+            .map(|(f, input)| match f {
+                AggregateFunction::Count => None,
+                _ => Some(
+                    input
+                        .as_ref()
+                        .map(|e| kernels::eval(e, &columns, simd))
+                        .unwrap_or_else(|| vec![0.0; n]),
+                ),
+            })
+            .collect();
+
+        let mut timestamps = Vec::new();
+        if !count_based {
+            columnar::gather_timestamps(rows, range, &mut timestamps);
+        }
+        let pane_at = |r: usize| -> u64 {
+            let position = if count_based {
+                batch.start_index + r as u64
+            } else {
+                timestamps[r].max(0) as u64
+            };
+            pane_of(position, pane_length)
+        };
+
+        let mut run = 0;
+        while run < n {
+            let pane = pane_at(run);
+            let mut end = run + 1;
+            while end < n && pane_at(end) == pane {
+                end += 1;
+            }
+            let run_mask = mask.as_ref().map(|m| &m[run..end]);
+            let survivors = run_mask.map_or((end - run) as u64, kernels::count_truthy);
+            if survivors > 0 {
+                let merge = panes.last().is_some_and(|last| last.pane == pane);
+                if !merge {
+                    panes.push(PanePartial {
+                        pane,
+                        table: GroupTable::new(&functions),
+                    });
+                }
+                let table = &mut panes.last_mut().unwrap().table;
+                let states = table.entry(&[]);
+                for (slot, input) in states.iter_mut().zip(inputs.iter()) {
+                    let (sum, count, min, max) = match input {
+                        // COUNT folds `update(1.0)` once per survivor.
+                        None => (survivors as f64, survivors, 1.0, 1.0),
+                        Some(values) => {
+                            let v = &values[run..end];
+                            (
+                                kernels::sum_masked(v, run_mask, simd),
+                                survivors,
+                                kernels::min_masked(v, run_mask, simd),
+                                kernels::max_masked(v, run_mask, simd),
+                            )
+                        }
+                    };
+                    slot.sum += sum;
+                    slot.count += count;
+                    if min < slot.min {
+                        slot.min = min;
+                    }
+                    if max > slot.max {
+                        slot.max = max;
+                    }
+                }
+            }
+            run = end;
+        }
+    }
+
+    let progress = if count_based {
+        batch.end_index()
+    } else {
+        batch.end_timestamp().max(0) as u64
+    };
     Ok(TaskOutput::Fragments { panes, progress })
 }
 
@@ -302,6 +427,69 @@ mod tests {
                 assert_eq!(states[0].finalize(AggregateFunction::CountDistinct), 4.0);
             }
             _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn columnar_kernels_match_row_path_structure_and_values() {
+        use crate::kernels::KernelKind;
+        // Filtered, unaligned, ungrouped additive aggregation over all four
+        // additive functions; compare all three kernels.
+        let q = QueryBuilder::new("k", schema())
+            .count_window(8, 8)
+            .select(Expr::column(2).ne(Expr::literal(2.0)))
+            .aggregate(AggregateFunction::Sum, 1)
+            .aggregate(AggregateFunction::Min, 0)
+            .aggregate(AggregateFunction::Max, 0)
+            .aggregate_count()
+            .build()
+            .unwrap();
+        let plan = CompiledPlan::compile(&q).unwrap();
+        let agg = match plan.kind() {
+            PlanKind::Aggregation(a) => a.clone(),
+            _ => unreachable!(),
+        };
+        let b = batch(29, 3);
+        let run = |kernel: KernelKind| -> Vec<PanePartial> {
+            let plan = plan.clone().with_kernel(kernel);
+            match execute(&plan, &agg, &b).unwrap() {
+                TaskOutput::Fragments { panes, progress } => {
+                    assert_eq!(progress, 32);
+                    panes
+                }
+                _ => unreachable!(),
+            }
+        };
+        let row = run(KernelKind::Row);
+        let scalar = run(KernelKind::ColumnarScalar);
+        let simd = run(KernelKind::ColumnarSimd);
+        assert!(!row.is_empty());
+        assert_eq!(row.len(), scalar.len());
+        for (a, b) in row.iter().zip(scalar.iter()) {
+            assert_eq!(a.pane, b.pane);
+            let sa = a.table.get(&[]).unwrap();
+            let sb = b.table.get(&[]).unwrap();
+            for (x, y) in sa.iter().zip(sb.iter()) {
+                // Counts and extrema are exact; sums agree up to float
+                // re-association.
+                assert_eq!(x.count, y.count);
+                assert_eq!(x.min.to_bits(), y.min.to_bits());
+                assert_eq!(x.max.to_bits(), y.max.to_bits());
+                assert!((x.sum - y.sum).abs() < 1e-9);
+            }
+        }
+        // The two columnar variants must agree bit-for-bit, sums included.
+        assert_eq!(scalar.len(), simd.len());
+        for (a, b) in scalar.iter().zip(simd.iter()) {
+            assert_eq!(a.pane, b.pane);
+            let sa = a.table.get(&[]).unwrap();
+            let sb = b.table.get(&[]).unwrap();
+            for (x, y) in sa.iter().zip(sb.iter()) {
+                assert_eq!(x.count, y.count);
+                assert_eq!(x.sum.to_bits(), y.sum.to_bits());
+                assert_eq!(x.min.to_bits(), y.min.to_bits());
+                assert_eq!(x.max.to_bits(), y.max.to_bits());
+            }
         }
     }
 

@@ -1,0 +1,223 @@
+//! Differential tests for the batch-columnar operator kernels.
+//!
+//! The scalar fallback is the correctness source of truth: for every
+//! operator shape (selection/projection, equi-join probe, windowed
+//! aggregation) and across random batch contents, selectivities and
+//! unaligned batch lengths, the vectorized kernel must produce output
+//! **byte-identical** to the columnar-scalar kernel. The columnar kernels
+//! are additionally held to the row-interpreter's output: byte-identical
+//! for stateless and join pipelines, and exact counts/min/max (with sums
+//! compared under re-association tolerance) for aggregation — the columnar
+//! path sums in fixed 4-lane order, the row path in index order, so sum
+//! bits may legitimately differ between *those two* while remaining
+//! bit-identical between the scalar and SIMD columnar variants.
+//!
+//! Run normally this covers whatever the host CPU supports (AVX2 on the CI
+//! matrix); under `SABER_FORCE_SCALAR=1` the SIMD variant degrades to the
+//! same scalar kernels and the suite pins that the forced path stays
+//! byte-identical too.
+
+use proptest::prelude::*;
+use saber_cpu::{CompiledPlan, CpuExecutor, KernelKind, StreamBatch, TaskOutput};
+use saber_query::{AggregateFunction, Expr, QueryBuilder, WindowSpec};
+use saber_types::{DataType, RowBuffer, Schema, Value};
+
+fn schema() -> saber_types::schema::SchemaRef {
+    Schema::from_pairs(&[
+        ("timestamp", DataType::Timestamp),
+        ("a", DataType::Float),
+        ("b", DataType::Float),
+        ("key", DataType::Int),
+    ])
+    .unwrap()
+    .into_ref()
+}
+
+/// Deterministic batch contents from one drawn seed (LCG), with the value
+/// distribution scaled so a `a < threshold` filter hits the drawn
+/// selectivity on average.
+fn batch(seed: u64, rows: usize, key_range: i32, lookback: usize) -> StreamBatch {
+    let mut state = seed | 1;
+    let mut next = || {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        (state >> 33) as f64 / (1u64 << 31) as f64
+    };
+    let mut rows_buf = RowBuffer::new(schema());
+    for i in 0..rows {
+        rows_buf
+            .push_values(&[
+                Value::Timestamp(i as i64),
+                Value::Float(next() as f32),
+                Value::Float((next() * 100.0 - 50.0) as f32),
+                Value::Int((next() * key_range as f64) as i32),
+            ])
+            .unwrap();
+    }
+    StreamBatch::with_lookback(rows_buf, lookback as u64, 0, lookback)
+}
+
+/// Runs `plan` over `batches` once per kernel and returns the three raw
+/// outputs in `[Row, ColumnarScalar, ColumnarSimd]` order.
+fn run_all_kernels(plan: &CompiledPlan, batches: &[StreamBatch]) -> [TaskOutput; 3] {
+    let exec = CpuExecutor::new();
+    [
+        KernelKind::Row,
+        KernelKind::ColumnarScalar,
+        KernelKind::ColumnarSimd,
+    ]
+    .map(|k| {
+        let plan = plan.clone().with_kernel(k);
+        exec.execute(&plan, batches).unwrap()
+    })
+}
+
+fn rows_of(out: &TaskOutput) -> &RowBuffer {
+    match out {
+        TaskOutput::Rows(r) => r,
+        TaskOutput::Fragments { .. } => panic!("expected row output"),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn stateless_kernels_are_byte_identical(
+        seed in 0u64..u64::MAX,
+        rows in 0usize..300,
+        lookback in 0usize..8,
+        threshold in 0.0f64..1.0,
+        project in 0u8..2,
+    ) {
+        let lookback = lookback.min(rows);
+        let mut q = QueryBuilder::new("sel", schema())
+            .count_window(16, 16)
+            .select(Expr::column(1).lt(Expr::literal(threshold)));
+        if project == 1 {
+            q = q.project(vec![
+                (Expr::column(0), "timestamp"),
+                (
+                    Expr::column(1).mul(Expr::column(2)).add(Expr::column(3)),
+                    "mix",
+                ),
+                (Expr::column(2).div(Expr::column(1)), "ratio"),
+            ]);
+        }
+        let plan = CompiledPlan::compile(&q.build().unwrap()).unwrap();
+        let b = batch(seed, rows, 10, lookback);
+        let [row, scalar, simd] = run_all_kernels(&plan, &[b]);
+        prop_assert_eq!(rows_of(&row).bytes(), rows_of(&scalar).bytes());
+        prop_assert_eq!(rows_of(&scalar).bytes(), rows_of(&simd).bytes());
+    }
+
+    #[test]
+    fn equi_join_kernels_are_byte_identical(
+        seed in 0u64..u64::MAX,
+        left_rows in 0usize..120,
+        right_rows in 0usize..120,
+        key_range in 1i32..12,
+        lookback in 0usize..6,
+    ) {
+        let left_lookback = lookback.min(left_rows);
+        let right_lookback = lookback.min(right_rows);
+        // Equi-join on the Int key column (columns 3 and 7 of the combined
+        // row) plus a non-equi residual, so both the `scan_eq` probe and
+        // the residual evaluation are exercised.
+        let predicate = Expr::column(3)
+            .eq(Expr::column(7))
+            .and(Expr::column(1).le(Expr::column(5)));
+        let q = QueryBuilder::new("join", schema())
+            .count_window(32, 32)
+            .theta_join(schema(), WindowSpec::count(32, 32), predicate)
+            .build()
+            .unwrap();
+        let plan = CompiledPlan::compile(&q).unwrap();
+        prop_assert!(plan.kernel().is_columnar());
+        let batches = [
+            batch(seed, left_rows, key_range, left_lookback),
+            batch(seed ^ 0x9e3779b97f4a7c15, right_rows, key_range, right_lookback),
+        ];
+        let [row, scalar, simd] = run_all_kernels(&plan, &batches);
+        prop_assert_eq!(rows_of(&row).bytes(), rows_of(&scalar).bytes());
+        prop_assert_eq!(rows_of(&scalar).bytes(), rows_of(&simd).bytes());
+    }
+
+    #[test]
+    fn aggregation_kernels_match_scalar_reference(
+        seed in 0u64..u64::MAX,
+        rows in 0usize..300,
+        window in 1u64..40,
+        filtered in 0u8..2,
+    ) {
+        let mut q = QueryBuilder::new("agg", schema())
+            .count_window(window, window)
+            .aggregate(AggregateFunction::Sum, 2)
+            .aggregate(AggregateFunction::Min, 2)
+            .aggregate(AggregateFunction::Max, 1)
+            .aggregate_count();
+        if filtered == 1 {
+            q = q.select(Expr::column(1).gt(Expr::literal(0.3)));
+        }
+        let plan = CompiledPlan::compile(&q.build().unwrap()).unwrap();
+        prop_assert!(plan.kernel().is_columnar());
+        let b = batch(seed, rows, 10, 0);
+        let [row, scalar, simd] = run_all_kernels(&plan, &[b]);
+        let fragments = |out: &TaskOutput| match out {
+            TaskOutput::Fragments { panes, progress } => (
+                panes
+                    .iter()
+                    .map(|p| (p.pane, p.table.sorted_groups()))
+                    .collect::<Vec<_>>(),
+                *progress,
+            ),
+            TaskOutput::Rows(_) => panic!("expected fragments"),
+        };
+        let (row_panes, row_progress) = fragments(&row);
+        let (scalar_panes, scalar_progress) = fragments(&scalar);
+        let (simd_panes, simd_progress) = fragments(&simd);
+
+        // Columnar-scalar vs columnar-SIMD: bit-identical, sums included
+        // (both reduce in the same fixed 4-lane order).
+        prop_assert_eq!(scalar_progress, simd_progress);
+        prop_assert_eq!(scalar_panes.len(), simd_panes.len());
+        for (s, v) in scalar_panes.iter().zip(&simd_panes) {
+            prop_assert_eq!(s.0, v.0);
+            prop_assert_eq!(s.1.len(), v.1.len());
+            for ((sk, ss), (vk, vs)) in s.1.iter().zip(&v.1) {
+                prop_assert_eq!(sk, vk);
+                for (a, b) in ss.iter().zip(vs) {
+                    prop_assert_eq!(a.sum.to_bits(), b.sum.to_bits());
+                    prop_assert_eq!(a.count, b.count);
+                    prop_assert_eq!(a.min.to_bits(), b.min.to_bits());
+                    prop_assert_eq!(a.max.to_bits(), b.max.to_bits());
+                }
+            }
+        }
+
+        // Row vs columnar: identical structure, exact counts/min/max; sums
+        // agree up to floating-point re-association.
+        prop_assert_eq!(row_progress, scalar_progress);
+        prop_assert_eq!(row_panes.len(), scalar_panes.len());
+        for (r, s) in row_panes.iter().zip(&scalar_panes) {
+            prop_assert_eq!(r.0, s.0);
+            prop_assert_eq!(r.1.len(), s.1.len());
+            for ((rk, rs), (sk, ss)) in r.1.iter().zip(&s.1) {
+                prop_assert_eq!(rk, sk);
+                for (a, b) in rs.iter().zip(ss) {
+                    prop_assert_eq!(a.count, b.count);
+                    prop_assert_eq!(a.min.to_bits(), b.min.to_bits());
+                    prop_assert_eq!(a.max.to_bits(), b.max.to_bits());
+                    let tol = 1e-9 * (1.0 + a.sum.abs());
+                    prop_assert!(
+                        (a.sum - b.sum).abs() <= tol,
+                        "sum diverged beyond re-association tolerance: {} vs {}",
+                        a.sum,
+                        b.sum
+                    );
+                }
+            }
+        }
+    }
+}

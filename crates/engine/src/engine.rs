@@ -21,6 +21,7 @@ use crate::durability::{checkpoint_engine, Durability, QueryMeta};
 use crate::flow::FlowControl;
 use crate::ids::{QueryId, StreamId};
 use crate::metrics::{EngineStats, QueryStats};
+use crate::placement::{PlacementDecision, PlacementMap};
 use crate::queue::TaskQueue;
 use crate::registry::{QueryGate, QueryRegistry, QueryState};
 use crate::result::ResultStage;
@@ -142,6 +143,7 @@ struct EngineCore {
     config: EngineConfig,
     queue: Arc<TaskQueue>,
     matrix: Arc<ThroughputMatrix>,
+    placement: Arc<PlacementMap>,
     scheduler: Arc<Scheduler>,
     task_ids: Arc<AtomicU64>,
     flow: Arc<FlowControl>,
@@ -233,10 +235,12 @@ impl Saber {
         }
         let scheduler = Arc::new(scheduler);
         let device = Arc::new(GpuDevice::new(config.device.clone()));
+        let placement = Arc::new(PlacementMap::new(matrix.clone(), config.execution_mode));
         Ok(Self {
             core: Arc::new(EngineCore {
                 queue: Arc::new(TaskQueue::new()),
                 matrix,
+                placement,
                 scheduler,
                 task_ids: Arc::new(AtomicU64::new(0)),
                 flow: Arc::new(FlowControl::new(config.max_queued_tasks)),
@@ -277,6 +281,22 @@ impl Saber {
     /// The observed throughput matrix.
     pub fn matrix(&self) -> &Arc<ThroughputMatrix> {
         &self.core.matrix
+    }
+
+    /// The current placement decision for one live query: preferred
+    /// processor, observed rates, modeled speed-up, realized GPU share.
+    /// `None` for unknown or removed queries.
+    pub fn placement(&self, query: QueryId) -> Option<PlacementDecision> {
+        let stats = self.core.stats.get(query.index());
+        self.core.placement.decision(query, stats.as_deref())
+    }
+
+    /// Placement decisions for every live query, in registration order.
+    pub fn placements(&self) -> Vec<PlacementDecision> {
+        self.query_ids()
+            .into_iter()
+            .filter_map(|id| self.placement(id))
+            .collect()
     }
 
     /// Engine-wide statistics (stats blocks are retained for removed
@@ -428,6 +448,8 @@ impl Saber {
     ) -> Result<QueryHandle> {
         let core = &self.core;
         plan.set_query_id(id);
+        core.placement
+            .register(id, &plan, core.config.query_task_size);
         let plan = Arc::new(plan);
         let sink = QuerySink::new(plan.output_schema().clone(), retain_output);
         let stats = core.stats.register_query_at(id);
@@ -996,6 +1018,7 @@ fn remove_query_inner(core: &Arc<EngineCore>, id: usize) -> Result<()> {
     }
     core.scheduler.forget_query(id);
     core.matrix.forget_query(id);
+    core.placement.forget(id);
     core.registry.clear(id);
     drop(wind_down);
     state.sink.close();

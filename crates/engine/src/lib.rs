@@ -56,6 +56,7 @@ pub mod engine;
 pub mod flow;
 pub mod ids;
 pub mod metrics;
+pub mod placement;
 pub mod queue;
 pub mod registry;
 pub mod result;
@@ -71,6 +72,7 @@ pub use engine::{IngestHandle, QueryHandle, Saber};
 pub use flow::FlowControl;
 pub use ids::{QueryId, StreamId};
 pub use metrics::{EngineStats, QueryStats};
+pub use placement::{PlacementDecision, PlacementMap};
 pub use queue::{TaskHead, TaskQueue};
 pub use registry::QueryRegistry;
 pub use scheduler::{Processor, SchedulingPolicyKind};

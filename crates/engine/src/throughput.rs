@@ -47,6 +47,27 @@ impl ThroughputMatrix {
         }
     }
 
+    /// Number of CPU workers the CPU column aggregates over.
+    pub fn cpu_workers(&self) -> usize {
+        self.cpu_workers
+    }
+
+    /// Seeds the `(query, processor)` entry with a modeled per-executor task
+    /// `rate` (tasks per second) — used by the placement layer to start a
+    /// fresh query from the cost model's prior instead of the uniform
+    /// assumption. A seed never overwrites an existing entry and counts as
+    /// zero observations: the first real [`ThroughputMatrix::record`] starts
+    /// smoothing from the seeded value.
+    pub fn seed(&self, query: usize, processor: Processor, rate: f64) {
+        self.entries
+            .write()
+            .entry((query, processor))
+            .or_insert(Entry {
+                rate: rate.max(1e-9),
+                samples: 0,
+            });
+    }
+
     /// Records one task execution of `query` on `processor` that took
     /// `duration`.
     pub fn record(&self, query: usize, processor: Processor, duration: Duration) {
@@ -171,6 +192,24 @@ mod tests {
         assert_eq!(m.preferred(0), Processor::Gpu);
         m.reset();
         assert_eq!(m.preferred(0), Processor::Cpu);
+    }
+
+    #[test]
+    fn seeding_sets_a_prior_without_counting_samples() {
+        let m = ThroughputMatrix::new(0.5, 2);
+        assert_eq!(m.cpu_workers(), 2);
+        m.seed(0, Processor::Gpu, 10_000.0);
+        m.seed(0, Processor::Cpu, 10.0);
+        // The seeded rates replace the uniform assumption...
+        assert_eq!(m.preferred(0), Processor::Gpu);
+        assert_eq!(m.samples(0, Processor::Gpu), 0);
+        // ...but never overwrite an existing entry.
+        m.seed(0, Processor::Gpu, 0.001);
+        assert_eq!(m.preferred(0), Processor::Gpu);
+        // Real observations smooth from the seed.
+        m.record(0, Processor::Gpu, Duration::from_millis(1));
+        assert_eq!(m.samples(0, Processor::Gpu), 1);
+        assert!(m.value(0, Processor::Gpu) > 1_000.0);
     }
 
     #[test]

@@ -89,11 +89,10 @@ mod hw {
         !crc
     }
 
-    /// Whether the `crc32` instruction is available (detected once).
+    /// Whether the `crc32` instruction is available, per the shared
+    /// process-wide detection (which also honours `SABER_FORCE_SCALAR`).
     pub(super) fn available() -> bool {
-        use std::sync::OnceLock;
-        static AVAILABLE: OnceLock<bool> = OnceLock::new();
-        *AVAILABLE.get_or_init(|| std::arch::is_x86_feature_detected!("sse4.2"))
+        saber_types::cpu_features::has_sse42()
     }
 }
 

@@ -1,0 +1,95 @@
+//! Runtime CPU-feature detection shared by every SIMD code path.
+//!
+//! Two subsystems pick between vectorized and portable kernels at runtime:
+//! the store's CRC-32C (SSE 4.2 `crc32` instruction) and the CPU operator
+//! kernels (AVX2 over `f64` columns). Both ask this module, which probes the
+//! hardware exactly once per process and caches the answer.
+//!
+//! Setting the environment variable `SABER_FORCE_SCALAR=1` (read once, at
+//! first query) makes every probe report `false` / [`SimdLevel::Scalar`],
+//! forcing the portable fallbacks — the differential test suite and CI use
+//! this to keep the scalar paths exercised on hardware that would otherwise
+//! always take the vectorized ones.
+
+use std::sync::OnceLock;
+
+/// The widest vector instruction set the current CPU offers for the
+/// columnar operator kernels.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum SimdLevel {
+    /// No usable vector extensions (or `SABER_FORCE_SCALAR=1`): portable
+    /// scalar kernels only.
+    Scalar,
+    /// SSE 4.2 — enables the hardware CRC-32C instruction.
+    Sse42,
+    /// AVX2 — enables the 4-lane `f64` columnar operator kernels (AVX2
+    /// implies SSE 4.2 on every shipping x86-64 part).
+    Avx2,
+}
+
+/// True when `SABER_FORCE_SCALAR=1` is set: all detection reports scalar.
+pub fn force_scalar() -> bool {
+    static FORCED: OnceLock<bool> = OnceLock::new();
+    *FORCED.get_or_init(|| {
+        std::env::var("SABER_FORCE_SCALAR")
+            .map(|v| v == "1" || v.eq_ignore_ascii_case("true"))
+            .unwrap_or(false)
+    })
+}
+
+fn probe() -> SimdLevel {
+    #[cfg(target_arch = "x86_64")]
+    {
+        if std::arch::is_x86_feature_detected!("avx2") {
+            return SimdLevel::Avx2;
+        }
+        if std::arch::is_x86_feature_detected!("sse4.2") {
+            return SimdLevel::Sse42;
+        }
+    }
+    SimdLevel::Scalar
+}
+
+/// The detected SIMD level of this machine (probed once, honours
+/// [`force_scalar`]).
+pub fn simd_level() -> SimdLevel {
+    static LEVEL: OnceLock<SimdLevel> = OnceLock::new();
+    if force_scalar() {
+        return SimdLevel::Scalar;
+    }
+    *LEVEL.get_or_init(probe)
+}
+
+/// Whether SSE 4.2 (and therefore the hardware CRC-32C instruction) is
+/// usable.
+pub fn has_sse42() -> bool {
+    simd_level() >= SimdLevel::Sse42
+}
+
+/// Whether AVX2 (the 4 × `f64` operator kernels) is usable.
+pub fn has_avx2() -> bool {
+    simd_level() >= SimdLevel::Avx2
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn detection_is_stable_and_ordered() {
+        let level = simd_level();
+        assert_eq!(level, simd_level());
+        if has_avx2() {
+            assert!(has_sse42(), "AVX2 implies SSE 4.2");
+        }
+        if force_scalar() {
+            assert_eq!(level, SimdLevel::Scalar);
+        }
+    }
+
+    #[test]
+    fn levels_order_scalar_lowest() {
+        assert!(SimdLevel::Scalar < SimdLevel::Sse42);
+        assert!(SimdLevel::Sse42 < SimdLevel::Avx2);
+    }
+}

@@ -14,15 +14,22 @@
 //!   tests, examples, result inspection),
 //! * [`TupleRef`] / [`TupleMut`] — zero-copy views over one row,
 //! * [`RowBuffer`] — a growable, contiguous buffer of rows sharing a schema,
+//! * [`ColumnarBatch`] — dense per-attribute columns gathered from a row
+//!   range, the operand format of the vectorized operator kernels,
+//! * [`cpu_features`] — process-wide runtime SIMD capability detection
+//!   shared by every vectorized code path,
 //! * [`SaberError`] — the crate-wide error type.
 
 pub mod buffer;
+pub mod columnar;
+pub mod cpu_features;
 pub mod error;
 pub mod schema;
 pub mod tuple;
 pub mod value;
 
 pub use buffer::RowBuffer;
+pub use columnar::ColumnarBatch;
 pub use error::{Result, SaberError};
 pub use schema::{Attribute, DataType, Schema};
 pub use tuple::{TupleMut, TupleRef};
