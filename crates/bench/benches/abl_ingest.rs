@@ -60,6 +60,7 @@ fn engine_config(queries: usize, durable_dir: Option<&PathBuf>) -> EngineConfig 
             }
             config
         }),
+        sharing: true,
     }
 }
 

@@ -57,6 +57,7 @@ pub fn engine_config(mode: ExecutionMode, task_size: usize) -> EngineConfig {
         gpu_pipeline_depth: 4,
         throughput_smoothing: 0.25,
         durability: None,
+        sharing: true,
     }
 }
 

@@ -50,6 +50,14 @@ pub struct EngineConfig {
     /// over a directory with *existing* state must be built through
     /// [`Saber::recover`], not [`Saber::with_config`].
     pub durability: Option<DurabilityConfig>,
+    /// Physical plan sharing: queries whose canonical fingerprints match
+    /// (same sources, windows and operator tree modulo attribute renaming)
+    /// execute as one physical plan — one set of input rings, one task-queue
+    /// shard, one scheduler row — with results demultiplexed into every
+    /// subscriber's sink. On by default; the `SABER_NO_SHARING=1`
+    /// environment variable forces it off at engine construction (the
+    /// differential-testing escape hatch).
+    pub sharing: bool,
 }
 
 impl Default for EngineConfig {
@@ -69,6 +77,7 @@ impl Default for EngineConfig {
             gpu_pipeline_depth: 4,
             throughput_smoothing: 0.25,
             durability: None,
+            sharing: true,
         }
     }
 }
@@ -191,6 +200,13 @@ impl SaberBuilder {
     /// the directory already holds state from a previous run.
     pub fn durability(mut self, durability: DurabilityConfig) -> Self {
         self.config.durability = Some(durability);
+        self
+    }
+
+    /// Enables or disables physical plan sharing for fingerprint-identical
+    /// queries (on by default; `SABER_NO_SHARING=1` also forces it off).
+    pub fn sharing(mut self, enabled: bool) -> Self {
+        self.config.sharing = enabled;
         self
     }
 

@@ -26,6 +26,7 @@ use crate::queue::TaskQueue;
 use crate::registry::{QueryGate, QueryRegistry, QueryState};
 use crate::result::ResultStage;
 use crate::scheduler::Scheduler;
+use crate::sharing::{SharedMembership, SharedPlan, SharedWindowRegistry};
 use crate::sink::{QuerySink, WindowWait};
 use crate::task::QueryTask;
 use crate::throughput::ThroughputMatrix;
@@ -37,7 +38,7 @@ use saber_query::Query;
 use saber_sql::SharedCatalog;
 use saber_store::{has_existing_state, Store, WalRecord};
 use saber_types::{Result, RowBuffer, SaberError};
-use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -148,6 +149,8 @@ struct EngineCore {
     task_ids: Arc<AtomicU64>,
     flow: Arc<FlowControl>,
     registry: Arc<QueryRegistry>,
+    /// Fingerprint → shared physical plan (see [`crate::sharing`]).
+    sharing: SharedWindowRegistry,
     stats: EngineStats,
     device: Arc<GpuDevice>,
     lifecycle: Lifecycle,
@@ -215,10 +218,19 @@ impl Saber {
     /// (recovery builds the store first so it can read the snapshot before
     /// the engine exists).
     pub(crate) fn with_durability(
-        config: EngineConfig,
+        mut config: EngineConfig,
         durability: Option<Arc<Durability>>,
     ) -> Result<Self> {
         config.validate()?;
+        // The differential-testing escape hatch: `SABER_NO_SHARING=1` (any
+        // value but "0"/empty) forces every query onto a private physical
+        // plan, regardless of the configured default.
+        if std::env::var("SABER_NO_SHARING")
+            .map(|v| !v.is_empty() && v != "0")
+            .unwrap_or(false)
+        {
+            config.sharing = false;
+        }
         let matrix = Arc::new(ThroughputMatrix::new(
             config.throughput_smoothing,
             config.effective_cpu_workers(),
@@ -245,6 +257,7 @@ impl Saber {
                 task_ids: Arc::new(AtomicU64::new(0)),
                 flow: Arc::new(FlowControl::new(config.max_queued_tasks)),
                 registry: Arc::new(QueryRegistry::new()),
+                sharing: SharedWindowRegistry::new(),
                 stats: EngineStats::default(),
                 device,
                 lifecycle: Lifecycle::new(),
@@ -285,10 +298,16 @@ impl Saber {
 
     /// The current placement decision for one live query: preferred
     /// processor, observed rates, modeled speed-up, realized GPU share.
-    /// `None` for unknown or removed queries.
+    /// `None` for unknown or removed queries. A query attached to a shared
+    /// physical plan reports that plan's decision (placement is seeded and
+    /// adapted once per physical plan, under the anchor's id).
     pub fn placement(&self, query: QueryId) -> Option<PlacementDecision> {
-        let stats = self.core.stats.get(query.index());
-        self.core.placement.decision(query, stats.as_deref())
+        let state = self.core.registry.get(query.index())?;
+        let phys = state.phys_id();
+        let stats = self.core.stats.get(phys);
+        self.core
+            .placement
+            .decision(QueryId(phys), stats.as_deref())
     }
 
     /// Placement decisions for every live query, in registration order.
@@ -305,9 +324,44 @@ impl Saber {
         &self.core.stats
     }
 
-    /// Number of *live* queries (registered and not removed).
+    /// Number of *live* queries (registered and not removed). Counts
+    /// logical queries: every member of a shared physical plan counts.
     pub fn num_queries(&self) -> usize {
-        self.core.registry.num_active()
+        self.core
+            .registry
+            .active()
+            .iter()
+            .filter(|s| s.is_visible())
+            .count()
+    }
+
+    /// Number of live *physical* plan instances: a group of
+    /// fingerprint-identical queries sharing one plan counts once, every
+    /// private query counts once. With sharing enabled, registering the
+    /// same SQL shape N times yields N logical queries but one physical
+    /// plan (one set of input rings, one task-queue shard, one scheduler
+    /// row).
+    pub fn num_physical_plans(&self) -> usize {
+        self.core
+            .registry
+            .active()
+            .iter()
+            .filter(|s| !s.is_follower())
+            .count()
+    }
+
+    /// Sharing info for a live query: the id of the physical plan
+    /// executing it and the number of logical queries currently attached
+    /// to that plan. `None` for unknown/removed ids and for queries
+    /// running a private (unshared) plan.
+    pub fn sharing_info(&self, query: QueryId) -> Option<(QueryId, usize)> {
+        let state = self
+            .core
+            .registry
+            .get(query.index())
+            .filter(|s| s.is_visible())?;
+        let shared = state.shared.as_ref()?;
+        Some((QueryId(shared.plan.phys_id), shared.plan.num_members()))
     }
 
     /// Number of queries ever registered, including removed ones. Query ids
@@ -320,15 +374,20 @@ impl Saber {
     pub fn query_ids(&self) -> Vec<QueryId> {
         self.core
             .registry
-            .active_ids()
+            .active()
             .into_iter()
-            .map(QueryId)
+            .filter(|s| s.is_visible())
+            .map(|s| QueryId(s.id))
             .collect()
     }
 
     /// Re-acquires a handle to a live query (None if unknown or removed).
     pub fn query(&self, query: QueryId) -> Option<QueryHandle> {
-        let state = self.core.registry.get(query.index())?;
+        let state = self
+            .core
+            .registry
+            .get(query.index())
+            .filter(|s| s.is_visible())?;
         Some(QueryHandle {
             id: query,
             core: self.core.clone(),
@@ -343,9 +402,15 @@ impl Saber {
     }
 
     /// Number of tasks currently queued for one query (0 for unknown or
-    /// removed queries).
+    /// removed queries). A member of a shared plan reports the backlog of
+    /// its physical shard.
     pub fn queue_depth(&self, query: QueryId) -> usize {
-        self.core.queue.depth(query.index())
+        self.core
+            .registry
+            .get(query.index())
+            .filter(|s| s.is_visible())
+            .map(|s| self.core.queue.depth(s.phys_id()))
+            .unwrap_or(0)
     }
 
     /// Registers a query — on a *running* engine too — returning its handle.
@@ -382,6 +447,36 @@ impl Saber {
             ));
         }
         let core = &self.core;
+        // Plan sharing (when enabled): only fingerprintable queries — every
+        // input carries a resolved source name, which is how the SQL
+        // planner builds them — ever share; programmatic queries without
+        // sources always get a private physical plan.
+        let fingerprint = if core.config.sharing {
+            query.fingerprint()
+        } else {
+            None
+        };
+        // Fast path: a live plan with this fingerprint exists — attach to
+        // it without compiling anything (the O(1) marginal cost of a
+        // duplicate query). The map lock spans lookup + attach, so the plan
+        // cannot die under us: detach removes the map entry under the same
+        // lock *before* tearing a plan down.
+        if let Some(fp) = &fingerprint {
+            let map = core.sharing.lock();
+            if let Some(shared) = map.get(fp).cloned() {
+                let id = core.registry.reserve_id();
+                let logged = self.log_add_query(id, sql)?;
+                return match self.attach_follower(id, &shared, retain_output) {
+                    Ok(handle) => Ok(handle),
+                    Err(e) => {
+                        if logged {
+                            self.retract_add_query(id);
+                        }
+                        Err(e)
+                    }
+                };
+            }
+        }
         // The expensive steps — plan compilation and the input-ring
         // allocations inside the dispatcher — run before any shared lock is
         // taken, so registering a query on a loaded engine never stalls
@@ -396,28 +491,32 @@ impl Saber {
         // (which applies records in sequence order) would drop that
         // acknowledged batch. Metadata insert and WAL append happen under
         // one lock so a concurrent checkpoint sees either both or neither.
-        let logged = if let (Some(durability), Some(sql)) = (core.durability.as_ref(), sql) {
-            if durability.logging() {
-                let mut meta = durability.meta.lock();
-                let seq = durability.store.append(&WalRecord::AddQuery {
-                    id: id as u64,
-                    sql: sql.to_string(),
-                })?;
-                meta.insert(
-                    id,
-                    QueryMeta {
-                        sql: sql.to_string(),
-                        replay_from: seq,
-                    },
-                );
-                true
+        let logged = self.log_add_query(id, sql)?;
+        let result = if let Some(fp) = fingerprint {
+            let mut map = core.sharing.lock();
+            if let Some(shared) = map.get(&fp).cloned() {
+                // Lost a race with a concurrent registration of the same
+                // shape: attach to its plan, discarding ours.
+                self.attach_follower(id, &shared, retain_output)
             } else {
-                false
+                let shared = Arc::new(SharedPlan::new(fp.clone(), id));
+                let membership = SharedMembership {
+                    plan: shared.clone(),
+                    anchor: None,
+                    subscription: None,
+                };
+                match self.install_plan(id, plan, retain_output, Some(membership)) {
+                    Ok(handle) => {
+                        map.insert(fp, shared);
+                        Ok(handle)
+                    }
+                    Err(e) => Err(e),
+                }
             }
         } else {
-            false
+            self.install_plan(id, plan, retain_output, None)
         };
-        match self.install_plan(id, plan, retain_output) {
+        match result {
             Ok(handle) => Ok(handle),
             Err(e) => {
                 // Installation failed (e.g. it lost the race with stop):
@@ -425,26 +524,131 @@ impl Saber {
                 // resurrect a query the caller never received. The id stays
                 // burnt either way.
                 if logged {
-                    let durability = core.durability.as_ref().expect("logged implies durable");
-                    let mut meta = durability.meta.lock();
-                    if meta.remove(&id).is_some() {
-                        let _ = durability
-                            .store
-                            .append(&WalRecord::RemoveQuery { id: id as u64 });
-                    }
+                    self.retract_add_query(id);
                 }
                 Err(e)
             }
         }
     }
 
+    /// Appends the `AddQuery` record and inserts the durability metadata of
+    /// a registration (see [`Saber::add_query_inner`] for the ordering
+    /// rationale). Returns whether a record was written — and must be
+    /// retracted if installation subsequently fails.
+    fn log_add_query(&self, id: usize, sql: Option<&str>) -> Result<bool> {
+        let (Some(durability), Some(sql)) = (self.core.durability.as_ref(), sql) else {
+            return Ok(false);
+        };
+        if !durability.logging() {
+            return Ok(false);
+        }
+        let mut meta = durability.meta.lock();
+        let seq = durability.store.append(&WalRecord::AddQuery {
+            id: id as u64,
+            sql: sql.to_string(),
+        })?;
+        meta.insert(
+            id,
+            QueryMeta {
+                sql: sql.to_string(),
+                replay_from: seq,
+            },
+        );
+        Ok(true)
+    }
+
+    /// Retracts a logged registration whose installation failed, so recovery
+    /// does not resurrect a query the caller never received.
+    fn retract_add_query(&self, id: usize) {
+        let durability = self
+            .core
+            .durability
+            .as_ref()
+            .expect("logged implies durable");
+        let mut meta = durability.meta.lock();
+        if meta.remove(&id).is_some() {
+            let _ = durability
+                .store
+                .append(&WalRecord::RemoveQuery { id: id as u64 });
+        }
+    }
+
+    /// Attaches query `id` as a follower on an existing shared plan: no
+    /// compilation, no input rings, no queue shard, no scheduler row — just
+    /// a registry slot, a stats block and a demux subscription forwarding
+    /// every result batch from the anchor's sink into this query's own.
+    /// The forwarded stream is ordered (the result stage appends under its
+    /// reassembly lock) and complete from this moment on. Caller holds the
+    /// sharing-map lock, so the plan cannot be torn down concurrently.
+    fn attach_follower(
+        &self,
+        id: usize,
+        plan: &Arc<SharedPlan>,
+        retain_output: bool,
+    ) -> Result<QueryHandle> {
+        let core = &self.core;
+        let anchor = core.registry.get(plan.phys_id).ok_or_else(|| {
+            SaberError::State(format!(
+                "shared plan anchor {} is missing from the registry",
+                plan.phys_id
+            ))
+        })?;
+        let stats = core.stats.register_query_at(id);
+        let sink = QuerySink::new(anchor.sink.schema().clone(), retain_output);
+        let subscription = {
+            let sink = sink.clone();
+            let stats = stats.clone();
+            anchor.sink.subscribe(move |rows| {
+                stats
+                    .tuples_out
+                    .fetch_add(rows.len() as u64, Ordering::Relaxed);
+                sink.append(rows);
+            })
+        };
+        let state = Arc::new(QueryState {
+            id,
+            dispatcher: anchor.dispatcher.clone(),
+            runtime: anchor.runtime.clone(),
+            stats,
+            sink,
+            gate: QueryGate::new(),
+            shared: Some(SharedMembership {
+                plan: plan.clone(),
+                anchor: Some(anchor.clone()),
+                subscription: Some(subscription),
+            }),
+            visible: AtomicBool::new(true),
+        });
+        core.registry.insert(state.clone());
+        // Same stop-race discipline as install_plan: a stop that raced this
+        // attach has already closed the other sinks and will not see it.
+        if core.lifecycle.phase() == PHASE_STOPPED {
+            core.registry.clear(id);
+            anchor.sink.unsubscribe(subscription);
+            state.sink.close();
+            return Err(SaberError::State(
+                "cannot add queries to a stopped engine".into(),
+            ));
+        }
+        plan.members.lock().push(id);
+        Ok(QueryHandle {
+            id: QueryId(id),
+            core: self.core.clone(),
+            state,
+        })
+    }
+
     /// Installs a compiled plan under an already reserved `id` — the shared
     /// tail of normal registration and recovery's restore-at-fixed-id path.
+    /// `shared` is the anchor membership when this plan heads a shared
+    /// group (the caller inserts the fingerprint-map entry on success),
+    /// `None` for a private plan.
     fn install_plan(
         &self,
         id: usize,
         mut plan: CompiledPlan,
         retain_output: bool,
+        shared: Option<SharedMembership>,
     ) -> Result<QueryHandle> {
         let core = &self.core;
         plan.set_query_id(id);
@@ -468,6 +672,8 @@ impl Saber {
             stats,
             sink,
             gate: QueryGate::new(),
+            shared,
+            visible: AtomicBool::new(true),
         });
         core.registry.insert(state.clone());
         // A stop that raced this registration has already closed the other
@@ -520,9 +726,35 @@ impl Saber {
                 e.message()
             ))
         })?;
-        let plan = CompiledPlan::compile(&query)?;
         core.registry.reserve_through(id + 1);
-        self.install_plan(id, plan, true)?;
+        // Recovery routes through the same sharing decision as live
+        // registration, in WAL sequence order — so the restored engine
+        // reproduces the original anchor/follower topology (and therefore
+        // the same per-member result streams) under the original ids.
+        let fingerprint = if core.config.sharing {
+            query.fingerprint()
+        } else {
+            None
+        };
+        if let Some(fp) = fingerprint {
+            let mut map = core.sharing.lock();
+            if let Some(shared) = map.get(&fp).cloned() {
+                self.attach_follower(id, &shared, true)?;
+            } else {
+                let plan = CompiledPlan::compile(&query)?;
+                let shared = Arc::new(SharedPlan::new(fp.clone(), id));
+                let membership = SharedMembership {
+                    plan: shared.clone(),
+                    anchor: None,
+                    subscription: None,
+                };
+                self.install_plan(id, plan, true, Some(membership))?;
+                map.insert(fp, shared);
+            }
+        } else {
+            let plan = CompiledPlan::compile(&query)?;
+            self.install_plan(id, plan, true, None)?;
+        }
         durability.meta.lock().insert(
             id,
             QueryMeta {
@@ -756,10 +988,25 @@ impl Saber {
     /// final (undersized) tasks.
     pub fn flush(&self) -> Result<()> {
         for state in self.core.registry.active() {
-            // Queries mid-removal flush (and drain) themselves; skipping
-            // them here avoids racing the removal's shard retirement.
-            if !state.gate.is_accepting() {
+            // Followers share their anchor's dispatcher; the anchor slot
+            // (live until the plan's last detach) carries the flush.
+            if state.is_follower() {
                 continue;
+            }
+            if !state.gate.is_accepting() {
+                // Queries mid-removal flush (and drain) themselves;
+                // skipping them here avoids racing the removal's shard
+                // retirement. The exception is an *invisible* shared
+                // anchor: its removal is long done, its followers are the
+                // live consumers, and nobody else can cut its pending rows.
+                let anchored_plan_running = !state.is_visible()
+                    && state
+                        .shared
+                        .as_ref()
+                        .is_some_and(|m| m.plan.num_members() > 0);
+                if !anchored_plan_running {
+                    continue;
+                }
             }
             if let Some(task) = state.dispatcher.flush()? {
                 submit_task(&state.stats, &self.core.flow, &self.core.queue, task);
@@ -774,8 +1021,12 @@ impl Saber {
     /// concurrently, and a removal that observes the `Stopped` phase skips
     /// its own flush — if stop skipped them too, rows accepted just before
     /// the removal began would be stranded in the ring and silently lost.
+    /// (Followers are skipped: their anchor's slot owns the dispatcher.)
     fn flush_all(&self) -> Result<()> {
         for state in self.core.registry.active() {
+            if state.is_follower() {
+                continue;
+            }
             if let Some(task) = state.dispatcher.flush()? {
                 submit_task(&state.stats, &self.core.flow, &self.core.queue, task);
             }
@@ -896,6 +1147,7 @@ impl Saber {
         self.core
             .registry
             .get(query.index())
+            .filter(|s| s.is_visible())
             .map(|s| s.sink.clone())
     }
 
@@ -951,7 +1203,13 @@ impl Drop for Saber {
 /// Builds the "unknown query" error with the live ids listed, so a caller
 /// holding a stale id can see at a glance what is actually registered.
 fn unknown_query_error(core: &EngineCore, id: usize) -> SaberError {
-    let active = core.registry.active_ids();
+    let active: Vec<usize> = core
+        .registry
+        .active()
+        .iter()
+        .filter(|s| s.is_visible())
+        .map(|s| s.id)
+        .collect();
     if active.is_empty() {
         SaberError::Query(format!("unknown query {id} (no queries registered)"))
     } else {
@@ -967,10 +1225,18 @@ fn unknown_query_error(core: &EngineCore, id: usize) -> SaberError {
 /// ingests, flush its pending rows, drain its task backlog, then deregister
 /// it everywhere (queue shard, scheduler counters, throughput matrix row,
 /// registry slot) and close its sink.
+///
+/// For members of a shared physical plan the drain is the same — every row
+/// this query acknowledged reaches its sink before the sink closes — but
+/// deregistration is refcounted: only the **last** member's detach retires
+/// the physical machinery. A follower detach just unhooks its demux
+/// subscription; an anchor removed while followers remain turns logically
+/// invisible and keeps carrying the plan under its id.
 fn remove_query_inner(core: &Arc<EngineCore>, id: usize) -> Result<()> {
     let state = core
         .registry
         .get(id)
+        .filter(|s| s.is_visible())
         .ok_or_else(|| unknown_query_error(core, id))?;
     if !state.gate.begin_remove() {
         return Err(SaberError::State(format!(
@@ -998,10 +1264,15 @@ fn remove_query_inner(core: &Arc<EngineCore>, id: usize) -> Result<()> {
         // ever cut for this query has passed through the result stage.
         // `tasks_cut` is committed under the cutter lock, so our flush
         // observes every concurrent cut that could still submit a task.
+        // The target is snapshotted *after* the flush: on a shared plan,
+        // surviving members keep cutting tasks concurrently, so re-reading
+        // `tasks_cut` in the loop might never converge — and everything cut
+        // up to our flush is what this query's loss-freeness requires.
         if let Some(task) = state.dispatcher.flush()? {
             submit_task(&state.stats, &core.flow, &core.queue, task);
         }
-        while state.runtime.completed_tasks() < state.dispatcher.tasks_cut() {
+        let target = state.dispatcher.tasks_cut();
+        while state.runtime.completed_tasks() < target {
             if Instant::now() >= deadline {
                 clean = false;
                 break;
@@ -1012,14 +1283,76 @@ fn remove_query_inner(core: &Arc<EngineCore>, id: usize) -> Result<()> {
     // Phase 3: deregister. On the clean path the shard is empty; orphans
     // only exist after a timeout, and their flow credits must be returned so
     // admission control stays balanced.
-    let orphans = core.queue.retire_query(id);
-    for _ in &orphans {
-        core.flow.release();
+    let mut orphans = Vec::new();
+    match state.shared.as_ref() {
+        None => {
+            orphans = core.queue.retire_query(id);
+            for _ in &orphans {
+                core.flow.release();
+            }
+            core.scheduler.forget_query(id);
+            core.matrix.forget_query(id);
+            core.placement.forget(id);
+            core.registry.clear(id);
+        }
+        Some(membership) => {
+            let plan = &membership.plan;
+            // Atomically with the member list emptying, drop the
+            // fingerprint entry: a concurrent attach (which holds the same
+            // map lock) either joins a plan with live members or creates a
+            // fresh anchor — never a dying plan.
+            let last = {
+                let mut map = core.sharing.lock();
+                let mut members = plan.members.lock();
+                members.retain(|&m| m != id);
+                let last = members.is_empty();
+                if last {
+                    map.remove(&plan.fingerprint);
+                }
+                last
+            };
+            if last {
+                // The plan dies with its last member: retire the physical
+                // machinery under the anchor's id.
+                let phys = plan.phys_id;
+                orphans = core.queue.retire_query(phys);
+                for _ in &orphans {
+                    core.flow.release();
+                }
+                core.scheduler.forget_query(phys);
+                core.matrix.forget_query(phys);
+                core.placement.forget(phys);
+                if phys != id {
+                    // The anchor was removed earlier and kept invisible to
+                    // carry the plan; its slot goes with it.
+                    core.registry.clear(phys);
+                }
+                core.registry.clear(id);
+            } else if membership.is_anchor() {
+                // Followers remain: the physical machinery must keep
+                // running under this id. The query turns logically
+                // invisible — excluded from listings, ingest rejected (its
+                // gate is closed), its sink closed below — but the slot
+                // stays occupied so workers can resolve task completions
+                // and the followers' demux subscriptions keep streaming.
+                // Rows buffered before the removal stay drainable; future
+                // windows stop accumulating in a sink nobody will drain.
+                state.visible.store(false, Ordering::SeqCst);
+                state.sink.stop_retaining();
+            } else {
+                // A follower detaches cheaply: unhook its demux
+                // subscription (after the drain above, so every window its
+                // acknowledged rows produced has reached its sink) and
+                // clear its slot. The physical plan is untouched.
+                if let (Some(anchor), Some(subscription)) =
+                    (membership.anchor.as_ref(), membership.subscription)
+                {
+                    anchor.sink.unsubscribe(subscription);
+                }
+                core.registry.clear(id);
+            }
+        }
     }
-    core.scheduler.forget_query(id);
-    core.matrix.forget_query(id);
-    core.placement.forget(id);
-    core.registry.clear(id);
     drop(wind_down);
     state.sink.close();
     // Drop the durability metadata — unconditionally, so a removal applied
@@ -1186,9 +1519,10 @@ impl QueryHandle {
         Ok(())
     }
 
-    /// Number of tasks currently queued for this query.
+    /// Number of tasks currently queued for this query (the backlog of its
+    /// physical shard, for members of a shared plan).
     pub fn queued_tasks(&self) -> usize {
-        self.core.queue.depth(self.state.id)
+        self.core.queue.depth(self.state.phys_id())
     }
 
     /// True once the query has been removed (or removal has begun): further
@@ -1415,6 +1749,7 @@ mod tests {
             gpu_pipeline_depth: 2,
             throughput_smoothing: 0.25,
             durability: None,
+            sharing: true,
         };
         Saber::with_config(config).unwrap()
     }
@@ -1772,6 +2107,139 @@ mod tests {
         assert!(handle.flush().is_err());
     }
 
+    fn sql_catalog() -> saber_sql::Catalog {
+        saber_sql::Catalog::new().with_stream("S", schema())
+    }
+
+    #[test]
+    fn fingerprint_identical_sql_queries_share_one_physical_plan() {
+        let mut engine = small_engine(ExecutionMode::CpuOnly);
+        engine.start().unwrap();
+        let catalog = sql_catalog();
+        let sql = "SELECT timestamp, key FROM S [ROWS 256]";
+        let a = engine.add_query_sql(sql, &catalog).unwrap();
+        // Attribute renaming and whitespace do not defeat sharing; the
+        // fingerprint is canonical.
+        let b = engine
+            .add_query_sql(
+                "SELECT  timestamp AS t, key AS k FROM S [ROWS 256]",
+                &catalog,
+            )
+            .unwrap();
+        // A different window shape is a different physical plan.
+        let c = engine
+            .add_query_sql("SELECT timestamp, key FROM S [ROWS 128]", &catalog)
+            .unwrap();
+        assert_eq!(engine.num_queries(), 3);
+        assert_eq!(engine.num_physical_plans(), 2);
+        assert_eq!(engine.sharing_info(a.id()), Some((a.id(), 2)));
+        assert_eq!(engine.sharing_info(b.id()), Some((a.id(), 2)));
+        assert_eq!(engine.sharing_info(c.id()), Some((c.id(), 1)));
+        // Ingest through ONE member: every member sees the full stream.
+        a.ingest(StreamId(0), &data(4096, 0)).unwrap();
+        engine.stop().unwrap();
+        assert_eq!(a.tuples_emitted(), 4096);
+        assert_eq!(b.tuples_emitted(), 4096);
+        assert_eq!(c.tuples_emitted(), 0);
+        assert_eq!(a.take_rows().into_bytes(), b.take_rows().into_bytes());
+    }
+
+    #[test]
+    fn programmatic_queries_without_sources_never_share() {
+        let mut engine = small_engine(ExecutionMode::CpuOnly);
+        engine.start().unwrap();
+        let a = engine.add_query(projection()).unwrap();
+        let b = engine.add_query(projection()).unwrap();
+        assert_eq!(engine.num_physical_plans(), 2);
+        assert!(engine.sharing_info(a.id()).is_none());
+        assert!(engine.sharing_info(b.id()).is_none());
+        // Mirrored ingest stays per-query.
+        a.ingest(StreamId(0), &data(512, 0)).unwrap();
+        engine.stop().unwrap();
+        assert_eq!(a.tuples_emitted(), 512);
+        assert_eq!(b.tuples_emitted(), 0);
+    }
+
+    #[test]
+    fn follower_detach_keeps_the_anchor_streaming() {
+        let mut engine = small_engine(ExecutionMode::CpuOnly);
+        engine.start().unwrap();
+        let catalog = sql_catalog();
+        let sql = "SELECT timestamp FROM S [ROWS 64]";
+        let anchor = engine.add_query_sql(sql, &catalog).unwrap();
+        let follower = engine.add_query_sql(sql, &catalog).unwrap();
+        anchor.ingest(StreamId(0), &data(256, 0)).unwrap();
+        follower.remove().unwrap();
+        // Loss-freeness: everything acknowledged before the detach reached
+        // the follower's sink too.
+        assert_eq!(follower.tuples_emitted(), 256);
+        assert!(follower.sink().is_closed());
+        assert_eq!(engine.num_physical_plans(), 1);
+        assert_eq!(engine.sharing_info(anchor.id()), Some((anchor.id(), 1)));
+        // The anchor keeps running after the follower is gone.
+        anchor.ingest(StreamId(0), &data(256, 256)).unwrap();
+        engine.stop().unwrap();
+        assert_eq!(anchor.tuples_emitted(), 512);
+        assert_eq!(follower.tuples_emitted(), 256);
+    }
+
+    #[test]
+    fn anchor_removal_with_live_followers_keeps_the_plan_running() {
+        let mut engine = small_engine(ExecutionMode::CpuOnly);
+        engine.start().unwrap();
+        let catalog = sql_catalog();
+        let sql = "SELECT timestamp FROM S [ROWS 64]";
+        let anchor = engine.add_query_sql(sql, &catalog).unwrap();
+        let follower = engine.add_query_sql(sql, &catalog).unwrap();
+        anchor.ingest(StreamId(0), &data(128, 0)).unwrap();
+        anchor.remove().unwrap();
+        // The anchor is logically gone...
+        assert!(anchor.sink().is_closed());
+        assert!(anchor.is_removed());
+        assert!(engine.query(anchor.id()).is_none());
+        assert_eq!(engine.query_ids(), vec![follower.id()]);
+        assert_eq!(engine.num_queries(), 1);
+        // ...but the physical plan lives on, and the follower still streams.
+        assert_eq!(engine.num_physical_plans(), 1);
+        follower.ingest(StreamId(0), &data(128, 128)).unwrap();
+        // The last detach retires the physical shard for good.
+        follower.remove().unwrap();
+        assert_eq!(follower.tuples_emitted(), 256);
+        assert_eq!(engine.num_queries(), 0);
+        assert_eq!(engine.num_physical_plans(), 0);
+        // The anchor's pre-removal windows stayed drainable.
+        assert_eq!(anchor.take_rows().len(), 128);
+        // A fresh registration of the same shape starts a new plan.
+        let fresh = engine.add_query_sql(sql, &catalog).unwrap();
+        assert_eq!(engine.sharing_info(fresh.id()), Some((fresh.id(), 1)));
+        assert_eq!(engine.num_physical_plans(), 1);
+        engine.stop().unwrap();
+    }
+
+    #[test]
+    fn sharing_disabled_by_config_gives_private_plans() {
+        let mut config = EngineConfig {
+            worker_threads: 2,
+            query_task_size: 16 * 1024,
+            execution_mode: ExecutionMode::CpuOnly,
+            ..EngineConfig::default()
+        };
+        config.sharing = false;
+        let mut engine = Saber::with_config(config).unwrap();
+        engine.start().unwrap();
+        let catalog = sql_catalog();
+        let sql = "SELECT timestamp FROM S [ROWS 64]";
+        let a = engine.add_query_sql(sql, &catalog).unwrap();
+        let b = engine.add_query_sql(sql, &catalog).unwrap();
+        assert_eq!(engine.num_physical_plans(), 2);
+        assert!(engine.sharing_info(a.id()).is_none());
+        // Each query only sees what it was fed.
+        a.ingest(StreamId(0), &data(128, 0)).unwrap();
+        engine.stop().unwrap();
+        assert_eq!(a.tuples_emitted(), 128);
+        assert_eq!(b.tuples_emitted(), 0);
+    }
+
     #[test]
     fn backpressure_blocks_instead_of_polling_and_is_observable() {
         // One slow worker and a tiny credit gate: producers must block.
@@ -1786,6 +2254,7 @@ mod tests {
             gpu_pipeline_depth: 1,
             throughput_smoothing: 0.25,
             durability: None,
+            sharing: true,
         };
         let mut engine = Saber::with_config(config).unwrap();
         let q = QueryBuilder::new("agg", schema())

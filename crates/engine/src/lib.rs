@@ -61,6 +61,7 @@ pub mod queue;
 pub mod registry;
 pub mod result;
 pub mod scheduler;
+mod sharing;
 pub mod sink;
 pub mod task;
 pub mod throughput;

@@ -20,6 +20,7 @@
 use crate::dispatcher::Dispatcher;
 use crate::metrics::QueryStats;
 use crate::result::ResultStage;
+use crate::sharing::SharedMembership;
 use crate::sink::QuerySink;
 use parking_lot::RwLock;
 use saber_types::{Result, SaberError};
@@ -41,6 +42,35 @@ pub(crate) struct QueryState {
     pub(crate) sink: QuerySink,
     /// Ingest admission gate (closed when removal begins).
     pub(crate) gate: QueryGate,
+    /// Membership in a shared physical plan (`None`: this query runs its
+    /// own private plan). See [`crate::sharing`].
+    pub(crate) shared: Option<SharedMembership>,
+    /// False once the query has been logically removed but its slot must
+    /// stay occupied because it anchors a shared physical plan with live
+    /// followers. Invisible queries are excluded from the public query
+    /// listing and accept no ingest.
+    pub(crate) visible: AtomicBool,
+}
+
+impl QueryState {
+    /// True when this query is a follower on a shared plan (its physical
+    /// machinery — dispatcher, rings, queue shard, scheduler row — belongs
+    /// to the anchor).
+    pub(crate) fn is_follower(&self) -> bool {
+        self.shared.as_ref().is_some_and(|s| !s.is_anchor())
+    }
+
+    /// The id the physical plan runs under: the anchor's id for shared
+    /// queries, the query's own id otherwise.
+    pub(crate) fn phys_id(&self) -> usize {
+        self.shared.as_ref().map_or(self.id, |s| s.plan.phys_id)
+    }
+
+    /// True while the query is publicly listed (not an invisible anchor
+    /// kept alive only to carry its shared plan).
+    pub(crate) fn is_visible(&self) -> bool {
+        self.visible.load(Ordering::SeqCst)
+    }
 }
 
 /// Per-query ingest gate: the same inc-then-check permit counter that makes
@@ -193,21 +223,6 @@ impl QueryRegistry {
     /// All live query states, in id order.
     pub(crate) fn active(&self) -> Vec<Arc<QueryState>> {
         self.slots.read().iter().flatten().cloned().collect()
-    }
-
-    /// Ids of all live queries, in order.
-    pub(crate) fn active_ids(&self) -> Vec<usize> {
-        self.slots
-            .read()
-            .iter()
-            .enumerate()
-            .filter_map(|(id, s)| s.as_ref().map(|_| id))
-            .collect()
-    }
-
-    /// Number of live queries.
-    pub(crate) fn num_active(&self) -> usize {
-        self.slots.read().iter().filter(|s| s.is_some()).count()
     }
 
     /// Total ids ever reserved (live + removed + abandoned registrations).

@@ -1,0 +1,403 @@
+//! Canonical plan fingerprints for multi-query sharing.
+//!
+//! A [`PlanFingerprint`] identifies the *physical* work a query needs: its
+//! source streams, per-input window functions, operator pipeline and stream
+//! function — everything that determines which tasks get cut and what bytes
+//! they produce, and nothing that doesn't. Two queries with equal
+//! fingerprints can share one set of input rings, one task-queue shard and
+//! one scheduler row; the engine demultiplexes results into each logical
+//! query's sink.
+//!
+//! The fingerprint is computed *modulo attribute renaming*: output names
+//! chosen in `SELECT x AS y` (projection names, aggregate output names) and
+//! the query's own name are excluded, because they change only how result
+//! attributes are labelled, never which bytes a window produces. Column
+//! references are positional throughout the IR, so input-attribute names are
+//! irrelevant too — only the attribute *types* (which fix the row layout)
+//! participate.
+//!
+//! Fingerprints exist only for queries whose inputs all name their source
+//! stream ([`StreamInput::source`](crate::query::StreamInput::source)):
+//! sharing merges the inputs of all member
+//! queries, which is only meaningful when the inputs have a shared identity
+//! (the catalog stream the SQL planner resolved). IR-built queries without
+//! sources get `None` and always run on a private physical plan.
+
+use crate::aggregate::AggregateSpec;
+use crate::expr::Expr;
+use crate::operator::{OperatorDef, ProjectionSpec};
+use crate::query::{Query, StreamFunction};
+use crate::window::WindowSpec;
+use std::fmt;
+
+/// A canonical fingerprint of a query's physical plan.
+///
+/// Equal fingerprints mean byte-identical window results given the same
+/// input, which is what makes them safe keys for physical plan sharing.
+/// Internally this is a canonical string serialization — the query IR holds
+/// `f64` literals, which rule out derived `Hash`/`Eq` on the IR itself, so
+/// literals are serialized through their bit patterns instead.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct PlanFingerprint(String);
+
+impl PlanFingerprint {
+    /// Computes the fingerprint of `query`, or `None` if any input lacks a
+    /// source stream name (such queries never share).
+    pub fn of(query: &Query) -> Option<PlanFingerprint> {
+        let mut s = String::with_capacity(128);
+        for input in &query.inputs {
+            let source = input.source.as_deref()?;
+            s.push_str("in{src=");
+            s.push_str(source);
+            s.push_str(";types=");
+            for i in 0..input.schema.len() {
+                fmt_push(&mut s, format_args!("{:?},", input.schema.data_type(i)));
+            }
+            s.push_str(";win=");
+            write_window(&mut s, &input.window);
+            s.push('}');
+        }
+        s.push_str("ops[");
+        for op in &query.operators {
+            write_operator(&mut s, op);
+        }
+        s.push(']');
+        s.push_str(match query.stream_function {
+            StreamFunction::RStream => "rstream",
+            StreamFunction::IStream => "istream",
+        });
+        Some(PlanFingerprint(s))
+    }
+
+    /// The canonical string form (stable across processes; used by tests,
+    /// logging and the server's `STATS` output).
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+}
+
+impl fmt::Display for PlanFingerprint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl Query {
+    /// The query's [`PlanFingerprint`], or `None` if it is not eligible for
+    /// sharing (an input lacks a source stream name).
+    pub fn fingerprint(&self) -> Option<PlanFingerprint> {
+        PlanFingerprint::of(self)
+    }
+}
+
+fn fmt_push(s: &mut String, args: fmt::Arguments<'_>) {
+    use fmt::Write;
+    // Writing into a String cannot fail.
+    let _ = s.write_fmt(args);
+}
+
+fn write_window(s: &mut String, w: &WindowSpec) {
+    match w {
+        WindowSpec::CountBased { size, slide } => fmt_push(s, format_args!("rows({size},{slide})")),
+        WindowSpec::TimeBased { size, slide } => fmt_push(s, format_args!("time({size},{slide})")),
+    }
+}
+
+fn write_operator(s: &mut String, op: &OperatorDef) {
+    match op {
+        OperatorDef::Projection(p) => write_projection(s, p),
+        OperatorDef::Selection(sel) => {
+            s.push_str("sel(");
+            write_expr(s, &sel.predicate);
+            s.push(')');
+        }
+        OperatorDef::Aggregation(a) => {
+            s.push_str("agg(");
+            for spec in &a.aggregates {
+                write_aggregate(s, spec);
+            }
+            s.push_str("by=");
+            for g in &a.group_by {
+                fmt_push(s, format_args!("{g},"));
+            }
+            if let Some(h) = &a.having {
+                s.push_str(";having=");
+                write_expr(s, h);
+            }
+            s.push(')');
+        }
+        OperatorDef::ThetaJoin(j) => {
+            s.push_str("tjoin(");
+            write_expr(s, &j.predicate);
+            s.push(')');
+        }
+        OperatorDef::PartitionJoin(pj) => {
+            fmt_push(
+                s,
+                format_args!("pjoin(l={},r={}", pj.left_key, pj.right_key),
+            );
+            if let Some(p) = &pj.predicate {
+                s.push_str(";pred=");
+                write_expr(s, p);
+            }
+            if pj.distinct {
+                s.push_str(";distinct");
+            }
+            s.push(')');
+        }
+    }
+}
+
+fn write_projection(s: &mut String, p: &ProjectionSpec) {
+    // `ProjectedExpr::name` is deliberately excluded (renaming-invariant);
+    // the data type is kept because it fixes the output row layout.
+    s.push_str("proj(");
+    for e in &p.exprs {
+        write_expr(s, &e.expr);
+        fmt_push(s, format_args!(":{:?},", e.data_type));
+    }
+    s.push(')');
+}
+
+fn write_aggregate(s: &mut String, spec: &AggregateSpec) {
+    // `output_name` excluded for the same reason as projection names.
+    s.push_str(spec.function.name());
+    match spec.column {
+        Some(c) => fmt_push(s, format_args!("({c});")),
+        None => s.push_str("(*);"),
+    }
+}
+
+fn write_expr(s: &mut String, e: &Expr) {
+    match e {
+        Expr::Column(i) => fmt_push(s, format_args!("c{i}")),
+        // Bit pattern, not decimal text: distinguishes -0.0 from 0.0 and
+        // never loses precision, so fingerprint equality implies the
+        // predicates evaluate identically.
+        Expr::Literal(v) => fmt_push(s, format_args!("l{:016x}", v.to_bits())),
+        Expr::Arith(op, l, r) => {
+            fmt_push(s, format_args!("({op:?} "));
+            write_expr(s, l);
+            s.push(' ');
+            write_expr(s, r);
+            s.push(')');
+        }
+        Expr::Compare(op, l, r) => {
+            fmt_push(s, format_args!("({op:?} "));
+            write_expr(s, l);
+            s.push(' ');
+            write_expr(s, r);
+            s.push(')');
+        }
+        Expr::And(l, r) => {
+            s.push_str("(and ");
+            write_expr(s, l);
+            s.push(' ');
+            write_expr(s, r);
+            s.push(')');
+        }
+        Expr::Or(l, r) => {
+            s.push_str("(or ");
+            write_expr(s, l);
+            s.push(' ');
+            write_expr(s, r);
+            s.push(')');
+        }
+        Expr::Not(inner) => {
+            s.push_str("(not ");
+            write_expr(s, inner);
+            s.push(')');
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::aggregate::AggregateFunction;
+    use crate::query::QueryBuilder;
+    use saber_types::schema::SchemaRef;
+    use saber_types::{DataType, Schema};
+
+    fn schema() -> SchemaRef {
+        Schema::from_pairs(&[
+            ("timestamp", DataType::Timestamp),
+            ("value", DataType::Float),
+            ("key", DataType::Int),
+        ])
+        .unwrap()
+        .into_ref()
+    }
+
+    fn renamed_schema() -> SchemaRef {
+        Schema::from_pairs(&[
+            ("ts", DataType::Timestamp),
+            ("v", DataType::Float),
+            ("k", DataType::Int),
+        ])
+        .unwrap()
+        .into_ref()
+    }
+
+    #[test]
+    fn unsourced_query_has_no_fingerprint() {
+        let q = QueryBuilder::new("q", schema())
+            .count_window(4, 4)
+            .select(Expr::literal(1.0))
+            .build()
+            .unwrap();
+        assert!(q.fingerprint().is_none());
+    }
+
+    #[test]
+    fn identical_queries_share_a_fingerprint() {
+        let build = |name: &str| {
+            QueryBuilder::new(name, schema())
+                .source("S")
+                .count_window(1024, 1024)
+                .aggregate(AggregateFunction::Sum, 1)
+                .group_by(vec![2])
+                .build()
+                .unwrap()
+        };
+        let a = build("alpha").fingerprint().unwrap();
+        let b = build("beta").fingerprint().unwrap();
+        assert_eq!(a, b, "query names must not affect the fingerprint");
+    }
+
+    #[test]
+    fn output_renaming_is_fingerprint_invariant() {
+        let with_names = |proj: &str, agg: &str| {
+            QueryBuilder::new("q", schema())
+                .source("S")
+                .count_window(64, 64)
+                .project(vec![
+                    (Expr::column(0), "timestamp"),
+                    (Expr::column(1), proj),
+                ])
+                .aggregate_spec(AggregateSpec::new(AggregateFunction::Avg, 1).named(agg))
+                .build()
+                .unwrap()
+        };
+        let a = with_names("v", "mean").fingerprint().unwrap();
+        let b = with_names("reading", "avgValue").fingerprint().unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn input_attribute_names_are_fingerprint_invariant() {
+        let build = |s: SchemaRef| {
+            QueryBuilder::new("q", s)
+                .source("S")
+                .count_window(16, 16)
+                .select(Expr::column(1).gt(Expr::literal(0.5)))
+                .build()
+                .unwrap()
+        };
+        assert_eq!(
+            build(schema()).fingerprint().unwrap(),
+            build(renamed_schema()).fingerprint().unwrap()
+        );
+    }
+
+    #[test]
+    fn semantic_differences_change_the_fingerprint() {
+        let base = |f: fn(QueryBuilder) -> QueryBuilder| {
+            f(QueryBuilder::new("q", schema()).source("S"))
+                .build()
+                .unwrap()
+                .fingerprint()
+                .unwrap()
+        };
+        let reference = base(|b| b.count_window(64, 64).aggregate(AggregateFunction::Sum, 1));
+        // Different window size.
+        assert_ne!(
+            reference,
+            base(|b| b
+                .count_window(128, 128)
+                .aggregate(AggregateFunction::Sum, 1))
+        );
+        // Window kind: time vs count.
+        assert_ne!(
+            reference,
+            base(|b| b.time_window(64, 64).aggregate(AggregateFunction::Sum, 1))
+        );
+        // Different aggregate function.
+        assert_ne!(
+            reference,
+            base(|b| b.count_window(64, 64).aggregate(AggregateFunction::Avg, 1))
+        );
+        // Different aggregated column.
+        assert_ne!(
+            reference,
+            base(|b| b.count_window(64, 64).aggregate(AggregateFunction::Sum, 2))
+        );
+        // Different source stream.
+        let other_source = QueryBuilder::new("q", schema())
+            .source("T")
+            .count_window(64, 64)
+            .aggregate(AggregateFunction::Sum, 1)
+            .build()
+            .unwrap()
+            .fingerprint()
+            .unwrap();
+        assert_ne!(reference, other_source);
+    }
+
+    #[test]
+    fn literal_bits_distinguish_close_values() {
+        let with_literal = |v: f64| {
+            QueryBuilder::new("q", schema())
+                .source("S")
+                .count_window(8, 8)
+                .select(Expr::column(1).gt(Expr::literal(v)))
+                .build()
+                .unwrap()
+                .fingerprint()
+                .unwrap()
+        };
+        assert_eq!(with_literal(0.5), with_literal(0.5));
+        assert_ne!(with_literal(0.5), with_literal(0.5 + f64::EPSILON));
+        assert_ne!(with_literal(0.0), with_literal(-0.0));
+    }
+
+    #[test]
+    fn join_sides_participate() {
+        let join = |left: &str, right: &str| {
+            QueryBuilder::new("j", schema())
+                .source(left)
+                .count_window(128, 128)
+                .theta_join(
+                    schema(),
+                    WindowSpec::count(128, 128),
+                    Expr::column(2).eq(Expr::column(3 + 2)),
+                )
+                .source(right)
+                .build()
+                .unwrap()
+                .fingerprint()
+                .unwrap()
+        };
+        assert_eq!(join("A", "B"), join("A", "B"));
+        assert_ne!(join("A", "B"), join("B", "A"));
+    }
+
+    #[test]
+    fn stream_function_participates() {
+        let with_sf = |f: StreamFunction| {
+            QueryBuilder::new("q", schema())
+                .source("S")
+                .count_window(8, 8)
+                .select(Expr::literal(1.0))
+                .stream_function(f)
+                .build()
+                .unwrap()
+                .fingerprint()
+                .unwrap()
+        };
+        assert_ne!(
+            with_sf(StreamFunction::IStream),
+            with_sf(StreamFunction::RStream)
+        );
+    }
+}

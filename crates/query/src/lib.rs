@@ -21,12 +21,14 @@
 
 pub mod aggregate;
 pub mod expr;
+pub mod fingerprint;
 pub mod operator;
 pub mod query;
 pub mod window;
 
 pub use aggregate::{AggregateFunction, AggregateSpec};
 pub use expr::{BinaryOp, CompareOp, Expr};
+pub use fingerprint::PlanFingerprint;
 pub use operator::{
     AggregationSpec, JoinSpec, OperatorDef, PartitionJoinSpec, ProjectionSpec, SelectionSpec,
 };

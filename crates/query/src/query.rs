@@ -39,6 +39,12 @@ pub struct StreamInput {
     pub schema: SchemaRef,
     /// Window function applied to the input stream.
     pub window: WindowSpec,
+    /// Name of the source stream this input reads from, when the query was
+    /// compiled against a catalog (the SQL planner records the resolved
+    /// `FROM`/`JOIN` stream name here, *not* the alias). Two queries can only
+    /// share a physical plan when their inputs name the same sources; inputs
+    /// without a source (`None`, the IR-builder default) never share.
+    pub source: Option<String>,
 }
 
 /// A window-based streaming query.
@@ -150,6 +156,7 @@ impl QueryBuilder {
             inputs: vec![StreamInput {
                 schema,
                 window: WindowSpec::unbounded(),
+                source: None,
             }],
             operators: Vec::new(),
             aggregates: Vec::new(),
@@ -179,6 +186,16 @@ impl QueryBuilder {
     pub fn window(mut self, spec: WindowSpec) -> Self {
         if let Some(last) = self.inputs.last_mut() {
             last.window = spec;
+        }
+        self
+    }
+
+    /// Records the source stream name of the most recently added input (see
+    /// [`StreamInput::source`]). Queries whose inputs all name their sources
+    /// are eligible for physical plan sharing in the engine.
+    pub fn source(mut self, name: impl Into<String>) -> Self {
+        if let Some(last) = self.inputs.last_mut() {
+            last.source = Some(name.into());
         }
         self
     }
@@ -263,6 +280,7 @@ impl QueryBuilder {
         self.inputs.push(StreamInput {
             schema: right_schema,
             window: right_window,
+            source: None,
         });
         self.operators
             .push(OperatorDef::ThetaJoin(JoinSpec::new(predicate)));
@@ -280,6 +298,7 @@ impl QueryBuilder {
         self.inputs.push(StreamInput {
             schema: right_schema,
             window: right_window,
+            source: None,
         });
         self.operators.push(OperatorDef::PartitionJoin(spec));
         self

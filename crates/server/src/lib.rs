@@ -883,6 +883,17 @@ fn execute(shared: &Arc<Shared>, command: Command) -> String {
                 stats.tasks_created.load(Ordering::Relaxed),
                 st.engine.queue_depth(QueryId(query)),
             );
+            // Plan-sharing section: which physical plan instance this query
+            // executes on and how many logical queries share it, plus the
+            // engine-wide physical plan count (so clients can observe that N
+            // identical QUERYs cost one plan, not N).
+            if let Some((phys, members)) = st.engine.sharing_info(QueryId(query)) {
+                line.push_str(&format!(" physical={} members={members}", phys.0));
+            }
+            line.push_str(&format!(
+                " physical_queries={}",
+                st.engine.num_physical_plans()
+            ));
             // Durability section (engine-wide, appended on durable servers
             // only): WAL volume, checkpoint position, recovery replay count.
             if let Some(durability) = st.engine.durability_stats() {

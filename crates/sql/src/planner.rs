@@ -183,7 +183,12 @@ impl<'a> Planner<'a> {
         let left_schema = self.stream_schema(&stmt.from)?;
         let left_window = self.window_spec(&stmt.from)?;
 
-        let mut builder = QueryBuilder::new(self.name, left_schema.clone()).window(left_window);
+        // The *resolved* stream name (not the alias) becomes the input's
+        // source, so `FROM S AS a` and `FROM S AS b` fingerprint identically
+        // and can share one physical plan.
+        let mut builder = QueryBuilder::new(self.name, left_schema.clone())
+            .window(left_window)
+            .source(&stmt.from.name);
 
         // The schema flowing through the pipeline, for HAVING resolution.
         let mut current: Schema = (*left_schema).clone();
@@ -216,7 +221,9 @@ impl<'a> Planner<'a> {
             let on = self.to_expr(&join.on, &scope)?;
             current = saber_query::JoinSpec::output_schema(&current, &right_schema)
                 .map_err(|e| self.err(e.message().to_string(), join.span))?;
-            builder = builder.theta_join(right_schema, right_window, on);
+            builder = builder
+                .theta_join(right_schema, right_window, on)
+                .source(&join.stream.name);
         } else {
             scope = Scope::single(stmt.from.scope_name(), &left_schema);
         }

@@ -22,6 +22,7 @@ fn config(mode: ExecutionMode, max_queued: usize) -> EngineConfig {
         gpu_pipeline_depth: 2,
         throughput_smoothing: 0.25,
         durability: None,
+        sharing: true,
     }
 }
 

@@ -24,6 +24,7 @@ fn config() -> EngineConfig {
         gpu_pipeline_depth: 2,
         throughput_smoothing: 0.25,
         durability: None,
+        sharing: true,
     }
 }
 
@@ -155,6 +156,88 @@ fn remove_under_looping_producers_is_loss_free() {
         .unwrap();
     engine.stop().unwrap();
     assert_eq!(survivor.tuples_emitted(), 4096);
+}
+
+/// Sharing lifecycle stress: fingerprint-identical SQL queries churn
+/// through attach/detach while producers keep the shared plan's stream
+/// flowing, and the *last* detach retires the physical shard. Every
+/// attached query detaches loss-free (emitted == whatever it observed
+/// before its own removal), the engine ends with zero physical plans for
+/// the shape, and a fresh registration afterwards starts a new anchor.
+#[test]
+fn shared_plan_attach_detach_churn_under_producers() {
+    const CHURN_ROUNDS: usize = 40;
+    let catalog = saber::sql::Catalog::new().with_stream("S", synthetic::schema());
+    let sql = "SELECT timestamp, a1 FROM S [ROWS 512]";
+    let mut engine = Saber::with_config(config()).unwrap();
+    engine.start().unwrap();
+
+    // The long-lived member producers keep feeding. It is the anchor, so
+    // churned members below attach to (and detach from) its physical plan
+    // whenever sharing is enabled.
+    let base = engine.add_query_sql(sql, &catalog).unwrap();
+    let stop = Arc::new(AtomicBool::new(false));
+    let handle = engine.ingest_handle(base.id(), StreamId(0)).unwrap();
+    let producers: Vec<_> = (0..2)
+        .map(|p| {
+            let handle = handle.clone();
+            let schema = synthetic::schema();
+            let stop = stop.clone();
+            std::thread::spawn(move || {
+                let chunk = synthetic::generate(&schema, 1024, 900 + p as u64);
+                while !stop.load(Ordering::Relaxed) {
+                    handle.ingest(chunk.bytes()).unwrap();
+                }
+            })
+        })
+        .collect();
+
+    let sharing = engine.sharing_info(base.id()).is_some();
+    for round in 0..CHURN_ROUNDS {
+        // Attach one or two fingerprint-identical members mid-traffic...
+        let members: Vec<_> = (0..1 + round % 2)
+            .map(|_| engine.add_query_sql(sql, &catalog).unwrap())
+            .collect();
+        if sharing {
+            let (phys, n) = engine.sharing_info(members[0].id()).unwrap();
+            assert_eq!(phys, base.id(), "round {round}: wrong physical plan");
+            assert_eq!(n, 1 + members.len(), "round {round}: wrong member count");
+            assert_eq!(engine.num_physical_plans(), 1);
+        }
+        // ...and detach them again while the producers never pause.
+        for m in members {
+            let seen = m.tuples_emitted();
+            m.remove().unwrap();
+            assert!(m.sink().is_closed());
+            assert!(
+                m.tuples_emitted() >= seen,
+                "round {round}: sink went backwards"
+            );
+        }
+        assert_eq!(engine.num_queries(), 1);
+    }
+
+    // The last detach retires the physical shard: remove the anchor too.
+    stop.store(true, Ordering::Relaxed);
+    for t in producers {
+        t.join().unwrap();
+    }
+    base.remove().unwrap();
+    assert_eq!(engine.num_queries(), 0);
+    assert_eq!(engine.num_physical_plans(), 0);
+    assert_eq!(engine.in_flight_tasks(), 0);
+
+    // A fresh registration of the same shape starts a brand-new plan (new
+    // anchor id, fresh rings) and still flows.
+    let fresh = engine.add_query_sql(sql, &catalog).unwrap();
+    assert_ne!(fresh.id(), base.id());
+    if sharing {
+        assert_eq!(engine.sharing_info(fresh.id()), Some((fresh.id(), 1)));
+    }
+    let data = synthetic::generate(&synthetic::schema(), 4096, 1);
+    fresh.ingest(StreamId(0), data.bytes()).unwrap();
+    engine.stop().unwrap();
+    assert_eq!(fresh.tuples_emitted(), 4096);
 }
 
 /// Push-based consumption: a consumer thread blocks on `wait_for_window`,

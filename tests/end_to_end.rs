@@ -19,6 +19,7 @@ fn test_config(mode: ExecutionMode) -> EngineConfig {
         gpu_pipeline_depth: 2,
         throughput_smoothing: 0.25,
         durability: None,
+        sharing: true,
     }
 }
 

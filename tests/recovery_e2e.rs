@@ -333,6 +333,103 @@ fn corrupt_or_half_written_snapshots_fall_back() {
     assert_eq!(recover_and_check_prefix(&image.path, &batches), 640);
 }
 
+/// WAL replay re-establishes plan sharing: a cluster of fingerprint-identical
+/// queries (including one removed mid-history) recovers under its original
+/// `QueryId`s, the survivors share one physical plan again, and every
+/// member's windows are byte-identical to an uninterrupted unshared run.
+#[test]
+fn shared_queries_recover_with_same_ids_and_byte_identical_windows() {
+    let sharing = std::env::var("SABER_NO_SHARING").map_or(true, |v| v.is_empty() || v == "0");
+    let variant = "SELECT ts AS t, k AS kk FROM S [ROWS 64]"; // fingerprint == SQL
+    let solo = "SELECT ts FROM S [ROWS 32]";
+    let dir = TempDir::new("shared");
+    let (batches, solo_batches) = {
+        let mut engine = Saber::with_config(durable_engine_config(&dir.path, false)).unwrap();
+        engine.start().unwrap();
+        engine.create_stream("S", schema()).unwrap();
+        let catalog = engine.shared_catalog().unwrap().snapshot();
+        let anchor = engine.add_query_sql(SQL, &catalog).unwrap(); // id 0
+        let doomed = engine.add_query_sql(variant, &catalog).unwrap(); // id 1
+        let keeper = engine.add_query_sql(SQL, &catalog).unwrap(); // id 2
+        let private = engine.add_query_sql(solo, &catalog).unwrap(); // id 3
+        if sharing {
+            assert_eq!(engine.sharing_info(keeper.id()), Some((anchor.id(), 3)));
+            assert_eq!(engine.num_physical_plans(), 2);
+        }
+        let mut batches = Vec::new();
+        let mut solo_batches = Vec::new();
+        for i in 0..6 {
+            let batch = rows(64, (i * 64) as i64);
+            anchor.ingest(StreamId(0), &batch).unwrap();
+            if !sharing {
+                // Without sharing every member is its own physical plan
+                // and must be fed individually to observe the same stream
+                // (the ingest-once-per-physical-plan contract).
+                doomed.ingest(StreamId(0), &batch).unwrap();
+                keeper.ingest(StreamId(0), &batch).unwrap();
+            }
+            batches.push(batch);
+            let batch = rows(64, (1000 + i * 64) as i64);
+            private.ingest(StreamId(0), &batch).unwrap();
+            solo_batches.push(batch);
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        // Mid-history detach, recorded in the WAL: replay must remove it
+        // again, leaving the other two members on the shared plan.
+        doomed.remove().unwrap();
+        for i in 6..8 {
+            let batch = rows(64, (i * 64) as i64);
+            keeper.ingest(StreamId(0), &batch).unwrap();
+            if !sharing {
+                anchor.ingest(StreamId(0), &batch).unwrap();
+            }
+            batches.push(batch);
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        engine.stop().unwrap();
+        (batches, solo_batches)
+    };
+
+    let (mut engine, report) = Saber::recover(durable_engine_config(&dir.path, false)).unwrap();
+    // Original ids, with the mid-history removal replayed.
+    let ids: Vec<usize> = report.queries.iter().map(|q| q.id.0).collect();
+    assert_eq!(ids, vec![0, 2, 3]);
+    assert!(engine.query(QueryId(1)).is_none());
+    if sharing {
+        // The survivors share one physical plan again; the solo query is
+        // private. 2 physical plans, 3 logical queries.
+        assert_eq!(engine.num_physical_plans(), 2);
+        assert_eq!(
+            engine.sharing_info(QueryId(2)),
+            Some((QueryId(0), 2)),
+            "replay did not re-attach the follower"
+        );
+        assert_eq!(engine.sharing_info(QueryId(3)), Some((QueryId(3), 1)));
+    }
+    let anchor = engine.query(QueryId(0)).unwrap();
+    let keeper = engine.query(QueryId(2)).unwrap();
+    let private = engine.query(QueryId(3)).unwrap();
+    engine.stop().unwrap();
+
+    // Byte-identity: the doomed member saw batches 0..6 before its removal;
+    // both survivors saw all 8; the private query saw its own stream. All
+    // must equal uninterrupted unshared reference runs.
+    let batch_refs: Vec<&[u8]> = batches.iter().map(|b| b.as_slice()).collect();
+    let solo_refs: Vec<&[u8]> = solo_batches.iter().map(|b| b.as_slice()).collect();
+    let expected = reference_windows(SQL, &batch_refs);
+    assert_eq!(anchor.take_rows().into_bytes(), expected, "anchor diverged");
+    assert_eq!(
+        keeper.take_rows().into_bytes(),
+        expected,
+        "follower diverged"
+    );
+    assert_eq!(
+        private.take_rows().into_bytes(),
+        reference_windows(solo, &solo_refs),
+        "private query diverged"
+    );
+}
+
 // ---------------------------------------------------------------------------
 // Hard-kill end-to-end: a real server process, SIGKILL'd under acked load.
 // ---------------------------------------------------------------------------

@@ -189,6 +189,104 @@ fn query_registered_after_ingest_produces_windows_without_restart() {
     assert_eq!(report.queries[1].tuples_out, 2);
 }
 
+/// Plan sharing over the wire: two TCP clients register the *same* CQL text
+/// (modulo attribute renaming) and get distinct logical query ids backed by
+/// one physical plan instance — observable through `STATS`. Data inserted
+/// through either id reaches both subscribers, and `DROP QUERY` by one
+/// client leaves the other's stream flowing.
+#[test]
+fn two_clients_same_query_share_one_physical_instance() {
+    let sharing = std::env::var("SABER_NO_SHARING").map_or(true, |v| v.is_empty() || v == "0");
+    let server = Server::bind(
+        "127.0.0.1:0",
+        ServerConfig {
+            engine: engine_config(),
+            ..ServerConfig::default()
+        },
+    )
+    .unwrap();
+    let addr = server.local_addr();
+
+    let mut alice = Client::connect(addr);
+    assert_eq!(
+        alice.send("CREATE STREAM S (timestamp TIMESTAMP, v INT, k INT)"),
+        "OK stream S"
+    );
+    let shape = "SELECT timestamp, COUNT(*) AS n FROM S [ROWS 512]";
+    assert_eq!(alice.send(&format!("QUERY {shape}")), "OK query 0");
+    // Same shape from a second client, with renamed output attributes: a
+    // new logical id, but (with sharing on) the same physical plan.
+    let mut bob = Client::connect(addr);
+    assert_eq!(
+        bob.send("QUERY SELECT timestamp, COUNT(*) AS cnt FROM S AS src [ROWS 512]"),
+        "OK query 1"
+    );
+
+    let stats0 = alice.send("STATS 0");
+    let stats1 = bob.send("STATS 1");
+    if sharing {
+        // One physical instance carries both logical queries.
+        assert!(
+            stats0.contains(" physical=0 members=2") && stats0.contains(" physical_queries=1"),
+            "unexpected STATS: {stats0}"
+        );
+        assert!(
+            stats1.contains(" physical=0 members=2") && stats1.contains(" physical_queries=1"),
+            "unexpected STATS: {stats1}"
+        );
+    } else {
+        assert!(stats0.contains(" physical_queries=2"), "{stats0}");
+    }
+
+    // Bob subscribes to his own id; rows inserted under *either* logical id
+    // must reach him (the demultiplexer fans one physical stream out).
+    let mut sub = Client::connect(addr);
+    assert_eq!(sub.send("SUBSCRIBE 1"), "OK subscribed 1");
+    let rows = producer_rows(0);
+    let insert_target = if sharing { 0 } else { 1 };
+    assert_eq!(
+        alice.send(&format!(
+            "INSERT {insert_target} 0 B64 {}",
+            b64_encode(rows.bytes())
+        )),
+        format!("OK rows {ROWS_PER_PRODUCER}")
+    );
+    for w in 0..2 {
+        let line = sub.read_push_line();
+        assert!(
+            line.starts_with("ROW ") && line.ends_with(",512"),
+            "window {w}: `{line}`"
+        );
+    }
+
+    // Alice drops her query (the anchor). Bob's stays registered and keeps
+    // streaming off the same physical plan.
+    assert_eq!(alice.send("DROP QUERY 0"), "OK dropped 0");
+    let stats1 = bob.send("STATS 1");
+    if sharing {
+        assert!(
+            stats1.contains(" physical=0 members=1") && stats1.contains(" physical_queries=1"),
+            "post-drop STATS: {stats1}"
+        );
+    }
+    assert_eq!(
+        bob.send(&format!("INSERT 1 0 B64 {}", b64_encode(rows.bytes()))),
+        format!("OK rows {ROWS_PER_PRODUCER}")
+    );
+    for w in 0..2 {
+        let line = sub.read_push_line();
+        assert!(
+            line.starts_with("ROW ") && line.ends_with(",512"),
+            "post-drop window {w}: `{line}`"
+        );
+    }
+
+    let report = server.shutdown().expect("clean shutdown");
+    assert_eq!(report.queries.len(), 2);
+    // Bob's logical query saw all four 512-row windows.
+    assert_eq!(report.queries[1].tuples_out, 4);
+}
+
 #[test]
 fn concurrent_tcp_clients_match_the_in_process_sink_byte_for_byte() {
     let expected = in_process_result();
