@@ -16,6 +16,9 @@
 //!   partitioned parallel θ-joins and hash equi-joins, used by the §6.2
 //!   MonetDB comparison.
 
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
 pub mod columnar;
 pub mod microbatch;
 pub mod naive;

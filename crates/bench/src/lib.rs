@@ -13,6 +13,9 @@
 //! * `SABER_BENCH_WORKERS` — CPU worker threads (default: half the cores,
 //!   capped at 8).
 
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
 use saber_engine::{EngineConfig, ExecutionMode, QueryId, Saber, SchedulingPolicyKind, StreamId};
 use saber_gpu::device::DeviceConfig;
 use saber_query::Query;

@@ -20,6 +20,8 @@
 //! (so no intermediate tuples are materialised), and join pipelines keep
 //! their predicate plus any post-processing expressions.
 
+#![deny(missing_docs)]
+
 pub mod assembler;
 pub mod exec;
 pub mod hashtable;

@@ -30,6 +30,8 @@
 //! Readers must not race `release_until` for ranges they are still copying;
 //! the dispatcher guarantees this by reading and releasing only from within
 //! the cutter critical section.
+//!
+//! saber-lint: hot-path
 
 use saber_types::{Result, SaberError};
 use std::cell::UnsafeCell;
@@ -49,10 +51,12 @@ pub struct CircularBuffer {
     tail: AtomicU64,
 }
 
-// Safety: all shared mutation goes through the atomic pointers; byte slots
+// SAFETY: the buffer owns its storage and holds no thread-affine state, so
+// moving it between threads is sound.
+unsafe impl Send for CircularBuffer {}
+// SAFETY: all shared mutation goes through the atomic pointers; byte slots
 // are only written inside a claimed (exclusive) reservation and only read
 // once published, per the protocol above.
-unsafe impl Send for CircularBuffer {}
 unsafe impl Sync for CircularBuffer {}
 
 impl std::fmt::Debug for CircularBuffer {
@@ -123,6 +127,8 @@ impl CircularBuffer {
     /// Attempts to append `bytes` without blocking. Returns `Ok(false)` when
     /// the buffer currently lacks space (the caller applies backpressure) and
     /// an error when `bytes` can never fit.
+    // hot-path-ok: slot offsets are masked with `capacity - 1` (a power of
+    // two equal to `data.len()`), so every index is in range by construction.
     pub fn try_insert(&self, bytes: &[u8]) -> Result<bool> {
         if bytes.is_empty() {
             return Ok(true);
@@ -160,6 +166,11 @@ impl CircularBuffer {
         // Copy into the claimed slots (exclusive: no lock needed).
         let offset = (start as usize) & (self.capacity - 1);
         let first = bytes.len().min(self.capacity - offset);
+        // SAFETY: the CAS above granted this thread exclusive ownership of
+        // `[start, start + len)`; `offset` is masked into range, `first ≤
+        // capacity - offset` bounds the first copy and the wrapped remainder
+        // `len - first` starts at slot 0, so both copies stay inside `data`
+        // and never overlap bytes another thread may touch.
         unsafe {
             std::ptr::copy_nonoverlapping(bytes.as_ptr(), self.data[offset].get(), first);
             if first < bytes.len() {
@@ -181,6 +192,9 @@ impl CircularBuffer {
                 std::thread::yield_now();
             }
         }
+        // pairs-with: head — readers (the cutter via `head()`/`len()`/
+        // `read_range`) load the publish pointer with Acquire, making the
+        // bytes copied above visible before the range appears readable.
         self.head.store(start + len, Ordering::Release);
         Ok(true)
     }
@@ -201,6 +215,8 @@ impl CircularBuffer {
 
     /// Copies the absolute byte range `[from, to)` out of the buffer. The
     /// range must still be resident (`from >= tail`, `to <= head`).
+    // hot-path-ok: slot offsets are masked with `capacity - 1` (a power of
+    // two equal to `data.len()`), so every index is in range by construction.
     pub fn read_range(&self, from: u64, to: u64) -> Result<Vec<u8>> {
         let head = self.head.load(Ordering::Acquire);
         let tail = self.tail.load(Ordering::Acquire);
@@ -213,6 +229,10 @@ impl CircularBuffer {
         let mut out = vec![0u8; len];
         let offset = (from as usize) & (self.capacity - 1);
         let first = len.min(self.capacity - offset);
+        // SAFETY: the bounds check above proved `[from, to)` lies between
+        // `tail` and the Acquire-loaded `head`, so the slots were published
+        // (visible) and cannot be reused until the single consumer — this
+        // caller — releases them; offsets are masked into `data`'s range.
         unsafe {
             std::ptr::copy_nonoverlapping(self.data[offset].get(), out.as_mut_ptr(), first);
             if first < len {

@@ -1,6 +1,8 @@
 //! The dispatching stage (paper §4.1): buffering incoming data and creating
 //! fixed-size query tasks.
 //!
+//! saber-lint: hot-path
+//!
 //! One dispatcher exists per query, split into two halves so that producers
 //! and the task cutter never serialize on each other:
 //!
@@ -127,6 +129,8 @@ impl StreamIngest {
                     .wait_for(&mut guard, Duration::from_millis(10));
             }
         }
+        // relaxed-ok: monitoring counter, read only by rows_ingested() displays
+        // and test assertions after producers have joined.
         self.rows_ingested
             .fetch_add((bytes.len() / self.row_size) as u64, Ordering::Relaxed);
         Ok(())
@@ -142,6 +146,8 @@ impl StreamIngest {
 
     /// Timestamp of the row starting at absolute byte `at`, read directly
     /// out of the ring.
+    // hot-path-ok: read_range(from, from + 8) returns exactly 8 bytes on
+    // success, so the fixed-size array conversion cannot fail.
     fn timestamp_at(&self, at: u64) -> Result<i64> {
         let from = at + self.ts_offset as u64;
         let bytes = self.buffer.read_range(from, from + 8)?;
@@ -339,6 +345,8 @@ impl Dispatcher {
         let mut batches = Vec::with_capacity(self.streams.len());
         let schemas = self.plan.input_schemas();
         for (idx, input) in self.streams.iter().enumerate() {
+            // hot-path-ok: `streams` is built in `new` by zipping
+            // input_schemas, so idx < schemas.len() always holds.
             let schema = &schemas[idx];
             let pending_from = input.pending_from.load(Ordering::Acquire);
             // Snapshot the publish pointer: everything below it is complete
@@ -371,11 +379,16 @@ impl Dispatcher {
             input
                 .next_row_index
                 .fetch_add((pending_bytes / input.row_size) as u64, Ordering::AcqRel);
+            // pairs-with: pending_bytes — producers Acquire-load the cursor
+            // when checking the φ threshold (and cut_task re-reads it under
+            // the cutter lock at the start of the next cut).
             input.pending_from.store(to, Ordering::Release);
             let new_lookback_start = to.saturating_sub(lookback_bytes);
             input.release_and_notify(new_lookback_start);
             batches.push(batch);
         }
+        // relaxed-ok: engine-wide task-id allocation only needs uniqueness,
+        // which the atomic RMW provides at any ordering.
         let id = self.global_task_ids.fetch_add(1, Ordering::Relaxed);
         let seq = state.next_seq;
         state.next_seq += 1;

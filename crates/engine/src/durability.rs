@@ -94,6 +94,9 @@ impl Durability {
     pub(crate) fn wait_checkpoint_tick(&self, interval: std::time::Duration) -> bool {
         let mut stop = self.ckpt_stop.lock();
         if !*stop {
+            // condvar-ok: periodic tick — a timeout is the normal wake path
+            // and a spurious wake merely snapshots one cadence early; the
+            // stop flag is re-read under the lock after waking.
             self.ckpt_cv.wait_for(&mut stop, interval);
         }
         *stop

@@ -599,6 +599,7 @@ impl Saber {
             let sink = sink.clone();
             let stats = stats.clone();
             anchor.sink.subscribe(move |rows| {
+                // relaxed-ok: monitoring counter, read only for stats display.
                 stats
                     .tuples_out
                     .fetch_add(rows.len() as u64, Ordering::Relaxed);
@@ -691,6 +692,9 @@ impl Saber {
             // the catalog snapshot cadence as due.
             let durability = durability.clone();
             state.sink.subscribe(move |_| {
+                // relaxed-ok: advisory cadence flag; the checkpoint thread
+                // reads the actual state to snapshot under its own locks, so
+                // no data is published through this bit.
                 durability
                     .window_dirty
                     .store(true, std::sync::atomic::Ordering::Relaxed);
@@ -917,6 +921,9 @@ impl Saber {
                     // Snapshot only when result windows closed since the
                     // last tick; failures are retried on the next cadence
                     // (explicit checkpoint() surfaces them).
+                    // relaxed-ok: advisory cadence flag; a mark racing the
+                    // swap is simply picked up by the next tick, and the
+                    // snapshot reads engine state under its own locks.
                     if durability.window_dirty.swap(false, Ordering::Relaxed) {
                         let _ = checkpoint_engine(&durability, core.registry.num_slots());
                     }
@@ -1681,9 +1688,11 @@ fn ingest_into(core: &EngineCore, state: &QueryState, stream: usize, bytes: &[u8
                 .append_ingest(state.id as u64, stream as u32, bytes)?;
         }
     }
+    // relaxed-ok: monitoring counters, read only for stats display.
     stats
         .tuples_in
         .fetch_add((bytes.len() / row_size) as u64, Ordering::Relaxed);
+    // relaxed-ok: monitoring counter, read only for stats display.
     stats
         .bytes_in
         .fetch_add(bytes.len() as u64, Ordering::Relaxed);
@@ -1693,6 +1702,7 @@ fn ingest_into(core: &EngineCore, state: &QueryState, stream: usize, bytes: &[u8
 /// Admits one cut task into the queue, blocking on the credit gate while the
 /// queue is saturated.
 fn submit_task(stats: &QueryStats, flow: &FlowControl, queue: &TaskQueue, task: QueryTask) {
+    // relaxed-ok: monitoring counter, read only for stats display.
     stats.tasks_created.fetch_add(1, Ordering::Relaxed);
     let waited = flow.acquire();
     stats.record_backpressure(waited);

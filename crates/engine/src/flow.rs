@@ -16,6 +16,8 @@
 //! so no Acquire/Release atomic reasoning is needed for correctness. The
 //! wait-time counters are plain `Relaxed` atomics — they are monitoring
 //! data, read without synchronization.
+//!
+//! saber-lint: hot-path
 
 use parking_lot::{Condvar, Mutex};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -65,6 +67,7 @@ impl FlowControl {
     /// After [`FlowControl::signal_shutdown`] the gate stops blocking, so
     /// producers stranded mid-ingest when the engine stops cannot hang.
     pub fn acquire(&self) -> Duration {
+        // relaxed-ok: monitoring counter, read only by wait_stats displays.
         self.acquisitions.fetch_add(1, Ordering::Relaxed);
         let mut outstanding = self.outstanding.lock();
         if *outstanding < self.capacity {
@@ -79,8 +82,10 @@ impl FlowControl {
         *outstanding += 1;
         drop(outstanding);
         let waited = started.elapsed();
+        // relaxed-ok: monitoring counters, read only by wait_stats displays.
         self.wait_nanos
             .fetch_add(waited.as_nanos() as u64, Ordering::Relaxed);
+        // relaxed-ok: monitoring counter, read only by wait_stats displays.
         self.waits.fetch_add(1, Ordering::Relaxed);
         waited
     }

@@ -48,6 +48,8 @@
 //! byte-identical replayed result windows (see the [`durability`] module
 //! and `docs/persistence.md`).
 
+#![deny(missing_docs)]
+
 pub mod circular;
 pub mod config;
 pub mod dispatcher;

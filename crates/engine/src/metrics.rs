@@ -47,8 +47,12 @@ impl QueryStats {
     /// Records one end-to-end task latency.
     pub fn record_latency(&self, latency: Duration) {
         let nanos = latency.as_nanos() as u64;
+        // relaxed-ok: monitoring counters, read only for stats display; a
+        // momentarily torn sum/sample pair skews one avg_latency() sample.
         self.latency_sum_nanos.fetch_add(nanos, Ordering::Relaxed);
+        // relaxed-ok: monitoring counter, read only for stats display.
         self.latency_samples.fetch_add(1, Ordering::Relaxed);
+        // relaxed-ok: monitoring counter, read only for stats display.
         self.latency_max_nanos.fetch_max(nanos, Ordering::Relaxed);
     }
 
@@ -69,8 +73,10 @@ impl QueryStats {
     /// Records one producer backpressure stall.
     pub fn record_backpressure(&self, waited: Duration) {
         if waited > Duration::ZERO {
+            // relaxed-ok: monitoring counter, read only for stats display.
             self.backpressure_wait_nanos
                 .fetch_add(waited.as_nanos() as u64, Ordering::Relaxed);
+            // relaxed-ok: monitoring counter, read only for stats display.
             self.backpressure_waits.fetch_add(1, Ordering::Relaxed);
         }
     }
@@ -83,7 +89,9 @@ impl QueryStats {
     /// Records one task execution on `processor`.
     pub fn record_task(&self, processor: Processor) {
         match processor {
+            // relaxed-ok: monitoring counters behind the gpu_share() display.
             Processor::Cpu => self.tasks_cpu.fetch_add(1, Ordering::Relaxed),
+            // relaxed-ok: monitoring counter behind the gpu_share() display.
             Processor::Gpu => self.tasks_gpu.fetch_add(1, Ordering::Relaxed),
         };
     }

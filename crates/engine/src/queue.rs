@@ -55,10 +55,14 @@ impl Default for Shard {
 
 impl Shard {
     fn sync_meta(&self, queue: &VecDeque<(u64, QueryTask)>) {
+        // pairs-with: snapshot_heads — the scheduler Acquire-loads the head
+        // stamp lock-free when building its per-query backlog snapshot.
         self.head_arrival.store(
             queue.front().map(|(a, _)| *a).unwrap_or(u64::MAX),
             Ordering::Release,
         );
+        // pairs-with: snapshot_heads (and the depth() accessor), which
+        // Acquire-load the mirror without taking the shard lock.
         self.depth.store(queue.len(), Ordering::Release);
     }
 }
@@ -144,6 +148,7 @@ impl TaskQueue {
         };
         if !orphans.is_empty() {
             self.len.fetch_sub(orphans.len(), Ordering::AcqRel);
+            // relaxed-ok: monitoring counter, read only for stats display.
             self.dequeued
                 .fetch_add(orphans.len() as u64, Ordering::Relaxed);
         }
@@ -177,6 +182,9 @@ impl TaskQueue {
             Some(None) => return false, // retired
             None => panic!("query {} not registered with the task queue", task.query_id),
         };
+        // relaxed-ok: the stamp only needs global uniqueness and
+        // monotonicity, which the atomic RMW provides at any ordering; FIFO
+        // position is fixed under the shard lock where the task is inserted.
         let arrival = self.arrivals.fetch_add(1, Ordering::Relaxed);
         // Count the task *before* it becomes poppable: a worker that pops it
         // concurrently decrements `len` only after this increment, so the
@@ -189,6 +197,7 @@ impl TaskQueue {
             shard.sync_meta(&q);
         }
         drop(shards);
+        // relaxed-ok: monitoring counter, read only for stats display.
         self.enqueued.fetch_add(1, Ordering::Relaxed);
         // Serialize with `take_with` waiters so the wakeup cannot be lost:
         // a waiter holds the sleep lock between its emptiness check and its
@@ -275,6 +284,7 @@ impl TaskQueue {
         };
         let (_, task) = task?;
         self.len.fetch_sub(1, Ordering::AcqRel);
+        // relaxed-ok: monitoring counter, read only for stats display.
         self.dequeued.fetch_add(1, Ordering::Relaxed);
         Some(task)
     }

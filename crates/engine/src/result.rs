@@ -100,6 +100,7 @@ impl ResultStage {
             match result.output {
                 TaskOutput::Rows(rows) => {
                     self.sink.append(&rows);
+                    // relaxed-ok: monitoring counter, read for stats display.
                     self.stats
                         .tuples_out
                         .fetch_add(rows.len() as u64, Ordering::Relaxed);
@@ -116,6 +117,7 @@ impl ResultStage {
                             Ok(_emitted) => {
                                 if !scratch.is_empty() {
                                     self.sink.append(scratch);
+                                    // relaxed-ok: monitoring counter only.
                                     self.stats
                                         .tuples_out
                                         .fetch_add(scratch.len() as u64, Ordering::Relaxed);
@@ -131,6 +133,9 @@ impl ResultStage {
                 }
             }
             self.stats.record_latency(result.created.elapsed());
+            // relaxed-ok: progress counter; removal-drain reads it via
+            // completed_tasks() after flushing under the cutter lock, whose
+            // release/acquire already orders the preceding completions.
             self.completed_tasks.fetch_add(1, Ordering::Relaxed);
             ordered.next_seq += 1;
         }

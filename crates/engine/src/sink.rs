@@ -110,9 +110,11 @@ impl QuerySink {
     /// blocked [`QuerySink::wait_for_window`] callers and invokes every
     /// subscribed callback with the batch.
     pub fn append(&self, rows: &RowBuffer) {
+        // relaxed-ok: monitoring counter, read only for stats display.
         self.inner
             .tuples
             .fetch_add(rows.len() as u64, Ordering::Relaxed);
+        // relaxed-ok: monitoring counter, read only for stats display.
         self.inner
             .bytes
             .fetch_add(rows.byte_len() as u64, Ordering::Relaxed);
@@ -122,6 +124,9 @@ impl QuerySink {
         if self.inner.retain.load(Ordering::Acquire) {
             let mut buf = self.inner.rows.lock();
             let _ = buf.extend_from_bytes(rows.bytes());
+            // pairs-with: wait_for_window — waiters Acquire-load the count
+            // lock-free before parking (buffered_rows() reads it the same
+            // way for display).
             self.inner.buffered.store(buf.len(), Ordering::Release);
         }
         {
@@ -185,6 +190,8 @@ impl QuerySink {
     /// batch off (copy, enqueue, signal) rather than do real work, and must
     /// not call back into this sink's subscribe/unsubscribe.
     pub fn subscribe(&self, callback: impl Fn(&RowBuffer) + Send + Sync + 'static) -> u64 {
+        // relaxed-ok: subscription-id allocation only needs uniqueness,
+        // which the atomic RMW provides at any ordering.
         let id = self.inner.next_subscription.fetch_add(1, Ordering::Relaxed);
         self.inner
             .callbacks
@@ -223,6 +230,8 @@ impl QuerySink {
     /// plan keeps appending for the surviving subscribers, and this sink
     /// must not accumulate output nobody will ever drain.
     pub(crate) fn stop_retaining(&self) {
+        // pairs-with: append — workers Acquire-load the flag before touching
+        // the row buffer, so a cleared flag stops accumulation promptly.
         self.inner.retain.store(false, Ordering::Release);
     }
 
@@ -250,6 +259,8 @@ impl QuerySink {
     /// Takes the buffered output rows (empties the sink buffer).
     pub fn take_rows(&self) -> RowBuffer {
         let mut buf = self.inner.rows.lock();
+        // pairs-with: wait_for_window — the count must be cleared before the
+        // buffer is emptied so waiters never see stale readiness.
         self.inner.buffered.store(0, Ordering::Release);
         let schema = self.inner.schema.clone();
         std::mem::replace(&mut *buf, RowBuffer::new(schema))

@@ -193,6 +193,7 @@ impl GpuDevice {
         let progress = progress_of(plan, &batches[0]);
         let output = merge_group_results(plan, groups, progress)?;
 
+        // relaxed-ok: simulation-accounting counter, read only for reports.
         self.stats
             .kernel_nanos
             .fetch_add(started.elapsed().as_nanos() as u64, Ordering::Relaxed);
@@ -253,13 +254,17 @@ impl GpuDevice {
         self.copyout(&output);
         let movement_after_kernel = after_kernel.elapsed();
 
+        // relaxed-ok: simulation-accounting counter, read only for reports.
         self.stats.tasks.fetch_add(1, Ordering::Relaxed);
+        // relaxed-ok: simulation-accounting counter, read only for reports.
         self.stats
             .bytes_in
             .fetch_add(input_bytes as u64, Ordering::Relaxed);
+        // relaxed-ok: simulation-accounting counter, read only for reports.
         self.stats
             .bytes_out
             .fetch_add(out_bytes as u64, Ordering::Relaxed);
+        // relaxed-ok: simulation-accounting counter, read only for reports.
         self.stats.movement_nanos.fetch_add(
             (movement_before_kernel + movement_after_kernel).as_nanos() as u64,
             Ordering::Relaxed,

@@ -28,6 +28,9 @@
 //! byte pays the PCIe toll — therefore emerges from the same mechanisms as in
 //! the paper, which is what the hybrid scheduling experiments need.
 
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
 pub mod costmodel;
 pub mod device;
 pub mod kernels;

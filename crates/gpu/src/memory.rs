@@ -97,6 +97,9 @@ impl DeviceMemory {
                     self.capacity
                 )));
             }
+            // relaxed-ok: the counter models capacity, not memory it
+            // guards — no data is published through a successful claim, so
+            // the CAS only needs atomicity.
             match self.allocated.compare_exchange_weak(
                 current,
                 next,
@@ -104,6 +107,7 @@ impl DeviceMemory {
                 Ordering::Relaxed,
             ) {
                 Ok(_) => {
+                    // relaxed-ok: high-water mark, read only for reports.
                     self.peak.fetch_max(next, Ordering::Relaxed);
                     return Ok(());
                 }
@@ -114,6 +118,8 @@ impl DeviceMemory {
 
     /// Releases `bytes` back to the pool.
     pub fn free(&self, bytes: u64) {
+        // relaxed-ok: capacity bookkeeping only; nothing synchronises
+        // through the counter (see the CAS in alloc).
         self.allocated.fetch_sub(bytes, Ordering::Relaxed);
     }
 

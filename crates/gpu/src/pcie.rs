@@ -94,8 +94,11 @@ impl PcieBus {
     /// modeled transfer duration.
     pub fn transfer(&self, bytes: usize) -> Duration {
         let modeled = self.config.transfer_time(bytes);
+        // relaxed-ok: simulation-accounting counter, read only for reports.
         self.bytes_moved.fetch_add(bytes as u64, Ordering::Relaxed);
+        // relaxed-ok: simulation-accounting counter, read only for reports.
         self.transfers.fetch_add(1, Ordering::Relaxed);
+        // relaxed-ok: simulation-accounting counter, read only for reports.
         self.busy_nanos
             .fetch_add(modeled.as_nanos() as u64, Ordering::Relaxed);
         if self.config.time_scale > 0.0 {

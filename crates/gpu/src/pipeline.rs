@@ -171,6 +171,8 @@ impl GpuPipeline {
                             if let Ok(out) = &output {
                                 device.copyout(out);
                             }
+                            // relaxed-ok: simulation-accounting counter,
+                            // read only for reports.
                             device
                                 .stats()
                                 .tasks

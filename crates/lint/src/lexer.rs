@@ -1,0 +1,356 @@
+//! A small Rust token-stream lexer with byte-accurate spans.
+//!
+//! This is not a full Rust lexer: it recognises exactly the token classes the
+//! concurrency rules need — identifiers/keywords, punctuation, literals,
+//! lifetimes and (crucially) comments, each carrying the byte [`Span`] of its
+//! source text. Comments are ordinary tokens here rather than trivia, because
+//! the suppression annotations the analyzer checks (`// SAFETY:`,
+//! `// relaxed-ok:`, …) live inside them.
+//!
+//! The design follows `saber_sql`'s lexer: a single forward pass over the
+//! bytes producing a `Vec<Tok>`, with no allocation per token (text is
+//! recovered by slicing the source with the span).
+
+use crate::diag::Span;
+
+/// The class of a lexed token.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// An identifier or keyword (`unsafe`, `while`, `store`, …).
+    Ident,
+    /// A lifetime such as `'a` or `'static` (quote included in the span).
+    Lifetime,
+    /// An integer or float literal, including suffixes (`1_000u64`, `0.5`).
+    Number,
+    /// A string, raw-string, byte-string or char literal.
+    Str,
+    /// A single punctuation byte (`{`, `;`, `.`, `#`, …).
+    Punct(u8),
+    /// A `// …` line comment (markers included, newline excluded).
+    LineComment,
+    /// A `/* … */` block comment, possibly nested.
+    BlockComment,
+}
+
+/// One lexed token: a kind plus the byte span of its source text.
+#[derive(Debug, Clone, Copy)]
+pub struct Tok {
+    /// Token class.
+    pub kind: TokKind,
+    /// Byte range of the token in the source.
+    pub span: Span,
+}
+
+impl Tok {
+    /// The source text of this token.
+    pub fn text<'a>(&self, src: &'a str) -> &'a str {
+        &src[self.span.start..self.span.end]
+    }
+
+    /// True if this token is a comment (line or block).
+    pub fn is_comment(&self) -> bool {
+        matches!(self.kind, TokKind::LineComment | TokKind::BlockComment)
+    }
+
+    /// True if this token is the identifier `word`.
+    pub fn is_ident(&self, src: &str, word: &str) -> bool {
+        self.kind == TokKind::Ident && self.text(src) == word
+    }
+
+    /// True if this token is the punctuation byte `b`.
+    pub fn is_punct(&self, b: u8) -> bool {
+        self.kind == TokKind::Punct(b)
+    }
+}
+
+/// Tokenizes `src` into a flat token stream (comments included).
+///
+/// The lexer never fails: bytes it cannot classify become single-byte
+/// [`TokKind::Punct`] tokens, and an unterminated literal simply consumes the
+/// rest of the file. That is the right trade-off for an analyzer that must
+/// keep going on code `rustc` already accepted.
+pub fn tokenize(src: &str) -> Vec<Tok> {
+    let bytes = src.as_bytes();
+    let mut toks = Vec::with_capacity(src.len() / 4);
+    let mut i = 0usize;
+    while i < bytes.len() {
+        let b = bytes[i];
+        // Whitespace.
+        if b.is_ascii_whitespace() {
+            i += 1;
+            continue;
+        }
+        // Comments.
+        if b == b'/' && i + 1 < bytes.len() {
+            if bytes[i + 1] == b'/' {
+                let start = i;
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+                toks.push(Tok {
+                    kind: TokKind::LineComment,
+                    span: Span::new(start, i),
+                });
+                continue;
+            }
+            if bytes[i + 1] == b'*' {
+                let start = i;
+                i += 2;
+                let mut depth = 1usize;
+                while i < bytes.len() && depth > 0 {
+                    if bytes[i] == b'/' && i + 1 < bytes.len() && bytes[i + 1] == b'*' {
+                        depth += 1;
+                        i += 2;
+                    } else if bytes[i] == b'*' && i + 1 < bytes.len() && bytes[i + 1] == b'/' {
+                        depth -= 1;
+                        i += 2;
+                    } else {
+                        i += 1;
+                    }
+                }
+                toks.push(Tok {
+                    kind: TokKind::BlockComment,
+                    span: Span::new(start, i),
+                });
+                continue;
+            }
+        }
+        // Identifiers and keywords (including `r#raw` identifiers).
+        if b == b'_' || b.is_ascii_alphabetic() {
+            // Raw strings: r"…" / r#"…"# / br#"…"#. Check before treating
+            // `r` / `b` as an identifier head.
+            if (b == b'r' || b == b'b') && is_raw_string_start(bytes, i) {
+                i = lex_string_like(bytes, i, &mut toks);
+                continue;
+            }
+            if b == b'b' && i + 1 < bytes.len() && (bytes[i + 1] == b'"' || bytes[i + 1] == b'\'') {
+                i = lex_string_like(bytes, i, &mut toks);
+                continue;
+            }
+            let start = i;
+            if b == b'r' && i + 1 < bytes.len() && bytes[i + 1] == b'#' {
+                // r#ident raw identifier.
+                i += 2;
+            }
+            while i < bytes.len() && (bytes[i] == b'_' || bytes[i].is_ascii_alphanumeric()) {
+                i += 1;
+            }
+            toks.push(Tok {
+                kind: TokKind::Ident,
+                span: Span::new(start, i),
+            });
+            continue;
+        }
+        // Numbers.
+        if b.is_ascii_digit() {
+            let start = i;
+            i += 1;
+            while i < bytes.len()
+                && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_' || bytes[i] == b'.')
+            {
+                // Stop a float scan at `..` (range) or `.method()`.
+                if bytes[i] == b'.' && i + 1 < bytes.len() && !bytes[i + 1].is_ascii_digit() {
+                    break;
+                }
+                i += 1;
+            }
+            toks.push(Tok {
+                kind: TokKind::Number,
+                span: Span::new(start, i),
+            });
+            continue;
+        }
+        // Strings and chars / lifetimes.
+        if b == b'"' {
+            i = lex_string_like(bytes, i, &mut toks);
+            continue;
+        }
+        if b == b'\'' {
+            i = lex_quote(src, bytes, i, &mut toks);
+            continue;
+        }
+        // Everything else: single punctuation byte.
+        toks.push(Tok {
+            kind: TokKind::Punct(b),
+            span: Span::new(i, i + 1),
+        });
+        i += 1;
+    }
+    toks
+}
+
+/// True if the bytes at `i` begin a raw (byte) string: `r"`, `r#`, `br"`, `br#`.
+fn is_raw_string_start(bytes: &[u8], i: usize) -> bool {
+    let rest = &bytes[i..];
+    if rest.starts_with(b"r\"") || rest.starts_with(b"r#\"") || rest.starts_with(b"r##") {
+        return true;
+    }
+    rest.starts_with(b"br\"") || rest.starts_with(b"br#\"") || rest.starts_with(b"br##")
+}
+
+/// Lexes a string / raw-string / byte-string / char literal starting at `i`
+/// (which may point at a `r` / `b` prefix). Returns the index past the token.
+fn lex_string_like(bytes: &[u8], start: usize, toks: &mut Vec<Tok>) -> usize {
+    let mut i = start;
+    // Skip prefix letters.
+    while i < bytes.len() && (bytes[i] == b'r' || bytes[i] == b'b') {
+        i += 1;
+    }
+    // Raw string: count hashes.
+    if i < bytes.len() && (bytes[i] == b'#' || bytes[i] == b'"') && bytes[start] != b'"' && {
+        // Only treat as raw if an `r` appeared in the prefix.
+        bytes[start..i].contains(&b'r')
+    } {
+        let mut hashes = 0usize;
+        while i < bytes.len() && bytes[i] == b'#' {
+            hashes += 1;
+            i += 1;
+        }
+        if i < bytes.len() && bytes[i] == b'"' {
+            i += 1;
+            // Scan for `"` followed by `hashes` hashes.
+            'outer: while i < bytes.len() {
+                if bytes[i] == b'"' {
+                    let mut j = i + 1;
+                    let mut seen = 0usize;
+                    while j < bytes.len() && bytes[j] == b'#' && seen < hashes {
+                        seen += 1;
+                        j += 1;
+                    }
+                    if seen == hashes {
+                        i = j;
+                        break 'outer;
+                    }
+                }
+                i += 1;
+            }
+            toks.push(Tok {
+                kind: TokKind::Str,
+                span: Span::new(start, i),
+            });
+            return i;
+        }
+        // `r#ident` fell through is_raw_string_start; treat as ident.
+        while i < bytes.len() && (bytes[i] == b'_' || bytes[i].is_ascii_alphanumeric()) {
+            i += 1;
+        }
+        toks.push(Tok {
+            kind: TokKind::Ident,
+            span: Span::new(start, i),
+        });
+        return i;
+    }
+    // Cooked string or char with escapes.
+    let quote = bytes[i];
+    i += 1;
+    while i < bytes.len() {
+        if bytes[i] == b'\\' {
+            i += 2;
+            continue;
+        }
+        if bytes[i] == quote {
+            i += 1;
+            break;
+        }
+        i += 1;
+    }
+    toks.push(Tok {
+        kind: TokKind::Str,
+        span: Span::new(start, i),
+    });
+    i
+}
+
+/// Lexes a `'…` token: either a lifetime (`'a`, `'static`) or a char literal
+/// (`'x'`, `'\n'`, `'✓'`). Returns the index past the token.
+fn lex_quote(src: &str, bytes: &[u8], start: usize, toks: &mut Vec<Tok>) -> usize {
+    let after = start + 1;
+    if after >= bytes.len() {
+        toks.push(Tok {
+            kind: TokKind::Punct(b'\''),
+            span: Span::new(start, after),
+        });
+        return after;
+    }
+    // Escape sequence ⇒ definitely a char literal.
+    if bytes[after] == b'\\' {
+        return lex_string_like(bytes, start, toks);
+    }
+    // Decode one char after the quote; if a closing quote follows, it is a
+    // char literal; otherwise it is a lifetime.
+    if let Some(c) = src[after..].chars().next() {
+        let next = after + c.len_utf8();
+        if next < bytes.len() && bytes[next] == b'\'' {
+            toks.push(Tok {
+                kind: TokKind::Str,
+                span: Span::new(start, next + 1),
+            });
+            return next + 1;
+        }
+    }
+    // Lifetime: consume identifier chars.
+    let mut i = after;
+    while i < bytes.len() && (bytes[i] == b'_' || bytes[i].is_ascii_alphanumeric()) {
+        i += 1;
+    }
+    toks.push(Tok {
+        kind: TokKind::Lifetime,
+        span: Span::new(start, i),
+    });
+    i
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokKind, String)> {
+        tokenize(src)
+            .iter()
+            .map(|t| (t.kind, t.text(src).to_string()))
+            .collect()
+    }
+
+    #[test]
+    fn lexes_idents_puncts_and_comments() {
+        let src = "let x = a.lock(); // SAFETY: fine\n";
+        let toks = kinds(src);
+        assert_eq!(toks[0], (TokKind::Ident, "let".into()));
+        assert_eq!(toks[3], (TokKind::Ident, "a".into()));
+        assert_eq!(toks[4], (TokKind::Punct(b'.'), ".".into()));
+        assert_eq!(
+            toks.last().unwrap(),
+            &(TokKind::LineComment, "// SAFETY: fine".into())
+        );
+    }
+
+    #[test]
+    fn distinguishes_lifetimes_from_chars() {
+        let src = "fn f<'a>(c: char) { let x = 'y'; let z = '\\n'; }";
+        let toks = kinds(src);
+        assert!(toks.contains(&(TokKind::Lifetime, "'a".into())));
+        assert!(toks.contains(&(TokKind::Str, "'y'".into())));
+        assert!(toks.contains(&(TokKind::Str, "'\\n'".into())));
+    }
+
+    #[test]
+    fn lexes_raw_strings_and_nested_block_comments() {
+        let src = r####"let s = r#"has "quotes" inside"#; /* outer /* inner */ done */"####;
+        let toks = kinds(src);
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokKind::Str && t.contains("quotes")));
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokKind::BlockComment && t.ends_with("done */")));
+    }
+
+    #[test]
+    fn numbers_with_suffixes_and_ranges() {
+        let src = "for i in 0..n4 { let x = 1_000u64 + 0.5; }";
+        let toks = kinds(src);
+        assert!(toks.contains(&(TokKind::Number, "0".into())));
+        assert!(toks.contains(&(TokKind::Number, "1_000u64".into())));
+        assert!(toks.contains(&(TokKind::Number, "0.5".into())));
+    }
+}

@@ -1,0 +1,94 @@
+//! `saber_lint` CLI.
+//!
+//! ```text
+//! saber_lint check [--root <path>]   run all rules on the workspace
+//! saber_lint --list-rules            one line per rule
+//! saber_lint --explain <rule>        full rule description + suppression syntax
+//! ```
+//!
+//! Exit codes: 0 clean, 1 findings, 2 usage / configuration error.
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("check") => check(&args[1..]),
+        Some("--list-rules") => {
+            for rule in saber_lint::rules::RULES {
+                println!("{:<20} {}", rule.id, rule.summary);
+            }
+            ExitCode::SUCCESS
+        }
+        Some("--explain") => match args.get(1) {
+            Some(id) => match saber_lint::rules::rule_info(id) {
+                Some(rule) => {
+                    println!("{}: {}\n\n{}", rule.id, rule.summary, rule.explain);
+                    ExitCode::SUCCESS
+                }
+                None => {
+                    eprintln!("error: unknown rule `{id}` (see --list-rules)");
+                    ExitCode::from(2)
+                }
+            },
+            None => {
+                eprintln!("error: --explain needs a rule id (see --list-rules)");
+                ExitCode::from(2)
+            }
+        },
+        _ => {
+            eprintln!("usage: saber_lint check [--root <path>] | --list-rules | --explain <rule>");
+            ExitCode::from(2)
+        }
+    }
+}
+
+/// Runs the `check` subcommand.
+fn check(args: &[String]) -> ExitCode {
+    let mut root: Option<PathBuf> = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--root" => match it.next() {
+                Some(p) => root = Some(PathBuf::from(p)),
+                None => {
+                    eprintln!("error: --root needs a path");
+                    return ExitCode::from(2);
+                }
+            },
+            other => {
+                eprintln!("error: unknown argument `{other}`");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    // Default root: the workspace containing this crate (works both under
+    // `cargo run -p saber_lint` and when invoked from the target dir).
+    let root = root.unwrap_or_else(|| {
+        PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+            .join("../..")
+            .canonicalize()
+            .unwrap_or_else(|_| PathBuf::from("."))
+    });
+    match saber_lint::run_check(&root) {
+        Ok(findings) if findings.is_empty() => {
+            println!("saber_lint: workspace clean (all rules)");
+            ExitCode::SUCCESS
+        }
+        Ok(findings) => {
+            for f in &findings {
+                println!("{f}\n");
+            }
+            println!("saber_lint: {} finding(s)", findings.len());
+            ExitCode::FAILURE
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::from(2)
+        }
+    }
+}

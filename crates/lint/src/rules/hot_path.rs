@@ -1,0 +1,171 @@
+//! Rule `hot-path-no-panic`: files opting in via the hot-path marker reject
+//! panicking constructs and checked slice-indexing.
+//!
+//! A file opts in when its module docs contain the marker text (the
+//! `MARKER` constant below), written either as a doc-comment line or as an
+//! inner `#![doc = "…"]` attribute. Detection deliberately looks only at
+//! comments and `#![doc]` attributes so that source merely *mentioning* the
+//! marker in an ordinary string (this analyzer itself, for instance) does
+//! not opt in — which is also why this module's docs spell it indirectly.
+
+use crate::analysis::FileAnalysis;
+use crate::diag::Finding;
+use crate::lexer::TokKind;
+
+const RULE: &str = "hot-path-no-panic";
+const MARKER: &str = "saber-lint: hot-path";
+
+/// Checks a hot-path-marked file for panicking constructs.
+pub fn check(fa: &FileAnalysis<'_>, out: &mut Vec<Finding>) {
+    if !is_hot_path(fa) {
+        return;
+    }
+    // Pre-compute enclosing-fn spans so a fn-level `// hot-path-ok:` can
+    // cover a whole kernel.
+    let fns = fn_spans(fa);
+    let n = fa.code.len();
+    for ci in 0..n {
+        let t = fa.code_tok(ci);
+        if fa.in_test_code(t.span.start) {
+            continue;
+        }
+        let offence: Option<(&str, String)> = if t.kind == TokKind::Ident {
+            let text = t.text(fa.src);
+            match text {
+                "unwrap" | "expect"
+                    if ci >= 1
+                        && fa.code_tok(ci - 1).is_punct(b'.')
+                        && ci + 1 < n
+                        && fa.code_tok(ci + 1).is_punct(b'(') =>
+                {
+                    Some((
+                        "replace with a checked pattern or return an error",
+                        format!("`.{text}()` in a hot-path module"),
+                    ))
+                }
+                "panic" | "unreachable" | "todo" | "unimplemented"
+                    if ci + 1 < n && fa.code_tok(ci + 1).is_punct(b'!') =>
+                {
+                    Some((
+                        "hot-path code must not panic per tuple",
+                        format!("`{text}!` in a hot-path module"),
+                    ))
+                }
+                _ => None,
+            }
+        } else if t.is_punct(b'[') && ci >= 1 && is_index_base(fa, ci - 1) {
+            Some((
+                "use `get()` / iterators, or prove the bound and annotate the fn",
+                "checked slice-indexing in a hot-path module".to_string(),
+            ))
+        } else {
+            None
+        };
+        let Some((help, message)) = offence else {
+            continue;
+        };
+        // Site-level or enclosing-fn-level suppression.
+        let fn_ci = fns
+            .iter()
+            .filter(|(_, open, close)| (*open..=*close).contains(&ci))
+            .map(|(f, _, _)| *f)
+            .next_back();
+        let ann = fa
+            .annotation(ci, "hot-path-ok:")
+            .or_else(|| fn_ci.and_then(|f| fa.annotation(f, "hot-path-ok:")));
+        match ann {
+            Some(r) if !r.trim().is_empty() => {}
+            Some(_) => out.push(Finding::new(
+                RULE,
+                fa.rel_path.clone(),
+                fa.src,
+                t.span,
+                "`// hot-path-ok:` annotation has an empty rationale",
+                None,
+            )),
+            None => out.push(Finding::new(
+                RULE,
+                fa.rel_path.clone(),
+                fa.src,
+                t.span,
+                message,
+                Some(help.to_string()),
+            )),
+        }
+    }
+}
+
+/// True if the file's module docs carry the hot-path marker.
+fn is_hot_path(fa: &FileAnalysis<'_>) -> bool {
+    // Comment form: any comment containing the marker.
+    if fa
+        .toks
+        .iter()
+        .any(|t| t.is_comment() && t.text(fa.src).contains(MARKER))
+    {
+        return true;
+    }
+    // Attribute form: `#![doc = "…marker…"]`.
+    let n = fa.code.len();
+    for ci in 0..n.saturating_sub(5) {
+        if fa.code_tok(ci).is_punct(b'#')
+            && fa.code_tok(ci + 1).is_punct(b'!')
+            && fa.code_tok(ci + 2).is_punct(b'[')
+            && fa.code_text(ci + 3) == "doc"
+            && fa.code_tok(ci + 4).is_punct(b'=')
+            && fa.code_tok(ci + 5).kind == TokKind::Str
+            && fa.code_text(ci + 5).contains(MARKER)
+        {
+            return true;
+        }
+    }
+    false
+}
+
+/// True if the token before a `[` makes it an indexing expression rather
+/// than a type, array literal, attribute or macro bracket.
+fn is_index_base(fa: &FileAnalysis<'_>, prev_ci: usize) -> bool {
+    let prev = fa.code_tok(prev_ci);
+    match prev.kind {
+        TokKind::Ident => {
+            // `vec![`-style macros have a `!` before the bracket, so an
+            // ident directly before `[` is indexing — unless the ident is a
+            // keyword introducing a type or literal (`&mut [f64]`,
+            // `return [a, b]`).
+            !matches!(
+                prev.text(fa.src),
+                "mut" | "dyn" | "return" | "break" | "in" | "move" | "ref" | "as" | "else"
+            )
+        }
+        TokKind::Punct(b')') | TokKind::Punct(b']') => true,
+        _ => false,
+    }
+}
+
+/// `(fn-keyword ci, body-open ci, body-close ci)` for every fn in the file.
+fn fn_spans(fa: &FileAnalysis<'_>) -> Vec<(usize, usize, usize)> {
+    let mut fns = Vec::new();
+    let n = fa.code.len();
+    for ci in 0..n {
+        if fa.code_text(ci) != "fn" {
+            continue;
+        }
+        let mut depth = 0isize;
+        for j in ci + 1..n {
+            let t = fa.code_tok(j);
+            if t.is_punct(b'(') || t.is_punct(b'[') {
+                depth += 1;
+            } else if t.is_punct(b')') || t.is_punct(b']') {
+                depth -= 1;
+            } else if t.is_punct(b';') && depth == 0 {
+                break;
+            } else if t.is_punct(b'{') && depth == 0 {
+                if let Some(close) = fa.matching_brace(j) {
+                    fns.push((ci, j, close));
+                }
+                break;
+            }
+        }
+    }
+    fns
+}

@@ -1,0 +1,61 @@
+//! Rule `unsafe-audit`: every `unsafe` must carry a `// SAFETY:` comment.
+//!
+//! One refinement over the bare rule: an `unsafe fn` *declaration* may
+//! instead carry the idiomatic rustdoc `# Safety` section, which documents
+//! the contract the **caller** must uphold. `// SAFETY:` comments remain
+//! mandatory for `unsafe` blocks and impls, where the obligation is
+//! discharged rather than imposed.
+
+use crate::analysis::FileAnalysis;
+use crate::diag::Finding;
+
+const RULE: &str = "unsafe-audit";
+
+/// Scans for `unsafe` keywords lacking a non-empty `// SAFETY:` annotation.
+pub fn check(fa: &FileAnalysis<'_>, out: &mut Vec<Finding>) {
+    for ci in 0..fa.code.len() {
+        let tok = fa.code_tok(ci);
+        if !tok.is_ident(fa.src, "unsafe") || fa.in_test_code(tok.span.start) {
+            continue;
+        }
+        // `unsafe fn` with a `# Safety` doc section passes.
+        let next = fa.code.get(ci + 1).map(|_| fa.code_text(ci + 1));
+        if next == Some("fn") && fa.annotation(ci, "# Safety").is_some() {
+            continue;
+        }
+        match fa.annotation(ci, "SAFETY:") {
+            Some(rationale) if !rationale.trim().is_empty() => {}
+            Some(_) => out.push(Finding::new(
+                RULE,
+                fa.rel_path.clone(),
+                fa.src,
+                tok.span,
+                "`// SAFETY:` annotation has an empty rationale",
+                Some("state the proof obligation this unsafe discharges".into()),
+            )),
+            None => out.push(Finding::new(
+                RULE,
+                fa.rel_path.clone(),
+                fa.src,
+                tok.span,
+                describe(fa, ci),
+                Some(
+                    "add `// SAFETY: <why>` on the preceding line explaining why this is sound"
+                        .into(),
+                ),
+            )),
+        }
+    }
+}
+
+/// A message naming the unsafe construct (block / fn / impl / trait).
+fn describe(fa: &FileAnalysis<'_>, ci: usize) -> String {
+    let what = match fa.code.get(ci + 1).map(|_| fa.code_text(ci + 1)) {
+        Some("fn") => "`unsafe fn`",
+        Some("impl") => "`unsafe impl`",
+        Some("trait") => "`unsafe trait`",
+        Some("{") => "`unsafe` block",
+        _ => "`unsafe`",
+    };
+    format!("{what} lacks a `// SAFETY:` comment")
+}

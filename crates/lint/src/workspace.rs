@@ -1,0 +1,57 @@
+//! Workspace file discovery: every `crates/*/src/**/*.rs`.
+//!
+//! The walk is deterministic (directories and files visited in sorted
+//! order) so diagnostics come out in a stable order across runs and
+//! machines — important for CI diffing.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// A discovered source file: absolute path plus workspace-relative path.
+pub struct SourceFile {
+    /// Absolute path on disk.
+    pub path: PathBuf,
+    /// Path relative to the workspace root, with `/` separators.
+    pub rel: String,
+}
+
+/// Collects every `crates/*/src/**/*.rs` under `root`, sorted.
+pub fn collect_files(root: &Path) -> Result<Vec<SourceFile>, String> {
+    let crates_dir = root.join("crates");
+    let mut crates: Vec<PathBuf> = fs::read_dir(&crates_dir)
+        .map_err(|e| format!("cannot read {}: {e}", crates_dir.display()))?
+        .filter_map(|entry| entry.ok().map(|e| e.path()))
+        .filter(|p| p.is_dir())
+        .collect();
+    crates.sort();
+    let mut files = Vec::new();
+    for krate in crates {
+        let src = krate.join("src");
+        if src.is_dir() {
+            walk_rs(&src, root, &mut files)?;
+        }
+    }
+    Ok(files)
+}
+
+/// Recursively collects `.rs` files under `dir`, in sorted order.
+fn walk_rs(dir: &Path, root: &Path, out: &mut Vec<SourceFile>) -> Result<(), String> {
+    let mut entries: Vec<PathBuf> = fs::read_dir(dir)
+        .map_err(|e| format!("cannot read {}: {e}", dir.display()))?
+        .filter_map(|entry| entry.ok().map(|e| e.path()))
+        .collect();
+    entries.sort();
+    for path in entries {
+        if path.is_dir() {
+            walk_rs(&path, root, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            let rel = path
+                .strip_prefix(root)
+                .unwrap_or(&path)
+                .to_string_lossy()
+                .replace('\\', "/");
+            out.push(SourceFile { path, rel });
+        }
+    }
+    Ok(())
+}

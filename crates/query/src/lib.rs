@@ -18,6 +18,7 @@
 //! into this IR.
 
 #![deny(missing_docs)]
+#![forbid(unsafe_code)]
 
 pub mod aggregate;
 pub mod expr;

@@ -55,6 +55,7 @@
 //! ```
 
 #![deny(missing_docs)]
+#![forbid(unsafe_code)]
 
 pub mod protocol;
 
@@ -201,6 +202,9 @@ impl Notifier {
     fn wait(&self, timeout: Duration) {
         let mut dirty = self.dirty.lock().unwrap_or_else(|p| p.into_inner());
         if !*dirty {
+            // condvar-ok: bounded-latency poll — the REPL repaints on wake
+            // regardless, so a spurious or timed-out wake only costs one
+            // refresh; the dirty flag is consumed under the lock either way.
             let (guard, _) = self
                 .cv
                 .wait_timeout(dirty, timeout)

@@ -38,12 +38,14 @@
 
 mod config;
 mod crc;
+mod lockfile;
 mod record;
 mod snapshot;
 mod store;
 mod wal;
 
 pub use config::{DurabilityConfig, FsyncPolicy};
+pub use lockfile::{DirLock, LOCK_FILE_NAME};
 pub use record::WalRecord;
 pub use snapshot::{Snapshot, SnapshotQuery};
 pub use store::{has_existing_state, ReplayStats, Store, StoreStats};

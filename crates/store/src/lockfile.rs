@@ -1,0 +1,275 @@
+//! Single-writer data-directory lock.
+//!
+//! Two engine processes sharing one `--data-dir` would interleave WAL
+//! appends and clobber each other's snapshots, so [`Store::open`]
+//! (`crate::store::Store::open`) takes an exclusive [`DirLock`] first and
+//! holds it for the store's lifetime.
+//!
+//! The lock is a `saber.lock` file created with `create_new` (atomic on
+//! every platform) containing the owning process id and the directory's
+//! canonical path. Liveness — not mere existence — decides ownership: a
+//! lock left behind by a SIGKILLed or crashed process (its pid no longer
+//! alive) is *stale* and is silently replaced, so crash recovery never
+//! requires manual cleanup. A lock whose recorded path differs from the
+//! directory it sits in was *copied* there (a crash image or restored
+//! backup) and is stale too — the recorded owner is locking some other
+//! directory. Only a live pid that locked *this* path yields the clear
+//! "already locked" error naming the pid and the file to inspect.
+
+use saber_types::{Result, SaberError};
+use std::fs::OpenOptions;
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+/// Name of the lock file inside the data directory.
+pub const LOCK_FILE_NAME: &str = "saber.lock";
+
+/// An exclusive lock on one data directory, released on drop.
+#[derive(Debug)]
+pub struct DirLock {
+    path: PathBuf,
+}
+
+impl DirLock {
+    /// Acquires the lock for `dir`, which must already exist.
+    ///
+    /// Fails with [`SaberError::Store`] if another *live* process holds the
+    /// lock; silently replaces a stale lock whose owner is no longer
+    /// running.
+    pub fn acquire(dir: &Path) -> Result<DirLock> {
+        let path = dir.join(LOCK_FILE_NAME);
+        let canonical = dir.canonicalize().map_err(|e| {
+            SaberError::Store(format!(
+                "failed to canonicalize data dir {}: {e}",
+                dir.display()
+            ))
+        })?;
+        // A takeover race (two processes observing the same stale lock)
+        // resolves through `create_new`: exactly one replacement wins and
+        // the loser re-reads the winner's live pid on the next attempt.
+        for _ in 0..5 {
+            match OpenOptions::new().write(true).create_new(true).open(&path) {
+                Ok(mut file) => {
+                    let contents = format!("{}\n{}\n", std::process::id(), canonical.display());
+                    file.write_all(contents.as_bytes()).map_err(|e| {
+                        SaberError::Store(format!(
+                            "failed to write lock file {}: {e}",
+                            path.display()
+                        ))
+                    })?;
+                    return Ok(DirLock { path });
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::AlreadyExists => {
+                    match read_owner(&path) {
+                        // A live owner that locked *this* directory refuses
+                        // — including our own pid, so two stores in one
+                        // process cannot share a dir. A mismatched path
+                        // means the lock was copied here (crash image /
+                        // restored backup) and does not bind this dir.
+                        Some((pid, owner_path)) if pid_is_alive(pid) && owner_path == canonical => {
+                            return Err(SaberError::Store(format!(
+                                "data directory {} is locked by running process {pid}; \
+                                 refusing to open the same store twice \
+                                 (delete {} only if that process is not a saber engine)",
+                                dir.display(),
+                                path.display()
+                            )));
+                        }
+                        // Stale (owner dead or lock copied from another
+                        // directory) or unreadable: remove and retry.
+                        _ => {
+                            let _ = std::fs::remove_file(&path);
+                        }
+                    }
+                }
+                Err(e) => {
+                    return Err(SaberError::Store(format!(
+                        "failed to create lock file {}: {e}",
+                        path.display()
+                    )));
+                }
+            }
+        }
+        Err(SaberError::Store(format!(
+            "could not acquire data directory lock {} (takeover race persisted)",
+            path.display()
+        )))
+    }
+
+    /// The lock file's path (for diagnostics and tests).
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+impl Drop for DirLock {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_file(&self.path);
+    }
+}
+
+/// The `(pid, locked directory)` recorded in the lock file, if it parses.
+fn read_owner(path: &Path) -> Option<(u32, PathBuf)> {
+    let contents = std::fs::read_to_string(path).ok()?;
+    let mut lines = contents.lines();
+    let pid = lines.next()?.trim().parse().ok()?;
+    let dir = PathBuf::from(lines.next()?.trim());
+    Some((pid, dir))
+}
+
+/// Whether `pid` names a currently running process.
+///
+/// On Linux this is a `/proc/<pid>` check, with zombies counted as dead: a
+/// SIGKILLed engine that its parent has not yet reaped keeps its `/proc`
+/// entry (state `Z`) but can hold no file open and write no byte, so its
+/// lock is stale — without this, restart-after-crash races the reaper. On
+/// platforms without `/proc`, liveness is unknowable this way and the
+/// function conservatively answers `true` (refusing the takeover) — stale
+/// locks then need manual removal, but two live engines can never share a
+/// directory.
+fn pid_is_alive(pid: u32) -> bool {
+    let proc_root = Path::new("/proc");
+    if !proc_root.is_dir() {
+        return true;
+    }
+    let dir = proc_root.join(pid.to_string());
+    if !dir.exists() {
+        return false;
+    }
+    // `/proc/<pid>/stat` field 3 is the state character, after the parenthesized
+    // command name (which may itself contain spaces or parentheses, so split
+    // at the *last* `)`).
+    match std::fs::read_to_string(dir.join("stat")) {
+        Ok(stat) => {
+            let state = stat
+                .rsplit_once(')')
+                .map(|(_, rest)| rest.trim_start())
+                .and_then(|rest| rest.chars().next());
+            !matches!(state, Some('Z') | Some('X'))
+        }
+        // The pid exists but its stat is unreadable (it may have exited
+        // between the two checks): conservatively alive.
+        Err(_) => true,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    struct TempDir {
+        path: PathBuf,
+    }
+
+    impl TempDir {
+        fn new(tag: &str) -> Self {
+            static COUNTER: AtomicU64 = AtomicU64::new(0);
+            let path = std::env::temp_dir().join(format!(
+                "saber-lock-{tag}-{}-{}",
+                std::process::id(),
+                COUNTER.fetch_add(1, Ordering::Relaxed)
+            ));
+            std::fs::create_dir_all(&path).unwrap();
+            Self { path }
+        }
+    }
+
+    impl Drop for TempDir {
+        fn drop(&mut self) {
+            let _ = std::fs::remove_dir_all(&self.path);
+        }
+    }
+
+    #[test]
+    fn second_acquire_while_the_owner_lives_is_refused_with_a_clear_error() {
+        let dir = TempDir::new("second");
+        let _held = DirLock::acquire(&dir.path).unwrap();
+        let err = DirLock::acquire(&dir.path).unwrap_err().to_string();
+        assert!(err.contains("locked by running process"), "{err}");
+        assert!(err.contains(LOCK_FILE_NAME), "{err}");
+    }
+
+    #[test]
+    fn stale_lock_from_a_dead_process_is_taken_over() {
+        let dir = TempDir::new("stale");
+        // No live process has pid u32::MAX (Linux pids are < 2^22).
+        let contents = format!(
+            "{}\n{}\n",
+            u32::MAX,
+            dir.path.canonicalize().unwrap().display()
+        );
+        std::fs::write(dir.path.join(LOCK_FILE_NAME), contents).unwrap();
+        let lock = DirLock::acquire(&dir.path).unwrap();
+        let recorded = std::fs::read_to_string(lock.path()).unwrap();
+        assert_eq!(
+            recorded.lines().next().unwrap(),
+            std::process::id().to_string()
+        );
+    }
+
+    #[test]
+    fn lock_copied_into_another_directory_does_not_bind_it() {
+        // A crash image / restored backup carries the origin's lock file;
+        // the recorded path names the *origin*, so the copy is stale even
+        // while the origin's owner is alive.
+        let origin = TempDir::new("origin");
+        let image = TempDir::new("image");
+        let _held = DirLock::acquire(&origin.path).unwrap();
+        std::fs::copy(
+            origin.path.join(LOCK_FILE_NAME),
+            image.path.join(LOCK_FILE_NAME),
+        )
+        .unwrap();
+        DirLock::acquire(&image.path).unwrap();
+    }
+
+    #[test]
+    fn garbage_lock_contents_are_treated_as_stale() {
+        let dir = TempDir::new("garbage");
+        std::fs::write(dir.path.join(LOCK_FILE_NAME), "not-a-pid").unwrap();
+        DirLock::acquire(&dir.path).unwrap();
+    }
+
+    #[test]
+    fn lock_held_by_an_unreaped_zombie_is_stale() {
+        if !Path::new("/proc").is_dir() {
+            return; // liveness is unknowable without /proc; nothing to test
+        }
+        let dir = TempDir::new("zombie");
+        // An exited-but-unreaped child keeps its /proc entry in state `Z`
+        // until `wait` is called — exactly the window a crashed engine's
+        // lock sits in while the parent races the reaper.
+        let mut child = std::process::Command::new("true")
+            .spawn()
+            .expect("spawn `true`");
+        let pid = child.id();
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
+        while std::fs::read_to_string(format!("/proc/{pid}/stat"))
+            .map(|s| !s.contains(") Z"))
+            .unwrap_or(false)
+        {
+            assert!(
+                std::time::Instant::now() < deadline,
+                "child never zombified"
+            );
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
+        let contents = format!("{pid}\n{}\n", dir.path.canonicalize().unwrap().display());
+        std::fs::write(dir.path.join(LOCK_FILE_NAME), contents).unwrap();
+        DirLock::acquire(&dir.path).expect("zombie lock should be stale");
+        child.wait().unwrap();
+    }
+
+    #[test]
+    fn drop_releases_the_lock_for_the_next_acquire() {
+        let dir = TempDir::new("drop");
+        let lock = DirLock::acquire(&dir.path).unwrap();
+        let path = lock.path().to_path_buf();
+        drop(lock);
+        assert!(!path.exists());
+        let relock = DirLock::acquire(&dir.path).unwrap();
+        assert!(relock.path().exists());
+    }
+}

@@ -1,6 +1,7 @@
 //! The [`Store`] facade: one durability directory = one WAL + its snapshots.
 
 use crate::config::DurabilityConfig;
+use crate::lockfile::DirLock;
 use crate::record::WalRecord;
 use crate::snapshot::{self, Snapshot};
 use crate::wal::{list_segments, Wal};
@@ -50,6 +51,9 @@ pub struct Store {
     wal: Wal,
     torn_tail_bytes: u64,
     last_checkpoint: std::sync::Mutex<Option<u64>>,
+    /// Exclusive data-directory lock, held until the store is dropped so a
+    /// second process cannot open the same `--data-dir`.
+    _lock: DirLock,
 }
 
 impl Store {
@@ -61,6 +65,10 @@ impl Store {
         std::fs::create_dir_all(&config.dir).map_err(|e| {
             SaberError::Store(format!("failed to create {}: {e}", config.dir.display()))
         })?;
+        // One process per data directory: a second engine on the same dir
+        // would interleave WAL appends. Stale locks (SIGKILLed owner) are
+        // replaced, so crash recovery needs no manual cleanup.
+        let lock = DirLock::acquire(&config.dir)?;
         snapshot::remove_stale_tmp(&config.dir)?;
         // The snapshot floors the append cursor in case every segment at or
         // past its position was pruned (ids and positions must stay
@@ -73,6 +81,7 @@ impl Store {
             wal,
             torn_tail_bytes: info.torn_tail_bytes,
             last_checkpoint: std::sync::Mutex::new(latest.map(|s| s.next_wal_seq)),
+            _lock: lock,
         })
     }
 
@@ -210,6 +219,20 @@ mod tests {
             })
             .unwrap();
         out
+    }
+
+    #[test]
+    fn open_refuses_a_directory_that_is_already_open() {
+        let dir = TempDir::new("locked");
+        let held = Store::open(&config(&dir.path)).unwrap();
+        let err = match Store::open(&config(&dir.path)) {
+            Ok(_) => panic!("second open of a locked directory must fail"),
+            Err(e) => e.to_string(),
+        };
+        assert!(err.contains("locked by running process"), "{err}");
+        // Dropping the first store releases the lock.
+        drop(held);
+        Store::open(&config(&dir.path)).unwrap();
     }
 
     #[test]

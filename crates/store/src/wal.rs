@@ -270,6 +270,7 @@ impl Wal {
         let seq = pending.next_seq;
         pending.next_seq += 1;
         let frame_len = encode(seq, &mut pending.buf);
+        // relaxed-ok: monitoring counter, read only for stats display.
         inner
             .wal_bytes
             .fetch_add(frame_len as u64, Ordering::Relaxed);
@@ -334,6 +335,7 @@ impl Wal {
             }
         }
         if removed > 0 {
+            // relaxed-ok: monitoring counter, read only for stats display.
             self.inner
                 .num_segments
                 .fetch_sub(removed, Ordering::Relaxed);
@@ -529,6 +531,7 @@ fn flusher_loop(inner: Arc<WalInner>, active: Option<(u64, PathBuf, u64)>) {
                 if failure.is_none() {
                     match open_segment(&inner.dir, batch_first_seq, None) {
                         Ok(new_segment) => {
+                            // relaxed-ok: monitoring counter only.
                             inner.num_segments.fetch_add(1, Ordering::Relaxed);
                             segment = Some(new_segment);
                         }

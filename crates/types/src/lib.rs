@@ -20,6 +20,9 @@
 //!   shared by every vectorized code path,
 //! * [`SaberError`] — the crate-wide error type.
 
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
 pub mod buffer;
 pub mod columnar;
 pub mod cpu_features;

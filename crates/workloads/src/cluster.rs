@@ -16,17 +16,29 @@ use saber_types::{DataType, RowBuffer, Schema};
 
 /// Attribute indices of the TaskEvents schema.
 pub mod columns {
+    /// Event timestamp (microseconds in the trace, seconds here).
     pub const TIMESTAMP: usize = 0;
+    /// Job the task belongs to.
     pub const JOB_ID: usize = 1;
+    /// Task index within its job.
     pub const TASK_ID: usize = 2;
+    /// Machine the event refers to.
     pub const MACHINE_ID: usize = 3;
+    /// Lifecycle event code (submit/schedule/evict/…).
     pub const EVENT_TYPE: usize = 4;
+    /// Opaque user id.
     pub const USER_ID: usize = 5;
+    /// Scheduling class of the job.
     pub const CATEGORY: usize = 6;
+    /// Task priority.
     pub const PRIORITY: usize = 7;
+    /// Requested CPU cores.
     pub const CPU: usize = 8;
+    /// Requested memory.
     pub const RAM: usize = 9;
+    /// Requested local disk.
     pub const DISK: usize = 10;
+    /// Whether the task has placement constraints.
     pub const CONSTRAINTS: usize = 11;
 }
 

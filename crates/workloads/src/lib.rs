@@ -20,6 +20,9 @@
 //!   verified equivalent to their programmatic forms, plus a [`saber_sql`]
 //!   catalog covering every stream of the evaluation.
 
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
 pub mod cluster;
 pub mod linearroad;
 pub mod rates;

@@ -15,12 +15,19 @@ use saber_types::{DataType, RowBuffer, Schema};
 
 /// Attribute indices of the PosSpeedStr schema.
 pub mod columns {
+    /// Report timestamp.
     pub const TIMESTAMP: usize = 0;
+    /// Vehicle id.
     pub const VEHICLE: usize = 1;
+    /// Reported speed.
     pub const SPEED: usize = 2;
+    /// Expressway number.
     pub const HIGHWAY: usize = 3;
+    /// Lane number.
     pub const LANE: usize = 4;
+    /// Travel direction (0 = east, 1 = west).
     pub const DIRECTION: usize = 5;
+    /// Position on the expressway in feet.
     pub const POSITION: usize = 6;
 }
 

@@ -18,11 +18,17 @@ use saber_types::{DataType, RowBuffer, Schema};
 
 /// Attribute indices of the SmartGridStr schema.
 pub mod columns {
+    /// Measurement timestamp.
     pub const TIMESTAMP: usize = 0;
+    /// Measured load or work value.
     pub const VALUE: usize = 1;
+    /// Measurement type (0 = work, 1 = load).
     pub const PROPERTY: usize = 2;
+    /// Plug id within the household.
     pub const PLUG: usize = 3;
+    /// Household id within the house.
     pub const HOUSEHOLD: usize = 4;
+    /// House id.
     pub const HOUSE: usize = 5;
 }
 
