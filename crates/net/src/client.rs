@@ -1,0 +1,171 @@
+//! A small blocking client for the binary wire protocol — used by the
+//! REPL's `--binary` mode, the e2e tests and the c10k bench. It handles
+//! the connection preamble (the server's text banner line, the `\0SBP`
+//! magic, HELLO negotiation and optional authentication) and then
+//! exchanges [`Frame`]s synchronously.
+
+use crate::wire::{self, Decoded, Frame};
+use std::io::{self, Read, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+/// A blocking binary-protocol connection to a SABER server.
+pub struct BinaryClient {
+    stream: TcpStream,
+    rbuf: Vec<u8>,
+    rpos: usize,
+    max_frame_bytes: usize,
+    /// Flags the server sent in its `HELLO_ACK`.
+    flags: u8,
+}
+
+impl BinaryClient {
+    /// Connects, consumes the server's banner line, performs the magic +
+    /// HELLO exchange, and returns a ready client. The banner (the text
+    /// greeting every connection receives before mode detection) is
+    /// returned through `banner`.
+    pub fn connect(addr: impl ToSocketAddrs) -> io::Result<(BinaryClient, String)> {
+        let stream = TcpStream::connect(addr)?;
+        Self::from_stream(stream)
+    }
+
+    /// Wraps an already-connected stream (useful for timeout setup before
+    /// the handshake).
+    pub fn from_stream(stream: TcpStream) -> io::Result<(BinaryClient, String)> {
+        stream.set_nodelay(true).ok();
+        let mut client = BinaryClient {
+            stream,
+            rbuf: Vec::new(),
+            rpos: 0,
+            max_frame_bytes: 64 << 20,
+            flags: 0,
+        };
+        let banner = client.read_banner_line()?;
+        client.stream.write_all(&wire::MAGIC)?;
+        client.send(&Frame::Hello {
+            max_version: wire::PROTOCOL_VERSION,
+        })?;
+        match client.recv()? {
+            Frame::HelloAck { version, flags } => {
+                if version != wire::PROTOCOL_VERSION {
+                    return Err(io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        format!("server negotiated unsupported protocol version {version}"),
+                    ));
+                }
+                client.flags = flags;
+            }
+            Frame::Err { code, message } => {
+                return Err(io::Error::new(
+                    io::ErrorKind::ConnectionRefused,
+                    format!("handshake rejected: {} {message}", code.as_str()),
+                ));
+            }
+            other => {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("expected HELLO_ACK, got {other:?}"),
+                ));
+            }
+        }
+        Ok((client, banner))
+    }
+
+    /// True when the server requires authentication ([`BinaryClient::auth`]).
+    pub fn auth_required(&self) -> bool {
+        self.flags & wire::FLAG_AUTH_REQUIRED != 0
+    }
+
+    /// Authenticates with the shared-secret token; returns the server's
+    /// reply (an `Ok` or `Err` frame).
+    pub fn auth(&mut self, token: &str) -> io::Result<Frame> {
+        self.send(&Frame::Auth {
+            token: token.to_string(),
+        })?;
+        self.recv()
+    }
+
+    /// Sets the read timeout used by [`BinaryClient::recv`].
+    pub fn set_read_timeout(&self, timeout: Option<Duration>) -> io::Result<()> {
+        self.stream.set_read_timeout(timeout)
+    }
+
+    /// Sends one frame.
+    pub fn send(&mut self, frame: &Frame) -> io::Result<()> {
+        let bytes = frame.encode();
+        self.stream.write_all(&bytes)
+    }
+
+    /// Receives the next frame, blocking until one is complete.
+    pub fn recv(&mut self) -> io::Result<Frame> {
+        loop {
+            match wire::decode_frame(&self.rbuf[self.rpos..], self.max_frame_bytes) {
+                Ok(Decoded::Frame(frame, used)) => {
+                    self.rpos += used;
+                    if self.rpos == self.rbuf.len() {
+                        self.rbuf.clear();
+                        self.rpos = 0;
+                    }
+                    return Ok(frame);
+                }
+                Ok(Decoded::Incomplete) => {}
+                Err(e) => {
+                    return Err(io::Error::new(io::ErrorKind::InvalidData, e.message()));
+                }
+            }
+            let mut chunk = [0u8; 16 * 1024];
+            let n = self.stream.read(&mut chunk)?;
+            if n == 0 {
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "connection closed mid-frame",
+                ));
+            }
+            self.rbuf.extend_from_slice(&chunk[..n]);
+        }
+    }
+
+    /// Receives the next frame, skipping keepalive `NOP`s.
+    pub fn recv_skip_nops(&mut self) -> io::Result<Frame> {
+        loop {
+            match self.recv()? {
+                Frame::Nop => continue,
+                frame => return Ok(frame),
+            }
+        }
+    }
+
+    /// The underlying stream (for shutdown / timeout manipulation).
+    pub fn stream(&self) -> &TcpStream {
+        &self.stream
+    }
+
+    fn read_banner_line(&mut self) -> io::Result<String> {
+        let mut line = Vec::new();
+        let mut byte = [0u8; 1];
+        loop {
+            let n = self.stream.read(&mut byte)?;
+            if n == 0 {
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "connection closed before the banner line",
+                ));
+            }
+            if byte[0] == b'\n' {
+                break;
+            }
+            line.push(byte[0]);
+            if line.len() > 4096 {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    "banner line too long",
+                ));
+            }
+        }
+        if line.last() == Some(&b'\r') {
+            line.pop();
+        }
+        String::from_utf8(line)
+            .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "banner is not valid UTF-8"))
+    }
+}

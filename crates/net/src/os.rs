@@ -1,0 +1,354 @@
+//! Thin OS layer over the Linux readiness APIs: `epoll_create1` /
+//! `epoll_ctl` / `epoll_wait`, plus the `RLIMIT_NOFILE` accessors the C10k
+//! bench needs to hold tens of thousands of sockets in one process.
+//!
+//! The workspace builds offline and vendors every dependency under `shims/`;
+//! in the same spirit this module binds the four syscall wrappers it needs
+//! directly with `extern "C"` declarations instead of pulling in the `libc`
+//! crate — `std` already links the C library, so the symbols resolve with no
+//! extra dependency. Everything else (nonblocking sockets, the wakeup pipe)
+//! comes from `std` itself: sockets are plain [`std::net::TcpStream`]s with
+//! `set_nonblocking(true)`, registered here by raw fd, and the event-loop
+//! wakeup is a [`std::os::unix::net::UnixStream`] pair.
+//!
+//! On non-Linux targets the module compiles but [`Poller::new`] returns
+//! `Unsupported`: `saber_net` is a Linux server core (the engine's CI and
+//! deployment target), and a stub beats a cross-platform readiness
+//! abstraction nobody exercises.
+
+/// Readiness interest / event bits, a stable subset of `EPOLL*`.
+///
+/// The values match the kernel's on Linux so they pass through unmodified.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Events(pub u32);
+
+impl Events {
+    /// Readable (`EPOLLIN`).
+    pub const IN: u32 = 0x001;
+    /// Writable (`EPOLLOUT`).
+    pub const OUT: u32 = 0x004;
+    /// Error condition (`EPOLLERR`); always reported, never requested.
+    pub const ERR: u32 = 0x008;
+    /// Peer hangup (`EPOLLHUP`); always reported, never requested.
+    pub const HUP: u32 = 0x010;
+    /// Peer closed its write half (`EPOLLRDHUP`).
+    pub const RDHUP: u32 = 0x2000;
+
+    /// True if any of `bits` is set.
+    pub fn has(self, bits: u32) -> bool {
+        self.0 & bits != 0
+    }
+}
+
+/// One readiness notification: the registration token plus the event bits.
+#[derive(Debug, Clone, Copy)]
+pub struct Event {
+    /// The token the fd was registered under.
+    pub token: u64,
+    /// Ready-state bits ([`Events`] constants).
+    pub events: Events,
+}
+
+#[cfg(target_os = "linux")]
+mod imp {
+    use super::{Event, Events};
+    use std::io;
+    use std::os::unix::io::RawFd;
+
+    // The kernel's epoll_event is packed on x86-64 (12 bytes): the C header
+    // declares it `__attribute__((packed))` there so 32- and 64-bit layouts
+    // agree. repr(C, packed) reproduces that exactly.
+    #[repr(C, packed)]
+    #[derive(Clone, Copy)]
+    struct EpollEvent {
+        events: u32,
+        data: u64,
+    }
+
+    #[repr(C)]
+    struct RLimit {
+        rlim_cur: u64,
+        rlim_max: u64,
+    }
+
+    const EPOLL_CLOEXEC: i32 = 0o2000000;
+    const EPOLL_CTL_ADD: i32 = 1;
+    const EPOLL_CTL_DEL: i32 = 2;
+    const EPOLL_CTL_MOD: i32 = 3;
+    const RLIMIT_NOFILE: i32 = 7;
+
+    // The four C-library wrappers this crate needs. `std` links libc, so
+    // these resolve at link time with no `libc` crate dependency. None of
+    // the declarations is variadic and all types are the kernel's own.
+    extern "C" {
+        fn epoll_create1(flags: i32) -> i32;
+        fn epoll_ctl(epfd: i32, op: i32, fd: i32, event: *mut EpollEvent) -> i32;
+        fn epoll_wait(epfd: i32, events: *mut EpollEvent, maxevents: i32, timeout: i32) -> i32;
+        fn close(fd: i32) -> i32;
+        fn getrlimit(resource: i32, rlim: *mut RLimit) -> i32;
+        fn setrlimit(resource: i32, rlim: *const RLimit) -> i32;
+    }
+
+    fn cvt(ret: i32) -> io::Result<i32> {
+        if ret < 0 {
+            Err(io::Error::last_os_error())
+        } else {
+            Ok(ret)
+        }
+    }
+
+    /// An epoll instance owning its file descriptor.
+    pub struct Poller {
+        epfd: RawFd,
+        /// Reused event buffer for [`Poller::wait`].
+        buf: Vec<EpollEvent>,
+    }
+
+    impl std::fmt::Debug for Poller {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.debug_struct("Poller")
+                .field("epfd", &self.epfd)
+                .field("capacity", &self.buf.len())
+                .finish()
+        }
+    }
+
+    impl Poller {
+        /// Creates a close-on-exec epoll instance.
+        pub fn new() -> io::Result<Poller> {
+            // SAFETY: epoll_create1 takes no pointers; the returned fd is
+            // owned by the Poller and closed exactly once in Drop.
+            let epfd = cvt(unsafe { epoll_create1(EPOLL_CLOEXEC) })?;
+            Ok(Poller {
+                epfd,
+                buf: vec![EpollEvent { events: 0, data: 0 }; 1024],
+            })
+        }
+
+        fn ctl(&self, op: i32, fd: RawFd, interest: u32, token: u64) -> io::Result<()> {
+            let mut ev = EpollEvent {
+                events: interest,
+                data: token,
+            };
+            // SAFETY: `ev` outlives the call (epoll_ctl copies it before
+            // returning); `epfd` is a live epoll fd owned by self.
+            cvt(unsafe { epoll_ctl(self.epfd, op, fd, &mut ev) })?;
+            Ok(())
+        }
+
+        /// Registers `fd` under `token` with the given interest bits.
+        pub fn add(&self, fd: RawFd, interest: u32, token: u64) -> io::Result<()> {
+            self.ctl(EPOLL_CTL_ADD, fd, interest, token)
+        }
+
+        /// Replaces the interest set of an already-registered `fd`.
+        pub fn modify(&self, fd: RawFd, interest: u32, token: u64) -> io::Result<()> {
+            self.ctl(EPOLL_CTL_MOD, fd, interest, token)
+        }
+
+        /// Deregisters `fd`. Errors are returned but harmless at teardown
+        /// (the kernel drops registrations with the last fd close anyway).
+        pub fn remove(&self, fd: RawFd) -> io::Result<()> {
+            self.ctl(EPOLL_CTL_DEL, fd, 0, 0)
+        }
+
+        /// Blocks until at least one registered fd is ready or the timeout
+        /// elapses, appending the notifications to `out`. A `None` timeout
+        /// blocks indefinitely; `Some(0)` polls.
+        pub fn wait(&mut self, timeout_ms: Option<i32>, out: &mut Vec<Event>) -> io::Result<()> {
+            let timeout = timeout_ms.unwrap_or(-1);
+            let n = loop {
+                // SAFETY: `buf` is a live, properly sized allocation; the
+                // kernel writes at most `maxevents` entries into it.
+                let ret = unsafe {
+                    epoll_wait(
+                        self.epfd,
+                        self.buf.as_mut_ptr(),
+                        self.buf.len() as i32,
+                        timeout,
+                    )
+                };
+                match cvt(ret) {
+                    Ok(n) => break n as usize,
+                    Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                    Err(e) => return Err(e),
+                }
+            };
+            for ev in &self.buf[..n] {
+                out.push(Event {
+                    token: ev.data,
+                    events: Events(ev.events),
+                });
+            }
+            // A full buffer means more events may be pending; grow so one
+            // wait scales to tens of thousands of ready connections.
+            if n == self.buf.len() {
+                let doubled = self.buf.len() * 2;
+                self.buf.resize(doubled, EpollEvent { events: 0, data: 0 });
+            }
+            Ok(())
+        }
+    }
+
+    impl Drop for Poller {
+        fn drop(&mut self) {
+            // SAFETY: `epfd` was returned by epoll_create1 and is closed
+            // exactly once, here.
+            unsafe {
+                close(self.epfd);
+            }
+        }
+    }
+
+    /// Raises the soft `RLIMIT_NOFILE` to at least `want` descriptors
+    /// (capped at the hard limit, which the call also tries to raise —
+    /// allowed when running with `CAP_SYS_RESOURCE`, e.g. as root).
+    /// Returns the resulting soft limit.
+    pub fn raise_nofile_limit(want: u64) -> io::Result<u64> {
+        let mut lim = RLimit {
+            rlim_cur: 0,
+            rlim_max: 0,
+        };
+        // SAFETY: `lim` is a valid, writable RLimit the kernel fills in.
+        cvt(unsafe { getrlimit(RLIMIT_NOFILE, &mut lim) })?;
+        if lim.rlim_cur >= want {
+            return Ok(lim.rlim_cur);
+        }
+        let try_hard = lim.rlim_max.max(want);
+        let attempt = RLimit {
+            rlim_cur: want.min(try_hard),
+            rlim_max: try_hard,
+        };
+        // SAFETY: `attempt` is a valid RLimit; the kernel only reads it.
+        if unsafe { setrlimit(RLIMIT_NOFILE, &attempt) } == 0 {
+            return Ok(attempt.rlim_cur);
+        }
+        // Raising the hard limit needs privilege; fall back to growing the
+        // soft limit within the existing hard limit.
+        let capped = RLimit {
+            rlim_cur: want.min(lim.rlim_max),
+            rlim_max: lim.rlim_max,
+        };
+        // SAFETY: `capped` is a valid RLimit; the kernel only reads it.
+        cvt(unsafe { setrlimit(RLIMIT_NOFILE, &capped) })?;
+        Ok(capped.rlim_cur)
+    }
+}
+
+#[cfg(not(target_os = "linux"))]
+mod imp {
+    use super::Event;
+    use std::io;
+    use std::os::unix::io::RawFd;
+
+    /// Stub poller for non-Linux targets: construction fails cleanly.
+    #[derive(Debug)]
+    pub struct Poller {
+        _private: (),
+    }
+
+    impl Poller {
+        /// Always returns `Unsupported` — `saber_net` requires Linux epoll.
+        pub fn new() -> io::Result<Poller> {
+            Err(io::Error::new(
+                io::ErrorKind::Unsupported,
+                "saber_net requires Linux epoll",
+            ))
+        }
+
+        /// Unreachable: a `Poller` cannot be constructed on this target.
+        pub fn add(&self, _fd: RawFd, _interest: u32, _token: u64) -> io::Result<()> {
+            unreachable!("no Poller exists on non-Linux targets")
+        }
+
+        /// Unreachable: a `Poller` cannot be constructed on this target.
+        pub fn modify(&self, _fd: RawFd, _interest: u32, _token: u64) -> io::Result<()> {
+            unreachable!("no Poller exists on non-Linux targets")
+        }
+
+        /// Unreachable: a `Poller` cannot be constructed on this target.
+        pub fn remove(&self, _fd: RawFd) -> io::Result<()> {
+            unreachable!("no Poller exists on non-Linux targets")
+        }
+
+        /// Unreachable: a `Poller` cannot be constructed on this target.
+        pub fn wait(&mut self, _timeout_ms: Option<i32>, _out: &mut Vec<Event>) -> io::Result<()> {
+            unreachable!("no Poller exists on non-Linux targets")
+        }
+    }
+
+    /// No-op on non-Linux targets: reports the requested value unchanged.
+    pub fn raise_nofile_limit(want: u64) -> io::Result<u64> {
+        Ok(want)
+    }
+}
+
+pub use imp::{raise_nofile_limit, Poller};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::{Read, Write};
+    use std::os::unix::io::AsRawFd;
+    use std::os::unix::net::UnixStream;
+
+    #[test]
+    fn poller_reports_readability_and_interest_changes() {
+        let mut poller = Poller::new().expect("epoll");
+        let (mut a, mut b) = UnixStream::pair().expect("socketpair");
+        b.set_nonblocking(true).unwrap();
+        poller.add(b.as_raw_fd(), Events::IN, 7).unwrap();
+
+        // Nothing pending: a zero-timeout wait returns no events.
+        let mut events = Vec::new();
+        poller.wait(Some(0), &mut events).unwrap();
+        assert!(events.is_empty());
+
+        a.write_all(b"x").unwrap();
+        poller.wait(Some(1000), &mut events).unwrap();
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].token, 7);
+        assert!(events[0].events.has(Events::IN));
+
+        let mut byte = [0u8; 8];
+        let n = b.read(&mut byte).unwrap();
+        assert_eq!(n, 1);
+
+        // Writable interest reports immediately on an idle socket.
+        poller.modify(b.as_raw_fd(), Events::OUT, 9).unwrap();
+        events.clear();
+        poller.wait(Some(1000), &mut events).unwrap();
+        assert_eq!(events[0].token, 9);
+        assert!(events[0].events.has(Events::OUT));
+
+        poller.remove(b.as_raw_fd()).unwrap();
+        events.clear();
+        a.write_all(b"y").unwrap();
+        poller.wait(Some(0), &mut events).unwrap();
+        assert!(events.is_empty(), "deregistered fd must stay silent");
+    }
+
+    #[test]
+    fn hangup_is_reported_on_peer_close() {
+        let mut poller = Poller::new().expect("epoll");
+        let (a, b) = UnixStream::pair().expect("socketpair");
+        b.set_nonblocking(true).unwrap();
+        poller
+            .add(b.as_raw_fd(), Events::IN | Events::RDHUP, 3)
+            .unwrap();
+        drop(a);
+        let mut events = Vec::new();
+        poller.wait(Some(1000), &mut events).unwrap();
+        assert!(!events.is_empty());
+        let ev = events[0];
+        assert!(ev.events.has(Events::IN | Events::HUP | Events::RDHUP));
+    }
+
+    #[test]
+    fn nofile_limit_is_reported_or_raised() {
+        // The call must never *lower* the limit and must return the
+        // effective soft limit.
+        let before = raise_nofile_limit(64).expect("query limit");
+        assert!(before >= 64);
+    }
+}

@@ -1,0 +1,669 @@
+//! The length-prefixed binary wire protocol.
+//!
+//! A binary connection opens with the 4-byte magic [`MAGIC`] (`\0SBP` — the
+//! leading NUL can never begin a line of the text protocol, which is how the
+//! server tells the two modes apart), then exchanges frames:
+//!
+//! ```text
+//! [len: u32 LE][type: u8][payload: len-1 bytes]
+//! ```
+//!
+//! `len` counts the type byte plus the payload, so it is at least 1; frames
+//! longer than the decoder's `max_frame_bytes` are rejected before any
+//! payload is buffered. The first client frame must be [`Frame::Hello`]
+//! (version negotiation); the server answers [`Frame::HelloAck`] carrying
+//! the selected version and whether authentication is required. Row payloads
+//! travel as raw row bytes — the fixed-width little-endian layout the engine
+//! uses internally — with no base64 or CSV cost.
+//!
+//! See `docs/server.md` for the full frame table and handshake sequence.
+
+use std::fmt;
+
+/// The binary-mode preamble a client writes before its first frame.
+pub const MAGIC: [u8; 4] = [0x00, b'S', b'B', b'P'];
+
+/// The protocol version this implementation speaks.
+pub const PROTOCOL_VERSION: u8 = 1;
+
+/// `HelloAck` flag bit: the server requires [`Frame::Auth`] before commands.
+pub const FLAG_AUTH_REQUIRED: u8 = 0x01;
+
+/// Structured error categories carried by [`Frame::Err`], mirroring the text
+/// protocol's `ERR <category> <message>` responses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrCode {
+    /// Framing / parsing errors; the connection usually closes after one.
+    Protocol,
+    /// An `INSERT` payload that does not decode against the target schema.
+    Payload,
+    /// Unknown query id or SQL compilation failure.
+    Query,
+    /// Lifecycle conflicts (server shutting down, duplicate drop, ...).
+    State,
+    /// Missing or wrong authentication token.
+    Auth,
+    /// A per-client quota was exceeded.
+    Quota,
+    /// Durability / storage errors.
+    Store,
+    /// Configuration errors.
+    Config,
+    /// Anything else.
+    Other,
+}
+
+impl ErrCode {
+    /// The wire byte for this category.
+    pub fn as_u8(self) -> u8 {
+        match self {
+            ErrCode::Protocol => 1,
+            ErrCode::Payload => 2,
+            ErrCode::Query => 3,
+            ErrCode::State => 4,
+            ErrCode::Auth => 5,
+            ErrCode::Quota => 6,
+            ErrCode::Store => 7,
+            ErrCode::Config => 8,
+            ErrCode::Other => 9,
+        }
+    }
+
+    /// Decodes a wire byte (unknown bytes map to [`ErrCode::Other`]).
+    pub fn from_u8(byte: u8) -> ErrCode {
+        match byte {
+            1 => ErrCode::Protocol,
+            2 => ErrCode::Payload,
+            3 => ErrCode::Query,
+            4 => ErrCode::State,
+            5 => ErrCode::Auth,
+            6 => ErrCode::Quota,
+            7 => ErrCode::Store,
+            8 => ErrCode::Config,
+            _ => ErrCode::Other,
+        }
+    }
+
+    /// The category word used by the text protocol's `ERR <category> ...`.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ErrCode::Protocol => "protocol",
+            ErrCode::Payload => "payload",
+            ErrCode::Query => "query",
+            ErrCode::State => "state",
+            ErrCode::Auth => "auth",
+            ErrCode::Quota => "quota",
+            ErrCode::Store => "store",
+            ErrCode::Config => "config",
+            ErrCode::Other => "other",
+        }
+    }
+
+    /// Maps a text-protocol category word onto a wire code.
+    pub fn from_category(category: &str) -> ErrCode {
+        match category {
+            "protocol" => ErrCode::Protocol,
+            "payload" => ErrCode::Payload,
+            "query" => ErrCode::Query,
+            "state" => ErrCode::State,
+            "auth" => ErrCode::Auth,
+            "quota" => ErrCode::Quota,
+            "store" => ErrCode::Store,
+            "config" => ErrCode::Config,
+            _ => ErrCode::Other,
+        }
+    }
+}
+
+/// One protocol frame, either direction. Client-to-server frames carry the
+/// verbs of the text protocol; server-to-client frames carry acks, errors
+/// and pushed result batches.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Frame {
+    /// First client frame: the highest protocol version the client speaks.
+    Hello {
+        /// Highest version the client supports.
+        max_version: u8,
+    },
+    /// Server handshake reply: selected version plus feature flags
+    /// ([`FLAG_AUTH_REQUIRED`]).
+    HelloAck {
+        /// The version both sides will speak.
+        version: u8,
+        /// Feature/requirement bits.
+        flags: u8,
+    },
+    /// Shared-secret authentication token.
+    Auth {
+        /// The token, compared against the server's configured secret.
+        token: String,
+    },
+    /// Success ack; the message matches the text protocol's `OK <message>`.
+    Ok {
+        /// Human/machine-readable detail (`"query 0"`, `"rows 4"`, ...).
+        message: String,
+    },
+    /// Structured error: category code plus message.
+    Err {
+        /// The error category.
+        code: ErrCode,
+        /// The error message (no category prefix).
+        message: String,
+    },
+    /// Liveness probe.
+    Ping,
+    /// Reply to [`Frame::Ping`].
+    Pong,
+    /// Close the connection (server replies [`Frame::Bye`] and closes).
+    Quit,
+    /// Reply to [`Frame::Quit`].
+    Bye,
+    /// Compile and register a SQL query.
+    Query {
+        /// The SQL text.
+        sql: String,
+    },
+    /// Drain a query loss-free and deregister it.
+    DropQuery {
+        /// Target query id.
+        query: u32,
+    },
+    /// Ingest raw row bytes into one input stream of a query.
+    Insert {
+        /// Target query id.
+        query: u32,
+        /// Input stream index of that query.
+        stream: u32,
+        /// Raw row bytes (the engine's fixed-width little-endian layout).
+        rows: Vec<u8>,
+    },
+    /// Turn this connection into a result stream of [`Frame::Data`] pushes.
+    Subscribe {
+        /// Source query id.
+        query: u32,
+    },
+    /// Declare a stream schema: the payload is the text-protocol argument
+    /// form `name (attr TYPE, ...)`.
+    CreateStream {
+        /// `name (attr TYPE, ...)` definition text.
+        definition: String,
+    },
+    /// Cut partially filled batches so pending rows reach subscribers.
+    Flush,
+    /// List the registered streams.
+    Streams,
+    /// List the live queries.
+    Queries,
+    /// Per-query counters.
+    Stats {
+        /// Target query id.
+        query: u32,
+    },
+    /// Pushed result batch for a subscribed connection.
+    Data {
+        /// Number of result rows in `rows`.
+        nrows: u32,
+        /// Raw row bytes.
+        rows: Vec<u8>,
+    },
+    /// Final frame of a subscription (query dropped or server shutdown).
+    End,
+    /// Keepalive; clients ignore it.
+    Nop,
+}
+
+/// Frame type bytes.
+mod ty {
+    pub const HELLO: u8 = 0x01;
+    pub const HELLO_ACK: u8 = 0x02;
+    pub const AUTH: u8 = 0x03;
+    pub const OK: u8 = 0x04;
+    pub const ERR: u8 = 0x05;
+    pub const PING: u8 = 0x06;
+    pub const PONG: u8 = 0x07;
+    pub const QUIT: u8 = 0x08;
+    pub const BYE: u8 = 0x09;
+    pub const QUERY: u8 = 0x10;
+    pub const DROP_QUERY: u8 = 0x11;
+    pub const INSERT: u8 = 0x12;
+    pub const SUBSCRIBE: u8 = 0x13;
+    pub const CREATE_STREAM: u8 = 0x14;
+    pub const FLUSH: u8 = 0x15;
+    pub const STREAMS: u8 = 0x16;
+    pub const QUERIES: u8 = 0x17;
+    pub const STATS: u8 = 0x18;
+    pub const DATA: u8 = 0x20;
+    pub const END: u8 = 0x21;
+    pub const NOP: u8 = 0x22;
+}
+
+/// A malformed frame. Decoding never panics: every byte sequence either
+/// yields a frame, asks for more input, or produces one of these.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WireError {
+    message: String,
+}
+
+impl WireError {
+    fn new(message: impl Into<String>) -> WireError {
+        WireError {
+            message: message.into(),
+        }
+    }
+
+    /// The human-readable description.
+    pub fn message(&self) -> &str {
+        &self.message
+    }
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for WireError {}
+
+impl Frame {
+    /// Appends the encoded frame (`[len][type][payload]`) to `out`.
+    pub fn encode_into(&self, out: &mut Vec<u8>) {
+        let start = out.len();
+        out.extend_from_slice(&[0u8; 4]); // length placeholder
+        match self {
+            Frame::Hello { max_version } => {
+                out.push(ty::HELLO);
+                out.push(*max_version);
+            }
+            Frame::HelloAck { version, flags } => {
+                out.push(ty::HELLO_ACK);
+                out.push(*version);
+                out.push(*flags);
+            }
+            Frame::Auth { token } => {
+                out.push(ty::AUTH);
+                out.extend_from_slice(token.as_bytes());
+            }
+            Frame::Ok { message } => {
+                out.push(ty::OK);
+                out.extend_from_slice(message.as_bytes());
+            }
+            Frame::Err { code, message } => {
+                out.push(ty::ERR);
+                out.push(code.as_u8());
+                out.extend_from_slice(message.as_bytes());
+            }
+            Frame::Ping => out.push(ty::PING),
+            Frame::Pong => out.push(ty::PONG),
+            Frame::Quit => out.push(ty::QUIT),
+            Frame::Bye => out.push(ty::BYE),
+            Frame::Query { sql } => {
+                out.push(ty::QUERY);
+                out.extend_from_slice(sql.as_bytes());
+            }
+            Frame::DropQuery { query } => {
+                out.push(ty::DROP_QUERY);
+                out.extend_from_slice(&query.to_le_bytes());
+            }
+            Frame::Insert {
+                query,
+                stream,
+                rows,
+            } => {
+                out.push(ty::INSERT);
+                out.extend_from_slice(&query.to_le_bytes());
+                out.extend_from_slice(&stream.to_le_bytes());
+                out.extend_from_slice(rows);
+            }
+            Frame::Subscribe { query } => {
+                out.push(ty::SUBSCRIBE);
+                out.extend_from_slice(&query.to_le_bytes());
+            }
+            Frame::CreateStream { definition } => {
+                out.push(ty::CREATE_STREAM);
+                out.extend_from_slice(definition.as_bytes());
+            }
+            Frame::Flush => out.push(ty::FLUSH),
+            Frame::Streams => out.push(ty::STREAMS),
+            Frame::Queries => out.push(ty::QUERIES),
+            Frame::Stats { query } => {
+                out.push(ty::STATS);
+                out.extend_from_slice(&query.to_le_bytes());
+            }
+            Frame::Data { nrows, rows } => {
+                out.push(ty::DATA);
+                out.extend_from_slice(&nrows.to_le_bytes());
+                out.extend_from_slice(rows);
+            }
+            Frame::End => out.push(ty::END),
+            Frame::Nop => out.push(ty::NOP),
+        }
+        let len = (out.len() - start - 4) as u32;
+        out[start..start + 4].copy_from_slice(&len.to_le_bytes());
+    }
+
+    /// Encodes the frame into a fresh buffer.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(16);
+        self.encode_into(&mut out);
+        out
+    }
+
+    /// Decodes the frame body (`[type][payload]`, without the length
+    /// prefix). `body` must be exactly one frame.
+    pub fn decode_body(body: &[u8]) -> Result<Frame, WireError> {
+        let Some((&kind, payload)) = body.split_first() else {
+            return Err(WireError::new("empty frame (zero-length body)"));
+        };
+        let text = |what: &str| -> Result<String, WireError> {
+            String::from_utf8(payload.to_vec())
+                .map_err(|_| WireError::new(format!("{what} payload is not valid UTF-8")))
+        };
+        let u32_at = |off: usize, what: &str| -> Result<u32, WireError> {
+            payload
+                .get(off..off + 4)
+                .map(|b| u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+                .ok_or_else(|| WireError::new(format!("{what} frame is shorter than its header")))
+        };
+        let exact = |want: usize, what: &str| -> Result<(), WireError> {
+            if payload.len() != want {
+                return Err(WireError::new(format!(
+                    "{what} frame payload must be {want} bytes, got {}",
+                    payload.len()
+                )));
+            }
+            Ok(())
+        };
+        Ok(match kind {
+            ty::HELLO => {
+                exact(1, "HELLO")?;
+                Frame::Hello {
+                    max_version: payload[0],
+                }
+            }
+            ty::HELLO_ACK => {
+                exact(2, "HELLO_ACK")?;
+                Frame::HelloAck {
+                    version: payload[0],
+                    flags: payload[1],
+                }
+            }
+            ty::AUTH => Frame::Auth {
+                token: text("AUTH")?,
+            },
+            ty::OK => Frame::Ok {
+                message: text("OK")?,
+            },
+            ty::ERR => {
+                let Some((&code, message)) = payload.split_first() else {
+                    return Err(WireError::new("ERR frame is missing its category byte"));
+                };
+                Frame::Err {
+                    code: ErrCode::from_u8(code),
+                    message: String::from_utf8(message.to_vec())
+                        .map_err(|_| WireError::new("ERR message is not valid UTF-8"))?,
+                }
+            }
+            ty::PING => {
+                exact(0, "PING")?;
+                Frame::Ping
+            }
+            ty::PONG => {
+                exact(0, "PONG")?;
+                Frame::Pong
+            }
+            ty::QUIT => {
+                exact(0, "QUIT")?;
+                Frame::Quit
+            }
+            ty::BYE => {
+                exact(0, "BYE")?;
+                Frame::Bye
+            }
+            ty::QUERY => Frame::Query {
+                sql: text("QUERY")?,
+            },
+            ty::DROP_QUERY => {
+                exact(4, "DROP_QUERY")?;
+                Frame::DropQuery {
+                    query: u32_at(0, "DROP_QUERY")?,
+                }
+            }
+            ty::INSERT => {
+                let query = u32_at(0, "INSERT")?;
+                let stream = u32_at(4, "INSERT")?;
+                Frame::Insert {
+                    query,
+                    stream,
+                    rows: payload[8..].to_vec(),
+                }
+            }
+            ty::SUBSCRIBE => {
+                exact(4, "SUBSCRIBE")?;
+                Frame::Subscribe {
+                    query: u32_at(0, "SUBSCRIBE")?,
+                }
+            }
+            ty::CREATE_STREAM => Frame::CreateStream {
+                definition: text("CREATE_STREAM")?,
+            },
+            ty::FLUSH => {
+                exact(0, "FLUSH")?;
+                Frame::Flush
+            }
+            ty::STREAMS => {
+                exact(0, "STREAMS")?;
+                Frame::Streams
+            }
+            ty::QUERIES => {
+                exact(0, "QUERIES")?;
+                Frame::Queries
+            }
+            ty::STATS => {
+                exact(4, "STATS")?;
+                Frame::Stats {
+                    query: u32_at(0, "STATS")?,
+                }
+            }
+            ty::DATA => {
+                let nrows = u32_at(0, "DATA")?;
+                Frame::Data {
+                    nrows,
+                    rows: payload[4..].to_vec(),
+                }
+            }
+            ty::END => {
+                exact(0, "END")?;
+                Frame::End
+            }
+            ty::NOP => {
+                exact(0, "NOP")?;
+                Frame::Nop
+            }
+            other => return Err(WireError::new(format!("unknown frame type 0x{other:02x}"))),
+        })
+    }
+}
+
+/// Outcome of one [`decode_frame`] attempt over a byte prefix.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Decoded {
+    /// A complete frame plus the number of bytes it consumed.
+    Frame(Frame, usize),
+    /// The buffer holds only a prefix of a frame; read more bytes.
+    Incomplete,
+}
+
+/// Decodes the first frame of `buf` without consuming input. Returns
+/// [`Decoded::Incomplete`] while `buf` is a strict prefix of a frame;
+/// rejects frames whose declared length is zero or exceeds `max_frame_bytes`
+/// *before* their payload arrives, so an attacker cannot make the server
+/// buffer an arbitrarily large frame.
+pub fn decode_frame(buf: &[u8], max_frame_bytes: usize) -> Result<Decoded, WireError> {
+    if buf.len() < 4 {
+        return Ok(Decoded::Incomplete);
+    }
+    let len = u32::from_le_bytes([buf[0], buf[1], buf[2], buf[3]]) as usize;
+    if len == 0 {
+        return Err(WireError::new("zero-length frame (missing type byte)"));
+    }
+    if len > max_frame_bytes {
+        return Err(WireError::new(format!(
+            "frame of {len} bytes exceeds the {max_frame_bytes}-byte limit"
+        )));
+    }
+    if buf.len() < 4 + len {
+        return Ok(Decoded::Incomplete);
+    }
+    let frame = Frame::decode_body(&buf[4..4 + len])?;
+    Ok(Decoded::Frame(frame, 4 + len))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip(frame: Frame) {
+        let bytes = frame.encode();
+        match decode_frame(&bytes, 1 << 20).unwrap() {
+            Decoded::Frame(decoded, consumed) => {
+                assert_eq!(decoded, frame);
+                assert_eq!(consumed, bytes.len());
+            }
+            Decoded::Incomplete => panic!("complete frame decoded as incomplete"),
+        }
+    }
+
+    #[test]
+    fn every_frame_kind_round_trips() {
+        for frame in [
+            Frame::Hello { max_version: 1 },
+            Frame::HelloAck {
+                version: 1,
+                flags: FLAG_AUTH_REQUIRED,
+            },
+            Frame::Auth {
+                token: "s3cret".into(),
+            },
+            Frame::Ok {
+                message: "query 0".into(),
+            },
+            Frame::Err {
+                code: ErrCode::Quota,
+                message: "rate limit exceeded".into(),
+            },
+            Frame::Ping,
+            Frame::Pong,
+            Frame::Quit,
+            Frame::Bye,
+            Frame::Query {
+                sql: "SELECT * FROM S [ROWS 2]".into(),
+            },
+            Frame::DropQuery { query: 7 },
+            Frame::Insert {
+                query: 3,
+                stream: 1,
+                rows: vec![1, 2, 3, 4, 5, 6, 7, 8],
+            },
+            Frame::Subscribe { query: 2 },
+            Frame::CreateStream {
+                definition: "S (timestamp TIMESTAMP, v FLOAT)".into(),
+            },
+            Frame::Flush,
+            Frame::Streams,
+            Frame::Queries,
+            Frame::Stats { query: 9 },
+            Frame::Data {
+                nrows: 2,
+                rows: vec![0xAA; 24],
+            },
+            Frame::End,
+            Frame::Nop,
+        ] {
+            round_trip(frame);
+        }
+    }
+
+    #[test]
+    fn truncated_prefixes_are_incomplete_never_frames() {
+        let frame = Frame::Insert {
+            query: 1,
+            stream: 0,
+            rows: vec![9; 64],
+        };
+        let bytes = frame.encode();
+        for cut in 0..bytes.len() {
+            assert_eq!(
+                decode_frame(&bytes[..cut], 1 << 20).unwrap(),
+                Decoded::Incomplete,
+                "prefix of {cut} bytes"
+            );
+        }
+    }
+
+    #[test]
+    fn oversized_and_malformed_frames_are_rejected() {
+        // Declared length above the cap is rejected from the header alone.
+        let mut huge = Vec::new();
+        huge.extend_from_slice(&(10_000u32).to_le_bytes());
+        huge.push(ty::PING);
+        assert!(decode_frame(&huge, 1024).is_err());
+
+        // Zero-length frame: no type byte to dispatch on.
+        assert!(decode_frame(&0u32.to_le_bytes(), 1024).is_err());
+
+        // Unknown type byte.
+        let mut unk = Vec::new();
+        unk.extend_from_slice(&1u32.to_le_bytes());
+        unk.push(0xEE);
+        assert!(decode_frame(&unk, 1024).is_err());
+
+        // Fixed-size frames validate their payload length.
+        let mut short = Vec::new();
+        short.extend_from_slice(&3u32.to_le_bytes());
+        short.push(ty::SUBSCRIBE);
+        short.extend_from_slice(&[0, 0]);
+        assert!(decode_frame(&short, 1024).is_err());
+
+        // Non-UTF-8 text payloads are structured errors, not panics.
+        let mut bad = Vec::new();
+        bad.extend_from_slice(&3u32.to_le_bytes());
+        bad.push(ty::QUERY);
+        bad.extend_from_slice(&[0xFF, 0xFE]);
+        assert!(decode_frame(&bad, 1024).is_err());
+    }
+
+    #[test]
+    fn back_to_back_frames_decode_in_sequence() {
+        let mut buf = Vec::new();
+        Frame::Ping.encode_into(&mut buf);
+        Frame::Stats { query: 4 }.encode_into(&mut buf);
+        let Decoded::Frame(first, used) = decode_frame(&buf, 1024).unwrap() else {
+            panic!("first frame incomplete");
+        };
+        assert_eq!(first, Frame::Ping);
+        let Decoded::Frame(second, used2) = decode_frame(&buf[used..], 1024).unwrap() else {
+            panic!("second frame incomplete");
+        };
+        assert_eq!(second, Frame::Stats { query: 4 });
+        assert_eq!(used + used2, buf.len());
+    }
+
+    #[test]
+    fn err_codes_round_trip_with_category_names() {
+        for code in [
+            ErrCode::Protocol,
+            ErrCode::Payload,
+            ErrCode::Query,
+            ErrCode::State,
+            ErrCode::Auth,
+            ErrCode::Quota,
+            ErrCode::Store,
+            ErrCode::Config,
+            ErrCode::Other,
+        ] {
+            assert_eq!(ErrCode::from_u8(code.as_u8()), code);
+            assert_eq!(ErrCode::from_category(code.as_str()), code);
+        }
+    }
+}

@@ -1,0 +1,184 @@
+//! Property tests for the binary frame codec: encode → decode is the
+//! identity for arbitrary frames of every kind, every strict prefix of an
+//! encoded frame reports `Incomplete` (never a frame, never an error), and
+//! decoding arbitrary byte soup never panics.
+
+use proptest::prelude::*;
+use saber_net::wire::{decode_frame, Decoded, ErrCode, Frame};
+
+const MAX: usize = 1 << 20;
+
+/// Deterministically derives payload bytes from drawn integers (the proptest
+/// shim draws primitives; variable-length content is a function of them).
+fn bytes_from(len: usize, seed: u64) -> Vec<u8> {
+    (0..len)
+        .map(|i| {
+            (seed
+                .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                .wrapping_add(i as u64)
+                >> 16) as u8
+        })
+        .collect()
+}
+
+/// Derives ASCII text the same way (text payloads must be valid UTF-8).
+fn text_from(len: usize, seed: u64) -> String {
+    bytes_from(len, seed)
+        .into_iter()
+        .map(|b| (b' ' + (b % 95)) as char)
+        .collect()
+}
+
+/// Builds one frame of every wire kind from drawn integers.
+fn frame_from(kind: u8, small: u8, id: u32, len: usize, seed: u64) -> Frame {
+    match kind % 21 {
+        0 => Frame::Hello { max_version: small },
+        1 => Frame::HelloAck {
+            version: small,
+            flags: (seed & 0xFF) as u8,
+        },
+        2 => Frame::Auth {
+            token: text_from(len, seed),
+        },
+        3 => Frame::Ok {
+            message: text_from(len, seed),
+        },
+        4 => Frame::Err {
+            code: ErrCode::from_u8(small),
+            message: text_from(len, seed),
+        },
+        5 => Frame::Ping,
+        6 => Frame::Pong,
+        7 => Frame::Quit,
+        8 => Frame::Bye,
+        9 => Frame::Query {
+            sql: text_from(len, seed),
+        },
+        10 => Frame::DropQuery { query: id },
+        11 => Frame::Insert {
+            query: id,
+            stream: id.wrapping_mul(7) % 16,
+            rows: bytes_from(len, seed),
+        },
+        12 => Frame::Subscribe { query: id },
+        13 => Frame::CreateStream {
+            definition: text_from(len, seed),
+        },
+        14 => Frame::Flush,
+        15 => Frame::Streams,
+        16 => Frame::Queries,
+        17 => Frame::Stats { query: id },
+        18 => Frame::Data {
+            nrows: id,
+            rows: bytes_from(len, seed),
+        },
+        19 => Frame::End,
+        _ => Frame::Nop,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn encode_decode_is_identity(
+        kind in 0u8..21,
+        small in 0u8..255,
+        id in 0u32..u32::MAX,
+        len in 0usize..2048,
+        seed in 0u64..u64::MAX,
+    ) {
+        let frame = frame_from(kind, small, id, len, seed);
+        let bytes = frame.encode();
+        match decode_frame(&bytes, MAX) {
+            Ok(Decoded::Frame(decoded, used)) => {
+                prop_assert_eq!(decoded, frame);
+                prop_assert_eq!(used, bytes.len());
+            }
+            other => prop_assert!(false, "expected a frame, got {:?}", other),
+        }
+    }
+
+    #[test]
+    fn strict_prefixes_are_incomplete(
+        kind in 0u8..21,
+        small in 0u8..255,
+        id in 0u32..u32::MAX,
+        len in 0usize..256,
+        seed in 0u64..u64::MAX,
+        cut_seed in 0u64..u64::MAX,
+    ) {
+        let frame = frame_from(kind, small, id, len, seed);
+        let bytes = frame.encode();
+        // One arbitrary strict prefix per case, plus the boundary cuts that
+        // historically hide bugs (empty, header-only, one-short).
+        let arbitrary = (cut_seed % bytes.len() as u64) as usize;
+        for cut in [0, bytes.len().min(4), bytes.len() - 1, arbitrary] {
+            if cut >= bytes.len() {
+                continue;
+            }
+            prop_assert_eq!(
+                decode_frame(&bytes[..cut], MAX),
+                Ok(Decoded::Incomplete),
+                "prefix of {} of {} bytes must be incomplete",
+                cut,
+                bytes.len()
+            );
+        }
+    }
+
+    #[test]
+    fn trailing_bytes_do_not_change_the_first_frame(
+        kind in 0u8..21,
+        small in 0u8..255,
+        id in 0u32..u32::MAX,
+        len in 0usize..256,
+        seed in 0u64..u64::MAX,
+        tail_len in 0usize..64,
+    ) {
+        let frame = frame_from(kind, small, id, len, seed);
+        let mut bytes = frame.encode();
+        let frame_len = bytes.len();
+        bytes.extend_from_slice(&bytes_from(tail_len, seed ^ 0xDEAD_BEEF));
+        match decode_frame(&bytes, MAX) {
+            Ok(Decoded::Frame(decoded, used)) => {
+                prop_assert_eq!(decoded, frame);
+                prop_assert_eq!(used, frame_len);
+            }
+            other => prop_assert!(false, "expected the first frame, got {:?}", other),
+        }
+    }
+
+    #[test]
+    fn arbitrary_bytes_never_panic_the_decoder(
+        len in 0usize..512,
+        seed in 0u64..u64::MAX,
+        max in 1usize..4096,
+    ) {
+        // Every outcome is acceptable except a panic: a frame that re-encodes
+        // to something decodable, a request for more bytes, or a structured
+        // error.
+        let soup = bytes_from(len, seed);
+        match decode_frame(&soup, max) {
+            Ok(Decoded::Frame(frame, used)) => {
+                prop_assert!(used <= soup.len());
+                let bytes = frame.encode();
+                prop_assert!(matches!(
+                    decode_frame(&bytes, MAX),
+                    Ok(Decoded::Frame(_, _))
+                ));
+            }
+            Ok(Decoded::Incomplete) => {}
+            Err(err) => prop_assert!(!err.message().is_empty()),
+        }
+    }
+
+    #[test]
+    fn err_code_bytes_are_total(byte in 0u8..255) {
+        // from_u8 is total (unknown bytes collapse to Other) and as_u8 is a
+        // right inverse on its image.
+        let code = ErrCode::from_u8(byte);
+        prop_assert_eq!(ErrCode::from_u8(code.as_u8()), code);
+        prop_assert_eq!(ErrCode::from_category(code.as_str()), code);
+    }
+}

@@ -1,39 +1,46 @@
 //! # saber-server
 //!
 //! A TCP network frontend for the SABER engine: the piece that turns the
-//! embedded library into a system serving many concurrent clients. It speaks
-//! a small newline-delimited, length-safe text protocol (see
-//! `docs/server.md`):
+//! embedded library into a system serving many concurrent clients. Since
+//! the `saber_net` rewrite the frontend is **readiness-based**: one epoll
+//! event loop multiplexes every connection (no thread per connection, so
+//! tens of thousands of concurrent clients fit in one engine process), and
+//! a small dispatch pool runs the command handlers so an `INSERT` blocked
+//! on the engine's credit gate never stalls the loop.
 //!
-//! * `CREATE STREAM name (attr TYPE, ...)` declares a stream schema in a
-//!   shared [`saber_sql::SharedCatalog`],
-//! * `QUERY <sql>` compiles a statement of the SABER SQL dialect against the
-//!   catalog and registers it with the engine — **at any point in the
-//!   server's life**: the engine starts at bind time with a dynamic query
-//!   set, so `QUERY` works before, between and after `INSERT`s,
-//! * `DROP QUERY <id>` drains a query loss-free (every acknowledged row is
-//!   reflected in its results) and deregisters it; its subscribers receive
-//!   the final windows followed by `END`,
-//! * `INSERT <query> <stream> CSV|B64 <rows>` ingests rows — CSV for
-//!   human-driven clients, base64-encoded raw row bytes for binary ones,
-//! * `SUBSCRIBE <query> [CSV|B64]` turns the connection into a result
-//!   stream: the server pushes windows to every subscriber as they close.
+//! Two wire protocols share the port, distinguished by the first byte a
+//! client sends (see `docs/server.md`):
 //!
-//! Each connection gets its own reader thread; all connections multiplex
-//! onto **one** [`Saber`] engine, so producers share the engine's credit-gate
-//! backpressure (a slow engine blocks `INSERT` acks, which blocks the TCP
-//! stream — backpressure propagates to the client for free).
+//! * the newline-delimited **text protocol** — unchanged, REPL-friendly:
+//!   `CREATE STREAM`, `QUERY`, `DROP QUERY`, `INSERT ... CSV|B64`,
+//!   `SUBSCRIBE`, `STATS`, ...
+//! * the length-prefixed **binary protocol** ([`saber_net::wire`]) — a
+//!   `\0SBP` magic followed by `[len][type][payload]` frames, version-
+//!   negotiated via `HELLO`, carrying the same verbs plus raw (unencoded)
+//!   row payloads and `DATA` result frames.
+//!
+//! Connections optionally authenticate with a shared-secret token
+//! ([`ServerConfig::auth_token`]) and are individually rate-limited
+//! ([`ServerConfig::quota_rows_per_sec`]): throttling pauses that one
+//! connection's reads — backpressure reaches the client through TCP, and
+//! nobody else slows down.
+//!
+//! All connections multiplex onto **one** [`Saber`] engine, so producers
+//! share the engine's credit-gate backpressure (a slow engine blocks
+//! `INSERT` acks, which blocks the TCP stream — backpressure propagates to
+//! the client for free).
 //!
 //! Result delivery is **push-driven end to end**: every query's
 //! [`QuerySink`](saber_engine::QuerySink) carries a subscription hook that
 //! wakes the broadcaster the moment the result stage appends a closed
-//! window — the broadcaster blocks on a condvar between deliveries instead
-//! of sleeping on a poll interval.
+//! window; the broadcaster encodes each batch at most once per encoding in
+//! use and appends it to the subscribers' outboxes, where the event loop's
+//! write-interest scheduling takes over.
 //!
 //! [`Server::shutdown`] is deterministic and loss-free, built on the
-//! engine's reject-then-drain `stop()` semantics: it stops accepting,
-//! unblocks and joins every connection thread (so no ingest is in flight),
-//! stops the engine (every acknowledged row is processed), then delivers the
+//! engine's reject-then-drain `stop()` semantics: it stops accepting and
+//! reading, quiesces the dispatch pool (so no ingest is in flight), stops
+//! the engine (every acknowledged row is processed), then delivers the
 //! final result windows and an `END` marker to all subscribers.
 //!
 //! ```no_run
@@ -59,21 +66,19 @@
 
 pub mod protocol;
 
-use protocol::{
-    data_type_name, format_batch, parse_command, read_line_capped, Command, Encoding, Payload,
-};
+use protocol::{data_type_name, format_batch, parse_command, Command, Encoding, Payload};
 use saber_engine::{EngineConfig, IngestHandle, QueryHandle, QueryId, Saber, StreamId};
+use saber_net::wire::{ErrCode, Frame};
+use saber_net::{App, ConnHandle, NetConfig, NetServer, Request};
 use saber_sql::SharedCatalog;
 use saber_types::schema::SchemaRef;
 use saber_types::{Result, RowBuffer, SaberError};
-use std::io::{BufReader, Write};
-use std::net::{
-    IpAddr, Ipv4Addr, Ipv6Addr, Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs,
-};
+use std::collections::HashSet;
+use std::net::{SocketAddr, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use std::thread::JoinHandle;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 /// Configuration of a [`Server`].
 ///
@@ -84,28 +89,41 @@ use std::time::{Duration, Instant};
 /// directory when it holds state from a previous run — same query ids,
 /// replayed result windows — and otherwise starts fresh; the engine's
 /// checkpoint cadence lives in `DurabilityConfig::checkpoint_interval`.
-///
-/// (The long-ignored `poll_interval` field of the pre-push-delivery
-/// broadcaster has been removed; result delivery is event-driven and the
-/// checkpoint cadence replaced the field's last conceivable use.)
 #[derive(Debug, Clone)]
 pub struct ServerConfig {
     /// Configuration of the embedded engine.
     pub engine: EngineConfig,
-    /// Maximum accepted request-line length in bytes. Longer lines abort the
-    /// connection with a protocol error (the framing cannot resynchronise).
+    /// Maximum accepted request size in bytes: text lines *and* binary
+    /// frames share this cap. Oversized requests are answered with a
+    /// structured `ERR protocol` response before the connection closes
+    /// (the framing cannot resynchronise).
     pub max_line_bytes: usize,
-    /// Write timeout applied to subscriber sockets. A subscriber that stops
-    /// reading (full TCP receive window) fails its next push within this
-    /// bound and is dropped, so one stalled client can neither starve the
-    /// other subscribers nor wedge [`Server::shutdown`].
+    /// How long a subscriber may make zero write progress (full TCP
+    /// receive window) with result bytes pending before it is dropped, so
+    /// one stalled client can neither starve the other subscribers nor
+    /// wedge [`Server::shutdown`].
     pub subscriber_write_timeout: Duration,
-    /// How often the broadcaster writes a `NOP` keepalive line to quiet
-    /// subscribers. TCP cannot distinguish a half-close ("no more input,
-    /// still receiving" — which subscriptions honour) from a full close
-    /// until a write fails, so the keepalive bounds how long a fully
-    /// disconnected subscriber of an idle query can linger unreaped.
+    /// How often the server writes a `NOP` keepalive to quiet subscribers.
+    /// TCP cannot distinguish a half-close ("no more input, still
+    /// receiving" — which subscriptions honour) from a full close until a
+    /// write fails, so the keepalive bounds how long a fully disconnected
+    /// subscriber of an idle query can linger unreaped.
     pub keepalive_interval: Duration,
+    /// Shared-secret authentication token. When set, clients must
+    /// authenticate (text `AUTH <token>`, binary `AUTH` frame) before any
+    /// command other than `PING`/`QUIT` is accepted.
+    pub auth_token: Option<String>,
+    /// Per-connection sustained ingest limit in rows per second; `None`
+    /// disables the quota. Over-quota connections are throttled by pausing
+    /// their reads (TCP backpressure) — data is never dropped, and other
+    /// connections are unaffected.
+    pub quota_rows_per_sec: Option<u64>,
+    /// Burst allowance of the per-connection row quota, in rows.
+    pub quota_burst_rows: u64,
+    /// Per-connection cap on decoded-but-unanswered request bytes; reads
+    /// pause above it so one client cannot queue unbounded work in the
+    /// dispatch pool.
+    pub max_inflight_bytes: usize,
 }
 
 impl Default for ServerConfig {
@@ -115,6 +133,10 @@ impl Default for ServerConfig {
             max_line_bytes: 1 << 20,
             subscriber_write_timeout: Duration::from_secs(10),
             keepalive_interval: Duration::from_secs(15),
+            auth_token: None,
+            quota_rows_per_sec: None,
+            quota_burst_rows: 1 << 20,
+            max_inflight_bytes: 4 << 20,
         }
     }
 }
@@ -138,6 +160,15 @@ pub struct ShutdownReport {
     pub queries: Vec<QueryReport>,
 }
 
+/// How a subscriber wants its result windows rendered.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum SubEncoding {
+    /// Text protocol: `ROW ...` CSV lines or `DATA n <base64>` lines.
+    Text(Encoding),
+    /// Binary protocol: `DATA` frames carrying the raw row bytes.
+    Binary,
+}
+
 /// One registered query: its SQL text, engine handle, input schemas (for
 /// decoding `INSERT` payloads), one cached [`IngestHandle`] per input stream
 /// (handles are cheap `Arc` clones, so the hot `INSERT` path neither
@@ -154,33 +185,22 @@ struct QueryReg {
     dropped: bool,
 }
 
-/// A result subscriber: the write half of its connection plus its encoding.
+/// A result subscriber: a handle to its connection plus its encoding.
 struct Subscriber {
     id: u64,
-    stream: Arc<TcpStream>,
-    encoding: Encoding,
-    /// False until the `OK subscribed` ack has been written. The broadcaster
-    /// holds a query's drain back while any of its subscribers is pending,
-    /// so no window closed after the ack can be dropped, and no `ROW` can
-    /// precede the ack.
+    conn: ConnHandle,
+    encoding: SubEncoding,
+    /// False until the `OK subscribed` ack has been enqueued. The
+    /// broadcaster holds a query's drain back while any of its subscribers
+    /// is pending, so no window closed after the ack can be dropped, and no
+    /// `ROW` can precede the ack (both travel the same in-order outbox).
     ready: Arc<AtomicBool>,
-}
-
-/// A live connection as seen by shutdown: a socket handle to unblock its
-/// reader thread with, and whether it became a subscriber (subscriber write
-/// halves must stay open until the final windows are delivered).
-struct ConnReg {
-    id: u64,
-    stream: TcpStream,
-    subscriber: Arc<AtomicBool>,
 }
 
 struct State {
     engine: Saber,
     /// Indexed by query id; `None` marks a dropped query's retired slot.
     queries: Vec<Option<QueryReg>>,
-    conns: Vec<ConnReg>,
-    threads: Vec<JoinHandle<()>>,
 }
 
 /// The broadcaster's wake signal: set by sink push-notifications, new
@@ -202,9 +222,9 @@ impl Notifier {
     fn wait(&self, timeout: Duration) {
         let mut dirty = self.dirty.lock().unwrap_or_else(|p| p.into_inner());
         if !*dirty {
-            // condvar-ok: bounded-latency poll — the REPL repaints on wake
-            // regardless, so a spurious or timed-out wake only costs one
-            // refresh; the dirty flag is consumed under the lock either way.
+            // condvar-ok: bounded-latency wait — a spurious or timed-out
+            // wake only costs one idle broadcast pass; the dirty flag is
+            // consumed under the lock either way.
             let (guard, _) = self
                 .cv
                 .wait_timeout(dirty, timeout)
@@ -219,24 +239,29 @@ struct Shared {
     state: Mutex<State>,
     catalog: SharedCatalog,
     notifier: Arc<Notifier>,
-    /// Set first during shutdown: stops the accept loop and tells exiting
-    /// connection threads not to deregister their subscribers.
+    /// Set first during shutdown: tells disconnect callbacks not to touch
+    /// subscriber state the shutdown path owns.
     shutting_down: AtomicBool,
     /// Set after the engine has stopped: the broadcaster performs one final
     /// drain, delivers `END` to every subscriber and exits.
     finish_broadcast: AtomicBool,
     next_subscriber_id: AtomicU64,
-    next_conn_id: AtomicU64,
-    max_line_bytes: usize,
-    subscriber_write_timeout: Duration,
-    keepalive_interval: Duration,
+    /// Connections that have become push-only result streams: further input
+    /// on them is ignored (the subscriber contract).
+    push_conns: Mutex<HashSet<u64>>,
 }
 
 impl Shared {
-    /// Locks the state, recovering from poisoning: a panicking connection
+    /// Locks the state, recovering from poisoning: a panicking handler
     /// thread must not take the whole server down.
     fn lock(&self) -> MutexGuard<'_, State> {
         self.state.lock().unwrap_or_else(|p| p.into_inner())
+    }
+
+    /// Locks the push-connection set (same poisoning policy). Declared in
+    /// `crates/lint/lock-order.toml`; never held across another acquisition.
+    fn lock_push(&self) -> MutexGuard<'_, HashSet<u64>> {
+        self.push_conns.lock().unwrap_or_else(|p| p.into_inner())
     }
 
     /// Renders the structured "unknown query" error: the offending id plus
@@ -266,8 +291,8 @@ impl Shared {
 /// A running SABER network server (see the crate docs for the protocol).
 pub struct Server {
     shared: Arc<Shared>,
+    net: Option<NetServer>,
     local_addr: SocketAddr,
-    accept: Option<JoinHandle<()>>,
     broadcaster: Option<JoinHandle<()>>,
     shut_down: bool,
 }
@@ -321,27 +346,17 @@ impl Server {
         } else {
             SharedCatalog::from_catalog(catalog)
         };
-        let listener = TcpListener::bind(addr)
-            .map_err(|e| SaberError::State(format!("failed to bind server socket: {e}")))?;
-        let local_addr = listener
-            .local_addr()
-            .map_err(|e| SaberError::State(format!("failed to read local address: {e}")))?;
         let shared = Arc::new(Shared {
             state: Mutex::new(State {
                 engine,
                 queries: Vec::new(),
-                conns: Vec::new(),
-                threads: Vec::new(),
             }),
             catalog: shared_catalog,
             notifier: Arc::new(Notifier::default()),
             shutting_down: AtomicBool::new(false),
             finish_broadcast: AtomicBool::new(false),
             next_subscriber_id: AtomicU64::new(0),
-            next_conn_id: AtomicU64::new(0),
-            max_line_bytes: config.max_line_bytes,
-            subscriber_write_timeout: config.subscriber_write_timeout,
-            keepalive_interval: config.keepalive_interval,
+            push_conns: Mutex::new(HashSet::new()),
         });
         // Rebuild the protocol-level slots of recovered queries so INSERT,
         // SUBSCRIBE, STATS and DROP address them under their original ids.
@@ -370,13 +385,24 @@ impl Server {
                 )?;
             }
         }
-        let accept = {
-            let shared = shared.clone();
-            std::thread::Builder::new()
-                .name("saber-accept".into())
-                .spawn(move || accept_loop(shared, listener))
-                .map_err(|e| SaberError::State(format!("failed to spawn accept thread: {e}")))?
+        let net_config = NetConfig {
+            max_line_bytes: config.max_line_bytes,
+            max_frame_bytes: config.max_line_bytes,
+            auth_token: config.auth_token.clone(),
+            quota_rows_per_sec: config.quota_rows_per_sec,
+            quota_burst_rows: config.quota_burst_rows,
+            max_inflight_bytes: config.max_inflight_bytes,
+            max_outbox_bytes: 64 << 20,
+            write_stall_timeout: config.subscriber_write_timeout,
+            keepalive_interval: Some(config.keepalive_interval),
+            dispatch_threads: 4,
         };
+        let app = Arc::new(SaberApp {
+            shared: shared.clone(),
+        });
+        let net = NetServer::bind(addr, net_config, app)
+            .map_err(|e| SaberError::State(format!("failed to bind server socket: {e}")))?;
+        let local_addr = net.local_addr();
         let broadcaster = {
             let shared = shared.clone();
             std::thread::Builder::new()
@@ -386,8 +412,8 @@ impl Server {
         };
         Ok(Server {
             shared,
+            net: Some(net),
             local_addr,
-            accept: Some(accept),
             broadcaster: Some(broadcaster),
             shut_down: false,
         })
@@ -400,13 +426,13 @@ impl Server {
 
     /// Shuts the server down deterministically and loss-free:
     ///
-    /// 1. stop accepting connections,
-    /// 2. unblock and join every connection thread — after this no `INSERT`
-    ///    is in flight, and every acknowledged one has reached the engine,
+    /// 1. stop accepting connections and stop reading from existing ones,
+    /// 2. quiesce the dispatch pool — after this no `INSERT` is in flight,
+    ///    and every acknowledged one has reached the engine,
     /// 3. stop the engine (reject-then-drain: all accepted rows are
     ///    processed),
-    /// 4. deliver the final result windows plus an `END` line to every
-    ///    subscriber.
+    /// 4. deliver the final result windows plus an `END` marker to every
+    ///    subscriber and flush every connection's pending output.
     ///
     /// Returns the final per-query counters (indexed by query id, covering
     /// dropped queries too); an error (with workers already shut down) if
@@ -421,55 +447,27 @@ impl Server {
         }
         self.shut_down = true;
         self.shared.shutting_down.store(true, Ordering::SeqCst);
-        // Wake the accept loop with a throwaway connection (via loopback
-        // when bound to a wildcard address).
-        let mut poke_addr = self.local_addr;
-        if poke_addr.ip().is_unspecified() {
-            poke_addr.set_ip(match poke_addr.ip() {
-                IpAddr::V4(_) => IpAddr::V4(Ipv4Addr::LOCALHOST),
-                IpAddr::V6(_) => IpAddr::V6(Ipv6Addr::LOCALHOST),
-            });
+        let net = self.net.take();
+        if let Some(net) = &net {
+            // Stop accepting and reading, then wait until every decoded
+            // request has been fully handled: after this no ingest is in
+            // flight, and every acknowledged INSERT has reached the engine.
+            net.begin_shutdown();
+            net.quiesce();
         }
-        let poked = TcpStream::connect_timeout(&poke_addr, Duration::from_secs(1)).is_ok();
-        if let Some(t) = self.accept.take() {
-            if poked {
-                let _ = t.join();
-            }
-            // If the poke failed (fd exhaustion, unreachable bind address),
-            // detach instead of wedging shutdown: the flag is set, so the
-            // accept loop exits on its next wakeup without registering
-            // anything.
-        }
-        // Unblock every connection reader. Ingest connections can be torn
-        // down completely; subscriber write halves must survive until the
-        // broadcaster has delivered the final windows.
-        let (conns, threads) = {
-            let mut st = self.shared.lock();
-            (
-                std::mem::take(&mut st.conns),
-                std::mem::take(&mut st.threads),
-            )
-        };
-        for conn in &conns {
-            let how = if conn.subscriber.load(Ordering::SeqCst) {
-                Shutdown::Read
-            } else {
-                Shutdown::Both
-            };
-            let _ = conn.stream.shutdown(how);
-        }
-        for t in threads {
-            let _ = t.join();
-        }
-        // No connection thread is alive: every acknowledged INSERT has been
-        // handed to the engine. Stop it — reject-then-drain makes this
-        // deterministic.
+        // Stop the engine — reject-then-drain makes this deterministic.
         let stop_result = self.shared.lock().engine.stop();
-        // Engine results are final; let the broadcaster flush them and close.
+        // Engine results are final; let the broadcaster flush them and
+        // append END to every subscriber's outbox.
         self.shared.finish_broadcast.store(true, Ordering::SeqCst);
         self.shared.notifier.wake();
         if let Some(t) = self.broadcaster.take() {
             let _ = t.join();
+        }
+        // Flush the outboxes (final windows + END) and close every socket;
+        // the listener closes with the event loop.
+        if let Some(net) = net {
+            net.shutdown(Duration::from_secs(5));
         }
         let report = {
             let st = self.shared.lock();
@@ -497,65 +495,6 @@ impl Drop for Server {
     fn drop(&mut self) {
         if !self.shut_down {
             let _ = self.shutdown_inner();
-        }
-    }
-}
-
-fn accept_loop(shared: Arc<Shared>, listener: TcpListener) {
-    loop {
-        let stream = match listener.accept() {
-            Ok((stream, _)) => stream,
-            Err(_) => {
-                if shared.shutting_down.load(Ordering::SeqCst) {
-                    return;
-                }
-                // Persistent accept errors (e.g. EMFILE) must not busy-spin.
-                std::thread::sleep(Duration::from_millis(10));
-                continue;
-            }
-        };
-        if shared.shutting_down.load(Ordering::SeqCst) {
-            return;
-        }
-        let Ok(reg_clone) = stream.try_clone() else {
-            continue;
-        };
-        let id = shared.next_conn_id.fetch_add(1, Ordering::SeqCst);
-        let subscriber = Arc::new(AtomicBool::new(false));
-        // Register the connection *before* spawning its thread: the thread
-        // deregisters itself on exit, and a fast-exiting connection must not
-        // race its own registration (a leaked entry would keep a socket
-        // clone alive and rob the client of its EOF).
-        {
-            let mut st = shared.lock();
-            // Re-check under the registry lock: if shutdown has already
-            // drained the registry (possible only on the degraded detached
-            // path, when the wake poke failed), registering now would leave
-            // a connection nobody unblocks — refuse it instead.
-            if shared.shutting_down.load(Ordering::SeqCst) {
-                let _ = stream.shutdown(Shutdown::Both);
-                return;
-            }
-            st.conns.push(ConnReg {
-                id,
-                stream: reg_clone,
-                subscriber: subscriber.clone(),
-            });
-            // Reap finished connection threads so a long-lived server with
-            // many short connections does not accumulate handles.
-            st.threads.retain(|t| !t.is_finished());
-        }
-        let thread = {
-            let shared = shared.clone();
-            let subscriber = subscriber.clone();
-            std::thread::Builder::new()
-                .name("saber-conn".into())
-                .spawn(move || handle_conn(shared, id, stream, subscriber))
-        };
-        let mut st = shared.lock();
-        match thread {
-            Ok(thread) => st.threads.push(thread),
-            Err(_) => st.conns.retain(|c| c.id != id),
         }
     }
 }
@@ -594,91 +533,181 @@ fn register_query_slot(
     Ok(())
 }
 
-fn write_line(stream: &TcpStream, line: &str) -> std::io::Result<()> {
-    let mut out = String::with_capacity(line.len() + 1);
-    out.push_str(line);
-    out.push('\n');
-    (&mut &*stream).write_all(out.as_bytes())
-}
-
 fn saber_err(e: &SaberError) -> String {
     format!("ERR {} {}", e.category(), e.message())
 }
 
-fn handle_conn(shared: Arc<Shared>, id: u64, stream: TcpStream, subscriber_flag: Arc<AtomicBool>) {
-    run_conn(&shared, &stream, &subscriber_flag);
-    // Deregister so the registry's socket clone is dropped and the client
-    // sees EOF. During shutdown the registry belongs to the shutdown path.
-    if !shared.shutting_down.load(Ordering::SeqCst) {
-        let mut st = shared.lock();
-        st.conns.retain(|c| c.id != id);
+/// Sends a response rendered as a text protocol line through `conn`,
+/// translating to the equivalent frame on binary connections (`OK ...` →
+/// `OK`, `ERR <category> ...` → `ERR` with the matching code, `PONG`/`BYE`
+/// → their frames).
+fn reply(conn: &ConnHandle, response: &str) {
+    if !conn.is_binary() {
+        conn.send_line(response);
+        return;
+    }
+    if response == "PONG" {
+        conn.send_frame(&Frame::Pong);
+    } else if response == "BYE" {
+        conn.send_frame(&Frame::Bye);
+    } else if let Some(message) = response.strip_prefix("OK ") {
+        conn.send_frame(&Frame::Ok {
+            message: message.to_string(),
+        });
+    } else if let Some(rest) = response.strip_prefix("ERR ") {
+        let (category, message) = rest.split_once(' ').unwrap_or((rest, ""));
+        conn.send_frame(&Frame::Err {
+            code: ErrCode::from_category(category),
+            message: message.to_string(),
+        });
+    } else {
+        conn.send_frame(&Frame::Ok {
+            message: response.to_string(),
+        });
     }
 }
 
-fn run_conn(shared: &Arc<Shared>, stream: &TcpStream, subscriber_flag: &Arc<AtomicBool>) {
-    let _ = stream.set_nodelay(true);
-    let Ok(read_half) = stream.try_clone() else {
-        return;
-    };
-    let mut reader = BufReader::new(read_half);
-    let Ok(write_half) = stream.try_clone() else {
-        return;
-    };
-    let writer = Arc::new(write_half);
-    if write_line(&writer, "OK saber-server ready").is_err() {
-        return;
+/// The [`App`] gluing the SABER command surface onto the `saber_net` event
+/// loop.
+struct SaberApp {
+    shared: Arc<Shared>,
+}
+
+impl App for SaberApp {
+    fn on_connect(&self, conn: &ConnHandle) {
+        // The banner predates mode detection, so binary clients read and
+        // discard this one line before sending the `\0SBP` magic (the
+        // `saber_net::BinaryClient` helper does).
+        conn.send_line("OK saber-server ready");
     }
-    loop {
-        let line = match read_line_capped(&mut reader, shared.max_line_bytes) {
-            Ok(Some(line)) => line,
-            Ok(None) => return,
-            Err(e) => {
-                let _ = write_line(&writer, &format!("ERR protocol {e}"));
-                return;
-            }
-        };
-        if line.trim().is_empty() {
-            continue;
+
+    fn on_request(&self, conn: &ConnHandle, request: Request) {
+        // Push connections ignore further input (the subscriber contract).
+        if self.shared.lock_push().contains(&conn.id()) {
+            return;
         }
-        let command = match parse_command(&line) {
-            Ok(command) => command,
-            Err(message) => {
-                if write_line(&writer, &format!("ERR protocol {message}")).is_err() {
-                    return;
-                }
-                continue;
-            }
-        };
-        match command {
-            Command::Quit => {
-                let _ = write_line(&writer, "BYE");
-                return;
-            }
-            Command::Subscribe { query, encoding } => {
-                // Mark the connection *before* the ack goes out: once the
-                // client holds an `OK subscribed`, a concurrent shutdown
-                // must treat this socket as a subscriber (read-half close
-                // only) or the final windows and END would be cut off.
-                subscriber_flag.store(true, Ordering::SeqCst);
-                match subscribe(shared, &writer, query, encoding) {
-                    Ok(_id) => {
-                        hold_subscriber(shared, &mut reader);
-                        return;
-                    }
-                    Err(message) => {
-                        subscriber_flag.store(false, Ordering::SeqCst);
-                        if write_line(&writer, &message).is_err() {
-                            return;
-                        }
-                    }
-                }
-            }
-            other => {
-                let response = execute(shared, other);
-                if write_line(&writer, &response).is_err() {
-                    return;
-                }
-            }
+        match request {
+            Request::Line(line) => handle_line(&self.shared, conn, &line),
+            Request::Frame(frame) => handle_frame(&self.shared, conn, frame),
+        }
+    }
+
+    fn on_disconnect(&self, conn: &ConnHandle) {
+        if self.shared.shutting_down.load(Ordering::SeqCst) {
+            return; // the shutdown path owns subscriber state now
+        }
+        self.shared.lock_push().remove(&conn.id());
+        let mut st = self.shared.lock();
+        for reg in st.queries.iter_mut().flatten() {
+            reg.subscribers.retain(|s| s.conn.id() != conn.id());
+        }
+    }
+}
+
+/// Handles one text-protocol line on a dispatch worker.
+fn handle_line(shared: &Arc<Shared>, conn: &ConnHandle, line: &str) {
+    let command = match parse_command(line) {
+        Ok(command) => command,
+        Err(message) => {
+            conn.send_line(&format!("ERR protocol {message}"));
+            return;
+        }
+    };
+    match command {
+        Command::Quit => {
+            conn.send_line("BYE");
+            conn.close_after_flush();
+        }
+        Command::Subscribe { query, encoding } => {
+            subscribe(shared, conn, query, SubEncoding::Text(encoding));
+        }
+        other => {
+            let response = execute(shared, conn, other);
+            conn.send_line(&response);
+        }
+    }
+}
+
+/// Handles one binary-protocol frame on a dispatch worker: the frame maps
+/// onto the same [`Command`] surface as the text protocol, with raw row
+/// payloads instead of CSV/base64.
+fn handle_frame(shared: &Arc<Shared>, conn: &ConnHandle, frame: Frame) {
+    match frame {
+        Frame::Ping => reply(conn, "PONG"),
+        Frame::Quit => {
+            reply(conn, "BYE");
+            conn.close_after_flush();
+        }
+        Frame::Subscribe { query } => {
+            subscribe(shared, conn, query as usize, SubEncoding::Binary);
+        }
+        Frame::Insert {
+            query,
+            stream,
+            rows,
+        } => {
+            let response = insert_raw(shared, conn, query as usize, stream as usize, &rows);
+            reply(conn, &response);
+        }
+        Frame::Query { sql } => {
+            let response = execute(shared, conn, Command::Query { sql });
+            reply(conn, &response);
+        }
+        Frame::CreateStream { definition } => {
+            // Reuse the text parser for the schema grammar.
+            let response = match parse_command(&format!("CREATE STREAM {definition}")) {
+                Ok(command) => execute(shared, conn, command),
+                Err(message) => format!("ERR protocol {message}"),
+            };
+            reply(conn, &response);
+        }
+        Frame::DropQuery { query } => {
+            let response = execute(
+                shared,
+                conn,
+                Command::DropQuery {
+                    query: query as usize,
+                },
+            );
+            reply(conn, &response);
+        }
+        Frame::Flush => {
+            let response = execute(shared, conn, Command::Flush);
+            reply(conn, &response);
+        }
+        Frame::Streams => {
+            let response = execute(shared, conn, Command::Streams);
+            reply(conn, &response);
+        }
+        Frame::Queries => {
+            let response = execute(shared, conn, Command::Queries);
+            reply(conn, &response);
+        }
+        Frame::Stats { query } => {
+            let response = execute(
+                shared,
+                conn,
+                Command::Stats {
+                    query: query as usize,
+                },
+            );
+            reply(conn, &response);
+        }
+        // Server-to-client and handshake frames are not valid requests.
+        Frame::Hello { .. }
+        | Frame::HelloAck { .. }
+        | Frame::Auth { .. }
+        | Frame::Ok { .. }
+        | Frame::Err { .. }
+        | Frame::Pong
+        | Frame::Bye
+        | Frame::Data { .. }
+        | Frame::End
+        | Frame::Nop => {
+            conn.send_frame(&Frame::Err {
+                code: ErrCode::Protocol,
+                message: "frame type is not a client request".to_string(),
+            });
         }
     }
 }
@@ -688,16 +717,13 @@ fn run_conn(shared: &Arc<Shared>, stream: &TcpStream, subscriber_flag: &Arc<Atom
 /// The subscriber is registered *pending* first, then acked, then marked
 /// ready: the broadcaster holds the query's drain back while a pending
 /// subscriber exists, so a window closing between ack and readiness cannot
-/// be dropped — and since only ready subscribers are pushed to, no `ROW`
-/// can precede the ack. The ack is written outside the state lock and under
-/// the subscriber write timeout, so a client with a full socket buffer
-/// delays only its own query's delivery, boundedly.
-fn subscribe(
-    shared: &Shared,
-    writer: &Arc<TcpStream>,
-    query: usize,
-    encoding: Encoding,
-) -> std::result::Result<u64, String> {
+/// be dropped — and since only ready subscribers are pushed to (and ack and
+/// rows travel the same in-order outbox), no `ROW` can precede the ack.
+fn subscribe(shared: &Arc<Shared>, conn: &ConnHandle, query: usize, encoding: SubEncoding) {
+    // Mark the connection push-only *before* the ack goes out: once the
+    // client holds an `OK subscribed`, anything further it sends is ignored
+    // rather than interpreted.
+    shared.lock_push().insert(conn.id());
     let id = shared.next_subscriber_id.fetch_add(1, Ordering::SeqCst);
     let ready = Arc::new(AtomicBool::new(false));
     {
@@ -706,43 +732,32 @@ fn subscribe(
             Some(Some(reg)) if !reg.dropped => {
                 reg.subscribers.push(Subscriber {
                     id,
-                    stream: writer.clone(),
+                    conn: conn.clone(),
                     encoding,
                     ready: ready.clone(),
                 });
             }
-            _ => return Err(shared.unknown_query(&st, query)),
+            _ => {
+                let message = shared.unknown_query(&st, query);
+                drop(st);
+                shared.lock_push().remove(&conn.id());
+                reply(conn, &message);
+                return;
+            }
         }
     }
-    // Bound every write (ack, pushes, keepalives) so a subscriber that
-    // stops reading is dropped instead of blocking the broadcaster forever.
-    let _ = writer.set_write_timeout(Some(shared.subscriber_write_timeout));
-    if let Err(e) = write_line(writer, &format!("OK subscribed {query}")) {
-        let mut st = shared.lock();
-        if let Some(Some(reg)) = st.queries.get_mut(query) {
-            reg.subscribers.retain(|s| s.id != id);
-        }
-        return Err(format!("ERR protocol {e}"));
-    }
+    // Push connections get NOP keepalives and survive a read-side
+    // half-close ("no more input, still receiving").
+    conn.set_keepalive(true);
+    reply(conn, &format!("OK subscribed {query}"));
     ready.store(true, Ordering::SeqCst);
     // Windows held back while our ack was pending can flow now.
     shared.notifier.wake();
-    Ok(id)
 }
 
-/// Blocks on the (now push-only) subscriber connection until its read half
-/// ends. EOF here is a *half*-close — "no more input, still receiving" — so
-/// the subscription itself stays registered: it ends when the server shuts
-/// down, when its query is dropped, or when a fully-closed connection makes
-/// a broadcast write fail (the broadcaster reaps dead subscribers on write
-/// errors).
-fn hold_subscriber(shared: &Shared, reader: &mut BufReader<TcpStream>) {
-    // Input on a push connection is ignored.
-    while let Ok(Some(_)) = read_line_capped(reader, shared.max_line_bytes) {}
-}
-
-/// Executes one non-subscription command, returning the response line.
-fn execute(shared: &Arc<Shared>, command: Command) -> String {
+/// Executes one non-subscription command, returning the response line
+/// (rendered in text form; [`reply`] translates for binary connections).
+fn execute(shared: &Arc<Shared>, conn: &ConnHandle, command: Command) -> String {
     match command {
         Command::Ping => "PONG".to_string(),
         Command::CreateStream { name, schema } => {
@@ -813,7 +828,7 @@ fn execute(shared: &Arc<Shared>, command: Command) -> String {
             query,
             stream,
             payload,
-        } => insert(shared, query, stream, &payload),
+        } => insert(shared, conn, query, stream, &payload),
         Command::Flush => {
             // Resolve per-query handles under the lock, flush outside it:
             // flushing admits tasks through the credit gate, which can
@@ -919,32 +934,81 @@ fn execute(shared: &Arc<Shared>, command: Command) -> String {
     }
 }
 
-/// Handles `INSERT`: resolve the target under the state lock, then decode
-/// and ingest *outside* it, so one client blocked on the engine's credit
-/// gate never stalls the others' commands.
-fn insert(shared: &Shared, query: usize, stream: usize, payload: &Payload) -> String {
+/// Resolves an `INSERT` target: the input schema and cached ingest handle.
+fn resolve_insert(
+    shared: &Shared,
+    query: usize,
+    stream: usize,
+) -> std::result::Result<(SchemaRef, IngestHandle), String> {
+    let st = shared.lock();
+    let Some(Some(reg)) = st.queries.get(query) else {
+        return Err(shared.unknown_query(&st, query));
+    };
+    if reg.dropped {
+        return Err(shared.unknown_query(&st, query));
+    }
+    let Some(schema) = reg.input_schemas.get(stream).cloned() else {
+        return Err(format!(
+            "ERR query query {query} has no input stream {stream}"
+        ));
+    };
+    Ok((schema, reg.ingest[stream].clone()))
+}
+
+/// Handles a text `INSERT`: resolve the target under the state lock, then
+/// decode and ingest *outside* it, so one client blocked on the engine's
+/// credit gate never stalls the others' commands.
+fn insert(
+    shared: &Shared,
+    conn: &ConnHandle,
+    query: usize,
+    stream: usize,
+    payload: &Payload,
+) -> String {
     // Queries are slot-stable (ids are never reused), so the resolved
     // handle stays valid across lock acquisitions; in the steady state this
     // is one short lock plus an Arc clone of the cached handle.
-    let (schema, handle) = {
-        let st = shared.lock();
-        let Some(Some(reg)) = st.queries.get(query) else {
-            return shared.unknown_query(&st, query);
-        };
-        if reg.dropped {
-            return shared.unknown_query(&st, query);
-        }
-        let Some(schema) = reg.input_schemas.get(stream).cloned() else {
-            return format!("ERR query query {query} has no input stream {stream}");
-        };
-        (schema, reg.ingest[stream].clone())
+    let (schema, handle) = match resolve_insert(shared, query, stream) {
+        Ok(target) => target,
+        Err(message) => return message,
     };
     let bytes = match payload.decode(&schema) {
         Ok(bytes) => bytes,
         Err(message) => return format!("ERR payload {message}"),
     };
     let rows = bytes.len() / schema.row_size();
+    // Charge the row quota for what was decoded — the charge always
+    // succeeds; over-quota connections get their *next* read delayed.
+    conn.charge_rows(rows as u64);
     match handle.ingest(&bytes) {
+        Ok(()) => format!("OK rows {rows}"),
+        Err(e) => saber_err(&e),
+    }
+}
+
+/// Handles a binary `INSERT`: the payload is the raw row bytes (no CSV or
+/// base64 decode on the hot path — the point of the binary protocol).
+fn insert_raw(
+    shared: &Shared,
+    conn: &ConnHandle,
+    query: usize,
+    stream: usize,
+    bytes: &[u8],
+) -> String {
+    let (schema, handle) = match resolve_insert(shared, query, stream) {
+        Ok(target) => target,
+        Err(message) => return message,
+    };
+    let row_size = schema.row_size();
+    if bytes.is_empty() || !bytes.len().is_multiple_of(row_size) {
+        return format!(
+            "ERR payload row payload of {} bytes is not a positive multiple of the {row_size}-byte row size",
+            bytes.len()
+        );
+    }
+    let rows = bytes.len() / row_size;
+    conn.charge_rows(rows as u64);
+    match handle.ingest(bytes) {
         Ok(()) => format!("OK rows {rows}"),
         Err(e) => saber_err(&e),
     }
@@ -994,36 +1058,62 @@ fn drop_query(shared: &Arc<Shared>, query: usize) -> String {
     }
 }
 
-/// One endpoint a result batch is fanned out to: subscriber id, write half,
-/// encoding.
-type FanoutTarget = (u64, Arc<TcpStream>, Encoding);
+/// One endpoint a result batch is fanned out to: subscriber id, connection
+/// handle, encoding.
+type FanoutTarget = (u64, ConnHandle, SubEncoding);
 
 /// Writes one result batch to every target, encoding it at most once per
-/// encoding actually in use (not once per subscriber). Ids whose write
-/// failed are appended to `failed` for the caller to reap.
-fn fanout(rows: &RowBuffer, targets: &[FanoutTarget], failed: &mut Vec<u64>) {
-    let mut encoded: [Option<String>; 2] = [None, None];
-    for (id, stream, encoding) in targets {
-        let slot = match encoding {
-            Encoding::Csv => &mut encoded[0],
-            Encoding::B64 => &mut encoded[1],
-        };
-        let text = slot.get_or_insert_with(|| format_batch(rows, *encoding));
-        if (&mut &**stream).write_all(text.as_bytes()).is_err() {
-            failed.push(*id);
+/// encoding actually in use (not once per subscriber): CSV text, base64
+/// text, or one pre-encoded binary `DATA` frame. Sends are buffered (the
+/// event loop flushes them), so there is no per-subscriber failure here;
+/// dead connections are reaped via their disconnect callback.
+fn fanout(rows: &RowBuffer, targets: &[FanoutTarget]) {
+    let mut csv: Option<String> = None;
+    let mut b64: Option<String> = None;
+    let mut bin: Option<Vec<u8>> = None;
+    for (_, conn, encoding) in targets {
+        match encoding {
+            SubEncoding::Text(Encoding::Csv) => {
+                let text = csv.get_or_insert_with(|| format_batch(rows, Encoding::Csv));
+                conn.send_bytes(text.as_bytes());
+            }
+            SubEncoding::Text(Encoding::B64) => {
+                let text = b64.get_or_insert_with(|| format_batch(rows, Encoding::B64));
+                conn.send_bytes(text.as_bytes());
+            }
+            SubEncoding::Binary => {
+                let bytes = bin.get_or_insert_with(|| {
+                    Frame::Data {
+                        nrows: rows.len() as u32,
+                        rows: rows.bytes().to_vec(),
+                    }
+                    .encode()
+                });
+                conn.send_bytes(bytes);
+            }
         }
     }
+}
+
+/// Sends the end-of-stream marker in the subscriber's protocol and closes
+/// its connection once everything has flushed.
+fn send_end(sub: &Subscriber) {
+    match sub.encoding {
+        SubEncoding::Binary => sub.conn.send_frame(&Frame::End),
+        SubEncoding::Text(_) => sub.conn.send_line("END"),
+    }
+    sub.conn.close_after_flush();
 }
 
 /// The result broadcaster: fans each query's closed windows out to that
 /// query's subscribers, in order. Event-driven: it blocks on the
 /// [`Notifier`] — woken by the sinks' push hooks, new subscriptions,
-/// `DROP QUERY` and shutdown — and only uses a bounded wait to schedule
-/// `NOP` keepalives; there is no poll interval. After the engine has
-/// stopped it performs one final drain, appends `END` and closes the write
-/// halves.
+/// `DROP QUERY` and shutdown. Keepalives and dead-subscriber reaping live
+/// in the net layer now (`NOP`s to keepalive connections; write failures
+/// close the connection, whose disconnect callback removes the
+/// subscriber). After the engine has stopped the broadcaster performs one
+/// final drain, appends `END` everywhere and exits.
 fn broadcast_loop(shared: Arc<Shared>) {
-    let mut last_keepalive = Instant::now();
     loop {
         // Read the finish flag *before* draining: it is set only after the
         // engine has stopped, so a drain that observes it is final.
@@ -1034,11 +1124,14 @@ fn broadcast_loop(shared: Arc<Shared>) {
             let mut out = Vec::new();
             for slot in st.queries.iter_mut() {
                 let Some(reg) = slot else { continue };
+                // Opportunistically drop subscribers whose connection died
+                // (their disconnect callback races this loop harmlessly).
+                reg.subscribers.retain(|s| !s.conn.is_closed());
                 // Hold the drain back while a subscriber's ack is still in
                 // flight: rows stay buffered in the sink (order preserved)
                 // so a window closing right after the ack is not lost.
-                // Bounded by the ack's write timeout. Connection threads are
-                // joined before `finish`, so no subscriber is pending then.
+                // The dispatch pool is quiesced before `finish`, so no
+                // subscriber is pending then.
                 if reg
                     .subscribers
                     .iter()
@@ -1066,71 +1159,28 @@ fn broadcast_loop(shared: Arc<Shared>) {
                     rows,
                     reg.subscribers
                         .iter()
-                        .map(|s| (s.id, s.stream.clone(), s.encoding))
+                        .map(|s| (s.id, s.conn.clone(), s.encoding))
                         .collect(),
                 ));
             }
             out
         };
-        let mut dead: Vec<u64> = Vec::new();
         for (rows, subscribers) in &batches {
-            fanout(rows, subscribers, &mut dead);
+            fanout(rows, subscribers);
         }
-        // Dropped queries: final windows, END, close. The conn thread sees
-        // EOF once the client closes in response and deregisters itself.
+        // Dropped queries: final windows, END, close-after-flush. The
+        // event loop delivers the remaining bytes and then closes, so the
+        // client sees rows, END, EOF — in that order.
         for (rows, subscribers) in &finished_queries {
-            let targets: Vec<FanoutTarget> = subscribers
-                .iter()
-                .map(|s| (s.id, s.stream.clone(), s.encoding))
-                .collect();
-            let mut failed = Vec::new();
             if !rows.is_empty() {
-                fanout(rows, &targets, &mut failed);
-            }
-            for s in subscribers {
-                if failed.contains(&s.id) {
-                    let _ = s.stream.shutdown(Shutdown::Both);
-                    continue;
-                }
-                let _ = write_line(&s.stream, "END");
-                let _ = s.stream.shutdown(Shutdown::Write);
-            }
-        }
-        // Keepalive: TCP reports a fully closed peer only when a write
-        // fails, so periodically `NOP` quiet subscribers to reap dead ones
-        // (half-closed but alive clients simply ignore the line).
-        if last_keepalive.elapsed() >= shared.keepalive_interval {
-            last_keepalive = Instant::now();
-            let targets: Vec<(u64, Arc<TcpStream>)> = {
-                let st = shared.lock();
-                st.queries
+                let targets: Vec<FanoutTarget> = subscribers
                     .iter()
-                    .flatten()
-                    .flat_map(|reg| reg.subscribers.iter())
-                    .filter(|s| s.ready.load(Ordering::SeqCst))
-                    .map(|s| (s.id, s.stream.clone()))
-                    .collect()
-            };
-            for (id, stream) in targets {
-                if write_line(&stream, "NOP").is_err() {
-                    dead.push(id);
-                }
+                    .map(|s| (s.id, s.conn.clone(), s.encoding))
+                    .collect();
+                fanout(rows, &targets);
             }
-        }
-        if !dead.is_empty() {
-            let mut st = shared.lock();
-            for reg in st.queries.iter_mut().flatten() {
-                reg.subscribers.retain(|s| {
-                    if dead.contains(&s.id) {
-                        // Close the socket so the (possibly recovered)
-                        // client sees a prompt EOF instead of waiting
-                        // forever on a stream nobody feeds any more.
-                        let _ = s.stream.shutdown(Shutdown::Both);
-                        false
-                    } else {
-                        true
-                    }
-                });
+            for sub in subscribers {
+                send_end(sub);
             }
         }
         if finish {
@@ -1142,18 +1192,13 @@ fn broadcast_loop(shared: Arc<Shared>) {
                     .flat_map(|reg| reg.subscribers.drain(..))
                     .collect()
             };
-            for s in subscribers {
-                let _ = write_line(&s.stream, "END");
-                let _ = s.stream.shutdown(Shutdown::Write);
+            for sub in &subscribers {
+                send_end(sub);
             }
             return;
         }
-        // Block until a sink push, subscription, drop or shutdown wakes us;
-        // the bounded wait only exists to schedule the next keepalive.
-        let until_keepalive = shared
-            .keepalive_interval
-            .saturating_sub(last_keepalive.elapsed())
-            .max(Duration::from_millis(1));
-        shared.notifier.wait(until_keepalive);
+        // Block until a sink push, subscription, drop or shutdown wakes us.
+        // The bounded wait is a safety net against a lost wake, not a poll.
+        shared.notifier.wait(Duration::from_millis(500));
     }
 }

@@ -22,8 +22,17 @@
 //! commands (`CREATE STREAM`, `QUERY`, `INSERT`, `SUBSCRIBE`, ... — see
 //! `docs/server.md`) and every server line is printed as it arrives, so a
 //! `SUBSCRIBE`d session streams results live.
+//!
+//! With `--connect <host:port> --binary` the same commands travel the
+//! length-prefixed binary frame protocol instead (magic + HELLO handshake,
+//! raw row payloads): stdin lines are translated to frames, replies and
+//! pushed `DATA`/`END` frames are rendered back as text. `AUTH <token>`
+//! authenticates against a `--auth` server; `INSERT ... B64 <payload>` is
+//! decoded client-side and sent as raw rows (CSV needs the schema, which
+//! only the server holds — use B64 in binary mode).
 
 use saber::engine::{ExecutionMode, Saber, StreamId};
+use saber::net::{BinaryClient, Frame};
 use saber::types::{DataType, RowBuffer, TupleRef};
 use saber::workloads::{cluster, linearroad, reference, smartgrid, sql, synthetic};
 use std::io::{BufRead, Write};
@@ -32,17 +41,28 @@ use std::io::{BufRead, Write};
 const MAX_PRINTED: usize = 40;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    match args.as_slice() {
-        [] => {}
-        [flag, addr] if flag == "--connect" => return client_mode(addr),
-        [flag] if flag == "--connect" => {
-            return Err("--connect needs an address (host:port)".into())
+    let mut connect: Option<String> = None;
+    let mut binary = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--connect" => {
+                connect = Some(
+                    args.next()
+                        .ok_or("--connect needs an address (host:port)")?,
+                );
+            }
+            "--binary" => binary = true,
+            other => {
+                return Err(format!("unknown argument `{other}` (try --connect [--binary])").into())
+            }
         }
-        [flag, _, extra, ..] if flag == "--connect" => {
-            return Err(format!("unexpected extra argument `{extra}` after --connect").into())
-        }
-        [other, ..] => return Err(format!("unknown argument `{other}` (try --connect)").into()),
+    }
+    match (connect, binary) {
+        (Some(addr), false) => return client_mode(&addr),
+        (Some(addr), true) => return client_mode_binary(&addr),
+        (None, true) => return Err("--binary requires --connect <host:port>".into()),
+        (None, false) => {}
     }
     let catalog = sql::catalog();
     let stdin = std::io::stdin();
@@ -132,6 +152,144 @@ fn client_mode(addr: &str) -> Result<(), Box<dyn std::error::Error>> {
     }
     let _ = printer.join();
     Ok(())
+}
+
+/// Binary client mode: stdin lines are translated into protocol frames and
+/// replies/pushed frames are rendered back as text, so the human-facing
+/// surface matches text mode while the wire carries length-prefixed frames.
+fn client_mode_binary(addr: &str) -> Result<(), Box<dyn std::error::Error>> {
+    let (client, banner) = BinaryClient::connect(addr)?;
+    eprintln!("connected to saber-serve at {addr} (binary protocol); banner: {banner}");
+    if client.auth_required() {
+        eprintln!("server requires authentication — start with `AUTH <token>`");
+    }
+    eprintln!("(`QUIT` or EOF disconnects; commands as in docs/server.md, INSERT uses B64)");
+    let writer_stream = client.stream().try_clone()?;
+    let printer = std::thread::spawn(move || {
+        let mut client = client;
+        loop {
+            match client.recv() {
+                // NOP frames are the server's subscriber keepalive — noise
+                // to a human, so the client swallows them.
+                Ok(Frame::Nop) => {}
+                Ok(frame) => println!("{}", render_frame(&frame)),
+                Err(_) => break,
+            }
+        }
+    });
+    let mut writer = &writer_stream;
+    let mut quit = false;
+    for line in std::io::stdin().lock().lines() {
+        let line = line?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() {
+            continue;
+        }
+        let frame = match line_to_frame(trimmed) {
+            Ok(frame) => frame,
+            Err(message) => {
+                eprintln!("{message}");
+                continue;
+            }
+        };
+        quit = matches!(frame, Frame::Quit);
+        writer.write_all(&frame.encode())?;
+        if quit {
+            break;
+        }
+    }
+    if quit {
+        let _ = writer_stream.shutdown(std::net::Shutdown::Both);
+    } else {
+        let _ = writer_stream.shutdown(std::net::Shutdown::Write);
+    }
+    let _ = printer.join();
+    Ok(())
+}
+
+/// Translates one text command line into its binary-protocol frame.
+fn line_to_frame(line: &str) -> Result<Frame, String> {
+    let mut parts = line.split_whitespace();
+    let verb = parts.next().unwrap_or("").to_ascii_uppercase();
+    let rest = line[verb.len().min(line.len())..].trim();
+    let parse_id = |s: Option<&str>, what: &str| -> Result<u32, String> {
+        s.and_then(|v| v.parse::<u32>().ok())
+            .ok_or_else(|| format!("usage: {what}"))
+    };
+    match verb.as_str() {
+        "PING" => Ok(Frame::Ping),
+        "QUIT" | "EXIT" => Ok(Frame::Quit),
+        "AUTH" => Ok(Frame::Auth {
+            token: rest.to_string(),
+        }),
+        "QUERY" if !rest.is_empty() => Ok(Frame::Query {
+            sql: rest.to_string(),
+        }),
+        "QUERY" => Err("usage: QUERY <sql>".into()),
+        "DROP" => {
+            let mut p = rest.split_whitespace();
+            if !p.next().is_some_and(|w| w.eq_ignore_ascii_case("QUERY")) {
+                return Err("usage: DROP QUERY <id>".into());
+            }
+            Ok(Frame::DropQuery {
+                query: parse_id(p.next(), "DROP QUERY <id>")?,
+            })
+        }
+        "CREATE" => {
+            let mut p = rest.splitn(2, char::is_whitespace);
+            if !p.next().is_some_and(|w| w.eq_ignore_ascii_case("STREAM")) {
+                return Err("usage: CREATE STREAM <name> (<attr> <TYPE>, ...)".into());
+            }
+            Ok(Frame::CreateStream {
+                definition: p.next().unwrap_or("").trim().to_string(),
+            })
+        }
+        "INSERT" => {
+            let mut p = rest.split_whitespace();
+            let query = parse_id(p.next(), "INSERT <query> <stream> B64 <payload>")?;
+            let stream = parse_id(p.next(), "INSERT <query> <stream> B64 <payload>")?;
+            let encoding = p.next().unwrap_or("").to_ascii_uppercase();
+            let payload = p.next().unwrap_or("");
+            if encoding != "B64" || payload.is_empty() {
+                return Err(
+                    "binary mode sends raw rows: INSERT <query> <stream> B64 <payload> \
+                     (CSV needs the server-side schema; encode rows as base64)"
+                        .into(),
+                );
+            }
+            let rows = saber::server::protocol::b64_decode(payload)?;
+            Ok(Frame::Insert {
+                query,
+                stream,
+                rows,
+            })
+        }
+        "SUBSCRIBE" => Ok(Frame::Subscribe {
+            query: parse_id(rest.split_whitespace().next(), "SUBSCRIBE <query>")?,
+        }),
+        "FLUSH" => Ok(Frame::Flush),
+        "STREAMS" => Ok(Frame::Streams),
+        "QUERIES" => Ok(Frame::Queries),
+        "STATS" => Ok(Frame::Stats {
+            query: parse_id(rest.split_whitespace().next(), "STATS <query>")?,
+        }),
+        other => Err(format!("unknown command `{other}` (see docs/server.md)")),
+    }
+}
+
+/// Renders a received frame in the text protocol's vocabulary.
+fn render_frame(frame: &Frame) -> String {
+    match frame {
+        Frame::Ok { message } => format!("OK {message}"),
+        Frame::Err { code, message } => format!("ERR {} {message}", code.as_str()),
+        Frame::Pong => "PONG".to_string(),
+        Frame::Bye => "BYE".to_string(),
+        Frame::End => "END".to_string(),
+        Frame::Data { nrows, rows } => {
+            format!("DATA {nrows} {}", saber::server::protocol::b64_encode(rows))
+        }
+        other => format!("{other:?}"),
+    }
 }
 
 fn run_if_nonempty(statement: &str, catalog: &saber::sql::Catalog, rows: usize) {

@@ -9,8 +9,11 @@
 //! cargo run --release --example saber-serve -- 0.0.0.0:9000
 //! # persistent mode: WAL + snapshots in ./saber-data, crash-recoverable
 //! cargo run --release --example saber-serve -- --data-dir ./saber-data
+//! # require a shared-secret token and cap each client at 100k rows/s
+//! cargo run --release --example saber-serve -- --auth s3cret --rate 100000
 //! # then, from another terminal:
 //! cargo run --release --example saber-repl -- --connect 127.0.0.1:7878
+//! cargo run --release --example saber-repl -- --connect 127.0.0.1:7878 --binary
 //! ```
 //!
 //! With `--data-dir`, acknowledged inserts and registered queries survive a
@@ -29,6 +32,8 @@ use std::io::BufRead;
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut addr = "127.0.0.1:7878".to_string();
     let mut data_dir: Option<String> = None;
+    let mut auth: Option<String> = None;
+    let mut rate: Option<u64> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -38,8 +43,20 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                         .ok_or("--data-dir requires a directory argument")?,
                 );
             }
+            "--auth" => {
+                auth = Some(args.next().ok_or("--auth requires a token argument")?);
+            }
+            "--rate" => {
+                let value = args.next().ok_or("--rate requires a rows/sec argument")?;
+                rate = Some(value.parse().map_err(|_| {
+                    format!("--rate expects an integer rows/sec value, got {value:?}")
+                })?);
+            }
             flag if flag.starts_with("--") => {
-                return Err(format!("unknown flag {flag} (supported: --data-dir <dir>)").into());
+                return Err(format!(
+                    "unknown flag {flag} (supported: --data-dir <dir>, --auth <token>, --rate <rows/sec>)"
+                )
+                .into());
             }
             positional => addr = positional.to_string(),
         }
@@ -49,12 +66,20 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     if let Some(dir) = &data_dir {
         config.engine.durability = Some(DurabilityConfig::new(dir));
     }
+    config.auth_token = auth.clone();
+    config.quota_rows_per_sec = rate;
     let server =
         Server::bind_with_catalog(addr.as_str(), config, saber::workloads::sql::catalog())?;
     println!("saber-serve listening on {}", server.local_addr());
     match &data_dir {
         Some(dir) => println!("persistent mode: WAL + snapshots in {dir} (docs/persistence.md)"),
         None => println!("in-memory mode: state is lost on exit (use --data-dir to persist)"),
+    }
+    if auth.is_some() {
+        println!("auth required: clients must AUTH <token> before other commands");
+    }
+    if let Some(rate) = rate {
+        println!("per-client quota: {rate} rows/s sustained (throttled via TCP backpressure)");
     }
     println!("protocol (docs/server.md):");
     println!("  CREATE STREAM <name> (<attr> <TYPE>, ...)");

@@ -11,8 +11,11 @@
 //! * [`engine`] — dispatcher, HLS scheduler, worker threads, result stage,
 //! * [`store`] — durability: segmented CRC-checked write-ahead ingest log,
 //!   catalog snapshots and crash recovery (see `docs/persistence.md`),
-//! * [`server`] — TCP network frontend: multi-client SQL ingest and result
-//!   subscriptions over a newline-delimited protocol (see `docs/server.md`),
+//! * [`net`] — readiness-based (epoll) server core: the event loop, the
+//!   length-prefixed binary wire protocol, auth and per-client quotas,
+//! * [`server`] — TCP network frontend on top of [`net`]: multi-client SQL
+//!   ingest and result subscriptions over the text protocol and the binary
+//!   frame protocol (see `docs/server.md`),
 //! * [`baselines`] — comparator engines used by the evaluation,
 //! * [`workloads`] — datasets and application queries of the paper's §6.
 //!
@@ -60,6 +63,7 @@ pub use saber_baselines as baselines;
 pub use saber_cpu as cpu;
 pub use saber_engine as engine;
 pub use saber_gpu as gpu;
+pub use saber_net as net;
 pub use saber_query as query;
 pub use saber_server as server;
 pub use saber_sql as sql;
