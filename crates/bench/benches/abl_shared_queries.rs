@@ -62,6 +62,7 @@ fn engine_config() -> EngineConfig {
         throughput_smoothing: 0.25,
         durability: None,
         sharing: true,
+        stage_timestamps: true,
     }
 }
 

@@ -73,9 +73,7 @@ impl Text {
             .set_read_timeout(Some(Duration::from_secs(30)))
             .unwrap();
         let reader = BufReader::new(stream.try_clone().unwrap());
-        let mut text = Text { stream, reader };
-        text.read_line(); // banner
-        text
+        Text { stream, reader }
     }
 
     fn read_line(&mut self) -> String {
@@ -91,7 +89,7 @@ impl Text {
 }
 
 fn subscribe(addr: SocketAddr, query: u32) -> BinaryClient {
-    let (mut client, _banner) = BinaryClient::connect(addr).expect("binary connect");
+    let mut client = BinaryClient::connect(addr).expect("binary connect");
     client
         .set_read_timeout(Some(Duration::from_secs(30)))
         .unwrap();
@@ -229,7 +227,7 @@ fn main() {
         for producer in 0..producers {
             let stop = stop.clone();
             handles.push(scope.spawn(move || {
-                let (mut client, _) = BinaryClient::connect(addr).expect("producer connect");
+                let mut client = BinaryClient::connect(addr).expect("producer connect");
                 let mut rows = Vec::new();
                 for i in 0..64i64 {
                     rows.extend_from_slice(&(producer as i64 * 64 + i).to_le_bytes());

@@ -31,7 +31,13 @@ fn bench_engine(c: &mut Criterion) {
     group.throughput(Throughput::Bytes(data.byte_len() as u64));
     group.bench_function("dispatcher_1mb_tasks", |b| {
         b.iter(|| {
-            let d = Dispatcher::new(plan.clone(), 1 << 20, 64 << 20, Arc::new(AtomicU64::new(0)));
+            let d = Dispatcher::new(
+                plan.clone(),
+                1 << 20,
+                64 << 20,
+                Arc::new(AtomicU64::new(0)),
+                true,
+            );
             let mut tasks = 0usize;
             for chunk in data.bytes().chunks(256 * 1024) {
                 tasks += d.ingest(0, chunk).unwrap().len();
@@ -63,6 +69,7 @@ fn bench_engine(c: &mut Criterion) {
             64 * 1024,
             64 << 20,
             Arc::new(AtomicU64::new(0)),
+            true,
         );
         for chunk in data.bytes().chunks(64 * 1024).take(64) {
             for t in d.ingest(0, chunk).unwrap() {

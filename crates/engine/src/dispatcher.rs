@@ -54,6 +54,11 @@ pub struct StreamIngest {
     pending_from: AtomicU64,
     /// Absolute tuple index of the first pending row (cutter-owned).
     next_row_index: AtomicU64,
+    /// Stage tracing: nanoseconds (from the dispatcher anchor, offset by 1
+    /// so 0 means "nothing pending") at which the oldest still-pending byte
+    /// arrived. Producers CAS it from 0 after an append; the cutter swaps
+    /// it back to 0 when it consumes the pending region.
+    first_pending_ns: AtomicU64,
     /// Backs `space_freed`; held only around blocking waits for ring space.
     space: Mutex<()>,
     /// Signalled whenever the cutter releases ring space.
@@ -75,6 +80,7 @@ impl StreamIngest {
             rows_ingested: AtomicU64::new(0),
             pending_from: AtomicU64::new(0),
             next_row_index: AtomicU64::new(0),
+            first_pending_ns: AtomicU64::new(0),
             space: Mutex::new(()),
             space_freed: Condvar::new(),
         }
@@ -171,6 +177,11 @@ pub struct Dispatcher {
     streams: Vec<Arc<StreamIngest>>,
     cutter: Mutex<CutterState>,
     global_task_ids: Arc<AtomicU64>,
+    /// Stage tracing switch: when off, ingest-ack stamping is skipped
+    /// entirely (no extra clock reads or CAS on the ingest path).
+    stage_timestamps: bool,
+    /// Reference instant for the `first_pending_ns` offsets.
+    anchor: Instant,
     /// Total tasks ever cut, incremented under the cutter lock *during* the
     /// cut. Query removal drains by waiting for the result stage's completed
     /// count to reach this value: because the counter is committed while the
@@ -188,6 +199,7 @@ impl Dispatcher {
         task_size: usize,
         buffer_capacity: usize,
         global_task_ids: Arc<AtomicU64>,
+        stage_timestamps: bool,
     ) -> Self {
         let streams = plan
             .input_schemas()
@@ -210,6 +222,8 @@ impl Dispatcher {
             streams,
             cutter: Mutex::new(CutterState { next_seq: 0 }),
             global_task_ids,
+            stage_timestamps,
+            anchor: Instant::now(),
             tasks_cut: AtomicU64::new(0),
         }
     }
@@ -308,6 +322,20 @@ impl Dispatcher {
                 }
                 Ok(())
             })?;
+            if self.stage_timestamps {
+                // Acknowledge the chunk for stage tracing: only the first
+                // producer after a cut pays the (failed-CAS-free) store.
+                let ns = (self.anchor.elapsed().as_nanos() as u64).saturating_add(1);
+                // relaxed-ok: monitoring timestamp; the cutter consumes it
+                // with a swap under the cutter lock, and skew of one sample
+                // only shifts an ingest_wait histogram entry.
+                let _ = input.first_pending_ns.compare_exchange(
+                    0,
+                    ns,
+                    Ordering::Relaxed,
+                    Ordering::Relaxed,
+                );
+            }
             self.cut_ready(sink)?;
         }
         Ok(())
@@ -393,13 +421,34 @@ impl Dispatcher {
         let seq = state.next_seq;
         state.next_seq += 1;
         self.tasks_cut.fetch_add(1, Ordering::SeqCst);
+        let created = Instant::now();
+        let ingest_ack = if self.stage_timestamps {
+            // Oldest acknowledged-but-undispatched instant across inputs;
+            // the swap re-arms each stream's stamp for the next task.
+            self.streams
+                .iter()
+                .filter_map(|input| {
+                    // relaxed-ok: monitoring timestamp consumed under the
+                    // cutter lock; see first_pending_ns.
+                    match input.first_pending_ns.swap(0, Ordering::Relaxed) {
+                        0 => None,
+                        ns => Some(ns - 1),
+                    }
+                })
+                .min()
+                .map(|ns| self.anchor + Duration::from_nanos(ns))
+                .unwrap_or(created)
+        } else {
+            created
+        };
         Ok(QueryTask {
             id,
             query_id: self.query_id,
             seq,
             plan: self.plan.clone(),
             batches,
-            created: Instant::now(),
+            created,
+            ingest_ack,
         })
     }
 }
@@ -456,7 +505,7 @@ mod tests {
             .build()
             .unwrap();
         let plan = Arc::new(CompiledPlan::compile(&q).unwrap());
-        Dispatcher::new(plan, task_size, 1 << 20, Arc::new(AtomicU64::new(0)))
+        Dispatcher::new(plan, task_size, 1 << 20, Arc::new(AtomicU64::new(0)), true)
     }
 
     #[test]
@@ -518,7 +567,7 @@ mod tests {
             .build()
             .unwrap();
         let plan = Arc::new(CompiledPlan::compile(&q).unwrap());
-        let d = Dispatcher::new(plan, 256 * 16, 16 * 1024, Arc::new(AtomicU64::new(0)));
+        let d = Dispatcher::new(plan, 256 * 16, 16 * 1024, Arc::new(AtomicU64::new(0)), true);
         let tasks = d.ingest(0, &rows(4096, 0)).unwrap();
         let total: usize = tasks.iter().map(|t| t.rows()).sum();
         assert_eq!(total, 4096);
@@ -544,7 +593,7 @@ mod tests {
             .build()
             .unwrap();
         let plan = Arc::new(CompiledPlan::compile(&q).unwrap());
-        let d = Dispatcher::new(plan, 32 * 16, 1 << 20, Arc::new(AtomicU64::new(0)));
+        let d = Dispatcher::new(plan, 32 * 16, 1 << 20, Arc::new(AtomicU64::new(0)), true);
         // Fill both inputs; a task is cut when the *sum* of pending bytes
         // reaches φ (here 32 rows total).
         let t1 = d.ingest(0, &rows(16, 0)).unwrap();
@@ -578,7 +627,7 @@ mod tests {
             .build()
             .unwrap();
         let plan = Arc::new(CompiledPlan::compile(&q).unwrap());
-        let d = Dispatcher::new(plan, 1 << 20, 4096, Arc::new(AtomicU64::new(0)));
+        let d = Dispatcher::new(plan, 1 << 20, 4096, Arc::new(AtomicU64::new(0)), true);
         let err = d.ingest(0, &rows(256, 0)).unwrap_err();
         let msg = err.to_string();
         assert!(msg.contains("lookback"), "unexpected error: {msg}");
@@ -598,7 +647,7 @@ mod tests {
             .build()
             .unwrap();
         let plan = Arc::new(CompiledPlan::compile(&q).unwrap());
-        let d = Dispatcher::new(plan, 32 * 16, 1024, Arc::new(AtomicU64::new(0)));
+        let d = Dispatcher::new(plan, 32 * 16, 1024, Arc::new(AtomicU64::new(0)), true);
         let mut tasks = Vec::new();
         for round in 0..64 {
             tasks.extend(d.ingest(0, &rows(16, round * 16)).unwrap());

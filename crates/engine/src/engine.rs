@@ -34,6 +34,7 @@ use crate::worker::{run_cpu_worker, run_gpu_worker, WorkerContext};
 use parking_lot::Mutex;
 use saber_cpu::plan::CompiledPlan;
 use saber_gpu::{DeviceConfig, GpuDevice};
+use saber_obs::{FlightRecord, FlightRecorder};
 use saber_query::Query;
 use saber_sql::SharedCatalog;
 use saber_store::{has_existing_state, Store, WalRecord};
@@ -160,6 +161,8 @@ struct EngineCore {
     wind_down: Mutex<()>,
     /// The durability layer (WAL + snapshots), when configured.
     durability: Option<Arc<Durability>>,
+    /// Always-on ring of recent task traces (see `docs/observability.md`).
+    recorder: Arc<FlightRecorder>,
 }
 
 /// The SABER hybrid stream processing engine.
@@ -263,6 +266,7 @@ impl Saber {
                 lifecycle: Lifecycle::new(),
                 wind_down: Mutex::new(()),
                 durability,
+                recorder: Arc::new(FlightRecorder::new(256)),
                 config,
             }),
             workers: Vec::new(),
@@ -322,6 +326,18 @@ impl Saber {
     /// queries).
     pub fn stats(&self) -> &EngineStats {
         &self.core.stats
+    }
+
+    /// The engine's flight recorder: an always-on, fixed-size ring of
+    /// recent per-task pipeline traces (fed when
+    /// [`EngineConfig::stage_timestamps`] is on).
+    pub fn flight_recorder(&self) -> &Arc<FlightRecorder> {
+        &self.core.recorder
+    }
+
+    /// Recent task traces from the flight recorder, newest first.
+    pub fn flight_records(&self) -> Vec<FlightRecord> {
+        self.core.recorder.dump()
     }
 
     /// Number of *live* queries (registered and not removed). Counts
@@ -658,12 +674,19 @@ impl Saber {
         let plan = Arc::new(plan);
         let sink = QuerySink::new(plan.output_schema().clone(), retain_output);
         let stats = core.stats.register_query_at(id);
-        let runtime = Arc::new(ResultStage::new(&plan, sink.clone(), stats.clone()));
+        let runtime = Arc::new(ResultStage::new(
+            &plan,
+            sink.clone(),
+            stats.clone(),
+            core.recorder.clone(),
+            core.config.stage_timestamps,
+        ));
         let dispatcher = Arc::new(Dispatcher::new(
             plan,
             core.config.query_task_size,
             core.config.input_buffer_capacity,
             core.task_ids.clone(),
+            core.config.stage_timestamps,
         ));
         core.queue.register_query_at(id);
         let state = Arc::new(QueryState {
@@ -942,6 +965,7 @@ impl Saber {
             matrix: self.core.matrix.clone(),
             registry: self.core.registry.clone(),
             flow: self.core.flow.clone(),
+            stage_timestamps: self.core.config.stage_timestamps,
         }
     }
 
@@ -1760,6 +1784,7 @@ mod tests {
             throughput_smoothing: 0.25,
             durability: None,
             sharing: true,
+            stage_timestamps: true,
         };
         Saber::with_config(config).unwrap()
     }
@@ -2265,6 +2290,7 @@ mod tests {
             throughput_smoothing: 0.25,
             durability: None,
             sharing: true,
+            stage_timestamps: true,
         };
         let mut engine = Saber::with_config(config).unwrap();
         let q = QueryBuilder::new("agg", schema())

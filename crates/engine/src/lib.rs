@@ -74,14 +74,18 @@ pub use durability::{CheckpointReport, DurabilityStats, RecoveredQuery, Recovery
 pub use engine::{IngestHandle, QueryHandle, Saber};
 pub use flow::FlowControl;
 pub use ids::{QueryId, StreamId};
-pub use metrics::{EngineStats, QueryStats};
+pub use metrics::{EngineStats, QueryStats, StageHistograms, StatsSnapshot};
 pub use placement::{PlacementDecision, PlacementMap};
 pub use queue::{TaskHead, TaskQueue};
 pub use registry::QueryRegistry;
 pub use scheduler::{Processor, SchedulingPolicyKind};
 pub use sink::{QuerySink, WindowWait};
-pub use task::QueryTask;
+pub use task::{QueryTask, TaskStamps};
 pub use throughput::ThroughputMatrix;
+
+// Observability re-exports, so engine users can consume flight-recorder
+// traces and histogram snapshots without a direct `saber_obs` dependency.
+pub use saber_obs::{FlightRecord, FlightRecorder, HistogramSnapshot, STAGE_NAMES, TRACE_STAGES};
 
 // Durability configuration re-exports, so engine users do not need a
 // direct `saber_store` dependency.

@@ -359,6 +359,7 @@ mod tests {
                 0,
             )],
             created: Instant::now(),
+            ingest_ack: Instant::now(),
         }
     }
 

@@ -12,9 +12,11 @@
 
 use crate::metrics::QueryStats;
 use crate::sink::QuerySink;
+use crate::task::TaskStamps;
 use parking_lot::Mutex;
 use saber_cpu::plan::CompiledPlan;
 use saber_cpu::{AggregationAssembler, TaskOutput};
+use saber_obs::{FlightRecorder, TRACE_STAGES};
 use saber_types::{Result, RowBuffer};
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -24,7 +26,11 @@ use std::time::Instant;
 /// A completed task result waiting for in-order processing.
 struct PendingResult {
     output: TaskOutput,
-    created: Instant,
+    stamps: TaskStamps,
+}
+
+fn nanos_between(from: Instant, to: Instant) -> u64 {
+    to.saturating_duration_since(from).as_nanos() as u64
 }
 
 struct Ordered {
@@ -46,11 +52,25 @@ pub struct ResultStage {
     sink: QuerySink,
     stats: Arc<QueryStats>,
     completed_tasks: AtomicU64,
+    /// The engine-wide flight recorder each released task traces into.
+    recorder: Arc<FlightRecorder>,
+    /// When off, stage histograms and traces are not fed (the end-to-end
+    /// latency counters still are).
+    stage_timestamps: bool,
+    query_id: u64,
 }
 
 impl ResultStage {
-    /// Creates the result stage of one query.
-    pub fn new(plan: &CompiledPlan, sink: QuerySink, stats: Arc<QueryStats>) -> Self {
+    /// Creates the result stage of one query. Completed tasks trace into
+    /// `recorder` and the query's stage histograms when `stage_timestamps`
+    /// is on.
+    pub fn new(
+        plan: &CompiledPlan,
+        sink: QuerySink,
+        stats: Arc<QueryStats>,
+        recorder: Arc<FlightRecorder>,
+        stage_timestamps: bool,
+    ) -> Self {
         Self {
             ordered: Mutex::new(Ordered {
                 next_seq: 0,
@@ -61,6 +81,9 @@ impl ResultStage {
             sink,
             stats,
             completed_tasks: AtomicU64::new(0),
+            recorder,
+            stage_timestamps,
+            query_id: plan.query_id() as u64,
         }
     }
 
@@ -85,11 +108,11 @@ impl ResultStage {
     /// `QueryHandle::remove` / `Saber::stop` waiting on the completed
     /// count, convert one bad result into a 60 s timeout and a spurious
     /// data-loss report for the whole query.
-    pub fn submit(&self, seq: u64, output: TaskOutput, created: Instant) -> Result<()> {
+    pub fn submit(&self, seq: u64, output: TaskOutput, stamps: TaskStamps) -> Result<()> {
         let mut ordered = self.ordered.lock();
         ordered
             .pending
-            .insert(seq, PendingResult { output, created });
+            .insert(seq, PendingResult { output, stamps });
 
         // Release the in-order prefix.
         let mut first_error = None;
@@ -97,6 +120,11 @@ impl ResultStage {
             let next = ordered.next_seq;
             ordered.pending.remove(&next)
         } {
+            let assembled = if self.stage_timestamps {
+                Instant::now()
+            } else {
+                result.stamps.started
+            };
             match result.output {
                 TaskOutput::Rows(rows) => {
                     self.sink.append(&rows);
@@ -132,7 +160,22 @@ impl ResultStage {
                     }
                 }
             }
-            self.stats.record_latency(result.created.elapsed());
+            self.stats.record_latency(result.stamps.created.elapsed());
+            if self.stage_timestamps {
+                let delivered = Instant::now();
+                let s = result.stamps;
+                let stages: [u64; TRACE_STAGES] = [
+                    nanos_between(s.ingest_ack, s.created),
+                    nanos_between(s.created, s.popped),
+                    nanos_between(s.popped, s.started),
+                    nanos_between(s.started, assembled),
+                    nanos_between(assembled, delivered),
+                    nanos_between(s.ingest_ack, delivered),
+                ];
+                self.stats.stages.record(stages);
+                self.recorder
+                    .record(self.query_id, ordered.next_seq, stages);
+            }
             // relaxed-ok: progress counter; removal-drain reads it via
             // completed_tasks() after flushing under the cutter lock, whose
             // release/acquire already orders the preceding completions.
@@ -180,7 +223,13 @@ mod tests {
             .unwrap();
         let plan = CompiledPlan::compile(&q).unwrap();
         let sink = QuerySink::new(plan.output_schema().clone(), true);
-        let stage = ResultStage::new(&plan, sink.clone(), Arc::new(QueryStats::default()));
+        let stage = ResultStage::new(
+            &plan,
+            sink.clone(),
+            Arc::new(QueryStats::default()),
+            Arc::new(FlightRecorder::new(8)),
+            true,
+        );
         (stage, sink)
     }
 
@@ -188,10 +237,18 @@ mod tests {
     fn in_order_results_are_released_immediately() {
         let (stage, sink) = stateless_stage();
         stage
-            .submit(0, TaskOutput::Rows(rows(3, 0)), Instant::now())
+            .submit(
+                0,
+                TaskOutput::Rows(rows(3, 0)),
+                TaskStamps::collapsed(Instant::now()),
+            )
             .unwrap();
         stage
-            .submit(1, TaskOutput::Rows(rows(2, 3)), Instant::now())
+            .submit(
+                1,
+                TaskOutput::Rows(rows(2, 3)),
+                TaskStamps::collapsed(Instant::now()),
+            )
             .unwrap();
         assert_eq!(sink.tuples_emitted(), 5);
         assert_eq!(stage.completed_tasks(), 2);
@@ -202,22 +259,87 @@ mod tests {
     fn out_of_order_results_wait_for_the_missing_task() {
         let (stage, sink) = stateless_stage();
         stage
-            .submit(1, TaskOutput::Rows(rows(2, 4)), Instant::now())
+            .submit(
+                1,
+                TaskOutput::Rows(rows(2, 4)),
+                TaskStamps::collapsed(Instant::now()),
+            )
             .unwrap();
         stage
-            .submit(2, TaskOutput::Rows(rows(2, 8)), Instant::now())
+            .submit(
+                2,
+                TaskOutput::Rows(rows(2, 8)),
+                TaskStamps::collapsed(Instant::now()),
+            )
             .unwrap();
         assert_eq!(sink.tuples_emitted(), 0);
         assert_eq!(stage.parked(), 2);
         // The missing task 0 arrives and releases everything in order.
         stage
-            .submit(0, TaskOutput::Rows(rows(2, 0)), Instant::now())
+            .submit(
+                0,
+                TaskOutput::Rows(rows(2, 0)),
+                TaskStamps::collapsed(Instant::now()),
+            )
             .unwrap();
         assert_eq!(sink.tuples_emitted(), 6);
         let out = sink.take_rows();
         let stamps: Vec<i64> = out.iter().map(|t| t.timestamp()).collect();
         assert_eq!(stamps, vec![0, 1, 4, 5, 8, 9]);
         assert_eq!(stage.completed_tasks(), 3);
+    }
+
+    #[test]
+    fn released_results_feed_stage_histograms_and_the_flight_recorder() {
+        let q = QueryBuilder::new("sel", schema())
+            .count_window(4, 4)
+            .select(Expr::literal(1.0))
+            .build()
+            .unwrap();
+        let plan = CompiledPlan::compile(&q).unwrap();
+        let sink = QuerySink::new(plan.output_schema().clone(), true);
+        let stats = Arc::new(QueryStats::default());
+        let recorder = Arc::new(FlightRecorder::new(8));
+        let stage = ResultStage::new(&plan, sink, stats.clone(), recorder.clone(), true);
+        for seq in 0..3u64 {
+            stage
+                .submit(
+                    seq,
+                    TaskOutput::Rows(rows(2, seq as i64 * 2)),
+                    TaskStamps::collapsed(Instant::now()),
+                )
+                .unwrap();
+        }
+        let snaps = stats.stages.snapshots();
+        assert!(snaps.iter().all(|(_, s)| s.count() == 3));
+        let traces = recorder.dump();
+        assert_eq!(traces.len(), 3);
+        assert_eq!(traces[0].seq, 2, "newest trace first");
+        assert!(traces.iter().all(|t| t.query == plan.query_id() as u64));
+    }
+
+    #[test]
+    fn stage_timestamps_off_skips_tracing_but_keeps_latency() {
+        let q = QueryBuilder::new("sel", schema())
+            .count_window(4, 4)
+            .select(Expr::literal(1.0))
+            .build()
+            .unwrap();
+        let plan = CompiledPlan::compile(&q).unwrap();
+        let sink = QuerySink::new(plan.output_schema().clone(), true);
+        let stats = Arc::new(QueryStats::default());
+        let recorder = Arc::new(FlightRecorder::new(8));
+        let stage = ResultStage::new(&plan, sink, stats.clone(), recorder.clone(), false);
+        stage
+            .submit(
+                0,
+                TaskOutput::Rows(rows(2, 0)),
+                TaskStamps::collapsed(Instant::now()),
+            )
+            .unwrap();
+        assert!(recorder.dump().is_empty());
+        assert_eq!(stats.stages.snapshots()[0].1.count(), 0);
+        assert_eq!(stats.snapshot().latency_samples, 1);
     }
 
     #[test]
@@ -234,7 +356,13 @@ mod tests {
         };
         let sink = QuerySink::new(plan.output_schema().clone(), true);
         let stats = Arc::new(QueryStats::default());
-        let stage = ResultStage::new(&plan, sink.clone(), stats.clone());
+        let stage = ResultStage::new(
+            &plan,
+            sink.clone(),
+            stats.clone(),
+            Arc::new(FlightRecorder::new(8)),
+            true,
+        );
 
         // Two tasks of 6 rows each; window 0 (rows 0..8) spans both.
         let mk = |start: u64| {
@@ -243,9 +371,13 @@ mod tests {
             saber_cpu::windowed::execute(&plan, &agg, &batch).unwrap()
         };
         // Submit out of order.
-        stage.submit(1, mk(6), Instant::now()).unwrap();
+        stage
+            .submit(1, mk(6), TaskStamps::collapsed(Instant::now()))
+            .unwrap();
         assert_eq!(sink.tuples_emitted(), 0);
-        stage.submit(0, mk(0), Instant::now()).unwrap();
+        stage
+            .submit(0, mk(0), TaskStamps::collapsed(Instant::now()))
+            .unwrap();
         assert_eq!(sink.tuples_emitted(), 1);
         let out = sink.take_rows();
         assert_eq!(out.row(0).get_i64(1), 8);

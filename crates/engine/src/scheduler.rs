@@ -273,6 +273,7 @@ mod tests {
             plan: Arc::new(CompiledPlan::compile(&q).unwrap()),
             batches: vec![StreamBatch::new(RowBuffer::new(schema), 0, 0)],
             created: Instant::now(),
+            ingest_ack: Instant::now(),
         }
     }
 

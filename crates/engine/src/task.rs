@@ -21,6 +21,40 @@ pub struct QueryTask {
     pub batches: Vec<StreamBatch>,
     /// When the task was created by the dispatcher (latency accounting).
     pub created: Instant,
+    /// When the oldest still-undispatched byte of this task's data entered
+    /// the ingest ring (stage tracing). Equals `created` when stage
+    /// timestamping is disabled or nothing was pending before the cut.
+    pub ingest_ack: Instant,
+}
+
+/// The pipeline timestamps of one task, threaded from the dispatcher cut
+/// through the worker to the result stage, where they become the per-stage
+/// latency histograms and flight-recorder traces. With stage timestamping
+/// disabled every stamp equals `created`, so stage durations render as zero
+/// and no extra clock reads happen on the hot path.
+#[derive(Debug, Clone, Copy)]
+pub struct TaskStamps {
+    /// First undispatched ingest acknowledged (see [`QueryTask::ingest_ack`]).
+    pub ingest_ack: Instant,
+    /// Dispatcher cut the task.
+    pub created: Instant,
+    /// A worker popped the task from the task queue.
+    pub popped: Instant,
+    /// The worker began executing the task.
+    pub started: Instant,
+}
+
+impl TaskStamps {
+    /// Stamps that collapse every stage to zero width at `at` (used when
+    /// stage timestamping is off, and by tests).
+    pub fn collapsed(at: Instant) -> Self {
+        Self {
+            ingest_ack: at,
+            created: at,
+            popped: at,
+            started: at,
+        }
+    }
 }
 
 impl QueryTask {
@@ -68,6 +102,7 @@ mod tests {
             plan,
             batches: vec![batch],
             created: Instant::now(),
+            ingest_ack: Instant::now(),
         };
         assert_eq!(task.rows(), 8);
         assert_eq!(task.size_bytes(), 8 * 12);

@@ -11,7 +11,7 @@ use crate::flow::FlowControl;
 use crate::queue::TaskQueue;
 use crate::registry::QueryRegistry;
 use crate::scheduler::{Processor, Scheduler};
-use crate::task::QueryTask;
+use crate::task::{QueryTask, TaskStamps};
 use crate::throughput::ThroughputMatrix;
 use saber_cpu::{CpuExecutor, TaskOutput};
 use saber_gpu::pipeline::{GpuPipeline, PipelineJob};
@@ -35,6 +35,9 @@ pub struct WorkerContext {
     /// Admission-control gate: every finished task returns its credit here,
     /// waking producers blocked on backpressure.
     pub flow: Arc<FlowControl>,
+    /// Stage tracing switch: when off, queue-pop stamps collapse to the cut
+    /// instant and no extra clock reads happen per task.
+    pub stage_timestamps: bool,
 }
 
 impl WorkerContext {
@@ -42,7 +45,7 @@ impl WorkerContext {
         &self,
         task_query: usize,
         seq: u64,
-        created: Instant,
+        stamps: TaskStamps,
         output: TaskOutput,
         processor: Processor,
     ) {
@@ -57,7 +60,7 @@ impl WorkerContext {
         // A result-stage error is unrecoverable for the affected window, but
         // the stage keeps its release sequence advancing internally, so
         // later tasks (and the removal/stop drain loops) are not blocked.
-        let _ = state.runtime.submit(seq, output, created);
+        let _ = state.runtime.submit(seq, output, stamps);
         self.flow.release();
     }
 }
@@ -77,15 +80,27 @@ pub fn run_cpu_worker(ctx: WorkerContext) {
                     plan,
                     batches,
                     created,
+                    ingest_ack,
                     ..
                 } = task;
+                let popped = if ctx.stage_timestamps {
+                    Instant::now()
+                } else {
+                    created
+                };
                 let started = Instant::now();
                 let output = executor.execute(&plan, &batches).unwrap_or_else(|_| {
                     TaskOutput::Rows(RowBuffer::new(plan.output_schema().clone()))
                 });
                 ctx.matrix
                     .record(query_id, Processor::Cpu, started.elapsed());
-                ctx.finish(query_id, seq, created, output, Processor::Cpu);
+                let stamps = TaskStamps {
+                    ingest_ack,
+                    created,
+                    popped,
+                    started,
+                };
+                ctx.finish(query_id, seq, stamps, output, Processor::Cpu);
             }
             None => {
                 if ctx.queue.is_shutdown() && ctx.queue.is_empty() {
@@ -120,15 +135,27 @@ fn run_gpu_worker_sequential(ctx: WorkerContext, device: Arc<GpuDevice>) {
                     plan,
                     batches,
                     created,
+                    ingest_ack,
                     ..
                 } = task;
+                let popped = if ctx.stage_timestamps {
+                    Instant::now()
+                } else {
+                    created
+                };
                 let started = Instant::now();
                 let output = device.execute(&plan, &batches).unwrap_or_else(|_| {
                     TaskOutput::Rows(RowBuffer::new(plan.output_schema().clone()))
                 });
                 ctx.matrix
                     .record(query_id, Processor::Gpu, started.elapsed());
-                ctx.finish(query_id, seq, created, output, Processor::Gpu);
+                let stamps = TaskStamps {
+                    ingest_ack,
+                    created,
+                    popped,
+                    started,
+                };
+                ctx.finish(query_id, seq, stamps, output, Processor::Gpu);
             }
             None => {
                 if ctx.queue.is_shutdown() && ctx.queue.is_empty() {
@@ -142,7 +169,7 @@ fn run_gpu_worker_sequential(ctx: WorkerContext, device: Arc<GpuDevice>) {
 struct InFlightTask {
     query_id: usize,
     seq: u64,
-    created: Instant,
+    stamps: TaskStamps,
     submitted: Instant,
 }
 
@@ -166,13 +193,24 @@ fn run_gpu_worker_pipelined(ctx: WorkerContext, device: Arc<GpuDevice>, depth: u
                         plan: task.plan.clone(),
                         batches: task.batches,
                     };
+                    let submitted = Instant::now();
+                    let popped = if ctx.stage_timestamps {
+                        submitted
+                    } else {
+                        task.created
+                    };
                     in_flight.insert(
                         task.id,
                         InFlightTask {
                             query_id: task.query_id,
                             seq: task.seq,
-                            created: task.created,
-                            submitted: Instant::now(),
+                            stamps: TaskStamps {
+                                ingest_ack: task.ingest_ack,
+                                created: task.created,
+                                popped,
+                                started: submitted,
+                            },
+                            submitted,
                         },
                     );
                     if pipeline.submit(job).is_err() {
@@ -185,7 +223,7 @@ fn run_gpu_worker_pipelined(ctx: WorkerContext, device: Arc<GpuDevice>, depth: u
                             ctx.finish(
                                 meta.query_id,
                                 meta.seq,
-                                meta.created,
+                                meta.stamps,
                                 output,
                                 Processor::Gpu,
                             );
@@ -206,13 +244,7 @@ fn run_gpu_worker_pipelined(ctx: WorkerContext, device: Arc<GpuDevice>, depth: u
                 let output = result.output.unwrap_or_else(|_| {
                     TaskOutput::Rows(RowBuffer::new(result.plan.output_schema().clone()))
                 });
-                ctx.finish(
-                    meta.query_id,
-                    meta.seq,
-                    meta.created,
-                    output,
-                    Processor::Gpu,
-                );
+                ctx.finish(meta.query_id, meta.seq, meta.stamps, output, Processor::Gpu);
             }
         }
         if !drained && !in_flight.is_empty() {
@@ -224,13 +256,7 @@ fn run_gpu_worker_pipelined(ctx: WorkerContext, device: Arc<GpuDevice>, depth: u
                     let output = result.output.unwrap_or_else(|_| {
                         TaskOutput::Rows(RowBuffer::new(result.plan.output_schema().clone()))
                     });
-                    ctx.finish(
-                        meta.query_id,
-                        meta.seq,
-                        meta.created,
-                        output,
-                        Processor::Gpu,
-                    );
+                    ctx.finish(meta.query_id, meta.seq, meta.stamps, output, Processor::Gpu);
                 }
             }
         }

@@ -1,8 +1,7 @@
 //! A small blocking client for the binary wire protocol — used by the
 //! REPL's `--binary` mode, the e2e tests and the c10k bench. It handles
-//! the connection preamble (the server's text banner line, the `\0SBP`
-//! magic, HELLO negotiation and optional authentication) and then
-//! exchanges [`Frame`]s synchronously.
+//! the connection preamble (the `\0SBP` magic, HELLO negotiation and
+//! optional authentication) and then exchanges [`Frame`]s synchronously.
 
 use crate::wire::{self, Decoded, Frame};
 use std::io::{self, Read, Write};
@@ -20,18 +19,16 @@ pub struct BinaryClient {
 }
 
 impl BinaryClient {
-    /// Connects, consumes the server's banner line, performs the magic +
-    /// HELLO exchange, and returns a ready client. The banner (the text
-    /// greeting every connection receives before mode detection) is
-    /// returned through `banner`.
-    pub fn connect(addr: impl ToSocketAddrs) -> io::Result<(BinaryClient, String)> {
+    /// Connects, performs the magic + HELLO exchange, and returns a ready
+    /// client.
+    pub fn connect(addr: impl ToSocketAddrs) -> io::Result<BinaryClient> {
         let stream = TcpStream::connect(addr)?;
         Self::from_stream(stream)
     }
 
     /// Wraps an already-connected stream (useful for timeout setup before
     /// the handshake).
-    pub fn from_stream(stream: TcpStream) -> io::Result<(BinaryClient, String)> {
+    pub fn from_stream(stream: TcpStream) -> io::Result<BinaryClient> {
         stream.set_nodelay(true).ok();
         let mut client = BinaryClient {
             stream,
@@ -40,7 +37,6 @@ impl BinaryClient {
             max_frame_bytes: 64 << 20,
             flags: 0,
         };
-        let banner = client.read_banner_line()?;
         client.stream.write_all(&wire::MAGIC)?;
         client.send(&Frame::Hello {
             max_version: wire::PROTOCOL_VERSION,
@@ -68,7 +64,7 @@ impl BinaryClient {
                 ));
             }
         }
-        Ok((client, banner))
+        Ok(client)
     }
 
     /// True when the server requires authentication ([`BinaryClient::auth`]).
@@ -138,34 +134,5 @@ impl BinaryClient {
     /// The underlying stream (for shutdown / timeout manipulation).
     pub fn stream(&self) -> &TcpStream {
         &self.stream
-    }
-
-    fn read_banner_line(&mut self) -> io::Result<String> {
-        let mut line = Vec::new();
-        let mut byte = [0u8; 1];
-        loop {
-            let n = self.stream.read(&mut byte)?;
-            if n == 0 {
-                return Err(io::Error::new(
-                    io::ErrorKind::UnexpectedEof,
-                    "connection closed before the banner line",
-                ));
-            }
-            if byte[0] == b'\n' {
-                break;
-            }
-            line.push(byte[0]);
-            if line.len() > 4096 {
-                return Err(io::Error::new(
-                    io::ErrorKind::InvalidData,
-                    "banner line too long",
-                ));
-            }
-        }
-        if line.last() == Some(&b'\r') {
-            line.pop();
-        }
-        String::from_utf8(line)
-            .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "banner is not valid UTF-8"))
     }
 }

@@ -35,5 +35,5 @@ pub mod server;
 pub mod wire;
 
 pub use client::BinaryClient;
-pub use server::{App, ConnHandle, ConnMode, NetConfig, NetServer, Request};
+pub use server::{App, ConnHandle, ConnMode, NetConfig, NetMetricsHandle, NetServer, Request};
 pub use wire::{ErrCode, Frame};

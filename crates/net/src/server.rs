@@ -47,7 +47,7 @@ use std::io::{self, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::os::unix::io::AsRawFd;
 use std::os::unix::net::UnixStream;
-use std::sync::atomic::{AtomicBool, AtomicU8, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -115,6 +115,15 @@ pub enum Request {
     Line(String),
     /// A binary-protocol frame.
     Frame(Frame),
+    /// An HTTP/1.x `GET` (the scrape mode, see [`ConnMode::Http`]). The
+    /// handler answers with [`ConnHandle::send_bytes`] (a full HTTP
+    /// response) and closes after flush. HTTP requests bypass the auth
+    /// gate: the scrape surface is read-only monitoring data, and scrape
+    /// agents cannot speak the `AUTH` exchange.
+    HttpGet {
+        /// The request path, without any query string.
+        path: String,
+    },
 }
 
 /// The application behind a [`NetServer`]: protocol-level connection and
@@ -152,11 +161,15 @@ pub enum ConnMode {
     Text,
     /// Length-prefixed binary frame protocol ([`crate::wire`]).
     Binary,
+    /// HTTP/1.x scrape mode, detected from a leading `GET ` — one request,
+    /// one response, close (Prometheus-style metric scrapes).
+    Http,
 }
 
 const MODE_DETECTING: u8 = 0;
 const MODE_TEXT: u8 = 1;
 const MODE_BINARY: u8 = 2;
+const MODE_HTTP: u8 = 3;
 
 const CLOSE_OPEN: u8 = 0;
 const CLOSE_AFTER_FLUSH: u8 = 1;
@@ -241,6 +254,7 @@ impl ConnHandle {
         match self.shared.mode.load(Ordering::SeqCst) {
             MODE_TEXT => ConnMode::Text,
             MODE_BINARY => ConnMode::Binary,
+            MODE_HTTP => ConnMode::Http,
             _ => ConnMode::Detecting,
         }
     }
@@ -264,6 +278,7 @@ impl ConnHandle {
             let mut outbox = self.shared.lock_outbox();
             outbox.extend_from_slice(bytes);
         }
+        NetCounters::add(&self.shared.net.counters.outbox_bytes, bytes.len() as u64);
         self.shared.net.mark_dirty(&self.shared);
     }
 
@@ -278,6 +293,10 @@ impl ConnHandle {
             outbox.extend_from_slice(line.as_bytes());
             outbox.push(b'\n');
         }
+        NetCounters::add(
+            &self.shared.net.counters.outbox_bytes,
+            line.len() as u64 + 1,
+        );
         self.shared.net.mark_dirty(&self.shared);
     }
 
@@ -286,10 +305,13 @@ impl ConnHandle {
         if self.is_closed() {
             return;
         }
-        {
+        let encoded = {
             let mut outbox = self.shared.lock_outbox();
+            let before = outbox.len();
             frame.encode_into(&mut outbox);
-        }
+            outbox.len() - before
+        };
+        NetCounters::add(&self.shared.net.counters.outbox_bytes, encoded as u64);
         self.shared.net.mark_dirty(&self.shared);
     }
 
@@ -368,6 +390,120 @@ impl Waker {
     }
 }
 
+/// Aggregate transport counters, updated by the loop, the workers and the
+/// send handles, read by [`NetMetricsHandle`]. Pure monitoring data: every
+/// access is `Relaxed`, and the two gauges (`inflight_bytes`,
+/// `outbox_bytes`) use saturating updates so the benign races around
+/// connection teardown cannot wrap them below zero.
+#[derive(Default)]
+struct NetCounters {
+    /// Bytes read off all sockets over the server's life.
+    bytes_read: AtomicU64,
+    /// Bytes written to all sockets over the server's life.
+    bytes_written: AtomicU64,
+    /// Connections ever accepted.
+    accepted_total: AtomicU64,
+    /// Requests decoded and dispatched (all protocol modes).
+    requests_total: AtomicU64,
+    /// HTTP scrape requests decoded.
+    http_requests_total: AtomicU64,
+    /// Nanoseconds of read-pause scheduled by the row-rate quota.
+    throttle_nanos: AtomicU64,
+    /// Connections dropped for falling behind on writes.
+    slow_consumer_closes: AtomicU64,
+    /// Bytes of decoded-but-unanswered requests, across all connections.
+    inflight_bytes: AtomicU64,
+    /// Bytes of pending (unwritten) output, across all connections.
+    outbox_bytes: AtomicU64,
+}
+
+impl NetCounters {
+    fn add(counter: &AtomicU64, v: u64) {
+        if v != 0 {
+            // relaxed-ok: monitoring counter, read only by the metrics handle.
+            counter.fetch_add(v, Ordering::Relaxed);
+        }
+    }
+
+    fn sat_sub(counter: &AtomicU64, v: u64) {
+        if v != 0 {
+            // relaxed-ok: monitoring gauge; the saturating update tolerates
+            // the benign send/teardown races instead of wrapping below zero.
+            let _ = counter.fetch_update(Ordering::Relaxed, Ordering::Relaxed, |c| {
+                Some(c.saturating_sub(v))
+            });
+        }
+    }
+}
+
+/// A cloneable, read-only view of a [`NetServer`]'s aggregate transport
+/// counters — connection count, byte/request totals, quota throttle time,
+/// in-flight and outbox backlogs. Cheap to clone and valid for the server's
+/// whole life; the scrape endpoint renders these as `saber_net_*` families.
+#[derive(Clone)]
+pub struct NetMetricsHandle {
+    shared: Arc<NetShared>,
+}
+
+impl NetMetricsHandle {
+    /// Currently open connections.
+    pub fn connections(&self) -> usize {
+        self.shared.conn_count.load(Ordering::SeqCst)
+    }
+
+    /// Connections ever accepted.
+    pub fn accepted_total(&self) -> u64 {
+        self.shared.counters.accepted_total.load(Ordering::Relaxed)
+    }
+
+    /// Bytes read off all sockets.
+    pub fn bytes_read(&self) -> u64 {
+        self.shared.counters.bytes_read.load(Ordering::Relaxed)
+    }
+
+    /// Bytes written to all sockets.
+    pub fn bytes_written(&self) -> u64 {
+        self.shared.counters.bytes_written.load(Ordering::Relaxed)
+    }
+
+    /// Requests decoded and dispatched, all protocol modes.
+    pub fn requests_total(&self) -> u64 {
+        self.shared.counters.requests_total.load(Ordering::Relaxed)
+    }
+
+    /// HTTP scrape requests decoded.
+    pub fn http_requests_total(&self) -> u64 {
+        self.shared
+            .counters
+            .http_requests_total
+            .load(Ordering::Relaxed)
+    }
+
+    /// Total nanoseconds of read-pause scheduled by the row-rate quota.
+    pub fn throttle_nanos(&self) -> u64 {
+        self.shared.counters.throttle_nanos.load(Ordering::Relaxed)
+    }
+
+    /// Connections dropped for falling behind on writes (outbox cap or
+    /// write stall).
+    pub fn slow_consumer_closes(&self) -> u64 {
+        self.shared
+            .counters
+            .slow_consumer_closes
+            .load(Ordering::Relaxed)
+    }
+
+    /// Bytes of decoded-but-unanswered requests across all connections.
+    pub fn inflight_bytes(&self) -> u64 {
+        self.shared.counters.inflight_bytes.load(Ordering::Relaxed)
+    }
+
+    /// Bytes of pending (unwritten) output across all connections.
+    pub fn outbox_bytes(&self) -> u64 {
+        self.shared.counters.outbox_bytes.load(Ordering::Relaxed)
+    }
+}
+
 /// State shared between the loop, the workers and every handle.
 struct NetShared {
     config: NetConfig,
@@ -386,6 +522,7 @@ struct NetShared {
     reading: AtomicBool,
     finishing: AtomicBool,
     conn_count: AtomicUsize,
+    counters: NetCounters,
 }
 
 impl NetShared {
@@ -410,6 +547,8 @@ impl NetShared {
     }
 
     fn enqueue_request(&self, conn: &Arc<ConnShared>, request: Request, cost: usize) {
+        NetCounters::add(&self.counters.requests_total, 1);
+        NetCounters::add(&self.counters.inflight_bytes, cost as u64);
         conn.inflight.fetch_add(cost, Ordering::SeqCst);
         {
             let mut pending = conn.lock_pending();
@@ -428,6 +567,7 @@ impl NetShared {
     }
 
     fn finish_request(&self, conn: &Arc<ConnShared>, cost: usize) {
+        NetCounters::sat_sub(&self.counters.inflight_bytes, cost as u64);
         let cap = self.config.max_inflight_bytes;
         let before = conn.inflight.fetch_sub(cost, Ordering::SeqCst);
         {
@@ -574,6 +714,7 @@ impl NetServer {
             reading: AtomicBool::new(true),
             finishing: AtomicBool::new(false),
             conn_count: AtomicUsize::new(0),
+            counters: NetCounters::default(),
         });
         // Create the poller up front so bind fails cleanly on unsupported
         // platforms instead of panicking inside the loop thread.
@@ -612,6 +753,15 @@ impl NetServer {
     /// The number of currently open connections.
     pub fn connection_count(&self) -> usize {
         self.shared.conn_count.load(Ordering::SeqCst)
+    }
+
+    /// A cloneable, read-only view of the server's aggregate transport
+    /// counters (see [`NetMetricsHandle`]). Valid for the server's whole
+    /// life; safe to read from any thread.
+    pub fn metrics_handle(&self) -> NetMetricsHandle {
+        NetMetricsHandle {
+            shared: self.shared.clone(),
+        }
     }
 
     /// Phase 1 of shutdown: stop accepting connections and stop reading
@@ -854,10 +1004,11 @@ impl EventLoop {
             }
             self.conns.insert(id, conn);
             self.shared.conn_count.fetch_add(1, Ordering::SeqCst);
+            NetCounters::add(&self.shared.counters.accepted_total, 1);
             let handle = ConnHandle { shared };
             self.app.on_connect(&handle);
-            // on_connect typically enqueues a banner; flush it now so the
-            // client sees it without waiting for a readiness round trip.
+            // Anything on_connect enqueued goes out now, without waiting
+            // for a readiness round trip.
             if let Some(conn) = self.conns.get_mut(&id) {
                 conn.interest = Events::IN | Events::RDHUP;
                 self.flush_conn(id);
@@ -954,6 +1105,7 @@ impl EventLoop {
                 }
             }
         }
+        NetCounters::add(&self.shared.counters.bytes_read, total as u64);
         if dead {
             self.close_conn(id, CloseReason::Normal);
             return;
@@ -1009,6 +1161,12 @@ impl EventLoop {
             let now = Instant::now();
             if let Some(wait) = conn.shared.lock_bucket().throttle_for(now) {
                 let until = now + wait;
+                // Count the scheduled pause once per throttle episode: the
+                // loop re-enters here while already throttled (dirty marks,
+                // housekeeping) without extending the pause.
+                if conn.throttled_until.is_none() {
+                    NetCounters::add(&self.shared.counters.throttle_nanos, wait.as_nanos() as u64);
+                }
                 conn.throttled_until = Some(until);
                 self.next_housekeep = self.next_housekeep.min(until);
                 return;
@@ -1035,6 +1193,22 @@ impl EventLoop {
                         }
                         conn.rpos += 4;
                         conn.shared.mode.store(MODE_BINARY, Ordering::SeqCst);
+                    } else if buf[0] == b'G' && !buf.iter().take(4).any(|&b| b == b'\n') {
+                        // Could be `GET ` (the HTTP scrape mode) or a text
+                        // verb; no text verb starts with G, but don't stall
+                        // a short line like `GO\n` waiting for byte four.
+                        if buf.len() < 4 {
+                            self.compact_rbuf(id);
+                            return; // wait for enough bytes to tell
+                        }
+                        conn.shared.mode.store(
+                            if buf[..4] == *b"GET " {
+                                MODE_HTTP
+                            } else {
+                                MODE_TEXT
+                            },
+                            Ordering::SeqCst,
+                        );
                     } else {
                         conn.shared.mode.store(MODE_TEXT, Ordering::SeqCst);
                     }
@@ -1082,6 +1256,47 @@ impl EventLoop {
                             } else {
                                 self.compact_rbuf(id);
                             }
+                            return;
+                        }
+                    }
+                }
+                MODE_HTTP => {
+                    let cap = self.shared.config.max_line_bytes;
+                    match find_http_head_end(buf) {
+                        None => {
+                            if buf.len() > cap {
+                                // An unterminated, overlong request head:
+                                // there is nothing well-formed to answer.
+                                self.close_conn(id, CloseReason::Normal);
+                            } else {
+                                self.compact_rbuf(id);
+                            }
+                            return;
+                        }
+                        Some(end) => {
+                            let head = String::from_utf8_lossy(&buf[..end]).into_owned();
+                            conn.rpos += end;
+                            let shared = conn.shared.clone();
+                            match parse_http_get_path(&head) {
+                                Some(path) => {
+                                    NetCounters::add(&self.shared.counters.http_requests_total, 1);
+                                    self.shared.enqueue_request(
+                                        &shared,
+                                        Request::HttpGet { path },
+                                        end + 64,
+                                    );
+                                }
+                                None => {
+                                    conn.rbuf.clear();
+                                    conn.rpos = 0;
+                                    let handle = ConnHandle { shared };
+                                    handle.send_bytes(HTTP_BAD_REQUEST);
+                                    handle.close_after_flush();
+                                    self.flush_conn(id);
+                                }
+                            }
+                            // One request per HTTP connection: the handler
+                            // (or the 400 above) closes after flush.
                             return;
                         }
                     }
@@ -1316,6 +1531,7 @@ impl EventLoop {
             self.close_conn(id, CloseReason::SlowConsumer);
             return;
         }
+        let wpos_before = conn.wpos;
         let mut dead = false;
         while conn.wpos < conn.wbuf.len() {
             match conn.stream.write(&conn.wbuf[conn.wpos..]) {
@@ -1335,6 +1551,9 @@ impl EventLoop {
                 }
             }
         }
+        let written = (conn.wpos - wpos_before) as u64;
+        NetCounters::add(&self.shared.counters.bytes_written, written);
+        NetCounters::sat_sub(&self.shared.counters.outbox_bytes, written);
         if dead {
             self.close_conn(id, CloseReason::Normal);
             return;
@@ -1426,6 +1645,7 @@ impl EventLoop {
                         b"NOP\n"
                     };
                     conn.wbuf.extend_from_slice(nop);
+                    NetCounters::add(&self.shared.counters.outbox_bytes, nop.len() as u64);
                     self.flush_conn(id);
                 }
             }
@@ -1434,10 +1654,17 @@ impl EventLoop {
 
     /// Tears one connection down: deregisters it, marks the handle dead,
     /// notifies the application, drops the socket.
-    fn close_conn(&mut self, id: u64, _reason: CloseReason) {
+    fn close_conn(&mut self, id: u64, reason: CloseReason) {
         let Some(conn) = self.conns.remove(&id) else {
             return;
         };
+        if matches!(reason, CloseReason::SlowConsumer) {
+            NetCounters::add(&self.shared.counters.slow_consumer_closes, 1);
+        }
+        NetCounters::sat_sub(
+            &self.shared.counters.outbox_bytes,
+            conn.pending_write_bytes() as u64,
+        );
         let _ = self.poller.remove(conn.stream.as_raw_fd());
         conn.shared.gone.store(true, Ordering::SeqCst);
         self.shared.conn_count.fetch_sub(1, Ordering::SeqCst);
@@ -1464,6 +1691,10 @@ impl EventLoop {
                 let Some(conn) = self.conns.remove(&id) else {
                     continue;
                 };
+                NetCounters::sat_sub(
+                    &self.shared.counters.outbox_bytes,
+                    conn.pending_write_bytes() as u64,
+                );
                 conn.shared.gone.store(true, Ordering::SeqCst);
                 self.shared.conn_count.fetch_sub(1, Ordering::SeqCst);
                 // No on_disconnect during the final teardown: the
@@ -1477,6 +1708,36 @@ impl EventLoop {
 /// Pre-encoded NOP frame (`len=1, type=NOP`).
 const NOP_FRAME_BYTES: [u8; 5] = [1, 0, 0, 0, 0x22];
 
+/// The canned response to a malformed HTTP request head.
+const HTTP_BAD_REQUEST: &[u8] =
+    b"HTTP/1.0 400 Bad Request\r\ncontent-length: 0\r\nconnection: close\r\n\r\n";
+
+/// Finds the end of an HTTP request head (the index one past the blank
+/// line), accepting both CRLF and bare-LF framing.
+fn find_http_head_end(buf: &[u8]) -> Option<usize> {
+    if let Some(pos) = buf.windows(4).position(|w| w == b"\r\n\r\n") {
+        return Some(pos + 4);
+    }
+    buf.windows(2).position(|w| w == b"\n\n").map(|pos| pos + 2)
+}
+
+/// Parses the request-target path out of an HTTP `GET` request line,
+/// stripping any query string. `None` for anything that is not a
+/// well-formed `GET <target> HTTP/x.y` line.
+fn parse_http_get_path(head: &str) -> Option<String> {
+    let line = head.lines().next()?;
+    let mut parts = line.split_whitespace();
+    if parts.next()? != "GET" {
+        return None;
+    }
+    let target = parts.next()?;
+    let version = parts.next()?;
+    if !version.starts_with("HTTP/") || parts.next().is_some() {
+        return None;
+    }
+    Some(target.split('?').next().unwrap_or(target).to_string())
+}
+
 /// Dispatch-cost estimate of a frame: payload size plus fixed overhead.
 fn frame_cost(frame: &Frame) -> usize {
     64 + match frame {
@@ -1485,6 +1746,7 @@ fn frame_cost(frame: &Frame) -> usize {
         Frame::CreateStream { definition } => definition.len(),
         Frame::Data { rows, .. } => rows.len(),
         Frame::Auth { token } => token.len(),
+        Frame::MetricsText { text } => text.len(),
         Frame::Ok { message } | Frame::Err { message, .. } => message.len(),
         _ => 0,
     }
@@ -1517,6 +1779,33 @@ mod tests {
         assert!(!constant_time_eq(b"secret", b"secreT"));
         assert!(!constant_time_eq(b"secret", b"secre"));
         assert!(constant_time_eq(b"", b""));
+    }
+
+    #[test]
+    fn http_head_end_accepts_both_framings() {
+        assert_eq!(
+            find_http_head_end(b"GET /metrics HTTP/1.0\r\n\r\nrest"),
+            Some(25)
+        );
+        assert_eq!(find_http_head_end(b"GET / HTTP/1.1\n\n"), Some(16));
+        assert_eq!(find_http_head_end(b"GET /metrics HTTP/1.0\r\n"), None);
+        assert_eq!(find_http_head_end(b""), None);
+    }
+
+    #[test]
+    fn http_get_path_parsing() {
+        assert_eq!(
+            parse_http_get_path("GET /metrics HTTP/1.1\r\nHost: x\r\n"),
+            Some("/metrics".to_string())
+        );
+        assert_eq!(
+            parse_http_get_path("GET /metrics?name=q0 HTTP/1.0"),
+            Some("/metrics".to_string())
+        );
+        assert_eq!(parse_http_get_path("POST /metrics HTTP/1.1"), None);
+        assert_eq!(parse_http_get_path("GET /metrics"), None);
+        assert_eq!(parse_http_get_path("GET /metrics SMTP/1.0"), None);
+        assert_eq!(parse_http_get_path("GET /a b HTTP/1.1"), None);
     }
 
     #[test]

@@ -199,6 +199,14 @@ pub enum Frame {
         /// Target query id.
         query: u32,
     },
+    /// Request the full Prometheus-text metrics exposition (the same body
+    /// the HTTP scrape path serves); answered with [`Frame::MetricsText`].
+    Metrics,
+    /// The metrics exposition body, in Prometheus text format 0.0.4.
+    MetricsText {
+        /// The exposition text.
+        text: String,
+    },
     /// Pushed result batch for a subscribed connection.
     Data {
         /// Number of result rows in `rows`.
@@ -232,9 +240,11 @@ mod ty {
     pub const STREAMS: u8 = 0x16;
     pub const QUERIES: u8 = 0x17;
     pub const STATS: u8 = 0x18;
+    pub const METRICS: u8 = 0x19;
     pub const DATA: u8 = 0x20;
     pub const END: u8 = 0x21;
     pub const NOP: u8 = 0x22;
+    pub const METRICS_TEXT: u8 = 0x23;
 }
 
 /// A malformed frame. Decoding never panics: every byte sequence either
@@ -329,6 +339,11 @@ impl Frame {
             Frame::Stats { query } => {
                 out.push(ty::STATS);
                 out.extend_from_slice(&query.to_le_bytes());
+            }
+            Frame::Metrics => out.push(ty::METRICS),
+            Frame::MetricsText { text } => {
+                out.push(ty::METRICS_TEXT);
+                out.extend_from_slice(text.as_bytes());
             }
             Frame::Data { nrows, rows } => {
                 out.push(ty::DATA);
@@ -465,6 +480,13 @@ impl Frame {
                     query: u32_at(0, "STATS")?,
                 }
             }
+            ty::METRICS => {
+                exact(0, "METRICS")?;
+                Frame::Metrics
+            }
+            ty::METRICS_TEXT => Frame::MetricsText {
+                text: text("METRICS_TEXT")?,
+            },
             ty::DATA => {
                 let nrows = u32_at(0, "DATA")?;
                 Frame::Data {
@@ -573,6 +595,10 @@ mod tests {
             Frame::Streams,
             Frame::Queries,
             Frame::Stats { query: 9 },
+            Frame::Metrics,
+            Frame::MetricsText {
+                text: "# TYPE saber_uptime_seconds gauge\nsaber_uptime_seconds 1\n".into(),
+            },
             Frame::Data {
                 nrows: 2,
                 rows: vec![0xAA; 24],

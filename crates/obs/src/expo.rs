@@ -1,0 +1,197 @@
+//! Prometheus text-exposition (version 0.0.4) composition.
+//!
+//! [`PromWriter`] appends well-formed metric families to a `String`. It
+//! deduplicates `# HELP` / `# TYPE` headers by family name, so interleaved
+//! per-query samples of the same family render one header. Histograms are
+//! rendered with cumulative `le` buckets — only occupied buckets plus the
+//! mandatory `+Inf` are emitted, keeping a 976-bucket log-linear histogram
+//! to a handful of lines.
+
+use crate::hist::{bucket_bounds, HistogramSnapshot};
+use std::collections::HashSet;
+use std::fmt::Write as _;
+
+/// Escapes a label value per the exposition format (backslash, double
+/// quote, newline).
+pub fn escape_label_value(v: &str) -> String {
+    let mut out = String::with_capacity(v.len());
+    for c in v.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Appends metric families to a borrowed `String` buffer.
+pub struct PromWriter<'a> {
+    out: &'a mut String,
+    seen: HashSet<String>,
+}
+
+impl<'a> PromWriter<'a> {
+    /// Wraps `out`; families already written through *another* writer are
+    /// not tracked, so compose one body with one writer.
+    pub fn new(out: &'a mut String) -> Self {
+        Self {
+            out,
+            seen: HashSet::new(),
+        }
+    }
+
+    fn header(&mut self, name: &str, help: &str, kind: &str) {
+        if self.seen.insert(name.to_string()) {
+            let _ = writeln!(self.out, "# HELP {name} {help}");
+            let _ = writeln!(self.out, "# TYPE {name} {kind}");
+        }
+    }
+
+    fn sample(&mut self, name: &str, labels: &[(&str, &str)], value: f64) {
+        self.out.push_str(name);
+        write_labels(self.out, labels, None);
+        let _ = writeln!(self.out, " {}", fmt_value(value));
+    }
+
+    /// One counter sample.
+    pub fn counter(&mut self, name: &str, help: &str, labels: &[(&str, &str)], value: f64) {
+        self.header(name, help, "counter");
+        self.sample(name, labels, value);
+    }
+
+    /// One gauge sample.
+    pub fn gauge(&mut self, name: &str, help: &str, labels: &[(&str, &str)], value: f64) {
+        self.header(name, help, "gauge");
+        self.sample(name, labels, value);
+    }
+
+    /// One histogram: cumulative `_bucket{le=…}` lines for every occupied
+    /// bucket plus `+Inf`, then `_sum` and `_count`. Recorded values are
+    /// divided by `scale` (use `1e9` to render nanoseconds as seconds).
+    pub fn histogram(
+        &mut self,
+        name: &str,
+        help: &str,
+        labels: &[(&str, &str)],
+        snap: &HistogramSnapshot,
+        scale: f64,
+    ) {
+        self.header(name, help, "histogram");
+        let mut cumulative = 0u64;
+        for (i, &c) in snap.buckets().iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            cumulative += c;
+            let (_, hi) = bucket_bounds(i);
+            let le = fmt_value(hi as f64 / scale);
+            self.out.push_str(name);
+            self.out.push_str("_bucket");
+            write_labels(self.out, labels, Some(&le));
+            let _ = writeln!(self.out, " {cumulative}");
+        }
+        self.out.push_str(name);
+        self.out.push_str("_bucket");
+        write_labels(self.out, labels, Some("+Inf"));
+        let _ = writeln!(self.out, " {}", snap.count());
+        self.out.push_str(name);
+        self.out.push_str("_sum");
+        write_labels(self.out, labels, None);
+        let _ = writeln!(self.out, " {}", fmt_value(snap.sum() as f64 / scale));
+        self.out.push_str(name);
+        self.out.push_str("_count");
+        write_labels(self.out, labels, None);
+        let _ = writeln!(self.out, " {}", snap.count());
+    }
+}
+
+fn write_labels(out: &mut String, labels: &[(&str, &str)], le: Option<&str>) {
+    if labels.is_empty() && le.is_none() {
+        return;
+    }
+    out.push('{');
+    let mut first = true;
+    for (k, v) in labels {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        let _ = write!(out, "{k}=\"{}\"", escape_label_value(v));
+    }
+    if let Some(le) = le {
+        if !first {
+            out.push(',');
+        }
+        let _ = write!(out, "le=\"{le}\"");
+    }
+    out.push('}');
+}
+
+/// Formats a value the way Prometheus expects: plain decimal, no
+/// exponent for the magnitudes we emit, integers without a trailing `.0`.
+fn fmt_value(v: f64) -> String {
+    if v == v.trunc() && v.abs() < 1e15 {
+        format!("{}", v as i64)
+    } else {
+        let s = format!("{v:.9}");
+        let s = s.trim_end_matches('0').trim_end_matches('.');
+        s.to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hist::Histogram;
+
+    #[test]
+    fn escaping_covers_the_format_specials() {
+        assert_eq!(escape_label_value("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+    }
+
+    #[test]
+    fn headers_are_deduplicated_per_family() {
+        let mut out = String::new();
+        let mut w = PromWriter::new(&mut out);
+        w.counter("a_total", "A.", &[("q", "0")], 1.0);
+        w.gauge("b", "B.", &[], 2.0);
+        w.counter("a_total", "A.", &[("q", "1")], 3.0);
+        assert_eq!(out.matches("# HELP a_total A.").count(), 1);
+        assert_eq!(out.matches("# TYPE a_total counter").count(), 1);
+        assert!(out.contains("a_total{q=\"0\"} 1\n"));
+        assert!(out.contains("a_total{q=\"1\"} 3\n"));
+        assert!(out.contains("b 2\n"));
+    }
+
+    #[test]
+    fn histogram_buckets_are_cumulative_and_end_with_inf() {
+        let h = Histogram::new();
+        h.record(10);
+        h.record(10);
+        h.record(1_000);
+        let mut out = String::new();
+        let mut w = PromWriter::new(&mut out);
+        w.histogram("lat_seconds", "L.", &[("s", "x")], &h.snapshot(), 1.0);
+        assert!(out.contains("lat_seconds_bucket{s=\"x\",le=\"10\"} 2\n"));
+        assert!(out.contains("lat_seconds_bucket{s=\"x\",le=\"+Inf\"} 3\n"));
+        assert!(out.contains("lat_seconds_sum{s=\"x\"} 1020\n"));
+        assert!(out.contains("lat_seconds_count{s=\"x\"} 3\n"));
+        // Cumulative counts never decrease.
+        let mut last = 0u64;
+        for line in out.lines().filter(|l| l.contains("_bucket")) {
+            let v: u64 = line.rsplit(' ').next().unwrap().parse().unwrap();
+            assert!(v >= last);
+            last = v;
+        }
+    }
+
+    #[test]
+    fn values_format_cleanly() {
+        assert_eq!(fmt_value(7.0), "7");
+        assert_eq!(fmt_value(1.5), "1.5");
+        assert_eq!(fmt_value(0.000001), "0.000001");
+        assert_eq!(fmt_value(-2.0), "-2");
+    }
+}

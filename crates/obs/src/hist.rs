@@ -1,0 +1,373 @@
+//! Log-linear bucketed histograms over `u64` values (typically
+//! nanoseconds).
+//!
+//! ## Bucketing scheme
+//!
+//! Values `0..16` get one exact bucket each. Above that, every power-of-two
+//! range `[2^k, 2^(k+1))` is split into 16 equal sub-buckets, so any
+//! recorded value lands in a bucket whose width is at most `value / 16`
+//! (6.25% relative error). The full `u64` range maps into
+//! [`NUM_BUCKETS`] = 976 buckets, a fixed ~7.6 KiB atomic array per
+//! histogram — no allocation, no resizing, no locks.
+//!
+//! ## Concurrency
+//!
+//! [`Histogram::record`] is wait-free: one `Relaxed` `fetch_add` on the
+//! bucket, one on the exact sum, and one `Relaxed` `fetch_max` on the exact
+//! maximum. Nothing synchronises through these values — they are
+//! monitoring counters read by [`Histogram::snapshot`], which tolerates the
+//! (bounded) skew of concurrent recording: a snapshot taken mid-`record`
+//! may miss the newest sample but never tears an individual counter.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Sub-bucket resolution: each power-of-two range splits into `2^SUB_BITS`
+/// buckets.
+const SUB_BITS: u32 = 4;
+/// Sub-buckets per power-of-two range (16).
+const SUB: usize = 1 << SUB_BITS;
+
+/// Total number of buckets covering the full `u64` range.
+pub const NUM_BUCKETS: usize = (64 - SUB_BITS as usize + 1) * SUB;
+
+/// Maps a value to its bucket index. Total over `u64`; the top bucket index
+/// is `NUM_BUCKETS - 1`.
+#[inline]
+pub fn bucket_index(value: u64) -> usize {
+    if value < SUB as u64 {
+        value as usize
+    } else {
+        let msb = 63 - value.leading_zeros();
+        let sub = ((value >> (msb - SUB_BITS)) as usize) & (SUB - 1);
+        ((msb - SUB_BITS) as usize + 1) * SUB + sub
+    }
+}
+
+/// The inclusive `[lo, hi]` value range of bucket `index`.
+pub fn bucket_bounds(index: usize) -> (u64, u64) {
+    let block = index >> SUB_BITS;
+    if block == 0 {
+        return (index as u64, index as u64);
+    }
+    let sub = (index & (SUB - 1)) as u64;
+    let width = 1u64 << (block - 1);
+    let lo = (SUB as u64 + sub) << (block - 1);
+    (lo, lo + (width - 1))
+}
+
+/// A concurrent log-linear histogram. Cheap to share (`Arc` it); all
+/// methods take `&self`.
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: Box<[AtomicU64; NUM_BUCKETS]>,
+    sum: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Histogram {
+    /// Creates an empty histogram (one fixed ~7.6 KiB allocation).
+    pub fn new() -> Self {
+        // A `[AtomicU64; N]` cannot be built with `[ZERO; N]` without a
+        // const initializer per element; go through a zeroed Vec instead.
+        let v: Vec<AtomicU64> = (0..NUM_BUCKETS).map(|_| AtomicU64::new(0)).collect();
+        let boxed: Box<[AtomicU64; NUM_BUCKETS]> = v
+            .into_boxed_slice()
+            .try_into()
+            .unwrap_or_else(|_| unreachable!("vec length is NUM_BUCKETS by construction"));
+        Self {
+            buckets: boxed,
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one value. Wait-free; safe from any number of threads.
+    #[inline]
+    pub fn record(&self, value: u64) {
+        // relaxed-ok: monitoring counter; snapshots tolerate skew and
+        // nothing synchronises through bucket counts.
+        self.buckets[bucket_index(value)].fetch_add(1, Ordering::Relaxed);
+        // relaxed-ok: monitoring sum, read only by snapshots.
+        self.sum.fetch_add(value, Ordering::Relaxed);
+        // relaxed-ok: monitoring maximum, read only by snapshots.
+        self.max.fetch_max(value, Ordering::Relaxed);
+    }
+
+    /// Takes a consistent-enough snapshot for monitoring: individual
+    /// counters never tear, but a snapshot racing `record` may observe the
+    /// bucket increment without the sum (or vice versa) — a skew of at most
+    /// the in-flight samples.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let mut buckets = vec![0u64; NUM_BUCKETS];
+        let mut count = 0u64;
+        for (i, b) in self.buckets.iter().enumerate() {
+            let c = b.load(Ordering::Relaxed);
+            buckets[i] = c;
+            count += c;
+        }
+        HistogramSnapshot {
+            buckets,
+            count,
+            sum: self.sum.load(Ordering::Relaxed),
+            max: self.max.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Total number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).sum()
+    }
+}
+
+/// An owned copy of a histogram's state: percentile queries, merging,
+/// exposition.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    buckets: Vec<u64>,
+    count: u64,
+    sum: u64,
+    max: u64,
+}
+
+impl Default for HistogramSnapshot {
+    fn default() -> Self {
+        Self::empty()
+    }
+}
+
+impl HistogramSnapshot {
+    /// An empty snapshot (useful as a merge accumulator).
+    pub fn empty() -> Self {
+        Self {
+            buckets: vec![0; NUM_BUCKETS],
+            count: 0,
+            sum: 0,
+            max: 0,
+        }
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Exact sum of all recorded values.
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Exact maximum recorded value (0 when empty).
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Mean of the recorded values (0 when empty).
+    pub fn mean(&self) -> u64 {
+        self.sum.checked_div(self.count).unwrap_or(0)
+    }
+
+    /// Per-bucket counts (length [`NUM_BUCKETS`]).
+    pub fn buckets(&self) -> &[u64] {
+        &self.buckets
+    }
+
+    /// Estimates the `q`-quantile (`0.0 ..= 1.0`) by nearest rank: returns
+    /// the upper bound of the bucket containing the sample of that rank, so
+    /// the estimate is within one bucket width (≤ 6.25% relative) above the
+    /// exact order statistic. Returns 0 for an empty snapshot.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        // Nearest-rank: the smallest rank r (1-based) with r >= q * count.
+        let rank = ((q * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                let (_, hi) = bucket_bounds(i);
+                // Never report a quantile above the observed maximum.
+                return hi.min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// The median estimate (see [`HistogramSnapshot::quantile`]).
+    pub fn p50(&self) -> u64 {
+        self.quantile(0.50)
+    }
+
+    /// The 90th-percentile estimate.
+    pub fn p90(&self) -> u64 {
+        self.quantile(0.90)
+    }
+
+    /// The 99th-percentile estimate.
+    pub fn p99(&self) -> u64 {
+        self.quantile(0.99)
+    }
+
+    /// The 99.9th-percentile estimate.
+    pub fn p999(&self) -> u64 {
+        self.quantile(0.999)
+    }
+
+    /// Merges `other` into `self` (bucket-wise addition; sums add, maxima
+    /// take the larger). Merging snapshots from N shards equals one
+    /// histogram recording their union.
+    pub fn merge(&mut self, other: &HistogramSnapshot) {
+        for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.max = self.max.max(other.max);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_index_is_monotone_and_total() {
+        let mut probes: Vec<u64> = (0..64u32)
+            .flat_map(|shift| {
+                [0u64, 1, 3]
+                    .into_iter()
+                    .map(move |delta| (1u64 << shift).saturating_add(delta))
+            })
+            .collect();
+        probes.sort_unstable();
+        let mut last = 0usize;
+        for v in probes {
+            let idx = bucket_index(v);
+            assert!(idx >= last, "index not monotone at {v}");
+            assert!(idx < NUM_BUCKETS);
+            last = idx;
+        }
+        assert_eq!(bucket_index(u64::MAX), NUM_BUCKETS - 1);
+    }
+
+    #[test]
+    fn low_values_get_exact_buckets() {
+        for v in 0..16u64 {
+            assert_eq!(bucket_index(v), v as usize);
+            assert_eq!(bucket_bounds(v as usize), (v, v));
+        }
+    }
+
+    #[test]
+    fn bucket_bounds_invert_bucket_index() {
+        // Every bucket boundary maps back into its own bucket, buckets
+        // tile the value space without gaps or overlap.
+        let mut expected_lo = 0u64;
+        for i in 0..NUM_BUCKETS {
+            let (lo, hi) = bucket_bounds(i);
+            assert_eq!(lo, expected_lo, "gap/overlap before bucket {i}");
+            assert!(hi >= lo);
+            assert_eq!(bucket_index(lo), i, "lo of bucket {i} maps elsewhere");
+            assert_eq!(bucket_index(hi), i, "hi of bucket {i} maps elsewhere");
+            if hi == u64::MAX {
+                assert_eq!(i, NUM_BUCKETS - 1);
+                return;
+            }
+            expected_lo = hi + 1;
+        }
+    }
+
+    #[test]
+    fn bucket_width_is_within_relative_error() {
+        for i in SUB..NUM_BUCKETS {
+            let (lo, hi) = bucket_bounds(i);
+            let width = hi - lo + 1;
+            assert!(
+                width <= lo / SUB as u64 + 1,
+                "bucket {i} [{lo}, {hi}] wider than lo/16"
+            );
+        }
+    }
+
+    #[test]
+    fn quantiles_of_a_known_distribution() {
+        let h = Histogram::new();
+        for v in 1..=1000u64 {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count(), 1000);
+        assert_eq!(s.sum(), 500_500);
+        assert_eq!(s.max(), 1000);
+        // Exact p50 is 500; one bucket of width ≤ 500/16 above it.
+        let p50 = s.p50();
+        assert!((500..=532).contains(&p50), "p50 = {p50}");
+        let p99 = s.p99();
+        assert!((990..=1000).contains(&p99), "p99 = {p99}");
+        assert!(s.p999() <= 1000);
+        assert_eq!(s.quantile(1.0), 1000);
+        assert_eq!(s.quantile(0.0), s.quantile(0.001));
+    }
+
+    #[test]
+    fn empty_snapshot_is_all_zero() {
+        let s = Histogram::new().snapshot();
+        assert_eq!(s.count(), 0);
+        assert_eq!(s.p50(), 0);
+        assert_eq!(s.p999(), 0);
+        assert_eq!(s.mean(), 0);
+    }
+
+    #[test]
+    fn merge_equals_union() {
+        let a = Histogram::new();
+        let b = Histogram::new();
+        let u = Histogram::new();
+        for v in 0..500u64 {
+            a.record(v * 3);
+            u.record(v * 3);
+        }
+        for v in 0..500u64 {
+            b.record(v * 7 + 1);
+            u.record(v * 7 + 1);
+        }
+        let mut merged = a.snapshot();
+        merged.merge(&b.snapshot());
+        assert_eq!(merged, u.snapshot());
+    }
+
+    #[test]
+    fn concurrent_recorders_lose_nothing() {
+        use std::sync::Arc;
+        const THREADS: usize = 8;
+        const PER_THREAD: u64 = 50_000;
+        let h = Arc::new(Histogram::new());
+        let handles: Vec<_> = (0..THREADS)
+            .map(|t| {
+                let h = h.clone();
+                std::thread::spawn(move || {
+                    for i in 0..PER_THREAD {
+                        // A mix of magnitudes across all block sizes.
+                        h.record((i << (t % 24)) + t as u64);
+                    }
+                })
+            })
+            .collect();
+        for j in handles {
+            j.join().unwrap();
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count(), THREADS as u64 * PER_THREAD);
+        let expected_sum: u64 = (0..THREADS as u64)
+            .map(|t| (0..PER_THREAD).map(|i| (i << (t % 24)) + t).sum::<u64>())
+            .sum();
+        assert_eq!(s.sum(), expected_sum);
+    }
+}

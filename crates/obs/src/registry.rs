@@ -1,0 +1,280 @@
+//! Named instruments and the metrics registry.
+//!
+//! Registration (rare) takes the registry's mutex; the returned handles are
+//! plain `Arc`'d atomics, so every hot-path update is lock-free. Rendering
+//! walks the registered instruments under the same mutex — scrapes are
+//! infrequent relative to updates, and no update ever waits on a scrape.
+
+use crate::expo::PromWriter;
+use crate::hist::Histogram;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard};
+
+/// A monotonically increasing counter. Cheap to clone (an `Arc`).
+#[derive(Debug, Clone, Default)]
+pub struct Counter {
+    value: Arc<AtomicU64>,
+}
+
+impl Counter {
+    /// Creates a free-standing counter (not attached to any registry).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds `n`. Wait-free.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        // relaxed-ok: monitoring counter; read only by scrapes/stats.
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Increments by one. Wait-free.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// The current value.
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// A gauge: a signed value that can go up and down. Cheap to clone.
+#[derive(Debug, Clone, Default)]
+pub struct Gauge {
+    value: Arc<AtomicI64>,
+}
+
+impl Gauge {
+    /// Creates a free-standing gauge.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the value.
+    #[inline]
+    pub fn set(&self, v: i64) {
+        // relaxed-ok: monitoring gauge; read only by scrapes/stats.
+        self.value.store(v, Ordering::Relaxed);
+    }
+
+    /// Adds `n` (may be negative via `sub`).
+    #[inline]
+    pub fn add(&self, n: i64) {
+        // relaxed-ok: monitoring gauge; read only by scrapes/stats.
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Subtracts `n`.
+    #[inline]
+    pub fn sub(&self, n: i64) {
+        self.add(-n);
+    }
+
+    /// The current value.
+    pub fn get(&self) -> i64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// One registered instrument.
+enum Instrument {
+    Counter(Counter),
+    Gauge(Gauge),
+    Histogram { hist: Arc<Histogram>, scale: f64 },
+}
+
+struct Metric {
+    name: String,
+    help: String,
+    labels: Vec<(String, String)>,
+    instrument: Instrument,
+}
+
+/// A named collection of instruments rendering the Prometheus text
+/// exposition format.
+///
+/// Instruments registered under the same `name` (with different labels)
+/// form one family and share a single `# HELP` / `# TYPE` header. Names are
+/// expected in registration order per family — the renderer groups
+/// adjacent same-name entries.
+#[derive(Default)]
+pub struct Registry {
+    metrics: Mutex<Vec<Metric>>,
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Named lock helper (see `crates/lint/lock-order.toml`, level
+    /// `obs-registry`): registration and rendering serialise here;
+    /// instrument updates never do.
+    fn lock_metrics(&self) -> MutexGuard<'_, Vec<Metric>> {
+        self.metrics.lock().unwrap_or_else(|p| p.into_inner())
+    }
+
+    /// Registers (and returns) a counter.
+    pub fn counter(&self, name: &str, help: &str, labels: &[(&str, &str)]) -> Counter {
+        let counter = Counter::new();
+        self.lock_metrics().push(Metric {
+            name: name.to_string(),
+            help: help.to_string(),
+            labels: own_labels(labels),
+            instrument: Instrument::Counter(counter.clone()),
+        });
+        counter
+    }
+
+    /// Registers (and returns) a gauge.
+    pub fn gauge(&self, name: &str, help: &str, labels: &[(&str, &str)]) -> Gauge {
+        let gauge = Gauge::new();
+        self.lock_metrics().push(Metric {
+            name: name.to_string(),
+            help: help.to_string(),
+            labels: own_labels(labels),
+            instrument: Instrument::Gauge(gauge.clone()),
+        });
+        gauge
+    }
+
+    /// Registers (and returns) a histogram. `scale` divides recorded values
+    /// in the exposition (e.g. `1e9` renders nanoseconds as seconds).
+    pub fn histogram(
+        &self,
+        name: &str,
+        help: &str,
+        labels: &[(&str, &str)],
+        scale: f64,
+    ) -> Arc<Histogram> {
+        let hist = Arc::new(Histogram::new());
+        self.lock_metrics().push(Metric {
+            name: name.to_string(),
+            help: help.to_string(),
+            labels: own_labels(labels),
+            instrument: Instrument::Histogram {
+                hist: hist.clone(),
+                scale,
+            },
+        });
+        hist
+    }
+
+    /// Renders every registered instrument in the Prometheus text
+    /// exposition format.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.render_into(&mut out);
+        out
+    }
+
+    /// Renders into an existing buffer (scrape handlers compose several
+    /// sources into one body).
+    pub fn render_into(&self, out: &mut String) {
+        let metrics = self.lock_metrics();
+        let mut w = PromWriter::new(out);
+        for m in metrics.iter() {
+            let labels: Vec<(&str, &str)> = m
+                .labels
+                .iter()
+                .map(|(k, v)| (k.as_str(), v.as_str()))
+                .collect();
+            match &m.instrument {
+                Instrument::Counter(c) => {
+                    w.counter(&m.name, &m.help, &labels, c.get() as f64);
+                }
+                Instrument::Gauge(g) => {
+                    w.gauge(&m.name, &m.help, &labels, g.get() as f64);
+                }
+                Instrument::Histogram { hist, scale } => {
+                    w.histogram(&m.name, &m.help, &labels, &hist.snapshot(), *scale);
+                }
+            }
+        }
+    }
+}
+
+fn own_labels(labels: &[(&str, &str)]) -> Vec<(String, String)> {
+    labels
+        .iter()
+        .map(|(k, v)| (k.to_string(), v.to_string()))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_and_gauges_round_trip() {
+        let c = Counter::new();
+        c.inc();
+        c.add(41);
+        assert_eq!(c.get(), 42);
+        let g = Gauge::new();
+        g.set(10);
+        g.add(5);
+        g.sub(3);
+        assert_eq!(g.get(), 12);
+    }
+
+    #[test]
+    fn registry_renders_families_once() {
+        let r = Registry::new();
+        let a = r.counter("saber_rows_total", "Rows.", &[("query", "0")]);
+        let b = r.counter("saber_rows_total", "Rows.", &[("query", "1")]);
+        let g = r.gauge("saber_depth", "Depth.", &[]);
+        a.add(7);
+        b.add(9);
+        g.set(-2);
+        let text = r.render();
+        assert_eq!(text.matches("# TYPE saber_rows_total counter").count(), 1);
+        assert!(text.contains("saber_rows_total{query=\"0\"} 7"));
+        assert!(text.contains("saber_rows_total{query=\"1\"} 9"));
+        assert!(text.contains("# TYPE saber_depth gauge"));
+        assert!(text.contains("saber_depth -2"));
+    }
+
+    #[test]
+    fn registry_renders_histograms() {
+        let r = Registry::new();
+        let h = r.histogram(
+            "saber_latency_seconds",
+            "Latency.",
+            &[("stage", "exec")],
+            1e9,
+        );
+        h.record(1_000_000_000); // 1s
+        h.record(500_000_000); // 0.5s
+        let text = r.render();
+        assert!(text.contains("# TYPE saber_latency_seconds histogram"));
+        assert!(text.contains("saber_latency_seconds_count{stage=\"exec\"} 2"));
+        assert!(text.contains("saber_latency_seconds_sum{stage=\"exec\"} 1.5"));
+        assert!(text.contains("le=\"+Inf\"} 2"));
+    }
+
+    #[test]
+    fn updates_are_visible_across_clones_and_threads() {
+        let r = Registry::new();
+        let c = r.counter("x_total", "X.", &[]);
+        let threads: Vec<_> = (0..4)
+            .map(|_| {
+                let c = c.clone();
+                std::thread::spawn(move || {
+                    for _ in 0..10_000 {
+                        c.inc();
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        assert_eq!(c.get(), 40_000);
+        assert!(r.render().contains("x_total 40000"));
+    }
+}

@@ -45,13 +45,11 @@
 //!
 //! ```no_run
 //! use saber_server::{Server, ServerConfig};
-//! use std::io::{BufRead, BufReader, Write};
+//! use std::io::Write;
 //! use std::net::TcpStream;
 //!
 //! let server = Server::bind("127.0.0.1:0", ServerConfig::default()).unwrap();
 //! let mut client = TcpStream::connect(server.local_addr()).unwrap();
-//! let mut lines = BufReader::new(client.try_clone().unwrap()).lines();
-//! lines.next(); // banner
 //! writeln!(client, "CREATE STREAM S (timestamp TIMESTAMP, v FLOAT)").unwrap();
 //! writeln!(client, "QUERY SELECT * FROM S [ROWS 2] WHERE v > 0").unwrap();
 //! writeln!(client, "INSERT 0 0 CSV 1,0.5;2,1.5").unwrap();
@@ -67,18 +65,19 @@
 pub mod protocol;
 
 use protocol::{data_type_name, format_batch, parse_command, Command, Encoding, Payload};
-use saber_engine::{EngineConfig, IngestHandle, QueryHandle, QueryId, Saber, StreamId};
+use saber_engine::{EngineConfig, IngestHandle, Processor, QueryHandle, QueryId, Saber, StreamId};
 use saber_net::wire::{ErrCode, Frame};
-use saber_net::{App, ConnHandle, NetConfig, NetServer, Request};
+use saber_net::{App, ConnHandle, NetConfig, NetMetricsHandle, NetServer, Request};
+use saber_obs::PromWriter;
 use saber_sql::SharedCatalog;
 use saber_types::schema::SchemaRef;
 use saber_types::{Result, RowBuffer, SaberError};
 use std::collections::HashSet;
 use std::net::{SocketAddr, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, OnceLock};
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Configuration of a [`Server`].
 ///
@@ -249,6 +248,11 @@ struct Shared {
     /// Connections that have become push-only result streams: further input
     /// on them is ignored (the subscriber contract).
     push_conns: Mutex<HashSet<u64>>,
+    /// When the server came up — `STATS` and `/metrics` report uptime.
+    started: Instant,
+    /// Transport counters of the net layer, set once the listener is bound
+    /// (command handlers only run after that).
+    net_metrics: OnceLock<NetMetricsHandle>,
 }
 
 impl Shared {
@@ -357,6 +361,8 @@ impl Server {
             finish_broadcast: AtomicBool::new(false),
             next_subscriber_id: AtomicU64::new(0),
             push_conns: Mutex::new(HashSet::new()),
+            started: Instant::now(),
+            net_metrics: OnceLock::new(),
         });
         // Rebuild the protocol-level slots of recovered queries so INSERT,
         // SUBSCRIBE, STATS and DROP address them under their original ids.
@@ -402,6 +408,7 @@ impl Server {
         });
         let net = NetServer::bind(addr, net_config, app)
             .map_err(|e| SaberError::State(format!("failed to bind server socket: {e}")))?;
+        let _ = shared.net_metrics.set(net.metrics_handle());
         let local_addr = net.local_addr();
         let broadcaster = {
             let shared = shared.clone();
@@ -474,13 +481,14 @@ impl Server {
             ShutdownReport {
                 queries: (0..st.engine.registered_queries())
                     .map(|i| {
-                        let stats = st
+                        let snap = st
                             .engine
                             .query_stats(QueryId(i))
-                            .expect("stats are retained for every registered query");
+                            .expect("stats are retained for every registered query")
+                            .snapshot();
                         QueryReport {
-                            tuples_in: stats.tuples_in.load(Ordering::Relaxed),
-                            tuples_out: stats.tuples_out.load(Ordering::Relaxed),
+                            tuples_in: snap.tuples_in,
+                            tuples_out: snap.tuples_out,
                         }
                     })
                     .collect(),
@@ -574,13 +582,6 @@ struct SaberApp {
 }
 
 impl App for SaberApp {
-    fn on_connect(&self, conn: &ConnHandle) {
-        // The banner predates mode detection, so binary clients read and
-        // discard this one line before sending the `\0SBP` magic (the
-        // `saber_net::BinaryClient` helper does).
-        conn.send_line("OK saber-server ready");
-    }
-
     fn on_request(&self, conn: &ConnHandle, request: Request) {
         // Push connections ignore further input (the subscriber contract).
         if self.shared.lock_push().contains(&conn.id()) {
@@ -589,6 +590,7 @@ impl App for SaberApp {
         match request {
             Request::Line(line) => handle_line(&self.shared, conn, &line),
             Request::Frame(frame) => handle_frame(&self.shared, conn, frame),
+            Request::HttpGet { path } => handle_http(&self.shared, conn, &path),
         }
     }
 
@@ -620,6 +622,14 @@ fn handle_line(shared: &Arc<Shared>, conn: &ConnHandle, line: &str) {
         }
         Command::Subscribe { query, encoding } => {
             subscribe(shared, conn, query, SubEncoding::Text(encoding));
+        }
+        Command::Metrics => {
+            // Multi-line response: a sized header, the exposition body, a
+            // terminator — so line-oriented clients know where it ends.
+            let body = render_metrics(shared);
+            conn.send_line(&format!("OK metrics bytes={}", body.len()));
+            conn.send_bytes(body.as_bytes());
+            conn.send_line("END");
         }
         other => {
             let response = execute(shared, conn, other);
@@ -688,10 +698,15 @@ fn handle_frame(shared: &Arc<Shared>, conn: &ConnHandle, frame: Frame) {
                 shared,
                 conn,
                 Command::Stats {
-                    query: query as usize,
+                    query: Some(query as usize),
                 },
             );
             reply(conn, &response);
+        }
+        Frame::Metrics => {
+            conn.send_frame(&Frame::MetricsText {
+                text: render_metrics(shared),
+            });
         }
         // Server-to-client and handshake frames are not valid requests.
         Frame::Hello { .. }
@@ -703,6 +718,7 @@ fn handle_frame(shared: &Arc<Shared>, conn: &ConnHandle, frame: Frame) {
         | Frame::Bye
         | Frame::Data { .. }
         | Frame::End
+        | Frame::MetricsText { .. }
         | Frame::Nop => {
             conn.send_frame(&Frame::Err {
                 code: ErrCode::Protocol,
@@ -710,6 +726,336 @@ fn handle_frame(shared: &Arc<Shared>, conn: &ConnHandle, frame: Frame) {
             });
         }
     }
+}
+
+/// Handles one HTTP scrape request ([`Request::HttpGet`]) on a dispatch
+/// worker: `/metrics` serves the Prometheus text exposition, `/traces` the
+/// flight recorder's recent pipeline traces. The full response is enqueued
+/// and the connection closes once it has flushed (one request, one
+/// response — the scrape contract).
+fn handle_http(shared: &Arc<Shared>, conn: &ConnHandle, path: &str) {
+    let (status, body) = match path {
+        "/metrics" => ("200 OK", render_metrics(shared)),
+        "/traces" => ("200 OK", shared.lock().engine.flight_recorder().dump_text()),
+        _ => (
+            "404 Not Found",
+            "not found (try /metrics or /traces)\n".to_string(),
+        ),
+    };
+    let head = format!(
+        "HTTP/1.0 {status}\r\n\
+         content-type: text/plain; version=0.0.4; charset=utf-8\r\n\
+         content-length: {}\r\n\
+         connection: close\r\n\r\n",
+        body.len()
+    );
+    let mut response = head.into_bytes();
+    response.extend_from_slice(body.as_bytes());
+    conn.send_bytes(&response);
+    conn.close_after_flush();
+}
+
+/// Renders the full Prometheus text exposition (format 0.0.4): server
+/// uptime, engine totals, per-query counters and stage-latency histograms,
+/// placement/scheduler state, durability and transport counters. Served by
+/// the HTTP scrape path, the text `METRICS` verb and the binary `Metrics`
+/// frame (see `docs/observability.md` for the catalog).
+fn render_metrics(shared: &Arc<Shared>) -> String {
+    let mut out = String::with_capacity(8192);
+    let mut w = PromWriter::new(&mut out);
+    w.gauge(
+        "saber_uptime_seconds",
+        "Seconds since the server started.",
+        &[],
+        shared.started.elapsed().as_secs_f64(),
+    );
+    {
+        let st = shared.lock();
+        let stats = st.engine.stats();
+        w.counter(
+            "saber_engine_tuples_in_total",
+            "Rows accepted into input buffers, across all queries ever registered.",
+            &[],
+            stats.total_tuples_in() as f64,
+        );
+        w.counter(
+            "saber_engine_bytes_in_total",
+            "Bytes accepted into input buffers.",
+            &[],
+            stats.total_bytes_in() as f64,
+        );
+        w.counter(
+            "saber_engine_tuples_out_total",
+            "Result rows emitted, across all queries.",
+            &[],
+            stats.total_tuples_out() as f64,
+        );
+        w.counter(
+            "saber_engine_backpressure_wait_seconds_total",
+            "Time producers spent blocked on the credit gate.",
+            &[],
+            stats.total_backpressure_wait().as_secs_f64(),
+        );
+        let live = st
+            .queries
+            .iter()
+            .flatten()
+            .filter(|reg| !reg.dropped)
+            .count();
+        w.gauge(
+            "saber_queries",
+            "Live registered queries.",
+            &[],
+            live as f64,
+        );
+        w.gauge(
+            "saber_physical_plans",
+            "Physical plan instances executing (shared plans count once).",
+            &[],
+            st.engine.num_physical_plans() as f64,
+        );
+        w.gauge(
+            "saber_queued_tasks",
+            "Query tasks currently queued for the scheduler.",
+            &[],
+            st.engine.queued_tasks() as f64,
+        );
+        w.gauge(
+            "saber_queued_tasks_peak",
+            "High-water mark of the task queue depth.",
+            &[],
+            st.engine.max_queued_tasks_observed() as f64,
+        );
+        w.gauge(
+            "saber_in_flight_tasks",
+            "Tasks dispatched to a processor and not yet returned.",
+            &[],
+            st.engine.in_flight_tasks() as f64,
+        );
+        for (id, slot) in st.queries.iter().enumerate() {
+            let Some(reg) = slot else { continue };
+            if reg.dropped {
+                continue;
+            }
+            let q = id.to_string();
+            let labels: [(&str, &str); 1] = [("query", q.as_str())];
+            let Some(qstats) = st.engine.query_stats(QueryId(id)) else {
+                continue;
+            };
+            let snap = qstats.snapshot();
+            w.counter(
+                "saber_query_tuples_in_total",
+                "Rows accepted into this query's input buffers.",
+                &labels,
+                snap.tuples_in as f64,
+            );
+            w.counter(
+                "saber_query_bytes_in_total",
+                "Bytes accepted into this query's input buffers.",
+                &labels,
+                snap.bytes_in as f64,
+            );
+            w.counter(
+                "saber_query_tuples_out_total",
+                "Result rows emitted by this query.",
+                &labels,
+                snap.tuples_out as f64,
+            );
+            w.counter(
+                "saber_query_tasks_created_total",
+                "Query tasks cut by the dispatcher for this query.",
+                &labels,
+                snap.tasks_created as f64,
+            );
+            w.counter(
+                "saber_query_tasks_total",
+                "Tasks executed, by processor.",
+                &[("query", q.as_str()), ("processor", "cpu")],
+                snap.tasks_cpu as f64,
+            );
+            w.counter(
+                "saber_query_tasks_total",
+                "Tasks executed, by processor.",
+                &[("query", q.as_str()), ("processor", "gpgpu")],
+                snap.tasks_gpu as f64,
+            );
+            w.counter(
+                "saber_query_latency_seconds_total",
+                "Summed end-to-end (ingest to sink) result latency.",
+                &labels,
+                snap.latency_sum_nanos as f64 / 1e9,
+            );
+            w.counter(
+                "saber_query_latency_samples_total",
+                "Latency observations behind the latency sum.",
+                &labels,
+                snap.latency_samples as f64,
+            );
+            w.gauge(
+                "saber_query_latency_max_seconds",
+                "Worst end-to-end result latency observed.",
+                &labels,
+                snap.latency_max_nanos as f64 / 1e9,
+            );
+            w.counter(
+                "saber_query_backpressure_wait_seconds_total",
+                "Time this query's producers spent blocked on the credit gate.",
+                &labels,
+                snap.backpressure_wait().as_secs_f64(),
+            );
+            w.gauge(
+                "saber_query_queue_depth",
+                "Tasks of this query currently queued.",
+                &labels,
+                st.engine.queue_depth(QueryId(id)) as f64,
+            );
+            w.gauge(
+                "saber_query_subscribers",
+                "Connections subscribed to this query's results.",
+                &labels,
+                reg.subscribers.len() as f64,
+            );
+            for (stage, stage_snap) in qstats.stages.snapshots() {
+                w.histogram(
+                    "saber_query_stage_latency_seconds",
+                    "Per-task pipeline stage latency (empty unless stage \
+                     timestamping is enabled).",
+                    &[("query", q.as_str()), ("stage", stage)],
+                    &stage_snap,
+                    1e9,
+                );
+            }
+        }
+        for d in st.engine.placements() {
+            let q = d.query.0.to_string();
+            let labels: [(&str, &str); 1] = [("query", q.as_str())];
+            w.gauge(
+                "saber_placement_gpu_preferred",
+                "1 while the scheduler routes this query's tasks to the accelerator.",
+                &labels,
+                if d.preferred == Processor::Gpu {
+                    1.0
+                } else {
+                    0.0
+                },
+            );
+            w.gauge(
+                "saber_placement_modeled_speedup",
+                "Cost model's CPU-time / GPU-time ratio for one task.",
+                &labels,
+                d.modeled_speedup,
+            );
+            w.gauge(
+                "saber_sched_task_rate",
+                "Observed task throughput of the HLS matrix, by processor (tasks/s).",
+                &[("query", q.as_str()), ("processor", "cpu")],
+                d.cpu_rate,
+            );
+            w.gauge(
+                "saber_sched_task_rate",
+                "Observed task throughput of the HLS matrix, by processor (tasks/s).",
+                &[("query", q.as_str()), ("processor", "gpgpu")],
+                d.gpu_rate,
+            );
+        }
+        if let Some(d) = st.engine.durability_stats() {
+            w.gauge(
+                "saber_wal_bytes",
+                "Framed bytes appended to the write-ahead log.",
+                &[],
+                d.wal_bytes as f64,
+            );
+            w.gauge(
+                "saber_wal_segments",
+                "WAL segment files currently on disk.",
+                &[],
+                d.wal_segments as f64,
+            );
+            if let Some(cp) = d.last_checkpoint {
+                w.gauge(
+                    "saber_wal_last_checkpoint",
+                    "WAL position of the newest catalog snapshot.",
+                    &[],
+                    cp as f64,
+                );
+            }
+            w.counter(
+                "saber_recovery_replayed_rows_total",
+                "Rows re-ingested by crash recovery at startup.",
+                &[],
+                d.recovery_replayed_rows as f64,
+            );
+        }
+        w.counter(
+            "saber_trace_records_total",
+            "Pipeline task traces captured by the flight recorder.",
+            &[],
+            st.engine.flight_recorder().recorded() as f64,
+        );
+    }
+    if let Some(net) = shared.net_metrics.get() {
+        w.gauge(
+            "saber_net_connections",
+            "Currently open connections.",
+            &[],
+            net.connections() as f64,
+        );
+        w.counter(
+            "saber_net_accepted_total",
+            "Connections ever accepted.",
+            &[],
+            net.accepted_total() as f64,
+        );
+        w.counter(
+            "saber_net_bytes_read_total",
+            "Bytes read off all sockets.",
+            &[],
+            net.bytes_read() as f64,
+        );
+        w.counter(
+            "saber_net_bytes_written_total",
+            "Bytes written to all sockets.",
+            &[],
+            net.bytes_written() as f64,
+        );
+        w.counter(
+            "saber_net_requests_total",
+            "Requests decoded and dispatched, all protocol modes.",
+            &[],
+            net.requests_total() as f64,
+        );
+        w.counter(
+            "saber_net_http_requests_total",
+            "HTTP scrape requests decoded.",
+            &[],
+            net.http_requests_total() as f64,
+        );
+        w.counter(
+            "saber_net_quota_throttle_seconds_total",
+            "Read-pause time scheduled by the per-connection row quota.",
+            &[],
+            net.throttle_nanos() as f64 / 1e9,
+        );
+        w.counter(
+            "saber_net_slow_consumer_closes_total",
+            "Connections dropped for falling behind on writes.",
+            &[],
+            net.slow_consumer_closes() as f64,
+        );
+        w.gauge(
+            "saber_net_inflight_bytes",
+            "Decoded-but-unanswered request bytes, across all connections.",
+            &[],
+            net.inflight_bytes() as f64,
+        );
+        w.gauge(
+            "saber_net_outbox_bytes",
+            "Pending (unwritten) output bytes, across all connections.",
+            &[],
+            net.outbox_bytes() as f64,
+        );
+    }
+    out
 }
 
 /// Registers the connection as a subscriber of `query`.
@@ -883,24 +1229,56 @@ fn execute(shared: &Arc<Shared>, conn: &ConnHandle, command: Command) -> String 
             }
             out
         }
-        Command::Stats { query } => {
+        Command::Stats { query: None } => {
+            // Engine-wide summary: uptime, totals across every query (live
+            // and dropped — ids are never reused), plan count, connections.
+            let st = shared.lock();
+            let live = st
+                .queries
+                .iter()
+                .flatten()
+                .filter(|reg| !reg.dropped)
+                .count();
+            let stats = st.engine.stats();
+            let connections = shared
+                .net_metrics
+                .get()
+                .map(|m| m.connections())
+                .unwrap_or(0);
+            format!(
+                "OK stats uptime_secs={} queries={live} tuples_in={} tuples_out={} \
+                 physical_queries={} queued_tasks={} connections={connections}",
+                shared.started.elapsed().as_secs(),
+                stats.total_tuples_in(),
+                stats.total_tuples_out(),
+                st.engine.num_physical_plans(),
+                st.engine.queued_tasks(),
+            )
+        }
+        Command::Stats { query: Some(query) } => {
             let st = shared.lock();
             let subscribers = match st.queries.get(query) {
                 Some(Some(reg)) if !reg.dropped => reg.subscribers.len(),
                 _ => return shared.unknown_query(&st, query),
             };
-            let stats = st
+            // One consistent snapshot instead of a torn series of relaxed
+            // loads (the latency pair in particular is seqlock-protected).
+            let snap = st
                 .engine
                 .query_stats(QueryId(query))
-                .expect("registered query");
+                .expect("registered query")
+                .snapshot();
             let mut line = format!(
                 "OK stats query={query} tuples_in={} bytes_in={} tuples_out={} \
-                 tasks_created={} queued_tasks={} subscribers={subscribers}",
-                stats.tuples_in.load(Ordering::Relaxed),
-                stats.bytes_in.load(Ordering::Relaxed),
-                stats.tuples_out.load(Ordering::Relaxed),
-                stats.tasks_created.load(Ordering::Relaxed),
+                 tasks_created={} queued_tasks={} subscribers={subscribers} \
+                 avg_latency_us={} max_latency_us={}",
+                snap.tuples_in,
+                snap.bytes_in,
+                snap.tuples_out,
+                snap.tasks_created,
                 st.engine.queue_depth(QueryId(query)),
+                snap.avg_latency().as_micros(),
+                snap.max_latency().as_micros(),
             );
             // Plan-sharing section: which physical plan instance this query
             // executes on and how many logical queries share it, plus the
@@ -930,7 +1308,9 @@ fn execute(shared: &Arc<Shared>, conn: &ConnHandle, command: Command) -> String 
             }
             line
         }
-        Command::Quit | Command::Subscribe { .. } => unreachable!("handled by the caller"),
+        Command::Quit | Command::Subscribe { .. } | Command::Metrics => {
+            unreachable!("handled by the caller")
+        }
     }
 }
 

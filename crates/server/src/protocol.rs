@@ -102,11 +102,15 @@ pub enum Command {
     Streams,
     /// `QUERIES` — list the registered queries.
     Queries,
-    /// `STATS <query>` — per-query ingest/emit counters.
+    /// `STATS [<query>]` — per-query ingest/emit counters, or (without an
+    /// argument) engine-wide totals.
     Stats {
-        /// Query id.
-        query: usize,
+        /// Query id; `None` asks for the engine-wide summary.
+        query: Option<usize>,
     },
+    /// `METRICS` — the full Prometheus-text metrics exposition (the same
+    /// body the HTTP scrape path serves).
+    Metrics,
     /// `PING` — liveness probe.
     Ping,
     /// `QUIT` — close the connection.
@@ -166,16 +170,21 @@ pub fn parse_command(line: &str) -> Result<Command, String> {
         "QUERIES" => Ok(Command::Queries),
         "STATS" => {
             let (query, _) = split_word(rest);
-            Ok(Command::Stats {
-                query: parse_index(query, "query id after STATS")?,
-            })
+            if query.is_empty() {
+                Ok(Command::Stats { query: None })
+            } else {
+                Ok(Command::Stats {
+                    query: Some(parse_index(query, "query id after STATS")?),
+                })
+            }
         }
+        "METRICS" => Ok(Command::Metrics),
         "PING" => Ok(Command::Ping),
         "QUIT" | "EXIT" => Ok(Command::Quit),
         "" => Err("empty line".into()),
         other => Err(format!(
             "unknown command `{other}` (CREATE STREAM, QUERY, DROP QUERY, INSERT, \
-             SUBSCRIBE, FLUSH, STREAMS, QUERIES, STATS, PING, QUIT)"
+             SUBSCRIBE, FLUSH, STREAMS, QUERIES, STATS, METRICS, PING, QUIT)"
         )),
     }
 }
@@ -517,6 +526,20 @@ mod tests {
                 encoding: Encoding::Csv
             }
         );
+    }
+
+    #[test]
+    fn stats_and_metrics_parse() {
+        assert_eq!(
+            parse_command("STATS 3").unwrap(),
+            Command::Stats { query: Some(3) }
+        );
+        assert_eq!(
+            parse_command("stats").unwrap(),
+            Command::Stats { query: None }
+        );
+        assert!(parse_command("STATS x").is_err());
+        assert_eq!(parse_command("metrics").unwrap(), Command::Metrics);
     }
 
     #[test]

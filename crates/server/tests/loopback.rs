@@ -36,10 +36,7 @@ impl Client {
             .set_read_timeout(Some(Duration::from_secs(30)))
             .unwrap();
         let reader = BufReader::new(stream.try_clone().unwrap());
-        let mut client = Client { stream, reader };
-        let banner = client.read_line();
-        assert_eq!(banner, "OK saber-server ready");
-        client
+        Client { stream, reader }
     }
 
     fn read_line(&mut self) -> String {

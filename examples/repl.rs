@@ -21,7 +21,9 @@
 //! `saber-serve` instance instead: stdin lines are sent verbatim as protocol
 //! commands (`CREATE STREAM`, `QUERY`, `INSERT`, `SUBSCRIBE`, ... — see
 //! `docs/server.md`) and every server line is printed as it arrives, so a
-//! `SUBSCRIBE`d session streams results live.
+//! `SUBSCRIBE`d session streams results live. `.metrics` scrapes the
+//! server's `/metrics` endpoint over a one-shot HTTP connection and
+//! pretty-prints the exposition (works in both client modes).
 //!
 //! With `--connect <host:port> --binary` the same commands travel the
 //! length-prefixed binary frame protocol instead (magic + HELLO handshake,
@@ -111,7 +113,7 @@ fn client_mode(addr: &str) -> Result<(), Box<dyn std::error::Error>> {
 
     let stream = TcpStream::connect(addr)?;
     eprintln!("connected to saber-serve at {addr}; lines are sent verbatim");
-    eprintln!("(`QUIT` or EOF disconnects; see docs/server.md for commands)");
+    eprintln!("(`QUIT` or EOF disconnects, `.metrics` scrapes; see docs/server.md for commands)");
     let reader_stream = stream.try_clone()?;
     let printer = std::thread::spawn(move || {
         let reader = std::io::BufReader::new(reader_stream);
@@ -131,6 +133,10 @@ fn client_mode(addr: &str) -> Result<(), Box<dyn std::error::Error>> {
         let line = line?;
         let trimmed = line.trim();
         if trimmed.is_empty() {
+            continue;
+        }
+        if trimmed == ".metrics" {
+            fetch_metrics(addr);
             continue;
         }
         writeln!(writer, "{trimmed}")?;
@@ -158,8 +164,8 @@ fn client_mode(addr: &str) -> Result<(), Box<dyn std::error::Error>> {
 /// replies/pushed frames are rendered back as text, so the human-facing
 /// surface matches text mode while the wire carries length-prefixed frames.
 fn client_mode_binary(addr: &str) -> Result<(), Box<dyn std::error::Error>> {
-    let (client, banner) = BinaryClient::connect(addr)?;
-    eprintln!("connected to saber-serve at {addr} (binary protocol); banner: {banner}");
+    let client = BinaryClient::connect(addr)?;
+    eprintln!("connected to saber-serve at {addr} (binary protocol)");
     if client.auth_required() {
         eprintln!("server requires authentication — start with `AUTH <token>`");
     }
@@ -183,6 +189,10 @@ fn client_mode_binary(addr: &str) -> Result<(), Box<dyn std::error::Error>> {
         let line = line?;
         let trimmed = line.trim();
         if trimmed.is_empty() {
+            continue;
+        }
+        if trimmed == ".metrics" {
+            fetch_metrics(addr);
             continue;
         }
         let frame = match line_to_frame(trimmed) {
@@ -273,7 +283,46 @@ fn line_to_frame(line: &str) -> Result<Frame, String> {
         "STATS" => Ok(Frame::Stats {
             query: parse_id(rest.split_whitespace().next(), "STATS <query>")?,
         }),
+        "METRICS" => Ok(Frame::Metrics),
         other => Err(format!("unknown command `{other}` (see docs/server.md)")),
+    }
+}
+
+/// `.metrics` (client mode): scrape `GET /metrics` over a fresh one-shot
+/// HTTP connection to the same server and pretty-print the exposition —
+/// HELP/TYPE comments and `_bucket` series are folded away so a human sees
+/// one `name{labels} value` line per series (quantile detail stays
+/// available via `curl /metrics`).
+fn fetch_metrics(addr: &str) {
+    use std::io::Read;
+    use std::net::TcpStream;
+
+    let fetched = (|| -> std::io::Result<String> {
+        let mut stream = TcpStream::connect(addr)?;
+        stream.set_read_timeout(Some(std::time::Duration::from_secs(10)))?;
+        stream.write_all(b"GET /metrics HTTP/1.0\r\n\r\n")?;
+        let mut response = String::new();
+        stream.read_to_string(&mut response)?;
+        response
+            .split_once("\r\n\r\n")
+            .map(|(_, body)| body.to_string())
+            .ok_or_else(|| {
+                std::io::Error::new(std::io::ErrorKind::InvalidData, "malformed HTTP response")
+            })
+    })();
+    match fetched {
+        Ok(body) => {
+            let mut series = 0usize;
+            for line in body.lines() {
+                if line.starts_with('#') || line.contains("_bucket{") {
+                    continue;
+                }
+                println!("{line}");
+                series += 1;
+            }
+            eprintln!("({series} series; histogram buckets folded — `curl /metrics` for all)");
+        }
+        Err(e) => eprintln!("ERR metrics fetch failed: {e}"),
     }
 }
 
@@ -288,6 +337,7 @@ fn render_frame(frame: &Frame) -> String {
         Frame::Data { nrows, rows } => {
             format!("DATA {nrows} {}", saber::server::protocol::b64_encode(rows))
         }
+        Frame::MetricsText { text } => text.trim_end().to_string(),
         other => format!("{other:?}"),
     }
 }

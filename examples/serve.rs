@@ -88,7 +88,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("  INSERT <query> <stream> CSV <v1,v2,...[;...]>");
     println!("  INSERT <query> <stream> B64 <base64 row bytes>");
     println!("  SUBSCRIBE <query> [CSV|B64]  -- push results as windows close");
-    println!("  FLUSH | STREAMS | QUERIES | STATS <query> | PING | QUIT");
+    println!("  FLUSH | STREAMS | QUERIES | STATS [<query>] | METRICS | PING | QUIT");
+    println!(
+        "scrape: curl http://{}/metrics (Prometheus text; docs/observability.md)",
+        server.local_addr()
+    );
     println!("the workload catalog (Syn, SmartGridStr, ...) is pre-registered");
     println!("type `quit` (or close stdin) to stop the server");
 

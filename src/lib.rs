@@ -9,6 +9,9 @@
 //! * [`cpu`] — CPU operator implementations (fragment/batch/assembly functions),
 //! * [`gpu`] — the simulated many-core accelerator and its kernels,
 //! * [`engine`] — dispatcher, HLS scheduler, worker threads, result stage,
+//! * [`obs`] — observability primitives: lock-free counters/gauges/
+//!   histograms, the pipeline flight recorder and the Prometheus text
+//!   exposition writer (see `docs/observability.md`),
 //! * [`store`] — durability: segmented CRC-checked write-ahead ingest log,
 //!   catalog snapshots and crash recovery (see `docs/persistence.md`),
 //! * [`net`] — readiness-based (epoll) server core: the event loop, the
@@ -64,6 +67,7 @@ pub use saber_cpu as cpu;
 pub use saber_engine as engine;
 pub use saber_gpu as gpu;
 pub use saber_net as net;
+pub use saber_obs as obs;
 pub use saber_query as query;
 pub use saber_server as server;
 pub use saber_sql as sql;

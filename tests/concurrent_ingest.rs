@@ -23,6 +23,7 @@ fn config(mode: ExecutionMode, max_queued: usize) -> EngineConfig {
         throughput_smoothing: 0.25,
         durability: None,
         sharing: true,
+        stage_timestamps: true,
     }
 }
 

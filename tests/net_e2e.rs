@@ -52,9 +52,7 @@ impl Text {
             .set_read_timeout(Some(Duration::from_secs(30)))
             .unwrap();
         let reader = BufReader::new(stream.try_clone().unwrap());
-        let mut client = Text { stream, reader };
-        assert_eq!(client.read_line(), "OK saber-server ready");
-        client
+        Text { stream, reader }
     }
 
     fn read_line(&mut self) -> String {
@@ -70,8 +68,7 @@ impl Text {
 }
 
 fn binary(addr: SocketAddr) -> BinaryClient {
-    let (client, banner) = BinaryClient::connect(addr).expect("binary connect");
-    assert_eq!(banner, "OK saber-server ready");
+    let client = BinaryClient::connect(addr).expect("binary connect");
     client
         .set_read_timeout(Some(Duration::from_secs(30)))
         .unwrap();
@@ -343,6 +340,31 @@ fn a_crowd_of_binary_subscribers_all_receive_the_same_window() {
     assert_eq!(admin.send("DROP QUERY 0"), "OK dropped 0");
     for sub in &mut subs {
         assert_eq!(sub.recv_skip_nops().unwrap(), Frame::End);
+    }
+
+    server.shutdown().expect("clean shutdown");
+}
+
+/// The binary `Metrics` frame returns the Prometheus exposition as a
+/// `MetricsText` frame — same body the HTTP scrape serves — and the net
+/// transport counters in it reflect this very connection.
+#[test]
+fn binary_metrics_frame_returns_exposition_text() {
+    let server = serve(config());
+    let addr = server.local_addr();
+
+    let mut client = binary(addr);
+    client.send(&Frame::Metrics).expect("send metrics");
+    let text = match client.recv_skip_nops().expect("metrics reply") {
+        Frame::MetricsText { text } => text,
+        other => panic!("expected MetricsText, got {other:?}"),
+    };
+    for needle in [
+        "# TYPE saber_uptime_seconds gauge",
+        "saber_net_connections 1",
+        "saber_net_requests_total",
+    ] {
+        assert!(text.contains(needle), "missing `{needle}`");
     }
 
     server.shutdown().expect("clean shutdown");

@@ -468,9 +468,7 @@ impl Client {
             .set_read_timeout(Some(Duration::from_secs(30)))
             .unwrap();
         let reader = BufReader::new(stream.try_clone().unwrap());
-        let mut client = Client { stream, reader };
-        assert_eq!(client.read_line(), "OK saber-server ready");
-        client
+        Client { stream, reader }
     }
 
     fn read_line(&mut self) -> String {

@@ -88,9 +88,7 @@ impl Client {
             .set_read_timeout(Some(Duration::from_secs(60)))
             .unwrap();
         let reader = BufReader::new(stream.try_clone().unwrap());
-        let mut client = Client { stream, reader };
-        assert_eq!(client.read_line(), "OK saber-server ready");
-        client
+        Client { stream, reader }
     }
 
     fn read_line(&mut self) -> String {
@@ -375,4 +373,158 @@ fn concurrent_tcp_clients_match_the_in_process_sink_byte_for_byte() {
         }
         assert_eq!(received, expected, "subscriber {i}");
     }
+}
+
+/// A `curl`-style scrape helper: one-shot `HTTP/1.0` GET, returns
+/// `(head, body)` split at the header terminator.
+fn http_get(addr: SocketAddr, path: &str) -> (String, String) {
+    use std::io::Read;
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .unwrap();
+    write!(stream, "GET {path} HTTP/1.0\r\nhost: test\r\n\r\n").unwrap();
+    let mut response = String::new();
+    stream.read_to_string(&mut response).expect("read response");
+    let (head, body) = response.split_once("\r\n\r\n").expect("header terminator");
+    (head.to_string(), body.to_string())
+}
+
+/// Issue 10 acceptance: a `curl`-style fetch of `/metrics` on a live
+/// server returns well-formed Prometheus text exposition including
+/// per-query stage-latency histograms; `STATS` with no argument reports
+/// engine-wide stats; the text `METRICS` verb returns the same exposition
+/// framed by an exact byte count; unknown paths get a 404 and `/traces`
+/// serves the flight recorder.
+#[test]
+fn http_scrape_returns_prometheus_exposition_with_stage_histograms() {
+    let server = Server::bind(
+        "127.0.0.1:0",
+        ServerConfig {
+            engine: engine_config(),
+            ..ServerConfig::default()
+        },
+    )
+    .unwrap();
+    let addr = server.local_addr();
+
+    let mut c = Client::connect(addr);
+    assert_eq!(
+        c.send("CREATE STREAM S (timestamp TIMESTAMP, v INT, k INT)"),
+        "OK stream S"
+    );
+    assert_eq!(c.send(&format!("QUERY {SQL}")), "OK query 0");
+    for p in 0..PRODUCERS {
+        assert_eq!(
+            c.send(&format!(
+                "INSERT 0 0 B64 {}",
+                b64_encode(producer_rows(p).bytes())
+            )),
+            format!("OK rows {ROWS_PER_PRODUCER}")
+        );
+    }
+    // Wait for the window's result row: once tuples_out is nonzero the
+    // latency counters and the sink-delivered stage histograms have samples.
+    let field = |line: &str, key: &str| -> u64 {
+        line.split_whitespace()
+            .find_map(|kv| kv.strip_prefix(&format!("{key}=")))
+            .unwrap_or_else(|| panic!("no `{key}` in `{line}`"))
+            .parse()
+            .unwrap()
+    };
+    let deadline = Instant::now() + Duration::from_secs(30);
+    loop {
+        let line = c.send("STATS 0");
+        if field(&line, "tuples_out") > 0 {
+            break;
+        }
+        assert!(Instant::now() < deadline, "no window closed: {line}");
+        std::thread::sleep(Duration::from_millis(20));
+    }
+
+    // Engine-wide STATS: no argument, one summary line.
+    let line = c.send("STATS");
+    assert!(line.starts_with("OK stats uptime_secs="), "{line}");
+    assert_eq!(field(&line, "queries"), 1, "{line}");
+    assert_eq!(field(&line, "tuples_in"), TOTAL_ROWS as u64, "{line}");
+    assert_eq!(field(&line, "physical_queries"), 1, "{line}");
+    assert!(field(&line, "connections") >= 1, "{line}");
+
+    // The scrape itself.
+    let (head, body) = http_get(addr, "/metrics");
+    assert!(head.starts_with("HTTP/1.0 200 OK\r\n"), "{head}");
+    assert!(
+        head.contains("content-type: text/plain; version=0.0.4"),
+        "{head}"
+    );
+    let len: usize = head
+        .lines()
+        .find_map(|l| l.strip_prefix("content-length: "))
+        .expect("content-length header")
+        .parse()
+        .unwrap();
+    assert_eq!(len, body.len(), "content-length must match the body");
+
+    // Well-formed exposition: every non-comment line is `series value`
+    // with a plain-decimal float value.
+    for line in body.lines() {
+        if line.starts_with("# ") || line.is_empty() {
+            continue;
+        }
+        let (series, value) = line.rsplit_once(' ').unwrap_or_else(|| panic!("`{line}`"));
+        assert!(!series.is_empty(), "`{line}`");
+        value
+            .parse::<f64>()
+            .unwrap_or_else(|e| panic!("`{line}`: {e}"));
+    }
+    for needle in [
+        "# TYPE saber_uptime_seconds gauge",
+        "# TYPE saber_query_stage_latency_seconds histogram",
+        &format!("saber_engine_tuples_in_total {TOTAL_ROWS}"),
+        &format!("saber_query_tuples_in_total{{query=\"0\"}} {TOTAL_ROWS}"),
+        "saber_query_stage_latency_seconds_bucket{query=\"0\",stage=",
+        "le=\"+Inf\"",
+        "saber_net_connections",
+        "saber_net_http_requests_total",
+    ] {
+        assert!(body.contains(needle), "missing `{needle}`");
+    }
+    // The per-query stage histograms are populated, not just present:
+    // the end-to-end "total" stage has at least one count.
+    let total_count = body
+        .lines()
+        .find_map(|l| {
+            l.strip_prefix("saber_query_stage_latency_seconds_count{query=\"0\",stage=\"total\"} ")
+        })
+        .expect("total-stage histogram count series")
+        .parse::<u64>()
+        .unwrap();
+    assert!(total_count > 0, "stage histograms recorded no tasks");
+
+    // `/traces` serves the flight recorder; unknown paths get a 404.
+    let (head, _) = http_get(addr, "/traces");
+    assert!(head.starts_with("HTTP/1.0 200 OK"), "{head}");
+    let (head, _) = http_get(addr, "/definitely-not-here");
+    assert!(head.starts_with("HTTP/1.0 404"), "{head}");
+
+    // The text `METRICS` verb returns the same exposition, framed by an
+    // exact byte count and an `END` trailer.
+    let line = c.send("METRICS");
+    let bytes: usize = line
+        .strip_prefix("OK metrics bytes=")
+        .unwrap_or_else(|| panic!("{line}"))
+        .parse()
+        .unwrap();
+    let mut got = 0usize;
+    let mut saw_uptime = false;
+    while got < bytes {
+        let l = c.read_line();
+        got += l.len() + 1; // the exposition is newline-terminated lines
+        saw_uptime |= l.starts_with("saber_uptime_seconds ");
+    }
+    assert_eq!(got, bytes, "body length must match the advertised count");
+    assert!(saw_uptime);
+    assert_eq!(c.read_line(), "END");
+
+    server.shutdown().expect("clean shutdown");
 }
